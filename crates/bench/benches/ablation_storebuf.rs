@@ -1,0 +1,45 @@
+//! Ablation A1: model-T performance as a function of store-buffer size.
+//! Prints the sweep, then times the store-heavy benchmarks at the
+//! extremes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sentinel_bench::figures::ablation_store_buffer;
+use sentinel_bench::runner::{measure, MeasureConfig};
+use sentinel_core::SchedulingModel;
+use sentinel_workloads::suite;
+
+fn print_sweep_once() {
+    let sizes = [1, 2, 4, 8, 16, 32];
+    println!("\n== regenerated Ablation A1: T speedup (issue 8) vs store-buffer size ==");
+    print!("{:<12}", "benchmark");
+    for s in sizes {
+        print!("{:>8}", format!("N={s}"));
+    }
+    println!();
+    for (bench, series) in ablation_store_buffer(&sizes) {
+        print!("{bench:<12}");
+        for (_, sp) in series {
+            print!("{sp:>8.2}");
+        }
+        println!();
+    }
+}
+
+fn bench_storebuf(c: &mut Criterion) {
+    print_sweep_once();
+    let mut group = c.benchmark_group("storebuf_sizes");
+    group.sample_size(10);
+    let w = suite::by_name("cmp").unwrap();
+    for n in [1usize, 8, 32] {
+        group.bench_function(format!("cmp/T_w8_N{n}"), |b| {
+            let mut cfg = MeasureConfig::paper(SchedulingModel::SentinelStores, 8);
+            cfg.store_buffer = n;
+            b.iter(|| measure(&w, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storebuf);
+criterion_main!(benches);

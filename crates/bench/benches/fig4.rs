@@ -1,0 +1,53 @@
+//! Figure 4 end-to-end: prints the regenerated S-vs-R speedup table, then
+//! times the full measurement pipeline (schedule + simulate) for
+//! representative benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sentinel_bench::figures::figure4;
+use sentinel_bench::report::{improvement_summary, speedup_table};
+use sentinel_bench::runner::{measure, MeasureConfig};
+use sentinel_core::SchedulingModel;
+use sentinel_workloads::suite;
+
+fn print_figure4_once() {
+    let rows = figure4();
+    let models = [
+        SchedulingModel::RestrictedPercolation,
+        SchedulingModel::Sentinel,
+    ];
+    println!("\n== regenerated Figure 4 ==");
+    print!("{}", speedup_table(&rows, &models));
+    print!(
+        "{}",
+        improvement_summary(
+            &rows,
+            SchedulingModel::Sentinel,
+            SchedulingModel::RestrictedPercolation
+        )
+    );
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    print_figure4_once();
+    let mut group = c.benchmark_group("fig4_pipeline");
+    group.sample_size(10);
+    for name in ["grep", "doduc", "fpppp"] {
+        let w = suite::by_name(name).unwrap();
+        group.bench_function(format!("{name}/restricted_w8"), |b| {
+            b.iter(|| {
+                measure(
+                    &w,
+                    &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 8),
+                )
+            })
+        });
+        group.bench_function(format!("{name}/sentinel_w8"), |b| {
+            b.iter(|| measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 5 end-to-end: prints the regenerated G/S/T speedup table, then
+//! times the model-T pipeline on the paper's stand-out winners.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sentinel_bench::figures::figure5;
+use sentinel_bench::report::{improvement_summary, speedup_table};
+use sentinel_bench::runner::{measure, MeasureConfig};
+use sentinel_core::SchedulingModel;
+use sentinel_workloads::suite;
+
+fn print_figure5_once() {
+    let rows = figure5();
+    let models = [
+        SchedulingModel::GeneralPercolation,
+        SchedulingModel::Sentinel,
+        SchedulingModel::SentinelStores,
+    ];
+    println!("\n== regenerated Figure 5 ==");
+    print!("{}", speedup_table(&rows, &models));
+    print!(
+        "{}",
+        improvement_summary(
+            &rows,
+            SchedulingModel::Sentinel,
+            SchedulingModel::GeneralPercolation
+        )
+    );
+    print!(
+        "{}",
+        improvement_summary(
+            &rows,
+            SchedulingModel::SentinelStores,
+            SchedulingModel::Sentinel
+        )
+    );
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_figure5_once();
+    let mut group = c.benchmark_group("fig5_pipeline");
+    group.sample_size(10);
+    for name in ["cmp", "grep", "eqntott"] {
+        let w = suite::by_name(name).unwrap();
+        for (tag, model) in [
+            ("general", SchedulingModel::GeneralPercolation),
+            ("sentinel", SchedulingModel::Sentinel),
+            ("stores", SchedulingModel::SentinelStores),
+        ] {
+            group.bench_function(format!("{name}/{tag}_w8"), |b| {
+                b.iter(|| measure(&w, &MeasureConfig::paper(model, 8)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

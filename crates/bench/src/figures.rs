@@ -1,0 +1,435 @@
+//! Regeneration of the paper's figures and our ablations.
+
+use std::collections::HashMap;
+
+use sentinel_core::SchedulingModel;
+use sentinel_workloads::{suite, BenchClass, Workload};
+
+use crate::runner::{base_cycles, measure, MeasureConfig, Measurement};
+
+/// The issue rates the paper evaluates (§5.2).
+pub const WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// One benchmark's speedups: `speedup[model][width] = base / cycles`.
+#[derive(Debug, Clone)]
+pub struct BenchSpeedups {
+    /// Benchmark name.
+    pub bench: String,
+    /// Numeric / non-numeric.
+    pub class: BenchClass,
+    /// Base-machine cycles (issue 1, restricted percolation).
+    pub base_cycles: u64,
+    /// `(model, width) → speedup`.
+    pub speedups: HashMap<(SchedulingModel, usize), f64>,
+    /// `(model, width) → raw measurement`.
+    pub raw: HashMap<(SchedulingModel, usize), Measurement>,
+}
+
+impl BenchSpeedups {
+    /// Speedup of a model at a width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that combination was not measured.
+    pub fn speedup(&self, model: SchedulingModel, width: usize) -> f64 {
+        self.speedups[&(model, width)]
+    }
+}
+
+/// Measures a set of models over the paper's widths for every benchmark
+/// in the suite.
+pub fn measure_suite(models: &[SchedulingModel]) -> Vec<BenchSpeedups> {
+    measure_workloads(&suite::suite(), models)
+}
+
+/// Measures a set of models over the paper's widths for given workloads.
+pub fn measure_workloads(
+    workloads: &[Workload],
+    models: &[SchedulingModel],
+) -> Vec<BenchSpeedups> {
+    workloads
+        .iter()
+        .map(|w| {
+            let base = base_cycles(w);
+            let mut speedups = HashMap::new();
+            let mut raw = HashMap::new();
+            for &model in models {
+                for &width in &WIDTHS {
+                    let m = measure(w, &MeasureConfig::paper(model, width));
+                    speedups.insert((model, width), base as f64 / m.cycles as f64);
+                    raw.insert((model, width), m);
+                }
+            }
+            BenchSpeedups {
+                bench: w.name.clone(),
+                class: w.class,
+                base_cycles: base,
+                speedups,
+                raw,
+            }
+        })
+        .collect()
+}
+
+/// **Figure 4**: sentinel scheduling (S) vs restricted percolation (R),
+/// issue 2/4/8, all 17 benchmarks, speedup over the base machine.
+pub fn figure4() -> Vec<BenchSpeedups> {
+    measure_suite(&[
+        SchedulingModel::RestrictedPercolation,
+        SchedulingModel::Sentinel,
+    ])
+}
+
+/// **Figure 5**: general percolation (G) vs sentinel (S) vs sentinel with
+/// speculative stores (T).
+pub fn figure5() -> Vec<BenchSpeedups> {
+    measure_suite(&[
+        SchedulingModel::GeneralPercolation,
+        SchedulingModel::Sentinel,
+        SchedulingModel::SentinelStores,
+    ])
+}
+
+/// Geometric-mean improvement of `a` over `b` at `width`, for benchmarks
+/// of `class` (or all if `None`): matches the paper's "average speedup
+/// improvement" statistics. Returns NaN when no benchmark matches.
+pub fn mean_improvement(
+    rows: &[BenchSpeedups],
+    a: SchedulingModel,
+    b: SchedulingModel,
+    width: usize,
+    class: Option<BenchClass>,
+) -> f64 {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .filter(|r| class.is_none_or(|c| r.class == c))
+        .map(|r| r.speedup(a, width) / r.speedup(b, width))
+        .collect();
+    if ratios.is_empty() {
+        f64::NAN
+    } else {
+        geo_mean(&ratios)
+    }
+}
+
+/// Geometric mean.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geometric mean of nothing");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// **Ablation A1**: model-T speedup (issue 8) as a function of store
+/// buffer size.
+pub fn ablation_store_buffer(sizes: &[usize]) -> Vec<(String, Vec<(usize, f64)>)> {
+    let workloads = suite::suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let base = base_cycles(w);
+            let series = sizes
+                .iter()
+                .map(|&n| {
+                    let mut cfg = MeasureConfig::paper(SchedulingModel::SentinelStores, 8);
+                    cfg.store_buffer = n;
+                    let m = measure(w, &cfg);
+                    (n, base as f64 / m.cycles as f64)
+                })
+                .collect();
+            (w.name.clone(), series)
+        })
+        .collect()
+}
+
+/// **Ablation A2**: the cost of the §3.7 recovery constraints — sentinel
+/// speedup at issue 8 with and without recovery scheduling (the paper's
+/// "we are currently quantifying this performance impact").
+pub fn ablation_recovery() -> Vec<(String, f64, f64)> {
+    let workloads = suite::suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let base = base_cycles(w) as f64;
+            let plain = measure(w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+            let mut cfg = MeasureConfig::paper(SchedulingModel::Sentinel, 8);
+            cfg.recovery = true;
+            let rec = measure(w, &cfg);
+            (
+                w.name.clone(),
+                base / plain.cycles as f64,
+                base / rec.cycles as f64,
+            )
+        })
+        .collect()
+}
+
+/// **Ablation A5**: instruction boosting (§2.3) vs sentinel scheduling.
+/// The paper argues general percolation (and hence sentinel scheduling)
+/// reaches boosting's performance without its hardware cost, and that
+/// boosting is limited to a small number of branches. Measures speedup at
+/// issue 8 for boosting with 1/2/4 shadow levels against R and S.
+pub fn ablation_boosting() -> Vec<(String, f64, f64, f64, f64, f64)> {
+    let workloads = suite::suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let base = crate::runner::base_cycles(w) as f64;
+            let sp = |model| {
+                base / measure(w, &MeasureConfig::paper(model, 8)).cycles as f64
+            };
+            (
+                w.name.clone(),
+                sp(SchedulingModel::RestrictedPercolation),
+                sp(SchedulingModel::Boosting(1)),
+                sp(SchedulingModel::Boosting(2)),
+                sp(SchedulingModel::Boosting(4)),
+                sp(SchedulingModel::Sentinel),
+            )
+        })
+        .collect()
+}
+
+/// **Ablation A4**: superblock formation's contribution. Each benchmark is
+/// split into basic blocks, profiled, and re-formed; all three variants
+/// are sentinel-scheduled at issue 8. Returns
+/// `(bench, split_speedup, formed_speedup, original_speedup)` over the
+/// original program's base machine.
+pub fn ablation_formation() -> Vec<(String, f64, f64, f64)> {
+    use sentinel_prog::superblock::{form_superblocks, split_at_branches, SuperblockConfig};
+    use sentinel_sim::reference::Reference;
+
+    let workloads = suite::suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let base = crate::runner::base_cycles(w) as f64;
+            let original = measure(w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+
+            // Split into basic blocks.
+            let mut split_w = w.clone();
+            split_at_branches(&mut split_w.func);
+            let split = measure(&split_w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+
+            // Profile the split program and form superblocks.
+            let mut r = Reference::new(&split_w.func);
+            crate::runner::apply_memory(&split_w, r.memory_mut());
+            r.run().expect("profiling run");
+            let profile = r.profile().clone();
+            let mut formed_w = split_w.clone();
+            form_superblocks(&mut formed_w.func, &profile, &SuperblockConfig::default());
+            let formed = measure(&formed_w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+
+            (
+                w.name.clone(),
+                base / split.cycles as f64,
+                base / formed.cycles as f64,
+                base / original.cycles as f64,
+            )
+        })
+        .collect()
+}
+
+/// **Ablation A6**: superblock loop unrolling × scheduling model.
+/// Unrolls every benchmark's loop bodies by each factor and measures
+/// sentinel speedup at issue 8 (speedups over the *original* base
+/// machine, so higher factors show unrolling's contribution on top of
+/// speculation).
+pub fn ablation_unrolling(factors: &[usize]) -> Vec<(String, Vec<(usize, f64)>)> {
+    use sentinel_prog::superblock::unroll_all_loops;
+    let workloads = suite::suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let base = crate::runner::base_cycles(w) as f64;
+            let series = factors
+                .iter()
+                .map(|&k| {
+                    let mut wu = w.clone();
+                    if k > 1 {
+                        unroll_all_loops(&mut wu.func, k);
+                    }
+                    let m = measure(&wu, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+                    (k, base / m.cycles as f64)
+                })
+                .collect();
+            (w.name.clone(), series)
+        })
+        .collect()
+}
+
+/// **Ablation A7**: cache-miss sensitivity. The paper assumes 100% hits;
+/// this asks how much of a growing miss penalty speculation hides.
+/// Returns per benchmark the S-over-R improvement (issue 8) at each miss
+/// penalty (0 = the paper's assumption; each run's S and R share the
+/// penalty and its own base machine so the ratio isolates the scheduler).
+pub fn ablation_cache(penalties: &[u32]) -> Vec<(String, Vec<(u32, f64)>)> {
+    use sentinel_sim::cache::CacheConfig;
+    let workloads = suite::suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let series = penalties
+                .iter()
+                .map(|&p| {
+                    let cache = (p > 0).then(|| CacheConfig::small_l1(p));
+                    let mut rc = MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 8);
+                    rc.cache = cache.clone();
+                    let mut sc = MeasureConfig::paper(SchedulingModel::Sentinel, 8);
+                    sc.cache = cache;
+                    let r = measure(w, &rc).cycles as f64;
+                    let s = measure(w, &sc).cycles as f64;
+                    (p, r / s)
+                })
+                .collect();
+            (w.name.clone(), series)
+        })
+        .collect()
+}
+
+/// **Ablation A9**: register pressure. The paper notes the §3.7
+/// live-range extension "will tend to increase the number of registers
+/// used by the register allocator"; this measures the maximum number of
+/// simultaneously live registers in sentinel-scheduled code with and
+/// without the recovery constraints (which add renaming-introduced
+/// virtual registers and restore moves).
+pub fn ablation_register_pressure() -> Vec<(String, usize, usize)> {
+    use sentinel_core::{schedule_function, SchedOptions};
+    use sentinel_prog::cfg::Cfg;
+    use sentinel_prog::liveness::Liveness;
+
+    let mdes = sentinel_isa::MachineDesc::paper_issue(8);
+    let max_live = |func: &sentinel_prog::Function| -> usize {
+        let cfg = Cfg::build(func);
+        let lv = Liveness::compute(func, &cfg);
+        let mut max = 0usize;
+        for bid in func.layout() {
+            let n = func.block(*bid).insns.len();
+            for pos in 0..=n {
+                max = max.max(lv.live_before(func, *bid, pos).len());
+            }
+        }
+        max
+    };
+
+    suite::suite()
+        .iter()
+        .map(|w| {
+            let plain = schedule_function(
+                &w.func,
+                &mdes,
+                &SchedOptions::new(SchedulingModel::Sentinel),
+            )
+            .unwrap();
+            let rec = schedule_function(
+                &w.func,
+                &mdes,
+                &SchedOptions::new(SchedulingModel::Sentinel).with_recovery(),
+            )
+            .unwrap();
+            (w.name.clone(), max_live(&plain.func), max_live(&rec.func))
+        })
+        .collect()
+}
+
+/// Issue-width sweep: sentinel speedup over the base machine at widths
+/// 1..=16, showing where each benchmark's ILP saturates.
+pub fn issue_sweep(widths: &[usize]) -> Vec<(String, Vec<(usize, f64)>)> {
+    let workloads = suite::suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let base = crate::runner::base_cycles(w) as f64;
+            let series = widths
+                .iter()
+                .map(|&width| {
+                    let m = measure(w, &MeasureConfig::paper(SchedulingModel::Sentinel, width));
+                    (width, base / m.cycles as f64)
+                })
+                .collect();
+            (w.name.clone(), series)
+        })
+        .collect()
+}
+
+/// **Ablation A8**: modulo scheduling (software pipelining) on the
+/// pipelinable kernels. Returns `(kernel, acyclic_cycles,
+/// pipelined_cycles, II, stages)` at issue 8; the acyclic baseline is
+/// sentinel-superblock-scheduled, the pipelined version runs as
+/// constructed (its overlap *is* its schedule).
+pub fn ablation_pipelining() -> Vec<(String, u64, u64, u64, u64)> {
+    use sentinel_core::modulo::{pipeline_all_loops, pipeline_while_loop};
+    use sentinel_core::{schedule_function, SchedOptions};
+    use sentinel_sim::{Machine, RunOutcome, SimConfig};
+    use sentinel_workloads::kernels;
+
+    let mdes = sentinel_isa::MachineDesc::paper_issue(8);
+    let run = |w: &sentinel_workloads::Workload, func: &sentinel_prog::Function| -> u64 {
+        let mut m = Machine::new(func, SimConfig::for_mdes(mdes.clone()));
+        crate::runner::apply_memory(w, m.memory_mut());
+        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+        m.stats().cycles
+    };
+
+    let mut rows = Vec::new();
+    for w in [
+        kernels::copy_words(200),
+        kernels::dot_product(200),
+        kernels::chain_scan(200),
+    ] {
+        let acyclic = {
+            let s = schedule_function(
+                &w.func,
+                &mdes,
+                &SchedOptions::new(SchedulingModel::Sentinel),
+            )
+            .unwrap();
+            run(&w, &s.func)
+        };
+        let mut wp = w.clone();
+        let infos = pipeline_all_loops(&mut wp.func, &mdes);
+        let info = if let Some(i) = infos.first() {
+            *i
+        } else {
+            // While-loop kernels need the speculative variant.
+            let body = wp.func.block_by_label("loop").unwrap();
+            pipeline_while_loop(&mut wp.func, body, &mdes, true)
+                .expect("kernel is pipelinable")
+        };
+        let pipelined = run(&w, &wp.func);
+        rows.push((w.name.clone(), acyclic, pipelined, info.ii, info.stages));
+    }
+    rows
+}
+
+/// **Ablation A3**: sentinel-insertion overhead — static sentinels
+/// inserted, dynamic sentinel instructions executed, and their share of
+/// all dynamic instructions, per benchmark at a given width.
+pub fn sentinel_overhead(width: usize) -> Vec<(String, usize, u64, f64)> {
+    let workloads = suite::suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let m = measure(w, &MeasureConfig::paper(SchedulingModel::Sentinel, width));
+            let static_sentinels = m.sched.checks_inserted + m.sched.confirms_inserted;
+            let dynamic = m.stats.dyn_checks + m.stats.dyn_confirms;
+            let share = dynamic as f64 / m.stats.dyn_insns as f64;
+            (w.name.clone(), static_sentinels, dynamic, share)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geo_mean(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing")]
+    fn geo_mean_empty_panics() {
+        geo_mean(&[]);
+    }
+}

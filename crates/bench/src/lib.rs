@@ -1,0 +1,20 @@
+//! Experiment harness for the sentinel scheduling reproduction.
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5):
+//!
+//! * [`figures::figure4`] — sentinel (S) vs restricted percolation (R),
+//! * [`figures::figure5`] — general percolation (G) vs S vs speculative
+//!   stores (T),
+//! * ablations: store-buffer size sweep, recovery-constraint cost, and
+//!   sentinel-insertion overhead.
+//!
+//! The `reproduce` binary prints the rows; the Criterion benches under
+//! `benches/` time the scheduler and simulator and re-derive the figure
+//! series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,114 @@
+//! Plain-text and CSV report emitters for the figure data.
+
+use std::fmt::Write as _;
+
+use sentinel_core::SchedulingModel;
+use sentinel_workloads::BenchClass;
+
+use crate::figures::{mean_improvement, BenchSpeedups, WIDTHS};
+
+/// Renders a figure's speedups as an aligned text table: one row per
+/// benchmark, one column per (model, width).
+pub fn speedup_table(rows: &[BenchSpeedups], models: &[SchedulingModel]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<12}", "benchmark");
+    for &m in models {
+        for &w in &WIDTHS {
+            let _ = write!(out, "{:>9}", format!("{}x{}", m.tag(), w));
+        }
+    }
+    let _ = writeln!(out);
+    for r in rows {
+        let _ = write!(out, "{:<12}", r.bench);
+        for &m in models {
+            for &w in &WIDTHS {
+                let _ = write!(out, "{:>9.2}", r.speedup(m, w));
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the same data as CSV (`benchmark,class,model,width,speedup`).
+pub fn speedup_csv(rows: &[BenchSpeedups], models: &[SchedulingModel]) -> String {
+    let mut out = String::from("benchmark,class,model,width,speedup\n");
+    for r in rows {
+        for &m in models {
+            for &w in &WIDTHS {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{:.4}",
+                    r.bench,
+                    r.class,
+                    m.tag(),
+                    w,
+                    r.speedup(m, w)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// The paper's §5.2 headline statistics for a figure's data: mean
+/// improvement of `a` over `b` per class and width, as percentages.
+pub fn improvement_summary(
+    rows: &[BenchSpeedups],
+    a: SchedulingModel,
+    b: SchedulingModel,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mean improvement of {} over {} (geometric):", a.tag(), b.tag());
+    for &w in &WIDTHS {
+        let nn = (mean_improvement(rows, a, b, w, Some(BenchClass::NonNumeric)) - 1.0) * 100.0;
+        let nu = (mean_improvement(rows, a, b, w, Some(BenchClass::Numeric)) - 1.0) * 100.0;
+        let all = (mean_improvement(rows, a, b, w, None) - 1.0) * 100.0;
+        let _ = writeln!(
+            out,
+            "  issue {w}: non-numeric {nn:+6.1}%   numeric {nu:+6.1}%   all {all:+6.1}%"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::measure_workloads;
+    use sentinel_workloads::{generate, WorkloadSpec};
+
+    fn tiny_rows() -> Vec<BenchSpeedups> {
+        let mut s = WorkloadSpec::test_default("tiny", 3);
+        s.iterations = 10;
+        let w = generate(&s);
+        measure_workloads(
+            &[w],
+            &[
+                SchedulingModel::RestrictedPercolation,
+                SchedulingModel::Sentinel,
+            ],
+        )
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = tiny_rows();
+        let models = [
+            SchedulingModel::RestrictedPercolation,
+            SchedulingModel::Sentinel,
+        ];
+        let t = speedup_table(&rows, &models);
+        assert!(t.contains("tiny"));
+        assert!(t.contains("Rx2") && t.contains("Sx8"));
+        let csv = speedup_csv(&rows, &models);
+        assert!(csv.lines().count() >= 7); // header + 6 data rows
+        assert!(csv.starts_with("benchmark,"));
+        let sum = improvement_summary(
+            &rows,
+            SchedulingModel::Sentinel,
+            SchedulingModel::RestrictedPercolation,
+        );
+        assert!(sum.contains("issue 8"));
+    }
+}

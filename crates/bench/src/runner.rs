@@ -1,0 +1,210 @@
+//! Workload execution: schedule → simulate → measure.
+
+use sentinel_core::{schedule_function, SchedOptions, SchedStats, SchedulingModel};
+use sentinel_isa::MachineDesc;
+use sentinel_sim::reference::{RefOutcome, Reference};
+use sentinel_sim::verify::{compare_runs, CompareSpec};
+use sentinel_sim::{Machine, Memory, RunOutcome, SimConfig, SpeculationSemantics, Stats};
+use sentinel_workloads::Workload;
+
+/// One measured run of a workload under a model and machine.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub bench: String,
+    /// Scheduling model.
+    pub model: SchedulingModel,
+    /// Issue width.
+    pub width: usize,
+    /// Execution cycles (the paper's metric).
+    pub cycles: u64,
+    /// Simulator statistics.
+    pub stats: Stats,
+    /// Scheduler statistics.
+    pub sched: SchedStats,
+}
+
+/// Configuration knobs for a measurement.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Issue width (1, 2, 4, 8 in the paper).
+    pub width: usize,
+    /// Scheduling model.
+    pub model: SchedulingModel,
+    /// Enforce the §3.7 recovery constraints during scheduling.
+    pub recovery: bool,
+    /// Store-buffer entries (8 on the paper's machine).
+    pub store_buffer: usize,
+    /// Verify the run against the sequential reference (slower; used by
+    /// tests and spot checks).
+    pub verify: bool,
+    /// Optional timing-only data cache (`None` = the paper's 100%-hit
+    /// assumption).
+    pub cache: Option<sentinel_sim::cache::CacheConfig>,
+}
+
+impl MeasureConfig {
+    /// The paper's configuration for a model and width.
+    pub fn paper(model: SchedulingModel, width: usize) -> MeasureConfig {
+        MeasureConfig {
+            width,
+            model,
+            recovery: false,
+            store_buffer: 8,
+            verify: false,
+            cache: None,
+        }
+    }
+}
+
+/// Applies a workload's memory image to a simulator or reference memory.
+pub fn apply_memory(w: &Workload, mem: &mut Memory) {
+    for &(start, len) in &w.mem_regions {
+        mem.map_region(start, len);
+    }
+    for &(addr, bits) in &w.mem_words {
+        mem.write_word(addr, bits).expect("image word in mapped region");
+    }
+}
+
+/// The speculative-fault semantics each scheduling model runs under.
+pub fn semantics_for(model: SchedulingModel) -> SpeculationSemantics {
+    match model {
+        SchedulingModel::GeneralPercolation => SpeculationSemantics::Silent,
+        _ => SpeculationSemantics::SentinelTags,
+    }
+}
+
+/// Schedules and executes a workload, returning the measurement.
+///
+/// # Panics
+///
+/// Panics if the schedule fails, the run does not halt, or (with
+/// `verify`) the outcome diverges from the sequential reference — all of
+/// which indicate bugs, not measurement conditions.
+pub fn measure(w: &Workload, cfg: &MeasureConfig) -> Measurement {
+    let mdes = MachineDesc::builder()
+        .issue_width(cfg.width)
+        .store_buffer_size(cfg.store_buffer)
+        .build();
+    let mut opts = SchedOptions::new(cfg.model);
+    if cfg.recovery {
+        opts = opts.with_recovery();
+    }
+    let sched = schedule_function(&w.func, &mdes, &opts)
+        .unwrap_or_else(|e| panic!("{}: schedule failed: {e}", w.name));
+
+    let mut sim_cfg = SimConfig::for_mdes(mdes);
+    sim_cfg.semantics = semantics_for(cfg.model);
+    sim_cfg.cache = cfg.cache.clone();
+    let mut m = Machine::new(&sched.func, sim_cfg);
+    apply_memory(w, m.memory_mut());
+    let outcome = m
+        .run()
+        .unwrap_or_else(|e| panic!("{} [{} w{}]: {e}", w.name, cfg.model.tag(), cfg.width));
+    assert_eq!(
+        outcome,
+        RunOutcome::Halted,
+        "{} [{} w{}]: unexpected trap {outcome:?}",
+        w.name,
+        cfg.model.tag(),
+        cfg.width
+    );
+
+    if cfg.verify {
+        let mut r = Reference::new(&w.func);
+        apply_memory(w, r.memory_mut());
+        let ro = r.run().expect("reference run");
+        assert_eq!(ro, RefOutcome::Halted);
+        let divs = compare_runs(
+            &m,
+            outcome,
+            &r,
+            ro,
+            &CompareSpec::precise(w.live_out.clone()),
+        );
+        assert!(
+            divs.is_empty(),
+            "{} [{} w{}]: diverges from reference: {divs:?}",
+            w.name,
+            cfg.model.tag(),
+            cfg.width
+        );
+    }
+
+    Measurement {
+        bench: w.name.clone(),
+        model: cfg.model,
+        width: cfg.width,
+        cycles: m.stats().cycles,
+        stats: *m.stats(),
+        sched: sched.stats,
+    }
+}
+
+/// Cycles of the paper's *base machine*: issue 1, restricted percolation.
+pub fn base_cycles(w: &Workload) -> u64 {
+    measure(
+        w,
+        &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 1),
+    )
+    .cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_workloads::{generate, WorkloadSpec};
+
+    fn small() -> Workload {
+        let mut s = WorkloadSpec::test_default("small", 7);
+        s.iterations = 25;
+        generate(&s)
+    }
+
+    #[test]
+    fn measure_runs_and_verifies() {
+        let w = small();
+        for model in SchedulingModel::all() {
+            // General percolation is excluded from precise verification by
+            // design; the others must match the oracle exactly.
+            let mut cfg = MeasureConfig::paper(model, 4);
+            cfg.verify = model != SchedulingModel::GeneralPercolation;
+            let m = measure(&w, &cfg);
+            assert!(m.cycles > 0);
+            assert!(m.stats.dyn_insns > 0);
+        }
+    }
+
+    #[test]
+    fn wider_machines_are_not_slower() {
+        let w = small();
+        let c1 = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 1)).cycles;
+        let c8 = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8)).cycles;
+        assert!(c8 <= c1, "issue-8 {c8} vs issue-1 {c1}");
+    }
+
+    #[test]
+    fn sentinel_not_slower_than_restricted() {
+        let w = small();
+        let r = measure(
+            &w,
+            &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 8),
+        )
+        .cycles;
+        let s = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8)).cycles;
+        assert!(s <= r, "sentinel {s} vs restricted {r}");
+    }
+
+    #[test]
+    fn base_machine_is_issue_one_restricted() {
+        let w = small();
+        let b = base_cycles(&w);
+        let direct = measure(
+            &w,
+            &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 1),
+        )
+        .cycles;
+        assert_eq!(b, direct);
+    }
+}

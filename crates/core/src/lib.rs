@@ -1,0 +1,55 @@
+//! Sentinel scheduling — the paper's primary contribution.
+//!
+//! This crate implements the compile-time half of *Sentinel Scheduling for
+//! VLIW and Superscalar Processors* (Mahlke et al., ASPLOS 1992):
+//!
+//! * [`depgraph`] — superblock dependence graphs (register, memory,
+//!   control, and ordering dependences),
+//! * [`reduction`] — the Appendix algorithm: control-dependence removal
+//!   per scheduling model plus protected/unprotected marking,
+//! * [`list`] — the modified list scheduler that sets speculative
+//!   modifiers and inserts `check_exception` / `confirm_store` sentinels
+//!   into home blocks (§3.3, §4.2),
+//! * [`recovery`] — the §3.7 renaming transformation and restartable
+//!   sequence support,
+//! * [`uninit`] — §3.5 `clear_tag` insertion, and
+//! * [`schedule_function`] / [`schedule_program`] — the end-to-end
+//!   pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_core::{schedule_program, SchedulingModel};
+//! use sentinel_isa::MachineDesc;
+//! use sentinel_prog::examples::figure1;
+//!
+//! let scheduled = schedule_program(
+//!     &figure1(),
+//!     &MachineDesc::paper_issue(8),
+//!     SchedulingModel::Sentinel,
+//! )?;
+//! // Speculated loads now carry the speculative modifier.
+//! let main = scheduled.entry();
+//! assert!(scheduled.block(main).insns.iter().any(|i| i.speculative));
+//! # Ok::<(), sentinel_core::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod depgraph;
+pub mod list;
+pub mod modulo;
+pub mod recovery;
+pub mod reduction;
+pub mod regalloc;
+pub mod uninit;
+
+mod models;
+mod pipeline;
+
+pub use list::{BlockSchedStats, BlockSchedule};
+pub use models::{SchedOptions, SchedulingModel};
+pub use pipeline::{
+    schedule_function, schedule_program, SchedStats, ScheduleError, ScheduledProgram,
+};

@@ -1,0 +1,226 @@
+//! Scheduling models (paper §2 and §3).
+
+use std::fmt;
+
+use sentinel_isa::Opcode;
+
+/// The four compared scheduling models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulingModel {
+    /// **R** — restricted percolation (§2.2): both restrictions enforced;
+    /// only provably non-trapping instructions may move above branches.
+    RestrictedPercolation,
+    /// **G** — general percolation (§2.4): trapping instructions move
+    /// above branches as *silent* versions; exceptions may be lost. Stores
+    /// never move.
+    GeneralPercolation,
+    /// **S** — sentinel scheduling (§3): full speculation of non-store
+    /// instructions with precise exception detection via exception tags
+    /// and sentinels.
+    Sentinel,
+    /// **T** — sentinel scheduling with speculative stores (§4): adds
+    /// store motion above branches via the probationary store buffer and
+    /// `confirm_store` sentinels.
+    SentinelStores,
+    /// **B** — instruction boosting (§2.3, Smith/Lam/Horowitz): results of
+    /// instructions moved above branches are buffered in shadow register
+    /// files and shadow store buffers until the branches resolve. Neither
+    /// scheduling restriction applies, but an instruction may cross at
+    /// most this many branches (the hardware provides that many shadow
+    /// levels).
+    Boosting(u8),
+}
+
+impl SchedulingModel {
+    /// Whether this model may move `op` above a branch at all
+    /// (restriction (2) handling; restriction (1) — destination liveness —
+    /// is checked separately).
+    pub fn may_speculate(self, op: Opcode) -> bool {
+        if !op.may_be_speculative() {
+            return false;
+        }
+        match self {
+            SchedulingModel::RestrictedPercolation => !op.can_trap(),
+            SchedulingModel::GeneralPercolation | SchedulingModel::Sentinel => !op.is_store(),
+            SchedulingModel::SentinelStores => true,
+            SchedulingModel::Boosting(levels) => levels > 0,
+        }
+    }
+
+    /// Whether the model requires sentinel bookkeeping (exception tags,
+    /// `check_exception`, `confirm_store`).
+    pub fn uses_sentinels(self) -> bool {
+        matches!(self, SchedulingModel::Sentinel | SchedulingModel::SentinelStores)
+    }
+
+    /// Whether stores may move above branches (via probationary store
+    /// buffers under model T, or shadow store buffers under boosting).
+    pub fn speculative_stores(self) -> bool {
+        matches!(
+            self,
+            SchedulingModel::SentinelStores | SchedulingModel::Boosting(_)
+        )
+    }
+
+    /// The boosting level limit, if this is the boosting model.
+    pub fn boost_levels(self) -> Option<u8> {
+        match self {
+            SchedulingModel::Boosting(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Whether the model enforces restriction (1) — destination liveness
+    /// at branch targets. Boosting does not (§2.3 "the scheduler enforces
+    /// neither restriction"): the shadow register file undoes wrong-path
+    /// writes in hardware.
+    pub fn enforces_liveness_restriction(self) -> bool {
+        !matches!(self, SchedulingModel::Boosting(_))
+    }
+
+    /// All models, in the paper's presentation order.
+    pub fn all() -> [SchedulingModel; 4] {
+        [
+            SchedulingModel::RestrictedPercolation,
+            SchedulingModel::GeneralPercolation,
+            SchedulingModel::Sentinel,
+            SchedulingModel::SentinelStores,
+        ]
+    }
+
+    /// The single-letter tag used in the paper's figures.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SchedulingModel::RestrictedPercolation => "R",
+            SchedulingModel::GeneralPercolation => "G",
+            SchedulingModel::Sentinel => "S",
+            SchedulingModel::SentinelStores => "T",
+            SchedulingModel::Boosting(_) => "B",
+        }
+    }
+}
+
+impl fmt::Display for SchedulingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingModel::RestrictedPercolation => f.write_str("restricted percolation"),
+            SchedulingModel::GeneralPercolation => f.write_str("general percolation"),
+            SchedulingModel::Sentinel => f.write_str("sentinel scheduling"),
+            SchedulingModel::SentinelStores => {
+                f.write_str("sentinel scheduling with speculative stores")
+            }
+            SchedulingModel::Boosting(n) => write!(f, "instruction boosting ({n} level(s))"),
+        }
+    }
+}
+
+/// Scheduler options.
+#[derive(Debug, Clone)]
+pub struct SchedOptions {
+    /// The scheduling model.
+    pub model: SchedulingModel,
+    /// Enforce the restartable-sequence constraints of §3.7 so that every
+    /// signaled exception can be recovered by re-execution.
+    pub recovery: bool,
+    /// Insert `clear_tag` instructions for registers live into the entry
+    /// block (§3.5 uninitialized-data handling).
+    pub clear_uninitialized: bool,
+    /// Run register allocation after scheduling, mapping
+    /// renaming-introduced virtual registers back to architectural ones
+    /// (§3.7 "Register Allocator Support"), spilling with the
+    /// tag-preserving instructions when needed.
+    pub allocate: bool,
+}
+
+impl SchedOptions {
+    /// Options for a model with recovery and uninitialized-tag clearing
+    /// disabled (the paper's §5 measurement configuration).
+    pub fn new(model: SchedulingModel) -> SchedOptions {
+        SchedOptions {
+            model,
+            recovery: false,
+            clear_uninitialized: false,
+            allocate: false,
+        }
+    }
+
+    /// Enables post-scheduling register allocation (§3.7).
+    pub fn with_allocation(mut self) -> Self {
+        self.allocate = true;
+        self
+    }
+
+    /// Enables the §3.7 recovery constraints.
+    pub fn with_recovery(mut self) -> Self {
+        self.recovery = true;
+        self
+    }
+
+    /// Enables §3.5 uninitialized-tag clearing.
+    pub fn with_clear_uninitialized(mut self) -> Self {
+        self.clear_uninitialized = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restricted_blocks_trapping_ops() {
+        let m = SchedulingModel::RestrictedPercolation;
+        assert!(m.may_speculate(Opcode::Add));
+        assert!(!m.may_speculate(Opcode::LdW));
+        assert!(!m.may_speculate(Opcode::Div));
+        assert!(!m.may_speculate(Opcode::FAdd));
+        assert!(!m.may_speculate(Opcode::StW));
+    }
+
+    #[test]
+    fn general_and_sentinel_allow_trapping_but_not_stores() {
+        for m in [SchedulingModel::GeneralPercolation, SchedulingModel::Sentinel] {
+            assert!(m.may_speculate(Opcode::LdW));
+            assert!(m.may_speculate(Opcode::Div));
+            assert!(m.may_speculate(Opcode::FDiv));
+            assert!(!m.may_speculate(Opcode::StW));
+            assert!(!m.may_speculate(Opcode::FSt));
+        }
+    }
+
+    #[test]
+    fn sentinel_stores_allows_stores() {
+        let m = SchedulingModel::SentinelStores;
+        assert!(m.may_speculate(Opcode::StW));
+        assert!(m.may_speculate(Opcode::LdW));
+    }
+
+    #[test]
+    fn control_never_speculates() {
+        for m in SchedulingModel::all() {
+            assert!(!m.may_speculate(Opcode::Beq));
+            assert!(!m.may_speculate(Opcode::Jsr));
+            assert!(!m.may_speculate(Opcode::Halt));
+            assert!(!m.may_speculate(Opcode::CheckExcept));
+        }
+    }
+
+    #[test]
+    fn tags_and_display() {
+        assert_eq!(SchedulingModel::Sentinel.tag(), "S");
+        assert_eq!(SchedulingModel::SentinelStores.tag(), "T");
+        assert!(SchedulingModel::GeneralPercolation
+            .to_string()
+            .contains("general"));
+        assert!(SchedulingModel::Sentinel.uses_sentinels());
+        assert!(!SchedulingModel::GeneralPercolation.uses_sentinels());
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = SchedOptions::new(SchedulingModel::Sentinel)
+            .with_recovery()
+            .with_clear_uninitialized();
+        assert!(o.recovery && o.clear_uninitialized);
+    }
+}

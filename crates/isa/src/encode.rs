@@ -1,0 +1,277 @@
+//! Binary instruction encoding.
+//!
+//! The paper's first architectural extension is "an additional bit in the
+//! opcode field of an instruction to represent a speculatively executed
+//! instruction" (§3.2). This module makes that concrete: a wide
+//! (two-64-bit-word) VLIW-style encoding with an explicit **speculative
+//! modifier bit**, a 3-bit **boost level** field (§2.3), and a full
+//! 64-bit immediate slot (constant-extender style, as wide VLIW encodings
+//! provide).
+//!
+//! Word 0 layout (LSB first):
+//!
+//! ```text
+//! bits  0..6   opcode ordinal
+//! bit   6      speculative modifier
+//! bits  7..10  boost level (0-7)
+//! bits 10..18  dest  operand: [present|class|index(6)]
+//! bits 18..26  src1  operand
+//! bits 26..34  src2  operand
+//! bit  34      has branch target
+//! bits 35..63  branch target block id (28 bits)
+//! ```
+//!
+//! Word 1 is the raw 64-bit immediate.
+//!
+//! Only *architectural* registers (index < 64) are encodable: programs
+//! still carrying the scheduler's virtual registers must run register
+//! allocation first.
+
+use crate::{BlockId, Insn, InsnId, Opcode, Reg, RegClass};
+
+/// Encoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A register index exceeds the 6-bit architectural field (virtual
+    /// registers must be allocated before encoding).
+    RegisterOutOfRange(Reg),
+    /// A branch target block id exceeds the 28-bit field.
+    TargetOutOfRange(BlockId),
+    /// Boost level exceeds the 3-bit field.
+    BoostOutOfRange(u8),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::RegisterOutOfRange(r) => {
+                write!(f, "register {r} does not fit the architectural encoding")
+            }
+            EncodeError::TargetOutOfRange(b) => write!(f, "branch target {b} out of range"),
+            EncodeError::BoostOutOfRange(k) => write!(f, "boost level {k} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode ordinal does not name an opcode.
+    BadOpcode(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(o) => write!(f, "unknown opcode ordinal {o}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn opcode_ordinal(op: Opcode) -> u64 {
+    Opcode::all().iter().position(|o| *o == op).expect("opcode in table") as u64
+}
+
+fn encode_operand(r: Option<Reg>) -> Result<u64, EncodeError> {
+    match r {
+        None => Ok(0),
+        Some(r) => {
+            if r.index() >= 64 {
+                return Err(EncodeError::RegisterOutOfRange(r));
+            }
+            let class = match r.class() {
+                RegClass::Int => 0u64,
+                RegClass::Fp => 1u64,
+            };
+            Ok(0b1000_0000 | (class << 6) | r.index() as u64)
+        }
+    }
+}
+
+fn decode_operand(bits: u64) -> Option<Reg> {
+    if bits & 0b1000_0000 == 0 {
+        return None;
+    }
+    let index = (bits & 0x3F) as u16;
+    if bits & 0b0100_0000 != 0 {
+        Some(Reg::fp(index))
+    } else {
+        Some(Reg::int(index))
+    }
+}
+
+/// Encodes one instruction into two 64-bit words.
+///
+/// # Errors
+///
+/// See [`EncodeError`]. The instruction id is *not* encoded (it is a
+/// compiler-side artifact); decoding yields [`InsnId::UNASSIGNED`].
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_isa::encode::{decode_insn, encode_insn};
+/// use sentinel_isa::{Insn, Reg};
+///
+/// let ld = Insn::ld_w(Reg::int(1), Reg::int(2), 16).speculated();
+/// let words = encode_insn(&ld)?;
+/// let back = decode_insn(words)?;
+/// assert!(back.speculative);
+/// assert_eq!(back.imm, 16);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode_insn(insn: &Insn) -> Result<[u64; 2], EncodeError> {
+    if insn.boost > 7 {
+        return Err(EncodeError::BoostOutOfRange(insn.boost));
+    }
+    let mut w0 = opcode_ordinal(insn.op);
+    debug_assert!(w0 < 64, "opcode table exceeds 6 bits");
+    if insn.speculative {
+        w0 |= 1 << 6;
+    }
+    w0 |= (insn.boost as u64) << 7;
+    w0 |= encode_operand(insn.dest)? << 10;
+    w0 |= encode_operand(insn.src1)? << 18;
+    w0 |= encode_operand(insn.src2)? << 26;
+    if let Some(t) = insn.target {
+        if u64::from(t.0) >= 1 << 28 {
+            return Err(EncodeError::TargetOutOfRange(t));
+        }
+        w0 |= 1 << 34;
+        w0 |= u64::from(t.0) << 35;
+    }
+    Ok([w0, insn.imm as u64])
+}
+
+/// Decodes two words into an instruction (id unassigned).
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+pub fn decode_insn(words: [u64; 2]) -> Result<Insn, DecodeError> {
+    let [w0, w1] = words;
+    let ordinal = (w0 & 0x3F) as u8;
+    let op = *Opcode::all()
+        .get(ordinal as usize)
+        .ok_or(DecodeError::BadOpcode(ordinal))?;
+    let mut insn = Insn::new(op);
+    insn.speculative = w0 & (1 << 6) != 0;
+    insn.boost = ((w0 >> 7) & 0b111) as u8;
+    insn.dest = decode_operand((w0 >> 10) & 0xFF);
+    insn.src1 = decode_operand((w0 >> 18) & 0xFF);
+    insn.src2 = decode_operand((w0 >> 26) & 0xFF);
+    if w0 & (1 << 34) != 0 {
+        insn.target = Some(BlockId(((w0 >> 35) & ((1 << 28) - 1)) as u32));
+    }
+    insn.imm = w1 as i64;
+    insn.id = InsnId::UNASSIGNED;
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(insn: Insn) -> Insn {
+        let words = encode_insn(&insn).expect("encode");
+        decode_insn(words).expect("decode")
+    }
+
+    fn eq_modulo_id(a: &Insn, b: &Insn) -> bool {
+        a.op == b.op
+            && a.dest == b.dest
+            && a.src1 == b.src1
+            && a.src2 == b.src2
+            && a.imm == b.imm
+            && a.target == b.target
+            && a.speculative == b.speculative
+            && a.boost == b.boost
+    }
+
+    #[test]
+    fn roundtrips_every_opcode_shape() {
+        let r = Reg::int(5);
+        let q = Reg::int(63);
+        let fr = Reg::fp(0);
+        let fq = Reg::fp(63);
+        let samples = vec![
+            Insn::nop(),
+            Insn::li(r, -1),
+            Insn::li(r, i64::MAX),
+            Insn::li(r, i64::MIN),
+            Insn::fli(fr, 2.5),
+            Insn::alu(Opcode::Add, r, q, q),
+            Insn::alu(Opcode::FMul, fr, fq, fq),
+            Insn::ld_w(r, q, 0x7FFF),
+            Insn::st_w(r, q, -8),
+            Insn::branch(Opcode::Blt, r, q, BlockId(12345)),
+            Insn::jump(BlockId((1 << 28) - 1)),
+            Insn::check_exception(r),
+            Insn::confirm_store(7),
+            Insn::clear_tag(fq),
+            Insn::ld_w(r, q, 0).speculated(),
+            Insn::st_w(r, q, 0).boosted(7),
+            Insn::jsr(),
+            Insn::halt(),
+        ];
+        for s in samples {
+            let back = roundtrip(s.clone());
+            assert!(eq_modulo_id(&s, &back), "{s} != {back}");
+        }
+    }
+
+    #[test]
+    fn speculative_bit_is_bit_6() {
+        let plain = encode_insn(&Insn::ld_w(Reg::int(1), Reg::int(2), 0)).unwrap();
+        let spec = encode_insn(&Insn::ld_w(Reg::int(1), Reg::int(2), 0).speculated()).unwrap();
+        assert_eq!(plain[0] ^ spec[0], 1 << 6, "exactly the modifier bit differs");
+        assert_eq!(plain[1], spec[1]);
+    }
+
+    #[test]
+    fn virtual_registers_rejected() {
+        let i = Insn::addi(Reg::int(100), Reg::int(1), 1);
+        assert_eq!(
+            encode_insn(&i),
+            Err(EncodeError::RegisterOutOfRange(Reg::int(100)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_boost_and_target_rejected() {
+        let b = Insn::li(Reg::int(1), 0).boosted(8);
+        assert_eq!(encode_insn(&b), Err(EncodeError::BoostOutOfRange(8)));
+        let j = Insn::jump(BlockId(1 << 28));
+        assert_eq!(
+            encode_insn(&j),
+            Err(EncodeError::TargetOutOfRange(BlockId(1 << 28)))
+        );
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode_insn([63, 0]), Err(DecodeError::BadOpcode(63)));
+    }
+
+    #[test]
+    fn fp_and_int_operand_classes_distinguished() {
+        let i = Insn::alu(Opcode::FAdd, Reg::fp(3), Reg::fp(3), Reg::fp(3));
+        let back = roundtrip(i.clone());
+        assert_eq!(back.dest, Some(Reg::fp(3)));
+        let j = Insn::alu(Opcode::Add, Reg::int(3), Reg::int(3), Reg::int(3));
+        assert_eq!(roundtrip(j).dest, Some(Reg::int(3)));
+    }
+
+    #[test]
+    fn fli_bits_survive() {
+        for v in [0.0, -0.0, f64::NAN, f64::INFINITY, 1.5e-300] {
+            let i = Insn::fli(Reg::fp(1), v);
+            let back = roundtrip(i.clone());
+            assert_eq!(back.imm, i.imm, "bits of {v}");
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Instructions.
+
+use std::fmt;
+
+use crate::{BlockId, Opcode, Reg};
+
+/// Unique identifier of an instruction within a function.
+///
+/// Ids are assigned by the program builder and survive scheduling: the
+/// scheduler uses them to track each instruction's *home block* and to
+/// connect speculated instructions to their sentinels, and the simulator
+/// reports them as the architectural "PC" of an instruction (the paper's
+/// PC History Queue, §3.2, exists to recover exactly this value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InsnId(pub u32);
+
+impl InsnId {
+    /// Sentinel value for an instruction not yet inserted into a function.
+    pub const UNASSIGNED: InsnId = InsnId(u32::MAX);
+
+    /// Returns the raw id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InsnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// A machine instruction.
+///
+/// Instructions use a three-address form with up to two register sources,
+/// one immediate, an optional register destination, and an optional branch
+/// target. The [`Insn::speculative`] flag is the paper's *speculative
+/// modifier* bit (§3.2): the compiler sets it on every instruction moved
+/// above one or more branches, and the hardware uses it to defer exception
+/// signaling through the register exception tags.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_isa::{Insn, Reg};
+///
+/// // r1 = mem(r2+0), speculated above a branch:
+/// let i = Insn::ld_w(Reg::int(1), Reg::int(2), 0).speculated();
+/// assert!(i.speculative);
+/// assert_eq!(i.to_string(), "ld.s r1, 0(r2)");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insn {
+    /// Unique id within the containing function ([`InsnId::UNASSIGNED`]
+    /// until inserted).
+    pub id: InsnId,
+    /// The opcode.
+    pub op: Opcode,
+    /// Destination register, if any. A destination of `r0` is
+    /// architecturally discarded.
+    pub dest: Option<Reg>,
+    /// First source register. For stores this is the *value* operand.
+    pub src1: Option<Reg>,
+    /// Second source register. For memory operations this is the *base
+    /// address* operand.
+    pub src2: Option<Reg>,
+    /// Immediate operand: constant for `li`/`addi`-style ops, address
+    /// offset for memory ops, store-buffer index for `confirm`, and the
+    /// raw `f64` bits for `fli`.
+    pub imm: i64,
+    /// Branch target for control-transfer instructions.
+    pub target: Option<BlockId>,
+    /// The speculative modifier (paper §3.2).
+    pub speculative: bool,
+    /// Boosting level (paper §2.3): the number of branches this
+    /// instruction was *boosted* above. Non-zero only under the
+    /// instruction-boosting scheduling model; its result is buffered in
+    /// the shadow register file (or shadow store buffer) until that many
+    /// branches resolve as correctly predicted. Mutually exclusive with
+    /// [`Insn::speculative`].
+    pub boost: u8,
+}
+
+impl Insn {
+    /// Creates a bare instruction with no operands.
+    pub fn new(op: Opcode) -> Insn {
+        Insn {
+            id: InsnId::UNASSIGNED,
+            op,
+            dest: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+            target: None,
+            speculative: false,
+            boost: 0,
+        }
+    }
+
+    // ---- construction helpers ------------------------------------------
+
+    /// `nop`.
+    pub fn nop() -> Insn {
+        Insn::new(Opcode::Nop)
+    }
+
+    /// `li rd, imm`.
+    pub fn li(rd: Reg, imm: i64) -> Insn {
+        Insn {
+            dest: Some(rd),
+            imm,
+            ..Insn::new(Opcode::Li)
+        }
+    }
+
+    /// `fli fd, value` (bits carried in the immediate field).
+    pub fn fli(fd: Reg, value: f64) -> Insn {
+        Insn {
+            dest: Some(fd),
+            imm: value.to_bits() as i64,
+            ..Insn::new(Opcode::FLi)
+        }
+    }
+
+    /// `mov rd, rs`.
+    pub fn mov(rd: Reg, rs: Reg) -> Insn {
+        Insn {
+            dest: Some(rd),
+            src1: Some(rs),
+            ..Insn::new(Opcode::Mov)
+        }
+    }
+
+    /// `fmov fd, fs`.
+    pub fn fmov(fd: Reg, fs: Reg) -> Insn {
+        Insn {
+            dest: Some(fd),
+            src1: Some(fs),
+            ..Insn::new(Opcode::FMov)
+        }
+    }
+
+    /// Three-register ALU form `op rd, rs1, rs2` (also used for fp ops and
+    /// fp compares).
+    pub fn alu(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Insn {
+        Insn {
+            dest: Some(rd),
+            src1: Some(rs1),
+            src2: Some(rs2),
+            ..Insn::new(op)
+        }
+    }
+
+    /// Register-immediate ALU form `op rd, rs, imm`.
+    pub fn alui(op: Opcode, rd: Reg, rs: Reg, imm: i64) -> Insn {
+        Insn {
+            dest: Some(rd),
+            src1: Some(rs),
+            imm,
+            ..Insn::new(op)
+        }
+    }
+
+    /// `addi rd, rs, imm`.
+    pub fn addi(rd: Reg, rs: Reg, imm: i64) -> Insn {
+        Insn::alui(Opcode::AddI, rd, rs, imm)
+    }
+
+    /// Word load `ld rd, imm(base)`.
+    pub fn ld_w(rd: Reg, base: Reg, imm: i64) -> Insn {
+        Insn {
+            dest: Some(rd),
+            src2: Some(base),
+            imm,
+            ..Insn::new(Opcode::LdW)
+        }
+    }
+
+    /// Byte load `ldb rd, imm(base)`.
+    pub fn ld_b(rd: Reg, base: Reg, imm: i64) -> Insn {
+        Insn {
+            dest: Some(rd),
+            src2: Some(base),
+            imm,
+            ..Insn::new(Opcode::LdB)
+        }
+    }
+
+    /// Fp load `fld fd, imm(base)`.
+    pub fn fld(fd: Reg, base: Reg, imm: i64) -> Insn {
+        Insn {
+            dest: Some(fd),
+            src2: Some(base),
+            imm,
+            ..Insn::new(Opcode::FLd)
+        }
+    }
+
+    /// Word store `st val, imm(base)`.
+    pub fn st_w(val: Reg, base: Reg, imm: i64) -> Insn {
+        Insn {
+            src1: Some(val),
+            src2: Some(base),
+            imm,
+            ..Insn::new(Opcode::StW)
+        }
+    }
+
+    /// Byte store `stb val, imm(base)`.
+    pub fn st_b(val: Reg, base: Reg, imm: i64) -> Insn {
+        Insn {
+            src1: Some(val),
+            src2: Some(base),
+            imm,
+            ..Insn::new(Opcode::StB)
+        }
+    }
+
+    /// Fp store `fst val, imm(base)`.
+    pub fn fst(val: Reg, base: Reg, imm: i64) -> Insn {
+        Insn {
+            src1: Some(val),
+            src2: Some(base),
+            imm,
+            ..Insn::new(Opcode::FSt)
+        }
+    }
+
+    /// Tag-preserving save `st.tag rs, imm(base)` (paper §3.2).
+    pub fn st_tag(val: Reg, base: Reg, imm: i64) -> Insn {
+        Insn {
+            src1: Some(val),
+            src2: Some(base),
+            imm,
+            ..Insn::new(Opcode::StTag)
+        }
+    }
+
+    /// Tag-preserving restore `ld.tag rd, imm(base)` (paper §3.2).
+    pub fn ld_tag(rd: Reg, base: Reg, imm: i64) -> Insn {
+        Insn {
+            dest: Some(rd),
+            src2: Some(base),
+            imm,
+            ..Insn::new(Opcode::LdTag)
+        }
+    }
+
+    /// Conditional branch `op rs1, rs2, target`.
+    pub fn branch(op: Opcode, rs1: Reg, rs2: Reg, target: BlockId) -> Insn {
+        debug_assert!(op.is_cond_branch());
+        Insn {
+            src1: Some(rs1),
+            src2: Some(rs2),
+            target: Some(target),
+            ..Insn::new(op)
+        }
+    }
+
+    /// `jump target`.
+    pub fn jump(target: BlockId) -> Insn {
+        Insn {
+            target: Some(target),
+            ..Insn::new(Opcode::Jump)
+        }
+    }
+
+    /// `jsr` — opaque subroutine call (irreversible, paper §3.7).
+    pub fn jsr() -> Insn {
+        Insn::new(Opcode::Jsr)
+    }
+
+    /// `io` — opaque I/O operation (irreversible, paper §3.7).
+    pub fn io() -> Insn {
+        Insn::new(Opcode::Io)
+    }
+
+    /// `halt`.
+    pub fn halt() -> Insn {
+        Insn::new(Opcode::Halt)
+    }
+
+    /// `check_exception(rs)` — the explicit sentinel (paper §3.2). The
+    /// destination is the hardwired-zero register, as the paper suggests
+    /// for MIPS-like ISAs.
+    pub fn check_exception(rs: Reg) -> Insn {
+        Insn {
+            dest: Some(Reg::ZERO),
+            src1: Some(rs),
+            ..Insn::new(Opcode::CheckExcept)
+        }
+    }
+
+    /// `confirm_store(index)` — confirms the probationary store-buffer
+    /// entry `index` positions from the tail (paper §4.1).
+    pub fn confirm_store(index: u32) -> Insn {
+        Insn {
+            imm: index as i64,
+            ..Insn::new(Opcode::ConfirmStore)
+        }
+    }
+
+    /// `clear_tag(rd)` — resets `rd`'s exception tag (paper §3.5).
+    pub fn clear_tag(rd: Reg) -> Insn {
+        Insn {
+            dest: Some(rd),
+            ..Insn::new(Opcode::ClearTag)
+        }
+    }
+
+    // ---- modifiers -------------------------------------------------------
+
+    /// Returns the instruction with the speculative modifier set.
+    pub fn speculated(mut self) -> Insn {
+        self.speculative = true;
+        self
+    }
+
+    /// Returns the instruction boosted above `levels` branches (§2.3).
+    pub fn boosted(mut self, levels: u8) -> Insn {
+        self.boost = levels;
+        self
+    }
+
+    /// Returns the instruction with the given id.
+    pub fn with_id(mut self, id: InsnId) -> Insn {
+        self.id = id;
+        self
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// The fp-immediate view of the `imm` field (for [`Opcode::FLi`]).
+    pub fn fimm(&self) -> f64 {
+        f64::from_bits(self.imm as u64)
+    }
+
+    /// The architectural destination: `dest`, except that writes to the
+    /// hardwired-zero register define nothing.
+    pub fn def(&self) -> Option<Reg> {
+        self.dest.filter(|r| !r.is_zero())
+    }
+
+    /// Source registers in operand order (first, then second), skipping
+    /// `r0` uses (which always read zero with a clear tag).
+    pub fn uses(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.src1, self.src2]
+            .into_iter()
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// Source registers in operand order including `r0`.
+    pub fn raw_srcs(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.src1, self.src2].into_iter().flatten()
+    }
+
+    /// Replaces every use of `from` with `to`. Returns `true` if anything
+    /// changed.
+    pub fn rename_use(&mut self, from: Reg, to: Reg) -> bool {
+        let mut changed = false;
+        if self.src1 == Some(from) {
+            self.src1 = Some(to);
+            changed = true;
+        }
+        if self.src2 == Some(from) {
+            self.src2 = Some(to);
+            changed = true;
+        }
+        changed
+    }
+
+    /// Replaces the destination if it equals `from`. Returns `true` if it
+    /// changed.
+    pub fn rename_def(&mut self, from: Reg, to: Reg) -> bool {
+        if self.dest == Some(from) {
+            self.dest = Some(to);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        let m = self.op.mnemonic();
+        let boost_suffix;
+        let s = if self.speculative {
+            ".s"
+        } else if self.boost > 0 {
+            boost_suffix = format!(".b{}", self.boost);
+            boost_suffix.as_str()
+        } else {
+            ""
+        };
+        match self.op {
+            Nop | Jsr | Io | Halt => write!(f, "{m}{s}"),
+            Li => write!(f, "{m}{s} {}, {}", self.dest.unwrap(), self.imm),
+            FLi => write!(f, "{m}{s} {}, {}", self.dest.unwrap(), self.fimm()),
+            Mov | FMov | FCvtIF | FCvtFI => {
+                write!(f, "{m}{s} {}, {}", self.dest.unwrap(), self.src1.unwrap())
+            }
+            AddI | AndI | OrI | XorI | SllI | SrlI | SltI => write!(
+                f,
+                "{m}{s} {}, {}, {}",
+                self.dest.unwrap(),
+                self.src1.unwrap(),
+                self.imm
+            ),
+            LdW | LdB | FLd | LdTag => write!(
+                f,
+                "{m}{s} {}, {}({})",
+                self.dest.unwrap(),
+                self.imm,
+                self.src2.unwrap()
+            ),
+            StW | StB | FSt | StTag => write!(
+                f,
+                "{m}{s} {}, {}({})",
+                self.src1.unwrap(),
+                self.imm,
+                self.src2.unwrap()
+            ),
+            Beq | Bne | Blt | Bge => write!(
+                f,
+                "{m}{s} {}, {}, {}",
+                self.src1.unwrap(),
+                self.src2.unwrap(),
+                self.target.unwrap()
+            ),
+            Jump => write!(f, "{m}{s} {}", self.target.unwrap()),
+            CheckExcept => write!(f, "{m}{s} {}", self.src1.unwrap()),
+            ConfirmStore => write!(f, "{m}{s} {}", self.imm),
+            ClearTag => write!(f, "{m}{s} {}", self.dest.unwrap()),
+            _ => {
+                // Generic three-register form.
+                write!(f, "{m}{s} {}", self.dest.unwrap())?;
+                for r in self.raw_srcs() {
+                    write!(f, ", {r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_ignores_zero_register() {
+        let check = Insn::check_exception(Reg::int(5));
+        assert_eq!(check.def(), None);
+        assert_eq!(check.uses().collect::<Vec<_>>(), vec![Reg::int(5)]);
+
+        let add = Insn::alu(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3));
+        assert_eq!(add.def(), Some(Reg::int(1)));
+    }
+
+    #[test]
+    fn uses_skip_zero_register() {
+        let b = Insn::branch(Opcode::Beq, Reg::int(2), Reg::ZERO, BlockId(1));
+        assert_eq!(b.uses().collect::<Vec<_>>(), vec![Reg::int(2)]);
+        assert_eq!(b.raw_srcs().count(), 2);
+    }
+
+    #[test]
+    fn store_operand_roles() {
+        let st = Insn::st_w(Reg::int(4), Reg::int(2), 8);
+        assert_eq!(st.src1, Some(Reg::int(4)), "value operand");
+        assert_eq!(st.src2, Some(Reg::int(2)), "base operand");
+        assert_eq!(st.def(), None);
+    }
+
+    #[test]
+    fn rename_helpers() {
+        let mut i = Insn::alu(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(2));
+        assert!(i.rename_use(Reg::int(2), Reg::int(9)));
+        assert_eq!(i.src1, Some(Reg::int(9)));
+        assert_eq!(i.src2, Some(Reg::int(9)));
+        assert!(!i.rename_use(Reg::int(2), Reg::int(9)));
+        assert!(i.rename_def(Reg::int(1), Reg::int(10)));
+        assert_eq!(i.dest, Some(Reg::int(10)));
+    }
+
+    #[test]
+    fn fli_roundtrips_bits() {
+        let i = Insn::fli(Reg::fp(1), 3.75);
+        assert_eq!(i.fimm(), 3.75);
+        let nan = Insn::fli(Reg::fp(1), f64::NAN);
+        assert!(nan.fimm().is_nan());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Insn::ld_w(Reg::int(1), Reg::int(2), 0).to_string(),
+            "ld r1, 0(r2)"
+        );
+        assert_eq!(
+            Insn::st_w(Reg::int(4), Reg::int(2), 4).speculated().to_string(),
+            "st.s r4, 4(r2)"
+        );
+        assert_eq!(
+            Insn::branch(Opcode::Beq, Reg::int(2), Reg::ZERO, BlockId(3)).to_string(),
+            "beq r2, r0, B3"
+        );
+        assert_eq!(Insn::check_exception(Reg::int(5)).to_string(), "check r5");
+        assert_eq!(Insn::confirm_store(2).to_string(), "confirm 2");
+        assert_eq!(
+            Insn::alu(Opcode::Add, Reg::int(4), Reg::int(1), Reg::int(3)).to_string(),
+            "add r4, r1, r3"
+        );
+        assert_eq!(Insn::li(Reg::int(7), -3).to_string(), "li r7, -3");
+    }
+
+    #[test]
+    fn speculated_sets_flag_only() {
+        let i = Insn::ld_w(Reg::int(1), Reg::int(2), 0);
+        let s = i.clone().speculated();
+        assert!(!i.speculative && s.speculative);
+        assert_eq!(i.op, s.op);
+    }
+
+    #[test]
+    fn boosted_display_and_flag() {
+        let i = Insn::ld_w(Reg::int(1), Reg::int(2), 0).boosted(2);
+        assert_eq!(i.boost, 2);
+        assert!(!i.speculative);
+        assert_eq!(i.to_string(), "ld.b2 r1, 0(r2)");
+        assert_eq!(Insn::nop().boost, 0);
+    }
+}

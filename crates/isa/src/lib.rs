@@ -1,0 +1,82 @@
+//! Instruction set architecture for the sentinel scheduling reproduction.
+//!
+//! This crate defines the RISC instruction set assumed by the paper
+//! *Sentinel Scheduling for VLIW and Superscalar Processors* (Mahlke et al.,
+//! ASPLOS 1992): a MIPS-R2000-like load/store ISA extended with
+//!
+//! * a **speculative modifier** bit on every instruction ([`Insn::speculative`]),
+//! * a **`check_exception(reg)`** instruction ([`Opcode::CheckExcept`]) used
+//!   as the explicit sentinel for speculated *unprotected* instructions,
+//! * a **`confirm_store(index)`** instruction ([`Opcode::ConfirmStore`]) used
+//!   as the sentinel for speculative stores (paper §4),
+//! * **tag-preserving spill instructions** ([`Opcode::LdTag`] /
+//!   [`Opcode::StTag`]) that save and restore a register's data *and*
+//!   exception tag without signaling (paper §3.2), and
+//! * a **`clear_tag(reg)`** instruction ([`Opcode::ClearTag`]) inserted by the
+//!   compiler for possibly-uninitialized registers (paper §3.5).
+//!
+//! The machine description ([`MachineDesc`]) captures the evaluation
+//! parameters of paper §5.1: issue rate, deterministic instruction latencies
+//! (paper Table 3), register file sizes, and the store buffer size.
+//!
+//! # Examples
+//!
+//! ```
+//! use sentinel_isa::{Insn, MachineDesc, Opcode, Reg};
+//!
+//! let mdes = MachineDesc::paper_issue(8);
+//! let load = Insn::ld_w(Reg::int(1), Reg::int(2), 0);
+//! assert!(load.op.can_trap());
+//! assert_eq!(mdes.latency(load.op), 2); // Table 3: memory load = 2 cycles
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod insn;
+mod mdes;
+mod opcode;
+mod reg;
+
+pub mod encode;
+pub mod mdes_file;
+
+pub use insn::{Insn, InsnId};
+pub use mdes::{LatencyTable, MachineDesc, MachineDescBuilder};
+pub use opcode::{OpClass, Opcode};
+pub use reg::{Reg, RegClass};
+
+/// Identifier of a basic block inside a function's layout.
+///
+/// Branch instructions name their targets by `BlockId`; the program crate
+/// resolves textual labels to ids. Blocks are laid out in program order, so
+/// the fall-through successor of block `n` is the next block in layout order
+/// (not necessarily `n + 1` after transformations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_display_and_index() {
+        let b = BlockId(7);
+        assert_eq!(b.to_string(), "B7");
+        assert_eq!(b.index(), 7);
+        assert!(BlockId(1) < BlockId(2));
+    }
+}

@@ -1,0 +1,408 @@
+//! Opcodes and their static classification.
+
+use std::fmt;
+
+/// Function-unit / latency classes, matching paper Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU (1 cycle).
+    IntAlu,
+    /// Integer multiply (3 cycles).
+    IntMul,
+    /// Integer divide (10 cycles).
+    IntDiv,
+    /// Branch (1 cycle, 1 delay slot).
+    Branch,
+    /// Memory load (2 cycles).
+    MemLoad,
+    /// Memory store (1 cycle).
+    MemStore,
+    /// Floating-point ALU (3 cycles).
+    FpAlu,
+    /// Floating-point conversion (3 cycles).
+    FpCvt,
+    /// Floating-point multiply (3 cycles).
+    FpMul,
+    /// Floating-point divide (10 cycles).
+    FpDiv,
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::Branch => "branch",
+            OpClass::MemLoad => "mem-load",
+            OpClass::MemStore => "mem-store",
+            OpClass::FpAlu => "fp-alu",
+            OpClass::FpCvt => "fp-cvt",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The instruction opcodes of the reproduction ISA.
+///
+/// The set mirrors the MIPS-R2000-like RISC assembly language assumed by the
+/// paper (§5.1) plus the sentinel-scheduling extensions:
+/// [`Opcode::CheckExcept`], [`Opcode::ConfirmStore`], [`Opcode::ClearTag`],
+/// and the tag-preserving spills [`Opcode::LdTag`] / [`Opcode::StTag`].
+///
+/// Potentially trap-causing opcodes — those for which [`Opcode::can_trap`]
+/// returns `true` — are exactly the paper's set: memory loads, memory
+/// stores, integer divide, and all floating-point arithmetic, conversion,
+/// and comparison instructions (§2.2, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are documented collectively above
+pub enum Opcode {
+    // ---- integer ALU -------------------------------------------------
+    Nop,
+    /// Load immediate: `li rd, imm`.
+    Li,
+    /// Register move: `mov rd, rs`.
+    Mov,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// Shift left logical (register count).
+    Sll,
+    /// Shift right logical (register count).
+    Srl,
+    /// Shift right arithmetic (register count).
+    Sra,
+    /// Set-less-than (signed): `slt rd, rs1, rs2`.
+    Slt,
+    /// Set-equal: `seq rd, rs1, rs2`.
+    Seq,
+    /// Add immediate: `addi rd, rs, imm`.
+    AddI,
+    /// And immediate.
+    AndI,
+    /// Or immediate.
+    OrI,
+    /// Xor immediate.
+    XorI,
+    /// Shift left logical immediate.
+    SllI,
+    /// Shift right logical immediate.
+    SrlI,
+    /// Set-less-than immediate (signed).
+    SltI,
+
+    // ---- integer multiply / divide ------------------------------------
+    Mul,
+    /// Integer divide; traps on divide-by-zero and on `i64::MIN / -1`.
+    Div,
+    /// Integer remainder; traps like [`Opcode::Div`].
+    Rem,
+
+    // ---- floating point ------------------------------------------------
+    FAdd,
+    FSub,
+    FMul,
+    /// Floating-point divide; traps on divide-by-zero and invalid operands.
+    FDiv,
+    /// Floating-point move (non-trapping pure copy).
+    FMov,
+    /// Floating-point load immediate (bits carried in the `imm` field).
+    FLi,
+    /// Convert integer to floating point: `cvt.if fd, rs`.
+    FCvtIF,
+    /// Convert floating point to integer: `cvt.fi rd, fs`; traps on NaN /
+    /// out-of-range values.
+    FCvtFI,
+    /// Floating-point less-than into an integer register; traps on NaN.
+    FLt,
+    /// Floating-point equality into an integer register; traps on NaN.
+    FEq,
+
+    // ---- memory ---------------------------------------------------------
+    /// Load 64-bit word: `ld rd, imm(rs)`.
+    LdW,
+    /// Store 64-bit word: `st rs_val, imm(rs_base)`.
+    StW,
+    /// Load byte (zero-extended).
+    LdB,
+    /// Store byte (low 8 bits).
+    StB,
+    /// Floating-point load: `fld fd, imm(rs)`.
+    FLd,
+    /// Floating-point store: `fst fs, imm(rs)`.
+    FSt,
+    /// Tag-preserving register save (paper §3.2): stores a register's data
+    /// *and* exception tag to memory without signaling on a set tag.
+    StTag,
+    /// Tag-preserving register restore (paper §3.2).
+    LdTag,
+
+    // ---- control ----------------------------------------------------------
+    /// Branch if equal: `beq rs1, rs2, target`.
+    Beq,
+    /// Branch if not equal.
+    Bne,
+    /// Branch if less-than (signed).
+    Blt,
+    /// Branch if greater-or-equal (signed).
+    Bge,
+    /// Unconditional jump.
+    Jump,
+    /// Subroutine call. Modeled as an opaque, *irreversible* instruction
+    /// (paper §3.7): it blocks speculative code motion across it and breaks
+    /// restartable sequences, but transfers no control in the simulator.
+    Jsr,
+    /// Opaque I/O operation; irreversible like [`Opcode::Jsr`].
+    Io,
+    /// Stop program execution.
+    Halt,
+
+    // ---- sentinel-scheduling extensions -----------------------------------
+    /// `check_exception(rs)`: the explicit sentinel (paper §3.2). Encoded as
+    /// a move whose destination is the hardwired-zero register, it performs
+    /// no computation; as a non-speculative instruction it signals if the
+    /// source register's exception tag is set.
+    CheckExcept,
+    /// `confirm_store(index)`: confirms the probationary store-buffer entry
+    /// `index` positions from the tail (paper §4.1).
+    ConfirmStore,
+    /// `clear_tag(rd)`: resets the exception tag of `rd`, inserted for
+    /// possibly-uninitialized registers (paper §3.5).
+    ClearTag,
+}
+
+impl Opcode {
+    /// The function-unit / latency class (paper Table 3).
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Nop | Li | Mov | Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Seq | AddI
+            | AndI | OrI | XorI | SllI | SrlI | SltI | CheckExcept | ConfirmStore | ClearTag
+            | Jsr | Io | Halt => OpClass::IntAlu,
+            Mul => OpClass::IntMul,
+            Div | Rem => OpClass::IntDiv,
+            FAdd | FSub | FMov | FLi | FLt | FEq => OpClass::FpAlu,
+            FCvtIF | FCvtFI => OpClass::FpCvt,
+            FMul => OpClass::FpMul,
+            FDiv => OpClass::FpDiv,
+            LdW | LdB | FLd | LdTag => OpClass::MemLoad,
+            StW | StB | FSt | StTag => OpClass::MemStore,
+            Beq | Bne | Blt | Bge | Jump => OpClass::Branch,
+        }
+    }
+
+    /// Returns `true` for the paper's potential trap-causing instruction
+    /// set: memory loads/stores, integer divide, and all fp arithmetic,
+    /// conversion, and comparison instructions.
+    ///
+    /// The tag-preserving spills [`Opcode::LdTag`] / [`Opcode::StTag`] are
+    /// excluded: they exist precisely to move exception state without
+    /// signaling, and we model them as non-faulting accesses to the spill
+    /// area.
+    pub fn can_trap(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            LdW | LdB | FLd | StW | StB | FSt | Div | Rem | FAdd | FSub | FMul | FDiv | FCvtIF
+                | FCvtFI | FLt | FEq
+        )
+    }
+
+    /// Returns `true` for conditional branches.
+    pub fn is_cond_branch(self) -> bool {
+        use Opcode::*;
+        matches!(self, Beq | Bne | Blt | Bge)
+    }
+
+    /// Returns `true` for any control-transfer instruction (conditional
+    /// branch, jump, or halt).
+    pub fn is_control(self) -> bool {
+        self.is_cond_branch() || matches!(self, Opcode::Jump | Opcode::Halt)
+    }
+
+    /// Returns `true` for memory loads (including tag-preserving restores).
+    pub fn is_load(self) -> bool {
+        matches!(self.class(), OpClass::MemLoad)
+    }
+
+    /// Returns `true` for memory stores (including tag-preserving saves).
+    pub fn is_store(self) -> bool {
+        matches!(self.class(), OpClass::MemStore)
+    }
+
+    /// Returns `true` for memory accesses of either direction.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for *irreversible* instructions (paper §3.7): I/O,
+    /// subroutine calls, and synchronization — instructions whose side
+    /// effects prevent re-execution and therefore break restartable
+    /// sequences and block speculative code motion across them.
+    pub fn is_irreversible(self) -> bool {
+        matches!(self, Opcode::Jsr | Opcode::Io)
+    }
+
+    /// Returns `true` if the architecture permits this opcode to carry the
+    /// speculative modifier at all (paper Appendix: "branches, subroutine
+    /// calls, and i/o instructions may not be speculatively executed").
+    ///
+    /// Store opcodes *are* architecturally speculatable (via the
+    /// probationary store buffer of §4); whether a given *scheduling model*
+    /// speculates them is decided by the scheduler, not here.
+    pub fn may_be_speculative(self) -> bool {
+        use Opcode::*;
+        !self.is_control()
+            && !self.is_irreversible()
+            && !matches!(self, CheckExcept | ConfirmStore | ClearTag)
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Nop => "nop",
+            Li => "li",
+            Mov => "mov",
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Seq => "seq",
+            AddI => "addi",
+            AndI => "andi",
+            OrI => "ori",
+            XorI => "xori",
+            SllI => "slli",
+            SrlI => "srli",
+            SltI => "slti",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FMov => "fmov",
+            FLi => "fli",
+            FCvtIF => "cvt.if",
+            FCvtFI => "cvt.fi",
+            FLt => "flt",
+            FEq => "feq",
+            LdW => "ld",
+            StW => "st",
+            LdB => "ldb",
+            StB => "stb",
+            FLd => "fld",
+            FSt => "fst",
+            StTag => "st.tag",
+            LdTag => "ld.tag",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Jump => "jump",
+            Jsr => "jsr",
+            Io => "io",
+            Halt => "halt",
+            CheckExcept => "check",
+            ConfirmStore => "confirm",
+            ClearTag => "clrtag",
+        }
+    }
+
+    /// All opcodes, in declaration order. Useful for exhaustive tests and
+    /// the assembler's mnemonic table.
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Nop, Li, Mov, Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Seq, AddI, AndI, OrI,
+            XorI, SllI, SrlI, SltI, Mul, Div, Rem, FAdd, FSub, FMul, FDiv, FMov, FLi, FCvtIF,
+            FCvtFI, FLt, FEq, LdW, StW, LdB, StB, FLd, FSt, StTag, LdTag, Beq, Bne, Blt, Bge,
+            Jump, Jsr, Io, Halt, CheckExcept, ConfirmStore, ClearTag,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_set_matches_paper() {
+        // Paper §5.1: "trap on exceptions for memory load, memory store,
+        // integer divide, and all floating point instructions."
+        for op in Opcode::all() {
+            let expected = match op.class() {
+                OpClass::MemLoad | OpClass::MemStore => {
+                    !matches!(op, Opcode::LdTag | Opcode::StTag)
+                }
+                OpClass::IntDiv => true,
+                OpClass::FpAlu | OpClass::FpCvt | OpClass::FpMul | OpClass::FpDiv => {
+                    !matches!(op, Opcode::FMov | Opcode::FLi)
+                }
+                _ => false,
+            };
+            assert_eq!(op.can_trap(), expected, "trap classification of {op}");
+        }
+    }
+
+    #[test]
+    fn control_ops_never_speculative() {
+        for op in Opcode::all() {
+            if op.is_control() || op.is_irreversible() {
+                assert!(!op.may_be_speculative(), "{op} must not be speculative");
+            }
+        }
+        assert!(!Opcode::CheckExcept.may_be_speculative());
+        assert!(!Opcode::ConfirmStore.may_be_speculative());
+        // Stores are architecturally speculatable (probationary entries).
+        assert!(Opcode::StW.may_be_speculative());
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::all() {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {op}");
+        }
+    }
+
+    #[test]
+    fn class_assignments() {
+        assert_eq!(Opcode::Add.class(), OpClass::IntAlu);
+        assert_eq!(Opcode::Mul.class(), OpClass::IntMul);
+        assert_eq!(Opcode::Div.class(), OpClass::IntDiv);
+        assert_eq!(Opcode::LdW.class(), OpClass::MemLoad);
+        assert_eq!(Opcode::StW.class(), OpClass::MemStore);
+        assert_eq!(Opcode::FAdd.class(), OpClass::FpAlu);
+        assert_eq!(Opcode::FCvtIF.class(), OpClass::FpCvt);
+        assert_eq!(Opcode::FMul.class(), OpClass::FpMul);
+        assert_eq!(Opcode::FDiv.class(), OpClass::FpDiv);
+        assert_eq!(Opcode::Beq.class(), OpClass::Branch);
+    }
+
+    #[test]
+    fn mem_predicates() {
+        assert!(Opcode::LdW.is_load());
+        assert!(!Opcode::LdW.is_store());
+        assert!(Opcode::FSt.is_store());
+        assert!(Opcode::StTag.is_mem());
+        assert!(!Opcode::Add.is_mem());
+    }
+}

@@ -1,0 +1,146 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// The two architectural register classes of the paper's machine
+/// (64 integer and 64 floating-point registers, paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// Integer register file (`r0`..`r63`). `r0` is hardwired to zero.
+    Int,
+    /// Floating-point register file (`f0`..`f63`).
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register: a class plus an index.
+///
+/// Indices above the machine's architectural count (64 per class on the
+/// paper's machine) are *virtual* registers used by the scheduler's renaming
+/// transformations before register allocation; the simulator sizes its
+/// register file to the largest index actually used so that pre-allocation
+/// code remains executable.
+///
+/// Integer register 0 ([`Reg::ZERO`]) is hardwired to zero: writes to it are
+/// discarded and its exception tag can never be set. The paper uses exactly
+/// this property to encode `check_exception` as a move to `r0` (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_isa::{Reg, RegClass};
+///
+/// let r4 = Reg::int(4);
+/// assert_eq!(r4.class(), RegClass::Int);
+/// assert_eq!(r4.to_string(), "r4");
+/// assert!(Reg::ZERO.is_zero());
+/// assert_eq!(Reg::fp(2).to_string(), "f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg {
+    class: RegClass,
+    index: u16,
+}
+
+impl Reg {
+    /// The hardwired-zero integer register `r0`.
+    pub const ZERO: Reg = Reg {
+        class: RegClass::Int,
+        index: 0,
+    };
+
+    /// Creates an integer register `r<index>`.
+    pub const fn int(index: u16) -> Reg {
+        Reg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Creates a floating-point register `f<index>`.
+    pub const fn fp(index: u16) -> Reg {
+        Reg {
+            class: RegClass::Fp,
+            index,
+        }
+    }
+
+    /// Returns the register class.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// Returns the index within the class.
+    pub fn index(self) -> u16 {
+        self.index
+    }
+
+    /// Returns `true` if this is the hardwired-zero register `r0`.
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO
+    }
+
+    /// Returns `true` for an integer register.
+    pub fn is_int(self) -> bool {
+        self.class == RegClass::Int
+    }
+
+    /// Returns `true` for a floating-point register.
+    pub fn is_fp(self) -> bool {
+        self.class == RegClass::Fp
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(Reg::int(0).is_zero());
+        assert!(!Reg::int(1).is_zero());
+        // f0 is an ordinary fp register, not the zero register.
+        assert!(!Reg::fp(0).is_zero());
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(Reg::int(3).is_int());
+        assert!(!Reg::int(3).is_fp());
+        assert!(Reg::fp(3).is_fp());
+        assert_eq!(Reg::fp(3).index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::int(63).to_string(), "r63");
+        assert_eq!(Reg::fp(0).to_string(), "f0");
+        assert_eq!(RegClass::Int.to_string(), "int");
+        assert_eq!(RegClass::Fp.to_string(), "fp");
+    }
+
+    #[test]
+    fn ordering_groups_by_class() {
+        // Int sorts before Fp; within a class, by index.
+        assert!(Reg::int(63) < Reg::fp(0));
+        assert!(Reg::int(1) < Reg::int(2));
+    }
+}

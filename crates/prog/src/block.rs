@@ -1,0 +1,116 @@
+//! Blocks: superblock-shaped extended basic blocks.
+
+use sentinel_isa::{BlockId, Insn, InsnId};
+use std::fmt;
+
+/// An extended basic block in the paper's superblock shape: single entry at
+/// the top, one or more exits (side-exit branches anywhere inside, plus the
+/// fall-through off the end).
+///
+/// Instructions appear in sequential program order. After scheduling, the
+/// order within a block is the *issue* order produced by the list
+/// scheduler; the original sequential order is recoverable through
+/// instruction ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Stable identifier (never reused within a function).
+    pub id: BlockId,
+    /// Human-readable label used by the assembler.
+    pub label: String,
+    /// Instructions in program order.
+    pub insns: Vec<Insn>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new(id: BlockId, label: impl Into<String>) -> Block {
+        Block {
+            id,
+            label: label.into(),
+            insns: Vec::new(),
+        }
+    }
+
+    /// Returns `true` if the block ends with an instruction that never
+    /// falls through (`jump` or `halt`).
+    pub fn ends_in_unconditional(&self) -> bool {
+        self.insns
+            .last()
+            .is_some_and(|i| matches!(i.op, sentinel_isa::Opcode::Jump | sentinel_isa::Opcode::Halt))
+    }
+
+    /// Branch targets of all control-transfer instructions in the block,
+    /// in program order.
+    pub fn branch_targets(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.insns.iter().filter_map(|i| i.target)
+    }
+
+    /// Finds the position of an instruction by id.
+    pub fn position_of(&self, id: InsnId) -> Option<usize> {
+        self.insns.iter().position(|i| i.id == id)
+    }
+
+    /// Number of conditional branches in the block (the superblock's side
+    /// exits).
+    pub fn side_exit_count(&self) -> usize {
+        self.insns.iter().filter(|i| i.op.is_cond_branch()).count()
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.label)?;
+        for insn in &self.insns {
+            writeln!(f, "    {insn}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_isa::{Opcode, Reg};
+
+    fn sample() -> Block {
+        let mut b = Block::new(BlockId(0), "entry");
+        b.insns.push(Insn::li(Reg::int(1), 5).with_id(InsnId(0)));
+        b.insns
+            .push(Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, BlockId(2)).with_id(InsnId(1)));
+        b.insns
+            .push(Insn::addi(Reg::int(2), Reg::int(1), 1).with_id(InsnId(2)));
+        b
+    }
+
+    #[test]
+    fn side_exits_and_targets() {
+        let b = sample();
+        assert_eq!(b.side_exit_count(), 1);
+        assert_eq!(b.branch_targets().collect::<Vec<_>>(), vec![BlockId(2)]);
+        assert!(!b.ends_in_unconditional());
+    }
+
+    #[test]
+    fn ends_in_unconditional_detects_halt_and_jump() {
+        let mut b = sample();
+        b.insns.push(Insn::halt().with_id(InsnId(3)));
+        assert!(b.ends_in_unconditional());
+        b.insns.pop();
+        b.insns.push(Insn::jump(BlockId(0)).with_id(InsnId(4)));
+        assert!(b.ends_in_unconditional());
+    }
+
+    #[test]
+    fn position_of_finds_by_id() {
+        let b = sample();
+        assert_eq!(b.position_of(InsnId(2)), Some(2));
+        assert_eq!(b.position_of(InsnId(99)), None);
+    }
+
+    #[test]
+    fn display_includes_label_and_insns() {
+        let s = sample().to_string();
+        assert!(s.starts_with("entry:"));
+        assert!(s.contains("li r1, 5"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Programmatic assembler.
+
+use sentinel_isa::{BlockId, Insn, InsnId};
+
+use crate::Function;
+
+/// A convenience builder for [`Function`]s.
+///
+/// Blocks can be created ahead of their definition (forward branch targets)
+/// with [`ProgramBuilder::block`]; instruction emission goes to the *current*
+/// block, switched with [`ProgramBuilder::switch_to`].
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_prog::ProgramBuilder;
+/// use sentinel_isa::{Insn, Opcode, Reg};
+///
+/// let mut b = ProgramBuilder::new("loop");
+/// let head = b.block("head");
+/// let done = b.block("done");
+/// b.switch_to(head);
+/// b.push(Insn::addi(Reg::int(1), Reg::int(1), -1));
+/// b.push(Insn::branch(Opcode::Bne, Reg::int(1), Reg::ZERO, head));
+/// b.switch_to(done);
+/// b.push(Insn::halt());
+/// let f = b.finish();
+/// assert_eq!(f.block_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    func: Function,
+    current: Option<BlockId>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a function with the given name.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            func: Function::new(name),
+            current: None,
+        }
+    }
+
+    /// Creates a block (appended to the layout) and makes it current if no
+    /// block is current yet.
+    pub fn block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = self.func.add_block(label);
+        if self.current.is_none() {
+            self.current = Some(id);
+        }
+        id
+    }
+
+    /// Switches emission to an existing block.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = Some(block);
+    }
+
+    /// The block currently receiving instructions.
+    pub fn current(&self) -> Option<BlockId> {
+        self.current
+    }
+
+    /// Emits an instruction into the current block and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been created yet.
+    pub fn push(&mut self, insn: Insn) -> InsnId {
+        let cur = self.current.expect("no current block; call block() first");
+        self.func.push_insn(cur, insn)
+    }
+
+    /// Emits several instructions into the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been created yet.
+    pub fn push_all<I: IntoIterator<Item = Insn>>(&mut self, insns: I) {
+        for i in insns {
+            self.push(i);
+        }
+    }
+
+    /// Finishes and returns the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_isa::Reg;
+
+    #[test]
+    fn first_block_becomes_current() {
+        let mut b = ProgramBuilder::new("f");
+        assert_eq!(b.current(), None);
+        let e = b.block("entry");
+        assert_eq!(b.current(), Some(e));
+        b.push(Insn::halt());
+        assert_eq!(b.finish().insn_count(), 1);
+    }
+
+    #[test]
+    fn forward_targets_then_fill() {
+        let mut b = ProgramBuilder::new("f");
+        let e = b.block("entry");
+        let t = b.block("target");
+        b.switch_to(e);
+        b.push(Insn::jump(t));
+        b.switch_to(t);
+        b.push(Insn::halt());
+        let f = b.finish();
+        assert_eq!(f.block(e).insns[0].target, Some(t));
+    }
+
+    #[test]
+    fn push_all_emits_in_order() {
+        let mut b = ProgramBuilder::new("f");
+        b.block("entry");
+        b.push_all([Insn::li(Reg::int(1), 1), Insn::li(Reg::int(2), 2), Insn::halt()]);
+        let f = b.finish();
+        assert_eq!(f.insn_count(), 3);
+        assert_eq!(f.block(f.entry()).insns[1].imm, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no current block")]
+    fn push_without_block_panics() {
+        let mut b = ProgramBuilder::new("f");
+        b.push(Insn::nop());
+    }
+}

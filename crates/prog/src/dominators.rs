@@ -1,0 +1,254 @@
+//! Dominator and post-dominator analysis.
+//!
+//! The paper's footnote 2 observes that "a post dominating use is
+//! sufficient to guarantee all exceptions will be detected" — the
+//! home-block placement the paper implements is the stricter, simpler
+//! policy. This analysis provides the post-dominance relation so that
+//! policy trade-off can be examined, and dominators as general CFG
+//! infrastructure.
+//!
+//! Implementation: the classic iterative dataflow formulation (Cooper,
+//! Harvey, Kennedy style sets) over block-level CFGs — simple and robust
+//! at this reproduction's scale.
+
+use std::collections::{HashMap, HashSet};
+
+use sentinel_isa::BlockId;
+
+use crate::cfg::Cfg;
+use crate::Function;
+
+/// Dominator sets: `dom(b)` = blocks through which every entry→`b` path
+/// passes (including `b`).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    dom: HashMap<BlockId, HashSet<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators over the reachable CFG.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Dominators {
+        let reachable = cfg.reachable();
+        let all: HashSet<BlockId> = reachable.iter().copied().collect();
+        let entry = func.entry();
+        let mut dom: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+        for &b in &reachable {
+            if b == entry {
+                dom.insert(b, HashSet::from([b]));
+            } else {
+                dom.insert(b, all.clone());
+            }
+        }
+        let order = cfg.reverse_post_order();
+        loop {
+            let mut changed = false;
+            for &b in &order {
+                if b == entry {
+                    continue;
+                }
+                let preds: Vec<BlockId> = cfg
+                    .predecessors(b)
+                    .iter()
+                    .copied()
+                    .filter(|p| reachable.contains(p))
+                    .collect();
+                let mut new: HashSet<BlockId> = if preds.is_empty() {
+                    HashSet::new()
+                } else {
+                    let mut acc = dom[&preds[0]].clone();
+                    for p in &preds[1..] {
+                        acc = acc.intersection(&dom[p]).copied().collect();
+                    }
+                    acc
+                };
+                new.insert(b);
+                if new != dom[&b] {
+                    dom.insert(b, new);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Dominators { dom }
+    }
+
+    /// Does `a` dominate `b`?
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.dom.get(&b).is_some_and(|s| s.contains(&a))
+    }
+
+    /// The full dominator set of `b` (empty for unreachable blocks).
+    pub fn dominators_of(&self, b: BlockId) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = self.dom.get(&b).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        v.sort();
+        v
+    }
+}
+
+/// Post-dominator sets: `pdom(b)` = blocks through which every `b`→exit
+/// path passes. Exits are blocks with no successors (typically `halt`
+/// blocks); with multiple exits the analysis uses a virtual common exit.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    pdom: HashMap<BlockId, HashSet<BlockId>>,
+}
+
+impl PostDominators {
+    /// Computes post-dominators over the reachable CFG.
+    pub fn compute(func: &Function, cfg: &Cfg) -> PostDominators {
+        let reachable = cfg.reachable();
+        let all: HashSet<BlockId> = reachable.iter().copied().collect();
+        let exits: Vec<BlockId> = reachable
+            .iter()
+            .copied()
+            .filter(|&b| cfg.successors(b).is_empty())
+            .collect();
+        let mut pdom: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+        for &b in &reachable {
+            if exits.contains(&b) {
+                pdom.insert(b, HashSet::from([b]));
+            } else {
+                pdom.insert(b, all.clone());
+            }
+        }
+        // Iterate in post-order-ish (reverse RPO reversed) until stable.
+        let mut order = cfg.reverse_post_order();
+        order.reverse();
+        loop {
+            let mut changed = false;
+            for &b in &order {
+                if exits.contains(&b) {
+                    continue;
+                }
+                let succs: Vec<BlockId> = cfg
+                    .successors(b)
+                    .iter()
+                    .copied()
+                    .filter(|s| reachable.contains(s))
+                    .collect();
+                let mut new: HashSet<BlockId> = if succs.is_empty() {
+                    HashSet::new()
+                } else {
+                    let mut acc = pdom[&succs[0]].clone();
+                    for s in &succs[1..] {
+                        acc = acc.intersection(&pdom[s]).copied().collect();
+                    }
+                    acc
+                };
+                new.insert(b);
+                if new != pdom[&b] {
+                    pdom.insert(b, new);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let _ = func;
+        PostDominators { pdom }
+    }
+
+    /// Does `a` post-dominate `b`?
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.pdom.get(&b).is_some_and(|s| s.contains(&a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use sentinel_isa::{Insn, Opcode, Reg};
+
+    /// entry → {then | else} → join → exit, plus an early-exit side path.
+    fn diamond() -> (Function, Vec<BlockId>) {
+        let mut b = ProgramBuilder::new("d");
+        let entry = b.block("entry");
+        let then_ = b.block("then");
+        let join = b.block("join");
+        let else_ = b.block("else");
+        b.switch_to(entry);
+        b.push(Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, else_));
+        b.switch_to(then_);
+        b.push(Insn::nop());
+        b.push(Insn::jump(join));
+        b.switch_to(join);
+        b.push(Insn::halt());
+        b.switch_to(else_);
+        b.push(Insn::nop());
+        b.push(Insn::jump(join));
+        let f = b.finish();
+        (f, vec![entry, then_, join, else_])
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let (f, ids) = diamond();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let [entry, then_, join, else_] = [ids[0], ids[1], ids[2], ids[3]];
+        assert!(dom.dominates(entry, join));
+        assert!(dom.dominates(entry, then_));
+        assert!(dom.dominates(entry, else_));
+        assert!(!dom.dominates(then_, join), "join reachable via else");
+        assert!(!dom.dominates(else_, join));
+        assert!(dom.dominates(join, join));
+        assert_eq!(dom.dominators_of(then_), vec![entry, then_]);
+    }
+
+    #[test]
+    fn post_dominators_of_diamond() {
+        let (f, ids) = diamond();
+        let cfg = Cfg::build(&f);
+        let pdom = PostDominators::compute(&f, &cfg);
+        let [entry, then_, join, else_] = [ids[0], ids[1], ids[2], ids[3]];
+        assert!(pdom.post_dominates(join, entry), "join on every path");
+        assert!(pdom.post_dominates(join, then_));
+        assert!(pdom.post_dominates(join, else_));
+        assert!(!pdom.post_dominates(then_, entry), "else path avoids then");
+        assert!(pdom.post_dominates(entry, entry));
+    }
+
+    #[test]
+    fn superblock_side_exit_breaks_post_dominance() {
+        // The paper's footnote 2: a use AFTER a side exit does not
+        // post-dominate a speculative instruction's home block — which is
+        // why the home-block policy exists.
+        let mut b = ProgramBuilder::new("sb");
+        let main = b.block("main");
+        let rest = b.block("rest");
+        let cold = b.block("cold");
+        b.switch_to(main);
+        b.push(Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, cold));
+        b.switch_to(rest);
+        b.push(Insn::halt());
+        b.switch_to(cold);
+        b.push(Insn::halt());
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let pdom = PostDominators::compute(&f, &cfg);
+        assert!(!pdom.post_dominates(rest, main), "side exit escapes rest");
+        assert!(!pdom.post_dominates(cold, main));
+    }
+
+    #[test]
+    fn loop_dominance() {
+        let mut b = ProgramBuilder::new("loop");
+        let head = b.block("head");
+        let done = b.block("done");
+        b.switch_to(head);
+        b.push(Insn::addi(Reg::int(1), Reg::int(1), -1));
+        b.push(Insn::branch(Opcode::Bne, Reg::int(1), Reg::ZERO, head));
+        b.switch_to(done);
+        b.push(Insn::halt());
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let pdom = PostDominators::compute(&f, &cfg);
+        assert!(dom.dominates(head, done));
+        assert!(pdom.post_dominates(done, head));
+    }
+}

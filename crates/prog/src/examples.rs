@@ -1,0 +1,211 @@
+//! Ready-made programs: the paper's worked examples and small kernels.
+//!
+//! These are used throughout the workspace's tests, doc examples, and the
+//! `examples/` binaries.
+
+use sentinel_isa::{Insn, Opcode, Reg};
+
+use crate::{Function, ProgramBuilder};
+
+/// The code fragment of paper **Figure 1(a)**:
+///
+/// ```text
+/// A: if (r2==0) goto L1
+/// B: r1 = mem(r2+0)
+/// C: r3 = mem(r4+0)
+/// D: r4 = r1+1
+/// E: r5 = r3+9
+/// F: mem(r2+8) = r4     (the paper's +4, scaled to 8-byte words)
+/// ```
+///
+/// laid out as one superblock (`main`) with the side-exit target `l1` and
+/// the fall-through continuation `exit`. Instructions `B` and `C` are the
+/// potential trap-causing loads; `E` and `F` are their last uses, so after
+/// dependence reduction `E` and `F` are the *unprotected* instructions of
+/// the paper's walkthrough.
+///
+/// Registers `r2` and `r4` are live-in (the simulator initializes them).
+pub fn figure1() -> Function {
+    let mut b = ProgramBuilder::new("figure1");
+    let main = b.block("main");
+    let l1 = b.block("l1");
+    let exit = b.block("exit");
+    b.switch_to(main);
+    b.push(Insn::branch(Opcode::Beq, Reg::int(2), Reg::ZERO, l1)); // A
+    b.push(Insn::ld_w(Reg::int(1), Reg::int(2), 0)); // B
+    b.push(Insn::ld_w(Reg::int(3), Reg::int(4), 0)); // C
+    b.push(Insn::addi(Reg::int(4), Reg::int(1), 1)); // D
+    b.push(Insn::addi(Reg::int(5), Reg::int(3), 9)); // E
+    b.push(Insn::st_w(Reg::int(4), Reg::int(2), 8)); // F
+    b.push(Insn::jump(exit));
+    b.switch_to(l1);
+    b.push(Insn::halt());
+    b.switch_to(exit);
+    b.push(Insn::halt());
+    b.finish()
+}
+
+/// The code fragment of paper **Figure 3(a)** (recovery example):
+///
+/// ```text
+/// A: jsr
+/// B: r5 = mem(r3+0)
+/// C: if (r5==0) goto L1
+/// D: r1 = mem(r6+0)
+/// E: r2 = r2+1
+/// F: mem(r4+0) = r7
+/// G: r8 = r1+1
+/// H: r9 = mem(r2+0)
+/// ```
+///
+/// `A` is irreversible and blocks upward motion of `D`; `F` may alias the
+/// input of `B`; `E` overwrites its own input (`r2`), which the renaming
+/// transformation splits when recovery constraints are enabled.
+pub fn figure3() -> Function {
+    let mut b = ProgramBuilder::new("figure3");
+    let main = b.block("main");
+    let l1 = b.block("l1");
+    let exit = b.block("exit");
+    b.switch_to(main);
+    b.push(Insn::jsr()); // A
+    b.push(Insn::ld_w(Reg::int(5), Reg::int(3), 0)); // B
+    b.push(Insn::branch(Opcode::Beq, Reg::int(5), Reg::ZERO, l1)); // C
+    b.push(Insn::ld_w(Reg::int(1), Reg::int(6), 0)); // D
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), 1)); // E
+    b.push(Insn::st_w(Reg::int(7), Reg::int(4), 0)); // F
+    b.push(Insn::addi(Reg::int(8), Reg::int(1), 1)); // G
+    b.push(Insn::ld_w(Reg::int(9), Reg::int(2), 0)); // H
+    b.push(Insn::jump(exit));
+    b.switch_to(l1);
+    b.push(Insn::halt());
+    b.switch_to(exit);
+    b.push(Insn::halt());
+    b.finish()
+}
+
+/// A summation kernel: sums `count` 8-byte words starting at `base`,
+/// stores the total at `result_addr`, and halts.
+///
+/// ```text
+/// init: r1 = base; r2 = count; r3 = 0
+/// loop: r4 = mem(r1); r3 += r4; r1 += 8; r2 -= 1; bne r2, r0, loop
+/// done: mem(result_addr) = r3; halt
+/// ```
+pub fn sum_kernel(base: i64, count: i64, result_addr: i64) -> Function {
+    let mut b = ProgramBuilder::new("sum");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), base));
+    b.push(Insn::li(Reg::int(2), count));
+    b.push(Insn::li(Reg::int(3), 0));
+    b.switch_to(body);
+    b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
+    b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(3), Reg::int(4)));
+    b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), -1));
+    b.push(Insn::branch(Opcode::Bne, Reg::int(2), Reg::ZERO, body));
+    b.switch_to(done);
+    b.push(Insn::li(Reg::int(5), result_addr));
+    b.push(Insn::st_w(Reg::int(3), Reg::int(5), 0));
+    b.push(Insn::halt());
+    b.finish()
+}
+
+/// A pointer-chase kernel: follows `count` links of a linked list starting
+/// at the word at `head_addr`, storing the final node address at
+/// `result_addr`. Every iteration is a load-use chain — the workload shape
+/// for which the paper argues speculative loads matter most (§5.2).
+pub fn chase_kernel(head_addr: i64, count: i64, result_addr: i64) -> Function {
+    let mut b = ProgramBuilder::new("chase");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), head_addr));
+    b.push(Insn::ld_w(Reg::int(1), Reg::int(1), 0));
+    b.push(Insn::li(Reg::int(2), count));
+    b.switch_to(body);
+    b.push(Insn::ld_w(Reg::int(1), Reg::int(1), 0));
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), -1));
+    b.push(Insn::branch(Opcode::Bne, Reg::int(2), Reg::ZERO, body));
+    b.switch_to(done);
+    b.push(Insn::li(Reg::int(5), result_addr));
+    b.push(Insn::st_w(Reg::int(1), Reg::int(5), 0));
+    b.push(Insn::halt());
+    b.finish()
+}
+
+/// A saxpy-like fp kernel: `y[i] = a*x[i] + y[i]` over `count` elements.
+pub fn saxpy_kernel(x_base: i64, y_base: i64, count: i64, a: f64) -> Function {
+    let mut b = ProgramBuilder::new("saxpy");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), x_base));
+    b.push(Insn::li(Reg::int(2), y_base));
+    b.push(Insn::li(Reg::int(3), count));
+    b.push(Insn::fli(Reg::fp(1), a));
+    b.switch_to(body);
+    b.push(Insn::fld(Reg::fp(2), Reg::int(1), 0));
+    b.push(Insn::fld(Reg::fp(3), Reg::int(2), 0));
+    b.push(Insn::alu(Opcode::FMul, Reg::fp(2), Reg::fp(1), Reg::fp(2)));
+    b.push(Insn::alu(Opcode::FAdd, Reg::fp(3), Reg::fp(2), Reg::fp(3)));
+    b.push(Insn::fst(Reg::fp(3), Reg::int(2), 0));
+    b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), 8));
+    b.push(Insn::addi(Reg::int(3), Reg::int(3), -1));
+    b.push(Insn::branch(Opcode::Bne, Reg::int(3), Reg::ZERO, body));
+    b.switch_to(done);
+    b.push(Insn::halt());
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn all_examples_validate() {
+        for f in [
+            figure1(),
+            figure3(),
+            sum_kernel(0x1000, 4, 0x2000),
+            chase_kernel(0x1000, 3, 0x2000),
+            saxpy_kernel(0x1000, 0x2000, 4, 2.0),
+        ] {
+            let errs = validate(&f);
+            assert!(errs.is_empty(), "{}: {errs:?}", f.name());
+        }
+    }
+
+    #[test]
+    fn figure1_shape_matches_paper() {
+        let f = figure1();
+        let main = f.block(f.entry());
+        assert_eq!(main.insns.len(), 7); // A..F + explicit jump
+        assert_eq!(main.side_exit_count(), 1);
+        assert!(main.insns[1].op.can_trap()); // B
+        assert!(main.insns[5].op.is_store()); // F
+    }
+
+    #[test]
+    fn figure3_has_irreversible_head() {
+        let f = figure3();
+        let main = f.block(f.entry());
+        assert!(main.insns[0].op.is_irreversible()); // A: jsr
+        assert_eq!(main.side_exit_count(), 1); // C
+    }
+
+    #[test]
+    fn examples_roundtrip_through_asm() {
+        for f in [figure1(), figure3(), sum_kernel(0, 1, 8)] {
+            let text = crate::asm::print(&f);
+            let back = crate::asm::parse(&text).expect("reparse");
+            assert_eq!(crate::asm::print(&back), text);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Functions: blocks in layout order.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use sentinel_isa::{BlockId, Insn, InsnId, Reg};
+
+use crate::Block;
+
+/// A function: a set of [`Block`]s with a *layout order*.
+///
+/// The entry block is the first block in layout order. The fall-through
+/// successor of a block is the next block in layout order (unless the block
+/// ends in `jump` or `halt`). Block ids are stable: transformations such as
+/// tail duplication add new blocks with fresh ids and may reorder the
+/// layout, but never renumber existing blocks, so branch targets stay
+/// valid.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_prog::ProgramBuilder;
+/// use sentinel_isa::{Insn, Reg};
+///
+/// let mut b = ProgramBuilder::new("main");
+/// let entry = b.block("entry");
+/// b.push(Insn::li(Reg::int(1), 41));
+/// b.push(Insn::addi(Reg::int(1), Reg::int(1), 1));
+/// b.push(Insn::halt());
+/// let f = b.finish();
+/// assert_eq!(f.entry(), entry);
+/// assert_eq!(f.insn_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    name: String,
+    /// Blocks indexed by `BlockId` (positions never change).
+    blocks: Vec<Block>,
+    /// Layout order of block ids.
+    layout: Vec<BlockId>,
+    next_insn_id: u32,
+    /// Base registers declared to address pairwise-disjoint memory
+    /// regions (see [`Function::declare_noalias`]).
+    noalias: BTreeSet<Reg>,
+}
+
+impl Function {
+    /// Creates an empty function. Use [`ProgramBuilder`](crate::ProgramBuilder)
+    /// for convenient construction.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            blocks: Vec::new(),
+            layout: Vec::new(),
+            next_insn_id: 0,
+            noalias: BTreeSet::new(),
+        }
+    }
+
+    /// Declares that memory accesses based on `reg` never overlap accesses
+    /// based on any *other* declared register — the program-level
+    /// disambiguation fact a real compiler would derive from points-to
+    /// analysis (IMPACT's memory disambiguator). The scheduler uses it to
+    /// drop store↔load ordering edges between distinct arrays.
+    ///
+    /// The promise only covers uses of the register's *live-in* value
+    /// within a block; once a block redefines the register, the scheduler
+    /// falls back to conservative aliasing for it.
+    pub fn declare_noalias(&mut self, reg: Reg) {
+        self.noalias.insert(reg);
+    }
+
+    /// The declared no-alias base registers.
+    pub fn noalias_bases(&self) -> &BTreeSet<Reg> {
+        &self.noalias
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a new empty block at the end of the layout and returns its id.
+    pub fn add_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new(id, label));
+        self.layout.push(id);
+        id
+    }
+
+    /// The entry block (first in layout order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks.
+    pub fn entry(&self) -> BlockId {
+        self.layout[0]
+    }
+
+    /// Layout order of block ids.
+    pub fn layout(&self) -> &[BlockId] {
+        &self.layout
+    }
+
+    /// Replaces the layout order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` is not a permutation of the existing block ids.
+    pub fn set_layout(&mut self, layout: Vec<BlockId>) {
+        let mut sorted: Vec<u32> = layout.iter().map(|b| b.0).collect();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (0..self.blocks.len() as u32).collect();
+        assert_eq!(sorted, expected, "layout must be a permutation of block ids");
+        self.layout = layout;
+    }
+
+    /// Inserts block `id` into the layout immediately after `after`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is not in the layout or `id` already is.
+    pub fn insert_in_layout_after(&mut self, after: BlockId, id: BlockId) {
+        assert!(!self.layout.contains(&id), "{id} already in layout");
+        let pos = self
+            .layout
+            .iter()
+            .position(|b| *b == after)
+            .unwrap_or_else(|| panic!("{after} not in layout"));
+        self.layout.insert(pos + 1, id);
+    }
+
+    /// Removes a block from the layout (the block itself is kept, with its
+    /// id, but becomes unreachable "zombie" storage). Used by superblock
+    /// formation after merging trace blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is the entry block.
+    pub fn remove_from_layout(&mut self, id: BlockId) {
+        assert_ne!(id, self.entry(), "cannot remove the entry block from the layout");
+        self.layout.retain(|b| *b != id);
+    }
+
+    /// Returns `true` if the block participates in the layout.
+    pub fn in_layout(&self, id: BlockId) -> bool {
+        self.layout.contains(&id)
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not exist.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not exist.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// All blocks in id order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// All blocks in layout order.
+    pub fn blocks_in_layout(&self) -> impl Iterator<Item = &Block> {
+        self.layout.iter().map(|id| self.block(*id))
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total instruction count.
+    pub fn insn_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insns.len()).sum()
+    }
+
+    /// The layout successor of `id`: the next block in layout order, or
+    /// `None` for the last block.
+    pub fn fallthrough_of(&self, id: BlockId) -> Option<BlockId> {
+        let pos = self.layout.iter().position(|b| *b == id)?;
+        self.layout.get(pos + 1).copied()
+    }
+
+    /// Allocates a fresh instruction id.
+    pub fn fresh_insn_id(&mut self) -> InsnId {
+        let id = InsnId(self.next_insn_id);
+        self.next_insn_id += 1;
+        id
+    }
+
+    /// Appends an instruction to a block, assigning it a fresh id, and
+    /// returns the id.
+    pub fn push_insn(&mut self, block: BlockId, insn: Insn) -> InsnId {
+        let id = self.fresh_insn_id();
+        self.blocks[block.index()].insns.push(insn.with_id(id));
+        id
+    }
+
+    /// Inserts an instruction at a position within a block, assigning a
+    /// fresh id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    pub fn insert_insn(&mut self, block: BlockId, pos: usize, insn: Insn) -> InsnId {
+        let id = self.fresh_insn_id();
+        self.blocks[block.index()].insns.insert(pos, insn.with_id(id));
+        id
+    }
+
+    /// Looks up an instruction by id, returning its block and position.
+    pub fn find_insn(&self, id: InsnId) -> Option<(BlockId, usize)> {
+        for b in &self.blocks {
+            if let Some(pos) = b.position_of(id) {
+                return Some((b.id, pos));
+            }
+        }
+        None
+    }
+
+    /// Looks up an instruction by id.
+    pub fn insn(&self, id: InsnId) -> Option<&Insn> {
+        let (b, pos) = self.find_insn(id)?;
+        Some(&self.block(b).insns[pos])
+    }
+
+    /// A map from block label to id. Later duplicates shadow earlier ones.
+    pub fn labels(&self) -> HashMap<&str, BlockId> {
+        self.blocks
+            .iter()
+            .map(|b| (b.label.as_str(), b.id))
+            .collect()
+    }
+
+    /// Finds a block by label.
+    pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
+        self.blocks.iter().find(|b| b.label == label).map(|b| b.id)
+    }
+
+    /// Highest integer / fp register index used, as
+    /// `(max_int_index, max_fp_index)`; `None` per class if unused.
+    pub fn max_reg_indices(&self) -> (Option<u16>, Option<u16>) {
+        let mut max_int = None;
+        let mut max_fp = None;
+        for b in &self.blocks {
+            for i in &b.insns {
+                for r in i.raw_srcs().chain(i.dest) {
+                    let slot = if r.is_int() { &mut max_int } else { &mut max_fp };
+                    *slot = Some(slot.map_or(r.index(), |m: u16| m.max(r.index())));
+                }
+            }
+        }
+        (max_int, max_fp)
+    }
+
+    /// Renumbers all instruction ids to be dense in layout order and
+    /// returns the mapping from old to new ids. Used by tests that want
+    /// deterministic ids after heavy transformation.
+    pub fn renumber_insns(&mut self) -> HashMap<InsnId, InsnId> {
+        let mut map = HashMap::new();
+        let mut next = 0u32;
+        let layout = self.layout.clone();
+        for bid in layout {
+            for insn in &mut self.blocks[bid.index()].insns {
+                let new = InsnId(next);
+                next += 1;
+                map.insert(insn.id, new);
+                insn.id = new;
+            }
+        }
+        self.next_insn_id = next;
+        map
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func @{} {{", self.name)?;
+        for b in self.blocks_in_layout() {
+            write!(f, "{b}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_isa::{Opcode, Reg};
+
+    fn two_block_fn() -> Function {
+        let mut f = Function::new("t");
+        let b0 = f.add_block("entry");
+        let b1 = f.add_block("exit");
+        f.push_insn(b0, Insn::li(Reg::int(1), 1));
+        f.push_insn(b0, Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, b1));
+        f.push_insn(b1, Insn::halt());
+        f
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let f = two_block_fn();
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.block_count(), 2);
+        assert_eq!(f.insn_count(), 3);
+        assert_eq!(f.block(BlockId(0)).insns[0].id, InsnId(0));
+        assert_eq!(f.block(BlockId(1)).insns[0].id, InsnId(2));
+    }
+
+    #[test]
+    fn fallthrough_follows_layout() {
+        let mut f = two_block_fn();
+        assert_eq!(f.fallthrough_of(BlockId(0)), Some(BlockId(1)));
+        assert_eq!(f.fallthrough_of(BlockId(1)), None);
+        f.set_layout(vec![BlockId(1), BlockId(0)]);
+        assert_eq!(f.fallthrough_of(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(f.entry(), BlockId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_layout_rejected() {
+        let mut f = two_block_fn();
+        f.set_layout(vec![BlockId(0), BlockId(0)]);
+    }
+
+    #[test]
+    fn find_and_lookup_insn() {
+        let f = two_block_fn();
+        let (b, pos) = f.find_insn(InsnId(1)).unwrap();
+        assert_eq!((b, pos), (BlockId(0), 1));
+        assert_eq!(f.insn(InsnId(2)).unwrap().op, Opcode::Halt);
+        assert!(f.insn(InsnId(42)).is_none());
+    }
+
+    #[test]
+    fn insert_assigns_fresh_id() {
+        let mut f = two_block_fn();
+        let id = f.insert_insn(BlockId(0), 0, Insn::nop());
+        assert_eq!(id, InsnId(3));
+        assert_eq!(f.block(BlockId(0)).insns[0].op, Opcode::Nop);
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let f = two_block_fn();
+        assert_eq!(f.block_by_label("exit"), Some(BlockId(1)));
+        assert_eq!(f.block_by_label("nope"), None);
+        assert_eq!(f.labels()["entry"], BlockId(0));
+    }
+
+    #[test]
+    fn max_reg_indices_tracks_both_classes() {
+        let mut f = two_block_fn();
+        assert_eq!(f.max_reg_indices(), (Some(1), None));
+        f.push_insn(BlockId(1), Insn::fli(Reg::fp(9), 1.0));
+        assert_eq!(f.max_reg_indices(), (Some(1), Some(9)));
+    }
+
+    #[test]
+    fn renumber_preserves_order() {
+        let mut f = two_block_fn();
+        f.set_layout(vec![BlockId(1), BlockId(0)]);
+        let map = f.renumber_insns();
+        // halt (formerly i2) is now first in layout, so it gets id 0.
+        assert_eq!(map[&InsnId(2)], InsnId(0));
+        assert_eq!(f.block(BlockId(1)).insns[0].id, InsnId(0));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let s = two_block_fn().to_string();
+        assert!(s.starts_with("func @t {"));
+        assert!(s.contains("entry:"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,320 @@
+//! Binary object format for whole programs.
+//!
+//! A simple container around the wide instruction encoding of
+//! [`sentinel_isa::encode`]: magic + version, the function name, the
+//! `noalias` declarations, every block (label, layout membership,
+//! instruction words), and the layout order. Little-endian throughout.
+//!
+//! Instruction *ids* are compiler-side bookkeeping and are not part of
+//! the binary; loading assigns fresh ids in layout order.
+
+use sentinel_isa::encode::{decode_insn, encode_insn, DecodeError, EncodeError};
+use sentinel_isa::Reg;
+
+use crate::Function;
+
+const MAGIC: &[u8; 4] = b"SNTL";
+const VERSION: u32 = 1;
+
+/// Errors writing an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteError {
+    /// An instruction could not be encoded.
+    Encode(EncodeError),
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::Encode(e) => write!(f, "encode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Errors reading an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Truncated input.
+    Truncated,
+    /// Malformed UTF-8 in a name or label.
+    BadString,
+    /// An instruction word failed to decode.
+    Decode(DecodeError),
+    /// A layout index referenced a nonexistent block.
+    BadLayout(u32),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::BadMagic => write!(f, "not a sentinel object (bad magic)"),
+            ReadError::BadVersion(v) => write!(f, "unsupported object version {v}"),
+            ReadError::Truncated => write!(f, "truncated object"),
+            ReadError::BadString => write!(f, "malformed string"),
+            ReadError::Decode(e) => write!(f, "decode: {e}"),
+            ReadError::BadLayout(i) => write!(f, "layout references missing block {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ReadError> {
+        let end = self.pos.checked_add(n).ok_or(ReadError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ReadError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, ReadError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ReadError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, ReadError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ReadError::BadString)
+    }
+}
+
+/// Serializes a function to the binary object format.
+///
+/// # Errors
+///
+/// [`WriteError::Encode`] if any instruction is unencodable (e.g. still
+/// carries virtual registers — run register allocation first).
+pub fn write_object(func: &Function) -> Result<Vec<u8>, WriteError> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    w.str(func.name());
+    // noalias declarations, as encoded operand bytes.
+    let noalias: Vec<&Reg> = func.noalias_bases().iter().collect();
+    w.u32(noalias.len() as u32);
+    for r in noalias {
+        let class = if r.is_fp() { 1u32 } else { 0 };
+        w.u32(class << 16 | r.index() as u32);
+    }
+    w.u32(func.block_count() as u32);
+    for b in func.blocks() {
+        w.str(&b.label);
+        w.u32(b.insns.len() as u32);
+        for insn in &b.insns {
+            let words = encode_insn(insn).map_err(WriteError::Encode)?;
+            w.u64(words[0]);
+            w.u64(words[1]);
+        }
+    }
+    w.u32(func.layout().len() as u32);
+    for id in func.layout() {
+        w.u32(id.0);
+    }
+    Ok(w.buf)
+}
+
+/// Loads a function from the binary object format, assigning fresh
+/// instruction ids in layout order.
+///
+/// # Errors
+///
+/// See [`ReadError`].
+pub fn read_object(bytes: &[u8]) -> Result<Function, ReadError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ReadError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(ReadError::BadVersion(version));
+    }
+    let name = r.str()?;
+    let mut func = Function::new(name);
+    let noalias_count = r.u32()?;
+    let mut noalias = Vec::new();
+    for _ in 0..noalias_count {
+        let v = r.u32()?;
+        let idx = (v & 0xFFFF) as u16;
+        noalias.push(if v >> 16 == 1 { Reg::fp(idx) } else { Reg::int(idx) });
+    }
+    let block_count = r.u32()?;
+    let mut block_insns = Vec::new();
+    for _ in 0..block_count {
+        let label = r.str()?;
+        let id = func.add_block(label);
+        let n = r.u32()?;
+        let mut insns = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let w0 = r.u64()?;
+            let w1 = r.u64()?;
+            insns.push(decode_insn([w0, w1]).map_err(ReadError::Decode)?);
+        }
+        block_insns.push((id, insns));
+    }
+    let layout_len = r.u32()?;
+    let mut layout = Vec::with_capacity(layout_len as usize);
+    for _ in 0..layout_len {
+        let i = r.u32()?;
+        if i as usize >= func.block_count() {
+            return Err(ReadError::BadLayout(i));
+        }
+        layout.push(sentinel_isa::BlockId(i));
+    }
+    // Push instructions in layout order first so ids are layout-dense,
+    // then the zombie blocks.
+    for &bid in &layout {
+        if let Some((_, insns)) = block_insns.iter().find(|(id, _)| *id == bid) {
+            for insn in insns {
+                func.push_insn(bid, insn.clone());
+            }
+        }
+    }
+    for (bid, insns) in &block_insns {
+        if !layout.contains(bid) {
+            for insn in insns {
+                func.push_insn(*bid, insn.clone());
+            }
+        }
+    }
+    // Apply the layout: remove blocks not in it.
+    for (bid, _) in &block_insns {
+        if !layout.contains(bid) && func.in_layout(*bid) {
+            func.remove_from_layout(*bid);
+        }
+    }
+    // Now order the remaining layout to match.
+    // (add_block appended in id order == file order; rebuild by removal
+    // and reinsertion only when the orders differ.)
+    if func.layout() != layout.as_slice() {
+        // Remove all but the first layout entry, then insert in order.
+        for &bid in func.layout().to_vec().iter().skip(1) {
+            func.remove_from_layout(bid);
+        }
+        let mut prev = func.layout()[0];
+        debug_assert_eq!(prev, layout[0], "entry mismatch handled below");
+        for &bid in layout.iter().skip(1) {
+            func.insert_in_layout_after(prev, bid);
+            prev = bid;
+        }
+    }
+    for reg in noalias {
+        func.declare_noalias(reg);
+    }
+    Ok(func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{figure1, sum_kernel};
+    use crate::{validate, ProgramBuilder};
+    use sentinel_isa::Insn;
+
+    fn roundtrip(f: &Function) -> Function {
+        let bytes = write_object(f).expect("write");
+        read_object(&bytes).expect("read")
+    }
+
+    fn same_shape(a: &Function, b: &Function) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.block_count(), b.block_count());
+        assert_eq!(a.layout(), b.layout());
+        assert_eq!(a.noalias_bases(), b.noalias_bases());
+        for (ba, bb) in a.blocks().zip(b.blocks()) {
+            assert_eq!(ba.label, bb.label);
+            assert_eq!(ba.insns.len(), bb.insns.len());
+            for (ia, ib) in ba.insns.iter().zip(&bb.insns) {
+                assert_eq!(ia.op, ib.op, "{ia} vs {ib}");
+                assert_eq!(ia.dest, ib.dest);
+                assert_eq!(ia.src1, ib.src1);
+                assert_eq!(ia.src2, ib.src2);
+                assert_eq!(ia.imm, ib.imm);
+                assert_eq!(ia.target, ib.target);
+                assert_eq!(ia.speculative, ib.speculative);
+                assert_eq!(ia.boost, ib.boost);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips_examples() {
+        for f in [figure1(), sum_kernel(0x1000, 4, 0x2000)] {
+            let back = roundtrip(&f);
+            same_shape(&f, &back);
+            assert!(validate(&back).is_empty(), "{:?}", validate(&back));
+        }
+    }
+
+    #[test]
+    fn roundtrips_noalias_declarations() {
+        let mut b = ProgramBuilder::new("na");
+        b.block("e");
+        b.push(Insn::halt());
+        let mut f = b.finish();
+        f.declare_noalias(sentinel_isa::Reg::int(10));
+        f.declare_noalias(sentinel_isa::Reg::fp(11));
+        same_shape(&f, &roundtrip(&f));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(read_object(b"NO"), Err(ReadError::Truncated));
+        assert_eq!(read_object(b"XXXXYYYY"), Err(ReadError::BadMagic));
+        let mut good = write_object(&figure1()).unwrap();
+        good[4] = 99; // version
+        assert_eq!(read_object(&good), Err(ReadError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = write_object(&figure1()).unwrap();
+        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                read_object(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_virtual_registers() {
+        let mut b = ProgramBuilder::new("v");
+        b.block("e");
+        b.push(Insn::addi(sentinel_isa::Reg::int(100), sentinel_isa::Reg::int(1), 1));
+        b.push(Insn::halt());
+        let f = b.finish();
+        assert!(matches!(write_object(&f), Err(WriteError::Encode(_))));
+    }
+}

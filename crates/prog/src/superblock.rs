@@ -1,0 +1,787 @@
+//! Superblock formation: profile-driven trace selection, tail duplication,
+//! and trace merging (paper §2.1; Chang/Hwu-style, as in IMPACT).
+//!
+//! Starting from a function of (typically basic) blocks and an execution
+//! [`crate::profile::Profile`] of it, formation repeatedly
+//!
+//! 1. seeds a trace at the hottest unvisited block,
+//! 2. grows it along the most likely successor edges,
+//! 3. removes *side entrances* into the trace by duplicating the trace
+//!    suffix for external predecessors (tail duplication), and
+//! 4. merges the trace into a single superblock-shaped block: one entry at
+//!    the top, side-exit branches inside, fall-through (or explicit jump)
+//!    at the bottom.
+//!
+//! The result is a function whose hot code consists of superblocks ready
+//! for sentinel scheduling.
+
+use std::collections::{HashMap, HashSet};
+
+use sentinel_isa::{BlockId, Insn, InsnId, Opcode};
+
+use crate::profile::Profile;
+use crate::Function;
+
+/// Tuning parameters for superblock formation.
+#[derive(Debug, Clone)]
+pub struct SuperblockConfig {
+    /// Minimum probability for a successor edge to extend a trace.
+    pub threshold: f64,
+    /// Blocks entered fewer times than this are never trace seeds.
+    pub min_seed_weight: u64,
+    /// Maximum trace length in blocks.
+    pub max_trace_len: usize,
+}
+
+impl Default for SuperblockConfig {
+    fn default() -> Self {
+        SuperblockConfig {
+            threshold: 0.7,
+            min_seed_weight: 1,
+            max_trace_len: 64,
+        }
+    }
+}
+
+/// How a trace link leaves the predecessor block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkKind {
+    /// Via the block's layout fall-through.
+    FallThrough,
+    /// Via the taken edge of the block's *last* instruction (conditional
+    /// branch or jump).
+    TakenLast,
+}
+
+/// Outcome of superblock formation.
+#[derive(Debug, Clone, Default)]
+pub struct FormationResult {
+    /// Ids of the merged superblocks (heads of the original traces).
+    pub superblocks: Vec<BlockId>,
+    /// Number of blocks created by tail duplication.
+    pub duplicated_blocks: usize,
+}
+
+/// Estimated execution count of the edge `from → to`.
+///
+/// Branch edges use the branch's taken count; the fall-through edge gets
+/// the remainder of the block's entry count after all taken side exits.
+fn edge_count(func: &Function, profile: &Profile, from: BlockId, to: BlockId) -> u64 {
+    let block = func.block(from);
+    let mut taken_total = 0u64;
+    let mut count = 0u64;
+    for insn in &block.insns {
+        if let Some(t) = insn.target {
+            let taken = profile.branch_taken.get(&insn.id).copied().unwrap_or(0);
+            taken_total += taken;
+            if t == to {
+                count += taken;
+            }
+        }
+    }
+    if !block.ends_in_unconditional() && func.fallthrough_of(from) == Some(to) {
+        count += profile.entries(from).saturating_sub(taken_total);
+    }
+    count
+}
+
+/// Picks the best (most likely) trace extension from `from`.
+fn best_successor(
+    func: &Function,
+    profile: &Profile,
+    from: BlockId,
+    cfg: &SuperblockConfig,
+) -> Option<(BlockId, LinkKind, f64)> {
+    let entries = profile.entries(from);
+    if entries == 0 {
+        return None;
+    }
+    let block = func.block(from);
+    let mut best: Option<(BlockId, LinkKind, u64)> = None;
+    let mut consider = |to: BlockId, kind: LinkKind, count: u64| {
+        if count == 0 {
+            return;
+        }
+        if best.is_none_or(|(_, _, c)| count > c) {
+            best = Some((to, kind, count));
+        }
+    };
+    if let Some(last) = block.insns.last() {
+        if let Some(t) = last.target {
+            consider(t, LinkKind::TakenLast, edge_count(func, profile, from, t));
+        }
+    }
+    if !block.ends_in_unconditional() {
+        if let Some(ft) = func.fallthrough_of(from) {
+            consider(ft, LinkKind::FallThrough, edge_count(func, profile, from, ft));
+        }
+    }
+    let (to, kind, count) = best?;
+    let prob = count as f64 / entries as f64;
+    (prob >= cfg.threshold).then_some((to, kind, prob))
+}
+
+/// Grows a trace from `seed`, returning the trace blocks and the link kind
+/// used to reach each non-head block.
+fn grow_trace(
+    func: &Function,
+    profile: &Profile,
+    seed: BlockId,
+    visited: &HashSet<BlockId>,
+    cfg: &SuperblockConfig,
+) -> (Vec<BlockId>, Vec<LinkKind>) {
+    let mut trace = vec![seed];
+    let mut links = Vec::new();
+    let mut in_trace: HashSet<BlockId> = HashSet::from([seed]);
+    while trace.len() < cfg.max_trace_len {
+        let tail = *trace.last().unwrap();
+        let Some((next, kind, _)) = best_successor(func, profile, tail, cfg) else {
+            break;
+        };
+        if visited.contains(&next) || in_trace.contains(&next) {
+            break;
+        }
+        // A later merge removes `next` as a standalone block, so nothing in
+        // the trace so far (other than `tail`'s terminator for a taken
+        // link) may branch to it.
+        let internal_ref = trace.iter().any(|&b| {
+            func.block(b).insns.iter().enumerate().any(|(pos, i)| {
+                if i.target != Some(next) {
+                    return false;
+                }
+                // Allow exactly the link edge itself.
+                !(b == tail
+                    && kind == LinkKind::TakenLast
+                    && pos + 1 == func.block(b).insns.len())
+            })
+        });
+        if internal_ref {
+            break;
+        }
+        // `next` must not branch back into the middle of the trace.
+        let back_ref = func
+            .block(next)
+            .branch_targets()
+            .any(|t| t != trace[0] && in_trace.contains(&t));
+        if back_ref {
+            break;
+        }
+        in_trace.insert(next);
+        trace.push(next);
+        links.push(kind);
+    }
+    (trace, links)
+}
+
+/// Removes side entrances into `trace[1..]` by duplicating the trace
+/// suffix starting at the first block with external predecessors.
+///
+/// Returns the number of blocks created.
+fn tail_duplicate(
+    func: &mut Function,
+    trace: &[BlockId],
+    links: &[LinkKind],
+) -> usize {
+    // Find the first position i >= 1 whose block has an entry other than
+    // the trace link from trace[i-1].
+    let in_trace: HashSet<BlockId> = trace.iter().copied().collect();
+    let mut first_side_entrance: Option<usize> = None;
+    'outer: for (i, &b) in trace.iter().enumerate().skip(1) {
+        let link_pred = trace[i - 1];
+        let link_kind = links[i - 1];
+        // Branch edges into b:
+        for p in func.blocks() {
+            if !func.in_layout(p.id) {
+                continue;
+            }
+            for (pos, insn) in p.insns.iter().enumerate() {
+                if insn.target == Some(b) {
+                    let is_link = p.id == link_pred
+                        && link_kind == LinkKind::TakenLast
+                        && pos + 1 == p.insns.len();
+                    if !is_link {
+                        first_side_entrance = Some(i);
+                        break 'outer;
+                    }
+                }
+            }
+            // Fall-through edges into b:
+            if !p.ends_in_unconditional() && func.fallthrough_of(p.id) == Some(b) {
+                let is_link = p.id == link_pred && link_kind == LinkKind::FallThrough;
+                if !is_link && !in_trace.contains(&p.id) {
+                    first_side_entrance = Some(i);
+                    break 'outer;
+                }
+                if !is_link && in_trace.contains(&p.id) {
+                    // A non-link fall-through from inside the trace: layout
+                    // coincidence (p precedes b in layout but the trace
+                    // reached b differently). Treat as a side entrance.
+                    first_side_entrance = Some(i);
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let Some(start) = first_side_entrance else {
+        return 0;
+    };
+
+    // Duplicate trace[start..] with fresh ids; remap intra-suffix targets.
+    let suffix: Vec<BlockId> = trace[start..].to_vec();
+    let mut copy_of: HashMap<BlockId, BlockId> = HashMap::new();
+    for &b in &suffix {
+        let label = format!("{}.dup", func.block(b).label);
+        let c = func.add_block(label);
+        copy_of.insert(b, c);
+    }
+    for (&orig, &copy) in &copy_of.clone() {
+        let insns: Vec<Insn> = func.block(orig).insns.clone();
+        let needs_tail_jump = {
+            let last_falls = !func.block(orig).ends_in_unconditional();
+            last_falls
+        };
+        let ft = func.fallthrough_of(orig);
+        for mut insn in insns {
+            if let Some(t) = insn.target {
+                if let Some(&c) = copy_of.get(&t) {
+                    insn.target = Some(c);
+                }
+            }
+            func.push_insn(copy, insn);
+        }
+        // The copy sits at the end of the layout, so the original's
+        // fall-through must become explicit.
+        if needs_tail_jump {
+            if let Some(ft) = ft {
+                let t = copy_of.get(&ft).copied().unwrap_or(ft);
+                func.push_insn(copy, Insn::jump(t));
+            }
+        }
+    }
+
+    // Retarget every external entry into the suffix toward the copies.
+    let all_ids: Vec<BlockId> = func.blocks().map(|b| b.id).collect();
+    for p in all_ids {
+        if !func.in_layout(p) || copy_of.values().any(|&c| c == p) {
+            continue;
+        }
+        let p_pos_in_trace = trace.iter().position(|&t| t == p);
+        // Branch retargeting.
+        let n = func.block(p).insns.len();
+        for pos in 0..n {
+            let target = func.block(p).insns[pos].target;
+            let Some(t) = target else { continue };
+            let Some(idx) = suffix.iter().position(|&s| s == t) else {
+                continue;
+            };
+            let j = start + idx;
+            let is_link = p_pos_in_trace == Some(j - 1)
+                && links[j - 1] == LinkKind::TakenLast
+                && pos + 1 == n;
+            if !is_link {
+                let c = copy_of[&t];
+                func.block_mut(p).insns[pos].target = Some(c);
+            }
+        }
+        // Fall-through retargeting: append an explicit jump to the copy.
+        if !func.block(p).ends_in_unconditional() {
+            if let Some(ft) = func.fallthrough_of(p) {
+                if let Some(idx) = suffix.iter().position(|&s| s == ft) {
+                    let j = start + idx;
+                    let is_link =
+                        p_pos_in_trace == Some(j - 1) && links[j - 1] == LinkKind::FallThrough;
+                    if !is_link {
+                        let c = copy_of[&ft];
+                        func.push_insn(p, Insn::jump(c));
+                    }
+                }
+            }
+        }
+    }
+    suffix.len()
+}
+
+/// Merges a (side-entrance-free) trace into its head block.
+fn merge_trace(func: &mut Function, trace: &[BlockId], links: &[LinkKind]) {
+    let head = trace[0];
+    for (i, &b) in trace.iter().enumerate().skip(1) {
+        let link = links[i - 1];
+        // Fix up the terminator of the previous trace block, which now
+        // falls into `b`'s instructions inside the superblock.
+        let prev_last = func.block(head).insns.last().cloned();
+        match link {
+            LinkKind::FallThrough => {
+                // Nothing to remove; the previous block simply fell through.
+            }
+            LinkKind::TakenLast => {
+                let last = prev_last.expect("taken link implies a terminator");
+                match last.op {
+                    Opcode::Jump => {
+                        // `jump b` becomes pure fall-through inside the
+                        // superblock.
+                        func.block_mut(head).insns.pop();
+                    }
+                    op if op.is_cond_branch() => {
+                        // The branch is taken onto the trace; invert it so
+                        // the trace becomes the fall-through path and the
+                        // old fall-through becomes the side-exit target.
+                        let prev_block = trace[i - 1];
+                        let ft = func
+                            .fallthrough_of(prev_block)
+                            .expect("conditional trace link requires a fall-through");
+                        let last_mut = func.block_mut(head).insns.last_mut().unwrap();
+                        last_mut.op = invert_branch(last_mut.op);
+                        last_mut.target = Some(ft);
+                    }
+                    _ => unreachable!("taken link from non-control terminator"),
+                }
+            }
+        }
+        // Splice `b`'s instructions into the head.
+        let moved: Vec<Insn> = std::mem::take(&mut func.block_mut(b).insns);
+        func.block_mut(head).insns.extend(moved);
+    }
+    // The merged block must not rely on layout adjacency for its final
+    // fall-through (the old tail's layout successor may be far away).
+    let tail = *trace.last().unwrap();
+    if !func.block(head).ends_in_unconditional() {
+        if let Some(ft) = func.fallthrough_of(tail) {
+            let id = func.fresh_insn_id();
+            func.block_mut(head)
+                .insns
+                .push(Insn::jump(ft).with_id(id));
+        }
+    }
+    // Remove the merged-away blocks from the layout.
+    for &b in &trace[1..] {
+        func.remove_from_layout(b);
+    }
+}
+
+/// Splits every layout block into *basic blocks*: control-transfer
+/// instructions only at block ends. The inverse-ish of formation, used to
+/// measure how much of a superblock schedule's benefit formation recovers
+/// from basic-block code (ablation A4) and by formation tests.
+///
+/// Instruction ids are preserved; semantics are identical (each split
+/// point becomes a fall-through edge).
+pub fn split_at_branches(func: &mut Function) {
+    let mut work: Vec<BlockId> = func.layout().to_vec();
+    let mut counter = 0usize;
+    while let Some(bid) = work.pop() {
+        let split_pos = {
+            let insns = &func.block(bid).insns;
+            (0..insns.len().saturating_sub(1)).find(|&p| insns[p].op.is_control())
+        };
+        let Some(p) = split_pos else { continue };
+        let label = format!("{}.bb{}", func.block(bid).label, counter);
+        counter += 1;
+        let nb = func.add_block(label);
+        func.remove_from_layout(nb);
+        let moved: Vec<Insn> = func.block_mut(bid).insns.split_off(p + 1);
+        func.block_mut(nb).insns = moved;
+        func.insert_in_layout_after(bid, nb);
+        // The new block may itself still contain internal branches.
+        work.push(nb);
+    }
+}
+
+/// Unrolls a self-looping superblock `factor` times, in place.
+///
+/// Superblock loop unrolling is how IMPACT exposed inter-iteration ILP to
+/// the (acyclic) superblock scheduler: the body is replicated inside one
+/// superblock, each intermediate latch becoming a rarely-taken side exit,
+/// so speculation can hoist iteration *k+1*'s loads above iteration *k*'s
+/// branches.
+///
+/// The block must end with `bne/beq cond, …, self` followed by an
+/// unconditional `jump exit` (the shape the workload generator and
+/// [`form_superblocks`] produce). Returns `true` if unrolling applied;
+/// blocks of other shapes are left untouched.
+///
+/// The transformation is purely structural (each copy still evaluates the
+/// latch condition), so it is correct for any trip count.
+pub fn unroll_superblock_loop(func: &mut Function, block: BlockId, factor: usize) -> bool {
+    if factor < 2 {
+        return false;
+    }
+    let insns = func.block(block).insns.clone();
+    let n = insns.len();
+    if n < 2 {
+        return false;
+    }
+    // Shape check: [... body ..., latch cond-branch -> self, jump exit].
+    let latch = &insns[n - 2];
+    let tail = &insns[n - 1];
+    if !(latch.op.is_cond_branch() && latch.target == Some(block)) {
+        return false;
+    }
+    if !(tail.op == Opcode::Jump) {
+        return false;
+    }
+    let exit_target = tail.target.expect("jump target");
+
+    let body: Vec<Insn> = insns[..n - 1].to_vec(); // includes the latch branch
+    let mut new_insns: Vec<Insn> = Vec::with_capacity(body.len() * factor + 1);
+    for copy in 0..factor {
+        for insn in &body {
+            let mut i = insn.clone();
+            let is_latch = std::ptr::eq(insn, &body[body.len() - 1]);
+            if is_latch && copy + 1 < factor {
+                // Intermediate latch: exit when the loop would NOT
+                // continue — invert the branch toward the exit.
+                i.op = invert_branch(i.op);
+                i.target = Some(exit_target);
+            }
+            // Final copy keeps the back edge to `block`.
+            i.id = InsnId::UNASSIGNED;
+            new_insns.push(i);
+        }
+    }
+    new_insns.push(Insn::jump(exit_target));
+    func.block_mut(block).insns.clear();
+    for i in new_insns {
+        func.push_insn(block, i);
+    }
+    true
+}
+
+/// Unrolls every self-looping superblock in the layout. Returns how many
+/// loops were unrolled.
+pub fn unroll_all_loops(func: &mut Function, factor: usize) -> usize {
+    let blocks: Vec<BlockId> = func.layout().to_vec();
+    blocks
+        .into_iter()
+        .filter(|&b| unroll_superblock_loop(func, b, factor))
+        .count()
+}
+
+/// The inverse conditional branch opcode.
+pub fn invert_branch(op: Opcode) -> Opcode {
+    match op {
+        Opcode::Beq => Opcode::Bne,
+        Opcode::Bne => Opcode::Beq,
+        Opcode::Blt => Opcode::Bge,
+        Opcode::Bge => Opcode::Blt,
+        other => panic!("{other} is not an invertible conditional branch"),
+    }
+}
+
+/// Runs superblock formation over a function, in place.
+///
+/// Blocks are visited hottest-first; each trace is tail-duplicated free of
+/// side entrances and merged into a single superblock. Zombie blocks left
+/// behind by merging are removed from the layout but keep their ids.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_prog::{superblock::{form_superblocks, SuperblockConfig}, profile::Profile, ProgramBuilder};
+/// use sentinel_isa::Insn;
+///
+/// let mut b = ProgramBuilder::new("f");
+/// let entry = b.block("entry");
+/// b.push(Insn::halt());
+/// let mut f = b.finish();
+/// let mut p = Profile::new();
+/// p.enter_block(entry);
+/// let result = form_superblocks(&mut f, &p, &SuperblockConfig::default());
+/// assert_eq!(result.superblocks, vec![entry]); // single-block trace
+/// ```
+pub fn form_superblocks(
+    func: &mut Function,
+    profile: &Profile,
+    cfg: &SuperblockConfig,
+) -> FormationResult {
+    let mut result = FormationResult::default();
+    let mut visited: HashSet<BlockId> = HashSet::new();
+    loop {
+        // Hottest unvisited block still in the layout.
+        let seed = func
+            .blocks()
+            .filter(|b| func.in_layout(b.id) && !visited.contains(&b.id))
+            .map(|b| (profile.entries(b.id), b.id))
+            .filter(|(w, _)| *w >= cfg.min_seed_weight)
+            .max_by_key(|(w, id)| (*w, std::cmp::Reverse(id.0)))
+            .map(|(_, id)| id);
+        let Some(seed) = seed else { break };
+        let (trace, links) = grow_trace(func, profile, seed, &visited, cfg);
+        for &b in &trace {
+            visited.insert(b);
+        }
+        if trace.len() > 1 {
+            result.duplicated_blocks += tail_duplicate(func, &trace, &links);
+            merge_trace(func, &trace, &links);
+        }
+        result.superblocks.push(seed);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::{validate, ProgramBuilder};
+    use sentinel_isa::Reg;
+
+    /// entry(hot) -fallthrough-> body(hot) -fallthrough-> exit
+    /// with a cold side exit entry->cold, cold->body (side entrance).
+    fn side_entrance_fn() -> (Function, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = ProgramBuilder::new("f");
+        let entry = b.block("entry");
+        let cold = b.block("cold");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.push(Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, cold)); // rare
+        b.push(Insn::jump(body));
+        b.switch_to(cold);
+        b.push(Insn::addi(Reg::int(2), Reg::int(2), 1));
+        b.push(Insn::jump(body)); // side entrance into the hot trace
+        b.switch_to(body);
+        b.push(Insn::addi(Reg::int(3), Reg::int(3), 1));
+        b.switch_to(exit);
+        b.push(Insn::halt());
+        (b.finish(), entry, cold, body, exit)
+    }
+
+    fn hot_profile(f: &Function, entry: BlockId, cold: BlockId) -> Profile {
+        let mut p = Profile::new();
+        for b in f.blocks() {
+            if b.id == cold {
+                p.block_entries.insert(b.id, 1);
+            } else {
+                p.block_entries.insert(b.id, 100);
+            }
+        }
+        // entry's branch to cold: taken once out of 100.
+        let branch_id = f.block(entry).insns[0].id;
+        p.branch_executed.insert(branch_id, 100);
+        p.branch_taken.insert(branch_id, 1);
+        // entry's jump to body: always taken when reached.
+        let jump_id = f.block(entry).insns[1].id;
+        p.branch_executed.insert(jump_id, 99);
+        p.branch_taken.insert(jump_id, 99);
+        p
+    }
+
+    #[test]
+    fn forms_superblock_and_duplicates_side_entrance() {
+        let (mut f, entry, cold, body, _exit) = side_entrance_fn();
+        let p = hot_profile(&f, entry, cold);
+        let r = form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        assert!(r.superblocks.contains(&entry));
+        assert!(r.duplicated_blocks >= 1, "body suffix must be duplicated");
+        assert!(validate(&f).is_empty(), "formation output must validate: {:?}", validate(&f));
+        // body was merged into entry and removed from the layout.
+        assert!(!f.in_layout(body));
+        // cold now jumps to the duplicate, not into the middle of the trace.
+        let cold_jump = f.block(cold).insns.last().unwrap();
+        assert_ne!(cold_jump.target, Some(body));
+        // The merged superblock contains body's add.
+        let merged = f.block(entry);
+        assert!(merged
+            .insns
+            .iter()
+            .any(|i| i.op == Opcode::AddI && i.dest == Some(Reg::int(3))));
+    }
+
+    #[test]
+    fn taken_trace_link_drops_jump() {
+        let (mut f, entry, cold, _body, _exit) = side_entrance_fn();
+        let p = hot_profile(&f, entry, cold);
+        form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        // The `jump body` trace link inside the superblock is gone.
+        let merged = f.block(entry);
+        let jumps: Vec<_> = merged.insns.iter().filter(|i| i.op == Opcode::Jump).collect();
+        // Only the final explicit fall-through jump (to exit or its copy) remains.
+        assert!(jumps.len() <= 1);
+    }
+
+    #[test]
+    fn branch_inversion_when_trace_follows_taken_edge() {
+        // entry ends with `beq r1, r0, hot`; fall-through goes to coldexit.
+        // The hot path is the taken edge, so merging must invert the branch.
+        let mut b = ProgramBuilder::new("f");
+        let entry = b.block("entry");
+        let coldexit = b.block("coldexit");
+        let hot = b.block("hot");
+        b.switch_to(entry);
+        b.push(Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, hot));
+        b.switch_to(coldexit);
+        b.push(Insn::halt());
+        b.switch_to(hot);
+        b.push(Insn::addi(Reg::int(2), Reg::int(2), 1));
+        b.push(Insn::halt());
+        let mut f = b.finish();
+        let mut p = Profile::new();
+        p.block_entries.insert(entry, 100);
+        p.block_entries.insert(hot, 95);
+        p.block_entries.insert(coldexit, 5);
+        let br = f.block(entry).insns[0].id;
+        p.branch_executed.insert(br, 100);
+        p.branch_taken.insert(br, 95);
+        form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        assert!(validate(&f).is_empty());
+        let merged = f.block(entry);
+        // Branch is now inverted (bne) and targets the old fall-through.
+        assert_eq!(merged.insns[0].op, Opcode::Bne);
+        assert_eq!(merged.insns[0].target, Some(coldexit));
+        // hot's body follows inside the superblock.
+        assert!(merged.insns.iter().any(|i| i.op == Opcode::AddI));
+        assert!(!f.in_layout(hot));
+    }
+
+    #[test]
+    fn low_probability_edges_do_not_extend_traces() {
+        let (mut f, entry, cold, body, _) = side_entrance_fn();
+        let mut p = hot_profile(&f, entry, cold);
+        // Make the entry->body edge 50/50: below the 0.7 threshold.
+        let jump_id = f.block(entry).insns[1].id;
+        p.branch_executed.insert(jump_id, 100);
+        p.branch_taken.insert(jump_id, 50);
+        let branch_id = f.block(entry).insns[0].id;
+        p.branch_taken.insert(branch_id, 50);
+        form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        // No merging happened: body is still separate.
+        assert!(f.in_layout(body));
+    }
+
+    #[test]
+    fn invert_branch_covers_all_conditionals() {
+        assert_eq!(invert_branch(Opcode::Beq), Opcode::Bne);
+        assert_eq!(invert_branch(Opcode::Bne), Opcode::Beq);
+        assert_eq!(invert_branch(Opcode::Blt), Opcode::Bge);
+        assert_eq!(invert_branch(Opcode::Bge), Opcode::Blt);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an invertible")]
+    fn invert_branch_rejects_non_branches() {
+        invert_branch(Opcode::Add);
+    }
+
+    #[test]
+    fn formation_is_idempotent_on_superblocks() {
+        let (mut f, entry, cold, _, _) = side_entrance_fn();
+        let p = hot_profile(&f, entry, cold);
+        form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        let before = f.to_string();
+        // A second pass with the same profile finds no new hot traces to merge.
+        form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        assert_eq!(before, f.to_string());
+    }
+
+    #[test]
+    fn unroll_replicates_body_with_inverted_latches() {
+        // loop: r8 += r1 ; r1 -= 1 ; bne r1, r0, loop ; jump exit
+        let mut b = ProgramBuilder::new("u");
+        let body = b.block("loop");
+        let exit = b.block("exit");
+        b.switch_to(body);
+        b.push(Insn::alu(Opcode::Add, Reg::int(8), Reg::int(8), Reg::int(1)));
+        b.push(Insn::addi(Reg::int(1), Reg::int(1), -1));
+        b.push(Insn::branch(Opcode::Bne, Reg::int(1), Reg::ZERO, body));
+        b.push(Insn::jump(exit));
+        b.switch_to(exit);
+        b.push(Insn::halt());
+        let mut f = b.finish();
+        assert!(unroll_superblock_loop(&mut f, body, 4));
+        assert!(validate(&f).is_empty(), "{:?}", validate(&f));
+        let insns = &f.block(body).insns;
+        // 3 insns per copy × 4 copies + final jump.
+        assert_eq!(insns.len(), 13);
+        // Three inverted intermediate latches exiting to `exit`…
+        let inverted = insns
+            .iter()
+            .filter(|i| i.op == Opcode::Beq && i.target == Some(exit))
+            .count();
+        assert_eq!(inverted, 3);
+        // …and one back edge at the end.
+        let back = insns
+            .iter()
+            .filter(|i| i.op == Opcode::Bne && i.target == Some(body))
+            .count();
+        assert_eq!(back, 1);
+    }
+
+    #[test]
+    fn unroll_rejects_non_loop_shapes() {
+        let mut b = ProgramBuilder::new("u");
+        let e = b.block("e");
+        b.push(Insn::nop());
+        b.push(Insn::halt());
+        let mut f = b.finish();
+        assert!(!unroll_superblock_loop(&mut f, e, 4));
+        assert!(!unroll_superblock_loop(&mut f, e, 1));
+    }
+
+    #[test]
+    fn split_at_branches_produces_basic_blocks() {
+        let (mut f, entry, cold, _, _) = side_entrance_fn();
+        let p = hot_profile(&f, entry, cold);
+        form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        // The merged superblock has internal branches; split them back out.
+        split_at_branches(&mut f);
+        assert!(validate(&f).is_empty(), "{:?}", validate(&f));
+        for bid in f.layout().to_vec() {
+            let b = f.block(bid);
+            for (pos, insn) in b.insns.iter().enumerate() {
+                if insn.op.is_control() {
+                    assert_eq!(
+                        pos + 1,
+                        b.insns.len(),
+                        "{}: control insn not at block end",
+                        b.label
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_instruction_ids_and_count() {
+        let (mut f, entry, cold, _, _) = side_entrance_fn();
+        let p = hot_profile(&f, entry, cold);
+        form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        let before: Vec<_> = f
+            .blocks_in_layout()
+            .flat_map(|b| b.insns.iter().map(|i| i.id))
+            .collect();
+        split_at_branches(&mut f);
+        let after: Vec<_> = f
+            .blocks_in_layout()
+            .flat_map(|b| b.insns.iter().map(|i| i.id))
+            .collect();
+        assert_eq!(before, after, "layout-order instruction stream unchanged");
+    }
+
+    #[test]
+    fn loop_trace_stops_at_back_edge() {
+        // head: r1 -= 1; bne r1, r0, head   (0.9 taken)
+        // done: halt
+        let mut b = ProgramBuilder::new("loop");
+        let head = b.block("head");
+        let done = b.block("done");
+        b.switch_to(head);
+        b.push(Insn::addi(Reg::int(1), Reg::int(1), -1));
+        b.push(Insn::branch(Opcode::Bne, Reg::int(1), Reg::ZERO, head));
+        b.switch_to(done);
+        b.push(Insn::halt());
+        let mut f = b.finish();
+        let mut p = Profile::new();
+        p.block_entries.insert(head, 100);
+        p.block_entries.insert(done, 10);
+        let br = f.block(head).insns[1].id;
+        p.branch_executed.insert(br, 100);
+        p.branch_taken.insert(br, 90);
+        let r = form_superblocks(&mut f, &p, &SuperblockConfig::default());
+        // The back edge cannot extend the trace into its own head.
+        assert!(f.in_layout(head) && f.in_layout(done));
+        assert_eq!(r.duplicated_blocks, 0);
+        assert!(validate(&f).is_empty());
+        let cfg = Cfg::build(&f);
+        assert!(cfg.successors(head).contains(&head));
+    }
+}

@@ -1,0 +1,143 @@
+//! A simple direct-mapped data cache (timing-only).
+//!
+//! The paper assumes a 100% cache hit rate (§5.1); the default simulator
+//! configuration preserves that. This optional model adds *timing-only*
+//! misses (data is always correct — the memory is flat) so the
+//! reproduction can ask a question the paper could not: how much of a
+//! miss penalty does compiler speculation hide? Speculative loads issue
+//! earlier, so their misses overlap more useful work.
+
+/// Cache geometry and penalty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of direct-mapped lines (power of two).
+    pub lines: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Extra load-to-use latency on a miss, in cycles.
+    pub miss_penalty: u32,
+}
+
+impl CacheConfig {
+    /// A small L1-ish cache: 128 lines × 32 B (4 KiB), 20-cycle misses.
+    pub fn small_l1(miss_penalty: u32) -> CacheConfig {
+        CacheConfig {
+            lines: 128,
+            line_bytes: 32,
+            miss_penalty,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.lines.is_power_of_two(), "lines must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+    }
+}
+
+/// Direct-mapped tag array with hit/miss counting.
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    cfg: CacheConfig,
+    tags: Vec<Option<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DataCache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not power-of-two.
+    pub fn new(cfg: CacheConfig) -> DataCache {
+        cfg.validate();
+        DataCache {
+            tags: vec![None; cfg.lines],
+            cfg,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `addr`, returning the extra latency (0 on hit), and fills
+    /// the line on a miss.
+    pub fn access(&mut self, addr: u64) -> u32 {
+        let line_addr = addr / self.cfg.line_bytes;
+        let index = (line_addr as usize) & (self.cfg.lines - 1);
+        let tag = line_addr / self.cfg.lines as u64;
+        if self.tags[index] == Some(tag) {
+            self.hits += 1;
+            0
+        } else {
+            self.tags[index] = Some(tag);
+            self.misses += 1;
+            self.cfg.miss_penalty
+        }
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]` (1.0 when no accesses were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> DataCache {
+        DataCache::new(CacheConfig {
+            lines: 4,
+            line_bytes: 32,
+            miss_penalty: 10,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache();
+        assert_eq!(c.access(0x100), 10, "cold miss");
+        assert_eq!(c.access(0x100), 0, "hit");
+        assert_eq!(c.access(0x11F), 0, "same line");
+        assert_eq!(c.access(0x120), 10, "next line");
+        assert_eq!(c.stats(), (2, 2));
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut c = cache();
+        // 4 lines × 32 B = 128 B of reach; addr and addr+128 conflict.
+        assert_eq!(c.access(0x000), 10);
+        assert_eq!(c.access(0x080), 10, "conflicting line evicts");
+        assert_eq!(c.access(0x000), 10, "original evicted");
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_one() {
+        assert_eq!(cache().hit_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        DataCache::new(CacheConfig {
+            lines: 3,
+            line_bytes: 32,
+            miss_penalty: 1,
+        });
+    }
+}

@@ -1,0 +1,266 @@
+//! Pure functional semantics of non-memory operations.
+
+use sentinel_isa::Opcode;
+
+use crate::except::ExceptionKind;
+
+/// Computes the result of a non-memory, non-control operation from its
+/// source data bits (`a` = first source, `b` = second source) and
+/// immediate.
+///
+/// # Errors
+///
+/// Returns the [`ExceptionKind`] the operation raises: divide-by-zero /
+/// overflow for integer division, and invalid / divide-by-zero / overflow
+/// for floating-point operations (the paper's "all floating point
+/// instructions trap" model, §5.1).
+///
+/// # Panics
+///
+/// Panics if called with a memory, control, or store-buffer opcode; those
+/// are executed by the machine, not by this pure function.
+pub fn compute(op: Opcode, a: u64, b: u64, imm: i64) -> Result<u64, ExceptionKind> {
+    use Opcode::*;
+    let ai = a as i64;
+    let bi = b as i64;
+    let af = f64::from_bits(a);
+    let bf = f64::from_bits(b);
+    Ok(match op {
+        Nop | Jsr | Io => 0,
+        Li => imm as u64,
+        FLi => imm as u64, // bits already encode the f64
+        Mov | FMov | CheckExcept | ClearTag => a,
+        Add => ai.wrapping_add(bi) as u64,
+        Sub => ai.wrapping_sub(bi) as u64,
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Sll => ai.wrapping_shl((b & 63) as u32) as u64,
+        Srl => a.wrapping_shr((b & 63) as u32),
+        Sra => (ai.wrapping_shr((b & 63) as u32)) as u64,
+        Slt => (ai < bi) as u64,
+        Seq => (ai == bi) as u64,
+        AddI => ai.wrapping_add(imm) as u64,
+        AndI => a & imm as u64,
+        OrI => a | imm as u64,
+        XorI => a ^ imm as u64,
+        SllI => ai.wrapping_shl((imm & 63) as u32) as u64,
+        SrlI => a.wrapping_shr((imm & 63) as u32),
+        SltI => (ai < imm) as u64,
+        Mul => ai.wrapping_mul(bi) as u64,
+        Div => {
+            if bi == 0 {
+                return Err(ExceptionKind::DivideByZero);
+            }
+            if ai == i64::MIN && bi == -1 {
+                return Err(ExceptionKind::IntOverflow);
+            }
+            (ai / bi) as u64
+        }
+        Rem => {
+            if bi == 0 {
+                return Err(ExceptionKind::DivideByZero);
+            }
+            if ai == i64::MIN && bi == -1 {
+                return Err(ExceptionKind::IntOverflow);
+            }
+            (ai % bi) as u64
+        }
+        FAdd => fp_arith(af, bf, af + bf)?,
+        FSub => fp_arith(af, bf, af - bf)?,
+        FMul => fp_arith(af, bf, af * bf)?,
+        FDiv => {
+            if af.is_nan() || bf.is_nan() {
+                return Err(ExceptionKind::FpInvalid);
+            }
+            if bf == 0.0 {
+                return Err(ExceptionKind::FpDivByZero);
+            }
+            fp_arith(af, bf, af / bf)?
+        }
+        FCvtIF => (ai as f64).to_bits(),
+        FCvtFI => {
+            if af.is_nan() || af < -(2f64.powi(63)) || af >= 2f64.powi(63) {
+                return Err(ExceptionKind::FpInvalid);
+            }
+            (af as i64) as u64
+        }
+        FLt => {
+            if af.is_nan() || bf.is_nan() {
+                return Err(ExceptionKind::FpInvalid);
+            }
+            (af < bf) as u64
+        }
+        FEq => {
+            if af.is_nan() || bf.is_nan() {
+                return Err(ExceptionKind::FpInvalid);
+            }
+            (af == bf) as u64
+        }
+        LdW | LdB | FLd | LdTag | StW | StB | FSt | StTag | Beq | Bne | Blt | Bge | Jump
+        | Halt | ConfirmStore => {
+            panic!("{op} is not a pure-compute opcode")
+        }
+    })
+}
+
+/// Applies the paper's fp trap model to an arithmetic result.
+fn fp_arith(a: f64, b: f64, result: f64) -> Result<u64, ExceptionKind> {
+    if a.is_nan() || b.is_nan() {
+        return Err(ExceptionKind::FpInvalid);
+    }
+    if result.is_nan() {
+        return Err(ExceptionKind::FpInvalid);
+    }
+    if result.is_infinite() && a.is_finite() && b.is_finite() {
+        return Err(ExceptionKind::FpOverflow);
+    }
+    Ok(result.to_bits())
+}
+
+/// Evaluates a conditional branch on integer source data.
+///
+/// # Panics
+///
+/// Panics if `op` is not a conditional branch.
+pub fn branch_taken(op: Opcode, a: u64, b: u64) -> bool {
+    let ai = a as i64;
+    let bi = b as i64;
+    match op {
+        Opcode::Beq => ai == bi,
+        Opcode::Bne => ai != bi,
+        Opcode::Blt => ai < bi,
+        Opcode::Bge => ai >= bi,
+        other => panic!("{other} is not a conditional branch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    #[test]
+    fn integer_alu_basics() {
+        assert_eq!(compute(Opcode::Add, 2, 3, 0).unwrap(), 5);
+        assert_eq!(compute(Opcode::Sub, 2, 3, 0).unwrap() as i64, -1);
+        assert_eq!(compute(Opcode::AddI, 2, 0, 40).unwrap(), 42);
+        assert_eq!(compute(Opcode::Slt, (-1i64) as u64, 0, 0).unwrap(), 1);
+        assert_eq!(compute(Opcode::Seq, 7, 7, 0).unwrap(), 1);
+        assert_eq!(compute(Opcode::Xor, 0b1100, 0b1010, 0).unwrap(), 0b0110);
+    }
+
+    #[test]
+    fn wrapping_arithmetic_never_traps() {
+        assert!(compute(Opcode::Add, i64::MAX as u64, 1, 0).is_ok());
+        assert!(compute(Opcode::Mul, i64::MAX as u64, 2, 0).is_ok());
+    }
+
+    #[test]
+    fn shifts_mask_count() {
+        assert_eq!(compute(Opcode::SllI, 1, 0, 65).unwrap(), 2); // 65 & 63 == 1
+        assert_eq!(
+            compute(Opcode::Sra, (-8i64) as u64, 1, 0).unwrap() as i64,
+            -4
+        );
+        assert_eq!(compute(Opcode::Srl, (-8i64) as u64, 62, 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn integer_divide_traps() {
+        assert_eq!(
+            compute(Opcode::Div, 1, 0, 0),
+            Err(ExceptionKind::DivideByZero)
+        );
+        assert_eq!(
+            compute(Opcode::Rem, 1, 0, 0),
+            Err(ExceptionKind::DivideByZero)
+        );
+        assert_eq!(
+            compute(Opcode::Div, i64::MIN as u64, (-1i64) as u64, 0),
+            Err(ExceptionKind::IntOverflow)
+        );
+        assert_eq!(compute(Opcode::Div, 7, 2, 0).unwrap(), 3);
+        assert_eq!(compute(Opcode::Rem, 7, 2, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn fp_arith_and_traps() {
+        assert_eq!(compute(Opcode::FAdd, f(1.5), f(2.0), 0).unwrap(), f(3.5));
+        assert_eq!(
+            compute(Opcode::FAdd, f(f64::NAN), f(1.0), 0),
+            Err(ExceptionKind::FpInvalid)
+        );
+        assert_eq!(
+            compute(Opcode::FDiv, f(1.0), f(0.0), 0),
+            Err(ExceptionKind::FpDivByZero)
+        );
+        assert_eq!(
+            compute(Opcode::FMul, f(f64::MAX), f(2.0), 0),
+            Err(ExceptionKind::FpOverflow)
+        );
+        // inf * 0 would be NaN -> invalid; inputs include an inf so the
+        // NaN-result rule fires.
+        assert_eq!(
+            compute(Opcode::FMul, f(f64::INFINITY), f(0.0), 0),
+            Err(ExceptionKind::FpInvalid)
+        );
+    }
+
+    #[test]
+    fn fp_compares_trap_on_nan() {
+        assert_eq!(compute(Opcode::FLt, f(1.0), f(2.0), 0).unwrap(), 1);
+        assert_eq!(compute(Opcode::FEq, f(2.0), f(2.0), 0).unwrap(), 1);
+        assert_eq!(
+            compute(Opcode::FLt, f(f64::NAN), f(2.0), 0),
+            Err(ExceptionKind::FpInvalid)
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(compute(Opcode::FCvtIF, (-3i64) as u64, 0, 0).unwrap(), f(-3.0));
+        assert_eq!(compute(Opcode::FCvtFI, f(3.9), 0, 0).unwrap(), 3);
+        assert_eq!(
+            compute(Opcode::FCvtFI, f(f64::NAN), 0, 0),
+            Err(ExceptionKind::FpInvalid)
+        );
+        assert_eq!(
+            compute(Opcode::FCvtFI, f(1e300), 0, 0),
+            Err(ExceptionKind::FpInvalid)
+        );
+    }
+
+    #[test]
+    fn moves_and_immediates() {
+        assert_eq!(compute(Opcode::Li, 0, 0, -9).unwrap() as i64, -9);
+        assert_eq!(compute(Opcode::Mov, 77, 0, 0).unwrap(), 77);
+        assert_eq!(compute(Opcode::CheckExcept, 5, 0, 0).unwrap(), 5);
+        let bits = 2.25f64.to_bits() as i64;
+        assert_eq!(compute(Opcode::FLi, 0, 0, bits).unwrap(), 2.25f64.to_bits());
+    }
+
+    #[test]
+    fn branch_predicates() {
+        assert!(branch_taken(Opcode::Beq, 1, 1));
+        assert!(!branch_taken(Opcode::Beq, 1, 2));
+        assert!(branch_taken(Opcode::Bne, 1, 2));
+        assert!(branch_taken(Opcode::Blt, (-1i64) as u64, 0));
+        assert!(branch_taken(Opcode::Bge, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pure-compute opcode")]
+    fn memory_ops_rejected() {
+        let _ = compute(Opcode::LdW, 0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a conditional branch")]
+    fn branch_taken_rejects_non_branches() {
+        branch_taken(Opcode::Add, 0, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Execution-driven simulator for the sentinel scheduling reproduction.
+//!
+//! This crate implements the architecture the paper proposes plus the
+//! evaluation machinery it is measured on:
+//!
+//! * [`regfile`] — the exception-tagged register file (paper §3.2),
+//! * [`exec`] — functional instruction semantics with the paper's trap
+//!   model (loads, stores, integer divide, all fp instructions),
+//! * [`Machine`] — the in-order multi-issue timing simulator implementing
+//!   **Table 1** (exception detection with sentinel scheduling) and
+//!   **Table 2** (store-buffer insertion with probationary entries),
+//! * [`storebuf`] — the store buffer itself (§4.1),
+//! * [`mod@reference`] — an independent sequential interpreter used as the
+//!   correctness oracle, and
+//! * [`verify`] — run-outcome comparison helpers.
+//!
+//! # Example: detecting a deferred speculative exception
+//!
+//! ```
+//! use sentinel_isa::{Insn, MachineDesc, Reg};
+//! use sentinel_prog::ProgramBuilder;
+//! use sentinel_sim::{Machine, RunOutcome, SimConfig};
+//!
+//! // ld.s from an unmapped address, then a sentinel check.
+//! let mut b = ProgramBuilder::new("demo");
+//! b.block("entry");
+//! b.push(Insn::li(Reg::int(1), 0xdead0));
+//! b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
+//! b.push(Insn::check_exception(Reg::int(2)));
+//! b.push(Insn::halt());
+//! let f = b.finish();
+//!
+//! let mut m = Machine::new(&f, SimConfig::default());
+//! match m.run().unwrap() {
+//!     RunOutcome::Trapped(trap) => {
+//!         // The sentinel reports the *load* as the excepting instruction.
+//!         assert_eq!(trap.excepting_pc, f.block(f.entry()).insns[1].id);
+//!     }
+//!     other => panic!("expected a trap, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod except;
+pub mod exec;
+pub mod memory;
+pub mod reference;
+pub mod regfile;
+pub mod stats;
+pub mod storebuf;
+pub mod verify;
+
+mod machine;
+
+pub use except::{ExceptionKind, PcHistoryQueue, Trap};
+pub use machine::{
+    Machine, Recovery, RunOutcome, SimConfig, SimError, SpeculationSemantics, TraceEvent,
+    GARBAGE, INT_NAN,
+};
+pub use memory::{Memory, Width};
+pub use regfile::{RegFile, TaggedValue};
+pub use stats::Stats;
+pub use storebuf::{ConfirmOutcome, Entry, EntryState, SbError, StoreBuffer};

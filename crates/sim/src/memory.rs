@@ -1,0 +1,261 @@
+//! Sparse byte-addressed memory with explicit mapped regions.
+//!
+//! Accesses outside every mapped region raise
+//! [`ExceptionKind::UnmappedAddress`]; word accesses must be 8-byte
+//! aligned. Unwritten bytes inside a mapped region read as zero.
+//!
+//! Tag-preserving spills (paper §3.2) store a register's exception tag in
+//! a *shadow* map alongside the data word, modeling the widened spill
+//! storage those special instructions imply.
+
+use std::collections::HashMap;
+
+use crate::except::ExceptionKind;
+
+/// Access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// One byte.
+    Byte,
+    /// One 8-byte word.
+    Word,
+}
+
+impl Width {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::Byte => 1,
+            Width::Word => 8,
+        }
+    }
+}
+
+/// Sparse memory.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    bytes: HashMap<u64, u8>,
+    /// Half-open mapped regions `[start, end)`.
+    regions: Vec<(u64, u64)>,
+    /// Shadow exception tags for tag-preserving spills, keyed by word
+    /// address.
+    shadow_tags: HashMap<u64, bool>,
+}
+
+impl Memory {
+    /// Creates an empty memory with no mapped regions.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Maps `[start, start + len)` as accessible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty or wraps the address space.
+    pub fn map_region(&mut self, start: u64, len: u64) {
+        assert!(len > 0, "cannot map an empty region");
+        let end = start.checked_add(len).expect("region wraps address space");
+        self.regions.push((start, end));
+    }
+
+    /// Returns `true` if every byte of `[addr, addr+len)` is mapped.
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        let Some(end) = addr.checked_add(len) else {
+            return false;
+        };
+        // Regions are typically few; a linear scan suffices. A single
+        // region must cover the whole access (regions do not compose).
+        self.regions.iter().any(|&(s, e)| s <= addr && end <= e)
+    }
+
+    /// Validates an access, returning the fault it would raise.
+    pub fn check_access(&self, addr: u64, width: Width) -> Result<(), ExceptionKind> {
+        if !addr.is_multiple_of(width.bytes()) {
+            return Err(ExceptionKind::MisalignedAddress(addr));
+        }
+        if !self.is_mapped(addr, width.bytes()) {
+            return Err(ExceptionKind::UnmappedAddress(addr));
+        }
+        Ok(())
+    }
+
+    /// Reads with access checking.
+    pub fn read(&self, addr: u64, width: Width) -> Result<u64, ExceptionKind> {
+        self.check_access(addr, width)?;
+        Ok(self.read_raw(addr, width))
+    }
+
+    /// Writes with access checking.
+    pub fn write(&mut self, addr: u64, width: Width, value: u64) -> Result<(), ExceptionKind> {
+        self.check_access(addr, width)?;
+        self.write_raw(addr, width, value);
+        Ok(())
+    }
+
+    /// Reads without access checking (used for store-buffer drains of
+    /// already-validated addresses and by test harnesses).
+    pub fn read_raw(&self, addr: u64, width: Width) -> u64 {
+        match width {
+            Width::Byte => *self.bytes.get(&addr).unwrap_or(&0) as u64,
+            Width::Word => {
+                let mut v = 0u64;
+                for i in 0..8 {
+                    v |= (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
+                }
+                v
+            }
+        }
+    }
+
+    /// Writes without access checking.
+    pub fn write_raw(&mut self, addr: u64, width: Width, value: u64) {
+        match width {
+            Width::Byte => {
+                self.bytes.insert(addr, value as u8);
+            }
+            Width::Word => {
+                for i in 0..8 {
+                    self.bytes.insert(addr + i, (value >> (8 * i)) as u8);
+                }
+            }
+        }
+    }
+
+    /// Convenience: reads a word (checked).
+    pub fn read_word(&self, addr: u64) -> Result<u64, ExceptionKind> {
+        self.read(addr, Width::Word)
+    }
+
+    /// Convenience: writes a word (checked).
+    pub fn write_word(&mut self, addr: u64, value: u64) -> Result<(), ExceptionKind> {
+        self.write(addr, Width::Word, value)
+    }
+
+    /// Writes an `f64` word (checked).
+    pub fn write_f64(&mut self, addr: u64, value: f64) -> Result<(), ExceptionKind> {
+        self.write(addr, Width::Word, value.to_bits())
+    }
+
+    /// Reads an `f64` word (checked).
+    pub fn read_f64(&self, addr: u64) -> Result<f64, ExceptionKind> {
+        self.read(addr, Width::Word).map(f64::from_bits)
+    }
+
+    /// Stores a shadow exception tag for a spilled register (paper §3.2
+    /// `st.tag`).
+    pub fn write_shadow_tag(&mut self, addr: u64, tag: bool) {
+        self.shadow_tags.insert(addr, tag);
+    }
+
+    /// Reads a shadow exception tag (paper §3.2 `ld.tag`); absent means
+    /// clear.
+    pub fn read_shadow_tag(&self, addr: u64) -> bool {
+        *self.shadow_tags.get(&addr).unwrap_or(&false)
+    }
+
+    /// A deterministic snapshot of all written bytes, for state comparison
+    /// between runs.
+    pub fn snapshot(&self) -> Vec<(u64, u8)> {
+        let mut v: Vec<(u64, u8)> = self
+            .bytes
+            .iter()
+            .map(|(a, b)| (*a, *b))
+            .filter(|(_, b)| *b != 0)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = Memory::new();
+        assert_eq!(
+            m.read(0x100, Width::Word),
+            Err(ExceptionKind::UnmappedAddress(0x100))
+        );
+    }
+
+    #[test]
+    fn mapped_roundtrip() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x100);
+        m.write_word(0x1008, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_word(0x1008).unwrap(), 0xDEAD_BEEF);
+        // Unwritten mapped bytes read as zero.
+        assert_eq!(m.read_word(0x1010).unwrap(), 0);
+    }
+
+    #[test]
+    fn misaligned_word_faults() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 0x100);
+        assert_eq!(
+            m.write_word(0x1001, 1),
+            Err(ExceptionKind::MisalignedAddress(0x1001))
+        );
+        // Bytes have no alignment requirement.
+        assert!(m.write(0x1001, Width::Byte, 7).is_ok());
+        assert_eq!(m.read(0x1001, Width::Byte).unwrap(), 7);
+    }
+
+    #[test]
+    fn access_straddling_region_end_faults() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 8);
+        assert!(m.read_word(0x1000).is_ok());
+        assert_eq!(
+            m.read_word(0x1008),
+            Err(ExceptionKind::UnmappedAddress(0x1008))
+        );
+    }
+
+    #[test]
+    fn word_is_little_endian_over_bytes() {
+        let mut m = Memory::new();
+        m.map_region(0, 16);
+        m.write_word(0, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(m.read(0, Width::Byte).unwrap(), 0x08);
+        assert_eq!(m.read(7, Width::Byte).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = Memory::new();
+        m.map_region(0, 8);
+        m.write_f64(0, -2.5).unwrap();
+        assert_eq!(m.read_f64(0).unwrap(), -2.5);
+    }
+
+    #[test]
+    fn shadow_tags_independent_of_data() {
+        let mut m = Memory::new();
+        m.map_region(0, 8);
+        assert!(!m.read_shadow_tag(0));
+        m.write_shadow_tag(0, true);
+        m.write_word(0, 42).unwrap();
+        assert!(m.read_shadow_tag(0));
+        assert_eq!(m.read_word(0).unwrap(), 42);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_sparse() {
+        let mut m = Memory::new();
+        m.map_region(0, 64);
+        m.write(9, Width::Byte, 1).unwrap();
+        m.write(3, Width::Byte, 2).unwrap();
+        m.write(5, Width::Byte, 0).unwrap(); // zero bytes dropped
+        assert_eq!(m.snapshot(), vec![(3, 2), (9, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_region_rejected() {
+        Memory::new().map_region(0, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The exception-tagged register file (paper §3.2).
+
+use sentinel_isa::{InsnId, Reg, RegClass};
+
+/// One architectural register: 64 data bits plus the exception tag.
+///
+/// When the tag is set, the data field holds the PC of the excepting
+/// speculative instruction (paper §3.2); the simulator stores the raw
+/// [`InsnId`] value there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaggedValue {
+    /// Raw data bits (integer value, `f64` bits, or an excepting PC).
+    pub data: u64,
+    /// The exception tag.
+    pub tag: bool,
+}
+
+impl TaggedValue {
+    /// An untagged value.
+    pub fn clean(data: u64) -> TaggedValue {
+        TaggedValue { data, tag: false }
+    }
+
+    /// A tagged value carrying an excepting PC.
+    pub fn excepting(pc: InsnId) -> TaggedValue {
+        TaggedValue {
+            data: pc.0 as u64,
+            tag: true,
+        }
+    }
+
+    /// Interprets the data field as an excepting PC.
+    pub fn as_pc(self) -> InsnId {
+        InsnId(self.data as u32)
+    }
+
+    /// Interprets the data field as a signed integer.
+    pub fn as_i64(self) -> i64 {
+        self.data as i64
+    }
+
+    /// Interprets the data field as an `f64`.
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(self.data)
+    }
+}
+
+/// The register file: integer and floating-point banks, each register
+/// carrying an exception tag.
+///
+/// Integer register 0 is hardwired: reads return an untagged zero and
+/// writes are discarded, which is what lets `check_exception` be encoded
+/// as a move to `r0`.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    int: Vec<TaggedValue>,
+    fp: Vec<TaggedValue>,
+}
+
+impl RegFile {
+    /// Creates a register file with the given bank sizes. All registers
+    /// start as untagged zero (the simulator models a clean context; tests
+    /// for §3.5 set stale tags explicitly).
+    pub fn new(int_regs: usize, fp_regs: usize) -> RegFile {
+        RegFile {
+            int: vec![TaggedValue::default(); int_regs],
+            fp: vec![TaggedValue::default(); fp_regs],
+        }
+    }
+
+    fn bank(&self, class: RegClass) -> &[TaggedValue] {
+        match class {
+            RegClass::Int => &self.int,
+            RegClass::Fp => &self.fp,
+        }
+    }
+
+    /// Reads a register (with its tag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register index exceeds the bank size.
+    pub fn read(&self, r: Reg) -> TaggedValue {
+        if r.is_zero() {
+            return TaggedValue::default();
+        }
+        self.bank(r.class())[r.index() as usize]
+    }
+
+    /// Writes a register (with its tag). Writes to `r0` are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register index exceeds the bank size.
+    pub fn write(&mut self, r: Reg, v: TaggedValue) {
+        if r.is_zero() {
+            return;
+        }
+        match r.class() {
+            RegClass::Int => self.int[r.index() as usize] = v,
+            RegClass::Fp => self.fp[r.index() as usize] = v,
+        }
+    }
+
+    /// Writes untagged data.
+    pub fn write_clean(&mut self, r: Reg, data: u64) {
+        self.write(r, TaggedValue::clean(data));
+    }
+
+    /// Clears only the exception tag, keeping the data (the `clear_tag`
+    /// instruction, paper §3.5).
+    pub fn clear_tag(&mut self, r: Reg) {
+        if r.is_zero() {
+            return;
+        }
+        let mut v = self.read(r);
+        v.tag = false;
+        self.write(r, v);
+    }
+
+    /// Registers currently carrying a set exception tag.
+    pub fn tagged_regs(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        for (i, v) in self.int.iter().enumerate() {
+            if v.tag {
+                out.push(Reg::int(i as u16));
+            }
+        }
+        for (i, v) in self.fp.iter().enumerate() {
+            if v.tag {
+                out.push(Reg::fp(i as u16));
+            }
+        }
+        out
+    }
+
+    /// Bank sizes `(int, fp)`.
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.int.len(), self.fp.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_hardwired() {
+        let mut rf = RegFile::new(4, 4);
+        rf.write(Reg::ZERO, TaggedValue::excepting(InsnId(7)));
+        let v = rf.read(Reg::ZERO);
+        assert_eq!(v, TaggedValue::default());
+        assert!(!v.tag);
+    }
+
+    #[test]
+    fn tagged_write_roundtrip() {
+        let mut rf = RegFile::new(4, 4);
+        rf.write(Reg::int(2), TaggedValue::excepting(InsnId(42)));
+        let v = rf.read(Reg::int(2));
+        assert!(v.tag);
+        assert_eq!(v.as_pc(), InsnId(42));
+    }
+
+    #[test]
+    fn fp_bank_separate_from_int() {
+        let mut rf = RegFile::new(4, 4);
+        rf.write_clean(Reg::int(1), 10);
+        rf.write(Reg::fp(1), TaggedValue::clean(3.5f64.to_bits()));
+        assert_eq!(rf.read(Reg::int(1)).as_i64(), 10);
+        assert_eq!(rf.read(Reg::fp(1)).as_f64(), 3.5);
+    }
+
+    #[test]
+    fn clear_tag_keeps_data() {
+        let mut rf = RegFile::new(4, 4);
+        rf.write(Reg::int(3), TaggedValue { data: 99, tag: true });
+        rf.clear_tag(Reg::int(3));
+        let v = rf.read(Reg::int(3));
+        assert!(!v.tag);
+        assert_eq!(v.data, 99);
+    }
+
+    #[test]
+    fn tagged_regs_lists_both_banks() {
+        let mut rf = RegFile::new(4, 4);
+        rf.write(Reg::int(1), TaggedValue::excepting(InsnId(0)));
+        rf.write(Reg::fp(2), TaggedValue::excepting(InsnId(1)));
+        assert_eq!(rf.tagged_regs(), vec![Reg::int(1), Reg::fp(2)]);
+    }
+
+    #[test]
+    fn negative_i64_roundtrip() {
+        let v = TaggedValue::clean((-5i64) as u64);
+        assert_eq!(v.as_i64(), -5);
+    }
+}

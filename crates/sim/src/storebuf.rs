@@ -1,0 +1,577 @@
+//! The store buffer with probationary entries (paper §4.1, Table 2).
+//!
+//! A conventional store buffer is a FIFO between the CPU and the data
+//! cache: it accepts one entry per store, forwards data to matching loads,
+//! and releases the head entry to the cache when the cache is available
+//! (modeled as one release per cycle). The sentinel extension adds
+//! *probationary* entries for speculative stores, carrying a confirmation
+//! bit, an exception tag, and an exception PC:
+//!
+//! * probationary entries never update the cache — a probationary head
+//!   blocks releases;
+//! * `confirm_store(index)` confirms the entry `index` slots from the
+//!   tail, signaling its deferred exception if the tag is set;
+//! * a taken branch (the compile-time analogue of a misprediction) cancels
+//!   every probationary entry;
+//! * loads search confirmed *and* probationary entries, except
+//!   probationary entries with a set exception tag.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use sentinel_isa::InsnId;
+
+use crate::except::ExceptionKind;
+use crate::memory::{Memory, Width};
+
+/// Lifecycle state of a store-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Speculative store awaiting `confirm_store` (the paper's
+    /// "pending"/unconfirmed entry).
+    Probationary,
+    /// Eligible to update the cache from `ready` onward.
+    Confirmed {
+        /// Cycle from which the entry may be released.
+        ready: u64,
+    },
+    /// Invalidated by a taken branch (or by a signaled confirm); the slot
+    /// is reclaimed at the head without a cache update.
+    Cancelled {
+        /// Cycle from which the slot may be reclaimed.
+        ready: u64,
+    },
+}
+
+/// One store-buffer entry: address, data, and the probationary extensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Store address (already translated; see [`StoreBuffer::insert`]).
+    pub addr: u64,
+    /// Store data bits.
+    pub data: u64,
+    /// Access width.
+    pub width: Width,
+    /// Lifecycle state.
+    pub state: EntryState,
+    /// Deferred exception: the excepting PC (tag is set iff `Some`).
+    pub except_pc: Option<InsnId>,
+    /// Debug-side cause of the deferred exception.
+    pub except_kind: Option<ExceptionKind>,
+    /// Cycle the entry was inserted (statistics).
+    pub inserted_at: u64,
+}
+
+/// Errors that indicate a malformed schedule or an architectural deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbError {
+    /// The buffer is full and the head is probationary with no confirm
+    /// able to execute first: the deadlock of paper §4.2, prevented by the
+    /// scheduler's `N − 1` separation constraint.
+    Deadlock,
+    /// `confirm_store` indexed past the live entries.
+    ConfirmOutOfRange(usize),
+    /// `confirm_store` named an entry that is not probationary.
+    ConfirmNotProbationary(usize),
+    /// A load overlapped a buffered store with a different width/address
+    /// shape than the simulator can forward (unsupported by workloads).
+    WidthConflict,
+}
+
+impl fmt::Display for SbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SbError::Deadlock => write!(
+                f,
+                "store buffer deadlock: full with an unconfirmable probationary head"
+            ),
+            SbError::ConfirmOutOfRange(i) => write!(f, "confirm_store index {i} out of range"),
+            SbError::ConfirmNotProbationary(i) => {
+                write!(f, "confirm_store index {i} is not probationary")
+            }
+            SbError::WidthConflict => write!(f, "load overlaps buffered store with a mismatched width"),
+        }
+    }
+}
+
+impl std::error::Error for SbError {}
+
+/// Result of confirming a probationary entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfirmOutcome {
+    /// Entry confirmed; it will update the cache in FIFO order.
+    Confirmed,
+    /// The entry's exception tag was set: the deferred exception must be
+    /// signaled, reporting the recorded PC (paper §4.1).
+    Exception {
+        /// PC recorded in the entry's exception-PC field.
+        pc: InsnId,
+        /// Debug-side cause.
+        kind: Option<ExceptionKind>,
+    },
+}
+
+/// The store buffer: a fixed-capacity FIFO with cycle-accurate releases
+/// (at most one entry leaves per cycle).
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: VecDeque<Entry>,
+    capacity: usize,
+    last_release: u64,
+    // statistics
+    releases: u64,
+    cancels: u64,
+    forwards: u64,
+    full_stall_cycles: u64,
+}
+
+impl StoreBuffer {
+    /// Creates an empty buffer with `capacity` entries (8 on the paper's
+    /// machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> StoreBuffer {
+        assert!(capacity >= 1, "store buffer needs at least one entry");
+        StoreBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            last_release: 0,
+            releases: 0,
+            cancels: 0,
+            forwards: 0,
+            full_stall_cycles: 0,
+        }
+    }
+
+    /// Current number of occupied slots (including cancelled ones not yet
+    /// reclaimed).
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of probationary entries.
+    pub fn probationary_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.state == EntryState::Probationary)
+            .count()
+    }
+
+    /// Statistics: `(releases, cancels, load_forwards, full_stall_cycles)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.releases,
+            self.cancels,
+            self.forwards,
+            self.full_stall_cycles,
+        )
+    }
+
+    /// When the current head could next be released, or `None` if the head
+    /// is probationary (blocked) or the buffer is empty.
+    fn head_release_time(&self) -> Option<u64> {
+        let head = self.entries.front()?;
+        let ready = match head.state {
+            EntryState::Probationary => return None,
+            EntryState::Confirmed { ready } | EntryState::Cancelled { ready } => ready,
+        };
+        Some(ready.max(self.last_release + 1))
+    }
+
+    /// Releases head entries whose release time is `<= cycle` (one per
+    /// cycle), committing confirmed data to memory.
+    pub fn drain_to(&mut self, cycle: u64, mem: &mut Memory) {
+        while let Some(t) = self.head_release_time() {
+            if t > cycle {
+                break;
+            }
+            let e = self.entries.pop_front().expect("head exists");
+            if let EntryState::Confirmed { .. } = e.state {
+                debug_assert!(e.except_pc.is_none(), "confirmed entries carry no tag");
+                mem.write_raw(e.addr, e.width, e.data);
+            }
+            self.last_release = t;
+            self.releases += 1;
+        }
+    }
+
+    /// Inserts an entry at `cycle`, stalling (in simulated time) while the
+    /// buffer is full. Returns the effective insertion cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`SbError::Deadlock`] if the buffer is full and headed by a
+    /// probationary entry — no release can ever free a slot because the
+    /// confirming instruction is younger than this stalled store (§4.2).
+    pub fn insert(&mut self, entry: Entry, cycle: u64, mem: &mut Memory) -> Result<u64, SbError> {
+        let mut now = cycle;
+        self.drain_to(now, mem);
+        while self.entries.len() == self.capacity {
+            let t = self.head_release_time().ok_or(SbError::Deadlock)?;
+            debug_assert!(t > now, "drain_to left a releasable head");
+            self.full_stall_cycles += t - now;
+            now = t;
+            self.drain_to(now, mem);
+        }
+        self.entries.push_back(Entry {
+            inserted_at: now,
+            ..entry
+        });
+        Ok(now)
+    }
+
+    /// Confirms the probationary entry `index` slots from the tail
+    /// (`index == 0` is the most recently inserted entry).
+    ///
+    /// On a set exception tag the entry is cancelled and the deferred
+    /// exception returned for signaling.
+    ///
+    /// # Errors
+    ///
+    /// See [`SbError::ConfirmOutOfRange`] and
+    /// [`SbError::ConfirmNotProbationary`] — both indicate scheduler bugs.
+    pub fn confirm(&mut self, index: usize, cycle: u64) -> Result<ConfirmOutcome, SbError> {
+        let len = self.entries.len();
+        if index >= len {
+            return Err(SbError::ConfirmOutOfRange(index));
+        }
+        let slot = len - 1 - index;
+        let e = &mut self.entries[slot];
+        if e.state != EntryState::Probationary {
+            return Err(SbError::ConfirmNotProbationary(index));
+        }
+        if let Some(pc) = e.except_pc {
+            let kind = e.except_kind;
+            e.state = EntryState::Cancelled { ready: cycle };
+            return Ok(ConfirmOutcome::Exception { pc, kind });
+        }
+        e.state = EntryState::Confirmed { ready: cycle };
+        Ok(ConfirmOutcome::Confirmed)
+    }
+
+    /// Cancels every probationary entry (taken branch ⇒ compile-time
+    /// misprediction, §4.1).
+    pub fn cancel_probationary(&mut self, cycle: u64) {
+        for e in &mut self.entries {
+            if e.state == EntryState::Probationary {
+                e.state = EntryState::Cancelled { ready: cycle };
+                self.cancels += 1;
+            }
+        }
+    }
+
+    /// Searches for a forwardable entry matching a load, youngest first.
+    ///
+    /// Probationary entries with a set exception tag do not participate
+    /// (paper §4.1 fn. 5); cancelled entries are invisible.
+    ///
+    /// # Errors
+    ///
+    /// [`SbError::WidthConflict`] if the load overlaps a live entry
+    /// without matching it exactly *and* that entry is probationary (a
+    /// confirmed conflicting entry is resolved by the caller draining the
+    /// buffer; a probationary one cannot drain).
+    pub fn lookup(&mut self, addr: u64, width: Width) -> Result<LoadLookup, SbError> {
+        let lo = addr;
+        let hi = addr + width.bytes();
+        let mut conflict_confirmed = false;
+        for e in self.entries.iter().rev() {
+            let visible = match e.state {
+                EntryState::Cancelled { .. } => false,
+                EntryState::Probationary => e.except_pc.is_none(),
+                EntryState::Confirmed { .. } => true,
+            };
+            if !visible {
+                continue;
+            }
+            let e_lo = e.addr;
+            let e_hi = e.addr + e.width.bytes();
+            let overlaps = lo < e_hi && e_lo < hi;
+            if !overlaps {
+                continue;
+            }
+            if e.addr == addr && e.width == width {
+                self.forwards += 1;
+                return Ok(LoadLookup::Hit(e.data));
+            }
+            match e.state {
+                EntryState::Probationary => return Err(SbError::WidthConflict),
+                _ => conflict_confirmed = true,
+            }
+        }
+        if conflict_confirmed {
+            Ok(LoadLookup::ConflictConfirmed)
+        } else {
+            Ok(LoadLookup::Miss)
+        }
+    }
+
+    /// Resolves a load at `cycle`: drains due releases, searches the
+    /// buffer, and — when the load partially overlaps *confirmed* entries
+    /// — stalls until they drain. Returns the forwarded data (if any) and
+    /// the effective load cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SbError::WidthConflict`] for probationary overlaps.
+    pub fn resolve_load(
+        &mut self,
+        addr: u64,
+        width: Width,
+        cycle: u64,
+        mem: &mut Memory,
+    ) -> Result<(Option<u64>, u64), SbError> {
+        let mut now = cycle;
+        loop {
+            self.drain_to(now, mem);
+            match self.lookup(addr, width)? {
+                LoadLookup::Hit(data) => return Ok((Some(data), now)),
+                LoadLookup::Miss => return Ok((None, now)),
+                LoadLookup::ConflictConfirmed => {
+                    let t = self.head_release_time().ok_or(SbError::Deadlock)?;
+                    self.full_stall_cycles += t.saturating_sub(now);
+                    now = t;
+                }
+            }
+        }
+    }
+
+    /// Releases everything releasable regardless of timing (end of
+    /// program / trap). Returns the number of probationary entries left
+    /// behind (non-zero indicates a scheduler bug on a halting path).
+    pub fn flush(&mut self, mem: &mut Memory) -> usize {
+        // Repeatedly release until only probationary entries block.
+        loop {
+            let before = self.entries.len();
+            self.drain_to(u64::MAX, mem);
+            if self.entries.len() == before {
+                break;
+            }
+        }
+        self.probationary_count()
+    }
+
+    /// Iterates live entries oldest-first (diagnostics / tests).
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+}
+
+/// Outcome of a load search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadLookup {
+    /// Exact-match entry found; forward this data.
+    Hit(u64),
+    /// No overlapping entry; read the cache (memory).
+    Miss,
+    /// Overlaps confirmed entries that must drain first.
+    ConflictConfirmed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(addr: u64, data: u64, state: EntryState) -> Entry {
+        Entry {
+            addr,
+            data,
+            width: Width::Word,
+            state,
+            except_pc: None,
+            except_kind: None,
+            inserted_at: 0,
+        }
+    }
+
+    fn mem() -> Memory {
+        let mut m = Memory::new();
+        m.map_region(0, 0x1_0000);
+        m
+    }
+
+    #[test]
+    fn confirmed_entries_release_one_per_cycle() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        for i in 0..3 {
+            sb.insert(
+                entry(i * 8, 100 + i, EntryState::Confirmed { ready: 0 }),
+                0,
+                &mut m,
+            )
+            .unwrap();
+        }
+        assert_eq!(sb.occupancy(), 3);
+        sb.drain_to(1, &mut m);
+        assert_eq!(sb.occupancy(), 2, "one release per cycle");
+        sb.drain_to(3, &mut m);
+        assert_eq!(sb.occupancy(), 0);
+        assert_eq!(m.read_word(8).unwrap(), 101);
+    }
+
+    #[test]
+    fn probationary_head_blocks_release() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        sb.insert(entry(0, 1, EntryState::Probationary), 0, &mut m)
+            .unwrap();
+        sb.insert(entry(8, 2, EntryState::Confirmed { ready: 0 }), 0, &mut m)
+            .unwrap();
+        sb.drain_to(100, &mut m);
+        assert_eq!(sb.occupancy(), 2, "probationary head blocks everything");
+        assert_eq!(m.read_word(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn full_buffer_stalls_until_release() {
+        let mut sb = StoreBuffer::new(2);
+        let mut m = mem();
+        sb.insert(entry(0, 1, EntryState::Confirmed { ready: 5 }), 0, &mut m)
+            .unwrap();
+        sb.insert(entry(8, 2, EntryState::Confirmed { ready: 5 }), 0, &mut m)
+            .unwrap();
+        // Full; next insert at cycle 1 must wait for the head release at
+        // max(last_release+1, 5) = 5.
+        let at = sb
+            .insert(entry(16, 3, EntryState::Confirmed { ready: 5 }), 1, &mut m)
+            .unwrap();
+        assert_eq!(at, 5);
+        let (_, _, _, stalls) = sb.stats();
+        assert_eq!(stalls, 4);
+    }
+
+    #[test]
+    fn deadlock_detected_when_head_probationary_and_full() {
+        let mut sb = StoreBuffer::new(2);
+        let mut m = mem();
+        sb.insert(entry(0, 1, EntryState::Probationary), 0, &mut m)
+            .unwrap();
+        sb.insert(entry(8, 2, EntryState::Confirmed { ready: 0 }), 0, &mut m)
+            .unwrap();
+        let r = sb.insert(entry(16, 3, EntryState::Probationary), 0, &mut m);
+        assert_eq!(r, Err(SbError::Deadlock));
+    }
+
+    #[test]
+    fn confirm_counts_from_tail() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        sb.insert(entry(0, 1, EntryState::Probationary), 0, &mut m)
+            .unwrap();
+        sb.insert(entry(8, 2, EntryState::Confirmed { ready: 0 }), 0, &mut m)
+            .unwrap();
+        // Index 1 from tail = the probationary entry at address 0.
+        assert_eq!(sb.confirm(1, 3), Ok(ConfirmOutcome::Confirmed));
+        sb.drain_to(10, &mut m);
+        assert_eq!(m.read_word(0).unwrap(), 1);
+        assert_eq!(m.read_word(8).unwrap(), 2);
+    }
+
+    #[test]
+    fn confirm_with_exception_tag_signals_and_cancels() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        let mut e = entry(0, 1, EntryState::Probationary);
+        e.except_pc = Some(InsnId(7));
+        e.except_kind = Some(ExceptionKind::UnmappedAddress(0xbad));
+        sb.insert(e, 0, &mut m).unwrap();
+        match sb.confirm(0, 1).unwrap() {
+            ConfirmOutcome::Exception { pc, kind } => {
+                assert_eq!(pc, InsnId(7));
+                assert_eq!(kind, Some(ExceptionKind::UnmappedAddress(0xbad)));
+            }
+            other => panic!("expected exception, got {other:?}"),
+        }
+        // The cancelled entry never writes memory.
+        sb.drain_to(10, &mut m);
+        assert_eq!(m.read_word(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn confirm_errors() {
+        let mut sb = StoreBuffer::new(4);
+        let mut m = mem();
+        assert_eq!(sb.confirm(0, 0), Err(SbError::ConfirmOutOfRange(0)));
+        sb.insert(entry(0, 1, EntryState::Confirmed { ready: 0 }), 0, &mut m)
+            .unwrap();
+        assert_eq!(sb.confirm(0, 0), Err(SbError::ConfirmNotProbationary(0)));
+    }
+
+    #[test]
+    fn cancel_probationary_leaves_confirmed() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        sb.insert(entry(0, 1, EntryState::Probationary), 0, &mut m)
+            .unwrap();
+        sb.insert(entry(8, 2, EntryState::Confirmed { ready: 0 }), 0, &mut m)
+            .unwrap();
+        sb.cancel_probationary(1);
+        assert_eq!(sb.probationary_count(), 0);
+        sb.drain_to(10, &mut m);
+        assert_eq!(m.read_word(0).unwrap(), 0, "cancelled store discarded");
+        assert_eq!(m.read_word(8).unwrap(), 2);
+    }
+
+    #[test]
+    fn load_forwarding_rules() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        sb.insert(entry(0, 10, EntryState::Confirmed { ready: 50 }), 0, &mut m)
+            .unwrap();
+        sb.insert(entry(0, 20, EntryState::Probationary), 0, &mut m)
+            .unwrap();
+        // Youngest matching entry wins.
+        assert_eq!(sb.lookup(0, Width::Word), Ok(LoadLookup::Hit(20)));
+        // Excepting probationary entries are excluded from the search.
+        let mut bad = entry(8, 30, EntryState::Probationary);
+        bad.except_pc = Some(InsnId(1));
+        sb.insert(bad, 0, &mut m).unwrap();
+        assert_eq!(sb.lookup(8, Width::Word), Ok(LoadLookup::Miss));
+        // Non-overlapping loads miss.
+        assert_eq!(sb.lookup(64, Width::Word), Ok(LoadLookup::Miss));
+    }
+
+    #[test]
+    fn overlapping_confirmed_entry_forces_drain() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        sb.insert(entry(0, 0x1122, EntryState::Confirmed { ready: 4 }), 0, &mut m)
+            .unwrap();
+        // A byte load inside the word conflicts; resolve_load stalls to the
+        // release time and then reads memory.
+        let (fwd, at) = sb.resolve_load(1, Width::Byte, 0, &mut m).unwrap();
+        assert_eq!(fwd, None);
+        assert_eq!(at, 4);
+        assert_eq!(m.read(1, Width::Byte).unwrap(), 0x11);
+    }
+
+    #[test]
+    fn overlapping_probationary_entry_is_a_width_conflict() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        sb.insert(entry(0, 1, EntryState::Probationary), 0, &mut m)
+            .unwrap();
+        assert_eq!(sb.lookup(1, Width::Byte), Err(SbError::WidthConflict));
+    }
+
+    #[test]
+    fn flush_reports_stuck_probationary() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        sb.insert(entry(0, 1, EntryState::Confirmed { ready: 0 }), 0, &mut m)
+            .unwrap();
+        sb.insert(entry(8, 2, EntryState::Probationary), 0, &mut m)
+            .unwrap();
+        let stuck = sb.flush(&mut m);
+        assert_eq!(stuck, 1);
+        assert_eq!(m.read_word(0).unwrap(), 1);
+    }
+}

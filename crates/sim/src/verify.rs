@@ -1,0 +1,281 @@
+//! Outcome comparison between a scheduled run and the reference oracle.
+
+use sentinel_isa::Reg;
+
+use crate::machine::{Machine, RunOutcome};
+use crate::reference::{RefOutcome, Reference};
+
+/// A divergence between a machine run and the reference run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// One run halted while the other trapped.
+    OutcomeKind {
+        /// Machine outcome description.
+        machine: String,
+        /// Reference outcome description.
+        reference: String,
+    },
+    /// Both trapped but reported different excepting instructions.
+    TrapPc {
+        /// Machine-reported excepting instruction.
+        machine: sentinel_isa::InsnId,
+        /// Reference faulting instruction.
+        reference: sentinel_isa::InsnId,
+    },
+    /// A compared register differs.
+    Register {
+        /// Which register.
+        reg: Reg,
+        /// Machine bits.
+        machine: u64,
+        /// Reference bits.
+        reference: u64,
+    },
+    /// Final memory differs at an address.
+    Memory {
+        /// Byte address.
+        addr: u64,
+        /// Machine byte (0 if absent).
+        machine: u8,
+        /// Reference byte (0 if absent).
+        reference: u8,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::OutcomeKind { machine, reference } => {
+                write!(f, "outcome differs: machine {machine}, reference {reference}")
+            }
+            Divergence::TrapPc { machine, reference } => {
+                write!(f, "trap pc differs: machine {machine}, reference {reference}")
+            }
+            Divergence::Register { reg, machine, reference } => write!(
+                f,
+                "register {reg} differs: machine {machine:#x}, reference {reference:#x}"
+            ),
+            Divergence::Memory { addr, machine, reference } => write!(
+                f,
+                "memory {addr:#x} differs: machine {machine:#x}, reference {reference:#x}"
+            ),
+        }
+    }
+}
+
+/// What must match between the two runs.
+#[derive(Debug, Clone, Default)]
+pub struct CompareSpec {
+    /// Registers whose final values must match (live-outs). Empty means
+    /// compare no registers.
+    pub regs: Vec<Reg>,
+    /// Whether final memory must match byte-for-byte.
+    pub memory: bool,
+    /// Whether a machine trap must report the same excepting PC as the
+    /// reference fault (exception-precise models: restricted percolation
+    /// and sentinel scheduling). General percolation cannot promise this.
+    pub trap_pc: bool,
+}
+
+impl CompareSpec {
+    /// Full architectural comparison: memory + given live-out registers +
+    /// precise trap PCs.
+    pub fn precise(regs: Vec<Reg>) -> CompareSpec {
+        CompareSpec {
+            regs,
+            memory: true,
+            trap_pc: true,
+        }
+    }
+
+    /// Comparison for models without exception precision (general
+    /// percolation): outcomes and state are only compared on non-trapping
+    /// executions, trap identity is not.
+    pub fn imprecise(regs: Vec<Reg>) -> CompareSpec {
+        CompareSpec {
+            regs,
+            memory: true,
+            trap_pc: false,
+        }
+    }
+}
+
+/// Compares a finished machine run against a finished reference run.
+///
+/// Register and memory state are only compared when **both** runs halted:
+/// after a trap, architectural state is implementation-defined up to the
+/// handler.
+pub fn compare_runs(
+    machine: &Machine<'_>,
+    m_out: RunOutcome,
+    reference: &Reference<'_>,
+    r_out: RefOutcome,
+    spec: &CompareSpec,
+) -> Vec<Divergence> {
+    let mut divs = Vec::new();
+    match (m_out, r_out) {
+        (RunOutcome::Halted, RefOutcome::Halted) => {
+            for &r in &spec.regs {
+                let mv = machine.reg(r).data;
+                let rv = reference.reg(r);
+                if mv != rv {
+                    divs.push(Divergence::Register {
+                        reg: r,
+                        machine: mv,
+                        reference: rv,
+                    });
+                }
+            }
+            if spec.memory {
+                let ms = machine.memory().snapshot();
+                let rs = reference.memory().snapshot();
+                let mut mi = ms.iter().peekable();
+                let mut ri = rs.iter().peekable();
+                loop {
+                    match (mi.peek(), ri.peek()) {
+                        (None, None) => break,
+                        (Some(&&(a, b)), None) => {
+                            divs.push(Divergence::Memory { addr: a, machine: b, reference: 0 });
+                            mi.next();
+                        }
+                        (None, Some(&&(a, b))) => {
+                            divs.push(Divergence::Memory { addr: a, machine: 0, reference: b });
+                            ri.next();
+                        }
+                        (Some(&&(ma, mb)), Some(&&(ra, rb))) => {
+                            if ma == ra {
+                                if mb != rb {
+                                    divs.push(Divergence::Memory {
+                                        addr: ma,
+                                        machine: mb,
+                                        reference: rb,
+                                    });
+                                }
+                                mi.next();
+                                ri.next();
+                            } else if ma < ra {
+                                divs.push(Divergence::Memory { addr: ma, machine: mb, reference: 0 });
+                                mi.next();
+                            } else {
+                                divs.push(Divergence::Memory { addr: ra, machine: 0, reference: rb });
+                                ri.next();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (RunOutcome::Trapped(t), RefOutcome::Trapped { pc, .. }) => {
+            if spec.trap_pc && t.excepting_pc != pc {
+                divs.push(Divergence::TrapPc {
+                    machine: t.excepting_pc,
+                    reference: pc,
+                });
+            }
+        }
+        (m, r) => divs.push(Divergence::OutcomeKind {
+            machine: format!("{m:?}"),
+            reference: format!("{r:?}"),
+        }),
+    }
+    divs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SimConfig;
+    use sentinel_isa::{Insn, MachineDesc};
+    use sentinel_prog::{Function, ProgramBuilder};
+
+    fn simple_store_fn(val: i64) -> Function {
+        let mut b = ProgramBuilder::new("f");
+        b.block("e");
+        b.push(Insn::li(Reg::int(1), 0x1000));
+        b.push(Insn::li(Reg::int(2), val));
+        b.push(Insn::st_w(Reg::int(2), Reg::int(1), 0));
+        b.push(Insn::halt());
+        b.finish()
+    }
+
+    #[test]
+    fn identical_runs_have_no_divergence() {
+        let f = simple_store_fn(7);
+        let mut m = Machine::new(&f, SimConfig::for_mdes(MachineDesc::paper_issue(4)));
+        m.memory_mut().map_region(0x1000, 64);
+        let mo = m.run().unwrap();
+        let mut r = Reference::new(&f);
+        r.memory_mut().map_region(0x1000, 64);
+        let ro = r.run().unwrap();
+        let divs = compare_runs(&m, mo, &r, ro, &CompareSpec::precise(vec![Reg::int(2)]));
+        assert!(divs.is_empty(), "{divs:?}");
+    }
+
+    #[test]
+    fn differing_memory_detected() {
+        let f1 = simple_store_fn(7);
+        let f2 = simple_store_fn(8);
+        let mut m = Machine::new(&f1, SimConfig::for_mdes(MachineDesc::paper_issue(4)));
+        m.memory_mut().map_region(0x1000, 64);
+        let mo = m.run().unwrap();
+        let mut r = Reference::new(&f2);
+        r.memory_mut().map_region(0x1000, 64);
+        let ro = r.run().unwrap();
+        let divs = compare_runs(&m, mo, &r, ro, &CompareSpec::precise(vec![]));
+        assert!(divs.iter().any(|d| matches!(d, Divergence::Memory { .. })));
+    }
+
+    #[test]
+    fn differing_register_detected() {
+        let f1 = simple_store_fn(7);
+        let f2 = simple_store_fn(8);
+        let mut m = Machine::new(&f1, SimConfig::for_mdes(MachineDesc::paper_issue(4)));
+        m.memory_mut().map_region(0x1000, 64);
+        let mo = m.run().unwrap();
+        let mut r = Reference::new(&f2);
+        r.memory_mut().map_region(0x1000, 64);
+        let ro = r.run().unwrap();
+        let divs = compare_runs(
+            &m,
+            mo,
+            &r,
+            ro,
+            &CompareSpec {
+                regs: vec![Reg::int(2)],
+                memory: false,
+                trap_pc: true,
+            },
+        );
+        assert_eq!(divs.len(), 1);
+        assert!(matches!(divs[0], Divergence::Register { .. }));
+    }
+
+    #[test]
+    fn outcome_kind_mismatch_detected() {
+        // Machine halts, reference traps.
+        let f_ok = simple_store_fn(7);
+        let mut b = ProgramBuilder::new("g");
+        b.block("e");
+        b.push(Insn::li(Reg::int(1), 0x9999));
+        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0));
+        b.push(Insn::halt());
+        let f_bad = b.finish();
+        let mut m = Machine::new(&f_ok, SimConfig::for_mdes(MachineDesc::paper_issue(4)));
+        m.memory_mut().map_region(0x1000, 64);
+        let mo = m.run().unwrap();
+        let mut r = Reference::new(&f_bad);
+        let ro = r.run().unwrap();
+        let divs = compare_runs(&m, mo, &r, ro, &CompareSpec::precise(vec![]));
+        assert!(matches!(divs[0], Divergence::OutcomeKind { .. }));
+    }
+
+    #[test]
+    fn divergence_display() {
+        let d = Divergence::Register {
+            reg: Reg::int(1),
+            machine: 1,
+            reference: 2,
+        };
+        assert!(d.to_string().contains("r1"));
+    }
+}

@@ -1,0 +1,614 @@
+//! The seeded structural program generator.
+//!
+//! Produces deterministic, trap-free, terminating loop programs whose hot
+//! bodies are superblocks: multiple branch-delimited regions, rare side
+//! exits to cold continuation blocks, and a latch. Memory accesses go
+//! through per-loop pointer registers into disjoint arrays declared
+//! `noalias`, exactly the facts IMPACT's memory disambiguator would have
+//! proven.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sentinel_isa::{BlockId, Insn, Opcode, Reg};
+use sentinel_prog::{Function, ProgramBuilder};
+
+use crate::spec::{BenchClass, WorkloadSpec};
+
+// --- fixed register roles -------------------------------------------------
+const ACC: Reg = Reg::int(8); // integer accumulator (live-out)
+const COUNTER: Reg = Reg::int(9);
+const IN_PTR: Reg = Reg::int(10);
+const OUT_PTR: Reg = Reg::int(11);
+const THRESH: Reg = Reg::int(12);
+const STABLE: Reg = Reg::int(13); // early-resolved branch operand
+const DIVISOR: Reg = Reg::int(14); // nonzero constant
+const RESULT: Reg = Reg::int(15);
+const FP_PTR: Reg = Reg::int(16);
+/// Pointer the "compiler" cannot disambiguate (never declared noalias).
+const ALIAS_PTR: Reg = Reg::int(17);
+const FACC: Reg = Reg::fp(8); // fp accumulator
+const FCONST: Reg = Reg::fp(12);
+
+const INT_POOL: std::ops::Range<u16> = 20..44;
+const FP_POOL: std::ops::Range<u16> = 20..44;
+
+/// Base address of loop `l`'s input array.
+fn in_base(l: usize) -> i64 {
+    0x1_0000 * (l as i64 + 1)
+}
+fn out_base(l: usize) -> i64 {
+    in_base(l) + 0x4000
+}
+fn fp_base(l: usize) -> i64 {
+    in_base(l) + 0x8000
+}
+fn alias_base(l: usize) -> i64 {
+    in_base(l) + 0xC000
+}
+const RESULT_BASE: i64 = 0x8000;
+
+/// Data values loaded from input arrays lie in `[1, DATA_RANGE)`.
+const DATA_RANGE: i64 = 1000;
+/// Static load offsets stay within this many words of the moving pointer.
+const OFFSET_WORDS: i64 = 32;
+
+/// A generated workload: the program plus its memory image and the
+/// registers to compare after a run.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name.
+    pub name: String,
+    /// Numeric / non-numeric.
+    pub class: BenchClass,
+    /// The (unscheduled, sequential) program.
+    pub func: Function,
+    /// Regions to map: `(start, len)` in bytes.
+    pub mem_regions: Vec<(u64, u64)>,
+    /// Initial word contents: `(addr, bits)`.
+    pub mem_words: Vec<(u64, u64)>,
+    /// Registers whose final value is part of the observable outcome.
+    pub live_out: Vec<Reg>,
+}
+
+struct Gen<'a> {
+    spec: &'a WorkloadSpec,
+    rng: StdRng,
+    b: ProgramBuilder,
+    int_next: u16,
+    fp_next: u16,
+    /// Int registers defined in the current region (chaining sources).
+    recent_int: Vec<Reg>,
+    /// Fp registers holding *fresh, bounded* values this region.
+    recent_fp: Vec<Reg>,
+    /// Defined-but-not-yet-read registers this region. Real code consumes
+    /// what it computes; preferring these as operands (and folding the
+    /// leftovers at region end) keeps the generated code free of dead
+    /// loads/divides, which would otherwise make every speculated
+    /// instruction an explicit-sentinel case.
+    unused_int: Vec<Reg>,
+    unused_fp: Vec<Reg>,
+    /// Most recent int load destination this region.
+    last_load: Option<Reg>,
+}
+
+impl<'a> Gen<'a> {
+    fn fresh_int(&mut self) -> Reg {
+        let r = Reg::int(self.int_next);
+        self.int_next += 1;
+        if self.int_next == INT_POOL.end {
+            self.int_next = INT_POOL.start;
+        }
+        r
+    }
+
+    fn fresh_fp(&mut self) -> Reg {
+        let r = Reg::fp(self.fp_next);
+        self.fp_next += 1;
+        if self.fp_next == FP_POOL.end {
+            self.fp_next = FP_POOL.start;
+        }
+        r
+    }
+
+    fn mark_used(&mut self, r: Reg) {
+        self.unused_int.retain(|&u| u != r);
+        self.unused_fp.retain(|&u| u != r);
+    }
+
+    fn int_operand(&mut self) -> Reg {
+        let r = if self.rng.gen_bool(self.spec.chain_frac) {
+            if !self.unused_int.is_empty() {
+                let k = self.rng.gen_range(0..self.unused_int.len());
+                self.unused_int[k]
+            } else if !self.recent_int.is_empty() {
+                let k = self.rng.gen_range(0..self.recent_int.len());
+                self.recent_int[k]
+            } else {
+                [STABLE, DIVISOR][self.rng.gen_range(0..2)]
+            }
+        } else {
+            [STABLE, DIVISOR][self.rng.gen_range(0..2)]
+        };
+        self.mark_used(r);
+        r
+    }
+
+    /// A bounded fp operand: a fresh value from this region or a constant.
+    fn fp_operand(&mut self) -> Reg {
+        let r = if self.rng.gen_bool(self.spec.chain_frac) {
+            if !self.unused_fp.is_empty() {
+                let k = self.rng.gen_range(0..self.unused_fp.len());
+                self.unused_fp[k]
+            } else if !self.recent_fp.is_empty() {
+                let k = self.rng.gen_range(0..self.recent_fp.len());
+                self.recent_fp[k]
+            } else {
+                FCONST
+            }
+        } else {
+            FCONST
+        };
+        self.mark_used(r);
+        r
+    }
+
+    /// Consumes region leftovers by folding them into a single dependence
+    /// chain, leaving at most one chain-end per class per region (the
+    /// paper's instruction-`E` shape, which receives an explicit sentinel
+    /// when speculated).
+    fn fold_leftovers(&mut self) {
+        let ints = std::mem::take(&mut self.unused_int);
+        let mut prev = STABLE;
+        for d in ints {
+            let s = self.fresh_int();
+            self.b.push(Insn::alu(Opcode::Xor, s, d, prev));
+            prev = s;
+        }
+        let fps = std::mem::take(&mut self.unused_fp);
+        let mut fprev = FCONST;
+        for d in fps {
+            let s = self.fresh_fp();
+            self.b.push(Insn::alu(Opcode::FAdd, s, d, fprev));
+            fprev = s;
+        }
+    }
+
+    /// Emits one generated instruction of the region body.
+    fn emit_body_insn(&mut self) {
+        let spec = self.spec;
+        let roll: f64 = self.rng.gen();
+        let fp = self.rng.gen_bool(spec.fp_frac);
+        if roll < spec.load_frac {
+            if fp {
+                let d = self.fresh_fp();
+                let off = 8 * self.rng.gen_range(0..OFFSET_WORDS);
+                self.b.push(Insn::fld(d, FP_PTR, off));
+                self.recent_fp.push(d);
+                self.unused_fp.push(d);
+            } else {
+                let d = self.fresh_int();
+                let off = 8 * self.rng.gen_range(0..OFFSET_WORDS);
+                let base = if self.rng.gen_bool(self.spec.alias_frac) {
+                    ALIAS_PTR
+                } else {
+                    IN_PTR
+                };
+                self.b.push(Insn::ld_w(d, base, off));
+                self.recent_int.push(d);
+                self.unused_int.push(d);
+                self.last_load = Some(d);
+            }
+        } else if roll < spec.load_frac + spec.store_frac {
+            let off = 8 * self.rng.gen_range(0..OFFSET_WORDS);
+            if fp && !self.recent_fp.is_empty() {
+                let v = self.fp_operand();
+                self.b.push(Insn::fst(v, OUT_PTR, off));
+            } else {
+                let v = self.int_operand();
+                self.b.push(Insn::st_w(v, OUT_PTR, off));
+            }
+        } else if roll < spec.load_frac + spec.store_frac + spec.div_frac {
+            let d = self.fresh_int();
+            let a = self.int_operand();
+            self.b.push(Insn::alu(Opcode::Div, d, a, DIVISOR));
+            self.recent_int.push(d);
+            self.unused_int.push(d);
+        } else if roll < spec.load_frac + spec.store_frac + spec.div_frac + spec.mul_frac {
+            let d = self.fresh_int();
+            let a = self.int_operand();
+            let c = self.int_operand();
+            self.b.push(Insn::alu(Opcode::Mul, d, a, c));
+            self.recent_int.push(d);
+            self.unused_int.push(d);
+        } else if fp {
+            // Bounded fp compute: fresh sources only, occasional
+            // accumulation into FACC.
+            if self.rng.gen_bool(0.25) {
+                let v = self.fp_operand();
+                self.b.push(Insn::alu(Opcode::FAdd, FACC, FACC, v));
+            } else {
+                let d = self.fresh_fp();
+                let a = self.fp_operand();
+                let c = self.fp_operand();
+                let op = match self.rng.gen_range(0..3) {
+                    0 => Opcode::FAdd,
+                    1 => Opcode::FSub,
+                    _ => Opcode::FMul,
+                };
+                self.b.push(Insn::alu(op, d, a, c));
+                // Products of values in [0.5, 2) and short chains stay
+                // bounded; only additions/subtractions feed the pool
+                // onward to keep magnitudes tame.
+                if op != Opcode::FMul {
+                    self.recent_fp.push(d);
+                }
+                self.unused_fp.push(d);
+            }
+        } else if self.rng.gen_bool(0.25) {
+            let v = self.int_operand();
+            self.b.push(Insn::alu(Opcode::Xor, ACC, ACC, v));
+        } else {
+            let d = self.fresh_int();
+            let a = self.int_operand();
+            let c = self.int_operand();
+            let op = match self.rng.gen_range(0..5) {
+                0 => Opcode::Add,
+                1 => Opcode::Sub,
+                2 => Opcode::Xor,
+                3 => Opcode::And,
+                _ => Opcode::Or,
+            };
+            self.b.push(Insn::alu(op, d, a, c));
+            self.recent_int.push(d);
+            self.unused_int.push(d);
+        }
+    }
+}
+
+/// Generates the workload described by `spec`.
+///
+/// The program is trap-free by construction (all addresses mapped, all
+/// divisors nonzero, fp values bounded), terminates, and validates.
+pub fn generate(spec: &WorkloadSpec) -> Workload {
+    spec.validate();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let uses_fp = spec.fp_frac > 0.0;
+    let uses_alias = spec.alias_frac > 0.0 && spec.load_frac > 0.0;
+    let array_words = spec.iterations + OFFSET_WORDS as u64 + 8;
+
+    let mut g = Gen {
+        spec,
+        rng: StdRng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15),
+        b: ProgramBuilder::new(spec.name),
+        int_next: INT_POOL.start,
+        fp_next: FP_POOL.start,
+        recent_int: Vec::new(),
+        recent_fp: Vec::new(),
+        unused_int: Vec::new(),
+        unused_fp: Vec::new(),
+        last_load: None,
+    };
+
+    // Pre-create all blocks so branches can reference them.
+    let mut setups = Vec::new();
+    let mut bodies = Vec::new();
+    let mut colds: Vec<Vec<BlockId>> = Vec::new();
+    let mut exits = Vec::new();
+    for l in 0..spec.loops {
+        setups.push(g.b.block(format!("setup{l}")));
+        bodies.push(g.b.block(format!("body{l}")));
+        let side_exits = spec.regions_per_loop.saturating_sub(1);
+        colds.push(
+            (0..side_exits)
+                .map(|k| g.b.block(format!("cold{l}_{k}")))
+                .collect(),
+        );
+        exits.push(g.b.block(format!("exit{l}")));
+    }
+    let done = g.b.block("done");
+
+    let thresh = (spec.side_exit_prob * DATA_RANGE as f64) as i64;
+    for l in 0..spec.loops {
+        // ---- setup -----------------------------------------------------
+        g.b.switch_to(setups[l]);
+        if l == 0 {
+            g.b.push(Insn::li(ACC, 0));
+            if uses_fp {
+                g.b.push(Insn::fli(FACC, 0.0));
+                g.b.push(Insn::fli(FCONST, 1.25));
+            }
+            g.b.push(Insn::li(STABLE, DATA_RANGE)); // never below thresh
+            g.b.push(Insn::li(DIVISOR, 7));
+            g.b.push(Insn::li(RESULT, RESULT_BASE));
+        }
+        g.b.push(Insn::li(COUNTER, spec.iterations as i64));
+        g.b.push(Insn::li(THRESH, thresh));
+        g.b.push(Insn::li(IN_PTR, in_base(l)));
+        g.b.push(Insn::li(OUT_PTR, out_base(l)));
+        if uses_fp {
+            g.b.push(Insn::li(FP_PTR, fp_base(l)));
+        }
+        if uses_alias {
+            g.b.push(Insn::li(ALIAS_PTR, alias_base(l)));
+        }
+        g.b.push(Insn::jump(bodies[l]));
+
+        // ---- body (one superblock) ---------------------------------------
+        g.b.switch_to(bodies[l]);
+        #[allow(clippy::needless_range_loop)]
+        for region in 0..spec.regions_per_loop {
+            g.recent_int.clear();
+            g.recent_fp.clear();
+            g.unused_int.clear();
+            g.unused_fp.clear();
+            g.last_load = None;
+            for _ in 0..spec.insns_per_region {
+                g.emit_body_insn();
+            }
+            g.fold_leftovers();
+            let last_region = region + 1 == spec.regions_per_loop;
+            if !last_region {
+                // Side exit. Late-resolving conditions read a value loaded
+                // in this region; early-resolving ones use STABLE (never
+                // taken — models branches decidable well in advance).
+                let on_load = g.rng.gen_bool(spec.branch_on_load);
+                let cond = if on_load {
+                    match g.last_load {
+                        Some(r) => r,
+                        None => {
+                            // Force a load for the condition.
+                            let d = g.fresh_int();
+                            let off = 8 * g.rng.gen_range(0..OFFSET_WORDS);
+                            g.b.push(Insn::ld_w(d, IN_PTR, off));
+                            g.recent_int.push(d);
+                            d
+                        }
+                    }
+                } else {
+                    STABLE
+                };
+                g.b.push(Insn::branch(Opcode::Blt, cond, THRESH, colds[l][region]));
+            } else {
+                // Latch: bump pointers, decrement, loop.
+                g.b.push(Insn::addi(IN_PTR, IN_PTR, 8));
+                g.b.push(Insn::addi(OUT_PTR, OUT_PTR, 8));
+                if uses_fp {
+                    g.b.push(Insn::addi(FP_PTR, FP_PTR, 8));
+                }
+                if uses_alias {
+                    g.b.push(Insn::addi(ALIAS_PTR, ALIAS_PTR, 8));
+                }
+                g.b.push(Insn::addi(COUNTER, COUNTER, -1));
+                g.b.push(Insn::branch(Opcode::Bne, COUNTER, Reg::ZERO, bodies[l]));
+                g.b.push(Insn::jump(exits[l]));
+            }
+        }
+
+        // ---- cold continuations ------------------------------------------
+        for (k, &cold) in colds[l].iter().enumerate() {
+            g.b.switch_to(cold);
+            g.b.push(Insn::addi(ACC, ACC, 17 + k as i64));
+            g.b.push(Insn::addi(IN_PTR, IN_PTR, 8));
+            g.b.push(Insn::addi(OUT_PTR, OUT_PTR, 8));
+            if uses_fp {
+                g.b.push(Insn::addi(FP_PTR, FP_PTR, 8));
+            }
+            if uses_alias {
+                g.b.push(Insn::addi(ALIAS_PTR, ALIAS_PTR, 8));
+            }
+            g.b.push(Insn::addi(COUNTER, COUNTER, -1));
+            g.b.push(Insn::branch(Opcode::Bne, COUNTER, Reg::ZERO, bodies[l]));
+            g.b.push(Insn::jump(exits[l]));
+        }
+
+        // ---- loop exit ------------------------------------------------------
+        g.b.switch_to(exits[l]);
+        g.b.push(Insn::st_w(ACC, RESULT, 16 * l as i64));
+        if uses_fp {
+            g.b.push(Insn::fst(FACC, RESULT, 16 * l as i64 + 8));
+        }
+        if l + 1 == spec.loops {
+            g.b.push(Insn::jump(done));
+        } else {
+            g.b.push(Insn::jump(setups[l + 1]));
+        }
+    }
+    g.b.switch_to(done);
+    g.b.push(Insn::halt());
+
+    let mut func = g.b.finish();
+    for r in [IN_PTR, OUT_PTR, RESULT] {
+        func.declare_noalias(r);
+    }
+    if uses_fp {
+        func.declare_noalias(FP_PTR);
+    }
+    debug_assert!(
+        sentinel_prog::validate(&func).is_empty(),
+        "generated program invalid: {:?}",
+        sentinel_prog::validate(&func)
+    );
+
+    // ---- memory image -------------------------------------------------------
+    let mut mem_regions = vec![(RESULT_BASE as u64, 16 * spec.loops as u64 + 16)];
+    let mut mem_words = Vec::new();
+    for l in 0..spec.loops {
+        let bytes = array_words * 8;
+        mem_regions.push((in_base(l) as u64, bytes));
+        mem_regions.push((out_base(l) as u64, bytes));
+        for w in 0..array_words {
+            let v = rng.gen_range(1..DATA_RANGE) as u64;
+            mem_words.push((in_base(l) as u64 + 8 * w, v));
+        }
+        if uses_fp {
+            mem_regions.push((fp_base(l) as u64, bytes));
+            for w in 0..array_words {
+                let v: f64 = rng.gen_range(0.5..2.0);
+                mem_words.push((fp_base(l) as u64 + 8 * w, v.to_bits()));
+            }
+        }
+        if uses_alias {
+            mem_regions.push((alias_base(l) as u64, bytes));
+            for w in 0..array_words {
+                let v = rng.gen_range(1..DATA_RANGE) as u64;
+                mem_words.push((alias_base(l) as u64 + 8 * w, v));
+            }
+        }
+    }
+
+    Workload {
+        name: spec.name.to_string(),
+        class: spec.class,
+        func,
+        mem_regions,
+        mem_words,
+        live_out: vec![ACC],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_prog::validate;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::test_default("t", 42);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(
+            sentinel_prog::asm::print(&a.func),
+            sentinel_prog::asm::print(&b.func)
+        );
+        assert_eq!(a.mem_words, b.mem_words);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&WorkloadSpec::test_default("t", 1));
+        let b = generate(&WorkloadSpec::test_default("t", 2));
+        assert_ne!(
+            sentinel_prog::asm::print(&a.func),
+            sentinel_prog::asm::print(&b.func)
+        );
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        for seed in 0..20 {
+            let mut spec = WorkloadSpec::test_default("t", seed);
+            spec.loops = 2;
+            spec.fp_frac = if seed % 2 == 0 { 0.4 } else { 0.0 };
+            let w = generate(&spec);
+            assert!(validate(&w.func).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn body_is_superblock_shaped() {
+        let spec = WorkloadSpec::test_default("t", 3);
+        let w = generate(&spec);
+        let body = w.func.block_by_label("body0").unwrap();
+        let block = w.func.block(body);
+        // regions - 1 side exits + latch bne.
+        assert_eq!(block.side_exit_count(), spec.regions_per_loop);
+        assert!(block.ends_in_unconditional());
+    }
+
+    #[test]
+    fn noalias_declared_for_pointers() {
+        let w = generate(&WorkloadSpec::test_default("t", 4));
+        assert!(w.func.noalias_bases().contains(&IN_PTR));
+        assert!(w.func.noalias_bases().contains(&OUT_PTR));
+    }
+
+    #[test]
+    fn instruction_mix_tracks_spec_fractions() {
+        // The generated static mix should be within a loose tolerance of
+        // the requested fractions (validating that the suite's parameters
+        // mean what DESIGN.md claims they mean).
+        let mut spec = WorkloadSpec::test_default("mix", 9);
+        spec.loops = 2;
+        spec.regions_per_loop = 6;
+        spec.insns_per_region = 10;
+        spec.load_frac = 0.40;
+        spec.store_frac = 0.15;
+        let w = generate(&spec);
+        // Count within the body superblocks only (setup/cold/exit blocks
+        // have their own fixed shapes).
+        let mut total = 0usize;
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        for l in 0..spec.loops {
+            let b = w.func.block_by_label(&format!("body{l}")).unwrap();
+            for insn in &w.func.block(b).insns {
+                if insn.op.is_control() {
+                    continue;
+                }
+                total += 1;
+                if insn.op.is_load() {
+                    loads += 1;
+                }
+                if insn.op.is_store() {
+                    stores += 1;
+                }
+            }
+        }
+        let load_share = loads as f64 / total as f64;
+        let store_share = stores as f64 / total as f64;
+        // Leftover-folding and latch overhead dilute the shares somewhat;
+        // a ±0.12 window still catches parameter plumbing mistakes.
+        assert!(
+            (load_share - 0.40).abs() < 0.12,
+            "load share {load_share:.2}"
+        );
+        assert!(
+            (store_share - 0.15).abs() < 0.10,
+            "store share {store_share:.2}"
+        );
+    }
+
+    #[test]
+    fn side_exit_probability_is_respected_dynamically() {
+        use sentinel_sim::reference::Reference;
+        let mut spec = WorkloadSpec::test_default("exitprob", 21);
+        spec.iterations = 400;
+        spec.side_exit_prob = 0.10;
+        spec.regions_per_loop = 2; // exactly one side exit
+        let w = generate(&spec);
+        let mut r = Reference::new(&w.func);
+        for &(s, l) in &w.mem_regions {
+            r.memory_mut().map_region(s, l);
+        }
+        for &(a, v) in &w.mem_words {
+            r.memory_mut().write_word(a, v).unwrap();
+        }
+        r.run().unwrap();
+        let cold = w.func.block_by_label("cold0_0").unwrap();
+        let taken = r.profile().entries(cold) as f64;
+        let body = w.func.block_by_label("body0").unwrap();
+        let entries = r.profile().entries(body) as f64;
+        let rate = taken / entries;
+        assert!(
+            (rate - 0.10).abs() < 0.06,
+            "side-exit rate {rate:.3} vs requested 0.10"
+        );
+    }
+
+    #[test]
+    fn memory_image_covers_arrays() {
+        let spec = WorkloadSpec::test_default("t", 5);
+        let w = generate(&spec);
+        assert!(w.mem_regions.len() >= 3);
+        // Every initialized word lies inside some region.
+        for &(addr, _) in &w.mem_words {
+            assert!(
+                w.mem_regions
+                    .iter()
+                    .any(|&(s, len)| s <= addr && addr + 8 <= s + len),
+                "word {addr:#x} outside regions"
+            );
+        }
+    }
+}

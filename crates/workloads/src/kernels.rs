@@ -1,0 +1,312 @@
+//! Handwritten benchmark kernels.
+//!
+//! Unlike the parameterized suite, these are recognizable real loops —
+//! copy, scan, search, histogram, reduction — written directly in the
+//! ISA. They complement the generator in tests (shapes the generator
+//! does not produce, like pointer-bumped dual-array walks and
+//! data-dependent early exits) and serve as documentation-quality
+//! examples of the IR.
+
+use sentinel_isa::{Insn, Opcode, Reg};
+use sentinel_prog::ProgramBuilder;
+
+use crate::gen::Workload;
+use crate::spec::BenchClass;
+
+const SRC: i64 = 0x1_0000;
+const DST: i64 = 0x2_0000;
+const RES: i64 = 0x3_0000;
+
+fn workload(name: &str, func: sentinel_prog::Function, words: Vec<(u64, u64)>) -> Workload {
+    Workload {
+        name: name.to_string(),
+        class: BenchClass::NonNumeric,
+        func,
+        mem_regions: vec![
+            (SRC as u64, 0x4000),
+            (DST as u64, 0x4000),
+            (RES as u64, 0x100),
+        ],
+        mem_words: words,
+        live_out: vec![Reg::int(8)],
+    }
+}
+
+/// `memcpy`-like word copy of `n` words from `SRC` to `DST`.
+pub fn copy_words(n: i64) -> Workload {
+    let mut b = ProgramBuilder::new("copy_words");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), SRC));
+    b.push(Insn::li(Reg::int(2), DST));
+    b.push(Insn::li(Reg::int(3), n));
+    b.switch_to(body);
+    b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
+    b.push(Insn::st_w(Reg::int(4), Reg::int(2), 0));
+    b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), 8));
+    b.push(Insn::addi(Reg::int(3), Reg::int(3), -1));
+    b.push(Insn::branch(Opcode::Bne, Reg::int(3), Reg::ZERO, body));
+    b.switch_to(done);
+    b.push(Insn::li(Reg::int(8), n));
+    b.push(Insn::halt());
+    let mut f = b.finish();
+    f.declare_noalias(Reg::int(1));
+    f.declare_noalias(Reg::int(2));
+    let words = (0..n as u64).map(|i| (SRC as u64 + 8 * i, i * 3 + 1)).collect();
+    workload("copy_words", f, words)
+}
+
+/// `strlen`-like scan: counts bytes until the first zero byte (the source
+/// is guaranteed to contain one). The branch condition depends on every
+/// load — the worst case for restricted percolation. Unrolled 4× into a
+/// superblock (as IMPACT's superblock formation would), so sentinel
+/// scheduling can hoist the later loads above the earlier exit branches.
+pub fn scan_until_zero(len: i64) -> Workload {
+    let mut b = ProgramBuilder::new("scan_until_zero");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), SRC));
+    b.push(Insn::li(Reg::int(8), 0));
+    b.switch_to(body);
+    for k in 0..4 {
+        b.push(Insn::ld_b(Reg::int(4 + k), Reg::int(1), k as i64));
+        b.push(Insn::branch(Opcode::Beq, Reg::int(4 + k), Reg::ZERO, done));
+        b.push(Insn::addi(Reg::int(8), Reg::int(8), 1));
+    }
+    b.push(Insn::addi(Reg::int(1), Reg::int(1), 4));
+    b.push(Insn::jump(body));
+    b.switch_to(done);
+    b.push(Insn::li(Reg::int(9), RES));
+    b.push(Insn::st_w(Reg::int(8), Reg::int(9), 0));
+    b.push(Insn::halt());
+    let f = b.finish();
+    let mut words: Vec<(u64, u64)> = Vec::new();
+    // Byte-packed: nonzero bytes then a terminator. Write as words.
+    let mut bytes = vec![7u8; len as usize];
+    bytes.push(0);
+    while !bytes.len().is_multiple_of(8) {
+        bytes.push(0);
+    }
+    for (w, chunk) in bytes.chunks(8).enumerate() {
+        let mut v = 0u64;
+        for (i, &c) in chunk.iter().enumerate() {
+            v |= (c as u64) << (8 * i);
+        }
+        words.push((SRC as u64 + 8 * w as u64, v));
+    }
+    workload("scan_until_zero", f, words)
+}
+
+/// Binary search for `needle` in a sorted `n`-word array; leaves the
+/// found index (or -1) in `r8`.
+pub fn binary_search(n: i64, needle: i64) -> Workload {
+    let mut b = ProgramBuilder::new("binary_search");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let lower = b.block("lower");
+    let found = b.block("found");
+    let miss = b.block("miss");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), 0)); // lo
+    b.push(Insn::li(Reg::int(2), n)); // hi (exclusive)
+    b.push(Insn::li(Reg::int(3), needle));
+    b.push(Insn::li(Reg::int(9), SRC));
+    b.switch_to(body);
+    // if lo >= hi -> miss
+    b.push(Insn::branch(Opcode::Bge, Reg::int(1), Reg::int(2), miss));
+    // mid = (lo + hi) / 2 ; v = mem[SRC + 8*mid]
+    b.push(Insn::alu(Opcode::Add, Reg::int(4), Reg::int(1), Reg::int(2)));
+    b.push(Insn::alui(Opcode::SrlI, Reg::int(4), Reg::int(4), 1));
+    b.push(Insn::alui(Opcode::SllI, Reg::int(5), Reg::int(4), 3));
+    b.push(Insn::alu(Opcode::Add, Reg::int(5), Reg::int(5), Reg::int(9)));
+    b.push(Insn::ld_w(Reg::int(6), Reg::int(5), 0));
+    b.push(Insn::branch(Opcode::Beq, Reg::int(6), Reg::int(3), found));
+    b.push(Insn::branch(Opcode::Blt, Reg::int(6), Reg::int(3), lower));
+    // v > needle: hi = mid
+    b.push(Insn::mov(Reg::int(2), Reg::int(4)));
+    b.push(Insn::jump(body));
+    b.switch_to(lower);
+    b.push(Insn::addi(Reg::int(1), Reg::int(4), 1)); // lo = mid + 1
+    b.push(Insn::jump(body));
+    b.switch_to(found);
+    b.push(Insn::mov(Reg::int(8), Reg::int(4)));
+    b.push(Insn::jump(done));
+    b.switch_to(miss);
+    b.push(Insn::li(Reg::int(8), -1));
+    b.switch_to(done);
+    b.push(Insn::li(Reg::int(9), RES));
+    b.push(Insn::st_w(Reg::int(8), Reg::int(9), 0));
+    b.push(Insn::halt());
+    let f = b.finish();
+    let words = (0..n as u64).map(|i| (SRC as u64 + 8 * i, 2 * i + 1)).collect();
+    workload("binary_search", f, words)
+}
+
+/// Histogram: counts `n` source values into 8 buckets at `DST`.
+/// Read-modify-write through a computed address — stores and loads the
+/// disambiguator cannot separate.
+pub fn histogram(n: i64) -> Workload {
+    let mut b = ProgramBuilder::new("histogram");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), SRC));
+    b.push(Insn::li(Reg::int(2), DST));
+    b.push(Insn::li(Reg::int(3), n));
+    b.switch_to(body);
+    b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
+    b.push(Insn::alui(Opcode::AndI, Reg::int(5), Reg::int(4), 7)); // bucket
+    b.push(Insn::alui(Opcode::SllI, Reg::int(5), Reg::int(5), 3));
+    b.push(Insn::alu(Opcode::Add, Reg::int(5), Reg::int(5), Reg::int(2)));
+    b.push(Insn::ld_w(Reg::int(6), Reg::int(5), 0));
+    b.push(Insn::addi(Reg::int(6), Reg::int(6), 1));
+    b.push(Insn::st_w(Reg::int(6), Reg::int(5), 0));
+    b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
+    b.push(Insn::addi(Reg::int(3), Reg::int(3), -1));
+    b.push(Insn::branch(Opcode::Bne, Reg::int(3), Reg::ZERO, body));
+    b.switch_to(done);
+    b.push(Insn::li(Reg::int(9), DST));
+    b.push(Insn::ld_w(Reg::int(8), Reg::int(9), 0)); // bucket 0 count
+    b.push(Insn::halt());
+    let f = b.finish();
+    let words = (0..n as u64)
+        .map(|i| (SRC as u64 + 8 * i, i.wrapping_mul(2654435761) >> 7))
+        .collect();
+    workload("histogram", f, words)
+}
+
+/// A while-loop with a deep load→compute→test chain: scans words until a
+/// zero is found, passing each value through two divides before the test.
+/// The memory image maps *exactly* `len + 1` words, so a pipelined
+/// version whose loads run ahead of the exit test reads past the mapping
+/// — the paper's §2 case where "modulo scheduling of while loops depends
+/// on speculative support".
+pub fn chain_scan(len: i64) -> Workload {
+    let mut b = ProgramBuilder::new("chain_scan");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), SRC));
+    b.push(Insn::li(Reg::int(8), 0));
+    b.push(Insn::li(Reg::int(10), 1)); // divisor
+    b.switch_to(body);
+    b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
+    b.push(Insn::alu(Opcode::Div, Reg::int(5), Reg::int(4), Reg::int(10)));
+    b.push(Insn::alu(Opcode::Div, Reg::int(6), Reg::int(5), Reg::int(10)));
+    b.push(Insn::branch(Opcode::Beq, Reg::int(6), Reg::ZERO, done));
+    b.push(Insn::addi(Reg::int(8), Reg::int(8), 1));
+    b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
+    b.push(Insn::jump(body));
+    b.switch_to(done);
+    b.push(Insn::li(Reg::int(9), RES));
+    b.push(Insn::st_w(Reg::int(8), Reg::int(9), 0));
+    b.push(Insn::halt());
+    let f = b.finish();
+    let words = (0..=len as u64)
+        .map(|i| (SRC as u64 + 8 * i, if i == len as u64 { 0 } else { 500 + i }))
+        .collect();
+    Workload {
+        name: "chain_scan".to_string(),
+        class: BenchClass::NonNumeric,
+        func: f,
+        // Exactly len+1 words mapped: overshooting loads fault.
+        mem_regions: vec![(SRC as u64, 8 * (len as u64 + 1)), (RES as u64, 0x100)],
+        mem_words: words,
+        live_out: vec![Reg::int(8)],
+    }
+}
+
+/// Floating-point dot product of two `n`-element vectors, result stored
+/// at `RES`.
+pub fn dot_product(n: i64) -> Workload {
+    let mut b = ProgramBuilder::new("dot_product");
+    let init = b.block("init");
+    let body = b.block("loop");
+    let done = b.block("done");
+    b.switch_to(init);
+    b.push(Insn::li(Reg::int(1), SRC));
+    b.push(Insn::li(Reg::int(2), DST));
+    b.push(Insn::li(Reg::int(3), n));
+    b.push(Insn::fli(Reg::fp(8), 0.0));
+    b.switch_to(body);
+    b.push(Insn::fld(Reg::fp(1), Reg::int(1), 0));
+    b.push(Insn::fld(Reg::fp(2), Reg::int(2), 0));
+    b.push(Insn::alu(Opcode::FMul, Reg::fp(3), Reg::fp(1), Reg::fp(2)));
+    b.push(Insn::alu(Opcode::FAdd, Reg::fp(8), Reg::fp(8), Reg::fp(3)));
+    b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), 8));
+    b.push(Insn::addi(Reg::int(3), Reg::int(3), -1));
+    b.push(Insn::branch(Opcode::Bne, Reg::int(3), Reg::ZERO, body));
+    b.switch_to(done);
+    b.push(Insn::li(Reg::int(9), RES));
+    b.push(Insn::fst(Reg::fp(8), Reg::int(9), 0));
+    b.push(Insn::li(Reg::int(8), 0));
+    b.push(Insn::halt());
+    let mut f = b.finish();
+    f.declare_noalias(Reg::int(1));
+    f.declare_noalias(Reg::int(2));
+    let mut words = Vec::new();
+    for i in 0..n as u64 {
+        words.push((SRC as u64 + 8 * i, ((i % 7) as f64 * 0.25 + 0.5).to_bits()));
+        words.push((DST as u64 + 8 * i, ((i % 5) as f64 * 0.5 + 1.0).to_bits()));
+    }
+    let mut w = workload("dot_product", f, words);
+    w.class = BenchClass::Numeric;
+    w
+}
+
+/// All kernels with default sizes.
+pub fn all_kernels() -> Vec<Workload> {
+    vec![
+        copy_words(64),
+        scan_until_zero(100),
+        binary_search(128, 77),
+        histogram(64),
+        dot_product(48),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_prog::validate;
+
+    #[test]
+    fn kernels_validate() {
+        for k in all_kernels() {
+            assert!(validate(&k.func).is_empty(), "{}", k.name);
+            assert!(k.func.insn_count() >= 8, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn binary_search_data_is_sorted() {
+        let k = binary_search(128, 77);
+        let mut vals: Vec<u64> = k.mem_words.iter().map(|&(_, v)| v).collect();
+        let sorted = vals.clone();
+        vals.sort_unstable();
+        assert_eq!(vals, sorted);
+        // The needle 77 = 2*38+1 is present.
+        assert!(sorted.contains(&77));
+    }
+
+    #[test]
+    fn scan_data_has_terminator() {
+        let k = scan_until_zero(100);
+        // Some word contains a zero byte at the terminator position.
+        let byte_100 = k
+            .mem_words
+            .iter()
+            .find(|&&(a, _)| a == (0x1_0000u64 + (100 / 8) * 8))
+            .map(|&(_, v)| (v >> (8 * (100 % 8))) & 0xFF);
+        assert_eq!(byte_100, Some(0));
+    }
+}

@@ -1,0 +1,204 @@
+//! The 17-program benchmark suite standing in for the paper's §5.1 set.
+//!
+//! Each synthetic program models the *structural* properties the paper's
+//! results depend on, per benchmark:
+//!
+//! * the 12 **non-numeric** programs are branchy integer code whose
+//!   side-exit conditions mostly depend on freshly loaded values (so
+//!   restricted percolation stalls on every load-compare-branch chain);
+//!   store density varies — `cmp` and `grep` are store-heavy in hot
+//!   regions (the paper's >20% winners under model T), while `eqntott`
+//!   and `wc` barely store (the paper's 0% cases);
+//! * the 5 **numeric** programs are fp code; `fpppp` and `matrix300` are
+//!   dominated by one huge branch-free region (restricted percolation is
+//!   already near-optimal — paper Fig. 4), while `doduc` and `tomcatv`
+//!   carry conditional branches in their hot loops (the paper's 36–38%
+//!   sentinel winners); `nasa7` sits between.
+
+use crate::gen::{generate, Workload};
+use crate::spec::{BenchClass, WorkloadSpec};
+
+/// The benchmark names, in the paper's presentation order (12 non-numeric
+/// then 5 numeric).
+pub const NAMES: [&str; 17] = [
+    "cccp", "cmp", "compress", "eqn", "eqntott", "espresso", "grep", "lex", "tbl", "wc",
+    "xlisp", "yacc", "doduc", "fpppp", "matrix300", "nasa7", "tomcatv",
+];
+
+/// Loop trip count shared by the suite (kept moderate so a full figure
+/// grid runs in seconds; the *shape* of results is trip-count-insensitive
+/// beyond warmup).
+pub const ITERATIONS: u64 = 150;
+
+#[allow(clippy::too_many_arguments)]
+fn nn(
+    name: &'static str,
+    seed: u64,
+    regions: usize,
+    len: usize,
+    ld: f64,
+    st: f64,
+    mul: f64,
+    div: f64,
+    exit_p: f64,
+    on_load: f64,
+    chain: f64,
+    alias: f64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        class: BenchClass::NonNumeric,
+        seed,
+        loops: 2,
+        regions_per_loop: regions,
+        insns_per_region: len,
+        iterations: ITERATIONS,
+        load_frac: ld,
+        store_frac: st,
+        fp_frac: 0.0,
+        mul_frac: mul,
+        div_frac: div,
+        side_exit_prob: exit_p,
+        branch_on_load: on_load,
+        chain_frac: chain,
+        alias_frac: alias,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn num(
+    name: &'static str,
+    seed: u64,
+    loops: usize,
+    regions: usize,
+    len: usize,
+    ld: f64,
+    st: f64,
+    fp: f64,
+    exit_p: f64,
+    on_load: f64,
+    chain: f64,
+    alias: f64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        class: BenchClass::Numeric,
+        seed,
+        loops,
+        regions_per_loop: regions,
+        insns_per_region: len,
+        iterations: ITERATIONS,
+        load_frac: ld,
+        store_frac: st,
+        fp_frac: fp,
+        mul_frac: 0.02,
+        div_frac: 0.01,
+        side_exit_prob: exit_p,
+        branch_on_load: on_load,
+        chain_frac: chain,
+        alias_frac: alias,
+    }
+}
+
+/// The specs of all 17 benchmarks.
+pub fn specs() -> Vec<WorkloadSpec> {
+    vec![
+        // --- non-numeric -------------------------------------------------
+        nn("cccp", 101, 4, 5, 0.35, 0.10, 0.04, 0.01, 0.025, 0.85, 0.70, 0.25),
+        nn("cmp", 102, 3, 4, 0.38, 0.20, 0.02, 0.00, 0.03, 0.90, 0.75, 0.50),
+        nn("compress", 103, 4, 6, 0.33, 0.12, 0.06, 0.02, 0.025, 0.80, 0.70, 0.30),
+        nn("eqn", 104, 4, 5, 0.32, 0.10, 0.05, 0.02, 0.025, 0.80, 0.65, 0.25),
+        nn("eqntott", 105, 5, 5, 0.40, 0.02, 0.03, 0.00, 0.02, 0.90, 0.75, 0.30),
+        nn("espresso", 106, 4, 6, 0.35, 0.08, 0.05, 0.01, 0.025, 0.80, 0.70, 0.25),
+        nn("grep", 107, 3, 4, 0.45, 0.15, 0.00, 0.00, 0.03, 0.95, 0.80, 0.50),
+        nn("lex", 108, 4, 5, 0.35, 0.10, 0.03, 0.01, 0.025, 0.85, 0.70, 0.25),
+        nn("tbl", 109, 4, 5, 0.33, 0.10, 0.04, 0.01, 0.025, 0.80, 0.65, 0.25),
+        nn("wc", 110, 3, 3, 0.40, 0.02, 0.00, 0.00, 0.025, 0.90, 0.80, 0.30),
+        nn("xlisp", 111, 5, 5, 0.38, 0.10, 0.02, 0.01, 0.025, 0.85, 0.80, 0.25),
+        nn("yacc", 112, 4, 6, 0.34, 0.10, 0.05, 0.01, 0.025, 0.80, 0.70, 0.25),
+        // --- numeric ------------------------------------------------------
+        num("doduc", 201, 2, 3, 10, 0.30, 0.08, 0.50, 0.02, 0.45, 0.50, 0.20),
+        num("fpppp", 202, 1, 1, 40, 0.30, 0.08, 0.60, 0.0, 0.0, 0.75, 0.10),
+        num("matrix300", 203, 1, 1, 24, 0.35, 0.08, 0.55, 0.0, 0.0, 0.70, 0.10),
+        num("nasa7", 204, 1, 2, 16, 0.32, 0.10, 0.50, 0.02, 0.35, 0.55, 0.25),
+        num("tomcatv", 205, 2, 3, 10, 0.32, 0.03, 0.55, 0.02, 0.50, 0.55, 0.05),
+    ]
+}
+
+/// Generates the full suite.
+pub fn suite() -> Vec<Workload> {
+    specs().iter().map(generate).collect()
+}
+
+/// Generates the full suite with a reduced trip count (for fast tests;
+/// figure regeneration uses [`suite`]).
+pub fn suite_with_iterations(iterations: u64) -> Vec<Workload> {
+    specs()
+        .into_iter()
+        .map(|mut s| {
+            s.iterations = iterations;
+            generate(&s)
+        })
+        .collect()
+}
+
+/// Generates one benchmark by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    specs().iter().find(|s| s.name == name).map(generate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_17() {
+        let s = specs();
+        assert_eq!(s.len(), 17);
+        let names: Vec<&str> = s.iter().map(|w| w.name).collect();
+        assert_eq!(names.as_slice(), NAMES.as_slice());
+        for spec in &s {
+            spec.validate();
+        }
+    }
+
+    #[test]
+    fn class_split_matches_paper() {
+        let s = specs();
+        let numeric = s.iter().filter(|w| w.class == BenchClass::Numeric).count();
+        assert_eq!(numeric, 5);
+        assert_eq!(s.len() - numeric, 12);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        let w = by_name("grep").expect("grep exists");
+        assert_eq!(w.name, "grep");
+        assert!(by_name("quux").is_none());
+    }
+
+    #[test]
+    fn store_density_extremes_match_paper_claims() {
+        let s = specs();
+        let find = |n: &str| s.iter().find(|w| w.name == n).unwrap();
+        // T-model winners are store-heavy; non-winners barely store.
+        assert!(find("cmp").store_frac >= 2.0 * find("eqntott").store_frac);
+        assert!(find("grep").store_frac >= 2.0 * find("wc").store_frac);
+        // Branch-free numeric kernels.
+        assert_eq!(find("fpppp").regions_per_loop, 1);
+        assert_eq!(find("matrix300").regions_per_loop, 1);
+        assert!(find("doduc").regions_per_loop >= 3);
+    }
+
+    #[test]
+    fn full_suite_generates_and_validates() {
+        for w in suite() {
+            assert!(
+                sentinel_prog::validate(&w.func).is_empty(),
+                "{} invalid",
+                w.name
+            );
+            assert!(w.func.insn_count() > 20, "{} too small", w.name);
+        }
+    }
+}

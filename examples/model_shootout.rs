@@ -1,0 +1,54 @@
+//! All four scheduling models, side by side, on one benchmark: the
+//! per-benchmark view behind the paper's Figures 4 and 5.
+//!
+//! ```sh
+//! cargo run --release --example model_shootout [benchmark]
+//! ```
+
+use sentinel_bench::runner::{base_cycles, measure, MeasureConfig};
+use sentinel_core::SchedulingModel;
+use sentinel_workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "grep".into());
+    let w = suite::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'; available: {:?}", suite::NAMES);
+        std::process::exit(2);
+    });
+    println!("benchmark: {} ({})", w.name, w.class);
+    println!("static instructions: {}\n", w.func.insn_count());
+
+    let base = base_cycles(&w);
+    println!("base machine (issue 1, restricted percolation): {base} cycles\n");
+    println!(
+        "{:<28}{:>10}{:>10}{:>10}{:>10}",
+        "model", "issue 1", "issue 2", "issue 4", "issue 8"
+    );
+    let mut models: Vec<SchedulingModel> = SchedulingModel::all().to_vec();
+    models.push(SchedulingModel::Boosting(2));
+    for model in models {
+        print!("{:<28}", format!("{model} ({})", model.tag()));
+        for width in [1, 2, 4, 8] {
+            let m = measure(&w, &MeasureConfig::paper(model, width));
+            print!("{:>10.2}", base as f64 / m.cycles as f64);
+        }
+        println!();
+    }
+    println!("\n(speedup over the base machine; paper Figures 4 and 5 plot exactly these bars)");
+
+    // Detail row: what sentinel scheduling actually did at issue 8.
+    let m = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+    println!(
+        "\nsentinel @ issue 8: {} cycles, ipc {:.2}, {} speculative ops, {} checks, {} tag propagations",
+        m.cycles,
+        m.stats.ipc(),
+        m.stats.dyn_speculative,
+        m.stats.dyn_checks,
+        m.stats.tag_propagations
+    );
+    let t = measure(&w, &MeasureConfig::paper(SchedulingModel::SentinelStores, 8));
+    println!(
+        "model T @ issue 8: {} cycles, {} confirms, {} store-buffer cancels, {} forwards",
+        t.cycles, t.stats.dyn_confirms, t.stats.sb_cancels, t.stats.sb_forwards
+    );
+}

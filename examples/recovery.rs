@@ -1,0 +1,85 @@
+//! Exception recovery (paper §3.7): restartable sequences let a handler
+//! repair a speculative page fault and resume execution at the reported
+//! instruction.
+//!
+//! ```sh
+//! cargo run --example recovery
+//! ```
+
+use sentinel::prelude::*;
+use sentinel::prog::asm;
+use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
+use sentinel::sim::{Recovery, RunOutcome, Width};
+use sentinel_isa::LatencyTable;
+
+fn main() {
+    // A word-scaled Figure 3: jsr barrier, load-gated branch, speculative
+    // load D, self-overwriting pointer increment E, store F, and uses.
+    let mut b = ProgramBuilder::new("figure3");
+    let main = b.block("main");
+    let l1 = b.block("l1");
+    let exit = b.block("exit");
+    b.switch_to(main);
+    b.push(Insn::jsr()); // A
+    b.push(Insn::ld_w(Reg::int(5), Reg::int(3), 0)); // B
+    b.push(Insn::branch(Opcode::Beq, Reg::int(5), Reg::ZERO, l1)); // C
+    b.push(Insn::ld_w(Reg::int(1), Reg::int(6), 0)); // D (will page-fault)
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), 8)); // E (renamed for recovery)
+    b.push(Insn::st_w(Reg::int(7), Reg::int(4), 0)); // F
+    b.push(Insn::addi(Reg::int(8), Reg::int(1), 1)); // G
+    b.push(Insn::ld_w(Reg::int(9), Reg::int(2), 0)); // H
+    b.push(Insn::jump(exit));
+    b.switch_to(l1);
+    b.push(Insn::halt());
+    b.switch_to(exit);
+    b.push(Insn::halt());
+    let f = b.finish();
+
+    let mdes = MachineDesc::builder()
+        .issue_width(8)
+        .latencies(LatencyTable::unit())
+        .build();
+    let sched = schedule_function(
+        &f,
+        &mdes,
+        &SchedOptions::new(SchedulingModel::Sentinel).with_recovery(),
+    )
+    .expect("schedule");
+    println!(
+        "--- recovery-constrained schedule ({} rename(s), {} sentinel(s)) ---\n{}",
+        sched.stats.renames,
+        sched.stats.checks_inserted,
+        asm::print(&sched.func)
+    );
+
+    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes));
+    m.set_reg(Reg::int(3), 0x1000);
+    m.set_reg(Reg::int(6), 0x3000); // D's page: initially unmapped
+    m.set_reg(Reg::int(4), 0x1100);
+    m.set_reg(Reg::int(2), 0x1008);
+    m.set_reg(Reg::int(7), 99);
+    m.memory_mut().map_region(0x1000, 0x200);
+    m.memory_mut().write_word(0x1000, 5).unwrap();
+    m.memory_mut().write_word(0x1010, 777).unwrap();
+
+    let out = m
+        .run_with_recovery(|trap, mem| {
+            println!("handler: {trap} — mapping the page and resuming");
+            if !mem.is_mapped(0x3000, 8) {
+                mem.map_region(0x3000, 8);
+                mem.write_raw(0x3000, Width::Word, 41);
+                Recovery::Resume
+            } else {
+                Recovery::Abort
+            }
+        })
+        .expect("run");
+    assert_eq!(out, RunOutcome::Halted);
+    println!(
+        "completed after {} recovery: r8 = {} (expected 42), r9 = {} (expected 777), r2 = {:#x}",
+        m.stats().recoveries,
+        m.reg(Reg::int(8)).as_i64(),
+        m.reg(Reg::int(9)).as_i64(),
+        m.reg(Reg::int(2)).as_i64(),
+    );
+}

@@ -1,0 +1,396 @@
+//! The `sentinel` command-line tool: assemble, disassemble, validate,
+//! schedule, and run programs in the reproduction's ISA.
+//!
+//! ```text
+//! sentinel check     prog.sasm
+//! sentinel asm       prog.sasm -o prog.sobj
+//! sentinel disasm    prog.sobj
+//! sentinel info      prog.sasm
+//! sentinel schedule  prog.sasm --model S --issue 8 [--recovery] [--allocate] [-o out.sasm]
+//! sentinel run       prog.sasm [--issue N] [--semantics tags|silent|nan]
+//!                    [--map START:LEN]... [--word ADDR=VAL]... [--reg rN=VAL]...
+//!                    [--print rN]... [--base]
+//! ```
+//!
+//! Numeric arguments accept decimal or `0x` hexadecimal.
+
+use std::process::exit;
+
+use sentinel::prelude::*;
+use sentinel::prog::{asm, object};
+use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
+use sentinel::sim::{RunOutcome, SpeculationSemantics};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}
+
+fn parse_num(s: &str) -> i64 {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .unwrap_or_else(|_| fail(&format!("bad number '{s}'")));
+    if neg {
+        -v
+    } else {
+        v
+    }
+}
+
+fn load_program(path: &str) -> Function {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    if bytes.starts_with(b"SNTL") {
+        return object::read_object(&bytes)
+            .unwrap_or_else(|e| fail(&format!("load object {path}: {e}")));
+    }
+    let text = String::from_utf8(bytes).unwrap_or_else(|_| fail(&format!("{path}: not UTF-8")));
+    asm::parse(&text).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")))
+}
+
+fn parse_model(s: &str) -> SchedulingModel {
+    match s {
+        "R" | "restricted" => SchedulingModel::RestrictedPercolation,
+        "G" | "general" => SchedulingModel::GeneralPercolation,
+        "S" | "sentinel" => SchedulingModel::Sentinel,
+        "T" | "stores" => SchedulingModel::SentinelStores,
+        other => {
+            if let Some(k) = other.strip_prefix('B') {
+                let levels: u8 = k
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad boosting level in '{other}'")));
+                SchedulingModel::Boosting(levels)
+            } else {
+                fail(&format!("unknown model '{other}' (R, G, S, T, or B<k>)"))
+            }
+        }
+    }
+}
+
+fn parse_reg(s: &str) -> Reg {
+    let (class, idx) = s.split_at(1);
+    let index: u16 = idx.parse().unwrap_or_else(|_| fail(&format!("bad register '{s}'")));
+    match class {
+        "r" => Reg::int(index),
+        "f" => Reg::fp(index),
+        _ => fail(&format!("bad register '{s}'")),
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let takes_value = !matches!(
+                    name,
+                    "recovery" | "allocate" | "base" | "clear-uninit" | "trace" | "stats"
+                );
+                let value = if takes_value { it.next() } else { None };
+                flags.push((name.to_string(), value));
+            } else if a == "-o" {
+                flags.push(("output".to_string(), it.next()));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+}
+
+fn emit(func: &Function, output: Option<&str>) {
+    match output {
+        None => print!("{}", asm::print(func)),
+        Some(path) if path.ends_with(".sobj") => {
+            let bytes = object::write_object(func)
+                .unwrap_or_else(|e| fail(&format!("encode: {e}")));
+            std::fs::write(path, bytes).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        }
+        Some(path) => {
+            std::fs::write(path, asm::print(func))
+                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        }
+    }
+}
+
+fn cmd_check(args: &Args) {
+    let f = load_program(&args.positional[0]);
+    let errs = sentinel::prog::validate(&f);
+    if errs.is_empty() {
+        println!(
+            "{}: ok ({} blocks, {} instructions)",
+            f.name(),
+            f.block_count(),
+            f.insn_count()
+        );
+    } else {
+        for e in &errs {
+            eprintln!("{e}");
+        }
+        exit(1);
+    }
+}
+
+fn cmd_info(args: &Args) {
+    let f = load_program(&args.positional[0]);
+    println!("function @{}", f.name());
+    println!("  blocks:        {}", f.block_count());
+    println!("  instructions:  {}", f.insn_count());
+    let branches: usize = f.blocks().map(|b| b.side_exit_count()).sum();
+    println!("  cond branches: {branches}");
+    let loads = f
+        .blocks()
+        .flat_map(|b| b.insns.iter())
+        .filter(|i| i.op.is_load())
+        .count();
+    let stores = f
+        .blocks()
+        .flat_map(|b| b.insns.iter())
+        .filter(|i| i.op.is_store())
+        .count();
+    println!("  loads/stores:  {loads}/{stores}");
+    let spec = f
+        .blocks()
+        .flat_map(|b| b.insns.iter())
+        .filter(|i| i.speculative)
+        .count();
+    println!("  speculative:   {spec}");
+    let (mi, mf) = f.max_reg_indices();
+    println!(
+        "  max regs:      int {:?}, fp {:?}",
+        mi.unwrap_or(0),
+        mf.unwrap_or(0)
+    );
+    if !f.noalias_bases().is_empty() {
+        let regs: Vec<String> = f.noalias_bases().iter().map(|r| r.to_string()).collect();
+        println!("  noalias:       {}", regs.join(", "));
+    }
+}
+
+/// Builds the machine description from `--mdes FILE` (if given) and an
+/// `--issue N` override.
+fn machine_desc(args: &Args) -> MachineDesc {
+    let base = match args.flag("mdes") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+            sentinel::isa::mdes_file::parse_mdes(&text)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+        }
+        None => MachineDesc::paper_issue(8),
+    };
+    match args.flag("issue") {
+        Some(s) => MachineDesc::builder()
+            .issue_width(parse_num(s) as usize)
+            .branches_per_cycle(base.branches_per_cycle())
+            .int_regs(base.int_regs())
+            .fp_regs(base.fp_regs())
+            .store_buffer_size(base.store_buffer_size())
+            .latencies(base.latencies().clone())
+            .build(),
+        None => base,
+    }
+}
+
+fn cmd_schedule(args: &Args) {
+    let f = load_program(&args.positional[0]);
+    let model = parse_model(args.flag("model").unwrap_or("S"));
+    let mut opts = SchedOptions::new(model);
+    if args.has("recovery") {
+        opts = opts.with_recovery();
+    }
+    if args.has("allocate") {
+        opts = opts.with_allocation();
+    }
+    if args.has("clear-uninit") {
+        opts = opts.with_clear_uninitialized();
+    }
+    let mdes = machine_desc(args);
+    let issue = mdes.issue_width();
+    let s = schedule_function(&f, &mdes, &opts).unwrap_or_else(|e| fail(&format!("schedule: {e}")));
+    eprintln!(
+        "scheduled for {model} at issue {issue}: {} speculated, {} checks, {} confirms{}",
+        s.stats.speculated,
+        s.stats.checks_inserted,
+        s.stats.confirms_inserted,
+        if opts.recovery {
+            format!(", {} renames", s.stats.renames)
+        } else {
+            String::new()
+        }
+    );
+    emit(&s.func, args.flag("output"));
+}
+
+fn cmd_pipeline(args: &Args) {
+    use sentinel::sched::modulo::{pipeline_loop, pipeline_while_loop};
+    let mut f = load_program(&args.positional[0]);
+    let mdes = machine_desc(args);
+    let blocks: Vec<_> = f.layout().to_vec();
+    let mut done = 0;
+    for b in blocks {
+        let info = pipeline_loop(&mut f, b, &mdes)
+            .or_else(|| pipeline_while_loop(&mut f, b, &mdes, true));
+        if let Some(info) = info {
+            eprintln!(
+                "pipelined {}: II={}, stages={}, {} ops overlapped",
+                f.block(b).label,
+                info.ii,
+                info.stages,
+                info.body_ops
+            );
+            done += 1;
+        }
+    }
+    if done == 0 {
+        eprintln!("no pipelinable loops found");
+    }
+    emit(&f, args.flag("output"));
+}
+
+fn cmd_run(args: &Args) {
+    let f = load_program(&args.positional[0]);
+    let semantics = match args.flag("semantics").unwrap_or("tags") {
+        "tags" => SpeculationSemantics::SentinelTags,
+        "silent" => SpeculationSemantics::Silent,
+        "nan" => SpeculationSemantics::NanWrite,
+        other => fail(&format!("unknown semantics '{other}'")),
+    };
+    let mut cfg = SimConfig::for_mdes(machine_desc(args));
+    cfg.semantics = semantics;
+    cfg.collect_trace = args.has("trace");
+    let mut m = Machine::new(&f, cfg);
+    for spec in args.all("map") {
+        let (start, len) = spec
+            .split_once(':')
+            .unwrap_or_else(|| fail(&format!("bad --map '{spec}' (want START:LEN)")));
+        m.memory_mut()
+            .map_region(parse_num(start) as u64, parse_num(len) as u64);
+    }
+    for spec in args.all("word") {
+        let (addr, val) = spec
+            .split_once('=')
+            .unwrap_or_else(|| fail(&format!("bad --word '{spec}' (want ADDR=VAL)")));
+        m.memory_mut()
+            .write_word(parse_num(addr) as u64, parse_num(val) as u64)
+            .unwrap_or_else(|e| fail(&format!("--word {spec}: {e}")));
+    }
+    for spec in args.all("reg") {
+        let (reg, val) = spec
+            .split_once('=')
+            .unwrap_or_else(|| fail(&format!("bad --reg '{spec}' (want rN=VAL)")));
+        m.set_reg(parse_reg(reg), parse_num(val) as u64);
+    }
+    let result = m.run();
+    for event in m.trace() {
+        println!("{event}");
+    }
+    match result {
+        Ok(RunOutcome::Halted) => {
+            println!("halted after {} cycles ({} instructions, ipc {:.2})",
+                m.stats().cycles, m.stats().dyn_insns, m.stats().ipc());
+        }
+        Ok(RunOutcome::Trapped(t)) => {
+            println!("TRAP: {t} (after {} cycles)", m.stats().cycles);
+        }
+        Err(e) => fail(&format!("simulation: {e}")),
+    }
+    for spec in args.all("print") {
+        let r = parse_reg(spec);
+        let v = m.reg(r);
+        if v.tag {
+            println!("{r} = [exception tag, pc={}]", v.as_pc());
+        } else if r.is_fp() {
+            println!("{r} = {} ({:#x})", v.as_f64(), v.data);
+        } else {
+            println!("{r} = {} ({:#x})", v.as_i64(), v.data);
+        }
+    }
+    if args.has("stats") {
+        println!("{}", m.stats());
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sentinel <command> <file> [options]\n\
+         commands:\n\
+           check     validate a program\n\
+           info      print program statistics\n\
+           asm       assemble text to a .sobj object (-o out.sobj)\n\
+           disasm    print an object as text assembly\n\
+           schedule  --model R|G|S|T|B<k> --issue N [--recovery] [--allocate] [--clear-uninit] [-o out]\n\
+           pipeline  software-pipeline counted/while loops [-o out]\n\
+           mdes      print the effective machine description [--mdes file] [--issue N]\n\
+           run       [--issue N] [--semantics tags|silent|nan] [--map S:L]… [--word A=V]… [--reg rN=V]… [--print rN]… [--stats] [--trace]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    let cmd = raw[0].clone();
+    let args = Args::parse(raw[1..].to_vec());
+    if cmd == "mdes" {
+        // Print the effective machine description (paper defaults, a
+        // --mdes file, and/or an --issue override), re-parseable.
+        print!("{}", sentinel::isa::mdes_file::print_mdes(&machine_desc(&args)));
+        return;
+    }
+    if args.positional.is_empty() {
+        usage();
+    }
+    match cmd.as_str() {
+        "check" => cmd_check(&args),
+        "info" => cmd_info(&args),
+        "asm" => {
+            let f = load_program(&args.positional[0]);
+            let out = args.flag("output").unwrap_or("out.sobj");
+            emit(&f, Some(out));
+            eprintln!("wrote {out}");
+        }
+        "disasm" => {
+            let f = load_program(&args.positional[0]);
+            print!("{}", asm::print(&f));
+        }
+        "schedule" => cmd_schedule(&args),
+        "pipeline" => cmd_pipeline(&args),
+        "run" => cmd_run(&args),
+        _ => usage(),
+    }
+}

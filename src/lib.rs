@@ -1,0 +1,50 @@
+//! Sentinel scheduling for VLIW and superscalar processors.
+//!
+//! This crate is the facade of a full reproduction of *Sentinel Scheduling
+//! for VLIW and Superscalar Processors* (Mahlke, Chen, Hwu, Rau,
+//! Schlansker — ASPLOS 1992): compiler-controlled speculative execution
+//! with precise exception detection.
+//!
+//! It re-exports the workspace crates:
+//!
+//! * [`isa`] — the RISC instruction set and machine description (Table 3).
+//! * [`prog`] — program representation: CFG, superblocks, liveness, assembler.
+//! * [`sched`] — the paper's contribution: dependence-graph reduction,
+//!   sentinel list scheduling, speculative stores, recovery constraints.
+//! * [`sim`] — execution-driven simulator implementing the paper's
+//!   exception-tag semantics (Table 1) and probationary store buffer
+//!   (Table 2).
+//! * [`workloads`] — the 17-program synthetic benchmark suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sentinel::prelude::*;
+//!
+//! // Build the paper's Figure 1 code fragment, schedule it with the
+//! // sentinel model on an unbounded-issue machine, and simulate it.
+//! let program = sentinel::prog::examples::figure1();
+//! let mdes = MachineDesc::builder()
+//!     .issue_width(8)
+//!     .latencies(LatencyTable::unit())
+//!     .build();
+//! let scheduled = schedule_program(&program, &mdes, SchedulingModel::Sentinel)?;
+//! # Ok::<(), sentinel::sched::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sentinel_core as sched;
+pub use sentinel_isa as isa;
+pub use sentinel_prog as prog;
+pub use sentinel_sim as sim;
+pub use sentinel_workloads as workloads;
+
+/// Commonly used items, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use sentinel_core::{schedule_program, ScheduleError, SchedulingModel};
+    pub use sentinel_isa::{Insn, LatencyTable, MachineDesc, Opcode, Reg};
+    pub use sentinel_prog::{Function, ProgramBuilder};
+    pub use sentinel_sim::{Machine, RunOutcome, SimConfig};
+}

@@ -1,0 +1,272 @@
+//! End-to-end tests of the `sentinel` command-line tool.
+
+use std::process::Command;
+
+const DEMO: &str = r#"
+func @demo {
+.noalias r2, r3
+main:
+    ld r5, 0(r3)
+    beq r5, r0, skip
+    ld r1, 0(r2)
+    addi r4, r1, 1
+    st r4, 8(r2)
+    halt
+skip:
+    halt
+}
+"#;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sentinel"))
+}
+
+fn write_demo(dir: &std::path::Path) -> std::path::PathBuf {
+    let p = dir.join("demo.sasm");
+    std::fs::write(&p, DEMO).unwrap();
+    p
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("sentinel-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn check_accepts_valid_program() {
+    let dir = tmpdir("check");
+    let p = write_demo(&dir);
+    let out = bin().args(["check", p.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok (2 blocks, 7 instructions)"));
+}
+
+#[test]
+fn check_rejects_invalid_program() {
+    let dir = tmpdir("bad");
+    let p = dir.join("bad.sasm");
+    std::fs::write(&p, "func @bad {\ne:\n    add r1, r2\n}\n").unwrap();
+    let out = bin().args(["check", p.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn schedule_then_run_pipeline() {
+    let dir = tmpdir("pipe");
+    let p = write_demo(&dir);
+    let sched = dir.join("sched.sasm");
+    let out = bin()
+        .args([
+            "schedule",
+            p.to_str().unwrap(),
+            "--model",
+            "S",
+            "--issue",
+            "4",
+            "-o",
+            sched.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&sched).unwrap();
+    assert!(text.contains(".s "), "speculated instructions present:\n{text}");
+
+    let out = bin()
+        .args([
+            "run",
+            sched.to_str().unwrap(),
+            "--issue",
+            "4",
+            "--map",
+            "0x1000:0x100",
+            "--word",
+            "0x1000=1",
+            "--reg",
+            "r3=0x1000",
+            "--reg",
+            "r2=0x1010",
+            "--print",
+            "r4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("halted after"), "{stdout}");
+    assert!(stdout.contains("r4 = 1"), "{stdout}");
+}
+
+#[test]
+fn run_reports_precise_trap() {
+    let dir = tmpdir("trap");
+    let p = write_demo(&dir);
+    let sched = dir.join("sched.sasm");
+    bin()
+        .args([
+            "schedule",
+            p.to_str().unwrap(),
+            "--model",
+            "S",
+            "-o",
+            sched.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    // r2 unmapped: the hoisted speculative load faults; precise trap.
+    let out = bin()
+        .args([
+            "run",
+            sched.to_str().unwrap(),
+            "--map",
+            "0x1000:0x100",
+            "--word",
+            "0x1000=1",
+            "--reg",
+            "r3=0x1000",
+            "--reg",
+            "r2=0xdead0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TRAP"), "{stdout}");
+    assert!(stdout.contains("unmapped address 0xdead0"), "{stdout}");
+}
+
+#[test]
+fn asm_disasm_roundtrip() {
+    let dir = tmpdir("obj");
+    let p = write_demo(&dir);
+    let obj = dir.join("demo.sobj");
+    assert!(bin()
+        .args(["asm", p.to_str().unwrap(), "-o", obj.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let bytes = std::fs::read(&obj).unwrap();
+    assert!(bytes.starts_with(b"SNTL"));
+    let out = bin().args(["disasm", obj.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("func @demo"));
+    assert!(text.contains(".noalias r2, r3"));
+    // Objects can be run directly.
+    let out = bin()
+        .args([
+            "run",
+            obj.to_str().unwrap(),
+            "--map",
+            "0x1000:0x100",
+            "--reg",
+            "r3=0x1000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("halted"));
+}
+
+const LOOP: &str = r#"
+func @copy {
+.noalias r1, r2
+init:
+    li r1, 0x1000
+    li r2, 0x2000
+    li r3, 50
+loop:
+    ld r4, 0(r1)
+    st r4, 0(r2)
+    addi r1, r1, 8
+    addi r2, r2, 8
+    addi r3, r3, -1
+    bne r3, r0, loop
+done:
+    halt
+}
+"#;
+
+#[test]
+fn pipeline_command_overlaps_loops() {
+    let dir = tmpdir("pipe2");
+    let p = dir.join("loop.sasm");
+    std::fs::write(&p, LOOP).unwrap();
+    let out_path = dir.join("loop_p.sasm");
+    let out = bin()
+        .args([
+            "pipeline",
+            p.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pipelined loop: II="));
+
+    let common = [
+        "--map",
+        "0x1000:0x200",
+        "--map",
+        "0x2000:0x200",
+        "--word",
+        "0x1008=9",
+    ];
+    let cycles_of = |path: &std::path::Path| -> u64 {
+        let out = bin()
+            .arg("run")
+            .arg(path)
+            .args(common)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("halted after"), "{stdout}");
+        stdout
+            .split("halted after ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let plain = cycles_of(&p);
+    let pipelined = cycles_of(&out_path);
+    assert!(pipelined < plain, "{pipelined} vs {plain}");
+}
+
+#[test]
+fn mdes_command_prints_reparseable_description() {
+    let out = bin().args(["mdes", "--issue", "2"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("issue_width 2"));
+    assert!(text.contains("latency mem-load 2"));
+    // Feed it back through --mdes.
+    let dir = tmpdir("mdes");
+    let p = dir.join("m.mdes");
+    std::fs::write(&p, text.as_bytes()).unwrap();
+    let out2 = bin()
+        .args(["mdes", "--mdes", p.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out2.status.success());
+    assert_eq!(out.stdout, out2.stdout, "round-trips through a file");
+}
+
+#[test]
+fn boosting_model_from_cli() {
+    let dir = tmpdir("boost");
+    let p = write_demo(&dir);
+    let out = bin()
+        .args(["schedule", p.to_str().unwrap(), "--model", "B2", "--issue", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(".b1 ") || text.contains(".b2 "), "boost markers:\n{text}");
+}

@@ -1,0 +1,61 @@
+//! Everything in the measurement pipeline is deterministic: identical
+//! inputs produce bit-identical schedules, identical simulations, and
+//! identical figure rows. (The figures in EXPERIMENTS.md depend on this.)
+
+use sentinel::prog::asm;
+use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
+use sentinel::sim::{Machine, SimConfig};
+use sentinel_bench::runner::{apply_memory, measure, MeasureConfig};
+use sentinel_isa::MachineDesc;
+use sentinel_workloads::suite;
+
+#[test]
+fn scheduling_is_deterministic() {
+    let w = suite::by_name("grep").unwrap();
+    for model in SchedulingModel::all() {
+        let mdes = MachineDesc::paper_issue(8);
+        let a = schedule_function(&w.func, &mdes, &SchedOptions::new(model)).unwrap();
+        let b = schedule_function(&w.func, &mdes, &SchedOptions::new(model)).unwrap();
+        assert_eq!(
+            asm::print(&a.func),
+            asm::print(&b.func),
+            "{model}: schedule must be deterministic"
+        );
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let w = suite::by_name("doduc").unwrap();
+    let mdes = MachineDesc::paper_issue(4);
+    let s = schedule_function(&w.func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
+        .unwrap();
+    let run = || {
+        let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
+        apply_memory(&w, m.memory_mut());
+        m.run().unwrap();
+        (m.stats().cycles, m.stats().dyn_insns, m.memory().snapshot())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn measurements_are_deterministic() {
+    let w = suite::by_name("cmp").unwrap();
+    let cfg = MeasureConfig::paper(SchedulingModel::SentinelStores, 8);
+    let a = measure(&w, &cfg);
+    let b = measure(&w, &cfg);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn suite_generation_is_stable_across_calls() {
+    let a = suite::suite();
+    let b = suite::suite();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(asm::print(&x.func), asm::print(&y.func), "{}", x.name);
+        assert_eq!(x.mem_words, y.mem_words, "{}", x.name);
+    }
+}

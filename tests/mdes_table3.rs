@@ -1,0 +1,72 @@
+//! Paper **Table 3** — instruction latencies, and the §5.1 machine
+//! parameters.
+
+use sentinel::prelude::*;
+
+#[test]
+fn table3_latencies_are_the_default() {
+    let m = MachineDesc::paper_issue(8);
+    let lat = |op| m.latency(op);
+    // Int ALU 1, Int multiply 3, Int divide 10, branch 1, memory load 2,
+    // FP ALU 3, FP conversion 3, FP multiply 3, FP divide 10, memory
+    // store 1.
+    assert_eq!(lat(Opcode::Add), 1);
+    assert_eq!(lat(Opcode::AddI), 1);
+    assert_eq!(lat(Opcode::Mul), 3);
+    assert_eq!(lat(Opcode::Div), 10);
+    assert_eq!(lat(Opcode::Rem), 10);
+    assert_eq!(lat(Opcode::Beq), 1);
+    assert_eq!(lat(Opcode::Jump), 1);
+    assert_eq!(lat(Opcode::LdW), 2);
+    assert_eq!(lat(Opcode::LdB), 2);
+    assert_eq!(lat(Opcode::FLd), 2);
+    assert_eq!(lat(Opcode::StW), 1);
+    assert_eq!(lat(Opcode::FSt), 1);
+    assert_eq!(lat(Opcode::FAdd), 3);
+    assert_eq!(lat(Opcode::FSub), 3);
+    assert_eq!(lat(Opcode::FCvtIF), 3);
+    assert_eq!(lat(Opcode::FCvtFI), 3);
+    assert_eq!(lat(Opcode::FMul), 3);
+    assert_eq!(lat(Opcode::FDiv), 10);
+}
+
+#[test]
+fn paper_machine_has_section51_parameters() {
+    // "The basic processor has 64 integer registers, 64 floating point
+    // registers, and an 8 entry store buffer."
+    for width in [1, 2, 4, 8] {
+        let m = MachineDesc::paper_issue(width);
+        assert_eq!(m.issue_width(), width);
+        assert_eq!(m.int_regs(), 64);
+        assert_eq!(m.fp_regs(), 64);
+        assert_eq!(m.store_buffer_size(), 8);
+    }
+}
+
+#[test]
+fn trap_model_matches_section51() {
+    // "trap on exceptions for memory load, memory store, integer divide,
+    // and all floating point instructions."
+    for op in Opcode::all() {
+        let expected = matches!(
+            op,
+            Opcode::LdW
+                | Opcode::LdB
+                | Opcode::FLd
+                | Opcode::StW
+                | Opcode::StB
+                | Opcode::FSt
+                | Opcode::Div
+                | Opcode::Rem
+                | Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FDiv
+                | Opcode::FCvtIF
+                | Opcode::FCvtFI
+                | Opcode::FLt
+                | Opcode::FEq
+        );
+        assert_eq!(op.can_trap(), expected, "{op}");
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's worked examples, end to end.
+//!
+//! * **Figure 1**: sentinel scheduling of the six-instruction fragment —
+//!   B, C, D, E speculate; E gets an explicit sentinel; F and the sentinel
+//!   remain in the home block.
+//! * **Figure 2**: execution where instruction B causes an exception —
+//!   the tag propagates B → r1 → (D) → r4 and the first non-speculative
+//!   use signals, reporting B.
+//! * §3.4's closing remark: if the branch A is taken instead, the
+//!   exception is completely ignored.
+
+use sentinel::prelude::*;
+use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
+use sentinel::sim::RunOutcome;
+use sentinel_isa::LatencyTable;
+use sentinel_prog::examples::figure1;
+
+fn wide_unit_mdes() -> MachineDesc {
+    MachineDesc::builder()
+        .issue_width(8)
+        .latencies(LatencyTable::unit())
+        .build()
+}
+
+/// An issue-2 machine: tight enough that the scheduler reproduces the
+/// paper's Figure 1(b) structure (all of B, C, D, E above A, explicit
+/// sentinel for E).
+fn narrow_unit_mdes() -> MachineDesc {
+    MachineDesc::builder()
+        .issue_width(2)
+        .latencies(LatencyTable::unit())
+        .build()
+}
+
+fn scheduled_figure1() -> (Function, Function) {
+    let f = figure1();
+    let s = schedule_function(
+        &f,
+        &narrow_unit_mdes(),
+        &SchedOptions::new(SchedulingModel::Sentinel),
+    )
+    .expect("schedule figure 1");
+    (f, s.func)
+}
+
+#[test]
+fn figure1_schedule_has_paper_structure() {
+    let (orig, sched) = scheduled_figure1();
+    let main = sched.entry();
+    let insns = &sched.block(main).insns;
+    let pos =
+        |op: Opcode| insns.iter().position(|i| i.op == op).unwrap_or_else(|| panic!("no {op}"));
+    let branch = pos(Opcode::Beq);
+    let store = pos(Opcode::StW);
+    let check = pos(Opcode::CheckExcept);
+    // Loads (B, C) speculated above the branch.
+    for ld in insns.iter().filter(|i| i.op == Opcode::LdW) {
+        let p = insns.iter().position(|i| i.id == ld.id).unwrap();
+        assert!(p < branch, "loads precede the branch");
+        assert!(ld.speculative, "loads carry the speculative modifier");
+    }
+    // F (store) and G (check r5) remain in the home block, after A.
+    assert!(store > branch);
+    assert!(!insns[store].speculative);
+    assert!(check > branch);
+    assert_eq!(insns[check].src1, Some(Reg::int(5)), "check guards E's dest");
+    // The schedule contains exactly one inserted sentinel.
+    assert_eq!(
+        insns.iter().filter(|i| i.op == Opcode::CheckExcept).count(),
+        1
+    );
+    let _ = orig;
+}
+
+#[test]
+fn figure2_exception_detected_and_reports_b() {
+    let (orig, sched) = scheduled_figure1();
+    let b_id = orig.block(orig.entry()).insns[1].id; // B: ld r1, 0(r2)
+
+    let mut m = Machine::new(&sched, SimConfig::for_mdes(narrow_unit_mdes()));
+    // r2 nonzero (branch not taken) but unmapped: B faults speculatively.
+    m.set_reg(Reg::int(2), 0xDEA0);
+    m.memory_mut().map_region(0x1100, 0x100); // C's load target is fine
+    m.set_reg(Reg::int(4), 0x1100);
+    match m.run().unwrap() {
+        RunOutcome::Trapped(t) => {
+            assert_eq!(t.excepting_pc, b_id, "the sentinel reports B");
+        }
+        o => panic!("expected trap, got {o:?}"),
+    }
+    // The tag chain of Figure 2: r1 tagged by B, r4 tagged by D's
+    // propagation; both data fields carry B's pc.
+    assert!(m.reg(Reg::int(1)).tag);
+    assert_eq!(m.reg(Reg::int(1)).as_pc(), b_id);
+    assert!(m.reg(Reg::int(4)).tag);
+    assert_eq!(m.reg(Reg::int(4)).as_pc(), b_id);
+}
+
+#[test]
+fn figure2_variant_taken_branch_ignores_exception() {
+    // "if instruction B again results in an exception but the branch
+    // instruction A is instead taken, the exception is completely
+    // ignored."
+    let (_, sched) = scheduled_figure1();
+    let mut m = Machine::new(&sched, SimConfig::for_mdes(narrow_unit_mdes()));
+    m.set_reg(Reg::int(2), 0); // branch taken; B's speculative load of
+                               // address 0 faults but must be ignored
+    m.memory_mut().map_region(0x1100, 0x100);
+    m.set_reg(Reg::int(4), 0x1100);
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+}
+
+#[test]
+fn figure1_under_general_percolation_loses_the_exception() {
+    // The same faulting scenario under model G: the program runs to
+    // completion with a garbage value — the paper's §2.4 critique.
+    // Fault the load C (base r4) so the rest of the program stays valid.
+    let f = figure1();
+    let s = schedule_function(
+        &f,
+        &wide_unit_mdes(),
+        &SchedOptions::new(SchedulingModel::GeneralPercolation),
+    )
+    .unwrap();
+    let mut cfg = SimConfig::for_mdes(wide_unit_mdes());
+    cfg.semantics = sentinel::sim::SpeculationSemantics::Silent;
+    let mut m = Machine::new(&s.func, cfg);
+    m.set_reg(Reg::int(2), 0x1100); // branch not taken, B and F fine
+    m.memory_mut().map_region(0x1100, 0x200);
+    m.set_reg(Reg::int(4), 0xDEA0); // C faults silently
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted, "exception lost");
+    // r5 = garbage + 9: the wrong result propagated silently.
+    assert_eq!(
+        m.reg(Reg::int(5)).as_i64(),
+        (sentinel::sim::GARBAGE as i64).wrapping_add(9)
+    );
+}
+
+#[test]
+fn figure1_matches_paper_cycle_count() {
+    // With unit latencies and unbounded issue, the paper's Figure 1(b)
+    // schedule takes 3 cycles. Ours must do at least as well.
+    let f = figure1();
+    let s = schedule_function(&f, &wide_unit_mdes(), &SchedOptions::new(SchedulingModel::Sentinel))
+        .unwrap();
+    let main = f.entry();
+    assert!(
+        s.blocks[&main].stats.cycles <= 3 + 1, // +1 for our explicit jump to exit
+        "schedule too long: {} cycles",
+        s.blocks[&main].stats.cycles
+    );
+}

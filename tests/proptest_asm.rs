@@ -1,0 +1,61 @@
+//! Property: the textual assembler round-trips arbitrary programs —
+//! including *scheduled* programs carrying speculative modifiers and
+//! sentinel instructions.
+
+use proptest::prelude::*;
+
+use sentinel::prog::asm;
+use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
+use sentinel_isa::MachineDesc;
+use sentinel_workloads::{generate, BenchClass, WorkloadSpec};
+
+fn spec_for(seed: u64, regions: usize, len: usize, fp: bool) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "asmprop",
+        class: BenchClass::NonNumeric,
+        seed,
+        loops: 1,
+        regions_per_loop: regions,
+        insns_per_region: len,
+        iterations: 3,
+        load_frac: 0.3,
+        store_frac: 0.15,
+        fp_frac: if fp { 0.4 } else { 0.0 },
+        mul_frac: 0.05,
+        div_frac: 0.03,
+        side_exit_prob: 0.1,
+        branch_on_load: 0.7,
+        chain_frac: 0.6,
+        alias_frac: 0.3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_programs_roundtrip(seed in 0u64..100_000, regions in 1usize..5, len in 1usize..8, fp in any::<bool>()) {
+        let w = generate(&spec_for(seed, regions, len, fp));
+        let text = asm::print(&w.func);
+        let back = asm::parse(&text).expect("parse printed program");
+        prop_assert_eq!(asm::print(&back), text, "print∘parse must be a fixpoint");
+        prop_assert_eq!(back.insn_count(), w.func.insn_count());
+        prop_assert_eq!(back.noalias_bases(), w.func.noalias_bases());
+    }
+
+    #[test]
+    fn scheduled_programs_roundtrip(seed in 0u64..100_000, model_pick in 0usize..4) {
+        let w = generate(&spec_for(seed, 3, 5, seed % 2 == 0));
+        let model = SchedulingModel::all()[model_pick];
+        let sched = schedule_function(&w.func, &MachineDesc::paper_issue(4), &SchedOptions::new(model))
+            .expect("schedule");
+        let text = asm::print(&sched.func);
+        let back = asm::parse(&text).expect("parse scheduled program");
+        prop_assert_eq!(asm::print(&back), text);
+        // Speculative markers survive the round trip.
+        let spec_count = |f: &sentinel::prog::Function| {
+            f.blocks().flat_map(|b| b.insns.iter()).filter(|i| i.speculative).count()
+        };
+        prop_assert_eq!(spec_count(&back), spec_count(&sched.func));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property: for *any* generated workload and any scheduling model, the
+//! scheduled program running on the sentinel machine produces the same
+//! architectural outcome as the sequential reference interpreter.
+//!
+//! The workload generator explores the structural space (region counts,
+//! sizes, instruction mixes, exit probabilities, aliasing); proptest
+//! drives its parameters.
+
+use proptest::prelude::*;
+
+use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
+use sentinel::sim::reference::{RefOutcome, Reference};
+use sentinel::sim::verify::{compare_runs, CompareSpec};
+use sentinel::sim::{Machine, RunOutcome, SimConfig, SpeculationSemantics};
+use sentinel_isa::MachineDesc;
+use sentinel_workloads::{generate, BenchClass, Workload, WorkloadSpec};
+
+fn apply_memory(w: &Workload, mem: &mut sentinel::sim::Memory) {
+    for &(s, l) in &w.mem_regions {
+        mem.map_region(s, l);
+    }
+    for &(a, v) in &w.mem_words {
+        mem.write_word(a, v).unwrap();
+    }
+}
+
+prop_compose! {
+    fn arb_spec()(
+        seed in 0u64..10_000,
+        loops in 1usize..3,
+        regions in 1usize..6,
+        len in 1usize..10,
+        iterations in 1u64..25,
+        load_frac in 0.0f64..0.5,
+        store_frac in 0.0f64..0.25,
+        fp_frac in prop_oneof![Just(0.0), 0.1f64..0.6],
+        mul_frac in 0.0f64..0.1,
+        div_frac in 0.0f64..0.05,
+        side_exit_prob in 0.0f64..0.3,
+        branch_on_load in 0.0f64..1.0,
+        chain_frac in 0.0f64..1.0,
+        alias_frac in 0.0f64..0.6,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "prop",
+            class: BenchClass::NonNumeric,
+            seed,
+            loops,
+            regions_per_loop: regions,
+            insns_per_region: len,
+            iterations,
+            load_frac,
+            store_frac,
+            fp_frac,
+            mul_frac,
+            div_frac,
+            side_exit_prob,
+            branch_on_load,
+            chain_frac,
+            alias_frac,
+        }
+    }
+}
+
+fn check_equivalence(spec: &WorkloadSpec, model: SchedulingModel, width: usize, recovery: bool) {
+    let w = generate(spec);
+    let mdes = MachineDesc::paper_issue(width);
+    let mut opts = SchedOptions::new(model);
+    if recovery {
+        opts = opts.with_recovery();
+    }
+    let sched = schedule_function(&w.func, &mdes, &opts).expect("schedule");
+    let mut cfg = SimConfig::for_mdes(mdes);
+    cfg.semantics = match model {
+        SchedulingModel::GeneralPercolation => SpeculationSemantics::Silent,
+        _ => SpeculationSemantics::SentinelTags,
+    };
+    let mut m = Machine::new(&sched.func, cfg);
+    apply_memory(&w, m.memory_mut());
+    let mo = m.run().expect("machine run");
+    assert_eq!(mo, RunOutcome::Halted);
+
+    let mut r = Reference::new(&w.func);
+    apply_memory(&w, r.memory_mut());
+    let ro = r.run().expect("reference run");
+    assert_eq!(ro, RefOutcome::Halted);
+
+    let divs = compare_runs(&m, mo, &r, ro, &CompareSpec::precise(w.live_out.clone()));
+    assert!(
+        divs.is_empty(),
+        "model {model} width {width} recovery {recovery} seed {}: {}\n{}",
+        spec.seed,
+        divs[0],
+        sentinel::prog::asm::print(&sched.func),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sentinel_matches_reference(spec in arb_spec(), width in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]) {
+        check_equivalence(&spec, SchedulingModel::Sentinel, width, false);
+    }
+
+    #[test]
+    fn sentinel_stores_matches_reference(spec in arb_spec(), width in prop_oneof![Just(2usize), Just(8)]) {
+        check_equivalence(&spec, SchedulingModel::SentinelStores, width, false);
+    }
+
+    #[test]
+    fn restricted_matches_reference(spec in arb_spec()) {
+        check_equivalence(&spec, SchedulingModel::RestrictedPercolation, 4, false);
+    }
+
+    #[test]
+    fn general_matches_reference_on_trap_free_programs(spec in arb_spec()) {
+        // These workloads never fault, so even general percolation's
+        // silent semantics must be architecturally equivalent.
+        check_equivalence(&spec, SchedulingModel::GeneralPercolation, 8, false);
+    }
+
+    #[test]
+    fn recovery_constraints_preserve_equivalence(spec in arb_spec(), width in prop_oneof![Just(2usize), Just(8)]) {
+        check_equivalence(&spec, SchedulingModel::Sentinel, width, true);
+        check_equivalence(&spec, SchedulingModel::SentinelStores, width, true);
+    }
+
+    #[test]
+    fn boosting_preserves_equivalence(spec in arb_spec(), levels in 1u8..5) {
+        check_equivalence(&spec, SchedulingModel::Boosting(levels), 8, false);
+    }
+
+    #[test]
+    fn unrolling_preserves_equivalence(spec in arb_spec(), factor in 2usize..5) {
+        use sentinel::prog::superblock::unroll_all_loops;
+        use sentinel::sim::reference::Reference;
+        let w = generate(&spec);
+        let mut wu = w.clone();
+        unroll_all_loops(&mut wu.func, factor);
+        let mut r1 = Reference::new(&w.func);
+        apply_memory(&w, r1.memory_mut());
+        r1.run().expect("original");
+        let mut r2 = Reference::new(&wu.func);
+        apply_memory(&wu, r2.memory_mut());
+        r2.run().expect("unrolled");
+        prop_assert_eq!(r1.memory().snapshot(), r2.memory().snapshot());
+        // And the unrolled program still schedules + simulates correctly.
+        let sched = schedule_function(
+            &wu.func,
+            &MachineDesc::paper_issue(8),
+            &SchedOptions::new(SchedulingModel::Sentinel),
+        ).expect("schedule unrolled");
+        let mut m = Machine::new(&sched.func, SimConfig::for_mdes(MachineDesc::paper_issue(8)));
+        apply_memory(&wu, m.memory_mut());
+        prop_assert_eq!(m.run().expect("run"), RunOutcome::Halted);
+        prop_assert_eq!(m.memory().snapshot(), r1.memory().snapshot());
+    }
+}

@@ -1,0 +1,182 @@
+//! Exception recovery (paper §3.7): with the restartable-sequence
+//! constraints enforced by the scheduler, a trap on a speculative
+//! instruction can be repaired and re-executed from the reported PC, and
+//! the program completes with the correct result.
+
+use sentinel::prelude::*;
+use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
+use sentinel::sim::{Recovery, RunOutcome, Width};
+use sentinel_isa::LatencyTable;
+
+fn unit_mdes(width: usize) -> MachineDesc {
+    MachineDesc::builder()
+        .issue_width(width)
+        .latencies(LatencyTable::unit())
+        .build()
+}
+
+/// Builds a loop whose load target is unmapped on a *late* iteration, so
+/// the fault happens mid-stream with live speculative state.
+fn faulting_loop() -> Function {
+    let mut b = ProgramBuilder::new("recov");
+    let body = b.block("body");
+    let done = b.block("done");
+    b.switch_to(body);
+    // r1: pointer (starts at 0x1000); r2: counter; r3: sum.
+    b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
+    b.push(Insn::branch(Opcode::Beq, Reg::int(4), Reg::int(5), done)); // r5 = sentinel value, never hit
+    b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(3), Reg::int(4)));
+    b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), -1));
+    b.push(Insn::branch(Opcode::Bne, Reg::int(2), Reg::ZERO, body));
+    b.switch_to(done);
+    b.push(Insn::st_w(Reg::int(3), Reg::int(6), 0));
+    b.push(Insn::halt());
+    b.finish()
+}
+
+#[test]
+fn recovery_completes_with_correct_result_after_page_fault() {
+    let f = faulting_loop();
+    let sched = schedule_function(
+        &f,
+        &unit_mdes(8),
+        &SchedOptions::new(SchedulingModel::Sentinel).with_recovery(),
+    )
+    .unwrap();
+
+    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(unit_mdes(8)));
+    // 8 iterations; only the first 4 words are mapped — iteration 5 page
+    // faults and the handler maps the rest.
+    m.set_reg(Reg::int(1), 0x1000);
+    m.set_reg(Reg::int(2), 8);
+    m.set_reg(Reg::int(5), -1i64 as u64);
+    m.set_reg(Reg::int(6), 0x2000);
+    m.memory_mut().map_region(0x1000, 32);
+    m.memory_mut().map_region(0x2000, 8);
+    for i in 0..4u64 {
+        m.memory_mut().write_word(0x1000 + 8 * i, i + 1).unwrap();
+    }
+    let mut recoveries = 0;
+    let out = m
+        .run_with_recovery(|trap, mem| {
+            recoveries += 1;
+            assert!(trap.kind.is_some());
+            // "Page in" the rest of the array.
+            if !mem.is_mapped(0x1020, 8) {
+                mem.map_region(0x1020, 64);
+                for i in 4..8u64 {
+                    mem.write_raw(0x1000 + 8 * i, Width::Word, i + 1);
+                }
+            }
+            Recovery::Resume
+        })
+        .unwrap();
+    assert_eq!(out, RunOutcome::Halted);
+    assert!(recoveries >= 1, "the fault must have fired");
+    // Sum of 1..=8 = 36, stored at 0x2000.
+    assert_eq!(m.memory().read_word(0x2000).unwrap(), 36);
+    assert_eq!(m.stats().recoveries as i32, recoveries);
+}
+
+#[test]
+fn figure3_end_to_end_with_pointerlike_r2() {
+    // A faithful figure-3 run: r2 is a pointer incremented by 8 (the
+    // word-scaled analogue of the paper's r2+1).
+    let mut b = ProgramBuilder::new("fig3w");
+    let main = b.block("main");
+    let l1 = b.block("l1");
+    let exit = b.block("exit");
+    b.switch_to(main);
+    b.push(Insn::jsr()); // A
+    b.push(Insn::ld_w(Reg::int(5), Reg::int(3), 0)); // B
+    b.push(Insn::branch(Opcode::Beq, Reg::int(5), Reg::ZERO, l1)); // C
+    b.push(Insn::ld_w(Reg::int(1), Reg::int(6), 0)); // D
+    b.push(Insn::addi(Reg::int(2), Reg::int(2), 8)); // E (self-overwrite)
+    b.push(Insn::st_w(Reg::int(7), Reg::int(4), 0)); // F
+    b.push(Insn::addi(Reg::int(8), Reg::int(1), 1)); // G
+    b.push(Insn::ld_w(Reg::int(9), Reg::int(2), 0)); // H
+    b.push(Insn::jump(exit));
+    b.switch_to(l1);
+    b.push(Insn::halt());
+    b.switch_to(exit);
+    b.push(Insn::halt());
+    let f = b.finish();
+
+    let sched = schedule_function(
+        &f,
+        &unit_mdes(8),
+        &SchedOptions::new(SchedulingModel::Sentinel).with_recovery(),
+    )
+    .unwrap();
+    assert!(sched.stats.renames >= 1, "E must be renamed");
+
+    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(unit_mdes(8)));
+    m.set_reg(Reg::int(3), 0x1000);
+    m.set_reg(Reg::int(6), 0x3000); // D faults initially
+    m.set_reg(Reg::int(4), 0x1100);
+    m.set_reg(Reg::int(2), 0x1008);
+    m.set_reg(Reg::int(7), 99);
+    m.memory_mut().map_region(0x1000, 0x200);
+    m.memory_mut().write_word(0x1000, 5).unwrap();
+    m.memory_mut().write_word(0x1010, 777).unwrap(); // H's target (r2+8)
+    let out = m
+        .run_with_recovery(|_, mem| {
+            if !mem.is_mapped(0x3000, 8) {
+                mem.map_region(0x3000, 8);
+                mem.write_raw(0x3000, Width::Word, 41);
+            }
+            Recovery::Resume
+        })
+        .unwrap();
+    assert_eq!(out, RunOutcome::Halted);
+    assert_eq!(m.reg(Reg::int(8)).as_i64(), 42, "G = D+1 after recovery");
+    assert_eq!(m.reg(Reg::int(9)).as_i64(), 777, "H read through updated r2");
+    assert_eq!(m.reg(Reg::int(2)).as_i64(), 0x1010, "restore move ran");
+    assert_eq!(m.memory().read_word(0x1100).unwrap(), 99, "F committed once");
+    assert_eq!(m.stats().recoveries, 1);
+}
+
+#[test]
+fn abort_recovery_reports_original_trap() {
+    let f = faulting_loop();
+    let sched = schedule_function(
+        &f,
+        &unit_mdes(4),
+        &SchedOptions::new(SchedulingModel::Sentinel).with_recovery(),
+    )
+    .unwrap();
+    let ld_id = f.block(f.entry()).insns[0].id;
+    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(unit_mdes(4)));
+    m.set_reg(Reg::int(1), 0x9000); // unmapped immediately
+    m.set_reg(Reg::int(2), 3);
+    m.set_reg(Reg::int(5), -1i64 as u64);
+    m.set_reg(Reg::int(6), 0x2000);
+    m.memory_mut().map_region(0x2000, 8);
+    match m.run_with_recovery(|_, _| Recovery::Abort).unwrap() {
+        RunOutcome::Trapped(t) => assert_eq!(t.excepting_pc, ld_id),
+        o => panic!("expected trap, got {o:?}"),
+    }
+}
+
+#[test]
+fn unrepaired_fault_hits_recovery_limit() {
+    let f = faulting_loop();
+    let sched = schedule_function(
+        &f,
+        &unit_mdes(4),
+        &SchedOptions::new(SchedulingModel::Sentinel).with_recovery(),
+    )
+    .unwrap();
+    let mut cfg = SimConfig::for_mdes(unit_mdes(4));
+    cfg.max_recoveries = 10;
+    let mut m = Machine::new(&sched.func, cfg);
+    m.set_reg(Reg::int(1), 0x9000);
+    m.set_reg(Reg::int(2), 3);
+    m.set_reg(Reg::int(5), -1i64 as u64);
+    m.set_reg(Reg::int(6), 0x2000);
+    m.memory_mut().map_region(0x2000, 8);
+    // A handler that "resumes" without fixing anything must be stopped.
+    let r = m.run_with_recovery(|_, _| Recovery::Resume);
+    assert_eq!(r, Err(sentinel::sim::SimError::RecoveryLoop));
+}

@@ -1,0 +1,166 @@
+//! Paper **Table 1** — exception detection with sentinel scheduling.
+//!
+//! Each test exercises one row of the table: inputs are the speculative
+//! modifier of `I`, the union of `I`'s source-operand exception tags, and
+//! whether `I` itself causes an exception; outputs are the destination
+//! tag/data and whether an exception is signaled.
+
+use sentinel::prelude::*;
+use sentinel::sim::RunOutcome;
+use sentinel_isa::InsnId;
+
+const UNMAPPED: i64 = 0xBAD0;
+const MAPPED: i64 = 0x1000;
+
+/// Runs a two-instruction probe: the instruction under test, then `halt`.
+fn machine_for(insns: Vec<Insn>) -> (Function, Machine<'static>) {
+    // Leak the function so the machine can borrow it for 'static in tests.
+    let mut b = ProgramBuilder::new("t1");
+    b.block("entry");
+    for i in insns {
+        b.push(i);
+    }
+    b.push(Insn::halt());
+    let f = Box::leak(Box::new(b.finish()));
+    let mut m = Machine::new(f, SimConfig::default());
+    m.memory_mut().map_region(MAPPED as u64, 0x100);
+    m.memory_mut().write_word(MAPPED as u64, 5).unwrap();
+    (f.clone(), m)
+}
+
+/// Marks a register as carrying a deferred exception from "instruction
+/// 77" (as if a speculative instruction had faulted earlier).
+fn tag(m: &mut Machine<'_>, r: Reg) {
+    m.set_stale_tag(r, InsnId(77));
+}
+
+#[test]
+fn row_000_nonspec_clean_noexcept_normal_result() {
+    let (_, mut m) = machine_for(vec![
+        Insn::li(Reg::int(1), MAPPED),
+        Insn::ld_w(Reg::int(2), Reg::int(1), 0),
+    ]);
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+    let v = m.reg(Reg::int(2));
+    assert!(!v.tag, "dest tag stays 0");
+    assert_eq!(v.as_i64(), 5, "dest gets the result of I");
+}
+
+#[test]
+fn row_001_nonspec_clean_excepting_signals_own_pc() {
+    let (f, mut m) = machine_for(vec![
+        Insn::li(Reg::int(1), UNMAPPED),
+        Insn::ld_w(Reg::int(2), Reg::int(1), 0),
+    ]);
+    let ld = f.block(f.entry()).insns[1].id;
+    match m.run().unwrap() {
+        RunOutcome::Trapped(t) => {
+            assert_eq!(t.excepting_pc, ld, "except. pc = pc of I");
+            assert_eq!(t.reported_by, ld);
+        }
+        o => panic!("expected trap, got {o:?}"),
+    }
+}
+
+#[test]
+fn row_010_nonspec_tagged_source_signals_source_pc() {
+    let (f, mut m) = machine_for(vec![Insn::addi(Reg::int(2), Reg::int(1), 1)]);
+    tag(&mut m, Reg::int(1));
+    let add = f.block(f.entry()).insns[0].id;
+    match m.run().unwrap() {
+        RunOutcome::Trapped(t) => {
+            assert_eq!(t.excepting_pc, InsnId(77), "except. pc = src data");
+            assert_eq!(t.reported_by, add, "I serves as the sentinel");
+        }
+        o => panic!("expected trap, got {o:?}"),
+    }
+}
+
+#[test]
+fn row_011_nonspec_tagged_source_wins_over_own_fault() {
+    // I would fault itself (unmapped load), but the tagged source must be
+    // reported instead.
+    let (_, mut m) = machine_for(vec![Insn::ld_w(Reg::int(2), Reg::int(1), 0)]);
+    // The base register is tagged: its data field is the pc 77, which is
+    // also a garbage address — the tag takes precedence, no translation
+    // is attempted.
+    tag(&mut m, Reg::int(1));
+    match m.run().unwrap() {
+        RunOutcome::Trapped(t) => assert_eq!(t.excepting_pc, InsnId(77)),
+        o => panic!("expected trap, got {o:?}"),
+    }
+}
+
+#[test]
+fn row_100_spec_clean_noexcept_normal_result() {
+    let (_, mut m) = machine_for(vec![
+        Insn::li(Reg::int(1), MAPPED),
+        Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated(),
+    ]);
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+    let v = m.reg(Reg::int(2));
+    assert!(!v.tag);
+    assert_eq!(v.as_i64(), 5);
+}
+
+#[test]
+fn row_101_spec_excepting_tags_dest_with_own_pc_no_signal() {
+    let (f, mut m) = machine_for(vec![
+        Insn::li(Reg::int(1), UNMAPPED),
+        Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated(),
+    ]);
+    let ld = f.block(f.entry()).insns[1].id;
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted, "no signal");
+    let v = m.reg(Reg::int(2));
+    assert!(v.tag, "dest tag set");
+    assert_eq!(v.as_pc(), ld, "dest data = pc of I");
+}
+
+#[test]
+fn row_110_spec_tagged_source_propagates_no_signal() {
+    let (_, mut m) = machine_for(vec![Insn::addi(Reg::int(2), Reg::int(1), 1).speculated()]);
+    tag(&mut m, Reg::int(1));
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+    let v = m.reg(Reg::int(2));
+    assert!(v.tag, "tag propagates");
+    assert_eq!(v.as_pc(), InsnId(77), "dest data = src data");
+}
+
+#[test]
+fn row_111_spec_tagged_source_propagates_even_if_faulting() {
+    let (_, mut m) = machine_for(vec![Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated()]);
+    tag(&mut m, Reg::int(1));
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+    let v = m.reg(Reg::int(2));
+    assert!(v.tag);
+    assert_eq!(v.as_pc(), InsnId(77), "propagation wins over I's own fault");
+}
+
+#[test]
+fn first_tagged_source_wins_when_both_tagged() {
+    // Footnote ‡ of Table 1: "the first source operand of I whose
+    // exception tag is set".
+    let mut b = ProgramBuilder::new("t1");
+    b.block("entry");
+    b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(1), Reg::int(2)).speculated());
+    b.push(Insn::halt());
+    let f = b.finish();
+    let mut m = Machine::new(&f, SimConfig::default());
+    m.set_stale_tag(Reg::int(1), InsnId(11));
+    m.set_stale_tag(Reg::int(2), InsnId(22));
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+    assert_eq!(m.reg(Reg::int(3)).as_pc(), InsnId(11), "first operand wins");
+}
+
+#[test]
+fn successful_spec_write_clears_stale_tag() {
+    // A speculative instruction with clean sources that succeeds writes a
+    // clean result — clearing any stale tag in the destination.
+    let (_, mut m) = machine_for(vec![
+        Insn::li(Reg::int(1), MAPPED),
+        Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated(),
+    ]);
+    tag(&mut m, Reg::int(2)); // stale tag in the DESTINATION
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+    assert!(!m.reg(Reg::int(2)).tag);
+}

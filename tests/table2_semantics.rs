@@ -1,0 +1,227 @@
+//! Paper **Table 2** — insertion of stores into the store buffer.
+//!
+//! Rows are keyed by (speculative modifier, source exception tags, store
+//! faults). The observable consequences tested here: whether the store
+//! commits, whether/when an exception is signaled, and which PC is
+//! reported.
+
+use sentinel::prelude::*;
+use sentinel::sim::RunOutcome;
+use sentinel_isa::InsnId;
+
+const UNMAPPED: i64 = 0xBAD0;
+const MAPPED: i64 = 0x1000;
+
+fn build(insns: Vec<Insn>) -> Function {
+    let mut b = ProgramBuilder::new("t2");
+    b.block("entry");
+    for i in insns {
+        b.push(i);
+    }
+    b.push(Insn::halt());
+    b.finish()
+}
+
+fn machine<'a>(f: &'a Function) -> Machine<'a> {
+    let mut m = Machine::new(f, SimConfig::default());
+    m.memory_mut().map_region(MAPPED as u64, 0x100);
+    m
+}
+
+#[test]
+fn row_000_nonspec_clean_store_enters_confirmed_and_commits() {
+    let f = build(vec![
+        Insn::li(Reg::int(1), MAPPED),
+        Insn::li(Reg::int(2), 42),
+        Insn::st_w(Reg::int(2), Reg::int(1), 0),
+    ]);
+    let mut m = machine(&f);
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+    assert_eq!(m.memory().read_word(MAPPED as u64).unwrap(), 42);
+}
+
+#[test]
+fn row_001_nonspec_faulting_store_flushes_confirmed_then_signals() {
+    // An earlier good store must still reach memory ("force all confirmed
+    // entries at head of buffer to update cache") before the exception.
+    let f = build(vec![
+        Insn::li(Reg::int(1), MAPPED),
+        Insn::li(Reg::int(2), 42),
+        Insn::st_w(Reg::int(2), Reg::int(1), 0), // good
+        Insn::li(Reg::int(3), UNMAPPED),
+        Insn::st_w(Reg::int(2), Reg::int(3), 0), // faults
+    ]);
+    let bad = f.block(f.entry()).insns[4].id;
+    let mut m = machine(&f);
+    match m.run().unwrap() {
+        RunOutcome::Trapped(t) => {
+            assert_eq!(t.excepting_pc, bad);
+            assert_eq!(t.reported_by, bad);
+        }
+        o => panic!("expected trap, got {o:?}"),
+    }
+    assert_eq!(
+        m.memory().read_word(MAPPED as u64).unwrap(),
+        42,
+        "confirmed entry drained before the exception was processed"
+    );
+}
+
+#[test]
+fn rows_010_011_nonspec_store_with_tagged_source_reports_source_pc() {
+    for tagged_value in [true, false] {
+        // Tag either the value operand or the base operand; both are
+        // "source operands of the store" in Table 2's sense.
+        let f = build(vec![
+            Insn::li(Reg::int(1), MAPPED),
+            Insn::li(Reg::int(2), 42),
+            Insn::st_w(Reg::int(2), Reg::int(1), 0),
+        ]);
+        let store = f.block(f.entry()).insns[2].id;
+        let mut m = machine(&f);
+        let victim = if tagged_value { Reg::int(2) } else { Reg::int(1) };
+        // Tags survive the `li` writes? No — li rewrites the register.
+        // Instead run a variant program without the initializing li for
+        // the victim.
+        let f2 = if tagged_value {
+            build(vec![
+                Insn::li(Reg::int(1), MAPPED),
+                Insn::st_w(Reg::int(2), Reg::int(1), 0),
+            ])
+        } else {
+            build(vec![
+                Insn::li(Reg::int(2), 42),
+                Insn::st_w(Reg::int(2), Reg::int(1), 0),
+            ])
+        };
+        let store2 = f2.block(f2.entry()).insns[1].id;
+        let mut m2 = machine(&f2);
+        m2.set_stale_tag(victim, InsnId(77));
+        match m2.run().unwrap() {
+            RunOutcome::Trapped(t) => {
+                assert_eq!(t.excepting_pc, InsnId(77), "pc = src(I).data");
+                assert_eq!(t.reported_by, store2, "the store acts as sentinel");
+            }
+            o => panic!("expected trap, got {o:?}"),
+        }
+        // Silence unused warnings from the scaffolding above.
+        let _ = (store, &mut m);
+    }
+}
+
+#[test]
+fn row_100_spec_clean_store_is_probationary_until_confirmed() {
+    // Without a confirm, a cancelled speculative store must never commit.
+    let mut b = ProgramBuilder::new("t2");
+    let e = b.block("entry");
+    let t = b.block("taken");
+    b.switch_to(e);
+    b.push(Insn::li(Reg::int(1), MAPPED));
+    b.push(Insn::li(Reg::int(2), 42));
+    b.push(Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated());
+    b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::ZERO, t)); // taken
+    b.push(Insn::confirm_store(0)); // skipped
+    b.push(Insn::halt());
+    b.switch_to(t);
+    b.push(Insn::halt());
+    let f = b.finish();
+    let mut m = machine(&f);
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted);
+    assert_eq!(m.memory().read_word(MAPPED as u64).unwrap(), 0, "cancelled");
+
+    // With the branch untaken, the confirm commits it.
+    let f2 = build(vec![
+        Insn::li(Reg::int(1), MAPPED),
+        Insn::li(Reg::int(2), 42),
+        Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated(),
+        Insn::confirm_store(0),
+    ]);
+    let mut m2 = machine(&f2);
+    assert_eq!(m2.run().unwrap(), RunOutcome::Halted);
+    assert_eq!(m2.memory().read_word(MAPPED as u64).unwrap(), 42);
+}
+
+#[test]
+fn row_101_spec_faulting_store_defers_to_confirm() {
+    let f = build(vec![
+        Insn::li(Reg::int(1), UNMAPPED),
+        Insn::li(Reg::int(2), 42),
+        Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated(),
+        Insn::confirm_store(0),
+    ]);
+    let store = f.block(f.entry()).insns[2].id;
+    let confirm = f.block(f.entry()).insns[3].id;
+    let mut m = machine(&f);
+    match m.run().unwrap() {
+        RunOutcome::Trapped(t) => {
+            assert_eq!(t.excepting_pc, store, "exception pc = pc of I");
+            assert_eq!(t.reported_by, confirm, "reported at confirmation time");
+        }
+        o => panic!("expected trap, got {o:?}"),
+    }
+}
+
+#[test]
+fn row_101_spec_faulting_store_ignored_when_cancelled() {
+    // The deferred store fault on a mispredicted path must vanish.
+    let mut b = ProgramBuilder::new("t2");
+    let e = b.block("entry");
+    let t = b.block("taken");
+    b.switch_to(e);
+    b.push(Insn::li(Reg::int(1), UNMAPPED));
+    b.push(Insn::li(Reg::int(2), 42));
+    b.push(Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated()); // faults
+    b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::ZERO, t)); // taken
+    b.push(Insn::confirm_store(0));
+    b.push(Insn::halt());
+    b.switch_to(t);
+    b.push(Insn::halt());
+    let f = b.finish();
+    let mut m = machine(&f);
+    assert_eq!(m.run().unwrap(), RunOutcome::Halted, "fault ignored");
+}
+
+#[test]
+fn rows_110_111_spec_store_with_tagged_source_propagates_into_buffer() {
+    let f = build(vec![
+        Insn::li(Reg::int(1), MAPPED),
+        Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated(), // r2 tagged
+        Insn::confirm_store(0),
+    ]);
+    let confirm = f.block(f.entry()).insns[2].id;
+    let mut m = machine(&f);
+    m.set_stale_tag(Reg::int(2), InsnId(77));
+    match m.run().unwrap() {
+        RunOutcome::Trapped(t) => {
+            assert_eq!(t.excepting_pc, InsnId(77), "exception pc = src(I).data");
+            assert_eq!(t.reported_by, confirm);
+        }
+        o => panic!("expected trap, got {o:?}"),
+    }
+    assert_eq!(
+        m.memory().read_word(MAPPED as u64).unwrap(),
+        0,
+        "excepting probationary entry never updates the cache"
+    );
+}
+
+#[test]
+fn excepting_probationary_entry_excluded_from_load_search() {
+    // §4.1 footnote 5: a probationary entry with its exception tag set
+    // does not participate in load forwarding.
+    let f = build(vec![
+        Insn::li(Reg::int(1), MAPPED),
+        Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated(), // tagged value
+        Insn::ld_w(Reg::int(3), Reg::int(1), 0),              // must read memory (0)
+        Insn::st_w(Reg::int(3), Reg::int(1), 8),
+        Insn::confirm_store(1),
+    ]);
+    let mut m = machine(&f);
+    m.set_stale_tag(Reg::int(2), InsnId(77));
+    // The run ends in a trap at the confirm; before that, the load read 0.
+    match m.run().unwrap() {
+        RunOutcome::Trapped(_) => {}
+        o => panic!("expected trap, got {o:?}"),
+    }
+    assert_eq!(m.reg(Reg::int(3)).as_i64(), 0, "load bypassed the tagged entry");
+}
