@@ -2,10 +2,9 @@
 //! Prints the sweep, then times the store-heavy benchmarks at the
 //! extremes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sentinel_bench::figures::ablation_store_buffer;
 use sentinel_bench::runner::{measure, MeasureConfig};
+use sentinel_bench::timing::{bench, group};
 use sentinel_core::SchedulingModel;
 use sentinel_workloads::suite;
 
@@ -26,20 +25,13 @@ fn print_sweep_once() {
     }
 }
 
-fn bench_storebuf(c: &mut Criterion) {
+fn main() {
     print_sweep_once();
-    let mut group = c.benchmark_group("storebuf_sizes");
-    group.sample_size(10);
+    group("storebuf_sizes");
     let w = suite::by_name("cmp").unwrap();
     for n in [1usize, 8, 32] {
-        group.bench_function(format!("cmp/T_w8_N{n}"), |b| {
-            let mut cfg = MeasureConfig::paper(SchedulingModel::SentinelStores, 8);
-            cfg.store_buffer = n;
-            b.iter(|| measure(&w, &cfg))
-        });
+        let mut cfg = MeasureConfig::paper(SchedulingModel::SentinelStores, 8);
+        cfg.store_buffer = n;
+        bench(&format!("cmp/T_w8_N{n}"), 10, || measure(&w, &cfg));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_storebuf);
-criterion_main!(benches);

@@ -2,11 +2,10 @@
 //! times the full measurement pipeline (schedule + simulate) for
 //! representative benchmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sentinel_bench::figures::figure4;
 use sentinel_bench::report::{improvement_summary, speedup_table};
 use sentinel_bench::runner::{measure, MeasureConfig};
+use sentinel_bench::timing::{bench, group};
 use sentinel_core::SchedulingModel;
 use sentinel_workloads::suite;
 
@@ -28,26 +27,19 @@ fn print_figure4_once() {
     );
 }
 
-fn bench_fig4(c: &mut Criterion) {
+fn main() {
     print_figure4_once();
-    let mut group = c.benchmark_group("fig4_pipeline");
-    group.sample_size(10);
+    group("fig4_pipeline");
     for name in ["grep", "doduc", "fpppp"] {
         let w = suite::by_name(name).unwrap();
-        group.bench_function(format!("{name}/restricted_w8"), |b| {
-            b.iter(|| {
-                measure(
-                    &w,
-                    &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 8),
-                )
-            })
+        bench(&format!("{name}/restricted_w8"), 10, || {
+            measure(
+                &w,
+                &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 8),
+            )
         });
-        group.bench_function(format!("{name}/sentinel_w8"), |b| {
-            b.iter(|| measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8)))
+        bench(&format!("{name}/sentinel_w8"), 10, || {
+            measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

@@ -1,11 +1,10 @@
 //! Figure 5 end-to-end: prints the regenerated G/S/T speedup table, then
 //! times the model-T pipeline on the paper's stand-out winners.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sentinel_bench::figures::figure5;
 use sentinel_bench::report::{improvement_summary, speedup_table};
 use sentinel_bench::runner::{measure, MeasureConfig};
+use sentinel_bench::timing::{bench, group};
 use sentinel_core::SchedulingModel;
 use sentinel_workloads::suite;
 
@@ -36,10 +35,9 @@ fn print_figure5_once() {
     );
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn main() {
     print_figure5_once();
-    let mut group = c.benchmark_group("fig5_pipeline");
-    group.sample_size(10);
+    group("fig5_pipeline");
     for name in ["cmp", "grep", "eqntott"] {
         let w = suite::by_name(name).unwrap();
         for (tag, model) in [
@@ -47,13 +45,9 @@ fn bench_fig5(c: &mut Criterion) {
             ("sentinel", SchedulingModel::Sentinel),
             ("stores", SchedulingModel::SentinelStores),
         ] {
-            group.bench_function(format!("{name}/{tag}_w8"), |b| {
-                b.iter(|| measure(&w, &MeasureConfig::paper(model, 8)))
+            bench(&format!("{name}/{tag}_w8"), 10, || {
+                measure(&w, &MeasureConfig::paper(model, 8))
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

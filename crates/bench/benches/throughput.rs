@@ -1,9 +1,8 @@
 //! Component throughput: scheduler, simulator, reference interpreter, and
 //! assembler, measured on suite programs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
 use sentinel_bench::runner::apply_memory;
+use sentinel_bench::timing::{bench, group};
 use sentinel_core::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel_isa::MachineDesc;
 use sentinel_prog::asm;
@@ -11,28 +10,30 @@ use sentinel_sim::reference::Reference;
 use sentinel_sim::{Machine, SimConfig};
 use sentinel_workloads::suite;
 
-fn bench_scheduler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler");
+fn bench_scheduler() {
+    group("scheduler");
     let mdes = MachineDesc::paper_issue(8);
     for name in ["grep", "fpppp"] {
         let w = suite::by_name(name).unwrap();
-        group.throughput(Throughput::Elements(w.func.insn_count() as u64));
+        println!("   ({} static insns)", w.func.insn_count());
         for model in SchedulingModel::all() {
-            group.bench_function(format!("{name}/{}", model.tag()), |b| {
-                b.iter(|| schedule_function(&w.func, &mdes, &SchedOptions::new(model)).unwrap())
+            bench(&format!("{name}/{}", model.tag()), 20, || {
+                schedule_function(&w.func, &mdes, &SchedOptions::new(model)).unwrap()
             });
         }
     }
-    group.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(20);
+fn bench_simulator() {
+    group("simulator");
     let mdes = MachineDesc::paper_issue(8);
     let w = suite::by_name("yacc").unwrap();
-    let sched = schedule_function(&w.func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
-        .unwrap();
+    let sched = schedule_function(
+        &w.func,
+        &mdes,
+        &SchedOptions::new(SchedulingModel::Sentinel),
+    )
+    .unwrap();
     // Dynamic instruction count for throughput reporting.
     let dyn_insns = {
         let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes.clone()));
@@ -40,33 +41,30 @@ fn bench_simulator(c: &mut Criterion) {
         m.run().unwrap();
         m.stats().dyn_insns
     };
-    group.throughput(Throughput::Elements(dyn_insns));
-    group.bench_function("machine/yacc_sentinel_w8", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes.clone()));
-            apply_memory(&w, m.memory_mut());
-            m.run().unwrap()
-        })
+    println!("   ({dyn_insns} dynamic insns per run)");
+    bench("machine/yacc_sentinel_w8", 20, || {
+        let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes.clone()));
+        apply_memory(&w, m.memory_mut());
+        m.run().unwrap()
     });
-    group.bench_function("reference/yacc", |b| {
-        b.iter(|| {
-            let mut r = Reference::new(&w.func);
-            apply_memory(&w, r.memory_mut());
-            r.run().unwrap()
-        })
+    bench("reference/yacc", 20, || {
+        let mut r = Reference::new(&w.func);
+        apply_memory(&w, r.memory_mut());
+        r.run().unwrap()
     });
-    group.finish();
 }
 
-fn bench_assembler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("assembler");
+fn bench_assembler() {
+    group("assembler");
     let w = suite::by_name("compress").unwrap();
     let text = asm::print(&w.func);
-    group.throughput(Throughput::Bytes(text.len() as u64));
-    group.bench_function("print/compress", |b| b.iter(|| asm::print(&w.func)));
-    group.bench_function("parse/compress", |b| b.iter(|| asm::parse(&text).unwrap()));
-    group.finish();
+    println!("   ({} bytes of assembly)", text.len());
+    bench("print/compress", 50, || asm::print(&w.func));
+    bench("parse/compress", 50, || asm::parse(&text).unwrap());
 }
 
-criterion_group!(benches, bench_scheduler, bench_simulator, bench_assembler);
-criterion_main!(benches);
+fn main() {
+    bench_scheduler();
+    bench_simulator();
+    bench_assembler();
+}

@@ -12,11 +12,13 @@
 //! ```
 
 use sentinel_bench::figures::{
-    ablation_boosting, ablation_formation, ablation_recovery, ablation_store_buffer,
-    ablation_cache, ablation_pipelining, ablation_register_pressure, ablation_unrolling, figure4,
-    figure5, issue_sweep, sentinel_overhead,
+    ablation_boosting, ablation_cache, ablation_formation, ablation_pipelining, ablation_recovery,
+    ablation_register_pressure, ablation_store_buffer, ablation_unrolling, figure4, figure5,
+    issue_sweep, sentinel_overhead,
 };
-use sentinel_bench::report::{improvement_summary, speedup_csv, speedup_table};
+use sentinel_bench::report::{
+    improvement_summary, speedup_csv, speedup_table, stall_breakdown_csv, stall_breakdown_table,
+};
 use sentinel_core::SchedulingModel;
 
 fn print_fig4(csv: bool) {
@@ -29,6 +31,10 @@ fn print_fig4(csv: bool) {
     println!("speedup over base machine (issue 1, restricted percolation)\n");
     if csv {
         print!("{}", speedup_csv(&rows, &models));
+        print!(
+            "{}",
+            stall_breakdown_csv(&rows, SchedulingModel::Sentinel, 8)
+        );
     } else {
         print!("{}", speedup_table(&rows, &models));
         println!();
@@ -39,6 +45,16 @@ fn print_fig4(csv: bool) {
                 SchedulingModel::Sentinel,
                 SchedulingModel::RestrictedPercolation
             )
+        );
+        println!();
+        print!(
+            "{}",
+            stall_breakdown_table(&rows, SchedulingModel::RestrictedPercolation, 8)
+        );
+        println!();
+        print!(
+            "{}",
+            stall_breakdown_table(&rows, SchedulingModel::Sentinel, 8)
         );
     }
 }
@@ -54,16 +70,33 @@ fn print_fig5(csv: bool) {
     println!("speedup over base machine (issue 1, restricted percolation)\n");
     if csv {
         print!("{}", speedup_csv(&rows, &models));
+        print!(
+            "{}",
+            stall_breakdown_csv(&rows, SchedulingModel::SentinelStores, 8)
+        );
     } else {
         print!("{}", speedup_table(&rows, &models));
         println!();
         print!(
             "{}",
-            improvement_summary(&rows, SchedulingModel::Sentinel, SchedulingModel::GeneralPercolation)
+            improvement_summary(
+                &rows,
+                SchedulingModel::Sentinel,
+                SchedulingModel::GeneralPercolation
+            )
         );
         print!(
             "{}",
-            improvement_summary(&rows, SchedulingModel::SentinelStores, SchedulingModel::Sentinel)
+            improvement_summary(
+                &rows,
+                SchedulingModel::SentinelStores,
+                SchedulingModel::Sentinel
+            )
+        );
+        println!();
+        print!(
+            "{}",
+            stall_breakdown_table(&rows, SchedulingModel::SentinelStores, 8)
         );
     }
 }
@@ -82,11 +115,19 @@ fn print_summary() {
     let rows5 = figure5();
     print!(
         "{}",
-        improvement_summary(&rows5, SchedulingModel::Sentinel, SchedulingModel::GeneralPercolation)
+        improvement_summary(
+            &rows5,
+            SchedulingModel::Sentinel,
+            SchedulingModel::GeneralPercolation
+        )
     );
     print!(
         "{}",
-        improvement_summary(&rows5, SchedulingModel::SentinelStores, SchedulingModel::Sentinel)
+        improvement_summary(
+            &rows5,
+            SchedulingModel::SentinelStores,
+            SchedulingModel::Sentinel
+        )
     );
 }
 
@@ -200,7 +241,10 @@ fn print_ablation_pipelining() {
 
 fn print_ablation_pressure() {
     println!("== Ablation A9: register pressure of the §3.7 recovery constraints ==\n");
-    println!("{:<12}{:>10}{:>12}{:>8}", "benchmark", "plain", "w/recovery", "extra");
+    println!(
+        "{:<12}{:>10}{:>12}{:>8}",
+        "benchmark", "plain", "w/recovery", "extra"
+    );
     for (bench, plain, rec) in ablation_register_pressure() {
         println!(
             "{bench:<12}{plain:>10}{rec:>12}{:>8}",
@@ -234,10 +278,7 @@ fn print_overhead(width: usize) {
         "benchmark", "static", "dynamic", "share"
     );
     for (bench, stat, dynamic, share) in sentinel_overhead(width) {
-        println!(
-            "{bench:<12}{stat:>10}{dynamic:>12}{:>9.2}%",
-            share * 100.0
-        );
+        println!("{bench:<12}{stat:>10}{dynamic:>12}{:>9.2}%", share * 100.0);
     }
 }
 
@@ -259,10 +300,7 @@ fn main() {
         "sweep" => print_sweep(),
         "ablation-pressure" => print_ablation_pressure(),
         "overhead" => {
-            let width = args
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(2);
+            let width = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
             print_overhead(width);
         }
         "all" => {

@@ -43,10 +43,7 @@ pub fn measure_suite(models: &[SchedulingModel]) -> Vec<BenchSpeedups> {
 }
 
 /// Measures a set of models over the paper's widths for given workloads.
-pub fn measure_workloads(
-    workloads: &[Workload],
-    models: &[SchedulingModel],
-) -> Vec<BenchSpeedups> {
+pub fn measure_workloads(workloads: &[Workload], models: &[SchedulingModel]) -> Vec<BenchSpeedups> {
     workloads
         .iter()
         .map(|w| {
@@ -173,9 +170,7 @@ pub fn ablation_boosting() -> Vec<(String, f64, f64, f64, f64, f64)> {
         .iter()
         .map(|w| {
             let base = crate::runner::base_cycles(w) as f64;
-            let sp = |model| {
-                base / measure(w, &MeasureConfig::paper(model, 8)).cycles as f64
-            };
+            let sp = |model| base / measure(w, &MeasureConfig::paper(model, 8)).cycles as f64;
             (
                 w.name.clone(),
                 sp(SchedulingModel::RestrictedPercolation),
@@ -207,7 +202,10 @@ pub fn ablation_formation() -> Vec<(String, f64, f64, f64)> {
             // Split into basic blocks.
             let mut split_w = w.clone();
             split_at_branches(&mut split_w.func);
-            let split = measure(&split_w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+            let split = measure(
+                &split_w,
+                &MeasureConfig::paper(SchedulingModel::Sentinel, 8),
+            );
 
             // Profile the split program and form superblocks.
             let mut r = Reference::new(&split_w.func);
@@ -216,7 +214,10 @@ pub fn ablation_formation() -> Vec<(String, f64, f64, f64)> {
             let profile = r.profile().clone();
             let mut formed_w = split_w.clone();
             form_superblocks(&mut formed_w.func, &profile, &SuperblockConfig::default());
-            let formed = measure(&formed_w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+            let formed = measure(
+                &formed_w,
+                &MeasureConfig::paper(SchedulingModel::Sentinel, 8),
+            );
 
             (
                 w.name.clone(),
@@ -391,8 +392,7 @@ pub fn ablation_pipelining() -> Vec<(String, u64, u64, u64, u64)> {
         } else {
             // While-loop kernels need the speculative variant.
             let body = wp.func.block_by_label("loop").unwrap();
-            pipeline_while_loop(&mut wp.func, body, &mdes, true)
-                .expect("kernel is pipelinable")
+            pipeline_while_loop(&mut wp.func, body, &mdes, true).expect("kernel is pipelinable")
         };
         let pipelined = run(&w, &wp.func);
         rows.push((w.name.clone(), acyclic, pipelined, info.ii, info.stages));

@@ -8,8 +8,9 @@
 //! * ablations: store-buffer size sweep, recovery-constraint cost, and
 //!   sentinel-insertion overhead.
 //!
-//! The `reproduce` binary prints the rows; the Criterion benches under
-//! `benches/` time the scheduler and simulator and re-derive the figure
+//! The `reproduce` binary prints the rows; the self-contained benches
+//! under `benches/` (plain `Instant` harness in [`timing`], no external
+//! framework) time the scheduler and simulator and re-derive the figure
 //! series.
 
 #![forbid(unsafe_code)]
@@ -18,3 +19,4 @@
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod timing;

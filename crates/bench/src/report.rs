@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use sentinel_core::SchedulingModel;
+use sentinel_trace::StallReason;
 use sentinel_workloads::BenchClass;
 
 use crate::figures::{mean_improvement, BenchSpeedups, WIDTHS};
@@ -51,6 +52,79 @@ pub fn speedup_csv(rows: &[BenchSpeedups], models: &[SchedulingModel]) -> String
     out
 }
 
+/// Renders a per-benchmark cycle-attribution table for one (model,
+/// width) point: the fraction of cycles in which at least one
+/// instruction issued, plus the share charged to each stall reason.
+/// Reasons that are zero across every row are omitted to keep the
+/// table narrow.
+pub fn stall_breakdown_table(
+    rows: &[BenchSpeedups],
+    model: SchedulingModel,
+    width: usize,
+) -> String {
+    let points: Vec<_> = rows
+        .iter()
+        .filter_map(|r| r.raw.get(&(model, width)).map(|m| (r.bench.as_str(), m)))
+        .collect();
+    let live: Vec<StallReason> = StallReason::ALL
+        .iter()
+        .copied()
+        .filter(|&reason| points.iter().any(|(_, m)| m.stats.stalls.get(reason) > 0))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cycle breakdown [{} x{}] (% of cycles):",
+        model.tag(),
+        width
+    );
+    let _ = write!(out, "{:<12}{:>8}", "benchmark", "issue");
+    for &reason in &live {
+        let _ = write!(out, "{:>18}", reason.name());
+    }
+    let _ = writeln!(out);
+    for (bench, m) in &points {
+        let _ = write!(out, "{:<12}{:>7.1}%", bench, m.issue_pct());
+        for &reason in &live {
+            let _ = write!(out, "{:>17.1}%", m.stall_pct(reason));
+        }
+        let _ = writeln!(out);
+    }
+    if live.is_empty() {
+        let _ = writeln!(out, "  (no stall cycles recorded)");
+    }
+    out
+}
+
+/// The same attribution data as CSV
+/// (`benchmark,model,width,cycles,issue_pct,<reason>...`).
+pub fn stall_breakdown_csv(rows: &[BenchSpeedups], model: SchedulingModel, width: usize) -> String {
+    let mut out = String::from("benchmark,model,width,cycles,issue_pct");
+    for &reason in &StallReason::ALL {
+        let _ = write!(out, ",{}", reason.name());
+    }
+    out.push('\n');
+    for r in rows {
+        let Some(m) = r.raw.get(&(model, width)) else {
+            continue;
+        };
+        let _ = write!(
+            out,
+            "{},{},{},{},{:.4}",
+            r.bench,
+            model.tag(),
+            width,
+            m.cycles,
+            m.issue_pct()
+        );
+        for &reason in &StallReason::ALL {
+            let _ = write!(out, ",{:.4}", m.stall_pct(reason));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// The paper's §5.2 headline statistics for a figure's data: mean
 /// improvement of `a` over `b` per class and width, as percentages.
 pub fn improvement_summary(
@@ -59,7 +133,12 @@ pub fn improvement_summary(
     b: SchedulingModel,
 ) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "mean improvement of {} over {} (geometric):", a.tag(), b.tag());
+    let _ = writeln!(
+        out,
+        "mean improvement of {} over {} (geometric):",
+        a.tag(),
+        b.tag()
+    );
     for &w in &WIDTHS {
         let nn = (mean_improvement(rows, a, b, w, Some(BenchClass::NonNumeric)) - 1.0) * 100.0;
         let nu = (mean_improvement(rows, a, b, w, Some(BenchClass::Numeric)) - 1.0) * 100.0;
@@ -110,5 +189,28 @@ mod tests {
             SchedulingModel::RestrictedPercolation,
         );
         assert!(sum.contains("issue 8"));
+    }
+
+    #[test]
+    fn stall_breakdown_renders() {
+        let rows = tiny_rows();
+        let t = stall_breakdown_table(&rows, SchedulingModel::Sentinel, 8);
+        assert!(t.contains("cycle breakdown [S x8]"), "{t}");
+        assert!(t.contains("tiny"), "{t}");
+        assert!(t.contains("issue"), "{t}");
+        let csv = stall_breakdown_csv(&rows, SchedulingModel::Sentinel, 8);
+        assert!(
+            csv.starts_with("benchmark,model,width,cycles,issue_pct,raw-interlock"),
+            "{csv}"
+        );
+        assert_eq!(csv.lines().count(), 2); // header + one bench
+                                            // Issue % plus all stall %s must cover 100% of cycles.
+        let m = &rows[0].raw[&(SchedulingModel::Sentinel, 8)];
+        let covered: f64 = m.issue_pct()
+            + sentinel_trace::StallReason::ALL
+                .iter()
+                .map(|&r| m.stall_pct(r))
+                .sum::<f64>();
+        assert!((covered - 100.0).abs() < 1e-6, "covered {covered}");
     }
 }

@@ -24,6 +24,22 @@ pub struct Measurement {
     pub sched: SchedStats,
 }
 
+impl Measurement {
+    /// Percentage of cycles in which at least one instruction issued.
+    pub fn issue_pct(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.stats.issuing_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Percentage of cycles charged to `reason`.
+    pub fn stall_pct(&self, reason: sentinel_trace::StallReason) -> f64 {
+        self.stats.stalls.pct_of(reason, self.cycles)
+    }
+}
+
 /// Configuration knobs for a measurement.
 #[derive(Debug, Clone)]
 pub struct MeasureConfig {
@@ -63,7 +79,8 @@ pub fn apply_memory(w: &Workload, mem: &mut Memory) {
         mem.map_region(start, len);
     }
     for &(addr, bits) in &w.mem_words {
-        mem.write_word(addr, bits).expect("image word in mapped region");
+        mem.write_word(addr, bits)
+            .expect("image word in mapped region");
     }
 }
 

@@ -1,0 +1,75 @@
+//! Minimal self-contained timing harness for the `benches/` binaries.
+//!
+//! The workspace must build with no network access, so the benches use
+//! this plain `std::time::Instant` loop instead of an external framework.
+//! It reports min / median / mean wall time per iteration, which is
+//! enough to compare pipeline variants and spot regressions by eye.
+
+use std::time::{Duration, Instant};
+
+/// Wall-time summary for one benchmark function.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Arithmetic mean over all timed iterations.
+    pub mean: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+/// Times `f` for `iters` iterations (after one untimed warmup) and
+/// returns the summary. The closure's result is returned from a black-box
+/// sink so the optimizer cannot delete the work.
+pub fn time_fn<T>(iters: usize, mut f: impl FnMut() -> T) -> Timing {
+    assert!(iters > 0);
+    std::hint::black_box(f()); // warmup
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let total: Duration = samples.iter().sum();
+    Timing {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        mean: total / iters as u32,
+        iters,
+    }
+}
+
+/// Times `f` and prints one aligned row: `name  min  median  mean`.
+pub fn bench<T>(name: &str, iters: usize, f: impl FnMut() -> T) -> Timing {
+    let t = time_fn(iters, f);
+    println!(
+        "{name:<36} min {:>10.1?}  median {:>10.1?}  mean {:>10.1?}  ({iters} iters)",
+        t.min, t.median, t.mean
+    );
+    t
+}
+
+/// Prints a section header for a group of related rows.
+pub fn group(name: &str) {
+    println!("\n-- {name} --");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_fn_counts_iterations() {
+        let mut n = 0u64;
+        let t = time_fn(5, || {
+            n += 1;
+            n
+        });
+        assert_eq!(t.iters, 5);
+        assert_eq!(n, 6); // warmup + 5 timed
+        assert!(t.min <= t.median && t.median <= t.mean.max(t.median));
+    }
+}

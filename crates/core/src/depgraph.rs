@@ -189,7 +189,12 @@ impl DepGraph {
             for src in insn.uses() {
                 if let Some(&d) = last_def.get(&src) {
                     let lat = mdes.latency(block.insns[d].op);
-                    g.add_edge(Dep { from: d, to: i, latency: lat, kind: DepKind::Flow });
+                    g.add_edge(Dep {
+                        from: d,
+                        to: i,
+                        latency: lat,
+                        kind: DepKind::Flow,
+                    });
                 }
                 readers_since_def.entry(src).or_default().push(i);
             }
@@ -199,13 +204,23 @@ impl DepGraph {
                     let lp = mdes.latency(block.insns[p].op) as i64;
                     let li = mdes.latency(insn.op) as i64;
                     let lat = (lp - li + 1).max(1) as u32;
-                    g.add_edge(Dep { from: p, to: i, latency: lat, kind: DepKind::Output });
+                    g.add_edge(Dep {
+                        from: p,
+                        to: i,
+                        latency: lat,
+                        kind: DepKind::Output,
+                    });
                 }
                 // Anti: readers of the old value.
                 if let Some(rs) = readers_since_def.get(&d) {
                     for &r in rs {
                         if r != i {
-                            g.add_edge(Dep { from: r, to: i, latency: 0, kind: DepKind::Anti });
+                            g.add_edge(Dep {
+                                from: r,
+                                to: i,
+                                latency: 0,
+                                kind: DepKind::Anti,
+                            });
                         }
                     }
                 }
@@ -223,7 +238,12 @@ impl DepGraph {
                         matches!((mref, sref), (Some(a), Some(b)) if a.disjoint(&b, noalias));
                     if !disjoint {
                         let lat = mdes.latency(block.insns[s].op);
-                        g.add_edge(Dep { from: s, to: i, latency: lat, kind: DepKind::Memory });
+                        g.add_edge(Dep {
+                            from: s,
+                            to: i,
+                            latency: lat,
+                            kind: DepKind::Memory,
+                        });
                     }
                 }
                 loads_since_store.push((i, mref));
@@ -231,14 +251,24 @@ impl DepGraph {
             if insn.op.is_store() {
                 // Stores stay in FIFO order (store-buffer order, §4.1).
                 if let Some(s) = last_store {
-                    g.add_edge(Dep { from: s, to: i, latency: 0, kind: DepKind::Memory });
+                    g.add_edge(Dep {
+                        from: s,
+                        to: i,
+                        latency: 0,
+                        kind: DepKind::Memory,
+                    });
                 }
                 // Anti from possibly-aliasing earlier loads.
                 for &(l, lref) in &loads_since_store {
                     let disjoint =
                         matches!((mref, lref), (Some(a), Some(b)) if a.disjoint(&b, noalias));
                     if !disjoint {
-                        g.add_edge(Dep { from: l, to: i, latency: 0, kind: DepKind::Memory });
+                        g.add_edge(Dep {
+                            from: l,
+                            to: i,
+                            latency: 0,
+                            kind: DepKind::Memory,
+                        });
                     }
                 }
                 last_store = Some(i);
@@ -250,28 +280,58 @@ impl DepGraph {
             if insn.op.is_cond_branch() {
                 // Nothing may move down past a branch…
                 for j in 0..i {
-                    g.add_edge(Dep { from: j, to: i, latency: 0, kind: DepKind::Order });
+                    g.add_edge(Dep {
+                        from: j,
+                        to: i,
+                        latency: 0,
+                        kind: DepKind::Order,
+                    });
                 }
                 // …and moving *up* past it is speculation: removable edges.
                 for j in i + 1..n {
-                    g.add_edge(Dep { from: i, to: j, latency: 0, kind: DepKind::Control });
+                    g.add_edge(Dep {
+                        from: i,
+                        to: j,
+                        latency: 0,
+                        kind: DepKind::Control,
+                    });
                 }
             } else if matches!(insn.op, Opcode::Jump | Opcode::Halt) {
                 for j in 0..i {
-                    g.add_edge(Dep { from: j, to: i, latency: 0, kind: DepKind::Order });
+                    g.add_edge(Dep {
+                        from: j,
+                        to: i,
+                        latency: 0,
+                        kind: DepKind::Order,
+                    });
                 }
                 for j in i + 1..n {
-                    g.add_edge(Dep { from: i, to: j, latency: 0, kind: DepKind::Order });
+                    g.add_edge(Dep {
+                        from: i,
+                        to: j,
+                        latency: 0,
+                        kind: DepKind::Order,
+                    });
                 }
             } else if insn.op.is_irreversible() {
                 // Opaque call / I/O: a full scheduling barrier (sound for
                 // unknown memory and side effects; subsumes §3.7
                 // restriction 1).
                 for j in 0..i {
-                    g.add_edge(Dep { from: j, to: i, latency: 0, kind: DepKind::Order });
+                    g.add_edge(Dep {
+                        from: j,
+                        to: i,
+                        latency: 0,
+                        kind: DepKind::Order,
+                    });
                 }
                 for j in i + 1..n {
-                    g.add_edge(Dep { from: i, to: j, latency: 0, kind: DepKind::Order });
+                    g.add_edge(Dep {
+                        from: i,
+                        to: j,
+                        latency: 0,
+                        kind: DepKind::Order,
+                    });
                 }
             }
             let _ = &last_barrier;
@@ -315,7 +375,10 @@ impl DepGraph {
     /// Adds a node (an inserted sentinel) and returns its index.
     pub fn add_node(&mut self, insn: Insn) -> usize {
         let idx = self.nodes.len();
-        self.nodes.push(Node { insn, orig_pos: None });
+        self.nodes.push(Node {
+            insn,
+            orig_pos: None,
+        });
         self.ensure(idx);
         idx
     }
@@ -477,21 +540,11 @@ mod tests {
         ]);
         let noalias: std::collections::BTreeSet<Reg> =
             [Reg::int(2), Reg::int(4)].into_iter().collect();
-        let g = DepGraph::build_with_aliasing(
-            &b,
-            &MachineDesc::paper_issue(1),
-            false,
-            &noalias,
-        );
+        let g = DepGraph::build_with_aliasing(&b, &MachineDesc::paper_issue(1), false, &noalias);
         assert!(!has_edge(&g, 0, 1, DepKind::Memory));
         // Only one base declared: conservative again.
         let partial: std::collections::BTreeSet<Reg> = [Reg::int(2)].into_iter().collect();
-        let g2 = DepGraph::build_with_aliasing(
-            &b,
-            &MachineDesc::paper_issue(1),
-            false,
-            &partial,
-        );
+        let g2 = DepGraph::build_with_aliasing(&b, &MachineDesc::paper_issue(1), false, &partial);
         assert!(has_edge(&g2, 0, 1, DepKind::Memory));
     }
 
@@ -505,12 +558,7 @@ mod tests {
         ]);
         let noalias: std::collections::BTreeSet<Reg> =
             [Reg::int(2), Reg::int(4)].into_iter().collect();
-        let g = DepGraph::build_with_aliasing(
-            &b,
-            &MachineDesc::paper_issue(1),
-            false,
-            &noalias,
-        );
+        let g = DepGraph::build_with_aliasing(&b, &MachineDesc::paper_issue(1), false, &noalias);
         assert!(has_edge(&g, 0, 2, DepKind::Memory));
     }
 
@@ -567,10 +615,10 @@ mod tests {
     #[test]
     fn region_end_finds_next_delimiter() {
         let b = block_of(vec![
-            Insn::ld_w(Reg::int(1), Reg::int(2), 0),               // 0
+            Insn::ld_w(Reg::int(1), Reg::int(2), 0), // 0
             Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, BlockId(1)), // 1
-            Insn::jsr(),                                            // 2
-            Insn::addi(Reg::int(3), Reg::int(1), 1),                // 3
+            Insn::jsr(),                             // 2
+            Insn::addi(Reg::int(3), Reg::int(1), 1), // 3
         ]);
         let g = DepGraph::build(&b, &MachineDesc::paper_issue(1), false);
         assert_eq!(g.region_end(0, false), 1);
@@ -601,7 +649,12 @@ mod tests {
         let b = block_of(vec![Insn::nop()]);
         let mut g = DepGraph::build(&b, &MachineDesc::paper_issue(1), false);
         let j = g.add_node(Insn::check_exception(Reg::int(1)));
-        g.add_edge(Dep { from: 0, to: j, latency: 1, kind: DepKind::Sentinel });
+        g.add_edge(Dep {
+            from: 0,
+            to: j,
+            latency: 1,
+            kind: DepKind::Sentinel,
+        });
         assert_eq!(g.len(), 2);
         assert_eq!(g.preds(j).len(), 1);
         assert_eq!(g.nodes[j].orig_pos, None);
@@ -611,10 +664,29 @@ mod tests {
     fn duplicate_edges_keep_max_latency() {
         let b = block_of(vec![Insn::nop(), Insn::nop()]);
         let mut g = DepGraph::build(&b, &MachineDesc::paper_issue(1), false);
-        g.add_edge(Dep { from: 0, to: 1, latency: 1, kind: DepKind::Sentinel });
-        g.add_edge(Dep { from: 0, to: 1, latency: 5, kind: DepKind::Sentinel });
-        g.add_edge(Dep { from: 0, to: 1, latency: 2, kind: DepKind::Sentinel });
-        let edges: Vec<_> = g.succs(0).iter().filter(|e| e.kind == DepKind::Sentinel).collect();
+        g.add_edge(Dep {
+            from: 0,
+            to: 1,
+            latency: 1,
+            kind: DepKind::Sentinel,
+        });
+        g.add_edge(Dep {
+            from: 0,
+            to: 1,
+            latency: 5,
+            kind: DepKind::Sentinel,
+        });
+        g.add_edge(Dep {
+            from: 0,
+            to: 1,
+            latency: 2,
+            kind: DepKind::Sentinel,
+        });
+        let edges: Vec<_> = g
+            .succs(0)
+            .iter()
+            .filter(|e| e.kind == DepKind::Sentinel)
+            .collect();
         assert_eq!(edges.len(), 1);
         assert_eq!(edges[0].latency, 5);
     }

@@ -180,9 +180,7 @@ pub fn schedule_block(
         let mut inserted: Option<usize> = None;
         if let Some(p) = g.nodes[node].orig_pos {
             let crossed = (0..orig_n)
-                .filter(|&b| {
-                    b < p && g.nodes[b].insn.op.is_cond_branch() && sched[b].is_none()
-                })
+                .filter(|&b| b < p && g.nodes[b].insn.op.is_cond_branch() && sched[b].is_none())
                 .count();
             let moved_above = crossed > 0;
             if moved_above && g.nodes[node].insn.op.may_be_speculative() {
@@ -242,7 +240,12 @@ pub fn schedule_block(
                             &mut sched,
                             &mut earliest,
                             &mut pending,
-                            Dep { from: prev, to: j, latency: 0, kind: DepKind::Sentinel },
+                            Dep {
+                                from: prev,
+                                to: j,
+                                latency: 0,
+                                kind: DepKind::Sentinel,
+                            },
                         );
                     }
                     // …and before the delimiter that ends it.
@@ -253,7 +256,12 @@ pub fn schedule_block(
                             &mut sched,
                             &mut earliest,
                             &mut pending,
-                            Dep { from: j, to: re, latency: 0, kind: DepKind::Sentinel },
+                            Dep {
+                                from: j,
+                                to: re,
+                                latency: 0,
+                                kind: DepKind::Sentinel,
+                            },
                         );
                         // Issue just ahead of the branch it pins.
                         priority.push(priority[re] + 1);
@@ -266,9 +274,7 @@ pub fn schedule_block(
                     if opts.recovery {
                         let span_end = re;
                         let span_inputs: std::collections::HashSet<_> = (p..span_end)
-                            .flat_map(|q| {
-                                g.nodes[q].insn.uses().collect::<Vec<_>>()
-                            })
+                            .flat_map(|q| g.nodes[q].insn.uses().collect::<Vec<_>>())
                             .collect();
                         for x in p + 1..span_end {
                             if sched[x].is_some() || x == node {
@@ -285,7 +291,12 @@ pub fn schedule_block(
                                     &mut sched,
                                     &mut earliest,
                                     &mut pending,
-                                    Dep { from: j, to: x, latency: 0, kind: DepKind::Sentinel },
+                                    Dep {
+                                        from: j,
+                                        to: x,
+                                        latency: 0,
+                                        kind: DepKind::Sentinel,
+                                    },
                                 );
                             }
                         }
@@ -328,7 +339,11 @@ pub fn schedule_block(
     let cycles: Vec<u64> = linear.iter().map(|&n| sched[n].unwrap()).collect();
     stats.cycles = cycles.last().map_or(0, |c| c + 1);
     let insns: Vec<Insn> = linear.iter().map(|&n| g.nodes[n].insn.clone()).collect();
-    Ok(BlockSchedule { insns, cycles, stats })
+    Ok(BlockSchedule {
+        insns,
+        cycles,
+        stats,
+    })
 }
 
 /// Stores that occupy store-buffer entries (tag spills bypass the buffer).
@@ -370,11 +385,7 @@ mod tests {
     use sentinel_prog::liveness::Liveness;
     use sentinel_prog::Function;
 
-    fn schedule_entry(
-        f: &mut Function,
-        mdes: &MachineDesc,
-        opts: &SchedOptions,
-    ) -> BlockSchedule {
+    fn schedule_entry(f: &mut Function, mdes: &MachineDesc, opts: &SchedOptions) -> BlockSchedule {
         let cfg = Cfg::build(f);
         let lv = Liveness::compute(f, &cfg);
         let e = f.entry();
@@ -429,7 +440,11 @@ mod tests {
             assert!(k < br);
         }
         // The store is NOT speculative and is after the branch.
-        let st = sched.insns.iter().position(|i| i.op == Opcode::StW).unwrap();
+        let st = sched
+            .insns
+            .iter()
+            .position(|i| i.op == Opcode::StW)
+            .unwrap();
         assert!(!sched.insns[st].speculative);
         assert!(st > br);
         // The check is after the branch (home block) and reads r5.
@@ -484,7 +499,11 @@ mod tests {
             restricted.stats.cycles
         );
         // The hoisted load is speculative and above the branch.
-        let br = sentinel.insns.iter().position(|i| i.op == Opcode::Beq).unwrap();
+        let br = sentinel
+            .insns
+            .iter()
+            .position(|i| i.op == Opcode::Beq)
+            .unwrap();
         let hoisted = sentinel
             .insns
             .iter()
@@ -502,7 +521,11 @@ mod tests {
             &unit_mdes(8),
             &SchedOptions::new(SchedulingModel::RestrictedPercolation),
         );
-        let br = sched.insns.iter().position(|i| i.op == Opcode::Beq).unwrap();
+        let br = sched
+            .insns
+            .iter()
+            .position(|i| i.op == Opcode::Beq)
+            .unwrap();
         let lds: Vec<usize> = sched
             .insns
             .iter()
@@ -511,7 +534,10 @@ mod tests {
             .map(|(k, _)| k)
             .collect();
         for &k in &lds {
-            assert!(k > br, "restricted percolation keeps loads below the branch");
+            assert!(
+                k > br,
+                "restricted percolation keeps loads below the branch"
+            );
             assert!(!sched.insns[k].speculative);
         }
         assert_eq!(sched.stats.checks_inserted, 0);
@@ -538,8 +564,16 @@ mod tests {
             &unit_mdes(2),
             &SchedOptions::new(SchedulingModel::SentinelStores),
         );
-        let st = sched.insns.iter().position(|i| i.op == Opcode::StW).unwrap();
-        let br = sched.insns.iter().position(|i| i.op == Opcode::Beq).unwrap();
+        let st = sched
+            .insns
+            .iter()
+            .position(|i| i.op == Opcode::StW)
+            .unwrap();
+        let br = sched
+            .insns
+            .iter()
+            .position(|i| i.op == Opcode::Beq)
+            .unwrap();
         assert!(st < br, "store speculated above the branch");
         assert!(sched.insns[st].speculative);
         assert_eq!(sched.stats.confirms_inserted, 1);

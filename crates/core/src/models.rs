@@ -50,7 +50,10 @@ impl SchedulingModel {
     /// Whether the model requires sentinel bookkeeping (exception tags,
     /// `check_exception`, `confirm_store`).
     pub fn uses_sentinels(self) -> bool {
-        matches!(self, SchedulingModel::Sentinel | SchedulingModel::SentinelStores)
+        matches!(
+            self,
+            SchedulingModel::Sentinel | SchedulingModel::SentinelStores
+        )
     }
 
     /// Whether stores may move above branches (via probationary store
@@ -179,7 +182,10 @@ mod tests {
 
     #[test]
     fn general_and_sentinel_allow_trapping_but_not_stores() {
-        for m in [SchedulingModel::GeneralPercolation, SchedulingModel::Sentinel] {
+        for m in [
+            SchedulingModel::GeneralPercolation,
+            SchedulingModel::Sentinel,
+        ] {
             assert!(m.may_speculate(Opcode::LdW));
             assert!(m.may_speculate(Opcode::Div));
             assert!(m.may_speculate(Opcode::FDiv));

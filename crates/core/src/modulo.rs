@@ -59,8 +59,8 @@ struct Slot {
 }
 
 fn is_self_bump(insn: &Insn) -> Option<(Reg, i64)> {
-    if insn.op == Opcode::AddI && insn.dest == insn.src1 && insn.dest.is_some() {
-        Some((insn.dest.unwrap(), insn.imm))
+    if insn.op == Opcode::AddI && insn.dest == insn.src1 {
+        insn.dest.map(|d| (d, insn.imm))
     } else {
         None
     }
@@ -84,10 +84,7 @@ fn recognize(func: &Function, block: BlockId) -> Option<LoopShape> {
         return None;
     }
     let latch = insns[latch_pos].clone();
-    if !(latch.op == Opcode::Bne
-        && latch.target == Some(block)
-        && latch.src2 == Some(Reg::ZERO))
-    {
+    if !(latch.op == Opcode::Bne && latch.target == Some(block) && latch.src2 == Some(Reg::ZERO)) {
         return None;
     }
     let counter = latch.src1?;
@@ -123,11 +120,7 @@ fn recognize(func: &Function, block: BlockId) -> Option<LoopShape> {
 /// Checks the legality constraints beyond shape; returns the bump map
 /// `base → step` when pipelinable.
 fn legality(shape: &LoopShape, func: &Function) -> Option<HashMap<Reg, i64>> {
-    let bump_of: HashMap<Reg, i64> = shape
-        .bumps
-        .iter()
-        .filter_map(is_self_bump)
-        .collect();
+    let bump_of: HashMap<Reg, i64> = shape.bumps.iter().filter_map(is_self_bump).collect();
     if bump_of.len() != shape.bumps.len() {
         return None; // duplicate bump of the same register
     }
@@ -140,7 +133,10 @@ fn legality(shape: &LoopShape, func: &Function) -> Option<HashMap<Reg, i64>> {
             || insn.op.is_irreversible()
             || matches!(
                 insn.op,
-                Opcode::CheckExcept | Opcode::ConfirmStore | Opcode::ClearTag | Opcode::LdTag
+                Opcode::CheckExcept
+                    | Opcode::ConfirmStore
+                    | Opcode::ClearTag
+                    | Opcode::LdTag
                     | Opcode::StTag
             )
             || insn.speculative
@@ -357,7 +353,14 @@ pub fn pipeline_loop(
         let mut idx: Vec<usize> = (0..slots.len())
             .filter(|&i| include(slots[i].stage))
             .collect();
-        idx.sort_by_key(|&i| (slots[i].rel, std::cmp::Reverse(slots[i].stage), slots[i].sigma, i));
+        idx.sort_by_key(|&i| {
+            (
+                slots[i].rel,
+                std::cmp::Reverse(slots[i].stage),
+                slots[i].sigma,
+                i,
+            )
+        });
         idx
     }
 
@@ -496,11 +499,7 @@ fn recognize_while(func: &Function, block: BlockId) -> Option<WhileShape> {
     // actually used as memory bases count as pointer bumps — a trailing
     // self-add of an accumulator must stay in the body (it runs once per
     // *passing* iteration, not per started one).
-    let is_base_reg = |r: Reg| {
-        insns
-            .iter()
-            .any(|i| i.op.is_mem() && i.src2 == Some(r))
-    };
+    let is_base_reg = |r: Reg| insns.iter().any(|i| i.op.is_mem() && i.src2 == Some(r));
     let mut split = n - 1;
     while split > 0 {
         match is_self_bump(&insns[split - 1]) {
@@ -569,7 +568,10 @@ pub fn pipeline_while_loop(
             || insn.op.is_irreversible()
             || matches!(
                 insn.op,
-                Opcode::CheckExcept | Opcode::ConfirmStore | Opcode::ClearTag | Opcode::LdTag
+                Opcode::CheckExcept
+                    | Opcode::ConfirmStore
+                    | Opcode::ClearTag
+                    | Opcode::LdTag
                     | Opcode::StTag
             )
             || insn.speculative
@@ -701,7 +703,14 @@ pub fn pipeline_while_loop(
         let mut idx: Vec<usize> = (0..slots.len())
             .filter(|&i| include(slots[i].stage))
             .collect();
-        idx.sort_by_key(|&i| (slots[i].rel, std::cmp::Reverse(slots[i].stage), slots[i].sigma, i));
+        idx.sort_by_key(|&i| {
+            (
+                slots[i].rel,
+                std::cmp::Reverse(slots[i].stage),
+                slots[i].sigma,
+                i,
+            )
+        });
         idx
     }
 

@@ -284,8 +284,8 @@ mod tests {
             &SchedOptions::new(SchedulingModel::RestrictedPercolation),
         )
         .unwrap();
-        let s = schedule_function(&f, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
-            .unwrap();
+        let s =
+            schedule_function(&f, &mdes, &SchedOptions::new(SchedulingModel::Sentinel)).unwrap();
         let main = f.entry();
         assert!(
             s.blocks[&main].stats.cycles < r.blocks[&main].stats.cycles,
@@ -423,9 +423,12 @@ mod tests {
         // The simulator compares trap PCs against reference ids, so the
         // scheduler must not renumber original instructions.
         let f = figure1();
-        let orig_ids: HashSet<_> = f.blocks().flat_map(|b| b.insns.iter().map(|i| i.id)).collect();
-        let s = schedule_function(&f, &unit(8), &SchedOptions::new(SchedulingModel::Sentinel))
-            .unwrap();
+        let orig_ids: HashSet<_> = f
+            .blocks()
+            .flat_map(|b| b.insns.iter().map(|i| i.id))
+            .collect();
+        let s =
+            schedule_function(&f, &unit(8), &SchedOptions::new(SchedulingModel::Sentinel)).unwrap();
         let new_ids: HashSet<_> = s
             .func
             .blocks()

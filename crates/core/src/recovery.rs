@@ -114,8 +114,7 @@ pub fn apply_recovery_renaming(func: &mut Function, fresh: &mut FreshRegs) -> Re
                 .unwrap_or(len);
             // A later redefinition of `d` inside the region defeats the
             // restore move; fall back to the conservative barrier.
-            let redefined = (i + 1..region_end)
-                .any(|k| func.block(bid).insns[k].def() == Some(d));
+            let redefined = (i + 1..region_end).any(|k| func.block(bid).insns[k].def() == Some(d));
             if redefined {
                 result.unrenamable.insert(insn.id);
                 i += 1;
@@ -188,14 +187,20 @@ mod tests {
         let fresh_reg = ep.dest.unwrap();
         assert!(fresh_reg.index() >= 64);
         // H now reads the fresh register.
-        let h = insns.iter().find(|i| i.op == Opcode::LdW && i.dest == Some(Reg::int(9))).unwrap();
+        let h = insns
+            .iter()
+            .find(|i| i.op == Opcode::LdW && i.dest == Some(Reg::int(9)))
+            .unwrap();
         assert_eq!(h.src2, Some(fresh_reg));
         // A restore move `r2 = fresh` sits at the region end (before halt).
         let mov = insns.iter().find(|i| i.op == Opcode::Mov).unwrap();
         assert_eq!(mov.dest, Some(Reg::int(2)));
         assert_eq!(mov.src1, Some(fresh_reg));
         let mov_pos = insns.iter().position(|i| i.op == Opcode::Mov).unwrap();
-        let h_pos = insns.iter().position(|i| i.dest == Some(Reg::int(9))).unwrap();
+        let h_pos = insns
+            .iter()
+            .position(|i| i.dest == Some(Reg::int(9)))
+            .unwrap();
         assert!(mov_pos > h_pos, "restore after the renamed uses");
     }
 

@@ -55,7 +55,12 @@ enum FirstEvent {
     None,
 }
 
-fn first_event(g: &DepGraph, reg: sentinel_isa::Reg, start: usize, end_inclusive: usize) -> FirstEvent {
+fn first_event(
+    g: &DepGraph,
+    reg: sentinel_isa::Reg,
+    start: usize,
+    end_inclusive: usize,
+) -> FirstEvent {
     for u in start..=end_inclusive.min(g.original_len.saturating_sub(1)) {
         let insn = &g.nodes[u].insn;
         if insn.uses().any(|r| r == reg) {
@@ -175,8 +180,7 @@ pub fn reduce_with_pins(
                 // between the branch and `i` need `d`'s old value to
                 // survive until their sentinels fire.
                 if opts.recovery {
-                    let has_reader = (b + 1..i)
-                        .any(|r| g.nodes[r].insn.uses().any(|s| s == d));
+                    let has_reader = (b + 1..i).any(|r| g.nodes[r].insn.uses().any(|s| s == d));
                     if has_reader {
                         continue;
                     }
@@ -217,7 +221,11 @@ mod tests {
     fn reduce_entry(f: &Function, opts: &SchedOptions) -> (DepGraph, Reduction) {
         let (_, lv) = setup(f);
         let e = f.entry();
-        let mut g = DepGraph::build(f.block(e), &sentinel_isa::MachineDesc::paper_issue(1), opts.recovery);
+        let mut g = DepGraph::build(
+            f.block(e),
+            &sentinel_isa::MachineDesc::paper_issue(1),
+            opts.recovery,
+        );
         let r = reduce(&mut g, f, e, &lv, opts);
         (g, r)
     }

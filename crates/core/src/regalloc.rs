@@ -178,7 +178,12 @@ fn collect_ranges(func: &Function, block: BlockId, opts: &AllocOptions) -> Vec<V
             } else {
                 lu
             };
-            VirtualRange { reg, def, last_use: lu, end }
+            VirtualRange {
+                reg,
+                def,
+                last_use: lu,
+                end,
+            }
         })
         .collect()
 }
@@ -204,7 +209,10 @@ fn arch_reg_free(
     }
     // Also: `a` must not be live immediately after the range (we would
     // clobber a value needed later).
-    if lv.live_before(func, block, (end + 1).min(insns.len())).contains(&a) {
+    if lv
+        .live_before(func, block, (end + 1).min(insns.len()))
+        .contains(&a)
+    {
         return false;
     }
     true

@@ -73,7 +73,10 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 fn opcode_ordinal(op: Opcode) -> u64 {
-    Opcode::all().iter().position(|o| *o == op).expect("opcode in table") as u64
+    Opcode::all()
+        .iter()
+        .position(|o| *o == op)
+        .expect("opcode in table") as u64
 }
 
 fn encode_operand(r: Option<Reg>) -> Result<u64, EncodeError> {
@@ -228,7 +231,11 @@ mod tests {
     fn speculative_bit_is_bit_6() {
         let plain = encode_insn(&Insn::ld_w(Reg::int(1), Reg::int(2), 0)).unwrap();
         let spec = encode_insn(&Insn::ld_w(Reg::int(1), Reg::int(2), 0).speculated()).unwrap();
-        assert_eq!(plain[0] ^ spec[0], 1 << 6, "exactly the modifier bit differs");
+        assert_eq!(
+            plain[0] ^ spec[0],
+            1 << 6,
+            "exactly the modifier bit differs"
+        );
         assert_eq!(plain[1], spec[1]);
     }
 

@@ -501,7 +501,9 @@ mod tests {
             "ld r1, 0(r2)"
         );
         assert_eq!(
-            Insn::st_w(Reg::int(4), Reg::int(2), 4).speculated().to_string(),
+            Insn::st_w(Reg::int(4), Reg::int(2), 4)
+                .speculated()
+                .to_string(),
             "st.s r4, 4(r2)"
         );
         assert_eq!(

@@ -299,9 +299,18 @@ impl MachineDescBuilder {
     /// buffer size is zero.
     pub fn build(self) -> MachineDesc {
         assert!(self.issue_width >= 1, "issue width must be positive");
-        assert!(self.branches_per_cycle >= 1, "branch limit must be positive");
-        assert!(self.int_regs >= 1 && self.fp_regs >= 1, "register files must be non-empty");
-        assert!(self.store_buffer_size >= 1, "store buffer must have at least one entry");
+        assert!(
+            self.branches_per_cycle >= 1,
+            "branch limit must be positive"
+        );
+        assert!(
+            self.int_regs >= 1 && self.fp_regs >= 1,
+            "register files must be non-empty"
+        );
+        assert!(
+            self.store_buffer_size >= 1,
+            "store buffer must have at least one entry"
+        );
         MachineDesc {
             issue_width: self.issue_width,
             branches_per_cycle: self.branches_per_cycle,

@@ -172,10 +172,8 @@ mod tests {
 
     #[test]
     fn overrides_apply() {
-        let m = parse_mdes(
-            "# custom\nissue_width 2\nstore_buffer 4\nlatency mem-load 5\n",
-        )
-        .unwrap();
+        let m =
+            parse_mdes("# custom\nissue_width 2\nstore_buffer 4\nlatency mem-load 5\n").unwrap();
         assert_eq!(m.issue_width(), 2);
         assert_eq!(m.store_buffer_size(), 4);
         assert_eq!(m.latency(Opcode::LdW), 5);

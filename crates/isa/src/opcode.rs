@@ -207,8 +207,21 @@ impl Opcode {
         use Opcode::*;
         matches!(
             self,
-            LdW | LdB | FLd | StW | StB | FSt | Div | Rem | FAdd | FSub | FMul | FDiv | FCvtIF
-                | FCvtFI | FLt | FEq
+            LdW | LdB
+                | FLd
+                | StW
+                | StB
+                | FSt
+                | Div
+                | Rem
+                | FAdd
+                | FSub
+                | FMul
+                | FDiv
+                | FCvtIF
+                | FCvtFI
+                | FLt
+                | FEq
         )
     }
 
@@ -325,10 +338,58 @@ impl Opcode {
     pub fn all() -> &'static [Opcode] {
         use Opcode::*;
         &[
-            Nop, Li, Mov, Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Seq, AddI, AndI, OrI,
-            XorI, SllI, SrlI, SltI, Mul, Div, Rem, FAdd, FSub, FMul, FDiv, FMov, FLi, FCvtIF,
-            FCvtFI, FLt, FEq, LdW, StW, LdB, StB, FLd, FSt, StTag, LdTag, Beq, Bne, Blt, Bge,
-            Jump, Jsr, Io, Halt, CheckExcept, ConfirmStore, ClearTag,
+            Nop,
+            Li,
+            Mov,
+            Add,
+            Sub,
+            And,
+            Or,
+            Xor,
+            Sll,
+            Srl,
+            Sra,
+            Slt,
+            Seq,
+            AddI,
+            AndI,
+            OrI,
+            XorI,
+            SllI,
+            SrlI,
+            SltI,
+            Mul,
+            Div,
+            Rem,
+            FAdd,
+            FSub,
+            FMul,
+            FDiv,
+            FMov,
+            FLi,
+            FCvtIF,
+            FCvtFI,
+            FLt,
+            FEq,
+            LdW,
+            StW,
+            LdB,
+            StB,
+            FLd,
+            FSt,
+            StTag,
+            LdTag,
+            Beq,
+            Bne,
+            Blt,
+            Bge,
+            Jump,
+            Jsr,
+            Io,
+            Halt,
+            CheckExcept,
+            ConfirmStore,
+            ClearTag,
         ]
     }
 }

@@ -225,8 +225,7 @@ pub fn parse(text: &str) -> Result<Function, ParseError> {
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
             .collect();
-        let (base_mnemonic, speculative, boost) = if let Some(b) = mnemonic_tok.strip_suffix(".s")
-        {
+        let (base_mnemonic, speculative, boost) = if let Some(b) = mnemonic_tok.strip_suffix(".s") {
             (b, true, 0u8)
         } else if let Some(dot) = mnemonic_tok.rfind(".b") {
             match mnemonic_tok[dot + 2..].parse::<u8>() {
@@ -406,8 +405,10 @@ exit:
 
     #[test]
     fn hex_immediates_parse() {
-        let f = parse("func @f {\ne:\n    li r1, 0x1000\n    li r2, -0x8\n    ld r3, 0x10(r1)\n    halt\n}\n")
-            .unwrap();
+        let f = parse(
+            "func @f {\ne:\n    li r1, 0x1000\n    li r2, -0x8\n    ld r3, 0x10(r1)\n    halt\n}\n",
+        )
+        .unwrap();
         let insns = &f.block(f.entry()).insns;
         assert_eq!(insns[0].imm, 0x1000);
         assert_eq!(insns[1].imm, -8);
@@ -492,7 +493,8 @@ exit:
 
     #[test]
     fn memory_operand_forms() {
-        let f = parse("func @f {\ne:\n    st r1, -16(r2)\n    fld f3, 24(r4)\n    halt\n}\n").unwrap();
+        let f =
+            parse("func @f {\ne:\n    st r1, -16(r2)\n    fld f3, 24(r4)\n    halt\n}\n").unwrap();
         let insns = &f.block(f.entry()).insns;
         assert_eq!(insns[0].imm, -16);
         assert_eq!(insns[1].imm, 24);

@@ -34,9 +34,12 @@ impl Block {
     /// Returns `true` if the block ends with an instruction that never
     /// falls through (`jump` or `halt`).
     pub fn ends_in_unconditional(&self) -> bool {
-        self.insns
-            .last()
-            .is_some_and(|i| matches!(i.op, sentinel_isa::Opcode::Jump | sentinel_isa::Opcode::Halt))
+        self.insns.last().is_some_and(|i| {
+            matches!(
+                i.op,
+                sentinel_isa::Opcode::Jump | sentinel_isa::Opcode::Halt
+            )
+        })
     }
 
     /// Branch targets of all control-transfer instructions in the block,

@@ -121,7 +121,11 @@ mod tests {
     fn push_all_emits_in_order() {
         let mut b = ProgramBuilder::new("f");
         b.block("entry");
-        b.push_all([Insn::li(Reg::int(1), 1), Insn::li(Reg::int(2), 2), Insn::halt()]);
+        b.push_all([
+            Insn::li(Reg::int(1), 1),
+            Insn::li(Reg::int(2), 2),
+            Insn::halt(),
+        ]);
         let f = b.finish();
         assert_eq!(f.insn_count(), 3);
         assert_eq!(f.block(f.entry()).insns[1].imm, 2);

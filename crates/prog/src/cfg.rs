@@ -151,7 +151,7 @@ impl Cfg {
     pub fn reverse_post_order(&self) -> Vec<BlockId> {
         let mut order = Vec::new();
         let mut state: HashMap<BlockId, u8> = HashMap::new(); // 0 unseen, 1 open, 2 done
-        // Iterative DFS to avoid recursion depth limits on long chains.
+                                                              // Iterative DFS to avoid recursion depth limits on long chains.
         let mut stack = vec![(self.entry, 0usize)];
         state.insert(self.entry, 1);
         while let Some((b, idx)) = stack.pop() {

@@ -81,7 +81,11 @@ impl Dominators {
 
     /// The full dominator set of `b` (empty for unreachable blocks).
     pub fn dominators_of(&self, b: BlockId) -> Vec<BlockId> {
-        let mut v: Vec<BlockId> = self.dom.get(&b).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut v: Vec<BlockId> = self
+            .dom
+            .get(&b)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         v.sort();
         v
     }

@@ -102,7 +102,12 @@ pub fn sum_kernel(base: i64, count: i64, result_addr: i64) -> Function {
     b.push(Insn::li(Reg::int(3), 0));
     b.switch_to(body);
     b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
-    b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(3), Reg::int(4)));
+    b.push(Insn::alu(
+        Opcode::Add,
+        Reg::int(3),
+        Reg::int(3),
+        Reg::int(4),
+    ));
     b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
     b.push(Insn::addi(Reg::int(2), Reg::int(2), -1));
     b.push(Insn::branch(Opcode::Bne, Reg::int(2), Reg::ZERO, body));

@@ -111,7 +111,10 @@ impl Function {
         let mut sorted: Vec<u32> = layout.iter().map(|b| b.0).collect();
         sorted.sort_unstable();
         let expected: Vec<u32> = (0..self.blocks.len() as u32).collect();
-        assert_eq!(sorted, expected, "layout must be a permutation of block ids");
+        assert_eq!(
+            sorted, expected,
+            "layout must be a permutation of block ids"
+        );
         self.layout = layout;
     }
 
@@ -138,7 +141,11 @@ impl Function {
     ///
     /// Panics if the block is the entry block.
     pub fn remove_from_layout(&mut self, id: BlockId) {
-        assert_ne!(id, self.entry(), "cannot remove the entry block from the layout");
+        assert_ne!(
+            id,
+            self.entry(),
+            "cannot remove the entry block from the layout"
+        );
         self.layout.retain(|b| *b != id);
     }
 
@@ -215,7 +222,9 @@ impl Function {
     /// Panics if `pos` is out of bounds.
     pub fn insert_insn(&mut self, block: BlockId, pos: usize, insn: Insn) -> InsnId {
         let id = self.fresh_insn_id();
-        self.blocks[block.index()].insns.insert(pos, insn.with_id(id));
+        self.blocks[block.index()]
+            .insns
+            .insert(pos, insn.with_id(id));
         id
     }
 
@@ -256,7 +265,11 @@ impl Function {
         for b in &self.blocks {
             for i in &b.insns {
                 for r in i.raw_srcs().chain(i.dest) {
-                    let slot = if r.is_int() { &mut max_int } else { &mut max_fp };
+                    let slot = if r.is_int() {
+                        &mut max_int
+                    } else {
+                        &mut max_fp
+                    };
                     *slot = Some(slot.map_or(r.index(), |m: u16| m.max(r.index())));
                 }
             }

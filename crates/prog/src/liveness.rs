@@ -281,9 +281,6 @@ mod tests {
         s.insert(Reg::fp(1));
         s.insert(Reg::int(5));
         s.insert(Reg::int(2));
-        assert_eq!(
-            s.iter_sorted(),
-            vec![Reg::int(2), Reg::int(5), Reg::fp(1)]
-        );
+        assert_eq!(s.iter_sorted(), vec![Reg::int(2), Reg::int(5), Reg::fp(1)]);
     }
 }

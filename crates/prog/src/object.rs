@@ -167,7 +167,11 @@ pub fn read_object(bytes: &[u8]) -> Result<Function, ReadError> {
     for _ in 0..noalias_count {
         let v = r.u32()?;
         let idx = (v & 0xFFFF) as u16;
-        noalias.push(if v >> 16 == 1 { Reg::fp(idx) } else { Reg::int(idx) });
+        noalias.push(if v >> 16 == 1 {
+            Reg::fp(idx)
+        } else {
+            Reg::int(idx)
+        });
     }
     let block_count = r.u32()?;
     let mut block_insns = Vec::new();
@@ -312,7 +316,11 @@ mod tests {
     fn rejects_virtual_registers() {
         let mut b = ProgramBuilder::new("v");
         b.block("e");
-        b.push(Insn::addi(sentinel_isa::Reg::int(100), sentinel_isa::Reg::int(1), 1));
+        b.push(Insn::addi(
+            sentinel_isa::Reg::int(100),
+            sentinel_isa::Reg::int(1),
+            1,
+        ));
         b.push(Insn::halt());
         let f = b.finish();
         assert!(matches!(write_object(&f), Err(WriteError::Encode(_))));

@@ -113,7 +113,11 @@ fn best_successor(
     }
     if !block.ends_in_unconditional() {
         if let Some(ft) = func.fallthrough_of(from) {
-            consider(ft, LinkKind::FallThrough, edge_count(func, profile, from, ft));
+            consider(
+                ft,
+                LinkKind::FallThrough,
+                edge_count(func, profile, from, ft),
+            );
         }
     }
     let (to, kind, count) = best?;
@@ -150,9 +154,7 @@ fn grow_trace(
                     return false;
                 }
                 // Allow exactly the link edge itself.
-                !(b == tail
-                    && kind == LinkKind::TakenLast
-                    && pos + 1 == func.block(b).insns.len())
+                !(b == tail && kind == LinkKind::TakenLast && pos + 1 == func.block(b).insns.len())
             })
         });
         if internal_ref {
@@ -177,11 +179,7 @@ fn grow_trace(
 /// suffix starting at the first block with external predecessors.
 ///
 /// Returns the number of blocks created.
-fn tail_duplicate(
-    func: &mut Function,
-    trace: &[BlockId],
-    links: &[LinkKind],
-) -> usize {
+fn tail_duplicate(func: &mut Function, trace: &[BlockId], links: &[LinkKind]) -> usize {
     // Find the first position i >= 1 whose block has an entry other than
     // the trace link from trace[i-1].
     let in_trace: HashSet<BlockId> = trace.iter().copied().collect();
@@ -347,9 +345,7 @@ fn merge_trace(func: &mut Function, trace: &[BlockId], links: &[LinkKind]) {
     if !func.block(head).ends_in_unconditional() {
         if let Some(ft) = func.fallthrough_of(tail) {
             let id = func.fresh_insn_id();
-            func.block_mut(head)
-                .insns
-                .push(Insn::jump(ft).with_id(id));
+            func.block_mut(head).insns.push(Insn::jump(ft).with_id(id));
         }
     }
     // Remove the merged-away blocks from the layout.
@@ -573,7 +569,11 @@ mod tests {
         let r = form_superblocks(&mut f, &p, &SuperblockConfig::default());
         assert!(r.superblocks.contains(&entry));
         assert!(r.duplicated_blocks >= 1, "body suffix must be duplicated");
-        assert!(validate(&f).is_empty(), "formation output must validate: {:?}", validate(&f));
+        assert!(
+            validate(&f).is_empty(),
+            "formation output must validate: {:?}",
+            validate(&f)
+        );
         // body was merged into entry and removed from the layout.
         assert!(!f.in_layout(body));
         // cold now jumps to the duplicate, not into the middle of the trace.
@@ -594,7 +594,11 @@ mod tests {
         form_superblocks(&mut f, &p, &SuperblockConfig::default());
         // The `jump body` trace link inside the superblock is gone.
         let merged = f.block(entry);
-        let jumps: Vec<_> = merged.insns.iter().filter(|i| i.op == Opcode::Jump).collect();
+        let jumps: Vec<_> = merged
+            .insns
+            .iter()
+            .filter(|i| i.op == Opcode::Jump)
+            .collect();
         // Only the final explicit fall-through jump (to exit or its copy) remains.
         assert!(jumps.len() <= 1);
     }
@@ -680,7 +684,12 @@ mod tests {
         let body = b.block("loop");
         let exit = b.block("exit");
         b.switch_to(body);
-        b.push(Insn::alu(Opcode::Add, Reg::int(8), Reg::int(8), Reg::int(1)));
+        b.push(Insn::alu(
+            Opcode::Add,
+            Reg::int(8),
+            Reg::int(8),
+            Reg::int(1),
+        ));
         b.push(Insn::addi(Reg::int(1), Reg::int(1), -1));
         b.push(Insn::branch(Opcode::Bne, Reg::int(1), Reg::ZERO, body));
         b.push(Insn::jump(exit));

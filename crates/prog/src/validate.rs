@@ -73,7 +73,11 @@ pub(crate) enum Req {
     Any,
 }
 
-fn check_req(slot: Option<sentinel_isa::Reg>, req: Req, what: &'static str) -> Result<(), &'static str> {
+fn check_req(
+    slot: Option<sentinel_isa::Reg>,
+    req: Req,
+    what: &'static str,
+) -> Result<(), &'static str> {
     match (slot, req) {
         (None, Req::None) => Ok(()),
         (Some(_), Req::None) => Err(match what {

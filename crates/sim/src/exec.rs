@@ -97,8 +97,8 @@ pub fn compute(op: Opcode, a: u64, b: u64, imm: i64) -> Result<u64, ExceptionKin
             }
             (af == bf) as u64
         }
-        LdW | LdB | FLd | LdTag | StW | StB | FSt | StTag | Beq | Bne | Blt | Bge | Jump
-        | Halt | ConfirmStore => {
+        LdW | LdB | FLd | LdTag | StW | StB | FSt | StTag | Beq | Bne | Blt | Bge | Jump | Halt
+        | ConfirmStore => {
             panic!("{op} is not a pure-compute opcode")
         }
     })
@@ -222,7 +222,10 @@ mod tests {
 
     #[test]
     fn conversions() {
-        assert_eq!(compute(Opcode::FCvtIF, (-3i64) as u64, 0, 0).unwrap(), f(-3.0));
+        assert_eq!(
+            compute(Opcode::FCvtIF, (-3i64) as u64, 0, 0).unwrap(),
+            f(-3.0)
+        );
         assert_eq!(compute(Opcode::FCvtFI, f(3.9), 0, 0).unwrap(), 3);
         assert_eq!(
             compute(Opcode::FCvtFI, f(f64::NAN), 0, 0),

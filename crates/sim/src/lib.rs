@@ -57,10 +57,10 @@ mod machine;
 
 pub use except::{ExceptionKind, PcHistoryQueue, Trap};
 pub use machine::{
-    Machine, Recovery, RunOutcome, SimConfig, SimError, SpeculationSemantics, TraceEvent,
-    GARBAGE, INT_NAN,
+    Machine, Recovery, RunOutcome, SimConfig, SimError, SpeculationSemantics, TraceEvent, GARBAGE,
+    INT_NAN,
 };
 pub use memory::{Memory, Width};
-pub use regfile::{RegFile, TaggedValue};
+pub use regfile::{RegEvent, RegFile, TaggedValue};
 pub use stats::Stats;
-pub use storebuf::{ConfirmOutcome, Entry, EntryState, SbError, StoreBuffer};
+pub use storebuf::{ConfirmOutcome, Entry, EntryState, SbError, SbEvent, StoreBuffer};

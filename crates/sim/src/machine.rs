@@ -23,13 +23,14 @@ use std::collections::HashMap;
 use sentinel_isa::{BlockId, Insn, InsnId, MachineDesc, Opcode, Reg};
 use sentinel_prog::profile::Profile;
 use sentinel_prog::Function;
+use sentinel_trace::{Event, EventKind, StallReason, TraceSink};
 
 use crate::except::{ExceptionKind, PcHistoryQueue, Trap};
 use crate::exec::{branch_taken, compute};
 use crate::memory::{Memory, Width};
-use crate::regfile::{RegFile, TaggedValue};
+use crate::regfile::{RegEvent, RegFile, TaggedValue};
 use crate::stats::Stats;
-use crate::storebuf::{ConfirmOutcome, Entry, EntryState, SbError, StoreBuffer};
+use crate::storebuf::{ConfirmOutcome, Entry, EntryState, SbError, SbEvent, StoreBuffer};
 
 /// The value a faulting *silent* instruction writes (general percolation,
 /// paper §2.4: "writes a garbage value into the destination register").
@@ -278,6 +279,15 @@ pub struct Machine<'a> {
     trace: Vec<TraceEvent>,
     /// Optional timing-only data cache.
     cache: Option<crate::cache::DataCache>,
+    /// Attached pipeline-event sink (`None` ⇒ tracing disabled; every
+    /// instrumentation site is then a single branch).
+    sink: Option<Box<dyn TraceSink>>,
+    /// Issue cycle of the instruction currently executing (stamps
+    /// journal events that carry no cycle of their own).
+    last_issue: u64,
+    /// Id of the instruction currently executing (distinguishes tag
+    /// sets from tag propagations in the register-file journal).
+    last_insn: InsnId,
     // --- timing state ---
     cycle: u64,
     slots_used: usize,
@@ -310,9 +320,29 @@ impl<'a> Machine<'a> {
             shadow_seq: 0,
             trace: Vec::new(),
             cache: config.cache.clone().map(crate::cache::DataCache::new),
+            sink: None,
+            last_issue: 0,
+            last_insn: InsnId(0),
             ready: HashMap::new(),
             config,
         }
+    }
+
+    /// Attaches a pipeline-event sink and enables the register-file and
+    /// store-buffer journals feeding it. Call before [`Machine::run`].
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.regs.set_journal(true);
+        self.sb.set_journal(true);
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the sink (if any), disabling the journals. Call
+    /// [`TraceSink::finish`] on the result to render the trace.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.drain_journals();
+        self.regs.set_journal(false);
+        self.sb.set_journal(false);
+        self.sink.take()
     }
 
     /// The data cache, if one is configured.
@@ -430,7 +460,7 @@ impl<'a> Machine<'a> {
                             issue,
                             &mut self.mem,
                         )?;
-                        self.advance_cycle(eff.max(self.cycle));
+                        self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
                     }
                     Some((pc, kind)) => {
                         trap = Some(Trap {
@@ -542,7 +572,9 @@ impl<'a> Machine<'a> {
                 return Err(SimError::OutOfFuel);
             }
             let insn = &b.insns[pos];
-            match self.exec_insn(insn)? {
+            let step = self.exec_insn(insn)?;
+            self.drain_journals();
+            match step {
                 Step::Continue => pos += 1,
                 Step::Goto(t) => {
                     if let Some(last) = self.trace.last_mut() {
@@ -554,14 +586,28 @@ impl<'a> Machine<'a> {
                 }
                 Step::Halt => {
                     let stuck = self.sb.flush(&mut self.mem);
+                    self.drain_journals();
                     self.sync_sb_stats();
                     if stuck > 0 {
                         return Err(SimError::UnconfirmedAtHalt(stuck));
                     }
-                    self.stats.cycles = self.cycle + 1;
+                    self.finalize_cycles();
                     return Ok(RunOutcome::Halted);
                 }
                 Step::Trap(trap) => {
+                    if self.sink.is_some() {
+                        let kind = trap
+                            .kind
+                            .map(|k| k.to_string())
+                            .unwrap_or_else(|| "exception".to_string());
+                        self.emit(Event::at(
+                            self.cycle,
+                            EventKind::Trap {
+                                pc: trap.excepting_pc,
+                                kind,
+                            },
+                        ));
+                    }
                     match handler(&trap, &mut self.mem) {
                         Recovery::Resume => {
                             if self.stats.recoveries >= self.config.max_recoveries {
@@ -575,20 +621,47 @@ impl<'a> Machine<'a> {
                             // by the restartable sequence; discard their
                             // probationary entries.
                             self.sb.cancel_probationary(self.cycle);
-                            self.advance_cycle(self.cycle + 1 + self.config.recovery_penalty);
+                            self.drain_journals();
+                            if self.sink.is_some() {
+                                self.emit(Event::at(
+                                    self.cycle,
+                                    EventKind::Recovery {
+                                        pc: trap.excepting_pc,
+                                        penalty: self.config.recovery_penalty,
+                                    },
+                                ));
+                            }
+                            self.advance_cycle(
+                                self.cycle + 1 + self.config.recovery_penalty,
+                                StallReason::Recovery,
+                            );
                             block = rb;
                             pos = rp;
                         }
                         Recovery::Abort => {
                             self.sb.flush(&mut self.mem);
+                            self.drain_journals();
                             self.sync_sb_stats();
-                            self.stats.cycles = self.cycle + 1;
+                            self.finalize_cycles();
                             return Ok(RunOutcome::Trapped(trap));
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Converts the final cycle index into the run's cycle count and
+    /// checks the stall-attribution invariant: every cycle either issued
+    /// at least one instruction or is charged to exactly one
+    /// [`StallReason`].
+    fn finalize_cycles(&mut self) {
+        self.stats.cycles = self.cycle + 1;
+        debug_assert_eq!(
+            self.stats.issuing_cycles + self.stats.stalls.total(),
+            self.stats.cycles,
+            "stall attribution must cover every non-issuing cycle"
+        );
     }
 
     fn sync_sb_stats(&mut self) {
@@ -599,8 +672,97 @@ impl<'a> Machine<'a> {
         self.stats.sb_stall_cycles = stall;
     }
 
-    fn advance_cycle(&mut self, to: u64) {
+    /// Records an event into the attached sink (no-op without one).
+    fn emit(&mut self, event: Event) {
+        if let Some(s) = &mut self.sink {
+            s.record(&event);
+        }
+    }
+
+    /// Forwards the register-file and store-buffer journals into the
+    /// sink. Cycle-less journal entries are stamped with the issue cycle
+    /// of the instruction that produced them.
+    fn drain_journals(&mut self) {
+        if self.sink.is_none() {
+            return;
+        }
+        let at = self.last_issue;
+        let insn = self.last_insn;
+        for ev in self.regs.take_journal() {
+            match ev {
+                RegEvent::TagWrite { reg, pc } if pc == insn => {
+                    self.emit(Event::at(at, EventKind::TagSet { reg, pc }));
+                }
+                RegEvent::TagWrite { reg, pc } => {
+                    self.emit(Event::at(at, EventKind::TagPropagate { dest: reg, pc }));
+                }
+                RegEvent::TagClear { .. } => {}
+            }
+        }
+        for ev in self.sb.take_journal() {
+            let event = match ev {
+                SbEvent::Insert {
+                    cycle,
+                    addr,
+                    probationary,
+                    occupancy,
+                } => Event::at(
+                    cycle,
+                    EventKind::SbInsert {
+                        addr,
+                        probationary,
+                        occupancy,
+                    },
+                ),
+                SbEvent::Release {
+                    cycle,
+                    addr,
+                    occupancy,
+                } => Event::at(cycle, EventKind::SbRelease { addr, occupancy }),
+                SbEvent::Cancel {
+                    cycle,
+                    cancelled,
+                    occupancy,
+                } => Event::at(
+                    cycle,
+                    EventKind::SbCancel {
+                        cancelled,
+                        occupancy,
+                    },
+                ),
+                SbEvent::Forward { addr } => Event::at(at, EventKind::SbForward { addr }),
+                SbEvent::Confirm {
+                    cycle,
+                    index,
+                    excepted,
+                } => Event::at(cycle, EventKind::SbConfirm { index, excepted }),
+            };
+            self.emit(event);
+        }
+    }
+
+    /// Advances to cycle `to`, charging every skipped non-issuing cycle
+    /// (including the current one, if nothing issued on it) to `reason`.
+    fn advance_cycle(&mut self, to: u64, reason: StallReason) {
         if to > self.cycle {
+            let stalled = (to - self.cycle - 1) + u64::from(self.slots_used == 0);
+            if stalled > 0 {
+                self.stats.stalls.add(reason, stalled);
+                if self.sink.is_some() {
+                    let start = if self.slots_used == 0 {
+                        self.cycle
+                    } else {
+                        self.cycle + 1
+                    };
+                    self.emit(Event::at(
+                        start,
+                        EventKind::Stall {
+                            reason,
+                            cycles: stalled,
+                        },
+                    ));
+                }
+            }
             self.cycle = to;
             self.slots_used = 0;
             self.branches_used = 0;
@@ -609,19 +771,29 @@ impl<'a> Machine<'a> {
 
     /// Finds the issue cycle for an instruction whose operands are ready
     /// at `min_cycle`, charging issue-width and branch-slot structure.
-    fn issue_at(&mut self, min_cycle: u64, is_branch: bool) -> u64 {
-        self.advance_cycle(min_cycle);
+    /// `wait` attributes any empty cycles spent waiting for operands.
+    fn issue_at(&mut self, min_cycle: u64, is_branch: bool, wait: StallReason) -> u64 {
+        self.advance_cycle(min_cycle, wait);
         loop {
             let width_ok = self.slots_used < self.config.mdes.issue_width();
-            let branch_ok = !is_branch || self.branches_used < self.config.mdes.branches_per_cycle();
+            let branch_ok =
+                !is_branch || self.branches_used < self.config.mdes.branches_per_cycle();
             if width_ok && branch_ok {
                 self.slots_used += 1;
+                if self.slots_used == 1 {
+                    self.stats.issuing_cycles += 1;
+                }
                 if is_branch {
                     self.branches_used += 1;
                 }
                 return self.cycle;
             }
-            self.advance_cycle(self.cycle + 1);
+            let structural = if width_ok {
+                StallReason::BranchLimit
+            } else {
+                StallReason::FuConflict
+            };
+            self.advance_cycle(self.cycle + 1, structural);
         }
     }
 
@@ -642,9 +814,7 @@ impl<'a> Machine<'a> {
     /// The first set source-operand tag, in operand order (Table 1's
     /// "first source operand whose exception tag is set").
     fn first_tagged(&self, insn: &Insn) -> Option<TaggedValue> {
-        insn.raw_srcs()
-            .map(|r| self.read_reg(r))
-            .find(|v| v.tag)
+        insn.raw_srcs().map(|r| self.read_reg(r)).find(|v| v.tag)
     }
 
     fn trap_from_tag(&self, tv: TaggedValue, reporter: InsnId) -> Trap {
@@ -670,9 +840,30 @@ impl<'a> Machine<'a> {
         self.pcq.record(insn.id);
         let op = insn.op;
 
-        // Timing: issue when sources are ready and a slot is free.
+        // Timing: issue when sources are ready and a slot is free. Empty
+        // cycles spent waiting for a sentinel's own sources are charged
+        // to the sentinel, not to an ordinary interlock.
+        let wait = match op {
+            CheckExcept | ConfirmStore => StallReason::SentinelOverhead,
+            _ => StallReason::RawInterlock,
+        };
         let ready = self.src_ready_cycle(insn);
-        let issue = self.issue_at(ready, op.class() == sentinel_isa::OpClass::Branch);
+        let issue = self.issue_at(ready, op.class() == sentinel_isa::OpClass::Branch, wait);
+        if self.sink.is_some() {
+            self.last_issue = issue;
+            self.last_insn = insn.id;
+            let done = issue + self.config.mdes.latency(op) as u64;
+            let slot = (self.slots_used - 1).min(u8::MAX as usize) as u8;
+            self.emit(Event {
+                cycle: issue,
+                slot,
+                kind: EventKind::Issue {
+                    pc: insn.id,
+                    text: insn.to_string(),
+                    done,
+                },
+            });
+        }
         if self.config.collect_trace {
             self.trace.push(TraceEvent {
                 cycle: issue,
@@ -752,6 +943,11 @@ impl<'a> Machine<'a> {
             StTag => return self.exec_st_tag(insn, issue),
             CheckExcept => {
                 self.stats.dyn_checks += 1;
+                if self.sink.is_some() {
+                    let excepted = self.first_tagged(insn).is_some();
+                    let reg = insn.src1.unwrap_or(Reg::ZERO);
+                    self.emit(Event::at(issue, EventKind::TagCheck { reg, excepted }));
+                }
                 // Falls through to the general (non-speculative use) path.
             }
             _ => {}
@@ -788,7 +984,13 @@ impl<'a> Machine<'a> {
                         // Rows 1,1,x of Table 1: propagate.
                         self.stats.tag_propagations += 1;
                         if let Some(d) = insn.dest {
-                            self.regs.write(d, TaggedValue { data: tv.data, tag: true });
+                            self.regs.write(
+                                d,
+                                TaggedValue {
+                                    data: tv.data,
+                                    tag: true,
+                                },
+                            );
                         }
                     } else {
                         match compute(insn.op, a, b, insn.imm) {
@@ -886,7 +1088,7 @@ impl<'a> Machine<'a> {
 
     fn redirect(&mut self, branch_issue: u64) {
         // Taken-branch redirect: fetch resumes next cycle.
-        self.advance_cycle(branch_issue + 1);
+        self.advance_cycle(branch_issue + 1, StallReason::BranchRedirect);
     }
 
     /// NaN detection for [`SpeculationSemantics::NanWrite`]: fp sources
@@ -929,16 +1131,27 @@ impl<'a> Machine<'a> {
             let lat = self.config.mdes.latency(insn.op) as u64;
             let entry = if let Some(d) = self.shadow_store_lookup(addr, width) {
                 self.ready.insert(dest, issue + lat);
-                ShadowOp::Reg { dest, data: d, except: None }
+                ShadowOp::Reg {
+                    dest,
+                    data: d,
+                    except: None,
+                }
             } else {
                 match self.mem.check_access(addr, width) {
                     Ok(()) => {
-                        let (fwd, eff) =
-                            self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
-                        let penalty = if fwd.is_none() { self.cache_penalty(addr) } else { 0 };
+                        let (fwd, eff) = self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
+                        let penalty = if fwd.is_none() {
+                            self.cache_penalty(addr)
+                        } else {
+                            0
+                        };
                         let data = fwd.unwrap_or_else(|| self.mem.read_raw(addr, width));
                         self.ready.insert(dest, eff + lat + penalty);
-                        ShadowOp::Reg { dest, data, except: None }
+                        ShadowOp::Reg {
+                            dest,
+                            data,
+                            except: None,
+                        }
                     }
                     Err(kind) => {
                         self.ready.insert(dest, issue + lat);
@@ -957,7 +1170,13 @@ impl<'a> Machine<'a> {
             match self.config.semantics {
                 SpeculationSemantics::SentinelTags if base.tag => {
                     self.stats.tag_propagations += 1;
-                    self.regs.write(dest, TaggedValue { data: base.data, tag: true });
+                    self.regs.write(
+                        dest,
+                        TaggedValue {
+                            data: base.data,
+                            tag: true,
+                        },
+                    );
                     self.mark_dest_ready(insn, issue);
                     return Ok(Step::Continue);
                 }
@@ -965,9 +1184,7 @@ impl<'a> Machine<'a> {
             }
         } else if base.tag {
             return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
-        } else if self.config.semantics == SpeculationSemantics::NanWrite
-            && base.data == INT_NAN
-        {
+        } else if self.config.semantics == SpeculationSemantics::NanWrite && base.data == INT_NAN {
             return Ok(Step::Trap(Trap {
                 excepting_pc: insn.id,
                 reported_by: insn.id,
@@ -985,7 +1202,11 @@ impl<'a> Machine<'a> {
                     d
                 } else {
                     let (fwd, eff) = self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
-                    let penalty = if fwd.is_none() { self.cache_penalty(addr) } else { 0 };
+                    let penalty = if fwd.is_none() {
+                        self.cache_penalty(addr)
+                    } else {
+                        0
+                    };
                     self.ready.insert(dest, eff + lat + penalty);
                     fwd.unwrap_or_else(|| self.mem.read_raw(addr, width))
                 };
@@ -1081,7 +1302,7 @@ impl<'a> Machine<'a> {
                         &mut self.mem,
                     )?;
                     // A full-buffer stall blocks the in-order pipeline.
-                    self.advance_cycle(eff.max(self.cycle));
+                    self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
                     Ok(Step::Continue)
                 }
                 Err(kind) => {
@@ -1141,7 +1362,7 @@ impl<'a> Machine<'a> {
                 }
             };
             let eff = self.sb.insert(entry, issue, &mut self.mem)?;
-            self.advance_cycle(eff.max(self.cycle));
+            self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
             Ok(Step::Continue)
         }
     }
@@ -1228,7 +1449,11 @@ mod tests {
         let (_, s1) = run_func(&f, 1);
         let (_, s8) = run_func(&f, 8);
         assert!(s1.cycles > s8.cycles);
-        assert!(s8.cycles <= 3, "8 lis + halt should fit ~2 cycles, got {}", s8.cycles);
+        assert!(
+            s8.cycles <= 3,
+            "8 lis + halt should fit ~2 cycles, got {}",
+            s8.cycles
+        );
     }
 
     #[test]
@@ -1583,7 +1808,11 @@ mod tests {
         m.memory_mut().map_region(0x1000, 64);
         m.run().unwrap();
         let (hits, misses) = m.cache().unwrap().stats();
-        assert_eq!((hits, misses), (0, 0), "forwarded load never touches the cache");
+        assert_eq!(
+            (hits, misses),
+            (0, 0),
+            "forwarded load never touches the cache"
+        );
         assert_eq!(m.reg(Reg::int(3)).as_i64(), 9);
         assert_eq!(m.stats().sb_forwards, 1);
     }
@@ -1750,11 +1979,11 @@ mod tests {
         // Case B: make both branches untaken (beq 0,9 untaken; bne 0,0 untaken).
         let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.set_reg(Reg::int(9), 0); // beq 0,0 -> TAKEN. Need different data…
-        // beq r0, r9: taken iff r9 == 0. Use r9 = 1 for untaken; then
-        // bne r0, r9: taken iff r9 != 0 -> taken with 1. So with this
-        // program one of the two is always taken; case B uses a third
-        // register setup instead: skip — covered by case A plus
-        // boosted_result_commits_on_untaken_branch.
+                                   // beq r0, r9: taken iff r9 == 0. Use r9 = 1 for untaken; then
+                                   // bne r0, r9: taken iff r9 != 0 -> taken with 1. So with this
+                                   // program one of the two is always taken; case B uses a third
+                                   // register setup instead: skip — covered by case A plus
+                                   // boosted_result_commits_on_untaken_branch.
         let _ = m;
     }
 
@@ -1821,7 +2050,12 @@ mod tests {
         b.block("e");
         b.push(Insn::li(Reg::int(1), 0x9998)); // unmapped
         b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::alu(Opcode::Div, Reg::int(3), Reg::int(4), Reg::int(2)));
+        b.push(Insn::alu(
+            Opcode::Div,
+            Reg::int(3),
+            Reg::int(4),
+            Reg::int(2),
+        ));
         b.push(Insn::halt());
         let f = b.finish();
         let div_id = f.block(f.entry()).insns[2].id;

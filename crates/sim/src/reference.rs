@@ -47,7 +47,10 @@ impl std::fmt::Display for RefError {
             RefError::FellOffEnd => write!(f, "control fell off the end"),
             RefError::OutOfFuel => write!(f, "out of fuel"),
             RefError::NotSequentialCode(id) => {
-                write!(f, "instruction {id} is not sequential (speculative/sentinel)")
+                write!(
+                    f,
+                    "instruction {id} is not sequential (speculative/sentinel)"
+                )
             }
         }
     }
@@ -177,7 +180,10 @@ impl<'a> Reference<'a> {
             let insn = &b.insns[pos];
             if insn.speculative
                 || insn.boost > 0
-                || matches!(insn.op, Opcode::CheckExcept | Opcode::ConfirmStore | Opcode::ClearTag)
+                || matches!(
+                    insn.op,
+                    Opcode::CheckExcept | Opcode::ConfirmStore | Opcode::ClearTag
+                )
             {
                 return Err(RefError::NotSequentialCode(insn.id));
             }
@@ -208,7 +214,11 @@ impl<'a> Reference<'a> {
                 LdW | LdB | FLd => {
                     let base = self.reg(insn.src2.unwrap());
                     let addr = (base as i64).wrapping_add(insn.imm) as u64;
-                    let width = if insn.op == LdB { Width::Byte } else { Width::Word };
+                    let width = if insn.op == LdB {
+                        Width::Byte
+                    } else {
+                        Width::Word
+                    };
                     match self.mem.read(addr, width) {
                         Ok(v) => self.write_dest(insn, v),
                         Err(kind) => return Ok(RefOutcome::Trapped { pc: insn.id, kind }),
@@ -218,7 +228,11 @@ impl<'a> Reference<'a> {
                     let val = self.reg(insn.src1.unwrap());
                     let base = self.reg(insn.src2.unwrap());
                     let addr = (base as i64).wrapping_add(insn.imm) as u64;
-                    let width = if insn.op == StB { Width::Byte } else { Width::Word };
+                    let width = if insn.op == StB {
+                        Width::Byte
+                    } else {
+                        Width::Word
+                    };
                     match self.mem.write(addr, width, val) {
                         Ok(()) => {}
                         Err(kind) => return Ok(RefOutcome::Trapped { pc: insn.id, kind }),
@@ -267,7 +281,9 @@ mod tests {
         r.memory_mut().map_region(0x1000, 64);
         r.memory_mut().map_region(0x2000, 8);
         for (i, v) in [2i64, 3, 5].iter().enumerate() {
-            r.memory_mut().write_word(0x1000 + 8 * i as u64, *v as u64).unwrap();
+            r.memory_mut()
+                .write_word(0x1000 + 8 * i as u64, *v as u64)
+                .unwrap();
         }
         assert_eq!(r.run().unwrap(), RefOutcome::Halted);
         assert_eq!(r.memory().read_word(0x2000).unwrap(), 10);

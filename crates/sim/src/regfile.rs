@@ -45,6 +45,31 @@ impl TaggedValue {
     }
 }
 
+/// One entry of the register file's optional tag-traffic journal: raw
+/// exception-tag transitions, recorded as they happen so an attached
+/// trace sink can reconstruct Table 1's tag flow.
+///
+/// A `TagWrite` whose `pc` equals the id of the instruction that
+/// performed the write is a tag *set* (the instruction itself excepted);
+/// any other `pc` is a *propagation* of an older deferred exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegEvent {
+    /// A register was written with its exception tag set; `pc` is the
+    /// excepting PC carried in the data field.
+    TagWrite {
+        /// Register written.
+        reg: Reg,
+        /// Excepting PC recorded in the register.
+        pc: InsnId,
+    },
+    /// A previously set exception tag was cleared (overwritten clean or
+    /// explicitly via `clear_tag`).
+    TagClear {
+        /// Register whose tag was cleared.
+        reg: Reg,
+    },
+}
+
 /// The register file: integer and floating-point banks, each register
 /// carrying an exception tag.
 ///
@@ -55,6 +80,7 @@ impl TaggedValue {
 pub struct RegFile {
     int: Vec<TaggedValue>,
     fp: Vec<TaggedValue>,
+    journal: Option<Vec<RegEvent>>,
 }
 
 impl RegFile {
@@ -65,6 +91,22 @@ impl RegFile {
         RegFile {
             int: vec![TaggedValue::default(); int_regs],
             fp: vec![TaggedValue::default(); fp_regs],
+            journal: None,
+        }
+    }
+
+    /// Enables or disables the tag-traffic journal. Disabling discards
+    /// any pending entries.
+    pub fn set_journal(&mut self, enabled: bool) {
+        self.journal = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the journal, returning the tag transitions recorded since
+    /// the last call (empty when the journal is disabled).
+    pub fn take_journal(&mut self) -> Vec<RegEvent> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
         }
     }
 
@@ -95,6 +137,20 @@ impl RegFile {
     pub fn write(&mut self, r: Reg, v: TaggedValue) {
         if r.is_zero() {
             return;
+        }
+        if let Some(j) = &mut self.journal {
+            let old = match r.class() {
+                RegClass::Int => self.int[r.index() as usize],
+                RegClass::Fp => self.fp[r.index() as usize],
+            };
+            if v.tag {
+                j.push(RegEvent::TagWrite {
+                    reg: r,
+                    pc: v.as_pc(),
+                });
+            } else if old.tag {
+                j.push(RegEvent::TagClear { reg: r });
+            }
         }
         match r.class() {
             RegClass::Int => self.int[r.index() as usize] = v,
@@ -174,7 +230,13 @@ mod tests {
     #[test]
     fn clear_tag_keeps_data() {
         let mut rf = RegFile::new(4, 4);
-        rf.write(Reg::int(3), TaggedValue { data: 99, tag: true });
+        rf.write(
+            Reg::int(3),
+            TaggedValue {
+                data: 99,
+                tag: true,
+            },
+        );
         rf.clear_tag(Reg::int(3));
         let v = rf.read(Reg::int(3));
         assert!(!v.tag);
@@ -187,6 +249,32 @@ mod tests {
         rf.write(Reg::int(1), TaggedValue::excepting(InsnId(0)));
         rf.write(Reg::fp(2), TaggedValue::excepting(InsnId(1)));
         assert_eq!(rf.tagged_regs(), vec![Reg::int(1), Reg::fp(2)]);
+    }
+
+    #[test]
+    fn journal_records_tag_transitions() {
+        let mut rf = RegFile::new(4, 4);
+        rf.set_journal(true);
+        rf.write(Reg::int(1), TaggedValue::excepting(InsnId(9)));
+        rf.write_clean(Reg::int(1), 5);
+        rf.write_clean(Reg::int(2), 7); // clean over clean: not journaled
+        assert_eq!(
+            rf.take_journal(),
+            vec![
+                RegEvent::TagWrite {
+                    reg: Reg::int(1),
+                    pc: InsnId(9)
+                },
+                RegEvent::TagClear { reg: Reg::int(1) },
+            ]
+        );
+        assert!(rf.take_journal().is_empty(), "take_journal drains");
+        rf.set_journal(false);
+        rf.write(Reg::int(3), TaggedValue::excepting(InsnId(1)));
+        assert!(
+            rf.take_journal().is_empty(),
+            "disabled journal records nothing"
+        );
     }
 
     #[test]

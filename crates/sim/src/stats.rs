@@ -2,11 +2,20 @@
 
 use std::fmt;
 
+use sentinel_trace::StallCounts;
+
 /// Counters collected by a [`Machine`](crate::Machine) run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Total cycles (the paper's performance metric, §5.1).
     pub cycles: u64,
+    /// Cycles in which at least one instruction issued. The remaining
+    /// `cycles - issuing_cycles` are attributed, cycle for cycle, in
+    /// [`Stats::stalls`].
+    pub issuing_cycles: u64,
+    /// Per-reason attribution of every non-issuing cycle; the machine
+    /// guarantees `stalls.total() == cycles - issuing_cycles`.
+    pub stalls: StallCounts,
     /// Dynamic instructions executed (squashed instructions not counted).
     pub dyn_insns: u64,
     /// Dynamic instructions carrying the speculative modifier.
@@ -87,10 +96,17 @@ impl fmt::Display for Stats {
             "  sb: releases={} cancels={} forwards={} stall_cycles={}",
             self.sb_releases, self.sb_cancels, self.sb_forwards, self.sb_stall_cycles
         )?;
-        write!(
+        writeln!(
             f,
             "  boosted={} shadow_commits={} shadow_squashes={} recoveries={}",
             self.dyn_boosted, self.shadow_commits, self.shadow_squashes, self.recoveries
+        )?;
+        write!(
+            f,
+            "  issuing={} stalled={} [{}]",
+            self.issuing_cycles,
+            self.cycles.saturating_sub(self.issuing_cycles),
+            self.stalls
         )
     }
 }

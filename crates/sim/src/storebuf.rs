@@ -89,7 +89,9 @@ impl fmt::Display for SbError {
             SbError::ConfirmNotProbationary(i) => {
                 write!(f, "confirm_store index {i} is not probationary")
             }
-            SbError::WidthConflict => write!(f, "load overlaps buffered store with a mismatched width"),
+            SbError::WidthConflict => {
+                write!(f, "load overlaps buffered store with a mismatched width")
+            }
         }
     }
 }
@@ -111,6 +113,60 @@ pub enum ConfirmOutcome {
     },
 }
 
+/// One entry of the store buffer's optional protocol journal (Table 2
+/// traffic, recorded for an attached trace sink).
+///
+/// Events that happen at a known simulated cycle carry it; `Forward`
+/// happens during a load lookup whose effective cycle only the machine
+/// knows, so the machine stamps it on drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbEvent {
+    /// An entry was accepted (after any full-buffer stall).
+    Insert {
+        /// Effective insertion cycle.
+        cycle: u64,
+        /// Store address.
+        addr: u64,
+        /// `true` for probationary (speculative) entries.
+        probationary: bool,
+        /// Occupancy after the insert.
+        occupancy: usize,
+    },
+    /// A head entry left the buffer (confirmed data written to memory,
+    /// or a cancelled slot reclaimed).
+    Release {
+        /// Release cycle.
+        cycle: u64,
+        /// Store address.
+        addr: u64,
+        /// Occupancy after the release.
+        occupancy: usize,
+    },
+    /// Probationary entries were cancelled by a taken branch.
+    Cancel {
+        /// Cancellation cycle.
+        cycle: u64,
+        /// Number of entries cancelled.
+        cancelled: usize,
+        /// Occupancy after the cancel (slots reclaim at the head later).
+        occupancy: usize,
+    },
+    /// A load was satisfied by store-to-load forwarding.
+    Forward {
+        /// Load address.
+        addr: u64,
+    },
+    /// A `confirm_store` resolved a probationary entry.
+    Confirm {
+        /// Confirmation cycle.
+        cycle: u64,
+        /// Tail-relative index confirmed.
+        index: usize,
+        /// Whether the entry carried a deferred exception.
+        excepted: bool,
+    },
+}
+
 /// The store buffer: a fixed-capacity FIFO with cycle-accurate releases
 /// (at most one entry leaves per cycle).
 #[derive(Debug, Clone)]
@@ -118,6 +174,7 @@ pub struct StoreBuffer {
     entries: VecDeque<Entry>,
     capacity: usize,
     last_release: u64,
+    journal: Option<Vec<SbEvent>>,
     // statistics
     releases: u64,
     cancels: u64,
@@ -138,10 +195,26 @@ impl StoreBuffer {
             entries: VecDeque::with_capacity(capacity),
             capacity,
             last_release: 0,
+            journal: None,
             releases: 0,
             cancels: 0,
             forwards: 0,
             full_stall_cycles: 0,
+        }
+    }
+
+    /// Enables or disables the protocol journal. Disabling discards any
+    /// pending entries.
+    pub fn set_journal(&mut self, enabled: bool) {
+        self.journal = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the journal, returning the protocol events recorded since
+    /// the last call (empty when the journal is disabled).
+    pub fn take_journal(&mut self) -> Vec<SbEvent> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
         }
     }
 
@@ -199,6 +272,13 @@ impl StoreBuffer {
             }
             self.last_release = t;
             self.releases += 1;
+            if let Some(j) = &mut self.journal {
+                j.push(SbEvent::Release {
+                    cycle: t,
+                    addr: e.addr,
+                    occupancy: self.entries.len(),
+                });
+            }
         }
     }
 
@@ -224,6 +304,14 @@ impl StoreBuffer {
             inserted_at: now,
             ..entry
         });
+        if let Some(j) = &mut self.journal {
+            j.push(SbEvent::Insert {
+                cycle: now,
+                addr: entry.addr,
+                probationary: entry.state == EntryState::Probationary,
+                occupancy: self.entries.len(),
+            });
+        }
         Ok(now)
     }
 
@@ -250,19 +338,44 @@ impl StoreBuffer {
         if let Some(pc) = e.except_pc {
             let kind = e.except_kind;
             e.state = EntryState::Cancelled { ready: cycle };
+            if let Some(j) = &mut self.journal {
+                j.push(SbEvent::Confirm {
+                    cycle,
+                    index,
+                    excepted: true,
+                });
+            }
             return Ok(ConfirmOutcome::Exception { pc, kind });
         }
         e.state = EntryState::Confirmed { ready: cycle };
+        if let Some(j) = &mut self.journal {
+            j.push(SbEvent::Confirm {
+                cycle,
+                index,
+                excepted: false,
+            });
+        }
         Ok(ConfirmOutcome::Confirmed)
     }
 
     /// Cancels every probationary entry (taken branch ⇒ compile-time
     /// misprediction, §4.1).
     pub fn cancel_probationary(&mut self, cycle: u64) {
+        let mut cancelled = 0;
         for e in &mut self.entries {
             if e.state == EntryState::Probationary {
                 e.state = EntryState::Cancelled { ready: cycle };
                 self.cancels += 1;
+                cancelled += 1;
+            }
+        }
+        if cancelled > 0 {
+            if let Some(j) = &mut self.journal {
+                j.push(SbEvent::Cancel {
+                    cycle,
+                    cancelled,
+                    occupancy: self.entries.len(),
+                });
             }
         }
     }
@@ -299,7 +412,11 @@ impl StoreBuffer {
             }
             if e.addr == addr && e.width == width {
                 self.forwards += 1;
-                return Ok(LoadLookup::Hit(e.data));
+                let data = e.data;
+                if let Some(j) = &mut self.journal {
+                    j.push(SbEvent::Forward { addr });
+                }
+                return Ok(LoadLookup::Hit(data));
             }
             match e.state {
                 EntryState::Probationary => return Err(SbError::WidthConflict),
@@ -543,8 +660,12 @@ mod tests {
     fn overlapping_confirmed_entry_forces_drain() {
         let mut sb = StoreBuffer::new(8);
         let mut m = mem();
-        sb.insert(entry(0, 0x1122, EntryState::Confirmed { ready: 4 }), 0, &mut m)
-            .unwrap();
+        sb.insert(
+            entry(0, 0x1122, EntryState::Confirmed { ready: 4 }),
+            0,
+            &mut m,
+        )
+        .unwrap();
         // A byte load inside the word conflicts; resolve_load stalls to the
         // release time and then reads memory.
         let (fwd, at) = sb.resolve_load(1, Width::Byte, 0, &mut m).unwrap();
@@ -560,6 +681,49 @@ mod tests {
         sb.insert(entry(0, 1, EntryState::Probationary), 0, &mut m)
             .unwrap();
         assert_eq!(sb.lookup(1, Width::Byte), Err(SbError::WidthConflict));
+    }
+
+    #[test]
+    fn journal_records_protocol_traffic() {
+        let mut sb = StoreBuffer::new(8);
+        let mut m = mem();
+        sb.set_journal(true);
+        sb.insert(entry(0, 1, EntryState::Probationary), 0, &mut m)
+            .unwrap();
+        assert_eq!(sb.lookup(0, Width::Word), Ok(LoadLookup::Hit(1)));
+        sb.confirm(0, 2).unwrap();
+        sb.drain_to(10, &mut m);
+        let j = sb.take_journal();
+        assert_eq!(
+            j,
+            vec![
+                SbEvent::Insert {
+                    cycle: 0,
+                    addr: 0,
+                    probationary: true,
+                    occupancy: 1
+                },
+                SbEvent::Forward { addr: 0 },
+                SbEvent::Confirm {
+                    cycle: 2,
+                    index: 0,
+                    excepted: false
+                },
+                SbEvent::Release {
+                    cycle: 2,
+                    addr: 0,
+                    occupancy: 0
+                },
+            ]
+        );
+        assert!(sb.take_journal().is_empty(), "take_journal drains");
+        sb.set_journal(false);
+        sb.insert(entry(8, 2, EntryState::Confirmed { ready: 0 }), 0, &mut m)
+            .unwrap();
+        assert!(
+            sb.take_journal().is_empty(),
+            "disabled journal records nothing"
+        );
     }
 
     #[test]

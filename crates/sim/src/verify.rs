@@ -46,16 +46,30 @@ impl std::fmt::Display for Divergence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Divergence::OutcomeKind { machine, reference } => {
-                write!(f, "outcome differs: machine {machine}, reference {reference}")
+                write!(
+                    f,
+                    "outcome differs: machine {machine}, reference {reference}"
+                )
             }
             Divergence::TrapPc { machine, reference } => {
-                write!(f, "trap pc differs: machine {machine}, reference {reference}")
+                write!(
+                    f,
+                    "trap pc differs: machine {machine}, reference {reference}"
+                )
             }
-            Divergence::Register { reg, machine, reference } => write!(
+            Divergence::Register {
+                reg,
+                machine,
+                reference,
+            } => write!(
                 f,
                 "register {reg} differs: machine {machine:#x}, reference {reference:#x}"
             ),
-            Divergence::Memory { addr, machine, reference } => write!(
+            Divergence::Memory {
+                addr,
+                machine,
+                reference,
+            } => write!(
                 f,
                 "memory {addr:#x} differs: machine {machine:#x}, reference {reference:#x}"
             ),
@@ -135,11 +149,19 @@ pub fn compare_runs(
                     match (mi.peek(), ri.peek()) {
                         (None, None) => break,
                         (Some(&&(a, b)), None) => {
-                            divs.push(Divergence::Memory { addr: a, machine: b, reference: 0 });
+                            divs.push(Divergence::Memory {
+                                addr: a,
+                                machine: b,
+                                reference: 0,
+                            });
                             mi.next();
                         }
                         (None, Some(&&(a, b))) => {
-                            divs.push(Divergence::Memory { addr: a, machine: 0, reference: b });
+                            divs.push(Divergence::Memory {
+                                addr: a,
+                                machine: 0,
+                                reference: b,
+                            });
                             ri.next();
                         }
                         (Some(&&(ma, mb)), Some(&&(ra, rb))) => {
@@ -154,10 +176,18 @@ pub fn compare_runs(
                                 mi.next();
                                 ri.next();
                             } else if ma < ra {
-                                divs.push(Divergence::Memory { addr: ma, machine: mb, reference: 0 });
+                                divs.push(Divergence::Memory {
+                                    addr: ma,
+                                    machine: mb,
+                                    reference: 0,
+                                });
                                 mi.next();
                             } else {
-                                divs.push(Divergence::Memory { addr: ra, machine: 0, reference: rb });
+                                divs.push(Divergence::Memory {
+                                    addr: ra,
+                                    machine: 0,
+                                    reference: rb,
+                                });
                                 ri.next();
                             }
                         }

@@ -1,0 +1,221 @@
+//! The pipeline event vocabulary.
+//!
+//! One [`Event`] is emitted per observable micro-architectural action:
+//! instruction issue, a stall with its attributed reason, exception-tag
+//! traffic in the register file, store-buffer protocol steps, and
+//! trap/recovery transitions. Events carry the cycle they occurred on
+//! and (where meaningful) the issue slot, so sinks can reconstruct a
+//! cycle-accurate picture without access to simulator internals.
+
+use std::fmt;
+
+use sentinel_isa::{InsnId, Reg};
+
+/// Why an issue slot (or a whole cycle) went unused.
+///
+/// Every non-issuing cycle of a run is attributed to exactly one of
+/// these reasons; the simulator guarantees the per-reason totals sum to
+/// `cycles - issuing_cycles` (see `Stats` in `sentinel-sim`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallReason {
+    /// Waiting for a source operand still in flight (register
+    /// interlock on a true dependence).
+    RawInterlock,
+    /// All issue slots of the cycle were already taken (issue-width /
+    /// functional-unit conflict).
+    FuConflict,
+    /// The per-cycle branch limit was exhausted.
+    BranchLimit,
+    /// A store could not enter the probationary store buffer until an
+    /// older entry released.
+    StoreBufferFull,
+    /// Cycles killed by a taken-branch redirect bubble.
+    BranchRedirect,
+    /// Waiting on sentinel bookkeeping: a `check` or `confirm`
+    /// instruction occupying the pipeline.
+    SentinelOverhead,
+    /// Re-execution penalty of sentinel recovery after a deferred
+    /// exception was detected.
+    Recovery,
+}
+
+impl StallReason {
+    /// Every reason, in the canonical (display) order.
+    pub const ALL: [StallReason; 7] = [
+        StallReason::RawInterlock,
+        StallReason::FuConflict,
+        StallReason::BranchLimit,
+        StallReason::StoreBufferFull,
+        StallReason::BranchRedirect,
+        StallReason::SentinelOverhead,
+        StallReason::Recovery,
+    ];
+
+    /// Stable kebab-case name used by every serializer.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::RawInterlock => "raw-interlock",
+            StallReason::FuConflict => "fu-conflict",
+            StallReason::BranchLimit => "branch-limit",
+            StallReason::StoreBufferFull => "store-buffer-full",
+            StallReason::BranchRedirect => "branch-redirect",
+            StallReason::SentinelOverhead => "sentinel-overhead",
+            StallReason::Recovery => "recovery",
+        }
+    }
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An instruction was fetched into the issue window.
+    Fetch {
+        /// Static id of the instruction.
+        pc: InsnId,
+    },
+    /// An instruction issued on `Event::slot`.
+    Issue {
+        /// Static id of the instruction.
+        pc: InsnId,
+        /// Disassembly text of the instruction.
+        text: String,
+        /// Cycle its result becomes available (issue cycle + latency).
+        done: u64,
+    },
+    /// One or more cycles stalled for `reason`, starting at `Event::cycle`.
+    Stall {
+        /// Attributed cause.
+        reason: StallReason,
+        /// Number of stalled cycles.
+        cycles: u64,
+    },
+    /// A register write became architecturally visible.
+    Writeback {
+        /// Producing instruction.
+        pc: InsnId,
+        /// Destination register.
+        reg: Reg,
+    },
+    /// A speculative instruction excepted and set a register tag
+    /// (paper Table 1, case 4).
+    TagSet {
+        /// Register whose exception tag was set.
+        reg: Reg,
+        /// The excepting instruction.
+        pc: InsnId,
+    },
+    /// A tagged source propagated its tag to the destination
+    /// (paper Table 1, case 6).
+    TagPropagate {
+        /// Destination that inherited the tag.
+        dest: Reg,
+        /// Origin of the deferred exception (the PC carried in the tag).
+        pc: InsnId,
+    },
+    /// A sentinel checked a register's exception tag.
+    TagCheck {
+        /// Register checked.
+        reg: Reg,
+        /// Whether the tag was set (a deferred exception surfaced).
+        excepted: bool,
+    },
+    /// A store entered the buffer.
+    SbInsert {
+        /// Store address.
+        addr: u64,
+        /// `true` for probationary (speculative) stores.
+        probationary: bool,
+        /// Buffer occupancy after the insert.
+        occupancy: usize,
+    },
+    /// A confirmed store released to memory.
+    SbRelease {
+        /// Store address.
+        addr: u64,
+        /// Buffer occupancy after the release.
+        occupancy: usize,
+    },
+    /// Probationary entries were cancelled (branch took the other path).
+    SbCancel {
+        /// Number of entries cancelled.
+        cancelled: usize,
+        /// Buffer occupancy after the cancel.
+        occupancy: usize,
+    },
+    /// A load was satisfied by store-to-load forwarding.
+    SbForward {
+        /// Load address.
+        addr: u64,
+    },
+    /// A `confirm` sentinel resolved a probationary store.
+    SbConfirm {
+        /// Tail-relative index confirmed.
+        index: usize,
+        /// Whether the entry carried a deferred exception.
+        excepted: bool,
+    },
+    /// An exception surfaced architecturally.
+    Trap {
+        /// Instruction reported as excepting.
+        pc: InsnId,
+        /// Human-readable trap kind.
+        kind: String,
+    },
+    /// Sentinel recovery re-execution began.
+    Recovery {
+        /// Recovery entry point (the speculated instruction).
+        pc: InsnId,
+        /// Modeled re-execution penalty in cycles.
+        penalty: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake-free tag naming the variant in serialized output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Fetch { .. } => "fetch",
+            EventKind::Issue { .. } => "issue",
+            EventKind::Stall { .. } => "stall",
+            EventKind::Writeback { .. } => "writeback",
+            EventKind::TagSet { .. } => "tag-set",
+            EventKind::TagPropagate { .. } => "tag-propagate",
+            EventKind::TagCheck { .. } => "tag-check",
+            EventKind::SbInsert { .. } => "sb-insert",
+            EventKind::SbRelease { .. } => "sb-release",
+            EventKind::SbCancel { .. } => "sb-cancel",
+            EventKind::SbForward { .. } => "sb-forward",
+            EventKind::SbConfirm { .. } => "sb-confirm",
+            EventKind::Trap { .. } => "trap",
+            EventKind::Recovery { .. } => "recovery",
+        }
+    }
+}
+
+/// One timestamped pipeline event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Cycle the event occurred on.
+    pub cycle: u64,
+    /// Issue slot (0-based) for slot-located events; 0 otherwise.
+    pub slot: u8,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Convenience constructor for slot-less events.
+    pub fn at(cycle: u64, kind: EventKind) -> Event {
+        Event {
+            cycle,
+            slot: 0,
+            kind,
+        }
+    }
+}

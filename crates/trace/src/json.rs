@@ -1,0 +1,114 @@
+//! Hand-rolled JSON emission helpers (the workspace builds offline, so
+//! no serde). Only what the sinks need: string escaping and a small
+//! object writer with deterministic key order (keys appear in the order
+//! they are pushed).
+
+use std::fmt::Write;
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incrementally writes one JSON object. Keys keep insertion order, so
+/// output is deterministic.
+pub struct ObjWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjWriter<'a> {
+    /// Opens `{` on `out`.
+    pub fn new(out: &'a mut String) -> ObjWriter<'a> {
+        out.push('{');
+        ObjWriter { out, first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str_lit(self.out, k);
+        self.out.push(':');
+    }
+
+    /// Writes `"k":"v"` with escaping.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        push_str_lit(self.out, v);
+        self
+    }
+
+    /// Writes `"k":v` for an unsigned integer.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes `"k":v` for a float (finite; uses shortest `Display`).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        debug_assert!(v.is_finite());
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes `"k":true|false`.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes `"k":<raw>` where `raw` is already-valid JSON.
+    pub fn raw(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.out.push_str(raw);
+        self
+    }
+
+    /// Closes the object with `}`.
+    pub fn close(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn object_writer_orders_keys() {
+        let mut s = String::new();
+        let mut w = ObjWriter::new(&mut s);
+        w.u64("cycle", 3)
+            .str("kind", "issue")
+            .bool("ok", true)
+            .f64("x", 1.5);
+        w.close();
+        assert_eq!(s, r#"{"cycle":3,"kind":"issue","ok":true,"x":1.5}"#);
+    }
+}

@@ -1,0 +1,133 @@
+//! JSONL sink: one self-describing JSON object per event, one per line.
+//!
+//! Field order is fixed per event kind, so two identical runs produce
+//! byte-identical output (the determinism test in the workspace root
+//! relies on this).
+
+use crate::event::{Event, EventKind};
+use crate::json::ObjWriter;
+use crate::sink::TraceSink;
+
+/// Streams events as JSON Lines into an internal buffer.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    out: String,
+}
+
+impl JsonlSink {
+    /// A fresh sink with an empty buffer.
+    pub fn new() -> JsonlSink {
+        JsonlSink::default()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        let mut w = ObjWriter::new(&mut self.out);
+        w.u64("cycle", event.cycle)
+            .u64("slot", event.slot as u64)
+            .str("event", event.kind.tag());
+        match &event.kind {
+            EventKind::Fetch { pc } => {
+                w.str("pc", &pc.to_string());
+            }
+            EventKind::Issue { pc, text, done } => {
+                w.str("pc", &pc.to_string())
+                    .str("text", text)
+                    .u64("done", *done);
+            }
+            EventKind::Stall { reason, cycles } => {
+                w.str("reason", reason.name()).u64("cycles", *cycles);
+            }
+            EventKind::Writeback { pc, reg } => {
+                w.str("pc", &pc.to_string()).str("reg", &reg.to_string());
+            }
+            EventKind::TagSet { reg, pc } => {
+                w.str("reg", &reg.to_string()).str("pc", &pc.to_string());
+            }
+            EventKind::TagPropagate { dest, pc } => {
+                w.str("dest", &dest.to_string()).str("pc", &pc.to_string());
+            }
+            EventKind::TagCheck { reg, excepted } => {
+                w.str("reg", &reg.to_string()).bool("excepted", *excepted);
+            }
+            EventKind::SbInsert {
+                addr,
+                probationary,
+                occupancy,
+            } => {
+                w.u64("addr", *addr)
+                    .bool("probationary", *probationary)
+                    .u64("occupancy", *occupancy as u64);
+            }
+            EventKind::SbRelease { addr, occupancy } => {
+                w.u64("addr", *addr).u64("occupancy", *occupancy as u64);
+            }
+            EventKind::SbCancel {
+                cancelled,
+                occupancy,
+            } => {
+                w.u64("cancelled", *cancelled as u64)
+                    .u64("occupancy", *occupancy as u64);
+            }
+            EventKind::SbForward { addr } => {
+                w.u64("addr", *addr);
+            }
+            EventKind::SbConfirm { index, excepted } => {
+                w.u64("index", *index as u64).bool("excepted", *excepted);
+            }
+            EventKind::Trap { pc, kind } => {
+                w.str("pc", &pc.to_string()).str("kind", kind);
+            }
+            EventKind::Recovery { pc, penalty } => {
+                w.str("pc", &pc.to_string()).u64("penalty", *penalty);
+            }
+        }
+        w.close();
+        self.out.push('\n');
+    }
+
+    fn finish(&mut self) -> String {
+        std::mem::take(&mut self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StallReason;
+    use sentinel_isa::InsnId;
+
+    #[test]
+    fn one_line_per_event_stable_keys() {
+        let mut s = JsonlSink::new();
+        s.record(&Event {
+            cycle: 2,
+            slot: 1,
+            kind: EventKind::Issue {
+                pc: InsnId(4),
+                text: "ld r5,0(r3)".into(),
+                done: 4,
+            },
+        });
+        s.record(&Event::at(
+            3,
+            EventKind::Stall {
+                reason: StallReason::RawInterlock,
+                cycles: 2,
+            },
+        ));
+        let out = s.finish();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"cycle":2,"slot":1,"event":"issue","pc":"i4","text":"ld r5,0(r3)","done":4}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"cycle":3,"slot":0,"event":"stall","reason":"raw-interlock","cycles":2}"#
+        );
+        assert_eq!(s.finish(), "", "finish drains the buffer");
+    }
+}

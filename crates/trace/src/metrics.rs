@@ -1,0 +1,223 @@
+//! A tiny counter / histogram registry with deterministic ordering.
+//!
+//! Instrumented code bumps named counters and records samples into
+//! power-of-two-bucketed histograms; reports iterate in lexicographic
+//! name order so rendered output (and serialized JSON) is byte-stable
+//! across identical runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::json::ObjWriter;
+
+const BUCKETS: usize = 17; // 1, 2, 4, ..., 2^15, overflow
+
+/// Power-of-two-bucketed histogram of `u64` samples.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound_exclusive, count)` for each non-empty bucket; the
+    /// last bucket's bound is `u64::MAX`.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let bound = if i >= BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+                (bound, n)
+            })
+    }
+}
+
+/// Named counters and histograms.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to counter `name` (creating it at 0).
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `v` into histogram `name` (creating it).
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in lexicographic name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Histograms in lexicographic name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Human-readable report (deterministic ordering).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in self.counters() {
+                let _ = writeln!(out, "  {k:<28} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in self.histograms() {
+                let _ = writeln!(
+                    out,
+                    "  {k:<28} n={} mean={:.2} max={}",
+                    h.count(),
+                    h.mean(),
+                    h.max()
+                );
+                for (bound, n) in h.nonempty_buckets() {
+                    if bound == u64::MAX {
+                        let _ = writeln!(out, "    <inf   {n}");
+                    } else {
+                        let _ = writeln!(out, "    <{bound:<5} {n}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One-line JSON object (deterministic key order).
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        {
+            let mut w = ObjWriter::new(&mut counters);
+            for (k, v) in self.counters() {
+                w.u64(k, v);
+            }
+            w.close();
+        }
+        let mut hists = String::new();
+        {
+            let mut w = ObjWriter::new(&mut hists);
+            for (k, h) in self.histograms() {
+                let mut one = String::new();
+                let mut hw = ObjWriter::new(&mut one);
+                hw.u64("count", h.count())
+                    .u64("sum", h.sum())
+                    .u64("max", h.max());
+                hw.close();
+                w.raw(k, &one);
+            }
+            w.close();
+        }
+        let mut out = String::new();
+        let mut w = ObjWriter::new(&mut out);
+        w.raw("counters", &counters).raw("histograms", &hists);
+        w.close();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 105);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.0).abs() < 1e-9);
+        // 0 → bucket 0; 1,1 → bucket 1 (<2); 3 → bucket 2 (<4); 100 → bucket 7 (<128)
+        let got: Vec<(u64, u64)> = h.nonempty_buckets().collect();
+        assert_eq!(got, vec![(1, 1), (2, 2), (4, 1), (128, 1)]);
+    }
+
+    #[test]
+    fn registry_is_deterministic() {
+        let mut m = Metrics::new();
+        m.count("zeta", 1);
+        m.count("alpha", 2);
+        m.count("zeta", 1);
+        m.observe("lat", 4);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(m.counter("zeta"), 2);
+        assert_eq!(m.counter("missing"), 0);
+        let j = m.to_json();
+        assert!(j.starts_with(r#"{"counters":{"alpha":2,"zeta":2"#), "{j}");
+        assert!(j.contains(r#""lat":{"count":1,"sum":4,"max":4}"#), "{j}");
+        let r = m.render();
+        assert!(r.contains("alpha"));
+        assert!(r.contains("lat"));
+    }
+}

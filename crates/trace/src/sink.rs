@@ -1,0 +1,79 @@
+//! The [`TraceSink`] trait and trivial sinks.
+//!
+//! The simulator holds an `Option<Box<dyn TraceSink>>`; when it is
+//! `None` no [`Event`] is ever constructed (the instrumentation sites
+//! build events inside closures that only run when a sink is attached),
+//! so disabled tracing costs one branch per site.
+
+use crate::event::Event;
+
+/// Receives pipeline events during a run and renders them afterwards.
+pub trait TraceSink {
+    /// Consumes one event. Events arrive in simulation order
+    /// (non-decreasing `cycle`).
+    fn record(&mut self, event: &Event);
+
+    /// Renders everything recorded so far into the sink's output
+    /// format, leaving the sink empty.
+    fn finish(&mut self) -> String;
+}
+
+/// Discards everything — for measuring instrumentation overhead.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &Event) {}
+
+    fn finish(&mut self) -> String {
+        String::new()
+    }
+}
+
+/// Buffers raw events for programmatic inspection (used by tests and
+/// the example walkthrough).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Every event recorded, in arrival order.
+    pub events: Vec<Event>,
+}
+
+impl TraceSink for CollectSink {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+
+    fn finish(&mut self) -> String {
+        format!("{} events", self.events.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use sentinel_isa::InsnId;
+
+    #[test]
+    fn collect_sink_buffers_in_order() {
+        let mut s = CollectSink::default();
+        for c in 0..3 {
+            s.record(&Event::at(
+                c,
+                EventKind::Fetch {
+                    pc: InsnId(c as u32),
+                },
+            ));
+        }
+        assert_eq!(s.events.len(), 3);
+        assert!(s.events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert_eq!(s.finish(), "3 events");
+    }
+
+    #[test]
+    fn null_sink_outputs_nothing() {
+        let mut s = NullSink;
+        s.record(&Event::at(0, EventKind::Fetch { pc: InsnId(0) }));
+        assert_eq!(s.finish(), "");
+    }
+}

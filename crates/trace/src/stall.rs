@@ -1,0 +1,135 @@
+//! Per-reason stall cycle accounting.
+
+use std::fmt;
+
+use crate::event::StallReason;
+
+/// Cycle counts attributed to each [`StallReason`].
+///
+/// The simulator maintains the invariant that `total()` equals
+/// `cycles - issuing_cycles` for every run: each non-issuing cycle is
+/// charged to exactly one reason.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StallCounts {
+    /// RAW (true-dependence) interlock cycles.
+    pub raw_interlock: u64,
+    /// Issue-width / functional-unit conflict cycles.
+    pub fu_conflict: u64,
+    /// Branch-limit conflict cycles.
+    pub branch_limit: u64,
+    /// Store-buffer-full backpressure cycles.
+    pub store_buffer_full: u64,
+    /// Taken-branch redirect bubbles.
+    pub branch_redirect: u64,
+    /// Sentinel (`check`/`confirm`) overhead cycles.
+    pub sentinel_overhead: u64,
+    /// Recovery re-execution cycles.
+    pub recovery: u64,
+}
+
+impl StallCounts {
+    /// Charges `n` cycles to `reason`.
+    pub fn add(&mut self, reason: StallReason, n: u64) {
+        *self.slot_mut(reason) += n;
+    }
+
+    /// Cycles charged to `reason`.
+    pub fn get(&self, reason: StallReason) -> u64 {
+        match reason {
+            StallReason::RawInterlock => self.raw_interlock,
+            StallReason::FuConflict => self.fu_conflict,
+            StallReason::BranchLimit => self.branch_limit,
+            StallReason::StoreBufferFull => self.store_buffer_full,
+            StallReason::BranchRedirect => self.branch_redirect,
+            StallReason::SentinelOverhead => self.sentinel_overhead,
+            StallReason::Recovery => self.recovery,
+        }
+    }
+
+    fn slot_mut(&mut self, reason: StallReason) -> &mut u64 {
+        match reason {
+            StallReason::RawInterlock => &mut self.raw_interlock,
+            StallReason::FuConflict => &mut self.fu_conflict,
+            StallReason::BranchLimit => &mut self.branch_limit,
+            StallReason::StoreBufferFull => &mut self.store_buffer_full,
+            StallReason::BranchRedirect => &mut self.branch_redirect,
+            StallReason::SentinelOverhead => &mut self.sentinel_overhead,
+            StallReason::Recovery => &mut self.recovery,
+        }
+    }
+
+    /// Sum over all reasons.
+    pub fn total(&self) -> u64 {
+        StallReason::ALL.iter().map(|&r| self.get(r)).sum()
+    }
+
+    /// `(reason, cycles)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (StallReason, u64)> + '_ {
+        StallReason::ALL.iter().map(move |&r| (r, self.get(r)))
+    }
+
+    /// Percentage of `total_cycles` charged to `reason` (0 when the
+    /// denominator is 0).
+    pub fn pct_of(&self, reason: StallReason, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.get(reason) as f64 / total_cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for StallCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (reason, n) in self.iter() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{reason}={n}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "none")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total_roundtrip() {
+        let mut s = StallCounts::default();
+        for (i, &r) in StallReason::ALL.iter().enumerate() {
+            s.add(r, (i + 1) as u64);
+        }
+        for (i, &r) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(s.get(r), (i + 1) as u64);
+        }
+        assert_eq!(s.total(), (1..=7).sum::<u64>());
+        assert_eq!(s.iter().count(), 7);
+    }
+
+    #[test]
+    fn percentages() {
+        let mut s = StallCounts::default();
+        s.add(StallReason::RawInterlock, 25);
+        assert_eq!(s.pct_of(StallReason::RawInterlock, 100), 25.0);
+        assert_eq!(s.pct_of(StallReason::RawInterlock, 0), 0.0);
+    }
+
+    #[test]
+    fn display_skips_zeroes() {
+        let mut s = StallCounts::default();
+        assert_eq!(s.to_string(), "none");
+        s.add(StallReason::BranchRedirect, 3);
+        s.add(StallReason::RawInterlock, 2);
+        assert_eq!(s.to_string(), "raw-interlock=2 branch-redirect=3");
+    }
+}

@@ -1,0 +1,214 @@
+//! Human-readable ASCII pipeline timeline.
+//!
+//! One row per simulated cycle, one column per issue slot, with a notes
+//! column collecting stalls, store-buffer traffic, tag traffic, and
+//! traps. Long idle stretches are compressed into a single `... N idle
+//! cycles ...` row so traces of real programs stay readable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::event::{Event, EventKind};
+use crate::sink::TraceSink;
+
+#[derive(Debug, Default, Clone)]
+struct Row {
+    slots: BTreeMap<u8, String>,
+    notes: Vec<String>,
+}
+
+/// Renders the run as a fixed-width cycle-by-cycle chart.
+#[derive(Debug)]
+pub struct TimelineSink {
+    width: usize,
+    rows: BTreeMap<u64, Row>,
+}
+
+impl TimelineSink {
+    /// A sink for a machine with `width` issue slots per cycle.
+    pub fn new(width: usize) -> TimelineSink {
+        TimelineSink {
+            width: width.max(1),
+            rows: BTreeMap::new(),
+        }
+    }
+
+    fn row(&mut self, cycle: u64) -> &mut Row {
+        self.rows.entry(cycle).or_default()
+    }
+}
+
+impl TraceSink for TimelineSink {
+    fn record(&mut self, event: &Event) {
+        let cycle = event.cycle;
+        match &event.kind {
+            EventKind::Issue { text, .. } => {
+                let slot = event.slot;
+                self.row(cycle).slots.insert(slot, text.clone());
+            }
+            EventKind::Stall { reason, cycles } => {
+                let note = if *cycles > 1 {
+                    format!("stall {reason} x{cycles}")
+                } else {
+                    format!("stall {reason}")
+                };
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::TagSet { reg, pc } => {
+                let note = format!("tag {reg} <- except@{pc}");
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::TagPropagate { dest, pc } => {
+                let note = format!("tag {dest} <- except@{pc}");
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::TagCheck { reg, excepted } => {
+                let note = format!(
+                    "check {reg}: {}",
+                    if *excepted { "EXCEPTED" } else { "clean" }
+                );
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::SbInsert {
+                addr,
+                probationary,
+                occupancy,
+            } => {
+                let note = format!(
+                    "sb+ {addr:#x}{} [{occupancy}]",
+                    if *probationary { " (prob)" } else { "" }
+                );
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::SbRelease { addr, occupancy } => {
+                let note = format!("sb- {addr:#x} [{occupancy}]");
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::SbCancel {
+                cancelled,
+                occupancy,
+            } => {
+                let note = format!("sb cancel x{cancelled} [{occupancy}]");
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::SbForward { addr } => {
+                let note = format!("sb fwd {addr:#x}");
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::SbConfirm { index, excepted } => {
+                let note = format!(
+                    "confirm #{index}: {}",
+                    if *excepted { "EXCEPTED" } else { "ok" }
+                );
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::Trap { pc, kind } => {
+                let note = format!("TRAP {kind} @{pc}");
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::Recovery { pc, penalty } => {
+                let note = format!("recovery from {pc} (+{penalty} cycles)");
+                self.row(cycle).notes.push(note);
+            }
+            EventKind::Fetch { .. } | EventKind::Writeback { .. } => {}
+        }
+    }
+
+    fn finish(&mut self) -> String {
+        let rows = std::mem::take(&mut self.rows);
+        let col = rows
+            .values()
+            .flat_map(|r| r.slots.values())
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(4)
+            .clamp(4, 24);
+        let mut out = String::new();
+        let _ = write!(out, "{:>7} |", "cycle");
+        for s in 0..self.width {
+            let _ = write!(out, " {:<col$} |", format!("slot {s}"));
+        }
+        out.push_str(" notes\n");
+        let dashes = 9 + (col + 3) * self.width;
+        let _ = writeln!(out, "{:-<dashes$}+-------", "");
+        let mut prev: Option<u64> = None;
+        for (&cycle, row) in &rows {
+            if let Some(p) = prev {
+                let gap = cycle - p - 1;
+                if gap > 0 {
+                    let _ = writeln!(out, "{:>7} | ... {gap} idle cycle(s) ...", "");
+                }
+            }
+            prev = Some(cycle);
+            let _ = write!(out, "{cycle:>7} |");
+            for s in 0..self.width {
+                let text = row.slots.get(&(s as u8)).map(String::as_str).unwrap_or(".");
+                let mut shown = text.to_string();
+                if shown.len() > col {
+                    shown.truncate(col - 1);
+                    shown.push('…');
+                }
+                let _ = write!(out, " {shown:<col$} |");
+            }
+            if !row.notes.is_empty() {
+                let _ = write!(out, " {}", row.notes.join("; "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StallReason;
+    use sentinel_isa::InsnId;
+
+    #[test]
+    fn renders_slots_and_compresses_gaps() {
+        let mut t = TimelineSink::new(2);
+        t.record(&Event {
+            cycle: 0,
+            slot: 0,
+            kind: EventKind::Issue {
+                pc: InsnId(0),
+                text: "add r1,r2,r3".into(),
+                done: 1,
+            },
+        });
+        t.record(&Event {
+            cycle: 0,
+            slot: 1,
+            kind: EventKind::Issue {
+                pc: InsnId(1),
+                text: "ld r5,0(r3)".into(),
+                done: 2,
+            },
+        });
+        t.record(&Event::at(
+            1,
+            EventKind::Stall {
+                reason: StallReason::RawInterlock,
+                cycles: 1,
+            },
+        ));
+        t.record(&Event {
+            cycle: 10,
+            slot: 0,
+            kind: EventKind::Issue {
+                pc: InsnId(2),
+                text: "halt".into(),
+                done: 11,
+            },
+        });
+        let out = t.finish();
+        assert!(out.contains("slot 0"), "{out}");
+        assert!(out.contains("add r1,r2,r3"), "{out}");
+        assert!(out.contains("stall raw-interlock"), "{out}");
+        assert!(out.contains("... 8 idle cycle(s) ..."), "{out}");
+        // Unissued slot shows a placeholder dot.
+        let halt_line = out.lines().find(|l| l.contains("halt")).unwrap();
+        assert!(halt_line.contains(" . "), "{halt_line}");
+    }
+}

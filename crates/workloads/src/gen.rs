@@ -7,12 +7,10 @@
 //! `noalias`, exactly the facts IMPACT's memory disambiguator would have
 //! proven.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sentinel_isa::{BlockId, Insn, Opcode, Reg};
 use sentinel_prog::{Function, ProgramBuilder};
 
+use crate::rng::Rng;
 use crate::spec::{BenchClass, WorkloadSpec};
 
 // --- fixed register roles -------------------------------------------------
@@ -73,7 +71,7 @@ pub struct Workload {
 
 struct Gen<'a> {
     spec: &'a WorkloadSpec,
-    rng: StdRng,
+    rng: Rng,
     b: ProgramBuilder,
     int_next: u16,
     fp_next: u16,
@@ -119,16 +117,16 @@ impl<'a> Gen<'a> {
     fn int_operand(&mut self) -> Reg {
         let r = if self.rng.gen_bool(self.spec.chain_frac) {
             if !self.unused_int.is_empty() {
-                let k = self.rng.gen_range(0..self.unused_int.len());
+                let k = self.rng.gen_range_usize(0, self.unused_int.len());
                 self.unused_int[k]
             } else if !self.recent_int.is_empty() {
-                let k = self.rng.gen_range(0..self.recent_int.len());
+                let k = self.rng.gen_range_usize(0, self.recent_int.len());
                 self.recent_int[k]
             } else {
-                [STABLE, DIVISOR][self.rng.gen_range(0..2)]
+                [STABLE, DIVISOR][self.rng.gen_range_usize(0, 2)]
             }
         } else {
-            [STABLE, DIVISOR][self.rng.gen_range(0..2)]
+            [STABLE, DIVISOR][self.rng.gen_range_usize(0, 2)]
         };
         self.mark_used(r);
         r
@@ -138,10 +136,10 @@ impl<'a> Gen<'a> {
     fn fp_operand(&mut self) -> Reg {
         let r = if self.rng.gen_bool(self.spec.chain_frac) {
             if !self.unused_fp.is_empty() {
-                let k = self.rng.gen_range(0..self.unused_fp.len());
+                let k = self.rng.gen_range_usize(0, self.unused_fp.len());
                 self.unused_fp[k]
             } else if !self.recent_fp.is_empty() {
-                let k = self.rng.gen_range(0..self.recent_fp.len());
+                let k = self.rng.gen_range_usize(0, self.recent_fp.len());
                 self.recent_fp[k]
             } else {
                 FCONST
@@ -177,18 +175,18 @@ impl<'a> Gen<'a> {
     /// Emits one generated instruction of the region body.
     fn emit_body_insn(&mut self) {
         let spec = self.spec;
-        let roll: f64 = self.rng.gen();
+        let roll: f64 = self.rng.gen_f64();
         let fp = self.rng.gen_bool(spec.fp_frac);
         if roll < spec.load_frac {
             if fp {
                 let d = self.fresh_fp();
-                let off = 8 * self.rng.gen_range(0..OFFSET_WORDS);
+                let off = 8 * self.rng.gen_range_i64(0, OFFSET_WORDS);
                 self.b.push(Insn::fld(d, FP_PTR, off));
                 self.recent_fp.push(d);
                 self.unused_fp.push(d);
             } else {
                 let d = self.fresh_int();
-                let off = 8 * self.rng.gen_range(0..OFFSET_WORDS);
+                let off = 8 * self.rng.gen_range_i64(0, OFFSET_WORDS);
                 let base = if self.rng.gen_bool(self.spec.alias_frac) {
                     ALIAS_PTR
                 } else {
@@ -200,7 +198,7 @@ impl<'a> Gen<'a> {
                 self.last_load = Some(d);
             }
         } else if roll < spec.load_frac + spec.store_frac {
-            let off = 8 * self.rng.gen_range(0..OFFSET_WORDS);
+            let off = 8 * self.rng.gen_range_i64(0, OFFSET_WORDS);
             if fp && !self.recent_fp.is_empty() {
                 let v = self.fp_operand();
                 self.b.push(Insn::fst(v, OUT_PTR, off));
@@ -231,7 +229,7 @@ impl<'a> Gen<'a> {
                 let d = self.fresh_fp();
                 let a = self.fp_operand();
                 let c = self.fp_operand();
-                let op = match self.rng.gen_range(0..3) {
+                let op = match self.rng.gen_range_usize(0, 3) {
                     0 => Opcode::FAdd,
                     1 => Opcode::FSub,
                     _ => Opcode::FMul,
@@ -252,7 +250,7 @@ impl<'a> Gen<'a> {
             let d = self.fresh_int();
             let a = self.int_operand();
             let c = self.int_operand();
-            let op = match self.rng.gen_range(0..5) {
+            let op = match self.rng.gen_range_usize(0, 5) {
                 0 => Opcode::Add,
                 1 => Opcode::Sub,
                 2 => Opcode::Xor,
@@ -272,14 +270,14 @@ impl<'a> Gen<'a> {
 /// divisors nonzero, fp values bounded), terminates, and validates.
 pub fn generate(spec: &WorkloadSpec) -> Workload {
     spec.validate();
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let uses_fp = spec.fp_frac > 0.0;
     let uses_alias = spec.alias_frac > 0.0 && spec.load_frac > 0.0;
     let array_words = spec.iterations + OFFSET_WORDS as u64 + 8;
 
     let mut g = Gen {
         spec,
-        rng: StdRng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15),
+        rng: Rng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15),
         b: ProgramBuilder::new(spec.name),
         int_next: INT_POOL.start,
         fp_next: FP_POOL.start,
@@ -359,7 +357,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
                         None => {
                             // Force a load for the condition.
                             let d = g.fresh_int();
-                            let off = 8 * g.rng.gen_range(0..OFFSET_WORDS);
+                            let off = 8 * g.rng.gen_range_i64(0, OFFSET_WORDS);
                             g.b.push(Insn::ld_w(d, IN_PTR, off));
                             g.recent_int.push(d);
                             d
@@ -438,20 +436,20 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         mem_regions.push((in_base(l) as u64, bytes));
         mem_regions.push((out_base(l) as u64, bytes));
         for w in 0..array_words {
-            let v = rng.gen_range(1..DATA_RANGE) as u64;
+            let v = rng.gen_range_i64(1, DATA_RANGE) as u64;
             mem_words.push((in_base(l) as u64 + 8 * w, v));
         }
         if uses_fp {
             mem_regions.push((fp_base(l) as u64, bytes));
             for w in 0..array_words {
-                let v: f64 = rng.gen_range(0.5..2.0);
+                let v: f64 = rng.gen_range_f64(0.5, 2.0);
                 mem_words.push((fp_base(l) as u64 + 8 * w, v.to_bits()));
             }
         }
         if uses_alias {
             mem_regions.push((alias_base(l) as u64, bytes));
             for w in 0..array_words {
-                let v = rng.gen_range(1..DATA_RANGE) as u64;
+                let v = rng.gen_range_i64(1, DATA_RANGE) as u64;
                 mem_words.push((alias_base(l) as u64 + 8 * w, v));
             }
         }

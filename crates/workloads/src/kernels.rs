@@ -55,7 +55,9 @@ pub fn copy_words(n: i64) -> Workload {
     let mut f = b.finish();
     f.declare_noalias(Reg::int(1));
     f.declare_noalias(Reg::int(2));
-    let words = (0..n as u64).map(|i| (SRC as u64 + 8 * i, i * 3 + 1)).collect();
+    let words = (0..n as u64)
+        .map(|i| (SRC as u64 + 8 * i, i * 3 + 1))
+        .collect();
     workload("copy_words", f, words)
 }
 
@@ -121,10 +123,20 @@ pub fn binary_search(n: i64, needle: i64) -> Workload {
     // if lo >= hi -> miss
     b.push(Insn::branch(Opcode::Bge, Reg::int(1), Reg::int(2), miss));
     // mid = (lo + hi) / 2 ; v = mem[SRC + 8*mid]
-    b.push(Insn::alu(Opcode::Add, Reg::int(4), Reg::int(1), Reg::int(2)));
+    b.push(Insn::alu(
+        Opcode::Add,
+        Reg::int(4),
+        Reg::int(1),
+        Reg::int(2),
+    ));
     b.push(Insn::alui(Opcode::SrlI, Reg::int(4), Reg::int(4), 1));
     b.push(Insn::alui(Opcode::SllI, Reg::int(5), Reg::int(4), 3));
-    b.push(Insn::alu(Opcode::Add, Reg::int(5), Reg::int(5), Reg::int(9)));
+    b.push(Insn::alu(
+        Opcode::Add,
+        Reg::int(5),
+        Reg::int(5),
+        Reg::int(9),
+    ));
     b.push(Insn::ld_w(Reg::int(6), Reg::int(5), 0));
     b.push(Insn::branch(Opcode::Beq, Reg::int(6), Reg::int(3), found));
     b.push(Insn::branch(Opcode::Blt, Reg::int(6), Reg::int(3), lower));
@@ -144,7 +156,9 @@ pub fn binary_search(n: i64, needle: i64) -> Workload {
     b.push(Insn::st_w(Reg::int(8), Reg::int(9), 0));
     b.push(Insn::halt());
     let f = b.finish();
-    let words = (0..n as u64).map(|i| (SRC as u64 + 8 * i, 2 * i + 1)).collect();
+    let words = (0..n as u64)
+        .map(|i| (SRC as u64 + 8 * i, 2 * i + 1))
+        .collect();
     workload("binary_search", f, words)
 }
 
@@ -164,7 +178,12 @@ pub fn histogram(n: i64) -> Workload {
     b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
     b.push(Insn::alui(Opcode::AndI, Reg::int(5), Reg::int(4), 7)); // bucket
     b.push(Insn::alui(Opcode::SllI, Reg::int(5), Reg::int(5), 3));
-    b.push(Insn::alu(Opcode::Add, Reg::int(5), Reg::int(5), Reg::int(2)));
+    b.push(Insn::alu(
+        Opcode::Add,
+        Reg::int(5),
+        Reg::int(5),
+        Reg::int(2),
+    ));
     b.push(Insn::ld_w(Reg::int(6), Reg::int(5), 0));
     b.push(Insn::addi(Reg::int(6), Reg::int(6), 1));
     b.push(Insn::st_w(Reg::int(6), Reg::int(5), 0));
@@ -199,8 +218,18 @@ pub fn chain_scan(len: i64) -> Workload {
     b.push(Insn::li(Reg::int(10), 1)); // divisor
     b.switch_to(body);
     b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
-    b.push(Insn::alu(Opcode::Div, Reg::int(5), Reg::int(4), Reg::int(10)));
-    b.push(Insn::alu(Opcode::Div, Reg::int(6), Reg::int(5), Reg::int(10)));
+    b.push(Insn::alu(
+        Opcode::Div,
+        Reg::int(5),
+        Reg::int(4),
+        Reg::int(10),
+    ));
+    b.push(Insn::alu(
+        Opcode::Div,
+        Reg::int(6),
+        Reg::int(5),
+        Reg::int(10),
+    ));
     b.push(Insn::branch(Opcode::Beq, Reg::int(6), Reg::ZERO, done));
     b.push(Insn::addi(Reg::int(8), Reg::int(8), 1));
     b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
@@ -211,7 +240,12 @@ pub fn chain_scan(len: i64) -> Workload {
     b.push(Insn::halt());
     let f = b.finish();
     let words = (0..=len as u64)
-        .map(|i| (SRC as u64 + 8 * i, if i == len as u64 { 0 } else { 500 + i }))
+        .map(|i| {
+            (
+                SRC as u64 + 8 * i,
+                if i == len as u64 { 0 } else { 500 + i },
+            )
+        })
         .collect();
     Workload {
         name: "chain_scan".to_string(),

@@ -24,8 +24,10 @@
 
 pub mod gen;
 pub mod kernels;
+pub mod rng;
 pub mod spec;
 pub mod suite;
 
 pub use gen::{generate, Workload};
+pub use rng::Rng;
 pub use spec::{BenchClass, WorkloadSpec};

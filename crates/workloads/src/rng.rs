@@ -1,0 +1,171 @@
+//! A tiny deterministic RNG so the workspace builds with no external
+//! dependencies (offline / registry-less environments).
+//!
+//! The generator is xoshiro256** (Blackman & Vigna) seeded through
+//! SplitMix64 — the standard construction for expanding a 64-bit seed
+//! into a full state without correlated lanes. It is *not* a
+//! cryptographic RNG; it only needs to be fast, well-distributed, and
+//! stable across platforms so generated workloads are reproducible
+//! byte-for-byte.
+
+/// Deterministic xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform integer in `[0, bound)` via Lemire's multiply-shift
+    /// (unbiased enough for workload generation; deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.gen_below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// A uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_below(hi - lo)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && (hi - lo).is_finite(), "bad range {lo}..{hi}");
+        lo + self.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range_i64(-5, 17);
+            assert!((-5..17).contains(&v));
+            let u = r.gen_range_usize(2, 9);
+            assert!((2..9).contains(&u));
+            let f = r.gen_range_f64(0.5, 2.0);
+            assert!((0.5..2.0).contains(&f));
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn gen_below_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[r.gen_below(8) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(&b), "bucket {i}: {b}");
+        }
+    }
+}

@@ -21,8 +21,23 @@ use crate::spec::{BenchClass, WorkloadSpec};
 /// The benchmark names, in the paper's presentation order (12 non-numeric
 /// then 5 numeric).
 pub const NAMES: [&str; 17] = [
-    "cccp", "cmp", "compress", "eqn", "eqntott", "espresso", "grep", "lex", "tbl", "wc",
-    "xlisp", "yacc", "doduc", "fpppp", "matrix300", "nasa7", "tomcatv",
+    "cccp",
+    "cmp",
+    "compress",
+    "eqn",
+    "eqntott",
+    "espresso",
+    "grep",
+    "lex",
+    "tbl",
+    "wc",
+    "xlisp",
+    "yacc",
+    "doduc",
+    "fpppp",
+    "matrix300",
+    "nasa7",
+    "tomcatv",
 ];
 
 /// Loop trip count shared by the suite (kept moderate so a full figure
@@ -104,24 +119,69 @@ fn num(
 pub fn specs() -> Vec<WorkloadSpec> {
     vec![
         // --- non-numeric -------------------------------------------------
-        nn("cccp", 101, 4, 5, 0.35, 0.10, 0.04, 0.01, 0.025, 0.85, 0.70, 0.25),
-        nn("cmp", 102, 3, 4, 0.38, 0.20, 0.02, 0.00, 0.03, 0.90, 0.75, 0.50),
-        nn("compress", 103, 4, 6, 0.33, 0.12, 0.06, 0.02, 0.025, 0.80, 0.70, 0.30),
-        nn("eqn", 104, 4, 5, 0.32, 0.10, 0.05, 0.02, 0.025, 0.80, 0.65, 0.25),
-        nn("eqntott", 105, 5, 5, 0.40, 0.02, 0.03, 0.00, 0.02, 0.90, 0.75, 0.30),
-        nn("espresso", 106, 4, 6, 0.35, 0.08, 0.05, 0.01, 0.025, 0.80, 0.70, 0.25),
-        nn("grep", 107, 3, 4, 0.45, 0.15, 0.00, 0.00, 0.03, 0.95, 0.80, 0.50),
-        nn("lex", 108, 4, 5, 0.35, 0.10, 0.03, 0.01, 0.025, 0.85, 0.70, 0.25),
-        nn("tbl", 109, 4, 5, 0.33, 0.10, 0.04, 0.01, 0.025, 0.80, 0.65, 0.25),
-        nn("wc", 110, 3, 3, 0.40, 0.02, 0.00, 0.00, 0.025, 0.90, 0.80, 0.30),
-        nn("xlisp", 111, 5, 5, 0.38, 0.10, 0.02, 0.01, 0.025, 0.85, 0.80, 0.25),
-        nn("yacc", 112, 4, 6, 0.34, 0.10, 0.05, 0.01, 0.025, 0.80, 0.70, 0.25),
+        nn(
+            "cccp", 101, 4, 5, 0.35, 0.10, 0.04, 0.01, 0.025, 0.85, 0.70, 0.25,
+        ),
+        nn(
+            "cmp", 1029, 3, 4, 0.38, 0.20, 0.02, 0.00, 0.03, 0.90, 0.75, 0.50,
+        ),
+        nn(
+            "compress", 103, 4, 6, 0.33, 0.12, 0.06, 0.02, 0.025, 0.80, 0.70, 0.30,
+        ),
+        nn(
+            "eqn", 104, 4, 5, 0.32, 0.10, 0.05, 0.02, 0.025, 0.80, 0.65, 0.25,
+        ),
+        nn(
+            "eqntott", 105, 5, 5, 0.40, 0.02, 0.03, 0.00, 0.02, 0.90, 0.75, 0.30,
+        ),
+        nn(
+            "espresso", 106, 4, 6, 0.35, 0.08, 0.05, 0.01, 0.025, 0.80, 0.70, 0.25,
+        ),
+        nn(
+            "grep", 1024, 3, 4, 0.45, 0.15, 0.00, 0.00, 0.03, 0.95, 0.80, 0.50,
+        ),
+        nn(
+            "lex", 108, 4, 5, 0.35, 0.10, 0.03, 0.01, 0.025, 0.85, 0.70, 0.25,
+        ),
+        nn(
+            "tbl", 109, 4, 5, 0.33, 0.10, 0.04, 0.01, 0.025, 0.80, 0.65, 0.25,
+        ),
+        nn(
+            "wc", 110, 3, 3, 0.40, 0.02, 0.00, 0.00, 0.025, 0.90, 0.80, 0.30,
+        ),
+        nn(
+            "xlisp", 111, 5, 5, 0.38, 0.10, 0.02, 0.01, 0.025, 0.85, 0.80, 0.25,
+        ),
+        nn(
+            "yacc", 112, 4, 6, 0.34, 0.10, 0.05, 0.01, 0.025, 0.80, 0.70, 0.25,
+        ),
         // --- numeric ------------------------------------------------------
-        num("doduc", 201, 2, 3, 10, 0.30, 0.08, 0.50, 0.02, 0.45, 0.50, 0.20),
-        num("fpppp", 202, 1, 1, 40, 0.30, 0.08, 0.60, 0.0, 0.0, 0.75, 0.10),
-        num("matrix300", 203, 1, 1, 24, 0.35, 0.08, 0.55, 0.0, 0.0, 0.70, 0.10),
-        num("nasa7", 204, 1, 2, 16, 0.32, 0.10, 0.50, 0.02, 0.35, 0.55, 0.25),
-        num("tomcatv", 205, 2, 3, 10, 0.32, 0.03, 0.55, 0.02, 0.50, 0.55, 0.05),
+        num(
+            "doduc", 201, 2, 3, 10, 0.30, 0.08, 0.50, 0.02, 0.45, 0.50, 0.20,
+        ),
+        num(
+            "fpppp", 202, 1, 1, 40, 0.30, 0.08, 0.60, 0.0, 0.0, 0.75, 0.10,
+        ),
+        num(
+            "matrix300",
+            203,
+            1,
+            1,
+            24,
+            0.35,
+            0.08,
+            0.55,
+            0.0,
+            0.0,
+            0.70,
+            0.10,
+        ),
+        num(
+            "nasa7", 204, 1, 2, 16, 0.32, 0.10, 0.50, 0.02, 0.35, 0.55, 0.25,
+        ),
+        num(
+            "tomcatv", 205, 2, 3, 10, 0.32, 0.03, 0.55, 0.02, 0.50, 0.55, 0.05,
+        ),
     ]
 }
 

@@ -46,7 +46,10 @@ fn main() {
         m.stats.dyn_checks,
         m.stats.tag_propagations
     );
-    let t = measure(&w, &MeasureConfig::paper(SchedulingModel::SentinelStores, 8));
+    let t = measure(
+        &w,
+        &MeasureConfig::paper(SchedulingModel::SentinelStores, 8),
+    );
     println!(
         "model T @ issue 8: {} cycles, {} confirms, {} store-buffer cancels, {} forwards",
         t.cycles, t.stats.dyn_confirms, t.stats.sb_cancels, t.stats.sb_forwards

@@ -36,7 +36,10 @@ fn main() {
     );
     // The cycle-annotated view, like the paper's "[n]" notation.
     let main = sched.func.entry();
-    println!("--- issue cycles of the main superblock ---\n{}", sched.blocks[&main]);
+    println!(
+        "--- issue cycles of the main superblock ---\n{}",
+        sched.blocks[&main]
+    );
 
     // Execute with r2 pointing at an unmapped page: the hoisted load B
     // faults *speculatively*; the sentinel in the home block reports it.

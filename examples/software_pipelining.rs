@@ -40,8 +40,12 @@ fn main() {
     // --- counted loop -----------------------------------------------------
     let w = kernels::copy_words(200);
     let acyclic = {
-        let s = schedule_function(&w.func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
-            .unwrap();
+        let s = schedule_function(
+            &w.func,
+            &mdes,
+            &SchedOptions::new(SchedulingModel::Sentinel),
+        )
+        .unwrap();
         run(&w, &s.func, &mdes).1
     };
     let mut wp = w.clone();
@@ -51,7 +55,6 @@ fn main() {
         info.ii, info.stages
     );
     let kernel = wp.func.block_by_label("loop.kernel").unwrap();
-    print!("{}", asm::print(&wp.func)[..0].to_string());
     for insn in &wp.func.block(kernel).insns {
         println!("    {}", asm::print_insn(&wp.func, insn));
     }

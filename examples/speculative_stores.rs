@@ -38,8 +38,12 @@ fn main() {
         .build();
 
     println!("--- original ---\n{}", asm::print(&f));
-    let s = schedule_function(&f, &mdes, &SchedOptions::new(SchedulingModel::SentinelStores))
-        .expect("schedule");
+    let s = schedule_function(
+        &f,
+        &mdes,
+        &SchedOptions::new(SchedulingModel::SentinelStores),
+    )
+    .expect("schedule");
     println!(
         "--- model T schedule ({} confirm inserted) ---\n{}",
         s.stats.confirms_inserted,

@@ -30,12 +30,27 @@ fn basic_block_loop() -> Function {
     b.push(Insn::branch(Opcode::Blt, Reg::int(4), Reg::int(12), slow));
     // fast: sum += x; goto latch
     b.switch_to(fast);
-    b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(3), Reg::int(4)));
+    b.push(Insn::alu(
+        Opcode::Add,
+        Reg::int(3),
+        Reg::int(3),
+        Reg::int(4),
+    ));
     b.push(Insn::jump(latch));
     // slow: sum += 2*x (rare)
     b.switch_to(slow);
-    b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(3), Reg::int(4)));
-    b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(3), Reg::int(4)));
+    b.push(Insn::alu(
+        Opcode::Add,
+        Reg::int(3),
+        Reg::int(3),
+        Reg::int(4),
+    ));
+    b.push(Insn::alu(
+        Opcode::Add,
+        Reg::int(3),
+        Reg::int(3),
+        Reg::int(4),
+    ));
     // latch: bump pointer, count down, loop
     b.switch_to(latch);
     b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
@@ -68,7 +83,10 @@ fn main() {
     // 1. Profile it with the reference interpreter.
     let mut r = Reference::new(&f);
     init(&mut r);
-    assert!(matches!(r.run().unwrap(), sentinel::sim::reference::RefOutcome::Halted));
+    assert!(matches!(
+        r.run().unwrap(),
+        sentinel::sim::reference::RefOutcome::Halted
+    ));
     let profile: Profile = r.profile().clone();
     let head = f.block_by_label("head").unwrap();
     println!(

@@ -10,6 +10,8 @@
 //! sentinel run       prog.sasm [--issue N] [--semantics tags|silent|nan]
 //!                    [--map START:LEN]... [--word ADDR=VAL]... [--reg rN=VAL]...
 //!                    [--print rN]... [--base]
+//! sentinel trace     prog.sasm --model S --issue 8 --format chrome|jsonl|timeline
+//!                    [--raw] [-o out] [run's machine flags]
 //! ```
 //!
 //! Numeric arguments accept decimal or `0x` hexadecimal.
@@ -75,7 +77,9 @@ fn parse_model(s: &str) -> SchedulingModel {
 
 fn parse_reg(s: &str) -> Reg {
     let (class, idx) = s.split_at(1);
-    let index: u16 = idx.parse().unwrap_or_else(|_| fail(&format!("bad register '{s}'")));
+    let index: u16 = idx
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("bad register '{s}'")));
     match class {
         "r" => Reg::int(index),
         "f" => Reg::fp(index),
@@ -97,7 +101,7 @@ impl Args {
             if let Some(name) = a.strip_prefix("--") {
                 let takes_value = !matches!(
                     name,
-                    "recovery" | "allocate" | "base" | "clear-uninit" | "trace" | "stats"
+                    "recovery" | "allocate" | "base" | "clear-uninit" | "trace" | "stats" | "raw"
                 );
                 let value = if takes_value { it.next() } else { None };
                 flags.push((name.to_string(), value));
@@ -134,8 +138,8 @@ fn emit(func: &Function, output: Option<&str>) {
     match output {
         None => print!("{}", asm::print(func)),
         Some(path) if path.ends_with(".sobj") => {
-            let bytes = object::write_object(func)
-                .unwrap_or_else(|e| fail(&format!("encode: {e}")));
+            let bytes =
+                object::write_object(func).unwrap_or_else(|e| fail(&format!("encode: {e}")));
             std::fs::write(path, bytes).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
         }
         Some(path) => {
@@ -261,8 +265,8 @@ fn cmd_pipeline(args: &Args) {
     let blocks: Vec<_> = f.layout().to_vec();
     let mut done = 0;
     for b in blocks {
-        let info = pipeline_loop(&mut f, b, &mdes)
-            .or_else(|| pipeline_while_loop(&mut f, b, &mdes, true));
+        let info =
+            pipeline_loop(&mut f, b, &mdes).or_else(|| pipeline_while_loop(&mut f, b, &mdes, true));
         if let Some(info) = info {
             eprintln!(
                 "pipelined {}: II={}, stages={}, {} ops overlapped",
@@ -280,18 +284,9 @@ fn cmd_pipeline(args: &Args) {
     emit(&f, args.flag("output"));
 }
 
-fn cmd_run(args: &Args) {
-    let f = load_program(&args.positional[0]);
-    let semantics = match args.flag("semantics").unwrap_or("tags") {
-        "tags" => SpeculationSemantics::SentinelTags,
-        "silent" => SpeculationSemantics::Silent,
-        "nan" => SpeculationSemantics::NanWrite,
-        other => fail(&format!("unknown semantics '{other}'")),
-    };
-    let mut cfg = SimConfig::for_mdes(machine_desc(args));
-    cfg.semantics = semantics;
-    cfg.collect_trace = args.has("trace");
-    let mut m = Machine::new(&f, cfg);
+/// Applies `--map START:LEN`, `--word ADDR=VAL`, and `--reg rN=VAL`
+/// flags to a freshly built machine.
+fn apply_machine_flags(args: &Args, m: &mut Machine) {
     for spec in args.all("map") {
         let (start, len) = spec
             .split_once(':')
@@ -313,14 +308,33 @@ fn cmd_run(args: &Args) {
             .unwrap_or_else(|| fail(&format!("bad --reg '{spec}' (want rN=VAL)")));
         m.set_reg(parse_reg(reg), parse_num(val) as u64);
     }
+}
+
+fn cmd_run(args: &Args) {
+    let f = load_program(&args.positional[0]);
+    let semantics = match args.flag("semantics").unwrap_or("tags") {
+        "tags" => SpeculationSemantics::SentinelTags,
+        "silent" => SpeculationSemantics::Silent,
+        "nan" => SpeculationSemantics::NanWrite,
+        other => fail(&format!("unknown semantics '{other}'")),
+    };
+    let mut cfg = SimConfig::for_mdes(machine_desc(args));
+    cfg.semantics = semantics;
+    cfg.collect_trace = args.has("trace");
+    let mut m = Machine::new(&f, cfg);
+    apply_machine_flags(args, &mut m);
     let result = m.run();
     for event in m.trace() {
         println!("{event}");
     }
     match result {
         Ok(RunOutcome::Halted) => {
-            println!("halted after {} cycles ({} instructions, ipc {:.2})",
-                m.stats().cycles, m.stats().dyn_insns, m.stats().ipc());
+            println!(
+                "halted after {} cycles ({} instructions, ipc {:.2})",
+                m.stats().cycles,
+                m.stats().dyn_insns,
+                m.stats().ipc()
+            );
         }
         Ok(RunOutcome::Trapped(t)) => {
             println!("TRAP: {t} (after {} cycles)", m.stats().cycles);
@@ -343,6 +357,92 @@ fn cmd_run(args: &Args) {
     }
 }
 
+/// `sentinel trace`: schedule a program (unless `--raw`), run it with a
+/// cycle-accurate trace sink attached, and emit the rendered trace.
+fn cmd_trace(args: &Args) {
+    use sentinel::trace::{ChromeTraceSink, JsonlSink, TimelineSink, TraceSink};
+    let f = load_program(&args.positional[0]);
+    let mdes = machine_desc(args);
+    let model = parse_model(args.flag("model").unwrap_or("S"));
+    let func = if args.has("raw") {
+        f
+    } else {
+        let mut opts = SchedOptions::new(model);
+        if args.has("recovery") {
+            opts = opts.with_recovery();
+        }
+        let s =
+            schedule_function(&f, &mdes, &opts).unwrap_or_else(|e| fail(&format!("schedule: {e}")));
+        s.func
+    };
+    let width = mdes.issue_width();
+    let mut cfg = SimConfig::for_mdes(mdes);
+    cfg.semantics = match args.flag("semantics") {
+        Some("tags") | None => SpeculationSemantics::SentinelTags,
+        Some("silent") => SpeculationSemantics::Silent,
+        Some("nan") => SpeculationSemantics::NanWrite,
+        Some(other) => fail(&format!("unknown semantics '{other}'")),
+    };
+    let sink: Box<dyn TraceSink> = match args.flag("format").unwrap_or("timeline") {
+        "timeline" => Box::new(TimelineSink::new(width)),
+        "jsonl" => Box::new(JsonlSink::new()),
+        "chrome" => Box::new(ChromeTraceSink::new()),
+        other => fail(&format!(
+            "unknown format '{other}' (timeline, jsonl, or chrome)"
+        )),
+    };
+    let mut m = Machine::new(&func, cfg);
+    m.attach_sink(sink);
+    apply_machine_flags(args, &mut m);
+    let result = m.run();
+    let mut sink = m.take_sink().expect("sink was attached");
+    let rendered = sink.finish();
+    match args.flag("output") {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    let stats = *m.stats();
+    match result {
+        Ok(RunOutcome::Halted) => eprintln!(
+            "halted after {} cycles ({} instructions, ipc {:.2})",
+            stats.cycles,
+            stats.dyn_insns,
+            stats.ipc()
+        ),
+        Ok(RunOutcome::Trapped(t)) => {
+            eprintln!("TRAP: {t} (after {} cycles)", stats.cycles);
+        }
+        Err(e) => fail(&format!("simulation: {e}")),
+    }
+    let stalled = stats.cycles.saturating_sub(stats.issuing_cycles);
+    eprintln!(
+        "cycle attribution: {} issuing ({:.1}%), {} stalled",
+        stats.issuing_cycles,
+        if stats.cycles == 0 {
+            0.0
+        } else {
+            100.0 * stats.issuing_cycles as f64 / stats.cycles as f64
+        },
+        stalled
+    );
+    for (reason, n) in stats.stalls.iter() {
+        if n > 0 {
+            eprintln!(
+                "  {:<18} {:>8}  ({:.1}%)",
+                reason.name(),
+                n,
+                stats.stalls.pct_of(reason, stats.cycles)
+            );
+        }
+    }
+    if args.has("stats") {
+        eprintln!("{stats}");
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: sentinel <command> <file> [options]\n\
@@ -354,7 +454,8 @@ fn usage() -> ! {
            schedule  --model R|G|S|T|B<k> --issue N [--recovery] [--allocate] [--clear-uninit] [-o out]\n\
            pipeline  software-pipeline counted/while loops [-o out]\n\
            mdes      print the effective machine description [--mdes file] [--issue N]\n\
-           run       [--issue N] [--semantics tags|silent|nan] [--map S:L]… [--word A=V]… [--reg rN=V]… [--print rN]… [--stats] [--trace]"
+           run       [--issue N] [--semantics tags|silent|nan] [--map S:L]… [--word A=V]… [--reg rN=V]… [--print rN]… [--stats] [--trace]\n\
+           trace     --model R|G|S|T|B<k> --issue N --format timeline|jsonl|chrome [--raw] [--recovery] [-o out] [run's machine flags]"
     );
     exit(2);
 }
@@ -369,7 +470,10 @@ fn main() {
     if cmd == "mdes" {
         // Print the effective machine description (paper defaults, a
         // --mdes file, and/or an --issue override), re-parseable.
-        print!("{}", sentinel::isa::mdes_file::print_mdes(&machine_desc(&args)));
+        print!(
+            "{}",
+            sentinel::isa::mdes_file::print_mdes(&machine_desc(&args))
+        );
         return;
     }
     if args.positional.is_empty() {
@@ -391,6 +495,7 @@ fn main() {
         "schedule" => cmd_schedule(&args),
         "pipeline" => cmd_pipeline(&args),
         "run" => cmd_run(&args),
+        "trace" => cmd_trace(&args),
         _ => usage(),
     }
 }

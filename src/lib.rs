@@ -14,6 +14,8 @@
 //! * [`sim`] — execution-driven simulator implementing the paper's
 //!   exception-tag semantics (Table 1) and probationary store buffer
 //!   (Table 2).
+//! * [`trace`] — cycle-accurate observability: pipeline event sinks
+//!   (JSONL, Chrome `trace_event`, ASCII timeline) and stall accounting.
 //! * [`workloads`] — the 17-program synthetic benchmark suite.
 //!
 //! # Quickstart
@@ -39,6 +41,7 @@ pub use sentinel_core as sched;
 pub use sentinel_isa as isa;
 pub use sentinel_prog as prog;
 pub use sentinel_sim as sim;
+pub use sentinel_trace as trace;
 pub use sentinel_workloads as workloads;
 
 /// Commonly used items, re-exported for examples and downstream users.
@@ -47,4 +50,5 @@ pub mod prelude {
     pub use sentinel_isa::{Insn, LatencyTable, MachineDesc, Opcode, Reg};
     pub use sentinel_prog::{Function, ProgramBuilder};
     pub use sentinel_sim::{Machine, RunOutcome, SimConfig};
+    pub use sentinel_trace::{ChromeTraceSink, JsonlSink, TimelineSink, TraceSink};
 }

@@ -107,7 +107,11 @@ struct Setup {
     bytes: Vec<(u64, u8)>,
 }
 
-fn run_everywhere(f: &Function, setup: &Setup, check: impl Fn(&dyn Fn(Reg) -> u64, &dyn Fn(u64) -> u64)) {
+fn run_everywhere(
+    f: &Function,
+    setup: &Setup,
+    check: impl Fn(&dyn Fn(Reg) -> u64, &dyn Fn(u64) -> u64),
+) {
     // Reference run.
     let mut r = Reference::new(f);
     for &(s, l) in &setup.regions {
@@ -117,7 +121,9 @@ fn run_everywhere(f: &Function, setup: &Setup, check: impl Fn(&dyn Fn(Reg) -> u6
         r.memory_mut().write_word(a, v).unwrap();
     }
     for &(a, v) in &setup.bytes {
-        r.memory_mut().write(a, sentinel::sim::Width::Byte, v as u64).unwrap();
+        r.memory_mut()
+            .write(a, sentinel::sim::Width::Byte, v as u64)
+            .unwrap();
     }
     for &(reg, v) in &setup.regs {
         r.set_reg(reg, v);
@@ -152,7 +158,9 @@ fn run_everywhere(f: &Function, setup: &Setup, check: impl Fn(&dyn Fn(Reg) -> u6
                 m.memory_mut().write_word(a, v).unwrap();
             }
             for &(a, v) in &setup.bytes {
-                m.memory_mut().write(a, sentinel::sim::Width::Byte, v as u64).unwrap();
+                m.memory_mut()
+                    .write(a, sentinel::sim::Width::Byte, v as u64)
+                    .unwrap();
             }
             for &(reg, v) in &setup.regs {
                 m.set_reg(reg, v);
@@ -163,7 +171,9 @@ fn run_everywhere(f: &Function, setup: &Setup, check: impl Fn(&dyn Fn(Reg) -> u6
                 "{} {model} w{width}",
                 f.name()
             );
-            check(&|reg| m.reg(reg).data, &|a| m.memory().read_word(a).unwrap());
+            check(&|reg| m.reg(reg).data, &|a| {
+                m.memory().read_word(a).unwrap()
+            });
             assert_eq!(
                 m.memory().snapshot(),
                 want,
@@ -194,7 +204,12 @@ fn fibonacci() {
 #[test]
 fn gcd() {
     let f = load(GCD);
-    for (a, b, want) in [(48u64, 36u64, 12u64), (17, 5, 1), (100, 0, 100), (270, 192, 6)] {
+    for (a, b, want) in [
+        (48u64, 36u64, 12u64),
+        (17, 5, 1),
+        (100, 0, 100),
+        (270, 192, 6),
+    ] {
         run_everywhere(
             &f,
             &Setup {
@@ -259,9 +274,7 @@ fn strcmp() {
                 words: vec![],
                 bytes,
             },
-            |reg, _| {
-                assert_eq!(reg(Reg::int(8)) as i64, want, "{:?} vs {:?}", a, b)
-            },
+            |reg, _| assert_eq!(reg(Reg::int(8)) as i64, want, "{:?} vs {:?}", a, b),
         );
     }
 }

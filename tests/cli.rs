@@ -38,7 +38,11 @@ fn check_accepts_valid_program() {
     let dir = tmpdir("check");
     let p = write_demo(&dir);
     let out = bin().args(["check", p.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("ok (2 blocks, 7 instructions)"));
 }
 
@@ -69,9 +73,16 @@ fn schedule_then_run_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&sched).unwrap();
-    assert!(text.contains(".s "), "speculated instructions present:\n{text}");
+    assert!(
+        text.contains(".s "),
+        "speculated instructions present:\n{text}"
+    );
 
     let out = bin()
         .args([
@@ -92,7 +103,11 @@ fn schedule_then_run_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("halted after"), "{stdout}");
     assert!(stdout.contains("r4 = 1"), "{stdout}");
@@ -148,7 +163,10 @@ fn asm_disasm_roundtrip() {
         .success());
     let bytes = std::fs::read(&obj).unwrap();
     assert!(bytes.starts_with(b"SNTL"));
-    let out = bin().args(["disasm", obj.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["disasm", obj.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("func @demo"));
@@ -203,7 +221,11 @@ fn pipeline_command_overlaps_loops() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("pipelined loop: II="));
 
     let common = [
@@ -215,12 +237,7 @@ fn pipeline_command_overlaps_loops() {
         "0x1008=9",
     ];
     let cycles_of = |path: &std::path::Path| -> u64 {
-        let out = bin()
-            .arg("run")
-            .arg(path)
-            .args(common)
-            .output()
-            .unwrap();
+        let out = bin().arg("run").arg(path).args(common).output().unwrap();
         assert!(out.status.success());
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("halted after"), "{stdout}");
@@ -259,14 +276,84 @@ fn mdes_command_prints_reparseable_description() {
 }
 
 #[test]
+fn trace_command_renders_all_formats() {
+    let dir = tmpdir("trace");
+    let p = write_demo(&dir);
+    let common = [
+        "--model",
+        "S",
+        "--issue",
+        "4",
+        "--map",
+        "0x1000:0x100",
+        "--word",
+        "0x1000=1",
+        "--reg",
+        "r3=0x1000",
+        "--reg",
+        "r2=0x1010",
+    ];
+
+    let trace = |fmt: &str| -> (String, String) {
+        let out = bin()
+            .args(["trace", p.to_str().unwrap(), "--format", fmt])
+            .args(common)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+
+    let (timeline, stderr) = trace("timeline");
+    assert!(timeline.contains("cycle"), "{timeline}");
+    assert!(timeline.contains("slot 0"), "{timeline}");
+    assert!(stderr.contains("halted after"), "{stderr}");
+    assert!(stderr.contains("cycle attribution:"), "{stderr}");
+
+    let (jsonl, _) = trace("jsonl");
+    assert!(jsonl.lines().count() > 3, "{jsonl}");
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    // Byte-identical across runs.
+    assert_eq!(jsonl, trace("jsonl").0);
+
+    let (chrome, _) = trace("chrome");
+    assert!(chrome.starts_with(r#"{"traceEvents":["#), "{chrome}");
+    assert!(chrome.trim_end().ends_with('}'), "{chrome}");
+    assert!(chrome.contains(r#""ph":"X""#), "{chrome}");
+}
+
+#[test]
 fn boosting_model_from_cli() {
     let dir = tmpdir("boost");
     let p = write_demo(&dir);
     let out = bin()
-        .args(["schedule", p.to_str().unwrap(), "--model", "B2", "--issue", "4"])
+        .args([
+            "schedule",
+            p.to_str().unwrap(),
+            "--model",
+            "B2",
+            "--issue",
+            "4",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains(".b1 ") || text.contains(".b2 "), "boost markers:\n{text}");
+    assert!(
+        text.contains(".b1 ") || text.contains(".b2 "),
+        "boost markers:\n{text}"
+    );
 }

@@ -29,8 +29,12 @@ fn scheduling_is_deterministic() {
 fn simulation_is_deterministic() {
     let w = suite::by_name("doduc").unwrap();
     let mdes = MachineDesc::paper_issue(4);
-    let s = schedule_function(&w.func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
-        .unwrap();
+    let s = schedule_function(
+        &w.func,
+        &mdes,
+        &SchedOptions::new(SchedulingModel::Sentinel),
+    )
+    .unwrap();
     let run = || {
         let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
         apply_memory(&w, m.memory_mut());

@@ -5,7 +5,7 @@
 //! pin the *shape*: who wins, roughly by how much, and which benchmarks
 //! are insensitive.
 
-use sentinel_bench::figures::{measure_workloads, mean_improvement, BenchSpeedups};
+use sentinel_bench::figures::{mean_improvement, measure_workloads, BenchSpeedups};
 use sentinel_core::SchedulingModel;
 use sentinel_workloads::suite::suite_with_iterations;
 use sentinel_workloads::BenchClass;
@@ -61,7 +61,10 @@ fn figure_shapes_hold() {
     // Paper: issue-8 average improvement ≈ +57% non-numeric, +32% numeric.
     let nn8 = mean_improvement(&rows, S, R, 8, Some(BenchClass::NonNumeric)) - 1.0;
     let nu8 = mean_improvement(&rows, S, R, 8, Some(BenchClass::Numeric)) - 1.0;
-    assert!((0.30..=1.10).contains(&nn8), "non-numeric S/R at 8: {nn8:.2}");
+    assert!(
+        (0.30..=1.10).contains(&nn8),
+        "non-numeric S/R at 8: {nn8:.2}"
+    );
     assert!((0.10..=0.80).contains(&nu8), "numeric S/R at 8: {nu8:.2}");
     // The improvement grows with issue rate (§5.2: "the importance of
     // sentinel scheduling support also grows for higher issue rate
@@ -104,8 +107,14 @@ fn figure_shapes_hold() {
     // (paper: +7.4%) and little for numeric (paper: +2.6%).
     let t_nn = mean_improvement(&rows, T, S, 8, Some(BenchClass::NonNumeric)) - 1.0;
     let t_nu = mean_improvement(&rows, T, S, 8, Some(BenchClass::Numeric)) - 1.0;
-    assert!((0.005..=0.20).contains(&t_nn), "T/S non-numeric at 8: {t_nn:.3}");
-    assert!((-0.02..=0.10).contains(&t_nu), "T/S numeric at 8: {t_nu:.3}");
+    assert!(
+        (0.005..=0.20).contains(&t_nn),
+        "T/S non-numeric at 8: {t_nn:.3}"
+    );
+    assert!(
+        (-0.02..=0.10).contains(&t_nu),
+        "T/S numeric at 8: {t_nu:.3}"
+    );
     // cmp and grep are the stand-out winners (paper: >20% at issue 4/8).
     for b in ["cmp", "grep"] {
         let r = find(&rows, b);

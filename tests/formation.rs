@@ -22,8 +22,12 @@ fn apply_memory(w: &Workload, mem: &mut sentinel::sim::Memory) {
 
 fn cycles_of(w: &Workload) -> u64 {
     let mdes = MachineDesc::paper_issue(8);
-    let s = schedule_function(&w.func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
-        .expect("schedule");
+    let s = schedule_function(
+        &w.func,
+        &mdes,
+        &SchedOptions::new(SchedulingModel::Sentinel),
+    )
+    .expect("schedule");
     let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes));
     apply_memory(w, m.memory_mut());
     assert_eq!(m.run().unwrap(), RunOutcome::Halted);
@@ -56,7 +60,10 @@ fn split_profile_form_recovers_superblock_performance() {
         let mut formed_w = split_w.clone();
         let result = form_superblocks(&mut formed_w.func, &profile, &SuperblockConfig::default());
         assert!(!result.superblocks.is_empty());
-        assert!(validate(&formed_w.func).is_empty(), "{name}: formed invalid");
+        assert!(
+            validate(&formed_w.func).is_empty(),
+            "{name}: formed invalid"
+        );
         let formed_cycles = cycles_of(&formed_w);
         assert!(
             formed_cycles <= (original_cycles as f64 * 1.05) as u64,

@@ -60,14 +60,8 @@ fn kernels_match_reference_under_all_models() {
         for model in models() {
             for width in [2, 8] {
                 let (m, mo) = run_scheduled(&w, model, width);
-                let divs =
-                    compare_runs(&m, mo, &r, ro, &CompareSpec::precise(w.live_out.clone()));
-                assert!(
-                    divs.is_empty(),
-                    "{} {model} w{width}: {}",
-                    w.name,
-                    divs[0]
-                );
+                let divs = compare_runs(&m, mo, &r, ro, &CompareSpec::precise(w.live_out.clone()));
+                assert!(divs.is_empty(), "{} {model} w{width}: {}", w.name, divs[0]);
             }
         }
     }

@@ -132,7 +132,10 @@ fn while_loop_pipelining_requires_speculation() {
     );
     assert_eq!(m.memory().snapshot(), want_mem);
     assert_eq!(m.reg(Reg::int(8)).as_i64(), want_r8 as i64);
-    assert!(m.stats().tag_sets >= 1, "the overshooting load really faulted");
+    assert!(
+        m.stats().tag_sets >= 1,
+        "the overshooting load really faulted"
+    );
 
     // Pipeline WITHOUT speculation: the same schedule traps spuriously.
     let mut wn = w.clone();
@@ -143,7 +146,10 @@ fn while_loop_pipelining_requires_speculation() {
     match m.run().unwrap() {
         RunOutcome::Trapped(t) => {
             assert!(
-                matches!(t.kind, Some(sentinel::sim::ExceptionKind::UnmappedAddress(_))),
+                matches!(
+                    t.kind,
+                    Some(sentinel::sim::ExceptionKind::UnmappedAddress(_))
+                ),
                 "{t}"
             );
         }
@@ -166,8 +172,12 @@ fn pipelined_while_loop_is_faster() {
         m.stats().cycles
     };
     let plain_scheduled = {
-        let s = schedule_function(&w.func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
-            .unwrap();
+        let s = schedule_function(
+            &w.func,
+            &mdes,
+            &SchedOptions::new(SchedulingModel::Sentinel),
+        )
+        .unwrap();
         run_raw(&s.func)
     };
     let mut wp = w.clone();
@@ -186,8 +196,8 @@ fn pipelined_dot_product_is_faster() {
     let (want_mem, _) = reference_snapshot(&w);
     let mdes = MachineDesc::paper_issue(8);
     let run = |func: &sentinel_prog::Function| {
-        let s = schedule_function(func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
-            .unwrap();
+        let s =
+            schedule_function(func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel)).unwrap();
         let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
         apply_memory(&w, m.memory_mut());
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);

@@ -48,8 +48,12 @@ fn figure1_schedule_has_paper_structure() {
     let (orig, sched) = scheduled_figure1();
     let main = sched.entry();
     let insns = &sched.block(main).insns;
-    let pos =
-        |op: Opcode| insns.iter().position(|i| i.op == op).unwrap_or_else(|| panic!("no {op}"));
+    let pos = |op: Opcode| {
+        insns
+            .iter()
+            .position(|i| i.op == op)
+            .unwrap_or_else(|| panic!("no {op}"))
+    };
     let branch = pos(Opcode::Beq);
     let store = pos(Opcode::StW);
     let check = pos(Opcode::CheckExcept);
@@ -63,7 +67,11 @@ fn figure1_schedule_has_paper_structure() {
     assert!(store > branch);
     assert!(!insns[store].speculative);
     assert!(check > branch);
-    assert_eq!(insns[check].src1, Some(Reg::int(5)), "check guards E's dest");
+    assert_eq!(
+        insns[check].src1,
+        Some(Reg::int(5)),
+        "check guards E's dest"
+    );
     // The schedule contains exactly one inserted sentinel.
     assert_eq!(
         insns.iter().filter(|i| i.op == Opcode::CheckExcept).count(),
@@ -141,8 +149,12 @@ fn figure1_matches_paper_cycle_count() {
     // With unit latencies and unbounded issue, the paper's Figure 1(b)
     // schedule takes 3 cycles. Ours must do at least as well.
     let f = figure1();
-    let s = schedule_function(&f, &wide_unit_mdes(), &SchedOptions::new(SchedulingModel::Sentinel))
-        .unwrap();
+    let s = schedule_function(
+        &f,
+        &wide_unit_mdes(),
+        &SchedOptions::new(SchedulingModel::Sentinel),
+    )
+    .unwrap();
     let main = f.entry();
     assert!(
         s.blocks[&main].stats.cycles <= 3 + 1, // +1 for our explicit jump to exit

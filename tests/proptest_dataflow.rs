@@ -7,8 +7,10 @@
 //! * **Dominators**: `a` dominates `b` iff deleting `a` disconnects `b`
 //!   from the entry — checked by reachability with `a` removed (and the
 //!   symmetric property for post-dominators and exits).
+//!
+//! Driven by the in-tree deterministic RNG (seed loop) instead of an
+//! external property-testing framework so the workspace builds offline.
 
-use proptest::prelude::*;
 use std::collections::{HashSet, VecDeque};
 
 use sentinel::prog::cfg::Cfg;
@@ -16,7 +18,7 @@ use sentinel::prog::dominators::{Dominators, PostDominators};
 use sentinel::prog::liveness::Liveness;
 use sentinel::prog::Function;
 use sentinel_isa::{BlockId, Reg};
-use sentinel_workloads::{generate, BenchClass, WorkloadSpec};
+use sentinel_workloads::{generate, BenchClass, Rng, WorkloadSpec};
 
 fn spec_for(seed: u64) -> WorkloadSpec {
     WorkloadSpec {
@@ -71,9 +73,7 @@ fn brute_force_live(func: &Function, start: (BlockId, usize), r: Reg) -> bool {
         if insn.def() == Some(r) {
             continue; // redefined along this path
         }
-        if insn.op == sentinel_isa::Opcode::Halt
-            || insn.op == sentinel_isa::Opcode::Jump
-        {
+        if insn.op == sentinel_isa::Opcode::Halt || insn.op == sentinel_isa::Opcode::Jump {
             if insn.op == sentinel_isa::Opcode::Halt {
                 continue;
             }
@@ -105,11 +105,11 @@ fn reachable_without(cfg: &Cfg, from: BlockId, to: BlockId, removed: Option<Bloc
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn liveness_matches_brute_force(seed in 0u64..50_000) {
+#[test]
+fn liveness_matches_brute_force() {
+    let mut r = Rng::seed_from_u64(0xDF00_0001);
+    for _ in 0..24 {
+        let seed = r.gen_range_u64(0, 50_000);
         let w = generate(&spec_for(seed));
         let func = &w.func;
         let cfg = Cfg::build(func);
@@ -127,21 +127,24 @@ proptest! {
             // Check block entry and a couple of interior points.
             for pos in [0, n / 2, n.saturating_sub(1)] {
                 let live = lv.live_before(func, bid, pos.min(n));
-                for &r in regs.iter().take(12) {
-                    let brute = brute_force_live(func, (bid, pos.min(n)), r);
-                    prop_assert_eq!(
-                        live.contains(&r),
+                for &reg in regs.iter().take(12) {
+                    let brute = brute_force_live(func, (bid, pos.min(n)), reg);
+                    assert_eq!(
+                        live.contains(&reg),
                         brute,
-                        "seed {} {} pos {} reg {}",
-                        seed, bid, pos, r
+                        "seed {seed} {bid} pos {pos} reg {reg}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn dominators_match_reachability(seed in 0u64..50_000) {
+#[test]
+fn dominators_match_reachability() {
+    let mut r = Rng::seed_from_u64(0xDF00_0002);
+    for _ in 0..24 {
+        let seed = r.gen_range_u64(0, 50_000);
         let w = generate(&spec_for(seed));
         let func = &w.func;
         let cfg = Cfg::build(func);
@@ -155,18 +158,17 @@ proptest! {
                 } else {
                     !reachable_without(&cfg, entry, b, Some(a))
                 };
-                prop_assert_eq!(
-                    dom.dominates(a, b),
-                    expect,
-                    "seed {}: {} dom {}",
-                    seed, a, b
-                );
+                assert_eq!(dom.dominates(a, b), expect, "seed {seed}: {a} dom {b}");
             }
         }
     }
+}
 
-    #[test]
-    fn post_dominators_match_reachability(seed in 0u64..50_000) {
+#[test]
+fn post_dominators_match_reachability() {
+    let mut r = Rng::seed_from_u64(0xDF00_0003);
+    for _ in 0..24 {
+        let seed = r.gen_range_u64(0, 50_000);
         let w = generate(&spec_for(seed));
         let func = &w.func;
         let cfg = Cfg::build(func);
@@ -187,11 +189,10 @@ proptest! {
                         .iter()
                         .any(|&e| reachable_without(&cfg, b, e, Some(a)))
                 };
-                prop_assert_eq!(
+                assert_eq!(
                     pdom.post_dominates(a, b),
                     expect,
-                    "seed {}: {} pdom {}",
-                    seed, a, b
+                    "seed {seed}: {a} pdom {b}"
                 );
             }
         }

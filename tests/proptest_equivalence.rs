@@ -3,17 +3,16 @@
 //! architectural outcome as the sequential reference interpreter.
 //!
 //! The workload generator explores the structural space (region counts,
-//! sizes, instruction mixes, exit probabilities, aliasing); proptest
-//! drives its parameters.
-
-use proptest::prelude::*;
+//! sizes, instruction mixes, exit probabilities, aliasing); a seed loop
+//! over the in-tree deterministic RNG drives its parameters so the
+//! workspace builds offline.
 
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::reference::{RefOutcome, Reference};
 use sentinel::sim::verify::{compare_runs, CompareSpec};
 use sentinel::sim::{Machine, RunOutcome, SimConfig, SpeculationSemantics};
 use sentinel_isa::MachineDesc;
-use sentinel_workloads::{generate, BenchClass, Workload, WorkloadSpec};
+use sentinel_workloads::{generate, BenchClass, Rng, Workload, WorkloadSpec};
 
 fn apply_memory(w: &Workload, mem: &mut sentinel::sim::Memory) {
     for &(s, l) in &w.mem_regions {
@@ -24,41 +23,28 @@ fn apply_memory(w: &Workload, mem: &mut sentinel::sim::Memory) {
     }
 }
 
-prop_compose! {
-    fn arb_spec()(
-        seed in 0u64..10_000,
-        loops in 1usize..3,
-        regions in 1usize..6,
-        len in 1usize..10,
-        iterations in 1u64..25,
-        load_frac in 0.0f64..0.5,
-        store_frac in 0.0f64..0.25,
-        fp_frac in prop_oneof![Just(0.0), 0.1f64..0.6],
-        mul_frac in 0.0f64..0.1,
-        div_frac in 0.0f64..0.05,
-        side_exit_prob in 0.0f64..0.3,
-        branch_on_load in 0.0f64..1.0,
-        chain_frac in 0.0f64..1.0,
-        alias_frac in 0.0f64..0.6,
-    ) -> WorkloadSpec {
-        WorkloadSpec {
-            name: "prop",
-            class: BenchClass::NonNumeric,
-            seed,
-            loops,
-            regions_per_loop: regions,
-            insns_per_region: len,
-            iterations,
-            load_frac,
-            store_frac,
-            fp_frac,
-            mul_frac,
-            div_frac,
-            side_exit_prob,
-            branch_on_load,
-            chain_frac,
-            alias_frac,
-        }
+fn arb_spec(r: &mut Rng) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "prop",
+        class: BenchClass::NonNumeric,
+        seed: r.gen_range_u64(0, 10_000),
+        loops: r.gen_range_usize(1, 3),
+        regions_per_loop: r.gen_range_usize(1, 6),
+        insns_per_region: r.gen_range_usize(1, 10),
+        iterations: r.gen_range_u64(1, 25),
+        load_frac: r.gen_range_f64(0.0, 0.5),
+        store_frac: r.gen_range_f64(0.0, 0.25),
+        fp_frac: if r.gen_bool(0.5) {
+            0.0
+        } else {
+            r.gen_range_f64(0.1, 0.6)
+        },
+        mul_frac: r.gen_range_f64(0.0, 0.1),
+        div_frac: r.gen_range_f64(0.0, 0.05),
+        side_exit_prob: r.gen_range_f64(0.0, 0.3),
+        branch_on_load: r.gen_range_f64(0.0, 1.0),
+        chain_frac: r.gen_range_f64(0.0, 1.0),
+        alias_frac: r.gen_range_f64(0.0, 0.6),
     }
 }
 
@@ -95,46 +81,74 @@ fn check_equivalence(spec: &WorkloadSpec, model: SchedulingModel, width: usize, 
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn sentinel_matches_reference(spec in arb_spec(), width in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]) {
+#[test]
+fn sentinel_matches_reference() {
+    let mut r = Rng::seed_from_u64(0x1111_0001);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut r);
+        let width = [1usize, 2, 4, 8][r.gen_range_usize(0, 4)];
         check_equivalence(&spec, SchedulingModel::Sentinel, width, false);
     }
+}
 
-    #[test]
-    fn sentinel_stores_matches_reference(spec in arb_spec(), width in prop_oneof![Just(2usize), Just(8)]) {
+#[test]
+fn sentinel_stores_matches_reference() {
+    let mut r = Rng::seed_from_u64(0x1111_0002);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut r);
+        let width = if r.gen_bool(0.5) { 2 } else { 8 };
         check_equivalence(&spec, SchedulingModel::SentinelStores, width, false);
     }
+}
 
-    #[test]
-    fn restricted_matches_reference(spec in arb_spec()) {
+#[test]
+fn restricted_matches_reference() {
+    let mut r = Rng::seed_from_u64(0x1111_0003);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut r);
         check_equivalence(&spec, SchedulingModel::RestrictedPercolation, 4, false);
     }
+}
 
-    #[test]
-    fn general_matches_reference_on_trap_free_programs(spec in arb_spec()) {
-        // These workloads never fault, so even general percolation's
-        // silent semantics must be architecturally equivalent.
+#[test]
+fn general_matches_reference_on_trap_free_programs() {
+    // These workloads never fault, so even general percolation's
+    // silent semantics must be architecturally equivalent.
+    let mut r = Rng::seed_from_u64(0x1111_0004);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut r);
         check_equivalence(&spec, SchedulingModel::GeneralPercolation, 8, false);
     }
+}
 
-    #[test]
-    fn recovery_constraints_preserve_equivalence(spec in arb_spec(), width in prop_oneof![Just(2usize), Just(8)]) {
+#[test]
+fn recovery_constraints_preserve_equivalence() {
+    let mut r = Rng::seed_from_u64(0x1111_0005);
+    for _ in 0..24 {
+        let spec = arb_spec(&mut r);
+        let width = if r.gen_bool(0.5) { 2 } else { 8 };
         check_equivalence(&spec, SchedulingModel::Sentinel, width, true);
         check_equivalence(&spec, SchedulingModel::SentinelStores, width, true);
     }
+}
 
-    #[test]
-    fn boosting_preserves_equivalence(spec in arb_spec(), levels in 1u8..5) {
+#[test]
+fn boosting_preserves_equivalence() {
+    let mut r = Rng::seed_from_u64(0x1111_0006);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut r);
+        let levels = r.gen_range_u64(1, 5) as u8;
         check_equivalence(&spec, SchedulingModel::Boosting(levels), 8, false);
     }
+}
 
-    #[test]
-    fn unrolling_preserves_equivalence(spec in arb_spec(), factor in 2usize..5) {
-        use sentinel::prog::superblock::unroll_all_loops;
-        use sentinel::sim::reference::Reference;
+#[test]
+fn unrolling_preserves_equivalence() {
+    use sentinel::prog::superblock::unroll_all_loops;
+    let mut r = Rng::seed_from_u64(0x1111_0007);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut r);
+        let factor = r.gen_range_usize(2, 5);
         let w = generate(&spec);
         let mut wu = w.clone();
         unroll_all_loops(&mut wu.func, factor);
@@ -144,16 +158,20 @@ proptest! {
         let mut r2 = Reference::new(&wu.func);
         apply_memory(&wu, r2.memory_mut());
         r2.run().expect("unrolled");
-        prop_assert_eq!(r1.memory().snapshot(), r2.memory().snapshot());
+        assert_eq!(r1.memory().snapshot(), r2.memory().snapshot());
         // And the unrolled program still schedules + simulates correctly.
         let sched = schedule_function(
             &wu.func,
             &MachineDesc::paper_issue(8),
             &SchedOptions::new(SchedulingModel::Sentinel),
-        ).expect("schedule unrolled");
-        let mut m = Machine::new(&sched.func, SimConfig::for_mdes(MachineDesc::paper_issue(8)));
+        )
+        .expect("schedule unrolled");
+        let mut m = Machine::new(
+            &sched.func,
+            SimConfig::for_mdes(MachineDesc::paper_issue(8)),
+        );
         apply_memory(&wu, m.memory_mut());
-        prop_assert_eq!(m.run().expect("run"), RunOutcome::Halted);
-        prop_assert_eq!(m.memory().snapshot(), r1.memory().snapshot());
+        assert_eq!(m.run().expect("run"), RunOutcome::Halted);
+        assert_eq!(m.memory().snapshot(), r1.memory().snapshot());
     }
 }

@@ -2,13 +2,13 @@
 //! protocol-valid sequence of inserts / confirms / cancels / drains /
 //! lookups must agree with a trivial timing-free model on every lookup
 //! and on the final committed memory.
-
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Driven by the in-tree deterministic RNG (seed loop) instead of an
+//! external property-testing framework so the workspace builds offline.
 
 use sentinel::sim::{Entry, EntryState, Memory, StoreBuffer, Width};
 use sentinel_isa::InsnId;
+use sentinel_workloads::Rng;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum ModelState {
@@ -70,7 +70,7 @@ impl Model {
 }
 
 fn run_session(seed: u64, steps: usize, capacity: usize) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut mem = Memory::new();
     mem.map_region(0x1000, 0x100);
     // Initial memory contents.
@@ -86,30 +86,34 @@ fn run_session(seed: u64, steps: usize, capacity: usize) {
     let mut next_data: u64 = 1;
 
     for _ in 0..steps {
-        cycle += rng.gen_range(0..3);
+        cycle += rng.gen_range_u64(0, 3);
         // Sync the model's released count with the real buffer by
         // re-deriving it after each op (the real buffer reports occupancy).
-        let choice = rng.gen_range(0..100);
+        let choice = rng.gen_range_u64(0, 100);
         let can_insert_freely = {
             // Inserting into a full buffer whose head is probationary
             // deadlocks by design; only insert then if a release is
             // possible.
-            let head_blocked = model
-                .live()
-                .next()
-                .is_some_and(|(_, e)| {
-                    matches!(e.state, ModelState::Probationary | ModelState::ProbationaryTagged)
-                });
+            let head_blocked = model.live().next().is_some_and(|(_, e)| {
+                matches!(
+                    e.state,
+                    ModelState::Probationary | ModelState::ProbationaryTagged
+                )
+            });
             model.occupancy() < capacity || !head_blocked
         };
         if choice < 40 && can_insert_freely {
             // Insert (mix of confirmed / probationary / tagged).
-            let addr = addrs[rng.gen_range(0..addrs.len())];
+            let addr = addrs[rng.gen_range_usize(0, addrs.len())];
             let data = next_data;
             next_data += 1;
-            let kind = rng.gen_range(0..3);
+            let kind = rng.gen_range_u64(0, 3);
             let (state, mstate, except) = match kind {
-                0 => (EntryState::Confirmed { ready: cycle }, ModelState::Confirmed, None),
+                0 => (
+                    EntryState::Confirmed { ready: cycle },
+                    ModelState::Confirmed,
+                    None,
+                ),
                 1 => (EntryState::Probationary, ModelState::Probationary, None),
                 _ => (
                     EntryState::Probationary,
@@ -128,13 +132,14 @@ fn run_session(seed: u64, steps: usize, capacity: usize) {
             };
             let eff = sb.insert(entry, cycle, &mut mem).expect("valid insert");
             cycle = eff.max(cycle);
-            model.entries.push(ModelEntry { addr, data, state: mstate });
+            model.entries.push(ModelEntry {
+                addr,
+                data,
+                state: mstate,
+            });
         } else if choice < 55 {
             // Confirm a random live probationary entry (tail-relative).
-            let live: Vec<(usize, ModelState)> = model
-                .live()
-                .map(|(i, e)| (i, e.state))
-                .collect();
+            let live: Vec<(usize, ModelState)> = model.live().map(|(i, e)| (i, e.state)).collect();
             let probs: Vec<usize> = live
                 .iter()
                 .filter(|(_, s)| {
@@ -173,7 +178,7 @@ fn run_session(seed: u64, steps: usize, capacity: usize) {
             }
         } else if choice < 85 {
             // Lookup.
-            let addr = addrs[rng.gen_range(0..addrs.len())];
+            let addr = addrs[rng.gen_range_usize(0, addrs.len())];
             let k = addrs.iter().position(|&a| a == addr).unwrap();
             let (fwd, eff) = sb
                 .resolve_load(addr, Width::Word, cycle, &mut mem)
@@ -187,7 +192,7 @@ fn run_session(seed: u64, steps: usize, capacity: usize) {
             );
         } else {
             // Advance time (drains happen inside the buffer).
-            cycle += rng.gen_range(1..5);
+            cycle += rng.gen_range_u64(1, 5);
             sb.drain_to(cycle, &mut mem);
         }
         // Invariants after every step.
@@ -197,7 +202,10 @@ fn run_session(seed: u64, steps: usize, capacity: usize) {
         while model.occupancy() > sb.occupancy() {
             let head = model.entries[model.released].state;
             assert!(
-                !matches!(head, ModelState::Probationary | ModelState::ProbationaryTagged),
+                !matches!(
+                    head,
+                    ModelState::Probationary | ModelState::ProbationaryTagged
+                ),
                 "buffer released a probationary entry (seed {seed})"
             );
             model.released += 1;
@@ -208,7 +216,10 @@ fn run_session(seed: u64, steps: usize, capacity: usize) {
     // Cancel leftovers so flush succeeds, then compare final memory.
     sb.cancel_probationary(cycle);
     for e in &mut model.entries {
-        if matches!(e.state, ModelState::Probationary | ModelState::ProbationaryTagged) {
+        if matches!(
+            e.state,
+            ModelState::Probationary | ModelState::ProbationaryTagged
+        ) {
             e.state = ModelState::Cancelled;
         }
     }
@@ -223,11 +234,13 @@ fn run_session(seed: u64, steps: usize, capacity: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn store_buffer_matches_model(seed in 0u64..1_000_000, steps in 10usize..200, capacity in 1usize..12) {
+#[test]
+fn store_buffer_matches_model() {
+    let mut r = Rng::seed_from_u64(0x5B5B_0001);
+    for _ in 0..64 {
+        let seed = r.gen_range_u64(0, 1_000_000);
+        let steps = r.gen_range_usize(10, 200);
+        let capacity = r.gen_range_usize(1, 12);
         run_session(seed, steps, capacity);
     }
 }

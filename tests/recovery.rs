@@ -25,7 +25,12 @@ fn faulting_loop() -> Function {
     // r1: pointer (starts at 0x1000); r2: counter; r3: sum.
     b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0));
     b.push(Insn::branch(Opcode::Beq, Reg::int(4), Reg::int(5), done)); // r5 = sentinel value, never hit
-    b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(3), Reg::int(4)));
+    b.push(Insn::alu(
+        Opcode::Add,
+        Reg::int(3),
+        Reg::int(3),
+        Reg::int(4),
+    ));
     b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
     b.push(Insn::addi(Reg::int(2), Reg::int(2), -1));
     b.push(Insn::branch(Opcode::Bne, Reg::int(2), Reg::ZERO, body));
@@ -131,9 +136,17 @@ fn figure3_end_to_end_with_pointerlike_r2() {
         .unwrap();
     assert_eq!(out, RunOutcome::Halted);
     assert_eq!(m.reg(Reg::int(8)).as_i64(), 42, "G = D+1 after recovery");
-    assert_eq!(m.reg(Reg::int(9)).as_i64(), 777, "H read through updated r2");
+    assert_eq!(
+        m.reg(Reg::int(9)).as_i64(),
+        777,
+        "H read through updated r2"
+    );
     assert_eq!(m.reg(Reg::int(2)).as_i64(), 0x1010, "restore move ran");
-    assert_eq!(m.memory().read_word(0x1100).unwrap(), 99, "F committed once");
+    assert_eq!(
+        m.memory().read_word(0x1100).unwrap(),
+        99,
+        "F committed once"
+    );
     assert_eq!(m.stats().recoveries, 1);
 }
 

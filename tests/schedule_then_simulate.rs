@@ -111,7 +111,9 @@ fn chase_kernel_equivalent_under_all_models() {
 #[test]
 fn saxpy_kernel_equivalent_under_all_models() {
     let f = sentinel::prog::examples::saxpy_kernel(0x1000, 0x2000, 4, 2.5);
-    let mut init = MemInit::default().region(0x1000, 0x100).region(0x2000, 0x100);
+    let mut init = MemInit::default()
+        .region(0x1000, 0x100)
+        .region(0x2000, 0x100);
     for i in 0..4u64 {
         init = init
             .word(0x1000 + 8 * i, f64::to_bits(i as f64 + 0.5))
@@ -152,7 +154,11 @@ fn figure1_equivalent_with_live_in_regs() {
         .region(0x1000, 0x200)
         .word(0x1000, 41)
         .word(0x1100, 7);
-    assert_equivalence(&f2, &init, vec![Reg::int(1), Reg::int(3), Reg::int(4), Reg::int(5)]);
+    assert_equivalence(
+        &f2,
+        &init,
+        vec![Reg::int(1), Reg::int(3), Reg::int(4), Reg::int(5)],
+    );
 }
 
 #[test]

@@ -79,7 +79,11 @@ fn rows_010_011_nonspec_store_with_tagged_source_reports_source_pc() {
         ]);
         let store = f.block(f.entry()).insns[2].id;
         let mut m = machine(&f);
-        let victim = if tagged_value { Reg::int(2) } else { Reg::int(1) };
+        let victim = if tagged_value {
+            Reg::int(2)
+        } else {
+            Reg::int(1)
+        };
         // Tags survive the `li` writes? No — li rewrites the register.
         // Instead run a variant program without the initializing li for
         // the victim.
@@ -223,5 +227,9 @@ fn excepting_probationary_entry_excluded_from_load_search() {
         RunOutcome::Trapped(_) => {}
         o => panic!("expected trap, got {o:?}"),
     }
-    assert_eq!(m.reg(Reg::int(3)).as_i64(), 0, "load bypassed the tagged entry");
+    assert_eq!(
+        m.reg(Reg::int(3)).as_i64(),
+        0,
+        "load bypassed the tagged entry"
+    );
 }
