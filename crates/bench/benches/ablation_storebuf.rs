@@ -3,12 +3,14 @@
 //! extremes.
 
 use sentinel_bench::figures::ablation_store_buffer;
+use sentinel_bench::grid::{default_jobs, GridSession};
 use sentinel_bench::runner::{measure, MeasureConfig};
 use sentinel_bench::timing::{bench, group};
 use sentinel_core::SchedulingModel;
 use sentinel_workloads::suite;
 
 fn print_sweep_once() {
+    let session = GridSession::suite(default_jobs());
     let sizes = [1, 2, 4, 8, 16, 32];
     println!("\n== regenerated Ablation A1: T speedup (issue 8) vs store-buffer size ==");
     print!("{:<12}", "benchmark");
@@ -16,7 +18,7 @@ fn print_sweep_once() {
         print!("{:>8}", format!("N={s}"));
     }
     println!();
-    for (bench, series) in ablation_store_buffer(&sizes) {
+    for (bench, series) in ablation_store_buffer(&session, &sizes) {
         print!("{bench:<12}");
         for (_, sp) in series {
             print!("{sp:>8.2}");

@@ -1,16 +1,19 @@
 //! Figure 4 end-to-end: prints the regenerated S-vs-R speedup table, then
 //! times the full measurement pipeline (schedule + simulate) for
-//! representative benchmarks.
+//! representative benchmarks, and finally the whole figure grid serial
+//! vs parallel (fresh sessions — the memoizing cache would otherwise
+//! turn the second run into a no-op).
 
 use sentinel_bench::figures::figure4;
+use sentinel_bench::grid::{default_jobs, GridSession};
 use sentinel_bench::report::{improvement_summary, speedup_table};
 use sentinel_bench::runner::{measure, MeasureConfig};
-use sentinel_bench::timing::{bench, group};
+use sentinel_bench::timing::{bench, group, time_once};
 use sentinel_core::SchedulingModel;
 use sentinel_workloads::suite;
 
-fn print_figure4_once() {
-    let rows = figure4();
+fn print_figure4_once(session: &GridSession) {
+    let rows = figure4(session);
     let models = [
         SchedulingModel::RestrictedPercolation,
         SchedulingModel::Sentinel,
@@ -28,7 +31,7 @@ fn print_figure4_once() {
 }
 
 fn main() {
-    print_figure4_once();
+    print_figure4_once(&GridSession::suite(default_jobs()));
     group("fig4_pipeline");
     for name in ["grep", "doduc", "fpppp"] {
         let w = suite::by_name(name).unwrap();
@@ -42,4 +45,13 @@ fn main() {
             measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8))
         });
     }
+    group("fig4_grid");
+    let (_, serial) = time_once(|| figure4(&GridSession::suite(1)));
+    println!("full grid, --jobs 1                  wall {serial:>10.1?}");
+    let jobs = default_jobs();
+    let (_, parallel) = time_once(|| figure4(&GridSession::suite(jobs)));
+    println!(
+        "full grid, --jobs {jobs:<2}                 wall {parallel:>10.1?}  ({:.2}x)",
+        serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9)
+    );
 }

@@ -1,15 +1,18 @@
 //! Figure 5 end-to-end: prints the regenerated G/S/T speedup table, then
-//! times the model-T pipeline on the paper's stand-out winners.
+//! times the model-T pipeline on the paper's stand-out winners, and the
+//! whole figure grid serial vs parallel (fresh sessions — the memoizing
+//! cache would otherwise turn the second run into a no-op).
 
 use sentinel_bench::figures::figure5;
+use sentinel_bench::grid::{default_jobs, GridSession};
 use sentinel_bench::report::{improvement_summary, speedup_table};
 use sentinel_bench::runner::{measure, MeasureConfig};
-use sentinel_bench::timing::{bench, group};
+use sentinel_bench::timing::{bench, group, time_once};
 use sentinel_core::SchedulingModel;
 use sentinel_workloads::suite;
 
-fn print_figure5_once() {
-    let rows = figure5();
+fn print_figure5_once(session: &GridSession) {
+    let rows = figure5(session);
     let models = [
         SchedulingModel::GeneralPercolation,
         SchedulingModel::Sentinel,
@@ -36,7 +39,7 @@ fn print_figure5_once() {
 }
 
 fn main() {
-    print_figure5_once();
+    print_figure5_once(&GridSession::suite(default_jobs()));
     group("fig5_pipeline");
     for name in ["cmp", "grep", "eqntott"] {
         let w = suite::by_name(name).unwrap();
@@ -50,4 +53,13 @@ fn main() {
             });
         }
     }
+    group("fig5_grid");
+    let (_, serial) = time_once(|| figure5(&GridSession::suite(1)));
+    println!("full grid, --jobs 1                  wall {serial:>10.1?}");
+    let jobs = default_jobs();
+    let (_, parallel) = time_once(|| figure5(&GridSession::suite(jobs)));
+    println!(
+        "full grid, --jobs {jobs:<2}                 wall {parallel:>10.1?}  ({:.2}x)",
+        serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9)
+    );
 }

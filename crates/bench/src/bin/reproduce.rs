@@ -1,341 +1,10 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! ```text
-//! reproduce fig4                # Figure 4: S vs R speedups
-//! reproduce fig5                # Figure 5: G vs S vs T speedups
-//! reproduce summary             # §5.2 headline statistics
-//! reproduce ablation-sb         # store-buffer size sweep (ours)
-//! reproduce ablation-recovery   # recovery-constraint cost (ours)
-//! reproduce overhead [width]    # sentinel-insertion overhead (ours)
-//! reproduce all                 # everything
-//! reproduce fig4 --csv          # CSV instead of aligned text
-//! ```
-
-use sentinel_bench::figures::{
-    ablation_boosting, ablation_cache, ablation_formation, ablation_pipelining, ablation_recovery,
-    ablation_register_pressure, ablation_store_buffer, ablation_unrolling, figure4, figure5,
-    issue_sweep, sentinel_overhead,
-};
-use sentinel_bench::report::{
-    improvement_summary, speedup_csv, speedup_table, stall_breakdown_csv, stall_breakdown_table,
-};
-use sentinel_core::SchedulingModel;
-
-fn print_fig4(csv: bool) {
-    let rows = figure4();
-    let models = [
-        SchedulingModel::RestrictedPercolation,
-        SchedulingModel::Sentinel,
-    ];
-    println!("== Figure 4: sentinel scheduling (S) vs restricted percolation (R) ==");
-    println!("speedup over base machine (issue 1, restricted percolation)\n");
-    if csv {
-        print!("{}", speedup_csv(&rows, &models));
-        print!(
-            "{}",
-            stall_breakdown_csv(&rows, SchedulingModel::Sentinel, 8)
-        );
-    } else {
-        print!("{}", speedup_table(&rows, &models));
-        println!();
-        print!(
-            "{}",
-            improvement_summary(
-                &rows,
-                SchedulingModel::Sentinel,
-                SchedulingModel::RestrictedPercolation
-            )
-        );
-        println!();
-        print!(
-            "{}",
-            stall_breakdown_table(&rows, SchedulingModel::RestrictedPercolation, 8)
-        );
-        println!();
-        print!(
-            "{}",
-            stall_breakdown_table(&rows, SchedulingModel::Sentinel, 8)
-        );
-    }
-}
-
-fn print_fig5(csv: bool) {
-    let rows = figure5();
-    let models = [
-        SchedulingModel::GeneralPercolation,
-        SchedulingModel::Sentinel,
-        SchedulingModel::SentinelStores,
-    ];
-    println!("== Figure 5: general percolation (G) vs sentinel (S) vs speculative stores (T) ==");
-    println!("speedup over base machine (issue 1, restricted percolation)\n");
-    if csv {
-        print!("{}", speedup_csv(&rows, &models));
-        print!(
-            "{}",
-            stall_breakdown_csv(&rows, SchedulingModel::SentinelStores, 8)
-        );
-    } else {
-        print!("{}", speedup_table(&rows, &models));
-        println!();
-        print!(
-            "{}",
-            improvement_summary(
-                &rows,
-                SchedulingModel::Sentinel,
-                SchedulingModel::GeneralPercolation
-            )
-        );
-        print!(
-            "{}",
-            improvement_summary(
-                &rows,
-                SchedulingModel::SentinelStores,
-                SchedulingModel::Sentinel
-            )
-        );
-        println!();
-        print!(
-            "{}",
-            stall_breakdown_table(&rows, SchedulingModel::SentinelStores, 8)
-        );
-    }
-}
-
-fn print_summary() {
-    let rows4 = figure4();
-    println!("== §5.2 headline statistics ==\n");
-    print!(
-        "{}",
-        improvement_summary(
-            &rows4,
-            SchedulingModel::Sentinel,
-            SchedulingModel::RestrictedPercolation
-        )
-    );
-    let rows5 = figure5();
-    print!(
-        "{}",
-        improvement_summary(
-            &rows5,
-            SchedulingModel::Sentinel,
-            SchedulingModel::GeneralPercolation
-        )
-    );
-    print!(
-        "{}",
-        improvement_summary(
-            &rows5,
-            SchedulingModel::SentinelStores,
-            SchedulingModel::Sentinel
-        )
-    );
-}
-
-fn print_ablation_sb() {
-    println!("== Ablation A1: model-T speedup (issue 8) vs store-buffer size ==\n");
-    let sizes = [1, 2, 4, 8, 16, 32];
-    let data = ablation_store_buffer(&sizes);
-    print!("{:<12}", "benchmark");
-    for s in sizes {
-        print!("{:>8}", format!("N={s}"));
-    }
-    println!();
-    for (bench, series) in data {
-        print!("{bench:<12}");
-        for (_, sp) in series {
-            print!("{sp:>8.2}");
-        }
-        println!();
-    }
-}
-
-fn print_ablation_recovery() {
-    println!("== Ablation A2: §3.7 recovery-constraint cost (sentinel, issue 8) ==\n");
-    println!(
-        "{:<12}{:>10}{:>12}{:>8}",
-        "benchmark", "plain", "w/recovery", "loss"
-    );
-    for (bench, plain, rec) in ablation_recovery() {
-        let loss = (1.0 - rec / plain) * 100.0;
-        println!("{bench:<12}{plain:>10.2}{rec:>12.2}{loss:>7.1}%");
-    }
-}
-
-fn print_ablation_formation() {
-    println!("== Ablation A4: superblock formation's contribution (sentinel, issue 8) ==\n");
-    println!(
-        "{:<12}{:>12}{:>12}{:>12}",
-        "benchmark", "basicblocks", "formed", "original"
-    );
-    for (bench, split, formed, original) in ablation_formation() {
-        println!("{bench:<12}{split:>12.2}{formed:>12.2}{original:>12.2}");
-    }
-    println!("\n(speedup over the original program's base machine)");
-}
-
-fn print_ablation_boosting() {
-    println!("== Ablation A5: instruction boosting (§2.3) vs sentinel scheduling (issue 8) ==\n");
-    println!(
-        "{:<12}{:>8}{:>8}{:>8}{:>8}{:>8}",
-        "benchmark", "R", "B(1)", "B(2)", "B(4)", "S"
-    );
-    for (bench, r, b1, b2, b4, s) in ablation_boosting() {
-        println!("{bench:<12}{r:>8.2}{b1:>8.2}{b2:>8.2}{b4:>8.2}{s:>8.2}");
-    }
-    println!("\n(speedup over the base machine; the paper: sentinel reaches boosting's");
-    println!(" performance without shadow register files / shadow store buffers)");
-}
-
-fn print_ablation_unrolling() {
-    println!("== Ablation A6: superblock loop unrolling (sentinel, issue 8) ==\n");
-    let factors = [1, 2, 4];
-    print!("{:<12}", "benchmark");
-    for k in factors {
-        print!("{:>8}", format!("x{k}"));
-    }
-    println!();
-    for (bench, series) in ablation_unrolling(&factors) {
-        print!("{bench:<12}");
-        for (_, sp) in series {
-            print!("{sp:>8.2}");
-        }
-        println!();
-    }
-    println!("\n(speedup over the original base machine)");
-}
-
-fn print_ablation_cache() {
-    println!("== Ablation A7: S-over-R improvement vs cache-miss penalty (issue 8) ==\n");
-    let penalties = [0, 10, 20, 40];
-    print!("{:<12}", "benchmark");
-    for p in penalties {
-        print!("{:>8}", format!("p={p}"));
-    }
-    println!();
-    for (bench, series) in ablation_cache(&penalties) {
-        print!("{bench:<12}");
-        for (_, ratio) in series {
-            print!("{:>7.1}%", (ratio - 1.0) * 100.0);
-        }
-        println!();
-    }
-    println!("\n(p=0 is the paper's 100%-hit assumption; larger penalties test whether");
-    println!(" speculative loads hide miss latency)");
-}
-
-fn print_ablation_pipelining() {
-    println!("== Ablation A8: modulo scheduling (software pipelining), issue 8 ==\n");
-    println!(
-        "{:<12}{:>10}{:>11}{:>9}{:>5}{:>8}",
-        "kernel", "acyclic", "pipelined", "speedup", "II", "stages"
-    );
-    for (name, acyclic, pipelined, ii, stages) in ablation_pipelining() {
-        println!(
-            "{name:<12}{acyclic:>10}{pipelined:>11}{:>8.2}x{ii:>5}{stages:>8}",
-            acyclic as f64 / pipelined as f64
-        );
-    }
-    println!("\n(cycles; chain_scan is the while-loop whose pipeline depends on");
-    println!(" speculative support — paper §2, Tirumalai et al.)");
-}
-
-fn print_ablation_pressure() {
-    println!("== Ablation A9: register pressure of the §3.7 recovery constraints ==\n");
-    println!(
-        "{:<12}{:>10}{:>12}{:>8}",
-        "benchmark", "plain", "w/recovery", "extra"
-    );
-    for (bench, plain, rec) in ablation_register_pressure() {
-        println!(
-            "{bench:<12}{plain:>10}{rec:>12}{:>8}",
-            rec as i64 - plain as i64
-        );
-    }
-    println!("\n(maximum simultaneously live registers in sentinel-scheduled code)");
-}
-
-fn print_sweep() {
-    println!("== Issue-width sweep: sentinel speedup over the base machine ==\n");
-    let widths = [1, 2, 4, 8, 16];
-    print!("{:<12}", "benchmark");
-    for w in widths {
-        print!("{:>8}", format!("w={w}"));
-    }
-    println!();
-    for (bench, series) in issue_sweep(&widths) {
-        print!("{bench:<12}");
-        for (_, sp) in series {
-            print!("{sp:>8.2}");
-        }
-        println!();
-    }
-}
-
-fn print_overhead(width: usize) {
-    println!("== Ablation A3: sentinel-insertion overhead (issue {width}) ==\n");
-    println!(
-        "{:<12}{:>10}{:>12}{:>10}",
-        "benchmark", "static", "dynamic", "share"
-    );
-    for (bench, stat, dynamic, share) in sentinel_overhead(width) {
-        println!("{bench:<12}{stat:>10}{dynamic:>12}{:>9.2}%", share * 100.0);
-    }
-}
+//! Thin wrapper over [`sentinel_bench::cli`]; the same interface is
+//! reachable as `sentinel reproduce ...`. See the module docs there for
+//! the subcommand list and `--csv` / `--jobs N` flags.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
-    match cmd {
-        "fig4" => print_fig4(csv),
-        "fig5" => print_fig5(csv),
-        "summary" => print_summary(),
-        "ablation-sb" => print_ablation_sb(),
-        "ablation-recovery" => print_ablation_recovery(),
-        "ablation-formation" => print_ablation_formation(),
-        "ablation-boosting" => print_ablation_boosting(),
-        "ablation-unroll" => print_ablation_unrolling(),
-        "ablation-cache" => print_ablation_cache(),
-        "ablation-pipeline" => print_ablation_pipelining(),
-        "sweep" => print_sweep(),
-        "ablation-pressure" => print_ablation_pressure(),
-        "overhead" => {
-            let width = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-            print_overhead(width);
-        }
-        "all" => {
-            print_fig4(false);
-            println!();
-            print_fig5(false);
-            println!();
-            print_ablation_sb();
-            println!();
-            print_ablation_recovery();
-            println!();
-            print_ablation_formation();
-            println!();
-            print_ablation_boosting();
-            println!();
-            print_ablation_unrolling();
-            println!();
-            print_ablation_cache();
-            println!();
-            print_ablation_pipelining();
-            println!();
-            print_ablation_pressure();
-            println!();
-            print_overhead(2);
-            println!();
-            print_overhead(8);
-        }
-        other => {
-            eprintln!("unknown command '{other}'");
-            eprintln!(
-                "usage: reproduce [fig4|fig5|summary|sweep|overhead [width]|ablation-sb|\
-                 ablation-recovery|ablation-formation|ablation-boosting|ablation-unroll|\
-                 ablation-cache|ablation-pipeline|ablation-pressure|all] [--csv]"
-            );
-            std::process::exit(2);
-        }
-    }
+    std::process::exit(sentinel_bench::cli::run(&args));
 }

@@ -1,0 +1,123 @@
+//! Memoizing result cache for evaluation-grid cells.
+//!
+//! `reproduce all` used to re-measure identical (bench, model, width)
+//! points in Figure 4, Figure 5, the §5.2 summary, and several
+//! ablations. The cache guarantees each [`Cell`](crate::grid::Cell) is
+//! scheduled and simulated **at most once per process**: every lookup
+//! is counted in a [`SharedMetrics`] registry (`grid.cells.hit` /
+//! `grid.cells.miss`), so tests can assert the at-most-once contract
+//! instead of trusting it.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use sentinel_trace::SharedMetrics;
+
+use crate::grid::{Cell, CellOutcome};
+
+/// Metric name: lookups answered from the cache.
+pub const HIT_COUNTER: &str = "grid.cells.hit";
+/// Metric name: lookups that required a fresh schedule + simulation.
+pub const MISS_COUNTER: &str = "grid.cells.miss";
+/// Metric name: cells actually evaluated (== misses; kept separate so a
+/// double evaluation of one cell would show up as `evaluated > miss`).
+pub const EVAL_COUNTER: &str = "grid.cells.evaluated";
+/// Metric name: per-cell wall time histogram, in microseconds.
+pub const CELL_MICROS: &str = "grid.cell.micros";
+
+/// Thread-safe memo table from [`Cell`] to its measured outcome.
+///
+/// Failed cells are cached too: a panicking measurement degrades to an
+/// error row once, rather than re-panicking in every figure that asks
+/// for the same point.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<Cell, CellOutcome>>,
+    metrics: SharedMetrics,
+}
+
+impl ResultCache {
+    /// An empty cache aggregating into `metrics`.
+    pub fn new(metrics: SharedMetrics) -> ResultCache {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            metrics,
+        }
+    }
+
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<Cell, CellOutcome>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks `cell` up, bumping the hit or miss counter.
+    pub fn lookup(&self, cell: &Cell) -> Option<CellOutcome> {
+        let found = self.map().get(cell).cloned();
+        self.metrics.count(
+            if found.is_some() {
+                HIT_COUNTER
+            } else {
+                MISS_COUNTER
+            },
+            1,
+        );
+        found
+    }
+
+    /// Looks `cell` up without touching the counters (assembly passes
+    /// that re-read cells already accounted for by [`ResultCache::lookup`]).
+    pub fn peek(&self, cell: &Cell) -> Option<CellOutcome> {
+        self.map().get(cell).cloned()
+    }
+
+    /// Stores the outcome of an evaluated cell and bumps the evaluated
+    /// counter. Insertion order is the planner's deterministic missing
+    /// order, never the thread completion order.
+    pub fn insert(&self, cell: Cell, outcome: CellOutcome) {
+        self.metrics.count(EVAL_COUNTER, 1);
+        self.map().insert(cell, outcome);
+    }
+
+    /// Number of distinct cells held.
+    pub fn len(&self) -> usize {
+        self.map().len()
+    }
+
+    /// Whether the cache holds no cells yet.
+    pub fn is_empty(&self) -> bool {
+        self.map().is_empty()
+    }
+
+    /// The metrics registry the cache reports into.
+    pub fn metrics(&self) -> &SharedMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_core::SchedulingModel;
+
+    fn cell(width: usize) -> Cell {
+        Cell::paper("cmp", SchedulingModel::Sentinel, width)
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let c = ResultCache::new(SharedMetrics::new());
+        assert!(c.is_empty());
+        assert!(c.lookup(&cell(2)).is_none());
+        c.insert(
+            cell(2),
+            Err(crate::grid::CellError::new("placeholder".into())),
+        );
+        assert!(c.lookup(&cell(2)).is_some());
+        assert!(c.peek(&cell(2)).is_some());
+        assert!(c.lookup(&cell(4)).is_none());
+        let m = c.metrics();
+        assert_eq!(m.counter(HIT_COUNTER), 1);
+        assert_eq!(m.counter(MISS_COUNTER), 2);
+        assert_eq!(m.counter(EVAL_COUNTER), 1);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,481 @@
+//! The evaluation grid engine.
+//!
+//! The paper's evaluation is a dense grid — 17 benchmarks × several
+//! scheduling models × several issue widths, plus ablation knobs. This
+//! module turns the schedule → simulate → measure path into an engine
+//! instead of a nest of for-loops:
+//!
+//! * a [`Cell`] names one grid point (bench, model, width, knobs);
+//! * a [`GridSession`] owns the shared workload suite (one `Arc`, built
+//!   once), a memoizing [`ResultCache`](crate::cache::ResultCache), and
+//!   a worker pool size;
+//! * [`GridSession::eval`] dedups the requested cells against the
+//!   cache, evaluates the missing ones on scoped threads, and returns
+//!   outcomes **in request order** — byte-identical output no matter
+//!   how threads interleave;
+//! * a panicking cell is caught per cell ([`std::panic::catch_unwind`])
+//!   and degrades to a [`CellError`] row instead of aborting the run.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use sentinel_core::SchedulingModel;
+use sentinel_sim::cache::CacheConfig;
+use sentinel_trace::{Metrics, SharedMetrics};
+use sentinel_workloads::{suite, Workload};
+
+use crate::cache::{ResultCache, CELL_MICROS};
+use crate::runner::{measure, MeasureConfig, Measurement};
+
+/// One point of the evaluation grid: a benchmark measured under a
+/// scheduling model and a machine/scheduler configuration.
+///
+/// Two figures (or ablations) asking for the same cell are the same
+/// work; the session's cache ensures it is done once. The derived `Ord`
+/// gives plans and reports a deterministic order that is independent of
+/// request order and thread interleaving.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    /// Benchmark name (must exist in the session's workload set).
+    pub bench: String,
+    /// Scheduling model.
+    pub model: SchedulingModel,
+    /// Issue width.
+    pub width: usize,
+    /// Enforce the §3.7 recovery constraints during scheduling.
+    pub recovery: bool,
+    /// Store-buffer entries (8 on the paper's machine).
+    pub store_buffer: usize,
+    /// Optional timing-only data cache (`None` = the paper's 100%-hit
+    /// assumption).
+    pub cache: Option<CacheConfig>,
+}
+
+impl Cell {
+    /// The paper's §5 configuration of `bench` for a model and width.
+    pub fn paper(bench: &str, model: SchedulingModel, width: usize) -> Cell {
+        Cell {
+            bench: bench.to_string(),
+            model,
+            width,
+            recovery: false,
+            store_buffer: 8,
+            cache: None,
+        }
+    }
+
+    /// The paper's *base machine* point for `bench`: issue 1,
+    /// restricted percolation. Every speedup in every figure divides by
+    /// this cell, so it is the most shared point in the grid.
+    pub fn base(bench: &str) -> Cell {
+        Cell::paper(bench, SchedulingModel::RestrictedPercolation, 1)
+    }
+
+    /// The measurement configuration this cell denotes.
+    pub fn config(&self) -> MeasureConfig {
+        let mut cfg = MeasureConfig::paper(self.model, self.width);
+        cfg.recovery = self.recovery;
+        cfg.store_buffer = self.store_buffer;
+        cfg.cache = self.cache.clone();
+        cfg
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} x{}", self.bench, self.model.tag(), self.width)?;
+        if self.recovery {
+            write!(f, " +recovery")?;
+        }
+        if self.store_buffer != 8 {
+            write!(f, " sb={}", self.store_buffer)?;
+        }
+        if let Some(c) = &self.cache {
+            write!(f, " cache(p={})", c.miss_penalty)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Why a cell produced no measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// The panic payload (or lookup failure) as text.
+    pub message: String,
+}
+
+impl CellError {
+    /// An error with the given message.
+    pub fn new(message: String) -> CellError {
+        CellError { message }
+    }
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// A cell's evaluation result: the measurement, or the degraded error
+/// row a panicking cell turns into.
+pub type CellOutcome = Result<Measurement, CellError>;
+
+/// Test-only fault hook: cells matched by the predicate panic instead
+/// of measuring, exercising the degraded-row path.
+pub type FaultHook = Arc<dyn Fn(&Cell) -> bool + Send + Sync>;
+
+/// The number of worker threads to use by default: one per available
+/// hardware thread (fall back to 1 if parallelism cannot be queried).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A measurement session over a fixed workload set: shared suite,
+/// memoizing cache, and a worker-pool size.
+///
+/// One session should span an entire `reproduce` invocation so every
+/// figure and ablation draws from (and feeds) the same cache.
+pub struct GridSession {
+    workloads: Arc<Vec<Workload>>,
+    by_name: HashMap<String, usize>,
+    cache: ResultCache,
+    jobs: usize,
+    fault_hook: Option<FaultHook>,
+}
+
+impl GridSession {
+    /// A session over an explicit workload set.
+    pub fn new(workloads: Arc<Vec<Workload>>, jobs: usize) -> GridSession {
+        let by_name = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.name.clone(), i))
+            .collect();
+        GridSession {
+            workloads,
+            by_name,
+            cache: ResultCache::new(SharedMetrics::new()),
+            jobs: jobs.max(1),
+            fault_hook: None,
+        }
+    }
+
+    /// A session over the paper's 17-benchmark suite (built once per
+    /// process, shared via `Arc`).
+    pub fn suite(jobs: usize) -> GridSession {
+        GridSession::new(suite::shared(), jobs)
+    }
+
+    /// The worker-pool size.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The session's workloads, in suite order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The workload named `bench`, if present.
+    pub fn workload(&self, bench: &str) -> Option<&Workload> {
+        self.by_name.get(bench).map(|&i| &self.workloads[i])
+    }
+
+    /// The metrics registry (cache hit/miss/evaluated counters and the
+    /// per-cell timing histogram).
+    pub fn metrics(&self) -> Metrics {
+        self.cache.metrics().snapshot()
+    }
+
+    /// Number of distinct cells measured so far.
+    pub fn cells_cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Installs a test-only fault hook: any planned cell matched by
+    /// `hook` panics instead of measuring. The panic is confined to the
+    /// cell, which degrades to a [`CellError`] row.
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Evaluates `cells`, returning one outcome per requested cell, in
+    /// request order.
+    ///
+    /// Duplicates (within the request or against previous calls) are
+    /// served from the cache; the distinct missing cells are measured
+    /// on up to [`GridSession::jobs`] scoped worker threads. Results
+    /// are deterministic: outcome order is the request order, and cache
+    /// insertion follows the plan order, never thread completion order.
+    ///
+    /// Calls are expected to come from one coordinating thread at a
+    /// time (the at-most-once guarantee is per `eval` pass; two fully
+    /// concurrent `eval` calls could race to measure the same missing
+    /// cell).
+    pub fn eval(&self, cells: &[Cell]) -> Vec<CellOutcome> {
+        // Plan: the distinct cells not already cached, in first-request
+        // order. Lookups count one hit/miss per *distinct* cell per call.
+        let mut seen: HashSet<&Cell> = HashSet::new();
+        let mut missing: Vec<Cell> = Vec::new();
+        for cell in cells {
+            if seen.insert(cell) && self.cache.lookup(cell).is_none() {
+                missing.push(cell.clone());
+            }
+        }
+
+        self.run_missing(&missing);
+
+        cells
+            .iter()
+            .map(|c| {
+                self.cache
+                    .peek(c)
+                    .expect("evaluated cell must be in the cache")
+            })
+            .collect()
+    }
+
+    /// Evaluates one cell (cached like any other).
+    pub fn cell(&self, cell: Cell) -> CellOutcome {
+        self.eval(std::slice::from_ref(&cell)).pop().unwrap()
+    }
+
+    /// Evaluates one cell and unwraps it, panicking with the cell name
+    /// on a degraded row (callers that cannot tolerate error rows).
+    pub fn measurement(&self, cell: Cell) -> Measurement {
+        let name = cell.to_string();
+        self.cell(cell)
+            .unwrap_or_else(|e| panic!("{name}: {}", e.message))
+    }
+
+    /// Measures the missing cells and commits them to the cache in plan
+    /// order.
+    fn run_missing(&self, missing: &[Cell]) {
+        if missing.is_empty() {
+            return;
+        }
+        let workers = self.jobs.min(missing.len());
+        let slots: Vec<OnceLock<CellOutcome>> = missing.iter().map(|_| OnceLock::new()).collect();
+        if workers <= 1 {
+            for (cell, slot) in missing.iter().zip(&slots) {
+                let _ = slot.set(self.run_cell(cell));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = missing.get(i) else { break };
+                        let _ = slots[i].set(self.run_cell(cell));
+                    });
+                }
+            });
+        }
+        for (cell, slot) in missing.iter().zip(slots) {
+            let outcome = slot.into_inner().expect("worker filled every slot");
+            self.cache.insert(cell.clone(), outcome);
+        }
+    }
+
+    /// Schedules + simulates one cell with panic isolation.
+    fn run_cell(&self, cell: &Cell) -> CellOutcome {
+        let Some(w) = self.workload(&cell.bench) else {
+            return Err(CellError::new(format!(
+                "unknown benchmark '{}'",
+                cell.bench
+            )));
+        };
+        let t0 = Instant::now();
+        let hook = self.fault_hook.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = &hook {
+                if hook(cell) {
+                    panic!("injected fault for {cell}");
+                }
+            }
+            measure(w, &cell.config())
+        }));
+        self.cache
+            .metrics()
+            .observe(CELL_MICROS, t0.elapsed().as_micros() as u64);
+        result.map_err(|payload| CellError::new(panic_message(payload)))
+    }
+}
+
+/// Renders a panic payload as text (the common `&str` / `String` cases,
+/// with a fallback for exotic payloads).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked (non-string payload)".to_string()
+    }
+}
+
+/// Applies `f` to every item on up to `jobs` scoped worker threads,
+/// returning results in item order (a deterministic parallel `map`).
+///
+/// Used by the ablations whose per-benchmark work is not a pure grid
+/// cell (program-mutating transforms such as superblock re-formation or
+/// unrolling) but is still embarrassingly parallel. A panic in `f`
+/// propagates — unlike grid cells, these transforms are expected to be
+/// infallible.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    // Mutex (not OnceLock) slots: OnceLock<R> is only Sync when R: Sync,
+    // and results never contend — each slot is written exactly once.
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    if workers <= 1 {
+        for (item, slot) in items.iter().zip(&slots) {
+            *slot.lock().expect("slot lock") = Some(f(item));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    *slots[i].lock().expect("slot lock") = Some(f(item));
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{EVAL_COUNTER, HIT_COUNTER, MISS_COUNTER};
+    use sentinel_workloads::{generate, WorkloadSpec};
+
+    fn tiny_session(jobs: usize) -> GridSession {
+        let mut s = WorkloadSpec::test_default("tiny", 3);
+        s.iterations = 10;
+        let mut s2 = WorkloadSpec::test_default("tiny2", 5);
+        s2.iterations = 10;
+        GridSession::new(Arc::new(vec![generate(&s), generate(&s2)]), jobs)
+    }
+
+    fn grid_cells() -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for bench in ["tiny", "tiny2"] {
+            cells.push(Cell::base(bench));
+            for model in [
+                SchedulingModel::RestrictedPercolation,
+                SchedulingModel::Sentinel,
+            ] {
+                for width in [2, 4] {
+                    cells.push(Cell::paper(bench, model, width));
+                }
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn eval_is_deterministic_across_job_counts() {
+        let cells = grid_cells();
+        let serial = tiny_session(1).eval(&cells);
+        let parallel = tiny_session(4).eval(&cells);
+        assert_eq!(serial, parallel);
+        // And across repeated runs of the same session (pure cache hits).
+        let session = tiny_session(4);
+        assert_eq!(session.eval(&cells), session.eval(&cells));
+    }
+
+    #[test]
+    fn cells_are_evaluated_at_most_once() {
+        let session = tiny_session(4);
+        let cells = grid_cells();
+        let doubled: Vec<Cell> = cells.iter().chain(cells.iter()).cloned().collect();
+        session.eval(&doubled);
+        session.eval(&cells);
+        let m = session.metrics();
+        assert_eq!(m.counter(EVAL_COUNTER), cells.len() as u64);
+        assert_eq!(m.counter(MISS_COUNTER), cells.len() as u64);
+        // Second eval: every distinct cell hits.
+        assert_eq!(m.counter(HIT_COUNTER), cells.len() as u64);
+        assert_eq!(session.cells_cached(), cells.len());
+        assert_eq!(
+            m.histogram(CELL_MICROS).unwrap().count(),
+            cells.len() as u64
+        );
+    }
+
+    #[test]
+    fn faulting_cell_degrades_without_killing_the_run() {
+        let mut session = tiny_session(4);
+        session.set_fault_hook(Arc::new(|c: &Cell| {
+            c.bench == "tiny" && c.model == SchedulingModel::Sentinel && c.width == 4
+        }));
+        let outcomes = session.eval(&grid_cells());
+        let errors: Vec<_> = outcomes.iter().filter(|o| o.is_err()).collect();
+        assert_eq!(errors.len(), 1);
+        let msg = &errors[0].as_ref().unwrap_err().message;
+        assert!(msg.contains("injected fault"), "{msg}");
+        assert!(msg.contains("tiny [S x4]"), "{msg}");
+        // All other cells still measured.
+        assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 9);
+    }
+
+    #[test]
+    fn unknown_bench_is_an_error_row() {
+        let session = tiny_session(2);
+        let out = session.cell(Cell::base("nonesuch"));
+        assert!(out.unwrap_err().message.contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn measurement_panics_with_cell_name_on_error() {
+        let session = tiny_session(1);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            session.measurement(Cell::base("nonesuch"))
+        }))
+        .unwrap_err();
+        assert!(panic_message(err).contains("nonesuch"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let doubled = parallel_map(8, &items, |&x| x * 2);
+        assert_eq!(doubled, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(parallel_map(1, &items, |&x| x * 2), doubled);
+        assert!(parallel_map(4, &[] as &[u64], |&x| x).is_empty());
+    }
+
+    #[test]
+    fn cell_display_names_knobs() {
+        let mut c = Cell::paper("grep", SchedulingModel::SentinelStores, 8);
+        c.store_buffer = 2;
+        c.recovery = true;
+        assert_eq!(c.to_string(), "grep [T x8 +recovery sb=2]");
+        assert_eq!(Cell::base("wc").to_string(), "wc [R x1]");
+    }
+}

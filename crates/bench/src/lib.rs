@@ -12,11 +12,21 @@
 //! under `benches/` (plain `Instant` harness in [`timing`], no external
 //! framework) time the scheduler and simulator and re-derive the figure
 //! series.
+//!
+//! Measurement itself runs through the [`grid`] engine: one
+//! [`grid::GridSession`] per invocation dedups every requested
+//! (bench, model, width, knobs) [`grid::Cell`] across figures and
+//! ablations, memoizes results ([`cache`]), evaluates missing cells on
+//! scoped worker threads (`--jobs N`), and confines a panicking cell to
+//! a degraded error row.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod cli;
 pub mod figures;
+pub mod grid;
 pub mod report;
 pub mod runner;
 pub mod timing;

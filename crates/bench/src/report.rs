@@ -9,7 +9,9 @@ use sentinel_workloads::BenchClass;
 use crate::figures::{mean_improvement, BenchSpeedups, WIDTHS};
 
 /// Renders a figure's speedups as an aligned text table: one row per
-/// benchmark, one column per (model, width).
+/// benchmark, one column per (model, width). A degraded cell (one whose
+/// measurement panicked and was isolated by the grid engine) renders as
+/// `err`; its cause is listed by [`failed_cell_report`].
 pub fn speedup_table(rows: &[BenchSpeedups], models: &[SchedulingModel]) -> String {
     let mut out = String::new();
     let _ = write!(out, "{:<12}", "benchmark");
@@ -23,7 +25,14 @@ pub fn speedup_table(rows: &[BenchSpeedups], models: &[SchedulingModel]) -> Stri
         let _ = write!(out, "{:<12}", r.bench);
         for &m in models {
             for &w in &WIDTHS {
-                let _ = write!(out, "{:>9.2}", r.speedup(m, w));
+                match r.try_speedup(m, w) {
+                    Some(sp) => {
+                        let _ = write!(out, "{sp:>9.2}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>9}", "err");
+                    }
+                }
             }
         }
         let _ = writeln!(out);
@@ -31,22 +40,37 @@ pub fn speedup_table(rows: &[BenchSpeedups], models: &[SchedulingModel]) -> Stri
     out
 }
 
-/// Renders the same data as CSV (`benchmark,class,model,width,speedup`).
+/// Renders the same data as CSV (`benchmark,class,model,width,speedup`);
+/// degraded cells emit `err` in the speedup column.
 pub fn speedup_csv(rows: &[BenchSpeedups], models: &[SchedulingModel]) -> String {
     let mut out = String::from("benchmark,class,model,width,speedup\n");
     for r in rows {
         for &m in models {
             for &w in &WIDTHS {
-                let _ = writeln!(
-                    out,
-                    "{},{},{},{},{:.4}",
-                    r.bench,
-                    r.class,
-                    m.tag(),
-                    w,
-                    r.speedup(m, w)
-                );
+                let _ = write!(out, "{},{},{},{},", r.bench, r.class, m.tag(), w);
+                match r.try_speedup(m, w) {
+                    Some(sp) => {
+                        let _ = writeln!(out, "{sp:.4}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "err");
+                    }
+                }
             }
+        }
+    }
+    out
+}
+
+/// One line per degraded cell (`bench (model xW): cause`), empty when
+/// every cell measured cleanly — appended to figure output so a failure
+/// is *reported*, not silent.
+pub fn failed_cell_report(rows: &[BenchSpeedups]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        for (&(m, w), cause) in &r.failed {
+            let first_line = cause.lines().next().unwrap_or("");
+            let _ = writeln!(out, "DEGRADED {} ({} x{w}): {first_line}", r.bench, m.tag());
         }
     }
     out
@@ -189,6 +213,32 @@ mod tests {
             SchedulingModel::RestrictedPercolation,
         );
         assert!(sum.contains("issue 8"));
+    }
+
+    #[test]
+    fn degraded_cells_render_as_err_rows() {
+        let mut rows = tiny_rows();
+        // Degrade one cell by hand: drop its speedup and record a cause.
+        let key = (SchedulingModel::Sentinel, 8);
+        rows[0].speedups.remove(&key);
+        rows[0].raw.remove(&key);
+        rows[0]
+            .failed
+            .insert(key, "injected fault for tiny [S x8]".into());
+        let models = [
+            SchedulingModel::RestrictedPercolation,
+            SchedulingModel::Sentinel,
+        ];
+        let t = speedup_table(&rows, &models);
+        assert!(t.contains("err"), "{t}");
+        let csv = speedup_csv(&rows, &models);
+        assert!(csv.contains("tiny,non-numeric,S,8,err"), "{csv}");
+        let rep = failed_cell_report(&rows);
+        assert!(
+            rep.contains("DEGRADED tiny (S x8): injected fault"),
+            "{rep}"
+        );
+        assert_eq!(failed_cell_report(&tiny_rows()), "");
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! Workload execution: schedule → simulate → measure.
+//!
+//! [`measure`] is the leaf of the evaluation pipeline; figure and
+//! ablation code does not call it in loops anymore — the
+//! [`grid`](crate::grid) engine plans, dedups, parallelizes, and
+//! memoizes cells, calling [`measure`] exactly once per distinct cell.
 
 use sentinel_core::{schedule_function, SchedOptions, SchedStats, SchedulingModel};
 use sentinel_isa::MachineDesc;
@@ -8,7 +13,11 @@ use sentinel_sim::{Machine, Memory, RunOutcome, SimConfig, SpeculationSemantics,
 use sentinel_workloads::Workload;
 
 /// One measured run of a workload under a model and machine.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare every counter; the concurrency-determinism
+/// tests rely on this to assert `--jobs 1` and `--jobs N` produce
+/// *identical* measurement sets, not merely identical tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Measurement {
     /// Benchmark name.
     pub bench: String,
@@ -41,7 +50,7 @@ impl Measurement {
 }
 
 /// Configuration knobs for a measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeasureConfig {
     /// Issue width (1, 2, 4, 8 in the paper).
     pub width: usize,

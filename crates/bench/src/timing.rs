@@ -42,6 +42,18 @@ pub fn time_fn<T>(iters: usize, mut f: impl FnMut() -> T) -> Timing {
     }
 }
 
+/// Times one call of `f`, returning its result and the wall time.
+///
+/// For expensive once-per-run work — a full figure grid under the
+/// evaluation engine — where the `time_fn` warmup-plus-iterations
+/// protocol would defeat the engine's memoizing cache (the second call
+/// is all cache hits and measures nothing).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = std::hint::black_box(f());
+    (out, t0.elapsed())
+}
+
 /// Times `f` and prints one aligned row: `name  min  median  mean`.
 pub fn bench<T>(name: &str, iters: usize, f: impl FnMut() -> T) -> Timing {
     let t = time_fn(iters, f);
@@ -60,6 +72,17 @@ pub fn group(name: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_once_runs_exactly_once() {
+        let mut n = 0u64;
+        let (out, d) = time_once(|| {
+            n += 1;
+            42
+        });
+        assert_eq!((out, n), (42, 1));
+        assert!(d <= Duration::from_secs(5));
+    }
 
     #[test]
     fn time_fn_counts_iterations() {

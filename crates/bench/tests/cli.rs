@@ -1,0 +1,42 @@
+//! End-to-end tests of the `reproduce` binary's argument handling.
+//! (Figure generation itself is exercised in-process by the library
+//! tests and `tests/grid_determinism.rs`; spawning a full figure run in
+//! a debug build would dominate the suite's wall time.)
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let out = bin().arg("fig99").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command 'fig99'"), "{stderr}");
+    assert!(stderr.contains("usage: reproduce"), "{stderr}");
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn unknown_flag_prints_usage_and_exits_2() {
+    let out = bin().args(["fig4", "--jbos", "2"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag '--jbos'"), "{stderr}");
+    assert!(stderr.contains("usage: reproduce"), "{stderr}");
+}
+
+#[test]
+fn bad_jobs_value_is_rejected() {
+    for jobs in ["0", "-1", "many"] {
+        let out = bin().args(["fig4", "--jobs", jobs]).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "--jobs {jobs}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("bad --jobs"), "{stderr}");
+    }
+    let out = bin().args(["fig4", "--jobs"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs requires a value"));
+}

@@ -1,0 +1,116 @@
+//! Concurrency-determinism and fault-isolation contracts of the grid
+//! evaluation engine: `--jobs 1` and `--jobs N` must produce identical
+//! `Measurement` sets and byte-identical reports, each distinct cell is
+//! evaluated exactly once per session, and a panicking cell degrades to
+//! a reported row instead of killing the run.
+
+use std::sync::Arc;
+
+use sentinel_bench::cache::{EVAL_COUNTER, HIT_COUNTER, MISS_COUNTER};
+use sentinel_bench::figures::{figure4, measure_grid, WIDTHS};
+use sentinel_bench::grid::{Cell, GridSession};
+use sentinel_bench::report::{failed_cell_report, speedup_csv};
+use sentinel_core::SchedulingModel;
+use sentinel_workloads::{generate, Workload, WorkloadSpec};
+
+const FIG4_MODELS: [SchedulingModel; 2] = [
+    SchedulingModel::RestrictedPercolation,
+    SchedulingModel::Sentinel,
+];
+
+/// A small but non-trivial workload set: enough cells to keep four
+/// workers busy, cheap enough for a debug-build test run.
+fn small_workloads() -> Arc<Vec<Workload>> {
+    let specs = [("det_a", 3), ("det_b", 5), ("det_c", 7), ("det_d", 11)];
+    Arc::new(
+        specs
+            .iter()
+            .map(|&(name, seed)| {
+                let mut s = WorkloadSpec::test_default(name, seed);
+                s.iterations = 12;
+                generate(&s)
+            })
+            .collect(),
+    )
+}
+
+fn fig4_plan(session: &GridSession) -> Vec<Cell> {
+    let mut plan = Vec::new();
+    for w in session.workloads() {
+        plan.push(Cell::base(&w.name));
+        for &model in &FIG4_MODELS {
+            for &width in &WIDTHS {
+                plan.push(Cell::paper(&w.name, model, width));
+            }
+        }
+    }
+    plan
+}
+
+#[test]
+fn jobs_one_and_jobs_four_agree_exactly() {
+    let serial = GridSession::new(small_workloads(), 1);
+    let parallel = GridSession::new(small_workloads(), 4);
+    let plan = fig4_plan(&serial);
+
+    // Identical Measurement sets (Measurement is Eq over every counter),
+    // in identical (request) order, regardless of thread interleaving.
+    assert_eq!(serial.eval(&plan), parallel.eval(&plan));
+
+    // Byte-identical CSV, and stable across a repeated parallel run.
+    let csv_serial = speedup_csv(&measure_grid(&serial, &FIG4_MODELS), &FIG4_MODELS);
+    let csv_parallel = speedup_csv(&measure_grid(&parallel, &FIG4_MODELS), &FIG4_MODELS);
+    assert_eq!(csv_serial.as_bytes(), csv_parallel.as_bytes());
+    let rerun = GridSession::new(small_workloads(), 4);
+    let csv_rerun = speedup_csv(&measure_grid(&rerun, &FIG4_MODELS), &FIG4_MODELS);
+    assert_eq!(csv_serial.as_bytes(), csv_rerun.as_bytes());
+}
+
+#[test]
+fn figure_grid_hits_the_cache_on_reuse() {
+    let session = GridSession::new(small_workloads(), 4);
+    let rows = figure4(&session);
+    assert_eq!(rows.len(), 4);
+
+    // 4 benches × (1 base + 2 models × 3 widths) distinct cells.
+    let distinct = 4 * (1 + FIG4_MODELS.len() * WIDTHS.len());
+    let m = session.metrics();
+    assert_eq!(m.counter(EVAL_COUNTER), distinct as u64);
+    assert_eq!(m.counter(MISS_COUNTER), distinct as u64);
+
+    // Re-running the figure is pure cache traffic: no new evaluations.
+    let again = figure4(&session);
+    let m = session.metrics();
+    assert_eq!(m.counter(EVAL_COUNTER), distinct as u64);
+    assert_eq!(m.counter(HIT_COUNTER), distinct as u64);
+    assert_eq!(rows.len(), again.len());
+    for (a, b) in rows.iter().zip(&again) {
+        assert_eq!(a.raw, b.raw);
+    }
+}
+
+#[test]
+fn injected_fault_degrades_one_row_and_spares_the_rest() {
+    let mut session = GridSession::new(small_workloads(), 4);
+    session.set_fault_hook(Arc::new(|c: &Cell| {
+        c.bench == "det_b" && c.model == SchedulingModel::Sentinel && c.width == 4
+    }));
+    let rows = measure_grid(&session, &FIG4_MODELS);
+
+    let faulted = rows.iter().find(|r| r.bench == "det_b").unwrap();
+    assert!(faulted.try_speedup(SchedulingModel::Sentinel, 4).is_none());
+    let cause = &faulted.failed[&(SchedulingModel::Sentinel, 4)];
+    assert!(cause.contains("injected fault"), "{cause}");
+    // Every other cell of every bench measured normally.
+    let total: usize = rows.iter().map(|r| r.speedups.len()).sum();
+    assert_eq!(total, 4 * FIG4_MODELS.len() * WIDTHS.len() - 1);
+
+    // The degraded cell is reported, not silent.
+    let report = failed_cell_report(&rows);
+    assert!(
+        report.contains("DEGRADED det_b (S x4): injected fault"),
+        "{report}"
+    );
+    let csv = speedup_csv(&rows, &FIG4_MODELS);
+    assert!(csv.contains("det_b,non-numeric,S,4,err"), "{csv}");
+}

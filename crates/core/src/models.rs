@@ -5,7 +5,11 @@ use std::fmt;
 use sentinel_isa::Opcode;
 
 /// The four compared scheduling models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The derived order follows the paper's presentation order (R < G < S
+/// < T < B) so models can key ordered maps and sort deterministically
+/// in evaluation-grid plans and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SchedulingModel {
     /// **R** — restricted percolation (§2.2): both restrictions enforced;
     /// only provably non-trapping instructions may move above branches.

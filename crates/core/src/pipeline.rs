@@ -74,6 +74,10 @@ pub struct SchedStats {
 }
 
 /// A scheduled program: the rewritten function plus per-block schedules.
+///
+/// `ScheduledProgram` is `Send + Sync` (asserted below): the evaluation
+/// grid engine schedules and simulates cells on worker threads, and a
+/// scheduled program may cross or be shared between them.
 #[derive(Debug, Clone)]
 pub struct ScheduledProgram {
     /// The scheduled function (same block ids/labels/layout as the input;
@@ -84,6 +88,14 @@ pub struct ScheduledProgram {
     /// Aggregate statistics.
     pub stats: SchedStats,
 }
+
+// Compile-time guarantee that scheduled programs can cross threads
+// (measurement inputs of the parallel evaluation grid).
+const _: () = {
+    const fn thread_safe<T: Send + Sync>() {}
+    thread_safe::<ScheduledProgram>();
+    thread_safe::<SchedStats>();
+};
 
 /// Schedules every layout block of `func` as a superblock under the given
 /// machine description and options.

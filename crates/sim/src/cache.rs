@@ -8,7 +8,11 @@
 //! earlier, so their misses overlap more useful work.
 
 /// Cache geometry and penalty.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Derives `Hash`/`Ord` so a configuration can be part of an
+/// evaluation-grid cell key (deduplication and deterministic plan
+/// ordering in `sentinel-bench`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheConfig {
     /// Number of direct-mapped lines (power of two).
     pub lines: usize,

@@ -295,6 +295,16 @@ pub struct Machine<'a> {
     ready: HashMap<Reg, u64>,
 }
 
+// Compile-time guarantee that a machine (with or without an attached
+// `Send` sink) can be built and run on a worker thread: the evaluation
+// grid engine simulates each (bench, model, width) cell on a scoped
+// thread.
+const _: () = {
+    const fn send<T: Send>() {}
+    send::<Machine<'static>>();
+    send::<Stats>();
+};
+
 impl<'a> Machine<'a> {
     /// Creates a machine for `func`. The register file is sized to the
     /// larger of the machine description and the registers the program

@@ -27,7 +27,10 @@
 //!
 //! [`Metrics`] adds a deterministic counter/histogram registry for
 //! aggregate observability (issue-slot utilization, store-buffer
-//! occupancy distribution, stall totals).
+//! occupancy distribution, stall totals); [`SharedMetrics`] is its
+//! clonable, thread-safe handle for aggregation from worker threads
+//! (sinks are `Send` for the same reason: measurement cells ride
+//! worker threads in the evaluation grid engine).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,7 +47,7 @@ pub mod timeline;
 pub use chrome::ChromeTraceSink;
 pub use event::{Event, EventKind, StallReason};
 pub use jsonl::JsonlSink;
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{Histogram, Metrics, SharedMetrics};
 pub use sink::{CollectSink, NullSink, TraceSink};
 pub use stall::StallCounts;
 pub use timeline::TimelineSink;

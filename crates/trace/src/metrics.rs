@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write;
+use std::sync::{Arc, Mutex};
 
 use crate::json::ObjWriter;
 
@@ -183,6 +184,51 @@ impl Metrics {
     }
 }
 
+/// A clonable, thread-safe handle to a [`Metrics`] registry.
+///
+/// Worker threads (e.g. the evaluation grid engine's per-cell workers)
+/// bump counters and record timing samples through shared handles; the
+/// owner takes a [`SharedMetrics::snapshot`] afterwards for rendering.
+/// Aggregation order cannot affect the result — counters are sums and
+/// histograms are order-insensitive — so reports stay deterministic
+/// under any thread interleaving (modulo the timing values themselves).
+#[derive(Debug, Default, Clone)]
+pub struct SharedMetrics(Arc<Mutex<Metrics>>);
+
+impl SharedMetrics {
+    /// A fresh, empty shared registry.
+    pub fn new() -> SharedMetrics {
+        SharedMetrics::default()
+    }
+
+    /// Locks the registry, recovering from a poisoned lock (a panicking
+    /// worker can never leave a registry half-updated: every update is a
+    /// single `+=` or histogram insert).
+    fn lock(&self) -> std::sync::MutexGuard<'_, Metrics> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `n` to counter `name` (creating it at 0).
+    pub fn count(&self, name: &'static str, n: u64) {
+        self.lock().count(name, n);
+    }
+
+    /// Current value of counter `name` (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counter(name)
+    }
+
+    /// Records `v` into histogram `name` (creating it).
+    pub fn observe(&self, name: &'static str, v: u64) {
+        self.lock().observe(name, v);
+    }
+
+    /// A point-in-time copy of the underlying registry.
+    pub fn snapshot(&self) -> Metrics {
+        self.lock().clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +265,24 @@ mod tests {
         let r = m.render();
         assert!(r.contains("alpha"));
         assert!(r.contains("lat"));
+    }
+
+    #[test]
+    fn shared_metrics_aggregates_across_threads() {
+        let shared = SharedMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = shared.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        h.count("work", 1);
+                        h.observe("size", i);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.counter("work"), 100);
+        let snap = shared.snapshot();
+        assert_eq!(snap.histogram("size").unwrap().count(), 100);
     }
 }

@@ -8,7 +8,13 @@
 use crate::event::Event;
 
 /// Receives pipeline events during a run and renders them afterwards.
-pub trait TraceSink {
+///
+/// `Send` is a supertrait so a machine with an attached sink can move
+/// to (or be built on) a worker thread: the evaluation grid engine
+/// measures cells on scoped threads, and each cell may carry its own
+/// sink. Sinks are driven from one thread at a time, so `Sync` is not
+/// required.
+pub trait TraceSink: Send {
     /// Consumes one event. Events arrive in simulation order
     /// (non-decreasing `cycle`).
     fn record(&mut self, event: &Event);
@@ -75,5 +81,15 @@ mod tests {
         let mut s = NullSink;
         s.record(&Event::at(0, EventKind::Fetch { pc: InsnId(0) }));
         assert_eq!(s.finish(), "");
+    }
+
+    #[test]
+    fn boxed_sinks_are_send() {
+        fn assert_send<T: Send>(_: T) {}
+        assert_send(Box::new(NullSink) as Box<dyn TraceSink>);
+        assert_send(Box::new(CollectSink::default()) as Box<dyn TraceSink>);
+        assert_send(Box::new(crate::JsonlSink::new()) as Box<dyn TraceSink>);
+        assert_send(Box::new(crate::ChromeTraceSink::new()) as Box<dyn TraceSink>);
+        assert_send(Box::new(crate::TimelineSink::new(4)) as Box<dyn TraceSink>);
     }
 }

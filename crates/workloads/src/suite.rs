@@ -15,6 +15,8 @@
 //!   carry conditional branches in their hot loops (the paper's 36–38%
 //!   sentinel winners); `nasa7` sits between.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::gen::{generate, Workload};
 use crate::spec::{BenchClass, WorkloadSpec};
 
@@ -190,6 +192,25 @@ pub fn suite() -> Vec<Workload> {
     specs().iter().map(generate).collect()
 }
 
+/// The full suite, generated **once per process** and shared.
+///
+/// Figure regeneration used to rebuild all 17 workloads for every
+/// figure and ablation; the evaluation grid engine instead holds one
+/// `Arc` to this shared copy, which worker threads borrow concurrently
+/// (workloads are immutable after generation and `Send + Sync`,
+/// asserted below).
+pub fn shared() -> Arc<Vec<Workload>> {
+    static SUITE: OnceLock<Arc<Vec<Workload>>> = OnceLock::new();
+    SUITE.get_or_init(|| Arc::new(suite())).clone()
+}
+
+// Compile-time guarantee that workloads can be shared across the grid
+// engine's worker threads.
+const _: () = {
+    const fn thread_safe<T: Send + Sync>() {}
+    thread_safe::<Workload>();
+};
+
 /// Generates the full suite with a reduced trip count (for fast tests;
 /// figure regeneration uses [`suite`]).
 pub fn suite_with_iterations(iterations: u64) -> Vec<Workload> {
@@ -248,6 +269,14 @@ mod tests {
         assert_eq!(find("fpppp").regions_per_loop, 1);
         assert_eq!(find("matrix300").regions_per_loop, 1);
         assert!(find("doduc").regions_per_loop >= 3);
+    }
+
+    #[test]
+    fn shared_suite_is_generated_once() {
+        let a = shared();
+        let b = shared();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 17);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!                    [--print rN]... [--base]
 //! sentinel trace     prog.sasm --model S --issue 8 --format chrome|jsonl|timeline
 //!                    [--raw] [-o out] [run's machine flags]
+//! sentinel reproduce [fig4|fig5|summary|...|all] [--csv] [--jobs N]
 //! ```
 //!
 //! Numeric arguments accept decimal or `0x` hexadecimal.
@@ -455,7 +456,8 @@ fn usage() -> ! {
            pipeline  software-pipeline counted/while loops [-o out]\n\
            mdes      print the effective machine description [--mdes file] [--issue N]\n\
            run       [--issue N] [--semantics tags|silent|nan] [--map S:L]… [--word A=V]… [--reg rN=V]… [--print rN]… [--stats] [--trace]\n\
-           trace     --model R|G|S|T|B<k> --issue N --format timeline|jsonl|chrome [--raw] [--recovery] [-o out] [run's machine flags]"
+           trace     --model R|G|S|T|B<k> --issue N --format timeline|jsonl|chrome [--raw] [--recovery] [-o out] [run's machine flags]\n\
+           reproduce regenerate the paper's tables/figures [fig4|fig5|summary|…|all] [--csv] [--jobs N]"
     );
     exit(2);
 }
@@ -466,6 +468,12 @@ fn main() {
         usage();
     }
     let cmd = raw[0].clone();
+    if cmd == "reproduce" {
+        // Delegates to the bench crate's CLI (same interface as the
+        // standalone `reproduce` binary), before the positional-args
+        // check: `sentinel reproduce` alone means `reproduce all`.
+        exit(sentinel::bench::cli::run(&raw[1..]));
+    }
     let args = Args::parse(raw[1..].to_vec());
     if cmd == "mdes" {
         // Print the effective machine description (paper defaults, a

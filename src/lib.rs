@@ -17,6 +17,9 @@
 //! * [`trace`] — cycle-accurate observability: pipeline event sinks
 //!   (JSONL, Chrome `trace_event`, ASCII timeline) and stall accounting.
 //! * [`workloads`] — the 17-program synthetic benchmark suite.
+//! * [`bench`] — the evaluation grid engine (cached, parallel,
+//!   fault-isolated measurement) and the figure/ablation generators it
+//!   feeds; `sentinel reproduce` is its CLI.
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sentinel_bench as bench;
 pub use sentinel_core as sched;
 pub use sentinel_isa as isa;
 pub use sentinel_prog as prog;

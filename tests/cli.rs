@@ -332,6 +332,25 @@ fn trace_command_renders_all_formats() {
 }
 
 #[test]
+fn reproduce_subcommand_delegates_to_bench_cli() {
+    // Bad input is enough to prove the wiring without regenerating a
+    // figure in a debug build: the bench CLI answers with its own usage
+    // text and exit status 2.
+    let out = bin().args(["reproduce", "fig99"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command 'fig99'"), "{stderr}");
+    assert!(stderr.contains("usage: reproduce"), "{stderr}");
+
+    let out = bin()
+        .args(["reproduce", "fig4", "--jobs", "zero"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --jobs"));
+}
+
+#[test]
 fn boosting_model_from_cli() {
     let dir = tmpdir("boost");
     let p = write_demo(&dir);
