@@ -1,14 +1,55 @@
-//! Component throughput: scheduler, simulator, reference interpreter, and
-//! assembler, measured on suite programs.
+//! Component throughput: scheduler, both execution engines, reference
+//! interpreter, and assembler, measured on suite programs.
+//!
+//! The engine section is the headline: it runs every workload on the
+//! interpretive oracle and the pre-decoded fast engine, **fails on any
+//! disagreement** (outcome, statistics, live-out registers, memory),
+//! and reports simulated instructions per second for each.
+//!
+//! ```text
+//! cargo bench --bench throughput                      # full run
+//! cargo bench --bench throughput -- --quick           # CI smoke: verify + small IPS sample
+//! cargo bench --bench throughput -- --json BENCH_3.json
+//! ```
 
-use sentinel_bench::runner::apply_memory;
-use sentinel_bench::timing::{bench, group};
+use std::fmt::Write as _;
+
+use sentinel_bench::figures::{
+    ablation_boosting, ablation_cache, ablation_formation, ablation_recovery,
+    ablation_register_pressure, ablation_store_buffer, ablation_unrolling, figure4, figure5,
+    sentinel_overhead,
+};
+use sentinel_bench::grid::GridSession;
+use sentinel_bench::runner::{apply_memory, MeasureConfig};
+use sentinel_bench::timing::{bench, group, time_fn, time_once};
 use sentinel_core::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel_isa::MachineDesc;
-use sentinel_prog::asm;
+use sentinel_prog::{asm, Function};
 use sentinel_sim::reference::Reference;
-use sentinel_sim::{Machine, SimConfig};
-use sentinel_workloads::suite;
+use sentinel_sim::{Engine, SimSession};
+use sentinel_workloads::{suite, Workload};
+
+struct Cli {
+    quick: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        quick: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--json" => cli.json = it.next(),
+            // `cargo bench` forwards its own flags (e.g. --bench); ignore.
+            _ => {}
+        }
+    }
+    cli
+}
 
 fn bench_scheduler() {
     group("scheduler");
@@ -24,34 +65,135 @@ fn bench_scheduler() {
     }
 }
 
-fn bench_simulator() {
-    group("simulator");
-    let mdes = MachineDesc::paper_issue(8);
-    let w = suite::by_name("yacc").unwrap();
+/// Schedules `w` for the paper's sentinel model at issue 8.
+fn sched_for(w: &Workload) -> (MeasureConfig, Function) {
+    let cfg = MeasureConfig::paper(SchedulingModel::Sentinel, 8);
     let sched = schedule_function(
         &w.func,
-        &mdes,
+        &cfg.mdes(),
         &SchedOptions::new(SchedulingModel::Sentinel),
     )
     .unwrap();
-    // Dynamic instruction count for throughput reporting.
-    let dyn_insns = {
-        let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes.clone()));
-        apply_memory(&w, m.memory_mut());
-        m.run().unwrap();
-        m.stats().dyn_insns
+    (cfg, sched.func)
+}
+
+/// One full run of `func` on `engine`; returns dynamic instructions.
+fn run_once(w: &Workload, cfg: &MeasureConfig, func: &Function, engine: Engine) -> u64 {
+    let mut m = SimSession::for_function(func)
+        .config(cfg.sim_config())
+        .engine(engine)
+        .build();
+    apply_memory(w, m.memory_mut());
+    m.run().unwrap();
+    m.stats().dyn_insns
+}
+
+/// Runs `w` on both engines and panics on any observable difference:
+/// outcome, statistics, live-out registers, or final memory.
+fn assert_engines_agree(w: &Workload, cfg: &MeasureConfig, func: &Function) {
+    let mut states = Vec::new();
+    for engine in [Engine::Interpreter, Engine::Fast] {
+        let mut m = SimSession::for_function(func)
+            .config(cfg.sim_config())
+            .engine(engine)
+            .build();
+        apply_memory(w, m.memory_mut());
+        let outcome = m.run().unwrap();
+        let regs: Vec<u64> = w.live_out.iter().map(|&r| m.reg(r).data).collect();
+        states.push((outcome, *m.stats(), regs, m.memory().snapshot()));
+    }
+    assert_eq!(
+        states[0], states[1],
+        "{}: fast engine disagrees with the interpreter",
+        w.name
+    );
+}
+
+/// Per-workload engine comparison row.
+struct EngineRow {
+    name: String,
+    dyn_insns: u64,
+    interp_ips: f64,
+    fast_ips: f64,
+}
+
+fn bench_engines(quick: bool) -> Vec<EngineRow> {
+    group("engines (sentinel model, issue 8)");
+
+    // Verification pass: the whole suite, both engines, every run.
+    let workloads = suite::shared();
+    for w in workloads.iter() {
+        let (cfg, func) = sched_for(w);
+        assert_engines_agree(w, &cfg, &func);
+    }
+    println!(
+        "   (engines agree on all {} suite workloads)",
+        workloads.len()
+    );
+
+    // Timing pass.
+    let timed: &[&str] = if quick {
+        &["compress"]
+    } else {
+        &["compress", "grep", "yacc", "fpppp"]
     };
-    println!("   ({dyn_insns} dynamic insns per run)");
-    bench("machine/yacc_sentinel_w8", 20, || {
-        let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes.clone()));
-        apply_memory(&w, m.memory_mut());
-        m.run().unwrap()
-    });
+    let iters = if quick { 5 } else { 30 };
+    let mut rows = Vec::new();
+    for name in timed {
+        let w = suite::by_name(name).unwrap();
+        let (cfg, func) = sched_for(&w);
+        let dyn_insns = run_once(&w, &cfg, &func, Engine::Fast);
+        let mut ips = [0.0f64; 2];
+        for (i, engine) in [Engine::Interpreter, Engine::Fast].into_iter().enumerate() {
+            let t = time_fn(iters, || run_once(&w, &cfg, &func, engine));
+            ips[i] = dyn_insns as f64 / t.min.as_secs_f64();
+        }
+        println!(
+            "{name:<14} {dyn_insns:>9} insns   interp {:>12.0} ips   fast {:>12.0} ips   x{:.2}",
+            ips[0],
+            ips[1],
+            ips[1] / ips[0]
+        );
+        rows.push(EngineRow {
+            name: name.to_string(),
+            dyn_insns,
+            interp_ips: ips[0],
+            fast_ips: ips[1],
+        });
+    }
+    rows
+}
+
+fn bench_reference() {
+    group("reference interpreter");
+    let w = suite::by_name("yacc").unwrap();
     bench("reference/yacc", 20, || {
         let mut r = Reference::new(&w.func);
         apply_memory(&w, r.memory_mut());
         r.run().unwrap()
     });
+}
+
+/// The full figure/ablation grid `reproduce all` evaluates (minus
+/// printing and minus the modulo-pipelining study, which manages its
+/// own engine-independent session).
+fn reproduce_grid(engine: Engine) -> f64 {
+    let mut session = GridSession::suite(sentinel_bench::grid::default_jobs());
+    session.set_engine(engine);
+    let ((), wall) = time_once(|| {
+        figure4(&session);
+        figure5(&session);
+        ablation_store_buffer(&session, &[1, 2, 4, 8, 16, 32]);
+        ablation_recovery(&session);
+        ablation_formation(&session);
+        ablation_boosting(&session);
+        ablation_unrolling(&session, &[1, 2, 4]);
+        ablation_cache(&session, &[0, 10, 20, 40]);
+        ablation_register_pressure(&session);
+        sentinel_overhead(&session, 2);
+        sentinel_overhead(&session, 8);
+    });
+    wall.as_secs_f64()
 }
 
 fn bench_assembler() {
@@ -63,8 +205,57 @@ fn bench_assembler() {
     bench("parse/compress", 50, || asm::parse(&text).unwrap());
 }
 
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = xs.fold((0.0, 0u32), |(s, n), x| (s + x.ln(), n + 1));
+    (sum / n.max(1) as f64).exp()
+}
+
+fn write_json(path: &str, rows: &[EngineRow], grid: Option<(f64, f64)>) {
+    let mut j = String::from("{\n  \"bench\": \"throughput\",\n  \"engines\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"dyn_insns\": {}, \"interp_ips\": {:.0}, \
+             \"fast_ips\": {:.0}, \"speedup\": {:.2}}}{}",
+            r.name,
+            r.dyn_insns,
+            r.interp_ips,
+            r.fast_ips,
+            r.fast_ips / r.interp_ips,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let gm = geomean(rows.iter().map(|r| r.fast_ips / r.interp_ips));
+    let _ = write!(j, "  ],\n  \"geomean_speedup\": {gm:.2}");
+    if let Some((interp_s, fast_s)) = grid {
+        let _ = write!(
+            j,
+            ",\n  \"reproduce_grid\": {{\"interpreter_wall_s\": {interp_s:.2}, \
+             \"fast_wall_s\": {fast_s:.2}, \"speedup\": {:.2}}}",
+            interp_s / fast_s
+        );
+    }
+    j.push_str("\n}\n");
+    std::fs::write(path, j).unwrap();
+    println!("\nwrote {path}");
+}
+
 fn main() {
-    bench_scheduler();
-    bench_simulator();
-    bench_assembler();
+    let cli = parse_args();
+    let rows = bench_engines(cli.quick);
+    let mut grid = None;
+    if !cli.quick {
+        bench_scheduler();
+        bench_reference();
+        bench_assembler();
+        group("reproduce grid (fig4+fig5+ablations), wall clock");
+        let interp_s = reproduce_grid(Engine::Interpreter);
+        println!("{:<36} {interp_s:>8.2}s", "grid/interpreter");
+        let fast_s = reproduce_grid(Engine::Fast);
+        println!("{:<36} {fast_s:>8.2}s", "grid/fast");
+        grid = Some((interp_s, fast_s));
+    }
+    if let Some(path) = &cli.json {
+        write_json(path, &rows, grid);
+    }
 }

@@ -24,6 +24,7 @@
 //! goes to stderr.
 
 use sentinel_core::SchedulingModel;
+use sentinel_sim::Engine;
 
 use crate::cache::{EVAL_COUNTER, HIT_COUNTER};
 use crate::figures::{
@@ -42,7 +43,8 @@ pub const USAGE_STATUS: i32 = 2;
 
 const USAGE: &str = "usage: reproduce [fig4|fig5|summary|sweep|overhead [width]|ablation-sb|\
                      ablation-recovery|ablation-formation|ablation-boosting|ablation-unroll|\
-                     ablation-cache|ablation-pipeline|ablation-pressure|all] [--csv] [--jobs N]";
+                     ablation-cache|ablation-pipeline|ablation-pressure|all] [--csv] [--jobs N] \
+                     [--engine interpreter|fast]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +54,7 @@ struct Cli {
     width: Option<usize>,
     csv: bool,
     jobs: usize,
+    engine: Engine,
 }
 
 /// Parses arguments (the part after the program name / subcommand).
@@ -62,6 +65,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         width: None,
         csv: false,
         jobs: default_jobs(),
+        engine: Engine::default(),
     };
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
@@ -75,6 +79,10 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("bad --jobs '{v}' (want a positive integer)"))?;
+            }
+            "--engine" => {
+                let v = it.next().ok_or("--engine requires a value")?;
+                cli.engine = v.parse::<Engine>()?;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             pos => positional.push(pos),
@@ -366,7 +374,8 @@ pub fn run(args: &[String]) -> i32 {
         }
     };
 
-    let session = GridSession::suite(cli.jobs);
+    let mut session = GridSession::suite(cli.jobs);
+    session.set_engine(cli.engine);
     let t0 = std::time::Instant::now();
     match cli.cmd.as_str() {
         "fig4" => print_fig4(&session, cli.csv),

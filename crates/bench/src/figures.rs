@@ -547,12 +547,14 @@ pub fn issue_sweep(session: &GridSession, widths: &[usize]) -> Vec<(String, Vec<
 pub fn ablation_pipelining(jobs: usize) -> Vec<(String, u64, u64, u64, u64)> {
     use sentinel_core::modulo::{pipeline_all_loops, pipeline_while_loop};
     use sentinel_core::{schedule_function, SchedOptions};
-    use sentinel_sim::{Machine, RunOutcome, SimConfig};
+    use sentinel_sim::{RunOutcome, SimConfig, SimSession};
     use sentinel_workloads::kernels;
 
     let mdes = sentinel_isa::MachineDesc::paper_issue(8);
     let run = |w: &sentinel_workloads::Workload, func: &sentinel_prog::Function| -> u64 {
-        let mut m = Machine::new(func, SimConfig::for_mdes(mdes.clone()));
+        let mut m = SimSession::for_function(func)
+            .config(SimConfig::for_mdes(mdes.clone()))
+            .build();
         crate::runner::apply_memory(w, m.memory_mut());
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         m.stats().cycles

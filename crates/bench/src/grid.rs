@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use sentinel_core::SchedulingModel;
 use sentinel_sim::cache::CacheConfig;
+use sentinel_sim::Engine;
 use sentinel_trace::{Metrics, SharedMetrics};
 use sentinel_workloads::{suite, Workload};
 
@@ -149,6 +150,7 @@ pub struct GridSession {
     by_name: HashMap<String, usize>,
     cache: ResultCache,
     jobs: usize,
+    engine: Engine,
     fault_hook: Option<FaultHook>,
 }
 
@@ -165,6 +167,7 @@ impl GridSession {
             by_name,
             cache: ResultCache::new(SharedMetrics::new()),
             jobs: jobs.max(1),
+            engine: Engine::default(),
             fault_hook: None,
         }
     }
@@ -178,6 +181,25 @@ impl GridSession {
     /// The worker-pool size.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The execution engine cells run on ([`Engine::Fast`] by default).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Selects the execution engine for the whole session. The result
+    /// cache is keyed by [`Cell`] only, so pick the engine **before**
+    /// evaluating anything — the two engines are held to identical
+    /// measurements by the differential suite, but timing summaries
+    /// would mix otherwise.
+    pub fn set_engine(&mut self, engine: Engine) {
+        assert_eq!(
+            self.cells_cached(),
+            0,
+            "set_engine after cells were measured"
+        );
+        self.engine = engine;
     }
 
     /// The session's workloads, in suite order.
@@ -303,7 +325,9 @@ impl GridSession {
                     panic!("injected fault for {cell}");
                 }
             }
-            measure(w, &cell.config())
+            let mut cfg = cell.config();
+            cfg.engine = self.engine;
+            measure(w, &cfg)
         }));
         self.cache
             .metrics()

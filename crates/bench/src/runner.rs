@@ -9,7 +9,9 @@ use sentinel_core::{schedule_function, SchedOptions, SchedStats, SchedulingModel
 use sentinel_isa::MachineDesc;
 use sentinel_sim::reference::{RefOutcome, Reference};
 use sentinel_sim::verify::{compare_runs, CompareSpec};
-use sentinel_sim::{Machine, Memory, RunOutcome, SimConfig, SpeculationSemantics, Stats};
+use sentinel_sim::{
+    Engine, Memory, RunOutcome, SimConfig, SimSession, SpeculationSemantics, Stats,
+};
 use sentinel_workloads::Workload;
 
 /// One measured run of a workload under a model and machine.
@@ -66,19 +68,47 @@ pub struct MeasureConfig {
     /// Optional timing-only data cache (`None` = the paper's 100%-hit
     /// assumption).
     pub cache: Option<sentinel_sim::cache::CacheConfig>,
+    /// Execution engine ([`Engine::Fast`] by default; the interpreter is
+    /// the differential-testing oracle).
+    pub engine: Engine,
 }
 
 impl MeasureConfig {
-    /// The paper's configuration for a model and width.
+    /// The paper's configuration for a model and width. The machine
+    /// parameters (store-buffer size included) come from
+    /// [`MachineDesc::paper_issue`], not from constants repeated here.
     pub fn paper(model: SchedulingModel, width: usize) -> MeasureConfig {
+        let mdes = MachineDesc::paper_issue(width);
         MeasureConfig {
             width,
             model,
             recovery: false,
-            store_buffer: 8,
+            store_buffer: mdes.store_buffer_size(),
             verify: false,
             cache: None,
+            engine: Engine::default(),
         }
+    }
+
+    /// The machine description this measurement schedules for and runs
+    /// on: the paper's §5.1 parameters with this config's width and
+    /// store-buffer size applied.
+    pub fn mdes(&self) -> MachineDesc {
+        MachineDesc::builder()
+            .issue_width(self.width)
+            .store_buffer_size(self.store_buffer)
+            .build()
+    }
+
+    /// The simulator configuration for this measurement — the single
+    /// source of truth tying the machine description, the model's
+    /// speculative-fault semantics, and the cache together, so sim and
+    /// bench cannot silently diverge on a §5.1 knob.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut c = SimConfig::for_mdes(self.mdes());
+        c.semantics = semantics_for(self.model);
+        c.cache = self.cache.clone();
+        c
     }
 }
 
@@ -109,21 +139,17 @@ pub fn semantics_for(model: SchedulingModel) -> SpeculationSemantics {
 /// `verify`) the outcome diverges from the sequential reference — all of
 /// which indicate bugs, not measurement conditions.
 pub fn measure(w: &Workload, cfg: &MeasureConfig) -> Measurement {
-    let mdes = MachineDesc::builder()
-        .issue_width(cfg.width)
-        .store_buffer_size(cfg.store_buffer)
-        .build();
     let mut opts = SchedOptions::new(cfg.model);
     if cfg.recovery {
         opts = opts.with_recovery();
     }
-    let sched = schedule_function(&w.func, &mdes, &opts)
+    let sched = schedule_function(&w.func, &cfg.mdes(), &opts)
         .unwrap_or_else(|e| panic!("{}: schedule failed: {e}", w.name));
 
-    let mut sim_cfg = SimConfig::for_mdes(mdes);
-    sim_cfg.semantics = semantics_for(cfg.model);
-    sim_cfg.cache = cfg.cache.clone();
-    let mut m = Machine::new(&sched.func, sim_cfg);
+    let mut m = SimSession::for_function(&sched.func)
+        .config(cfg.sim_config())
+        .engine(cfg.engine)
+        .build();
     apply_memory(w, m.memory_mut());
     let outcome = m
         .run()

@@ -476,7 +476,9 @@ mod tests {
         assert!(max_int_reg(&f) < 9);
         // Run it.
         let mdes = MachineDesc::builder().int_regs(9).build();
-        let mut m = sentinel_sim::Machine::new(&f, sentinel_sim::SimConfig::for_mdes(mdes));
+        let mut m = sentinel_sim::SimSession::for_function(&f)
+            .config(sentinel_sim::SimConfig::for_mdes(mdes))
+            .build();
         m.memory_mut().map_region(0x1000, 0x100);
         assert_eq!(m.run().unwrap(), sentinel_sim::RunOutcome::Halted);
         assert_eq!(m.memory().read_word(0x1000).unwrap(), 11);

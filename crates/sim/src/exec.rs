@@ -1,8 +1,41 @@
 //! Pure functional semantics of non-memory operations.
 
+use std::fmt;
+
 use sentinel_isa::Opcode;
 
 use crate::except::ExceptionKind;
+
+/// Why [`compute`] could not produce a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeError {
+    /// The operation raised an architectural exception.
+    Exception(ExceptionKind),
+    /// The opcode is a memory, control, or store-buffer operation; those
+    /// are executed by the machine, not by this pure function. Surfaces
+    /// as [`SimError::NotComputable`](crate::SimError::NotComputable)
+    /// when a simulator engine reaches one through this path.
+    NotComputable(Opcode),
+}
+
+impl fmt::Display for ComputeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeError::Exception(k) => write!(f, "{k}"),
+            ComputeError::NotComputable(op) => {
+                write!(f, "{op} is not a pure-compute opcode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComputeError {}
+
+impl From<ExceptionKind> for ComputeError {
+    fn from(k: ExceptionKind) -> Self {
+        ComputeError::Exception(k)
+    }
+}
 
 /// Computes the result of a non-memory, non-control operation from its
 /// source data bits (`a` = first source, `b` = second source) and
@@ -10,16 +43,13 @@ use crate::except::ExceptionKind;
 ///
 /// # Errors
 ///
-/// Returns the [`ExceptionKind`] the operation raises: divide-by-zero /
-/// overflow for integer division, and invalid / divide-by-zero / overflow
-/// for floating-point operations (the paper's "all floating point
-/// instructions trap" model, §5.1).
-///
-/// # Panics
-///
-/// Panics if called with a memory, control, or store-buffer opcode; those
-/// are executed by the machine, not by this pure function.
-pub fn compute(op: Opcode, a: u64, b: u64, imm: i64) -> Result<u64, ExceptionKind> {
+/// [`ComputeError::Exception`] carries the [`ExceptionKind`] the
+/// operation raises: divide-by-zero / overflow for integer division, and
+/// invalid / divide-by-zero / overflow for floating-point operations (the
+/// paper's "all floating point instructions trap" model, §5.1).
+/// [`ComputeError::NotComputable`] is returned for memory, control, and
+/// store-buffer opcodes, which have no pure functional semantics.
+pub fn compute(op: Opcode, a: u64, b: u64, imm: i64) -> Result<u64, ComputeError> {
     use Opcode::*;
     let ai = a as i64;
     let bi = b as i64;
@@ -50,19 +80,19 @@ pub fn compute(op: Opcode, a: u64, b: u64, imm: i64) -> Result<u64, ExceptionKin
         Mul => ai.wrapping_mul(bi) as u64,
         Div => {
             if bi == 0 {
-                return Err(ExceptionKind::DivideByZero);
+                return Err(ExceptionKind::DivideByZero.into());
             }
             if ai == i64::MIN && bi == -1 {
-                return Err(ExceptionKind::IntOverflow);
+                return Err(ExceptionKind::IntOverflow.into());
             }
             (ai / bi) as u64
         }
         Rem => {
             if bi == 0 {
-                return Err(ExceptionKind::DivideByZero);
+                return Err(ExceptionKind::DivideByZero.into());
             }
             if ai == i64::MIN && bi == -1 {
-                return Err(ExceptionKind::IntOverflow);
+                return Err(ExceptionKind::IntOverflow.into());
             }
             (ai % bi) as u64
         }
@@ -71,36 +101,34 @@ pub fn compute(op: Opcode, a: u64, b: u64, imm: i64) -> Result<u64, ExceptionKin
         FMul => fp_arith(af, bf, af * bf)?,
         FDiv => {
             if af.is_nan() || bf.is_nan() {
-                return Err(ExceptionKind::FpInvalid);
+                return Err(ExceptionKind::FpInvalid.into());
             }
             if bf == 0.0 {
-                return Err(ExceptionKind::FpDivByZero);
+                return Err(ExceptionKind::FpDivByZero.into());
             }
             fp_arith(af, bf, af / bf)?
         }
         FCvtIF => (ai as f64).to_bits(),
         FCvtFI => {
             if af.is_nan() || af < -(2f64.powi(63)) || af >= 2f64.powi(63) {
-                return Err(ExceptionKind::FpInvalid);
+                return Err(ExceptionKind::FpInvalid.into());
             }
             (af as i64) as u64
         }
         FLt => {
             if af.is_nan() || bf.is_nan() {
-                return Err(ExceptionKind::FpInvalid);
+                return Err(ExceptionKind::FpInvalid.into());
             }
             (af < bf) as u64
         }
         FEq => {
             if af.is_nan() || bf.is_nan() {
-                return Err(ExceptionKind::FpInvalid);
+                return Err(ExceptionKind::FpInvalid.into());
             }
             (af == bf) as u64
         }
         LdW | LdB | FLd | LdTag | StW | StB | FSt | StTag | Beq | Bne | Blt | Bge | Jump | Halt
-        | ConfirmStore => {
-            panic!("{op} is not a pure-compute opcode")
-        }
+        | ConfirmStore => return Err(ComputeError::NotComputable(op)),
     })
 }
 
@@ -173,15 +201,15 @@ mod tests {
     fn integer_divide_traps() {
         assert_eq!(
             compute(Opcode::Div, 1, 0, 0),
-            Err(ExceptionKind::DivideByZero)
+            Err(ExceptionKind::DivideByZero.into())
         );
         assert_eq!(
             compute(Opcode::Rem, 1, 0, 0),
-            Err(ExceptionKind::DivideByZero)
+            Err(ExceptionKind::DivideByZero.into())
         );
         assert_eq!(
             compute(Opcode::Div, i64::MIN as u64, (-1i64) as u64, 0),
-            Err(ExceptionKind::IntOverflow)
+            Err(ExceptionKind::IntOverflow.into())
         );
         assert_eq!(compute(Opcode::Div, 7, 2, 0).unwrap(), 3);
         assert_eq!(compute(Opcode::Rem, 7, 2, 0).unwrap(), 1);
@@ -192,21 +220,21 @@ mod tests {
         assert_eq!(compute(Opcode::FAdd, f(1.5), f(2.0), 0).unwrap(), f(3.5));
         assert_eq!(
             compute(Opcode::FAdd, f(f64::NAN), f(1.0), 0),
-            Err(ExceptionKind::FpInvalid)
+            Err(ExceptionKind::FpInvalid.into())
         );
         assert_eq!(
             compute(Opcode::FDiv, f(1.0), f(0.0), 0),
-            Err(ExceptionKind::FpDivByZero)
+            Err(ExceptionKind::FpDivByZero.into())
         );
         assert_eq!(
             compute(Opcode::FMul, f(f64::MAX), f(2.0), 0),
-            Err(ExceptionKind::FpOverflow)
+            Err(ExceptionKind::FpOverflow.into())
         );
         // inf * 0 would be NaN -> invalid; inputs include an inf so the
         // NaN-result rule fires.
         assert_eq!(
             compute(Opcode::FMul, f(f64::INFINITY), f(0.0), 0),
-            Err(ExceptionKind::FpInvalid)
+            Err(ExceptionKind::FpInvalid.into())
         );
     }
 
@@ -216,7 +244,7 @@ mod tests {
         assert_eq!(compute(Opcode::FEq, f(2.0), f(2.0), 0).unwrap(), 1);
         assert_eq!(
             compute(Opcode::FLt, f(f64::NAN), f(2.0), 0),
-            Err(ExceptionKind::FpInvalid)
+            Err(ExceptionKind::FpInvalid.into())
         );
     }
 
@@ -229,11 +257,11 @@ mod tests {
         assert_eq!(compute(Opcode::FCvtFI, f(3.9), 0, 0).unwrap(), 3);
         assert_eq!(
             compute(Opcode::FCvtFI, f(f64::NAN), 0, 0),
-            Err(ExceptionKind::FpInvalid)
+            Err(ExceptionKind::FpInvalid.into())
         );
         assert_eq!(
             compute(Opcode::FCvtFI, f(1e300), 0, 0),
-            Err(ExceptionKind::FpInvalid)
+            Err(ExceptionKind::FpInvalid.into())
         );
     }
 
@@ -256,9 +284,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a pure-compute opcode")]
-    fn memory_ops_rejected() {
-        let _ = compute(Opcode::LdW, 0, 0, 0);
+    fn memory_ops_not_computable() {
+        assert_eq!(
+            compute(Opcode::LdW, 0, 0, 0),
+            Err(ComputeError::NotComputable(Opcode::LdW))
+        );
+        assert_eq!(
+            compute(Opcode::Jump, 0, 0, 0),
+            Err(ComputeError::NotComputable(Opcode::Jump))
+        );
+        assert!(ComputeError::NotComputable(Opcode::StW)
+            .to_string()
+            .contains("not a pure-compute"));
     }
 
     #[test]

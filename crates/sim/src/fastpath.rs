@@ -1,0 +1,1255 @@
+//! The pre-decoded fast execution engine.
+//!
+//! [`FastMachine`] executes a [`DecodedProgram`] with a flat program
+//! counter instead of a (block, position) walk, a dense `Vec<u64>`
+//! register scoreboard instead of a hashed one, pre-looked-up latencies,
+//! and control transfers pre-resolved to array indices. When no trace
+//! sink is attached and no trace is collected, the per-instruction loop
+//! constructs no events, renders no strings, and touches no journals.
+//!
+//! The engine is a deliberate structural port of
+//! [`Machine`](crate::Machine)'s semantics — Table 1, Table 2, boosting,
+//! recovery, and the exact per-reason stall-attribution timing model —
+//! and the differential suite in `tests/engine_differential.rs` holds the
+//! two to identical outcomes, statistics, final architectural state, and
+//! trace-event streams. The interpreter stays authoritative; this engine
+//! makes large evaluation grids affordable.
+
+use sentinel_isa::{Insn, InsnId, Opcode, Reg, RegClass};
+use sentinel_prog::profile::Profile;
+use sentinel_prog::Function;
+use sentinel_trace::{Event, EventKind, StallReason, TraceSink};
+
+use crate::decode::{DecodedProgram, ResEnd, NONE};
+use crate::except::{ExceptionKind, PcHistoryQueue, Trap};
+use crate::exec::branch_taken;
+use crate::hash::FastMap;
+use crate::machine::{computed, ShadowEntry, ShadowOp};
+use crate::memory::{Memory, Width};
+use crate::regfile::{RegEvent, RegFile, TaggedValue};
+use crate::stats::Stats;
+use crate::storebuf::{ConfirmOutcome, Entry, EntryState, SbEvent, StoreBuffer};
+use crate::{
+    Recovery, RunOutcome, SimConfig, SimError, SpeculationSemantics, TraceEvent, GARBAGE, INT_NAN,
+};
+
+enum Step {
+    Continue,
+    /// Taken control transfer to a resolution index.
+    Goto(u32),
+    Halt,
+    Trap(Trap),
+}
+
+/// The fast engine: decode once, execute the dense form.
+///
+/// Construct through [`SimSession`](crate::SimSession) with
+/// [`Engine::Fast`](crate::Engine::Fast). The public surface mirrors
+/// [`Machine`](crate::Machine) so sessions can delegate uniformly.
+pub(crate) struct FastMachine<'a> {
+    prog: DecodedProgram<'a>,
+    config: SimConfig,
+    regs: RegFile,
+    mem: Memory,
+    sb: StoreBuffer,
+    pcq: PcHistoryQueue,
+    /// Debug side-table: excepting PC → concrete cause.
+    kinds: FastMap<InsnId, ExceptionKind>,
+    stats: Stats,
+    profile: Profile,
+    /// Shadow register file + shadow store buffers (boosting, §2.3).
+    shadow: Vec<ShadowEntry>,
+    shadow_seq: u64,
+    /// Per-instruction execution trace (when `collect_trace` is set).
+    trace: Vec<TraceEvent>,
+    /// Optional timing-only data cache.
+    cache: Option<crate::cache::DataCache>,
+    /// Attached pipeline-event sink (`None` ⇒ the hot loop skips all
+    /// event construction).
+    sink: Option<Box<dyn TraceSink>>,
+    /// Whether the attached sink consumes events
+    /// ([`TraceSink::wants_events`]); `false` keeps the untraced fast
+    /// path even with a sink attached.
+    sink_active: bool,
+    last_issue: u64,
+    last_insn: InsnId,
+    // --- timing state ---
+    cycle: u64,
+    slots_used: usize,
+    branches_used: usize,
+    /// Dense register scoreboard indexed by decoded register slot.
+    ready: Vec<u64>,
+    issue_width: usize,
+    branches_per_cycle: usize,
+}
+
+// The evaluation grid runs cells on scoped worker threads; the fast
+// engine must move there exactly like the interpreter does.
+const _: () = {
+    const fn send<T: Send>() {}
+    send::<FastMachine<'static>>();
+};
+
+impl<'a> FastMachine<'a> {
+    /// Decodes `func` for `config` and creates an engine over the result.
+    /// Register-file sizing matches the interpreter: the larger of the
+    /// machine description and the registers the program names.
+    pub fn new(func: &'a Function, config: SimConfig) -> FastMachine<'a> {
+        let prog = DecodedProgram::new(func, &config.mdes);
+        let fp_slots = prog.slots - prog.int_slots;
+        FastMachine {
+            regs: RegFile::new(prog.int_slots, fp_slots),
+            mem: Memory::new(),
+            sb: StoreBuffer::new(config.mdes.store_buffer_size()),
+            pcq: PcHistoryQueue::new(config.pc_history_depth),
+            kinds: FastMap::default(),
+            stats: Stats::default(),
+            profile: Profile::new(),
+            shadow: Vec::new(),
+            shadow_seq: 0,
+            trace: Vec::new(),
+            cache: config.cache.clone().map(crate::cache::DataCache::new),
+            sink: None,
+            sink_active: false,
+            last_issue: 0,
+            last_insn: InsnId(0),
+            cycle: 0,
+            slots_used: 0,
+            branches_used: 0,
+            ready: vec![0; prog.slots],
+            issue_width: config.mdes.issue_width(),
+            branches_per_cycle: config.mdes.branches_per_cycle(),
+            prog,
+            config,
+        }
+    }
+
+    /// Attaches a pipeline-event sink and enables the register-file and
+    /// store-buffer journals feeding it. Call before [`FastMachine::run`].
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        let active = sink.wants_events();
+        self.regs.set_journal(active);
+        self.sb.set_journal(active);
+        self.sink_active = active;
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the sink (if any), disabling the journals.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.drain_journals();
+        self.regs.set_journal(false);
+        self.sb.set_journal(false);
+        self.sink_active = false;
+        self.sink.take()
+    }
+
+    /// The data cache, if one is configured.
+    pub fn cache(&self) -> Option<&crate::cache::DataCache> {
+        self.cache.as_ref()
+    }
+
+    fn cache_penalty(&mut self, addr: u64) -> u64 {
+        match &mut self.cache {
+            Some(c) => c.access(addr) as u64,
+            None => 0,
+        }
+    }
+
+    /// The execution trace (empty unless [`SimConfig::collect_trace`]).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Reads a register through the shadow overlay (newest shadow write
+    /// wins; shadow values are untagged).
+    fn read_reg(&self, r: Reg) -> TaggedValue {
+        if !self.shadow.is_empty() && !r.is_zero() {
+            if let Some(e) = self
+                .shadow
+                .iter()
+                .rev()
+                .find(|e| matches!(&e.op, ShadowOp::Reg { dest, .. } if *dest == r))
+            {
+                if let ShadowOp::Reg { data, .. } = e.op {
+                    return TaggedValue::clean(data);
+                }
+            }
+        }
+        self.regs.read(r)
+    }
+
+    fn shadow_push(&mut self, level: u8, op: ShadowOp) {
+        self.shadow_seq += 1;
+        self.shadow.push(ShadowEntry {
+            level,
+            seq: self.shadow_seq,
+            op,
+        });
+    }
+
+    fn shadow_store_lookup(&self, addr: u64, width: Width) -> Option<u64> {
+        self.shadow.iter().rev().find_map(|e| match &e.op {
+            ShadowOp::Store {
+                addr: a,
+                data,
+                width: w,
+                except: None,
+            } if *a == addr && *w == width => Some(*data),
+            _ => None,
+        })
+    }
+
+    fn shadow_commit(&mut self, branch: InsnId, issue: u64) -> Result<Option<Trap>, SimError> {
+        if self.shadow.is_empty() {
+            return Ok(None);
+        }
+        let mut entries = std::mem::take(&mut self.shadow);
+        entries.sort_by_key(|e| e.seq);
+        let mut trap = None;
+        for e in entries {
+            if e.level > 1 {
+                self.shadow.push(ShadowEntry {
+                    level: e.level - 1,
+                    ..e
+                });
+                continue;
+            }
+            if trap.is_some() {
+                continue;
+            }
+            self.stats.shadow_commits += 1;
+            match e.op {
+                ShadowOp::Reg { dest, data, except } => match except {
+                    None => self.regs.write_clean(dest, data),
+                    Some((pc, kind)) => {
+                        trap = Some(Trap {
+                            excepting_pc: pc,
+                            reported_by: branch,
+                            kind: Some(kind),
+                        });
+                    }
+                },
+                ShadowOp::Store {
+                    addr,
+                    data,
+                    width,
+                    except,
+                } => match except {
+                    None => {
+                        let eff = self.sb.insert(
+                            Entry {
+                                addr,
+                                data,
+                                width,
+                                state: EntryState::Confirmed { ready: issue },
+                                except_pc: None,
+                                except_kind: None,
+                                inserted_at: issue,
+                            },
+                            issue,
+                            &mut self.mem,
+                        )?;
+                        self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
+                    }
+                    Some((pc, kind)) => {
+                        trap = Some(Trap {
+                            excepting_pc: pc,
+                            reported_by: branch,
+                            kind: Some(kind),
+                        });
+                    }
+                },
+            }
+        }
+        Ok(trap)
+    }
+
+    fn shadow_squash(&mut self) {
+        if !self.shadow.is_empty() {
+            self.stats.shadow_squashes += self.shadow.len() as u64;
+            self.shadow.clear();
+        }
+    }
+
+    /// Sets an integer or fp register to raw bits (untagged).
+    pub fn set_reg(&mut self, r: Reg, bits: u64) {
+        self.regs.write_clean(r, bits);
+    }
+
+    /// Sets an fp register from an `f64`.
+    pub fn set_reg_f64(&mut self, r: Reg, v: f64) {
+        self.regs.write_clean(r, v.to_bits());
+    }
+
+    /// Sets a register's exception tag with stale contents.
+    pub fn set_stale_tag(&mut self, r: Reg, pc: InsnId) {
+        self.regs.write(r, TaggedValue::excepting(pc));
+    }
+
+    /// Reads a register with its tag.
+    pub fn reg(&self, r: Reg) -> TaggedValue {
+        self.regs.read(r)
+    }
+
+    /// The memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access (initialization, recovery handlers).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Execution profile of the run so far.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The PC history queue (fidelity checks).
+    pub fn pc_history(&self) -> &PcHistoryQueue {
+        &self.pcq
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`]; architectural traps are a [`RunOutcome`], not an
+    /// error.
+    pub fn run(&mut self) -> Result<RunOutcome, SimError> {
+        self.run_with_recovery(|_, _| Recovery::Abort)
+    }
+
+    /// Applies a pre-resolved control transfer: records the block-entry
+    /// chain into the profile and returns the destination flat index.
+    fn enter(&mut self, res: u32) -> Result<u32, SimError> {
+        let r = &self.prog.resolutions[res as usize];
+        for &b in &r.enters {
+            self.profile.enter_block(b);
+        }
+        match r.end {
+            ResEnd::At(idx) => Ok(idx),
+            ResEnd::FellOff(b) => Err(SimError::FellOffEnd(b)),
+        }
+    }
+
+    /// Runs with an exception-recovery handler (paper §3.7).
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`FastMachine::run`]'s errors:
+    /// [`SimError::RecoveryLoop`] and [`SimError::UnknownRecoveryPc`].
+    pub fn run_with_recovery<H>(&mut self, mut handler: H) -> Result<RunOutcome, SimError>
+    where
+        H: FnMut(&Trap, &mut Memory) -> Recovery,
+    {
+        let mut pc = self.enter(self.prog.entry)?;
+        loop {
+            if self.stats.dyn_insns >= self.config.fuel {
+                return Err(SimError::OutOfFuel);
+            }
+            let step = self.exec_insn(pc)?;
+            self.drain_journals();
+            match step {
+                Step::Continue => {
+                    let fall = self.prog.insns[pc as usize].fall;
+                    pc = if fall == NONE {
+                        pc + 1
+                    } else {
+                        self.enter(fall)?
+                    };
+                }
+                Step::Goto(res) => {
+                    if let Some(last) = self.trace.last_mut() {
+                        last.taken = true;
+                    }
+                    pc = self.enter(res)?;
+                }
+                Step::Halt => {
+                    let stuck = self.sb.flush(&mut self.mem);
+                    self.drain_journals();
+                    self.sync_sb_stats();
+                    if stuck > 0 {
+                        return Err(SimError::UnconfirmedAtHalt(stuck));
+                    }
+                    self.finalize_cycles();
+                    return Ok(RunOutcome::Halted);
+                }
+                Step::Trap(trap) => {
+                    if self.sink_active {
+                        let kind = trap
+                            .kind
+                            .map(|k| k.to_string())
+                            .unwrap_or_else(|| "exception".to_string());
+                        self.emit(Event::at(
+                            self.cycle,
+                            EventKind::Trap {
+                                pc: trap.excepting_pc,
+                                kind,
+                            },
+                        ));
+                    }
+                    match handler(&trap, &mut self.mem) {
+                        Recovery::Resume => {
+                            if self.stats.recoveries >= self.config.max_recoveries {
+                                return Err(SimError::RecoveryLoop);
+                            }
+                            self.stats.recoveries += 1;
+                            let Some(&rpc) = self.prog.flat_of.get(&trap.excepting_pc) else {
+                                return Err(SimError::UnknownRecoveryPc(trap.excepting_pc));
+                            };
+                            self.sb.cancel_probationary(self.cycle);
+                            self.drain_journals();
+                            if self.sink_active {
+                                self.emit(Event::at(
+                                    self.cycle,
+                                    EventKind::Recovery {
+                                        pc: trap.excepting_pc,
+                                        penalty: self.config.recovery_penalty,
+                                    },
+                                ));
+                            }
+                            self.advance_cycle(
+                                self.cycle + 1 + self.config.recovery_penalty,
+                                StallReason::Recovery,
+                            );
+                            pc = rpc;
+                        }
+                        Recovery::Abort => {
+                            self.sb.flush(&mut self.mem);
+                            self.drain_journals();
+                            self.sync_sb_stats();
+                            self.finalize_cycles();
+                            return Ok(RunOutcome::Trapped(trap));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finalize_cycles(&mut self) {
+        self.stats.cycles = self.cycle + 1;
+        debug_assert_eq!(
+            self.stats.issuing_cycles + self.stats.stalls.total(),
+            self.stats.cycles,
+            "stall attribution must cover every non-issuing cycle"
+        );
+    }
+
+    fn sync_sb_stats(&mut self) {
+        let (rel, can, fwd, stall) = self.sb.stats();
+        self.stats.sb_releases = rel;
+        self.stats.sb_cancels = can;
+        self.stats.sb_forwards = fwd;
+        self.stats.sb_stall_cycles = stall;
+    }
+
+    fn emit(&mut self, event: Event) {
+        if let Some(s) = &mut self.sink {
+            s.record(&event);
+        }
+    }
+
+    fn drain_journals(&mut self) {
+        if !self.sink_active {
+            return;
+        }
+        let at = self.last_issue;
+        let insn = self.last_insn;
+        for ev in self.regs.take_journal() {
+            match ev {
+                RegEvent::TagWrite { reg, pc } if pc == insn => {
+                    self.emit(Event::at(at, EventKind::TagSet { reg, pc }));
+                }
+                RegEvent::TagWrite { reg, pc } => {
+                    self.emit(Event::at(at, EventKind::TagPropagate { dest: reg, pc }));
+                }
+                RegEvent::TagClear { .. } => {}
+            }
+        }
+        for ev in self.sb.take_journal() {
+            let event = match ev {
+                SbEvent::Insert {
+                    cycle,
+                    addr,
+                    probationary,
+                    occupancy,
+                } => Event::at(
+                    cycle,
+                    EventKind::SbInsert {
+                        addr,
+                        probationary,
+                        occupancy,
+                    },
+                ),
+                SbEvent::Release {
+                    cycle,
+                    addr,
+                    occupancy,
+                } => Event::at(cycle, EventKind::SbRelease { addr, occupancy }),
+                SbEvent::Cancel {
+                    cycle,
+                    cancelled,
+                    occupancy,
+                } => Event::at(
+                    cycle,
+                    EventKind::SbCancel {
+                        cancelled,
+                        occupancy,
+                    },
+                ),
+                SbEvent::Forward { addr } => Event::at(at, EventKind::SbForward { addr }),
+                SbEvent::Confirm {
+                    cycle,
+                    index,
+                    excepted,
+                } => Event::at(cycle, EventKind::SbConfirm { index, excepted }),
+            };
+            self.emit(event);
+        }
+    }
+
+    fn advance_cycle(&mut self, to: u64, reason: StallReason) {
+        if to > self.cycle {
+            let stalled = (to - self.cycle - 1) + u64::from(self.slots_used == 0);
+            if stalled > 0 {
+                self.stats.stalls.add(reason, stalled);
+                if self.sink_active {
+                    let start = if self.slots_used == 0 {
+                        self.cycle
+                    } else {
+                        self.cycle + 1
+                    };
+                    self.emit(Event::at(
+                        start,
+                        EventKind::Stall {
+                            reason,
+                            cycles: stalled,
+                        },
+                    ));
+                }
+            }
+            self.cycle = to;
+            self.slots_used = 0;
+            self.branches_used = 0;
+        }
+    }
+
+    fn issue_at(&mut self, min_cycle: u64, is_branch: bool, wait: StallReason) -> u64 {
+        self.advance_cycle(min_cycle, wait);
+        loop {
+            let width_ok = self.slots_used < self.issue_width;
+            let branch_ok = !is_branch || self.branches_used < self.branches_per_cycle;
+            if width_ok && branch_ok {
+                self.slots_used += 1;
+                if self.slots_used == 1 {
+                    self.stats.issuing_cycles += 1;
+                }
+                if is_branch {
+                    self.branches_used += 1;
+                }
+                return self.cycle;
+            }
+            let structural = if width_ok {
+                StallReason::BranchLimit
+            } else {
+                StallReason::FuConflict
+            };
+            self.advance_cycle(self.cycle + 1, structural);
+        }
+    }
+
+    #[inline]
+    fn src_ready_cycle(&self, src1: u32, src2: u32) -> u64 {
+        let mut t = 0;
+        if src1 != NONE {
+            t = self.ready[src1 as usize];
+        }
+        if src2 != NONE {
+            t = t.max(self.ready[src2 as usize]);
+        }
+        t
+    }
+
+    /// Marks a decoded scoreboard slot ready at `at` (no-op for [`NONE`],
+    /// which already encodes the `def()` filter).
+    #[inline]
+    fn mark_ready(&mut self, slot: u32, at: u64) {
+        if slot != NONE {
+            self.ready[slot as usize] = at;
+        }
+    }
+
+    fn first_tagged(&self, insn: &Insn) -> Option<TaggedValue> {
+        insn.raw_srcs().map(|r| self.read_reg(r)).find(|v| v.tag)
+    }
+
+    fn trap_from_tag(&self, tv: TaggedValue, reporter: InsnId) -> Trap {
+        let pc = tv.as_pc();
+        Trap {
+            excepting_pc: pc,
+            reported_by: reporter,
+            kind: self.kinds.get(&pc).copied(),
+        }
+    }
+
+    /// Executes the instruction at flat index `pc`: the interpreter's
+    /// `exec_insn` (Tables 1 and 2 plus timing) over the decoded form.
+    fn exec_insn(&mut self, pc: u32) -> Result<Step, SimError> {
+        use Opcode::*;
+        let d = &self.prog.insns[pc as usize];
+        let insn = d.raw;
+        let (lat, dest_slot, target_res) = (d.lat, d.dest, d.target);
+        let (is_branch, wait) = (d.is_branch, d.wait);
+        let ready = self.src_ready_cycle(d.src1, d.src2);
+
+        self.stats.dyn_insns += 1;
+        if insn.speculative {
+            self.stats.dyn_speculative += 1;
+        }
+        if insn.boost > 0 {
+            self.stats.dyn_boosted += 1;
+        }
+        self.pcq.record(insn.id);
+        let op = insn.op;
+
+        let issue = self.issue_at(ready, is_branch, wait);
+        if self.sink_active {
+            self.last_issue = issue;
+            self.last_insn = insn.id;
+            let done = issue + lat;
+            let slot = (self.slots_used - 1).min(u8::MAX as usize) as u8;
+            self.emit(Event {
+                cycle: issue,
+                slot,
+                kind: EventKind::Issue {
+                    pc: insn.id,
+                    text: insn.to_string(),
+                    done,
+                },
+            });
+        }
+        if self.config.collect_trace {
+            self.trace.push(TraceEvent {
+                cycle: issue,
+                id: insn.id,
+                text: insn.to_string(),
+                taken: false,
+            });
+        }
+
+        match op {
+            Halt => {
+                if !self.shadow.is_empty() {
+                    return Err(SimError::ShadowAtHalt(self.shadow.len()));
+                }
+                return Ok(Step::Halt);
+            }
+            Jump => {
+                self.profile.record_branch(insn.id, true);
+                self.redirect(issue);
+                debug_assert_ne!(target_res, NONE, "jump target");
+                return Ok(Step::Goto(target_res));
+            }
+            ClearTag => {
+                if let Some(dr) = insn.dest {
+                    self.regs.clear_tag(dr);
+                }
+                self.mark_ready(dest_slot, issue + lat);
+                return Ok(Step::Continue);
+            }
+            ConfirmStore => {
+                self.stats.dyn_confirms += 1;
+                self.sb.drain_to(issue, &mut self.mem);
+                match self.sb.confirm(insn.imm as usize, issue)? {
+                    ConfirmOutcome::Confirmed => return Ok(Step::Continue),
+                    ConfirmOutcome::Exception { pc, kind } => {
+                        return Ok(Step::Trap(Trap {
+                            excepting_pc: pc,
+                            reported_by: insn.id,
+                            kind,
+                        }));
+                    }
+                }
+            }
+            Jsr | Io => {
+                return Ok(Step::Continue);
+            }
+            Beq | Bne | Blt | Bge => {
+                self.stats.branches += 1;
+                let a = self.read_reg(insn.src1.expect("branch src1"));
+                let b = self.read_reg(insn.src2.expect("branch src2"));
+                if let Some(tv) = [a, b].into_iter().find(|v| v.tag) {
+                    return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
+                }
+                let taken = branch_taken(op, a.data, b.data);
+                self.profile.record_branch(insn.id, taken);
+                if taken {
+                    self.stats.branches_taken += 1;
+                    self.sb.cancel_probationary(issue);
+                    self.shadow_squash();
+                    self.redirect(issue);
+                    debug_assert_ne!(target_res, NONE, "branch target");
+                    return Ok(Step::Goto(target_res));
+                }
+                if let Some(trap) = self.shadow_commit(insn.id, issue)? {
+                    return Ok(Step::Trap(trap));
+                }
+                return Ok(Step::Continue);
+            }
+            LdW | LdB | FLd => return self.exec_load(pc, issue),
+            StW | StB | FSt => return self.exec_store(pc, issue),
+            LdTag => return self.exec_ld_tag(pc, issue),
+            StTag => return self.exec_st_tag(pc, issue),
+            CheckExcept => {
+                self.stats.dyn_checks += 1;
+                if self.sink_active {
+                    let excepted = self.first_tagged(insn).is_some();
+                    let reg = insn.src1.unwrap_or(Reg::ZERO);
+                    self.emit(Event::at(issue, EventKind::TagCheck { reg, excepted }));
+                }
+                // Falls through to the general (non-speculative use) path.
+            }
+            _ => {}
+        }
+
+        // General Table 1 path for computational instructions.
+        let a = insn.src1.map_or(0, |r| self.read_reg(r).data);
+        let b = insn.src2.map_or(0, |r| self.read_reg(r).data);
+        if insn.boost > 0 {
+            let op_entry = match computed(insn.op, a, b, insn.imm)? {
+                Ok(v) => insn.def().map(|dr| ShadowOp::Reg {
+                    dest: dr,
+                    data: v,
+                    except: None,
+                }),
+                Err(kind) => insn.def().map(|dr| ShadowOp::Reg {
+                    dest: dr,
+                    data: 0,
+                    except: Some((insn.id, kind)),
+                }),
+            };
+            if let Some(e) = op_entry {
+                self.shadow_push(insn.boost, e);
+            }
+            self.mark_ready(dest_slot, issue + lat);
+            return Ok(Step::Continue);
+        }
+        if insn.speculative {
+            match self.config.semantics {
+                SpeculationSemantics::SentinelTags => {
+                    if let Some(tv) = self.first_tagged(insn) {
+                        self.stats.tag_propagations += 1;
+                        if let Some(dr) = insn.dest {
+                            self.regs.write(
+                                dr,
+                                TaggedValue {
+                                    data: tv.data,
+                                    tag: true,
+                                },
+                            );
+                        }
+                    } else {
+                        match computed(insn.op, a, b, insn.imm)? {
+                            Ok(v) => {
+                                if let Some(dr) = insn.dest {
+                                    self.regs.write_clean(dr, v);
+                                }
+                            }
+                            Err(kind) => {
+                                self.stats.tag_sets += 1;
+                                self.kinds.insert(insn.id, kind);
+                                if let Some(dr) = insn.dest {
+                                    self.regs.write(dr, TaggedValue::excepting(insn.id));
+                                }
+                            }
+                        }
+                    }
+                }
+                SpeculationSemantics::Silent => match computed(insn.op, a, b, insn.imm)? {
+                    Ok(v) => {
+                        if let Some(dr) = insn.dest {
+                            self.regs.write_clean(dr, v);
+                        }
+                    }
+                    Err(_) => {
+                        self.stats.silent_garbage_writes += 1;
+                        if let Some(dr) = insn.dest {
+                            self.regs.write_clean(dr, GARBAGE);
+                        }
+                    }
+                },
+                SpeculationSemantics::NanWrite => {
+                    let nan_in = insn.op.can_trap() && self.nan_source(insn);
+                    let fault = if nan_in {
+                        true
+                    } else {
+                        match computed(insn.op, a, b, insn.imm)? {
+                            Ok(v) => {
+                                if let Some(dr) = insn.dest {
+                                    self.regs.write_clean(dr, v);
+                                }
+                                false
+                            }
+                            Err(_) => true,
+                        }
+                    };
+                    if fault {
+                        self.stats.silent_garbage_writes += 1;
+                        if let Some(dr) = insn.dest {
+                            self.regs.write_clean(dr, Self::nan_bits_for(dr));
+                        }
+                    }
+                }
+            }
+        } else {
+            if let Some(tv) = self.first_tagged(insn) {
+                return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
+            }
+            if self.config.semantics == SpeculationSemantics::NanWrite
+                && insn.op.can_trap()
+                && self.nan_source(insn)
+            {
+                return Ok(Step::Trap(Trap {
+                    excepting_pc: insn.id,
+                    reported_by: insn.id,
+                    kind: Some(ExceptionKind::NanOperand),
+                }));
+            }
+            match computed(insn.op, a, b, insn.imm)? {
+                Ok(v) => {
+                    if let Some(dr) = insn.dest {
+                        self.regs.write_clean(dr, v);
+                    }
+                }
+                Err(kind) => {
+                    return Ok(Step::Trap(Trap {
+                        excepting_pc: insn.id,
+                        reported_by: insn.id,
+                        kind: Some(kind),
+                    }));
+                }
+            }
+        }
+        self.mark_ready(dest_slot, issue + lat);
+        Ok(Step::Continue)
+    }
+
+    fn redirect(&mut self, branch_issue: u64) {
+        self.advance_cycle(branch_issue + 1, StallReason::BranchRedirect);
+    }
+
+    fn nan_source(&self, insn: &Insn) -> bool {
+        insn.raw_srcs().any(|r| {
+            let v = self.read_reg(r);
+            match r.class() {
+                RegClass::Int => v.data == INT_NAN,
+                RegClass::Fp => f64::from_bits(v.data).is_nan(),
+            }
+        })
+    }
+
+    fn nan_bits_for(d: Reg) -> u64 {
+        match d.class() {
+            RegClass::Int => INT_NAN,
+            RegClass::Fp => f64::NAN.to_bits(),
+        }
+    }
+
+    fn width_of(op: Opcode) -> Width {
+        match op {
+            Opcode::LdB | Opcode::StB => Width::Byte,
+            _ => Width::Word,
+        }
+    }
+
+    fn exec_load(&mut self, pc: u32, issue: u64) -> Result<Step, SimError> {
+        let d = &self.prog.insns[pc as usize];
+        let insn = d.raw;
+        let (lat, dest_slot, raw_dest_slot) = (d.lat, d.dest, d.raw_dest);
+        self.stats.loads += 1;
+        let base = self.read_reg(insn.src2.expect("load base"));
+        let dest = insn.dest.expect("load dest");
+        let width = Self::width_of(insn.op);
+        if insn.boost > 0 {
+            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+            let entry = if let Some(fwd) = self.shadow_store_lookup(addr, width) {
+                self.mark_ready(raw_dest_slot, issue + lat);
+                ShadowOp::Reg {
+                    dest,
+                    data: fwd,
+                    except: None,
+                }
+            } else {
+                match self.mem.check_access(addr, width) {
+                    Ok(()) => {
+                        let (fwd, eff) = self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
+                        let penalty = if fwd.is_none() {
+                            self.cache_penalty(addr)
+                        } else {
+                            0
+                        };
+                        let data = fwd.unwrap_or_else(|| self.mem.read_raw(addr, width));
+                        self.mark_ready(raw_dest_slot, eff + lat + penalty);
+                        ShadowOp::Reg {
+                            dest,
+                            data,
+                            except: None,
+                        }
+                    }
+                    Err(kind) => {
+                        self.mark_ready(raw_dest_slot, issue + lat);
+                        ShadowOp::Reg {
+                            dest,
+                            data: 0,
+                            except: Some((insn.id, kind)),
+                        }
+                    }
+                }
+            };
+            self.shadow_push(insn.boost, entry);
+            return Ok(Step::Continue);
+        }
+        if insn.speculative {
+            match self.config.semantics {
+                SpeculationSemantics::SentinelTags if base.tag => {
+                    self.stats.tag_propagations += 1;
+                    self.regs.write(
+                        dest,
+                        TaggedValue {
+                            data: base.data,
+                            tag: true,
+                        },
+                    );
+                    self.mark_ready(dest_slot, issue + lat);
+                    return Ok(Step::Continue);
+                }
+                _ => {}
+            }
+        } else if base.tag {
+            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
+        } else if self.config.semantics == SpeculationSemantics::NanWrite && base.data == INT_NAN {
+            return Ok(Step::Trap(Trap {
+                excepting_pc: insn.id,
+                reported_by: insn.id,
+                kind: Some(ExceptionKind::NanOperand),
+            }));
+        }
+        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+        match self.mem.check_access(addr, width) {
+            Ok(()) => {
+                let data = if let Some(fwd) = self.shadow_store_lookup(addr, width) {
+                    self.mark_ready(raw_dest_slot, issue + lat);
+                    fwd
+                } else {
+                    let (fwd, eff) = self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
+                    let penalty = if fwd.is_none() {
+                        self.cache_penalty(addr)
+                    } else {
+                        0
+                    };
+                    self.mark_ready(raw_dest_slot, eff + lat + penalty);
+                    fwd.unwrap_or_else(|| self.mem.read_raw(addr, width))
+                };
+                self.regs.write_clean(dest, data);
+                Ok(Step::Continue)
+            }
+            Err(kind) => {
+                if insn.speculative {
+                    match self.config.semantics {
+                        SpeculationSemantics::SentinelTags => {
+                            self.stats.tag_sets += 1;
+                            self.kinds.insert(insn.id, kind);
+                            self.regs.write(dest, TaggedValue::excepting(insn.id));
+                        }
+                        SpeculationSemantics::Silent => {
+                            self.stats.silent_garbage_writes += 1;
+                            self.regs.write_clean(dest, GARBAGE);
+                        }
+                        SpeculationSemantics::NanWrite => {
+                            self.stats.silent_garbage_writes += 1;
+                            self.regs.write_clean(dest, Self::nan_bits_for(dest));
+                        }
+                    }
+                    self.mark_ready(dest_slot, issue + lat);
+                    Ok(Step::Continue)
+                } else {
+                    Ok(Step::Trap(Trap {
+                        excepting_pc: insn.id,
+                        reported_by: insn.id,
+                        kind: Some(kind),
+                    }))
+                }
+            }
+        }
+    }
+
+    fn exec_store(&mut self, pc: u32, issue: u64) -> Result<Step, SimError> {
+        let insn = self.prog.insns[pc as usize].raw;
+        self.stats.stores += 1;
+        let value = self.read_reg(insn.src1.expect("store value"));
+        let base = self.read_reg(insn.src2.expect("store base"));
+        let width = Self::width_of(insn.op);
+        let first_tagged = [value, base].into_iter().find(|v| v.tag);
+
+        if insn.boost > 0 {
+            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+            let except = self
+                .mem
+                .check_access(addr, width)
+                .err()
+                .map(|kind| (insn.id, kind));
+            self.shadow_push(
+                insn.boost,
+                ShadowOp::Store {
+                    addr,
+                    data: value.data,
+                    width,
+                    except,
+                },
+            );
+            return Ok(Step::Continue);
+        }
+
+        if !insn.speculative {
+            if let Some(tv) = first_tagged {
+                return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
+            }
+            if self.config.semantics == SpeculationSemantics::NanWrite && self.nan_source(insn) {
+                return Ok(Step::Trap(Trap {
+                    excepting_pc: insn.id,
+                    reported_by: insn.id,
+                    kind: Some(ExceptionKind::NanOperand),
+                }));
+            }
+            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+            match self.mem.check_access(addr, width) {
+                Ok(()) => {
+                    let eff = self.sb.insert(
+                        Entry {
+                            addr,
+                            data: value.data,
+                            width,
+                            state: EntryState::Confirmed { ready: issue },
+                            except_pc: None,
+                            except_kind: None,
+                            inserted_at: issue,
+                        },
+                        issue,
+                        &mut self.mem,
+                    )?;
+                    self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
+                    Ok(Step::Continue)
+                }
+                Err(kind) => {
+                    self.sb.flush(&mut self.mem);
+                    Ok(Step::Trap(Trap {
+                        excepting_pc: insn.id,
+                        reported_by: insn.id,
+                        kind: Some(kind),
+                    }))
+                }
+            }
+        } else {
+            if self.config.semantics != SpeculationSemantics::SentinelTags {
+                return Err(SimError::SpeculativeStoreUnsupported(insn.id));
+            }
+            let entry = if let Some(tv) = first_tagged {
+                self.stats.tag_propagations += 1;
+                let pc = tv.as_pc();
+                Entry {
+                    addr: 0,
+                    data: 0,
+                    width,
+                    state: EntryState::Probationary,
+                    except_pc: Some(pc),
+                    except_kind: self.kinds.get(&pc).copied(),
+                    inserted_at: issue,
+                }
+            } else {
+                let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+                match self.mem.check_access(addr, width) {
+                    Ok(()) => Entry {
+                        addr,
+                        data: value.data,
+                        width,
+                        state: EntryState::Probationary,
+                        except_pc: None,
+                        except_kind: None,
+                        inserted_at: issue,
+                    },
+                    Err(kind) => {
+                        self.stats.tag_sets += 1;
+                        self.kinds.insert(insn.id, kind);
+                        Entry {
+                            addr: 0,
+                            data: 0,
+                            width,
+                            state: EntryState::Probationary,
+                            except_pc: Some(insn.id),
+                            except_kind: Some(kind),
+                            inserted_at: issue,
+                        }
+                    }
+                }
+            };
+            let eff = self.sb.insert(entry, issue, &mut self.mem)?;
+            self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
+            Ok(Step::Continue)
+        }
+    }
+
+    fn exec_ld_tag(&mut self, pc: u32, issue: u64) -> Result<Step, SimError> {
+        let d = &self.prog.insns[pc as usize];
+        let insn = d.raw;
+        let (lat, dest_slot) = (d.lat, d.dest);
+        self.stats.loads += 1;
+        let base = self.read_reg(insn.src2.expect("ld.tag base"));
+        if base.tag {
+            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
+        }
+        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+        let data = self.mem.read_raw(addr, Width::Word);
+        let tag = self.mem.read_shadow_tag(addr);
+        self.regs
+            .write(insn.dest.expect("ld.tag dest"), TaggedValue { data, tag });
+        self.mark_ready(dest_slot, issue + lat);
+        Ok(Step::Continue)
+    }
+
+    fn exec_st_tag(&mut self, pc: u32, issue: u64) -> Result<Step, SimError> {
+        let insn = self.prog.insns[pc as usize].raw;
+        self.stats.stores += 1;
+        let value = self.read_reg(insn.src1.expect("st.tag value"));
+        let base = self.read_reg(insn.src2.expect("st.tag base"));
+        if base.tag {
+            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
+        }
+        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+        self.mem.write_raw(addr, Width::Word, value.data);
+        self.mem.write_shadow_tag(addr, value.tag);
+        let _ = issue;
+        Ok(Step::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use sentinel_isa::{LatencyTable, MachineDesc};
+    use sentinel_prog::ProgramBuilder;
+
+    fn paper_mdes(width: usize) -> MachineDesc {
+        MachineDesc::builder()
+            .issue_width(width)
+            .latencies(LatencyTable::paper())
+            .build()
+    }
+
+    /// A small program exercising speculation, branches, and stores.
+    fn spec_loop() -> Function {
+        let mut b = ProgramBuilder::new("spec_loop");
+        b.block("entry");
+        b.push(Insn::li(Reg::int(1), 0x1000));
+        b.push(Insn::li(Reg::int(2), 0));
+        b.push(Insn::li(Reg::int(3), 4));
+        let loop_b = b.block("loop");
+        b.switch_to(loop_b);
+        b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0).speculated());
+        b.push(Insn::check_exception(Reg::int(4)));
+        b.push(Insn::alu(
+            Opcode::Add,
+            Reg::int(2),
+            Reg::int(2),
+            Reg::int(4),
+        ));
+        b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
+        b.push(Insn::addi(Reg::int(3), Reg::int(3), -1));
+        b.push(Insn::branch(Opcode::Bne, Reg::int(3), Reg::ZERO, loop_b));
+        let exit = b.block("exit");
+        b.switch_to(exit);
+        b.push(Insn::li(Reg::int(5), 0x2000));
+        b.push(Insn::st_w(Reg::int(2), Reg::int(5), 0));
+        b.push(Insn::halt());
+        b.finish()
+    }
+
+    #[test]
+    fn matches_interpreter_on_spec_loop() {
+        for width in [1usize, 2, 4, 8] {
+            let f = spec_loop();
+            let cfg = SimConfig::for_mdes(paper_mdes(width));
+
+            let mut interp = Machine::create(&f, cfg.clone());
+            interp.memory_mut().map_region(0x1000, 0x100);
+            interp.memory_mut().map_region(0x2000, 8);
+            for i in 0..4 {
+                interp
+                    .memory_mut()
+                    .write_word(0x1000 + 8 * i, 10 + i)
+                    .unwrap();
+            }
+            let io = interp.run().unwrap();
+
+            let mut fast = FastMachine::new(&f, cfg);
+            fast.memory_mut().map_region(0x1000, 0x100);
+            fast.memory_mut().map_region(0x2000, 8);
+            for i in 0..4 {
+                fast.memory_mut()
+                    .write_word(0x1000 + 8 * i, 10 + i)
+                    .unwrap();
+            }
+            let fo = fast.run().unwrap();
+
+            assert_eq!(io, fo, "outcome diverged at width {width}");
+            assert_eq!(
+                interp.stats(),
+                fast.stats(),
+                "stats diverged at width {width}"
+            );
+            assert_eq!(
+                interp.memory().read_word(0x2000).unwrap(),
+                fast.memory().read_word(0x2000).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn deferred_exception_matches() {
+        let mut b = ProgramBuilder::new("defer");
+        b.block("entry");
+        b.push(Insn::li(Reg::int(1), 0xdead0));
+        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
+        b.push(Insn::check_exception(Reg::int(2)));
+        b.push(Insn::halt());
+        let f = b.finish();
+        let cfg = SimConfig::default();
+        let mut interp = Machine::create(&f, cfg.clone());
+        let mut fast = FastMachine::new(&f, cfg);
+        let io = interp.run().unwrap();
+        let fo = fast.run().unwrap();
+        assert_eq!(io, fo);
+        assert!(matches!(fo, RunOutcome::Trapped(_)));
+        assert_eq!(interp.stats(), fast.stats());
+    }
+
+    #[test]
+    fn fell_off_end_matches() {
+        let mut b = ProgramBuilder::new("off");
+        b.block("entry");
+        b.push(Insn::li(Reg::int(1), 1));
+        let f = b.finish();
+        let cfg = SimConfig::default();
+        let ie = Machine::create(&f, cfg.clone()).run().unwrap_err();
+        let fe = FastMachine::new(&f, cfg).run().unwrap_err();
+        assert_eq!(ie, fe);
+    }
+}

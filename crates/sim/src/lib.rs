@@ -6,9 +6,12 @@
 //! * [`regfile`] — the exception-tagged register file (paper §3.2),
 //! * [`exec`] — functional instruction semantics with the paper's trap
 //!   model (loads, stores, integer divide, all fp instructions),
-//! * [`Machine`] — the in-order multi-issue timing simulator implementing
-//!   **Table 1** (exception detection with sentinel scheduling) and
-//!   **Table 2** (store-buffer insertion with probationary entries),
+//! * [`SimSession`] — the session API: pick an [`Engine`], configure,
+//!   run. [`Engine::Interpreter`] is the block-walking [`Machine`]
+//!   implementing **Table 1** (exception detection with sentinel
+//!   scheduling) and **Table 2** (store-buffer insertion with
+//!   probationary entries); [`Engine::Fast`] executes the same semantics
+//!   from a pre-decoded dense form,
 //! * [`storebuf`] — the store buffer itself (§4.1),
 //! * [`mod@reference`] — an independent sequential interpreter used as the
 //!   correctness oracle, and
@@ -19,7 +22,7 @@
 //! ```
 //! use sentinel_isa::{Insn, MachineDesc, Reg};
 //! use sentinel_prog::ProgramBuilder;
-//! use sentinel_sim::{Machine, RunOutcome, SimConfig};
+//! use sentinel_sim::{RunOutcome, SimSession};
 //!
 //! // ld.s from an unmapped address, then a sentinel check.
 //! let mut b = ProgramBuilder::new("demo");
@@ -30,7 +33,7 @@
 //! b.push(Insn::halt());
 //! let f = b.finish();
 //!
-//! let mut m = Machine::new(&f, SimConfig::default());
+//! let mut m = SimSession::for_function(&f).build();
 //! match m.run().unwrap() {
 //!     RunOutcome::Trapped(trap) => {
 //!         // The sentinel reports the *load* as the excepting instruction.
@@ -46,6 +49,7 @@
 pub mod cache;
 pub mod except;
 pub mod exec;
+pub mod hash;
 pub mod memory;
 pub mod reference;
 pub mod regfile;
@@ -53,7 +57,10 @@ pub mod stats;
 pub mod storebuf;
 pub mod verify;
 
+mod decode;
+mod fastpath;
 mod machine;
+mod session;
 
 pub use except::{ExceptionKind, PcHistoryQueue, Trap};
 pub use machine::{
@@ -62,5 +69,6 @@ pub use machine::{
 };
 pub use memory::{Memory, Width};
 pub use regfile::{RegEvent, RegFile, TaggedValue};
+pub use session::{Engine, SimSession, SimSessionBuilder};
 pub use stats::Stats;
 pub use storebuf::{ConfirmOutcome, Entry, EntryState, SbError, SbEvent, StoreBuffer};

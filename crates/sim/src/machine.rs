@@ -26,7 +26,7 @@ use sentinel_prog::Function;
 use sentinel_trace::{Event, EventKind, StallReason, TraceSink};
 
 use crate::except::{ExceptionKind, PcHistoryQueue, Trap};
-use crate::exec::{branch_taken, compute};
+use crate::exec::{branch_taken, compute, ComputeError};
 use crate::memory::{Memory, Width};
 use crate::regfile::{RegEvent, RegFile, TaggedValue};
 use crate::stats::Stats;
@@ -166,6 +166,10 @@ pub enum SimError {
     /// A trap's excepting PC does not name an instruction of the program
     /// (impossible unless register state was corrupted externally).
     UnknownRecoveryPc(InsnId),
+    /// An engine asked [`exec::compute`](crate::exec::compute) to evaluate
+    /// a memory/control/store-buffer opcode — a dispatch bug, not an
+    /// architectural outcome.
+    NotComputable(Opcode),
 }
 
 impl std::fmt::Display for SimError {
@@ -183,6 +187,7 @@ impl std::fmt::Display for SimError {
             SimError::RecoveryLoop => write!(f, "recovery resume limit exceeded"),
             SimError::ShadowAtHalt(n) => write!(f, "{n} shadow entr(ies) uncommitted at halt"),
             SimError::UnknownRecoveryPc(id) => write!(f, "unknown recovery pc {id}"),
+            SimError::NotComputable(op) => write!(f, "{op} is not a pure-compute opcode"),
         }
     }
 }
@@ -192,6 +197,22 @@ impl std::error::Error for SimError {}
 impl From<SbError> for SimError {
     fn from(e: SbError) -> Self {
         SimError::StoreBuffer(e)
+    }
+}
+
+/// Adapts [`compute`] to the simulator's error split: an architectural
+/// exception stays an inner `Err` for the Table 1 paths, while a
+/// non-computable opcode (a dispatch bug) becomes a [`SimError`].
+pub(crate) fn computed(
+    op: Opcode,
+    a: u64,
+    b: u64,
+    imm: i64,
+) -> Result<Result<u64, ExceptionKind>, SimError> {
+    match compute(op, a, b, imm) {
+        Ok(v) => Ok(Ok(v)),
+        Err(ComputeError::Exception(k)) => Ok(Err(k)),
+        Err(ComputeError::NotComputable(o)) => Err(SimError::NotComputable(o)),
     }
 }
 
@@ -214,8 +235,9 @@ enum Step {
 
 /// A buffered effect of a boosted instruction (paper §2.3): held in the
 /// shadow register file / shadow store buffer until its branches resolve.
+/// Shared with the fast engine, whose boosting semantics are identical.
 #[derive(Debug, Clone)]
-enum ShadowOp {
+pub(crate) enum ShadowOp {
     /// Shadow register write: destination, data, deferred fault.
     Reg {
         dest: Reg,
@@ -235,23 +257,30 @@ enum ShadowOp {
 /// resolve before it commits, and a global sequence number preserving
 /// program order across levels.
 #[derive(Debug, Clone)]
-struct ShadowEntry {
-    level: u8,
-    seq: u64,
-    op: ShadowOp,
+pub(crate) struct ShadowEntry {
+    pub(crate) level: u8,
+    pub(crate) seq: u64,
+    pub(crate) op: ShadowOp,
 }
 
-/// The machine simulator. Construct, initialize architectural state, then
-/// [`Machine::run`].
+/// The interpretive machine simulator — [`Engine::Interpreter`] behind
+/// [`SimSession`]. Construct a session, initialize architectural state,
+/// then run.
+///
+/// [`Engine::Interpreter`]: crate::Engine::Interpreter
+/// [`SimSession`]: crate::SimSession
 ///
 /// # Examples
 ///
 /// ```
-/// use sentinel_sim::{Machine, SimConfig, RunOutcome};
+/// use sentinel_sim::{Engine, SimConfig, RunOutcome, SimSession};
 /// use sentinel_prog::examples::sum_kernel;
 ///
 /// let func = sum_kernel(0x1000, 4, 0x2000);
-/// let mut m = Machine::new(&func, SimConfig::default());
+/// let mut m = SimSession::for_function(&func)
+///     .config(SimConfig::default())
+///     .engine(Engine::Interpreter)
+///     .build();
 /// m.memory_mut().map_region(0x1000, 0x100);
 /// m.memory_mut().map_region(0x2000, 8);
 /// for i in 0..4 {
@@ -282,6 +311,10 @@ pub struct Machine<'a> {
     /// Attached pipeline-event sink (`None` ⇒ tracing disabled; every
     /// instrumentation site is then a single branch).
     sink: Option<Box<dyn TraceSink>>,
+    /// Whether the attached sink consumes events
+    /// ([`TraceSink::wants_events`]); `false` keeps the untraced fast
+    /// path even with a sink attached.
+    sink_active: bool,
     /// Issue cycle of the instruction currently executing (stamps
     /// journal events that carry no cycle of their own).
     last_issue: u64,
@@ -306,11 +339,24 @@ const _: () = {
 };
 
 impl<'a> Machine<'a> {
-    /// Creates a machine for `func`. The register file is sized to the
-    /// larger of the machine description and the registers the program
-    /// actually names (so pre-allocation virtual registers remain
-    /// executable).
+    /// Creates a machine for `func`.
+    ///
+    /// Deprecated in favor of the session builder, which also selects
+    /// the execution engine:
+    /// `SimSession::for_function(f).engine(Engine::Interpreter).build()`.
+    #[deprecated(note = "use SimSession::for_function(..).engine(Engine::Interpreter).build()")]
     pub fn new(func: &'a Function, config: SimConfig) -> Machine<'a> {
+        Machine::create(func, config)
+    }
+
+    /// Non-deprecated constructor for in-crate use ([`SimSession`]
+    /// building an interpreter engine, differential tests). The register
+    /// file is sized to the larger of the machine description and the
+    /// registers the program actually names (so pre-allocation virtual
+    /// registers remain executable).
+    ///
+    /// [`SimSession`]: crate::SimSession
+    pub(crate) fn create(func: &'a Function, config: SimConfig) -> Machine<'a> {
         let (mi, mf) = func.max_reg_indices();
         let ints = config.mdes.int_regs().max(mi.map_or(0, |i| i as usize + 1));
         let fps = config.mdes.fp_regs().max(mf.map_or(0, |i| i as usize + 1));
@@ -331,6 +377,7 @@ impl<'a> Machine<'a> {
             trace: Vec::new(),
             cache: config.cache.clone().map(crate::cache::DataCache::new),
             sink: None,
+            sink_active: false,
             last_issue: 0,
             last_insn: InsnId(0),
             ready: HashMap::new(),
@@ -341,8 +388,10 @@ impl<'a> Machine<'a> {
     /// Attaches a pipeline-event sink and enables the register-file and
     /// store-buffer journals feeding it. Call before [`Machine::run`].
     pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
-        self.regs.set_journal(true);
-        self.sb.set_journal(true);
+        let active = sink.wants_events();
+        self.regs.set_journal(active);
+        self.sb.set_journal(active);
+        self.sink_active = active;
         self.sink = Some(sink);
     }
 
@@ -352,6 +401,7 @@ impl<'a> Machine<'a> {
         self.drain_journals();
         self.regs.set_journal(false);
         self.sb.set_journal(false);
+        self.sink_active = false;
         self.sink.take()
     }
 
@@ -605,7 +655,7 @@ impl<'a> Machine<'a> {
                     return Ok(RunOutcome::Halted);
                 }
                 Step::Trap(trap) => {
-                    if self.sink.is_some() {
+                    if self.sink_active {
                         let kind = trap
                             .kind
                             .map(|k| k.to_string())
@@ -632,7 +682,7 @@ impl<'a> Machine<'a> {
                             // probationary entries.
                             self.sb.cancel_probationary(self.cycle);
                             self.drain_journals();
-                            if self.sink.is_some() {
+                            if self.sink_active {
                                 self.emit(Event::at(
                                     self.cycle,
                                     EventKind::Recovery {
@@ -693,7 +743,7 @@ impl<'a> Machine<'a> {
     /// sink. Cycle-less journal entries are stamped with the issue cycle
     /// of the instruction that produced them.
     fn drain_journals(&mut self) {
-        if self.sink.is_none() {
+        if !self.sink_active {
             return;
         }
         let at = self.last_issue;
@@ -758,7 +808,7 @@ impl<'a> Machine<'a> {
             let stalled = (to - self.cycle - 1) + u64::from(self.slots_used == 0);
             if stalled > 0 {
                 self.stats.stalls.add(reason, stalled);
-                if self.sink.is_some() {
+                if self.sink_active {
                     let start = if self.slots_used == 0 {
                         self.cycle
                     } else {
@@ -859,7 +909,7 @@ impl<'a> Machine<'a> {
         };
         let ready = self.src_ready_cycle(insn);
         let issue = self.issue_at(ready, op.class() == sentinel_isa::OpClass::Branch, wait);
-        if self.sink.is_some() {
+        if self.sink_active {
             self.last_issue = issue;
             self.last_insn = insn.id;
             let done = issue + self.config.mdes.latency(op) as u64;
@@ -953,7 +1003,7 @@ impl<'a> Machine<'a> {
             StTag => return self.exec_st_tag(insn, issue),
             CheckExcept => {
                 self.stats.dyn_checks += 1;
-                if self.sink.is_some() {
+                if self.sink_active {
                     let excepted = self.first_tagged(insn).is_some();
                     let reg = insn.src1.unwrap_or(Reg::ZERO);
                     self.emit(Event::at(issue, EventKind::TagCheck { reg, excepted }));
@@ -969,7 +1019,7 @@ impl<'a> Machine<'a> {
         if insn.boost > 0 {
             // Boosted (§2.3): the result goes to the shadow register file;
             // a fault is recorded there and signaled only at commit.
-            let op_entry = match compute(insn.op, a, b, insn.imm) {
+            let op_entry = match computed(insn.op, a, b, insn.imm)? {
                 Ok(v) => insn.def().map(|d| ShadowOp::Reg {
                     dest: d,
                     data: v,
@@ -1003,7 +1053,7 @@ impl<'a> Machine<'a> {
                             );
                         }
                     } else {
-                        match compute(insn.op, a, b, insn.imm) {
+                        match computed(insn.op, a, b, insn.imm)? {
                             Ok(v) => {
                                 if let Some(d) = insn.dest {
                                     self.regs.write_clean(d, v);
@@ -1021,7 +1071,7 @@ impl<'a> Machine<'a> {
                         }
                     }
                 }
-                SpeculationSemantics::Silent => match compute(insn.op, a, b, insn.imm) {
+                SpeculationSemantics::Silent => match computed(insn.op, a, b, insn.imm)? {
                     Ok(v) => {
                         if let Some(d) = insn.dest {
                             self.regs.write_clean(d, v);
@@ -1041,7 +1091,7 @@ impl<'a> Machine<'a> {
                     let fault = if nan_in {
                         true
                     } else {
-                        match compute(insn.op, a, b, insn.imm) {
+                        match computed(insn.op, a, b, insn.imm)? {
                             Ok(v) => {
                                 if let Some(d) = insn.dest {
                                     self.regs.write_clean(d, v);
@@ -1076,7 +1126,7 @@ impl<'a> Machine<'a> {
                     kind: Some(ExceptionKind::NanOperand),
                 }));
             }
-            match compute(insn.op, a, b, insn.imm) {
+            match computed(insn.op, a, b, insn.imm)? {
                 Ok(v) => {
                     if let Some(d) = insn.dest {
                         self.regs.write_clean(d, v);
@@ -1427,7 +1477,7 @@ mod tests {
     }
 
     fn run_func(f: &Function, width: usize) -> (RunOutcome, Stats) {
-        let mut m = Machine::new(f, SimConfig::for_mdes(unit_mdes(width)));
+        let mut m = Machine::create(f, SimConfig::for_mdes(unit_mdes(width)));
         m.memory_mut().map_region(0x1000, 0x1000);
         let o = m.run().unwrap();
         (o, *m.stats())
@@ -1441,7 +1491,7 @@ mod tests {
         b.push(Insn::addi(Reg::int(2), Reg::int(1), 1));
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(1)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.reg(Reg::int(2)).as_i64(), 6);
     }
@@ -1476,7 +1526,7 @@ mod tests {
         b.push(Insn::addi(Reg::int(3), Reg::int(2), 1));
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(MachineDesc::paper_issue(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(MachineDesc::paper_issue(8)));
         m.memory_mut().map_region(0x1000, 64);
         m.run().unwrap();
         // li@0, ld@1 (ready 3), add@3, halt -> at least 4 cycles.
@@ -1495,7 +1545,7 @@ mod tests {
         b.switch_to(t);
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.reg(Reg::int(2)).as_i64(), 0, "post-branch insn skipped");
         assert_eq!(m.stats().branches_taken, 1);
@@ -1511,7 +1561,7 @@ mod tests {
         b.push(Insn::halt());
         let f = b.finish();
         let ld_id = f.block(f.entry()).insns[1].id;
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(1)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
         match m.run().unwrap() {
             RunOutcome::Trapped(t) => {
                 assert_eq!(t.excepting_pc, ld_id);
@@ -1535,7 +1585,7 @@ mod tests {
         let f = b.finish();
         let ld_id = f.block(f.entry()).insns[1].id;
         let check_id = f.block(f.entry()).insns[3].id;
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         match m.run().unwrap() {
             RunOutcome::Trapped(t) => {
                 assert_eq!(t.excepting_pc, ld_id, "sentinel reports the load");
@@ -1557,7 +1607,7 @@ mod tests {
         let f = b.finish();
         let mut cfg = SimConfig::for_mdes(unit_mdes(8));
         cfg.semantics = SpeculationSemantics::Silent;
-        let mut m = Machine::new(&f, cfg);
+        let mut m = Machine::create(&f, cfg);
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.reg(Reg::int(2)).data, GARBAGE);
         assert_eq!(m.stats().silent_garbage_writes, 1);
@@ -1573,7 +1623,7 @@ mod tests {
         b.push(Insn::check_exception(Reg::int(3)));
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         let out = m
             .run_with_recovery(|trap, mem| {
                 // "Page in" the faulting address and retry.
@@ -1604,7 +1654,7 @@ mod tests {
             let f = build();
             let mut cfg = SimConfig::for_mdes(unit_mdes(4));
             cfg.recovery_penalty = penalty;
-            let mut m = Machine::new(&f, cfg);
+            let mut m = Machine::create(&f, cfg);
             m.run_with_recovery(|_, mem| {
                 if !mem.is_mapped(0x2000, 8) {
                     mem.map_region(0x2000, 8);
@@ -1628,7 +1678,7 @@ mod tests {
         b.push(Insn::halt());
         let f = b.finish();
         let ld_id = f.block(f.entry()).insns[1].id;
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(4)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(4)));
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         // The fidelity check of paper §3.2: a hardware PC history queue of
         // the configured depth would have recovered the faulting pc.
@@ -1643,7 +1693,7 @@ mod tests {
         let f = b.finish();
         let mut cfg = SimConfig::for_mdes(unit_mdes(1));
         cfg.fuel = 100;
-        let mut m = Machine::new(&f, cfg);
+        let mut m = Machine::create(&f, cfg);
         assert_eq!(m.run(), Err(SimError::OutOfFuel));
     }
 
@@ -1653,7 +1703,7 @@ mod tests {
         b.block("e");
         b.push(Insn::nop());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(1)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
         assert!(matches!(m.run(), Err(SimError::FellOffEnd(_))));
     }
 
@@ -1667,7 +1717,7 @@ mod tests {
         b.push(Insn::ld_w(Reg::int(3), Reg::int(1), 0));
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.memory_mut().map_region(0x1000, 64);
         m.run().unwrap();
         assert_eq!(m.reg(Reg::int(3)).as_i64(), 77);
@@ -1684,7 +1734,7 @@ mod tests {
         b.push(Insn::confirm_store(0));
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.memory_mut().map_region(0x1000, 64);
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.memory().read_word(0x1000).unwrap(), 55);
@@ -1704,7 +1754,7 @@ mod tests {
         b.switch_to(t);
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.memory_mut().map_region(0x1000, 64);
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.memory().read_word(0x1000).unwrap(), 0, "cancelled store");
@@ -1719,7 +1769,7 @@ mod tests {
         b.push(Insn::st_w(Reg::int(1), Reg::int(1), 0).speculated());
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.memory_mut().map_region(0x1000, 0x2000);
         assert_eq!(m.run(), Err(SimError::UnconfirmedAtHalt(1)));
     }
@@ -1738,7 +1788,7 @@ mod tests {
         b.push(Insn::halt());
         let f = b.finish();
         let ld_id = f.block(f.entry()).insns[1].id;
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.memory_mut().map_region(0x1000, 64);
         match m.run().unwrap() {
             RunOutcome::Trapped(t) => assert_eq!(t.excepting_pc, ld_id),
@@ -1754,7 +1804,7 @@ mod tests {
         b.push(Insn::addi(Reg::int(2), Reg::int(1), 0)); // uses r1
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(1)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
         m.set_stale_tag(Reg::int(1), InsnId(12345));
         assert!(matches!(m.run().unwrap(), RunOutcome::Trapped(_)));
 
@@ -1765,7 +1815,7 @@ mod tests {
         b.push(Insn::addi(Reg::int(2), Reg::int(1), 0));
         b.push(Insn::halt());
         let g = b.finish();
-        let mut m = Machine::new(&g, SimConfig::for_mdes(unit_mdes(1)));
+        let mut m = Machine::create(&g, SimConfig::for_mdes(unit_mdes(1)));
         m.set_stale_tag(Reg::int(1), InsnId(12345));
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
     }
@@ -1784,7 +1834,7 @@ mod tests {
         let run = |cache| {
             let mut cfg = SimConfig::for_mdes(MachineDesc::paper_issue(1));
             cfg.cache = cache;
-            let mut m = Machine::new(&f, cfg);
+            let mut m = Machine::create(&f, cfg);
             m.memory_mut().map_region(0x1000, 64);
             m.run().unwrap();
             (m.stats().cycles, m.cache().map(|c| c.stats()))
@@ -1814,7 +1864,7 @@ mod tests {
         let f = b.finish();
         let mut cfg = SimConfig::for_mdes(MachineDesc::paper_issue(1));
         cfg.cache = Some(crate::cache::CacheConfig::small_l1(20));
-        let mut m = Machine::new(&f, cfg);
+        let mut m = Machine::create(&f, cfg);
         m.memory_mut().map_region(0x1000, 64);
         m.run().unwrap();
         let (hits, misses) = m.cache().unwrap().stats();
@@ -1841,7 +1891,7 @@ mod tests {
         let g = b.finish();
         let mut cfg = SimConfig::for_mdes(unit_mdes(2));
         cfg.collect_trace = true;
-        let mut m = Machine::new(&g, cfg);
+        let mut m = Machine::create(&g, cfg);
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         let trace = m.trace();
         assert_eq!(trace.len() as u64, m.stats().dyn_insns);
@@ -1865,7 +1915,7 @@ mod tests {
         b.block("e");
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(1)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
         m.run().unwrap();
         assert!(m.trace().is_empty());
     }
@@ -1885,7 +1935,7 @@ mod tests {
         b.switch_to(t);
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.set_reg(Reg::int(9), 1); // branch untaken (0 != 1)
         m.memory_mut().map_region(0x1000, 64);
         m.memory_mut().write_word(0x1000, 41).unwrap();
@@ -1910,7 +1960,7 @@ mod tests {
         b.switch_to(t);
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.memory_mut().map_region(0x1000, 64);
         m.memory_mut().write_word(0x1000, 41).unwrap();
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
@@ -1934,7 +1984,7 @@ mod tests {
         let f = b.finish();
         let ld_id = f.block(e).insns[1].id;
         let br_id = f.block(e).insns[2].id;
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.set_reg(Reg::int(9), 1); // untaken -> commit signals
         match m.run().unwrap() {
             RunOutcome::Trapped(tr) => {
@@ -1958,7 +2008,7 @@ mod tests {
         b.switch_to(t);
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
     }
 
@@ -1981,13 +2031,13 @@ mod tests {
         // Case A: second branch taken -> both shadow writes squashed? No:
         // the .b2 entry survived branch 1 (level 2->1) and is squashed by
         // the taken branch 2, as is the .b1 entry.
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.set_reg(Reg::int(9), 1);
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.reg(Reg::int(3)).as_i64(), 0, "squashed before commit");
         assert_eq!(m.reg(Reg::int(4)).as_i64(), 0);
         // Case B: make both branches untaken (beq 0,9 untaken; bne 0,0 untaken).
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.set_reg(Reg::int(9), 0); // beq 0,0 -> TAKEN. Need different data…
                                    // beq r0, r9: taken iff r9 == 0. Use r9 = 1 for untaken; then
                                    // bne r0, r9: taken iff r9 != 0 -> taken with 1. So with this
@@ -2012,7 +2062,7 @@ mod tests {
         b.switch_to(t);
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.set_reg(Reg::int(9), 1);
         m.memory_mut().map_region(0x1000, 64);
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
@@ -2034,7 +2084,7 @@ mod tests {
         b.switch_to(t);
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         m.memory_mut().map_region(0x1000, 64);
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.memory().read_word(0x1000).unwrap(), 0, "never committed");
@@ -2047,7 +2097,7 @@ mod tests {
         b.push(Insn::li(Reg::int(1), 1).boosted(1));
         b.push(Insn::halt());
         let f = b.finish();
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         assert_eq!(m.run(), Err(SimError::ShadowAtHalt(1)));
     }
 
@@ -2071,7 +2121,7 @@ mod tests {
         let div_id = f.block(f.entry()).insns[2].id;
         let mut cfg = SimConfig::for_mdes(unit_mdes(8));
         cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::new(&f, cfg);
+        let mut m = Machine::create(&f, cfg);
         match m.run().unwrap() {
             RunOutcome::Trapped(t) => {
                 assert_eq!(t.excepting_pc, div_id, "misattributed to the consumer");
@@ -2096,7 +2146,7 @@ mod tests {
         let f = b.finish();
         let mut cfg = SimConfig::for_mdes(unit_mdes(8));
         cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::new(&f, cfg);
+        let mut m = Machine::create(&f, cfg);
         assert_eq!(m.run().unwrap(), RunOutcome::Halted, "exception lost");
         assert_eq!(m.reg(Reg::int(3)).data, INT_NAN.wrapping_add(1));
     }
@@ -2116,7 +2166,7 @@ mod tests {
         let fmul_id = f.block(f.entry()).insns[4].id;
         let mut cfg = SimConfig::for_mdes(unit_mdes(8));
         cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::new(&f, cfg);
+        let mut m = Machine::create(&f, cfg);
         match m.run().unwrap() {
             RunOutcome::Trapped(t) => {
                 assert_eq!(t.excepting_pc, fmul_id);
@@ -2138,7 +2188,7 @@ mod tests {
         let f = b.finish();
         let mut cfg = SimConfig::for_mdes(unit_mdes(8));
         cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::new(&f, cfg);
+        let mut m = Machine::create(&f, cfg);
         m.memory_mut().map_region(0x1000, 64);
         assert!(matches!(
             m.run(),
@@ -2157,7 +2207,7 @@ mod tests {
         b.push(Insn::halt());
         let f = b.finish();
         let ld_id = f.block(e).insns[1].id;
-        let mut m = Machine::new(&f, SimConfig::for_mdes(unit_mdes(8)));
+        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
         match m.run().unwrap() {
             RunOutcome::Trapped(t) => assert_eq!(t.excepting_pc, ld_id),
             other => panic!("expected trap, got {other:?}"),

@@ -7,10 +7,16 @@
 //! Tag-preserving spills (paper §3.2) store a register's exception tag in
 //! a *shadow* map alongside the data word, modeling the widened spill
 //! storage those special instructions imply.
-
-use std::collections::HashMap;
+//!
+//! Storage is word-granular: bytes live packed (little-endian) inside
+//! 8-byte words keyed by word-aligned address in a [`FastMap`], so a word
+//! access is one map probe instead of eight, and the hash itself is a
+//! cheap multiplicative mix instead of SipHash. This is the simulator's
+//! hottest shared data structure — every engine's loads, stores, and
+//! store-buffer drains go through it.
 
 use crate::except::ExceptionKind;
+use crate::hash::FastMap;
 
 /// Access width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,12 +40,15 @@ impl Width {
 /// Sparse memory.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    bytes: HashMap<u64, u8>,
+    /// Data words keyed by word-aligned address, bytes packed
+    /// little-endian (byte `addr` lives in word `addr & !7` at bit
+    /// `8 * (addr & 7)`).
+    words: FastMap<u64, u64>,
     /// Half-open mapped regions `[start, end)`.
     regions: Vec<(u64, u64)>,
     /// Shadow exception tags for tag-preserving spills, keyed by word
     /// address.
-    shadow_tags: HashMap<u64, bool>,
+    shadow_tags: FastMap<u64, bool>,
 }
 
 impl Memory {
@@ -97,13 +106,19 @@ impl Memory {
     /// already-validated addresses and by test harnesses).
     pub fn read_raw(&self, addr: u64, width: Width) -> u64 {
         match width {
-            Width::Byte => *self.bytes.get(&addr).unwrap_or(&0) as u64,
+            Width::Byte => {
+                let word = self.words.get(&(addr & !7)).copied().unwrap_or(0);
+                (word >> (8 * (addr & 7))) & 0xFF
+            }
+            Width::Word if addr & 7 == 0 => self.words.get(&addr).copied().unwrap_or(0),
             Width::Word => {
-                let mut v = 0u64;
-                for i in 0..8 {
-                    v |= (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
-                }
-                v
+                // Unaligned raw word read (only reachable through raw
+                // accessors; checked accesses fault first): stitch the
+                // two containing words.
+                let shift = 8 * (addr & 7);
+                let lo = self.words.get(&(addr & !7)).copied().unwrap_or(0);
+                let hi = self.words.get(&((addr & !7) + 8)).copied().unwrap_or(0);
+                (lo >> shift) | (hi << (64 - shift))
             }
         }
     }
@@ -112,12 +127,19 @@ impl Memory {
     pub fn write_raw(&mut self, addr: u64, width: Width, value: u64) {
         match width {
             Width::Byte => {
-                self.bytes.insert(addr, value as u8);
+                let shift = 8 * (addr & 7);
+                let word = self.words.entry(addr & !7).or_insert(0);
+                *word = (*word & !(0xFFu64 << shift)) | ((value & 0xFF) << shift);
+            }
+            Width::Word if addr & 7 == 0 => {
+                self.words.insert(addr, value);
             }
             Width::Word => {
-                for i in 0..8 {
-                    self.bytes.insert(addr + i, (value >> (8 * i)) as u8);
-                }
+                let shift = 8 * (addr & 7);
+                let lo = self.words.entry(addr & !7).or_insert(0);
+                *lo = (*lo & !(u64::MAX << shift)) | (value << shift);
+                let hi = self.words.entry((addr & !7) + 8).or_insert(0);
+                *hi = (*hi & !(u64::MAX >> (64 - shift))) | (value >> (64 - shift));
             }
         }
     }
@@ -155,14 +177,18 @@ impl Memory {
     }
 
     /// A deterministic snapshot of all written bytes, for state comparison
-    /// between runs.
+    /// between runs. Zero bytes are dropped, so the snapshot is
+    /// independent of which addresses happen to have backing words.
     pub fn snapshot(&self) -> Vec<(u64, u8)> {
-        let mut v: Vec<(u64, u8)> = self
-            .bytes
-            .iter()
-            .map(|(a, b)| (*a, *b))
-            .filter(|(_, b)| *b != 0)
-            .collect();
+        let mut v: Vec<(u64, u8)> = Vec::new();
+        for (&base, &word) in &self.words {
+            for i in 0..8 {
+                let b = ((word >> (8 * i)) & 0xFF) as u8;
+                if b != 0 {
+                    v.push((base + i, b));
+                }
+            }
+        }
         v.sort_unstable();
         v
     }

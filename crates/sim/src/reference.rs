@@ -12,7 +12,7 @@ use sentinel_prog::profile::Profile;
 use sentinel_prog::Function;
 
 use crate::except::ExceptionKind;
-use crate::exec::{branch_taken, compute};
+use crate::exec::{branch_taken, compute, ComputeError};
 use crate::memory::{Memory, Width};
 
 /// Outcome of a reference run.
@@ -259,7 +259,12 @@ impl<'a> Reference<'a> {
                     let bb = insn.src2.map_or(0, |r| self.reg(r));
                     match compute(insn.op, a, bb, insn.imm) {
                         Ok(v) => self.write_dest(insn, v),
-                        Err(kind) => return Ok(RefOutcome::Trapped { pc: insn.id, kind }),
+                        Err(ComputeError::Exception(kind)) => {
+                            return Ok(RefOutcome::Trapped { pc: insn.id, kind })
+                        }
+                        // The outer match routed every memory/control
+                        // opcode away from this arm.
+                        Err(ComputeError::NotComputable(_)) => unreachable!(),
                     }
                 }
             }

@@ -2,8 +2,9 @@
 
 use sentinel_isa::Reg;
 
-use crate::machine::{Machine, RunOutcome};
+use crate::machine::RunOutcome;
 use crate::reference::{RefOutcome, Reference};
+use crate::session::SimSession;
 
 /// A divergence between a machine run and the reference run.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,13 +115,14 @@ impl CompareSpec {
     }
 }
 
-/// Compares a finished machine run against a finished reference run.
+/// Compares a finished simulation run (either engine) against a finished
+/// reference run.
 ///
 /// Register and memory state are only compared when **both** runs halted:
 /// after a trap, architectural state is implementation-defined up to the
 /// handler.
 pub fn compare_runs(
-    machine: &Machine<'_>,
+    machine: &SimSession<'_>,
     m_out: RunOutcome,
     reference: &Reference<'_>,
     r_out: RefOutcome,
@@ -215,8 +217,16 @@ pub fn compare_runs(
 mod tests {
     use super::*;
     use crate::machine::SimConfig;
+    use crate::session::Engine;
     use sentinel_isa::{Insn, MachineDesc};
     use sentinel_prog::{Function, ProgramBuilder};
+
+    fn session(f: &Function) -> SimSession<'_> {
+        SimSession::for_function(f)
+            .config(SimConfig::for_mdes(MachineDesc::paper_issue(4)))
+            .engine(Engine::Interpreter)
+            .build()
+    }
 
     fn simple_store_fn(val: i64) -> Function {
         let mut b = ProgramBuilder::new("f");
@@ -231,7 +241,7 @@ mod tests {
     #[test]
     fn identical_runs_have_no_divergence() {
         let f = simple_store_fn(7);
-        let mut m = Machine::new(&f, SimConfig::for_mdes(MachineDesc::paper_issue(4)));
+        let mut m = session(&f);
         m.memory_mut().map_region(0x1000, 64);
         let mo = m.run().unwrap();
         let mut r = Reference::new(&f);
@@ -245,7 +255,7 @@ mod tests {
     fn differing_memory_detected() {
         let f1 = simple_store_fn(7);
         let f2 = simple_store_fn(8);
-        let mut m = Machine::new(&f1, SimConfig::for_mdes(MachineDesc::paper_issue(4)));
+        let mut m = session(&f1);
         m.memory_mut().map_region(0x1000, 64);
         let mo = m.run().unwrap();
         let mut r = Reference::new(&f2);
@@ -259,7 +269,7 @@ mod tests {
     fn differing_register_detected() {
         let f1 = simple_store_fn(7);
         let f2 = simple_store_fn(8);
-        let mut m = Machine::new(&f1, SimConfig::for_mdes(MachineDesc::paper_issue(4)));
+        let mut m = session(&f1);
         m.memory_mut().map_region(0x1000, 64);
         let mo = m.run().unwrap();
         let mut r = Reference::new(&f2);
@@ -290,7 +300,7 @@ mod tests {
         b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0));
         b.push(Insn::halt());
         let f_bad = b.finish();
-        let mut m = Machine::new(&f_ok, SimConfig::for_mdes(MachineDesc::paper_issue(4)));
+        let mut m = session(&f_ok);
         m.memory_mut().map_region(0x1000, 64);
         let mo = m.run().unwrap();
         let mut r = Reference::new(&f_bad);

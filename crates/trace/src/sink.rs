@@ -22,9 +22,21 @@ pub trait TraceSink: Send {
     /// Renders everything recorded so far into the sink's output
     /// format, leaving the sink empty.
     fn finish(&mut self) -> String;
+
+    /// Whether this sink actually consumes events. The engines query
+    /// this once at attach time: a sink answering `false` (such as
+    /// [`NullSink`]) is treated like no sink at all — no journals are
+    /// enabled and no [`Event`] is ever constructed — so the hot loop
+    /// pays nothing for it. Defaults to `true`.
+    fn wants_events(&self) -> bool {
+        true
+    }
 }
 
-/// Discards everything — for measuring instrumentation overhead.
+/// Discards everything. Answers `false` to
+/// [`TraceSink::wants_events`], so attaching it leaves the engine on
+/// its untraced fast path — useful as a placeholder sink in harnesses
+/// that always attach one.
 #[derive(Debug, Default)]
 pub struct NullSink;
 
@@ -33,6 +45,10 @@ impl TraceSink for NullSink {
 
     fn finish(&mut self) -> String {
         String::new()
+    }
+
+    fn wants_events(&self) -> bool {
+        false
     }
 }
 
@@ -81,6 +97,12 @@ mod tests {
         let mut s = NullSink;
         s.record(&Event::at(0, EventKind::Fetch { pc: InsnId(0) }));
         assert_eq!(s.finish(), "");
+    }
+
+    #[test]
+    fn only_null_sink_declines_events() {
+        assert!(!NullSink.wants_events());
+        assert!(CollectSink::default().wants_events());
     }
 
     #[test]

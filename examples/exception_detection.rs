@@ -10,7 +10,7 @@ use sentinel::prelude::*;
 use sentinel::sim::RunOutcome;
 use sentinel_isa::InsnId;
 
-fn dump_tags(m: &Machine<'_>, label: &str) {
+fn dump_tags(m: &SimSession<'_>, label: &str) {
     print!("{label}: ");
     for i in 1..=5 {
         let v = m.reg(Reg::int(i));
@@ -52,7 +52,9 @@ fn main() {
     let f = b.finish();
 
     println!("=== case 1: branch not taken, B faults ===");
-    let mut m = Machine::new(&f, SimConfig::default());
+    let mut m = SimSession::for_function(&f)
+        .config(SimConfig::default())
+        .build();
     m.set_reg(Reg::int(2), 0xDEA0); // unmapped -> B faults; branch untaken
     m.memory_mut().map_region(0x1100, 0x100);
     m.set_reg(Reg::int(4), 0x1100);
@@ -69,7 +71,9 @@ fn main() {
     }
 
     println!("=== case 2: branch taken, same fault is ignored ===");
-    let mut m2 = Machine::new(&f, SimConfig::default());
+    let mut m2 = SimSession::for_function(&f)
+        .config(SimConfig::default())
+        .build();
     m2.set_reg(Reg::int(2), 0); // branch taken; B's load of addr 0 faults
     m2.memory_mut().map_region(0x1100, 0x100);
     m2.set_reg(Reg::int(4), 0x1100);

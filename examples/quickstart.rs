@@ -43,7 +43,9 @@ fn main() {
 
     // Execute with r2 pointing at an unmapped page: the hoisted load B
     // faults *speculatively*; the sentinel in the home block reports it.
-    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes));
+    let mut m = SimSession::for_function(&sched.func)
+        .config(SimConfig::for_mdes(mdes))
+        .build();
     m.set_reg(Reg::int(2), 0xDEA0); // unmapped; branch not taken
     m.memory_mut().map_region(0x1100, 0x100);
     m.set_reg(Reg::int(4), 0x1100);

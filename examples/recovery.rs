@@ -52,7 +52,9 @@ fn main() {
         asm::print(&sched.func)
     );
 
-    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes));
+    let mut m = SimSession::for_function(&sched.func)
+        .config(SimConfig::for_mdes(mdes))
+        .build();
     m.set_reg(Reg::int(3), 0x1000);
     m.set_reg(Reg::int(6), 0x3000); // D's page: initially unmapped
     m.set_reg(Reg::int(4), 0x1100);

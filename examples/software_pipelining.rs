@@ -28,7 +28,9 @@ fn apply_memory(w: &Workload, mem: &mut sentinel::sim::Memory) {
 }
 
 fn run(w: &Workload, func: &Function, mdes: &MachineDesc) -> (RunOutcome, u64) {
-    let mut m = Machine::new(func, SimConfig::for_mdes(mdes.clone()));
+    let mut m = SimSession::for_function(func)
+        .config(SimConfig::for_mdes(mdes.clone()))
+        .build();
     apply_memory(w, m.memory_mut());
     let out = m.run().expect("simulation");
     (out, m.stats().cycles)

@@ -51,7 +51,9 @@ fn main() {
     );
 
     // Case 1: branch not taken -> the probationary store is confirmed.
-    let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
+    let mut m = SimSession::for_function(&s.func)
+        .config(SimConfig::for_mdes(mdes.clone()))
+        .build();
     m.memory_mut().map_region(0x1000, 0x100);
     m.memory_mut().write_word(0x1000, 1).unwrap(); // r5 = 1: fall through
     m.set_reg(Reg::int(3), 0x1000);
@@ -64,7 +66,9 @@ fn main() {
     );
 
     // Case 2: branch taken -> the probationary store is cancelled.
-    let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
+    let mut m = SimSession::for_function(&s.func)
+        .config(SimConfig::for_mdes(mdes.clone()))
+        .build();
     m.memory_mut().map_region(0x1000, 0x100);
     // word at 0x1000 left 0: branch taken
     m.set_reg(Reg::int(3), 0x1000);
@@ -79,7 +83,9 @@ fn main() {
 
     // Case 3: the speculative store itself faults; the fault is deferred
     // in the buffer entry and signaled by confirm_store.
-    let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes));
+    let mut m = SimSession::for_function(&s.func)
+        .config(SimConfig::for_mdes(mdes))
+        .build();
     m.memory_mut().map_region(0x1000, 0x100);
     m.memory_mut().write_word(0x1000, 1).unwrap(); // fall through
     m.set_reg(Reg::int(3), 0x1000);

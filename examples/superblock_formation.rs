@@ -111,7 +111,9 @@ fn main() {
     let opts = SchedOptions::new(SchedulingModel::Sentinel);
     for (label, prog) in [("basic blocks", &f), ("superblocks", &formed)] {
         let s = schedule_function(prog, &mdes, &opts).expect("schedule");
-        let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
+        let mut m = SimSession::for_function(&s.func)
+            .config(SimConfig::for_mdes(mdes.clone()))
+            .build();
         m.set_reg(Reg::int(1), 0x1000);
         m.set_reg(Reg::int(2), 50);
         m.set_reg(Reg::int(12), 10);

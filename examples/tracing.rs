@@ -26,7 +26,9 @@ fn main() {
     )
     .expect("schedule");
 
-    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes));
+    let mut m = SimSession::for_function(&sched.func)
+        .config(SimConfig::for_mdes(mdes))
+        .build();
     m.attach_sink(Box::new(TimelineSink::new(width)));
     m.set_reg(Reg::int(3), 0x1000); // B's pointer (mapped)
     m.set_reg(Reg::int(6), 0x3000); // D's pointer: initially unmapped
@@ -67,10 +69,11 @@ fn main() {
     );
 
     // The same run rendered as machine-readable JSONL (first lines).
-    let mut m2 = Machine::new(
-        &sched.func,
-        SimConfig::for_mdes(MachineDesc::builder().issue_width(8).build()),
-    );
+    let mut m2 = SimSession::for_function(&sched.func)
+        .config(SimConfig::for_mdes(
+            MachineDesc::builder().issue_width(8).build(),
+        ))
+        .build();
     m2.attach_sink(Box::new(JsonlSink::new()));
     m2.set_reg(Reg::int(3), 0x1000);
     m2.set_reg(Reg::int(6), 0x3000);

@@ -287,7 +287,7 @@ fn cmd_pipeline(args: &Args) {
 
 /// Applies `--map START:LEN`, `--word ADDR=VAL`, and `--reg rN=VAL`
 /// flags to a freshly built machine.
-fn apply_machine_flags(args: &Args, m: &mut Machine) {
+fn apply_machine_flags(args: &Args, m: &mut SimSession<'_>) {
     for spec in args.all("map") {
         let (start, len) = spec
             .split_once(':')
@@ -322,7 +322,7 @@ fn cmd_run(args: &Args) {
     let mut cfg = SimConfig::for_mdes(machine_desc(args));
     cfg.semantics = semantics;
     cfg.collect_trace = args.has("trace");
-    let mut m = Machine::new(&f, cfg);
+    let mut m = SimSession::for_function(&f).config(cfg).build();
     apply_machine_flags(args, &mut m);
     let result = m.run();
     for event in m.trace() {
@@ -392,7 +392,7 @@ fn cmd_trace(args: &Args) {
             "unknown format '{other}' (timeline, jsonl, or chrome)"
         )),
     };
-    let mut m = Machine::new(&func, cfg);
+    let mut m = SimSession::for_function(&func).config(cfg).build();
     m.attach_sink(sink);
     apply_machine_flags(args, &mut m);
     let result = m.run();

@@ -53,6 +53,6 @@ pub mod prelude {
     pub use sentinel_core::{schedule_program, ScheduleError, SchedulingModel};
     pub use sentinel_isa::{Insn, LatencyTable, MachineDesc, Opcode, Reg};
     pub use sentinel_prog::{Function, ProgramBuilder};
-    pub use sentinel_sim::{Machine, RunOutcome, SimConfig};
+    pub use sentinel_sim::{Engine, RunOutcome, SimConfig, SimSession};
     pub use sentinel_trace::{ChromeTraceSink, JsonlSink, TimelineSink, TraceSink};
 }

@@ -7,7 +7,7 @@
 use sentinel::prog::{asm, validate, Function};
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::reference::{RefOutcome, Reference};
-use sentinel::sim::{Machine, RunOutcome, SimConfig};
+use sentinel::sim::{RunOutcome, SimConfig, SimSession};
 use sentinel_isa::{MachineDesc, Reg};
 
 const FIB: &str = r#"
@@ -150,7 +150,7 @@ fn run_everywhere(
             if model == SchedulingModel::GeneralPercolation {
                 cfg.semantics = sentinel::sim::SpeculationSemantics::Silent;
             }
-            let mut m = Machine::new(&sched.func, cfg);
+            let mut m = SimSession::for_function(&sched.func).config(cfg).build();
             for &(s, l) in &setup.regions {
                 m.memory_mut().map_region(s, l);
             }

@@ -4,7 +4,7 @@
 
 use sentinel::prog::asm;
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
-use sentinel::sim::{Machine, SimConfig};
+use sentinel::sim::{SimConfig, SimSession};
 use sentinel_bench::runner::{apply_memory, measure, MeasureConfig};
 use sentinel_isa::MachineDesc;
 use sentinel_workloads::suite;
@@ -36,7 +36,9 @@ fn simulation_is_deterministic() {
     )
     .unwrap();
     let run = || {
-        let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
+        let mut m = SimSession::for_function(&s.func)
+            .config(SimConfig::for_mdes(mdes.clone()))
+            .build();
         apply_memory(&w, m.memory_mut());
         m.run().unwrap();
         (m.stats().cycles, m.stats().dyn_insns, m.memory().snapshot())

@@ -5,7 +5,7 @@
 use sentinel::prog::superblock::{form_superblocks, split_at_branches, SuperblockConfig};
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::reference::{RefOutcome, Reference};
-use sentinel::sim::{Machine, RunOutcome, SimConfig};
+use sentinel::sim::{RunOutcome, SimConfig, SimSession};
 use sentinel_isa::MachineDesc;
 use sentinel_prog::validate;
 use sentinel_workloads::suite::specs;
@@ -28,7 +28,9 @@ fn cycles_of(w: &Workload) -> u64 {
         &SchedOptions::new(SchedulingModel::Sentinel),
     )
     .expect("schedule");
-    let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes));
+    let mut m = SimSession::for_function(&s.func)
+        .config(SimConfig::for_mdes(mdes))
+        .build();
     apply_memory(w, m.memory_mut());
     assert_eq!(m.run().unwrap(), RunOutcome::Halted);
     m.stats().cycles
@@ -118,7 +120,9 @@ fn unrolling_preserves_execution_and_equivalence() {
                 &SchedOptions::new(SchedulingModel::Sentinel),
             )
             .unwrap();
-            let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes));
+            let mut m = SimSession::for_function(&s.func)
+                .config(SimConfig::for_mdes(mdes))
+                .build();
             apply_memory(&wu, m.memory_mut());
             assert_eq!(m.run().unwrap(), RunOutcome::Halted);
             assert_eq!(

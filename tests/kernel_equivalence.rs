@@ -6,7 +6,7 @@
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::reference::{RefOutcome, Reference};
 use sentinel::sim::verify::{compare_runs, CompareSpec};
-use sentinel::sim::{Machine, RunOutcome, SimConfig, SpeculationSemantics};
+use sentinel::sim::{RunOutcome, SimConfig, SimSession, SpeculationSemantics};
 use sentinel_isa::{MachineDesc, Reg};
 use sentinel_workloads::kernels;
 use sentinel_workloads::Workload;
@@ -30,7 +30,11 @@ fn models() -> Vec<SchedulingModel> {
     ]
 }
 
-fn run_scheduled(w: &Workload, model: SchedulingModel, width: usize) -> (Machine<'_>, RunOutcome) {
+fn run_scheduled(
+    w: &Workload,
+    model: SchedulingModel,
+    width: usize,
+) -> (SimSession<'_>, RunOutcome) {
     // Leak the scheduled function: test-only convenience for returning the
     // machine alongside it.
     let mdes = MachineDesc::paper_issue(width);
@@ -42,7 +46,7 @@ fn run_scheduled(w: &Workload, model: SchedulingModel, width: usize) -> (Machine
         SchedulingModel::GeneralPercolation => SpeculationSemantics::Silent,
         _ => SpeculationSemantics::SentinelTags,
     };
-    let mut m = Machine::new(func, cfg);
+    let mut m = SimSession::for_function(func).config(cfg).build();
     apply_memory(w, m.memory_mut());
     let out = m
         .run()

@@ -5,7 +5,7 @@
 use sentinel::sched::modulo::{pipeline_all_loops, pipeline_loop};
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::reference::{RefOutcome, Reference};
-use sentinel::sim::{Machine, RunOutcome, SimConfig};
+use sentinel::sim::{RunOutcome, SimConfig, SimSession};
 use sentinel_isa::{MachineDesc, Reg};
 use sentinel_prog::validate;
 use sentinel_workloads::kernels;
@@ -72,7 +72,9 @@ fn pipelined_then_scheduled_matches_oracle_and_is_faster() {
     let cycles_of = |func: &sentinel_prog::Function| {
         let s = schedule_function(func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel))
             .expect("schedule");
-        let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
+        let mut m = SimSession::for_function(&s.func)
+            .config(SimConfig::for_mdes(mdes.clone()))
+            .build();
         apply_memory(&w, m.memory_mut());
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.memory().snapshot(), want_mem, "scheduled run diverges");
@@ -123,7 +125,9 @@ fn while_loop_pipelining_requires_speculation() {
         .filter(|i| i.speculative && i.op.is_load())
         .count();
     assert!(spec_loads >= 1, "loads must carry the speculative modifier");
-    let mut m = Machine::new(&ws.func, SimConfig::for_mdes(mdes.clone()));
+    let mut m = SimSession::for_function(&ws.func)
+        .config(SimConfig::for_mdes(mdes.clone()))
+        .build();
     apply_memory(&ws, m.memory_mut());
     assert_eq!(
         m.run().unwrap(),
@@ -141,7 +145,9 @@ fn while_loop_pipelining_requires_speculation() {
     let mut wn = w.clone();
     let body = wn.func.block_by_label("loop").unwrap();
     pipeline_while_loop(&mut wn.func, body, &mdes, false).expect("pipelinable");
-    let mut m = Machine::new(&wn.func, SimConfig::for_mdes(mdes.clone()));
+    let mut m = SimSession::for_function(&wn.func)
+        .config(SimConfig::for_mdes(mdes.clone()))
+        .build();
     apply_memory(&wn, m.memory_mut());
     match m.run().unwrap() {
         RunOutcome::Trapped(t) => {
@@ -165,7 +171,9 @@ fn pipelined_while_loop_is_faster() {
     // The pipelined code already carries speculative modifiers, so it runs
     // as-is; the baseline gets the full superblock scheduler.
     let run_raw = |func: &sentinel_prog::Function| {
-        let mut m = Machine::new(func, SimConfig::for_mdes(mdes.clone()));
+        let mut m = SimSession::for_function(func)
+            .config(SimConfig::for_mdes(mdes.clone()))
+            .build();
         apply_memory(&w, m.memory_mut());
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.reg(Reg::int(8)).as_i64(), 150);
@@ -198,7 +206,9 @@ fn pipelined_dot_product_is_faster() {
     let run = |func: &sentinel_prog::Function| {
         let s =
             schedule_function(func, &mdes, &SchedOptions::new(SchedulingModel::Sentinel)).unwrap();
-        let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
+        let mut m = SimSession::for_function(&s.func)
+            .config(SimConfig::for_mdes(mdes.clone()))
+            .build();
         apply_memory(&w, m.memory_mut());
         assert_eq!(m.run().unwrap(), RunOutcome::Halted);
         assert_eq!(m.memory().snapshot(), want_mem);

@@ -85,7 +85,9 @@ fn figure2_exception_detected_and_reports_b() {
     let (orig, sched) = scheduled_figure1();
     let b_id = orig.block(orig.entry()).insns[1].id; // B: ld r1, 0(r2)
 
-    let mut m = Machine::new(&sched, SimConfig::for_mdes(narrow_unit_mdes()));
+    let mut m = SimSession::for_function(&sched)
+        .config(SimConfig::for_mdes(narrow_unit_mdes()))
+        .build();
     // r2 nonzero (branch not taken) but unmapped: B faults speculatively.
     m.set_reg(Reg::int(2), 0xDEA0);
     m.memory_mut().map_region(0x1100, 0x100); // C's load target is fine
@@ -110,7 +112,9 @@ fn figure2_variant_taken_branch_ignores_exception() {
     // instruction A is instead taken, the exception is completely
     // ignored."
     let (_, sched) = scheduled_figure1();
-    let mut m = Machine::new(&sched, SimConfig::for_mdes(narrow_unit_mdes()));
+    let mut m = SimSession::for_function(&sched)
+        .config(SimConfig::for_mdes(narrow_unit_mdes()))
+        .build();
     m.set_reg(Reg::int(2), 0); // branch taken; B's speculative load of
                                // address 0 faults but must be ignored
     m.memory_mut().map_region(0x1100, 0x100);
@@ -132,7 +136,7 @@ fn figure1_under_general_percolation_loses_the_exception() {
     .unwrap();
     let mut cfg = SimConfig::for_mdes(wide_unit_mdes());
     cfg.semantics = sentinel::sim::SpeculationSemantics::Silent;
-    let mut m = Machine::new(&s.func, cfg);
+    let mut m = SimSession::for_function(&s.func).config(cfg).build();
     m.set_reg(Reg::int(2), 0x1100); // branch not taken, B and F fine
     m.memory_mut().map_region(0x1100, 0x200);
     m.set_reg(Reg::int(4), 0xDEA0); // C faults silently

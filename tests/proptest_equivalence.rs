@@ -10,7 +10,7 @@
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::reference::{RefOutcome, Reference};
 use sentinel::sim::verify::{compare_runs, CompareSpec};
-use sentinel::sim::{Machine, RunOutcome, SimConfig, SpeculationSemantics};
+use sentinel::sim::{RunOutcome, SimConfig, SimSession, SpeculationSemantics};
 use sentinel_isa::MachineDesc;
 use sentinel_workloads::{generate, BenchClass, Rng, Workload, WorkloadSpec};
 
@@ -61,7 +61,7 @@ fn check_equivalence(spec: &WorkloadSpec, model: SchedulingModel, width: usize, 
         SchedulingModel::GeneralPercolation => SpeculationSemantics::Silent,
         _ => SpeculationSemantics::SentinelTags,
     };
-    let mut m = Machine::new(&sched.func, cfg);
+    let mut m = SimSession::for_function(&sched.func).config(cfg).build();
     apply_memory(&w, m.memory_mut());
     let mo = m.run().expect("machine run");
     assert_eq!(mo, RunOutcome::Halted);
@@ -166,10 +166,9 @@ fn unrolling_preserves_equivalence() {
             &SchedOptions::new(SchedulingModel::Sentinel),
         )
         .expect("schedule unrolled");
-        let mut m = Machine::new(
-            &sched.func,
-            SimConfig::for_mdes(MachineDesc::paper_issue(8)),
-        );
+        let mut m = SimSession::for_function(&sched.func)
+            .config(SimConfig::for_mdes(MachineDesc::paper_issue(8)))
+            .build();
         apply_memory(&wu, m.memory_mut());
         assert_eq!(m.run().expect("run"), RunOutcome::Halted);
         assert_eq!(m.memory().snapshot(), r1.memory().snapshot());

@@ -50,7 +50,9 @@ fn recovery_completes_with_correct_result_after_page_fault() {
     )
     .unwrap();
 
-    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(unit_mdes(8)));
+    let mut m = SimSession::for_function(&sched.func)
+        .config(SimConfig::for_mdes(unit_mdes(8)))
+        .build();
     // 8 iterations; only the first 4 words are mapped — iteration 5 page
     // faults and the handler maps the rest.
     m.set_reg(Reg::int(1), 0x1000);
@@ -116,7 +118,9 @@ fn figure3_end_to_end_with_pointerlike_r2() {
     .unwrap();
     assert!(sched.stats.renames >= 1, "E must be renamed");
 
-    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(unit_mdes(8)));
+    let mut m = SimSession::for_function(&sched.func)
+        .config(SimConfig::for_mdes(unit_mdes(8)))
+        .build();
     m.set_reg(Reg::int(3), 0x1000);
     m.set_reg(Reg::int(6), 0x3000); // D faults initially
     m.set_reg(Reg::int(4), 0x1100);
@@ -160,7 +164,9 @@ fn abort_recovery_reports_original_trap() {
     )
     .unwrap();
     let ld_id = f.block(f.entry()).insns[0].id;
-    let mut m = Machine::new(&sched.func, SimConfig::for_mdes(unit_mdes(4)));
+    let mut m = SimSession::for_function(&sched.func)
+        .config(SimConfig::for_mdes(unit_mdes(4)))
+        .build();
     m.set_reg(Reg::int(1), 0x9000); // unmapped immediately
     m.set_reg(Reg::int(2), 3);
     m.set_reg(Reg::int(5), -1i64 as u64);
@@ -183,7 +189,7 @@ fn unrepaired_fault_hits_recovery_limit() {
     .unwrap();
     let mut cfg = SimConfig::for_mdes(unit_mdes(4));
     cfg.max_recoveries = 10;
-    let mut m = Machine::new(&sched.func, cfg);
+    let mut m = SimSession::for_function(&sched.func).config(cfg).build();
     m.set_reg(Reg::int(1), 0x9000);
     m.set_reg(Reg::int(2), 3);
     m.set_reg(Reg::int(5), -1i64 as u64);

@@ -61,7 +61,7 @@ fn assert_equivalence(func: &Function, init: &MemInit, live_out: Vec<Reg>) {
                     .unwrap_or_else(|e| panic!("{model} w={width}: {e}"));
                 let mut cfg = SimConfig::for_mdes(mdes);
                 cfg.semantics = semantics_for(model);
-                let mut m = Machine::new(&sched.func, cfg);
+                let mut m = SimSession::for_function(&sched.func).config(cfg).build();
                 init.apply(m.memory_mut());
                 let mo = m.run().unwrap_or_else(|e| panic!("{model} w={width}: {e}"));
 
@@ -190,7 +190,9 @@ fn trapping_program_reports_same_pc_under_precise_models() {
     ] {
         let mdes = MachineDesc::paper_issue(8);
         let sched = schedule_function(&f, &mdes, &SchedOptions::new(model)).unwrap();
-        let mut m = Machine::new(&sched.func, SimConfig::for_mdes(mdes));
+        let mut m = SimSession::for_function(&sched.func)
+            .config(SimConfig::for_mdes(mdes))
+            .build();
         init.apply(m.memory_mut());
         let mo = m.run().unwrap();
         let mut r = Reference::new(&f);
@@ -237,7 +239,9 @@ fn taken_branch_suppresses_speculative_exception() {
     }
     let init = MemInit::default().region(0x1000, 0x100); // word 0x1000 = 0
 
-    let mut m = Machine::new(&f, SimConfig::default());
+    let mut m = SimSession::for_function(&f)
+        .config(SimConfig::default())
+        .build();
     init.apply(m.memory_mut());
     let out = m.run().unwrap();
     assert_eq!(out, RunOutcome::Halted, "exception on untaken path ignored");

@@ -5,7 +5,7 @@
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::reference::{RefOutcome, Reference};
 use sentinel::sim::verify::{compare_runs, CompareSpec};
-use sentinel::sim::{Machine, RunOutcome, SimConfig, SpeculationSemantics};
+use sentinel::sim::{RunOutcome, SimConfig, SimSession, SpeculationSemantics};
 use sentinel_isa::MachineDesc;
 use sentinel_workloads::suite::suite_with_iterations;
 use sentinel_workloads::Workload;
@@ -39,7 +39,7 @@ fn check_opts(w: &Workload, model: SchedulingModel, width: usize, recovery: bool
         SchedulingModel::GeneralPercolation => SpeculationSemantics::Silent,
         _ => SpeculationSemantics::SentinelTags,
     };
-    let mut m = Machine::new(&sched.func, cfg);
+    let mut m = SimSession::for_function(&sched.func).config(cfg).build();
     apply_memory(w, m.memory_mut());
     let mo = m
         .run()
@@ -88,7 +88,7 @@ fn nan_write_semantics_equivalent_on_trap_free_programs() {
         .unwrap();
         let mut cfg = SimConfig::for_mdes(mdes);
         cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::new(&sched.func, cfg);
+        let mut m = SimSession::for_function(&sched.func).config(cfg).build();
         apply_memory(&w, m.memory_mut());
         assert_eq!(m.run().unwrap(), RunOutcome::Halted, "{}", w.name);
         let mut r = Reference::new(&w.func);

@@ -13,7 +13,7 @@ const UNMAPPED: i64 = 0xBAD0;
 const MAPPED: i64 = 0x1000;
 
 /// Runs a two-instruction probe: the instruction under test, then `halt`.
-fn machine_for(insns: Vec<Insn>) -> (Function, Machine<'static>) {
+fn machine_for(insns: Vec<Insn>) -> (Function, SimSession<'static>) {
     // Leak the function so the machine can borrow it for 'static in tests.
     let mut b = ProgramBuilder::new("t1");
     b.block("entry");
@@ -22,7 +22,9 @@ fn machine_for(insns: Vec<Insn>) -> (Function, Machine<'static>) {
     }
     b.push(Insn::halt());
     let f = Box::leak(Box::new(b.finish()));
-    let mut m = Machine::new(f, SimConfig::default());
+    let mut m = SimSession::for_function(f)
+        .config(SimConfig::default())
+        .build();
     m.memory_mut().map_region(MAPPED as u64, 0x100);
     m.memory_mut().write_word(MAPPED as u64, 5).unwrap();
     (f.clone(), m)
@@ -30,7 +32,7 @@ fn machine_for(insns: Vec<Insn>) -> (Function, Machine<'static>) {
 
 /// Marks a register as carrying a deferred exception from "instruction
 /// 77" (as if a speculative instruction had faulted earlier).
-fn tag(m: &mut Machine<'_>, r: Reg) {
+fn tag(m: &mut SimSession<'_>, r: Reg) {
     m.set_stale_tag(r, InsnId(77));
 }
 
@@ -145,7 +147,9 @@ fn first_tagged_source_wins_when_both_tagged() {
     b.push(Insn::alu(Opcode::Add, Reg::int(3), Reg::int(1), Reg::int(2)).speculated());
     b.push(Insn::halt());
     let f = b.finish();
-    let mut m = Machine::new(&f, SimConfig::default());
+    let mut m = SimSession::for_function(&f)
+        .config(SimConfig::default())
+        .build();
     m.set_stale_tag(Reg::int(1), InsnId(11));
     m.set_stale_tag(Reg::int(2), InsnId(22));
     assert_eq!(m.run().unwrap(), RunOutcome::Halted);

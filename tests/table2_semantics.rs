@@ -22,8 +22,10 @@ fn build(insns: Vec<Insn>) -> Function {
     b.finish()
 }
 
-fn machine<'a>(f: &'a Function) -> Machine<'a> {
-    let mut m = Machine::new(f, SimConfig::default());
+fn machine<'a>(f: &'a Function) -> SimSession<'a> {
+    let mut m = SimSession::for_function(f)
+        .config(SimConfig::default())
+        .build();
     m.memory_mut().map_region(MAPPED as u64, 0x100);
     m
 }

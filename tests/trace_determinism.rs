@@ -5,7 +5,7 @@
 //! `debug_assert` is compiled out.
 
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
-use sentinel::sim::{Machine, SimConfig, Stats};
+use sentinel::sim::{SimConfig, SimSession, Stats};
 use sentinel::trace::{ChromeTraceSink, JsonlSink, TimelineSink, TraceSink};
 use sentinel_bench::runner::{apply_memory, semantics_for};
 use sentinel_isa::MachineDesc;
@@ -21,7 +21,7 @@ fn traced_run(
     let s = schedule_function(&w.func, &mdes, &SchedOptions::new(model)).unwrap();
     let mut cfg = SimConfig::for_mdes(mdes);
     cfg.semantics = semantics_for(model);
-    let mut m = Machine::new(&s.func, cfg);
+    let mut m = SimSession::for_function(&s.func).config(cfg).build();
     m.attach_sink(sink);
     apply_memory(w, m.memory_mut());
     m.run().unwrap();
@@ -64,7 +64,7 @@ fn stall_counters_cover_every_non_issuing_cycle() {
                 let s = schedule_function(&w.func, &mdes, &SchedOptions::new(model)).unwrap();
                 let mut cfg = SimConfig::for_mdes(mdes);
                 cfg.semantics = semantics_for(model);
-                let mut m = Machine::new(&s.func, cfg);
+                let mut m = SimSession::for_function(&s.func).config(cfg).build();
                 apply_memory(&w, m.memory_mut());
                 m.run().unwrap();
                 let st = m.stats();
@@ -97,7 +97,9 @@ fn tracing_does_not_change_timing() {
     )
     .unwrap();
     let run = |sink: Option<Box<dyn TraceSink>>| {
-        let mut m = Machine::new(&s.func, SimConfig::for_mdes(mdes.clone()));
+        let mut m = SimSession::for_function(&s.func)
+            .config(SimConfig::for_mdes(mdes.clone()))
+            .build();
         if let Some(sink) = sink {
             m.attach_sink(sink);
         }
