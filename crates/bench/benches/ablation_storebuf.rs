@@ -34,6 +34,6 @@ fn main() {
     for n in [1usize, 8, 32] {
         let mut cfg = MeasureConfig::paper(SchedulingModel::SentinelStores, 8);
         cfg.store_buffer = n;
-        bench(&format!("cmp/T_w8_N{n}"), 10, || measure(&w, &cfg));
+        bench(&format!("cmp/T_w8_N{n}"), 10, || measure(&w, &cfg).unwrap());
     }
 }

@@ -40,9 +40,10 @@ fn main() {
                 &w,
                 &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 8),
             )
+            .unwrap()
         });
         bench(&format!("{name}/sentinel_w8"), 10, || {
-            measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8))
+            measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8)).unwrap()
         });
     }
     group("fig4_grid");

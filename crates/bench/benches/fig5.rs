@@ -49,7 +49,7 @@ fn main() {
             ("stores", SchedulingModel::SentinelStores),
         ] {
             bench(&format!("{name}/{tag}_w8"), 10, || {
-                measure(&w, &MeasureConfig::paper(model, 8))
+                measure(&w, &MeasureConfig::paper(model, 8)).unwrap()
             });
         }
     }

@@ -2,7 +2,7 @@
 //!
 //! `reproduce all` used to re-measure identical (bench, model, width)
 //! points in Figure 4, Figure 5, the §5.2 summary, and several
-//! ablations. The cache guarantees each [`Cell`](crate::grid::Cell) is
+//! ablations. The cache guarantees each [`Cell`] is
 //! scheduled and simulated **at most once per process**: every lookup
 //! is counted in a [`SharedMetrics`] registry (`grid.cells.hit` /
 //! `grid.cells.miss`), so tests can assert the at-most-once contract

@@ -34,8 +34,8 @@ use crate::figures::{
 };
 use crate::grid::{default_jobs, GridSession};
 use crate::report::{
-    failed_cell_report, improvement_summary, speedup_csv, speedup_table, stall_breakdown_csv,
-    stall_breakdown_table,
+    failed_cell_report, improvement_summary, pass_timing_table, speedup_csv, speedup_table,
+    stall_breakdown_csv, stall_breakdown_table,
 };
 
 /// Exit status for a usage error (unknown subcommand or flag).
@@ -44,7 +44,7 @@ pub const USAGE_STATUS: i32 = 2;
 const USAGE: &str = "usage: reproduce [fig4|fig5|summary|sweep|overhead [width]|ablation-sb|\
                      ablation-recovery|ablation-formation|ablation-boosting|ablation-unroll|\
                      ablation-cache|ablation-pipeline|ablation-pressure|all] [--csv] [--jobs N] \
-                     [--engine interpreter|fast]";
+                     [--engine interpreter|fast] [--verify-passes]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +55,7 @@ struct Cli {
     csv: bool,
     jobs: usize,
     engine: Engine,
+    verify_passes: bool,
 }
 
 /// Parses arguments (the part after the program name / subcommand).
@@ -66,12 +67,14 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         csv: false,
         jobs: default_jobs(),
         engine: Engine::default(),
+        verify_passes: false,
     };
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => cli.csv = true,
+            "--verify-passes" => cli.verify_passes = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs requires a value")?;
                 cli.jobs = v
@@ -376,6 +379,7 @@ pub fn run(args: &[String]) -> i32 {
 
     let mut session = GridSession::suite(cli.jobs);
     session.set_engine(cli.engine);
+    session.set_verify_passes(cli.verify_passes);
     let t0 = std::time::Instant::now();
     match cli.cmd.as_str() {
         "fig4" => print_fig4(&session, cli.csv),
@@ -433,6 +437,10 @@ pub fn run(args: &[String]) -> i32 {
         session.jobs(),
         t0.elapsed()
     );
+    let timing = pass_timing_table(&m);
+    if !timing.is_empty() {
+        eprint!("{timing}");
+    }
     0
 }
 
@@ -460,6 +468,13 @@ mod tests {
         assert_eq!(cli.jobs, 3);
         let cli = parse(&args(&["overhead", "8"])).unwrap();
         assert_eq!((cli.cmd.as_str(), cli.width), ("overhead", Some(8)));
+    }
+
+    #[test]
+    fn parse_reads_verify_passes() {
+        let cli = parse(&args(&["fig4", "--verify-passes"])).unwrap();
+        assert!(cli.verify_passes);
+        assert!(!parse(&args(&["fig4"])).unwrap().verify_passes);
     }
 
     #[test]

@@ -351,7 +351,8 @@ pub fn ablation_formation(session: &GridSession) -> Vec<(String, f64, f64, f64)>
         let split = measure(
             &split_w,
             &MeasureConfig::paper(SchedulingModel::Sentinel, 8),
-        );
+        )
+        .expect("split program measures");
 
         // Profile the split program and form superblocks.
         let mut r = Reference::new(&split_w.func);
@@ -363,7 +364,8 @@ pub fn ablation_formation(session: &GridSession) -> Vec<(String, f64, f64, f64)>
         let formed = measure(
             &formed_w,
             &MeasureConfig::paper(SchedulingModel::Sentinel, 8),
-        );
+        )
+        .expect("formed program measures");
 
         (
             w.name.clone(),
@@ -412,7 +414,8 @@ pub fn ablation_unrolling(
                 }
                 let mut wu = w.clone();
                 unroll_all_loops(&mut wu.func, k);
-                let m = measure(&wu, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+                let m = measure(&wu, &MeasureConfig::paper(SchedulingModel::Sentinel, 8))
+                    .expect("unrolled program measures");
                 (k, base / m.cycles as f64)
             })
             .collect();

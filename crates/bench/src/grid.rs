@@ -7,7 +7,7 @@
 //!
 //! * a [`Cell`] names one grid point (bench, model, width, knobs);
 //! * a [`GridSession`] owns the shared workload suite (one `Arc`, built
-//!   once), a memoizing [`ResultCache`](crate::cache::ResultCache), and
+//!   once), a memoizing [`ResultCache`], and
 //!   a worker pool size;
 //! * [`GridSession::eval`] dedups the requested cells against the
 //!   cache, evaluates the missing ones on scoped threads, and returns
@@ -30,7 +30,34 @@ use sentinel_trace::{Metrics, SharedMetrics};
 use sentinel_workloads::{suite, Workload};
 
 use crate::cache::{ResultCache, CELL_MICROS};
-use crate::runner::{measure, MeasureConfig, Measurement};
+use crate::runner::{measure_full, MeasureConfig, Measurement};
+
+/// Histogram names for per-pass compile timing, one per canonical pass
+/// (trace metrics require `&'static str` names, so the fixed pass
+/// vocabulary maps to a fixed metric table).
+const PASS_MICROS: [(&str, &str); 10] = [
+    ("validate", "compile.pass.validate.micros"),
+    ("superblock-prep", "compile.pass.superblock-prep.micros"),
+    ("clear-tags", "compile.pass.clear-tags.micros"),
+    ("recovery-rename", "compile.pass.recovery-rename.micros"),
+    ("liveness", "compile.pass.liveness.micros"),
+    ("depgraph", "compile.pass.depgraph.micros"),
+    ("reduction", "compile.pass.reduction.micros"),
+    ("list-schedule", "compile.pass.list-schedule.micros"),
+    (
+        "store-separation-retry",
+        "compile.pass.store-separation-retry.micros",
+    ),
+    ("regalloc", "compile.pass.regalloc.micros"),
+];
+
+/// The timing-histogram name for a pass, if it is a canonical one.
+pub fn pass_metric(pass: &str) -> Option<&'static str> {
+    PASS_MICROS
+        .iter()
+        .find(|(name, _)| *name == pass)
+        .map(|(_, metric)| *metric)
+}
 
 /// One point of the evaluation grid: a benchmark measured under a
 /// scheduling model and a machine/scheduler configuration.
@@ -151,6 +178,7 @@ pub struct GridSession {
     cache: ResultCache,
     jobs: usize,
     engine: Engine,
+    verify_passes: bool,
     fault_hook: Option<FaultHook>,
 }
 
@@ -168,6 +196,7 @@ impl GridSession {
             cache: ResultCache::new(SharedMetrics::new()),
             jobs: jobs.max(1),
             engine: Engine::default(),
+            verify_passes: false,
             fault_hook: None,
         }
     }
@@ -200,6 +229,18 @@ impl GridSession {
             "set_engine after cells were measured"
         );
         self.engine = engine;
+    }
+
+    /// Whether cells compile with the inter-pass IR verifier on.
+    pub fn verify_passes(&self) -> bool {
+        self.verify_passes
+    }
+
+    /// Runs every cell's compile with the inter-pass IR verifier on,
+    /// even in release builds (`--verify-passes`). Verification changes
+    /// no measured number, so the result cache stays keyed by [`Cell`].
+    pub fn set_verify_passes(&mut self, on: bool) {
+        self.verify_passes = on;
     }
 
     /// The session's workloads, in suite order.
@@ -327,12 +368,31 @@ impl GridSession {
             }
             let mut cfg = cell.config();
             cfg.engine = self.engine;
-            measure(w, &cfg)
+            cfg.verify_passes = self.verify_passes;
+            measure_full(w, &cfg)
         }));
         self.cache
             .metrics()
             .observe(CELL_MICROS, t0.elapsed().as_micros() as u64);
-        result.map_err(|payload| CellError::new(panic_message(payload)))
+        match result {
+            // Measurement failures (schedule rejection included) degrade
+            // to an error row naming the cell — no panic involved.
+            Ok(Ok(measured)) => {
+                let metrics = self.cache.metrics();
+                metrics.count(
+                    sentinel_trace::compile::PASS_RUNS,
+                    measured.passes.total_runs(),
+                );
+                for r in measured.passes.reports() {
+                    if let Some(name) = pass_metric(r.name) {
+                        metrics.observe(name, r.wall.as_micros() as u64);
+                    }
+                }
+                Ok(measured.m)
+            }
+            Ok(Err(e)) => Err(CellError::new(format!("{cell}: {e}"))),
+            Err(payload) => Err(CellError::new(panic_message(payload))),
+        }
     }
 }
 
@@ -466,6 +526,47 @@ mod tests {
         assert!(msg.contains("tiny [S x4]"), "{msg}");
         // All other cells still measured.
         assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 9);
+    }
+
+    #[test]
+    fn schedule_failure_degrades_to_error_row() {
+        // A workload whose function the scheduler rejects: the cell must
+        // become an error row naming the cell and the cause — without a
+        // panic anywhere in the process.
+        let mut s = WorkloadSpec::test_default("bad", 3);
+        s.iterations = 10;
+        let mut w = generate(&s);
+        let entry = w.func.entry();
+        w.func.block_mut(entry).insns[0].speculative = true;
+        let session = GridSession::new(Arc::new(vec![w]), 2);
+        let out = session.cell(Cell::base("bad"));
+        let msg = out.unwrap_err().message;
+        assert!(msg.contains("schedule failed"), "{msg}");
+        assert!(msg.contains("bad [R x1]"), "{msg}");
+    }
+
+    #[test]
+    fn compile_pass_timings_feed_metrics() {
+        let session = tiny_session(1);
+        session.cell(Cell::base("tiny")).unwrap();
+        let m = session.metrics();
+        assert!(m.counter(sentinel_trace::compile::PASS_RUNS) > 0);
+        let h = m
+            .histogram(pass_metric("list-schedule").unwrap())
+            .expect("list-schedule timing histogram");
+        assert!(h.count() > 0);
+        assert!(pass_metric("no-such-pass").is_none());
+    }
+
+    #[test]
+    fn verify_passes_does_not_change_measurements() {
+        let cells = grid_cells();
+        let plain = tiny_session(2).eval(&cells);
+        let mut verified_session = tiny_session(2);
+        verified_session.set_verify_passes(true);
+        assert!(verified_session.verify_passes());
+        let verified = verified_session.eval(&cells);
+        assert_eq!(plain, verified);
     }
 
     #[test]

@@ -175,6 +175,41 @@ pub fn improvement_summary(
     out
 }
 
+/// Renders the compile-phase pass-timing histograms of a metrics
+/// snapshot as an aligned table: one row per pass that ran, with run
+/// counts and wall-clock aggregates. Returns an empty string when no
+/// pass timing was recorded (pass names sort alphabetically — the
+/// metrics registry is a `BTreeMap` — so the table is deterministic).
+pub fn pass_timing_table(metrics: &sentinel_trace::Metrics) -> String {
+    const PREFIX: &str = "compile.pass.";
+    let mut out = String::new();
+    for (name, h) in metrics.histograms() {
+        let Some(pass) = name
+            .strip_prefix(PREFIX)
+            .and_then(|p| p.strip_suffix(".micros"))
+        else {
+            continue;
+        };
+        if out.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<24}{:>10}{:>12}{:>12}{:>12}",
+                "pass", "compiles", "total ms", "mean µs", "max µs"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<24}{:>10}{:>12.2}{:>12.1}{:>12}",
+            pass,
+            h.count(),
+            h.sum() as f64 / 1000.0,
+            h.mean(),
+            h.max()
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

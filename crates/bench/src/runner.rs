@@ -5,7 +5,9 @@
 //! [`grid`](crate::grid) engine plans, dedups, parallelizes, and
 //! memoizes cells, calling [`measure`] exactly once per distinct cell.
 
-use sentinel_core::{schedule_function, SchedOptions, SchedStats, SchedulingModel};
+use sentinel_core::{
+    CompileSession, PassLog, SchedOptions, SchedStats, ScheduleError, SchedulingModel,
+};
 use sentinel_isa::MachineDesc;
 use sentinel_sim::reference::{RefOutcome, Reference};
 use sentinel_sim::verify::{compare_runs, CompareSpec};
@@ -71,6 +73,10 @@ pub struct MeasureConfig {
     /// Execution engine ([`Engine::Fast`] by default; the interpreter is
     /// the differential-testing oracle).
     pub engine: Engine,
+    /// Run the compiler's inter-pass IR verifier even in release builds
+    /// (`--verify-passes`). Does not change any measured number — only
+    /// how strictly the schedule's construction is checked.
+    pub verify_passes: bool,
 }
 
 impl MeasureConfig {
@@ -87,6 +93,7 @@ impl MeasureConfig {
             verify: false,
             cache: None,
             engine: Engine::default(),
+            verify_passes: false,
         }
     }
 
@@ -131,43 +138,110 @@ pub fn semantics_for(model: SchedulingModel) -> SpeculationSemantics {
     }
 }
 
-/// Schedules and executes a workload, returning the measurement.
+/// Why a workload could not be measured.
 ///
-/// # Panics
+/// Every variant is a bug somewhere in the toolchain, not a measurement
+/// condition — but the grid engine degrades the affected cell to an
+/// error row instead of taking the whole reproduction run down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// The scheduler rejected or failed on the workload.
+    Schedule(ScheduleError),
+    /// The simulation did not run to a clean halt.
+    Sim(String),
+    /// The run diverged from the sequential reference (with
+    /// [`MeasureConfig::verify`]).
+    Divergence(String),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Schedule(e) => write!(f, "schedule failed: {e}"),
+            MeasureError::Sim(msg) => write!(f, "simulation failed: {msg}"),
+            MeasureError::Divergence(msg) => write!(f, "reference divergence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasureError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A measurement together with its compile-phase pass log.
 ///
-/// Panics if the schedule fails, the run does not halt, or (with
-/// `verify`) the outcome diverges from the sequential reference — all of
-/// which indicate bugs, not measurement conditions.
-pub fn measure(w: &Workload, cfg: &MeasureConfig) -> Measurement {
+/// The pass log stays *outside* [`Measurement`] on purpose: measurements
+/// are compared with `==` by the determinism tests, and wall-clock pass
+/// timings are never reproducible.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// The measurement.
+    pub m: Measurement,
+    /// Per-pass timing, IR deltas, and diagnostics from the compile.
+    pub passes: PassLog,
+}
+
+/// Schedules and executes a workload, returning the measurement plus
+/// the compiler's pass log.
+///
+/// # Errors
+///
+/// See [`MeasureError`].
+pub fn measure_full(w: &Workload, cfg: &MeasureConfig) -> Result<Measured, MeasureError> {
     let mut opts = SchedOptions::new(cfg.model);
     if cfg.recovery {
         opts = opts.with_recovery();
     }
-    let sched = schedule_function(&w.func, &cfg.mdes(), &opts)
-        .unwrap_or_else(|e| panic!("{}: schedule failed: {e}", w.name));
+    if cfg.verify_passes {
+        opts = opts.with_verify_passes();
+    }
+    let mdes = cfg.mdes();
+    let mut session = CompileSession::for_function(&w.func)
+        .mdes(&mdes)
+        .options(opts)
+        .build();
+    let sched = session.run().map_err(MeasureError::Schedule)?;
+    let passes = session.log().clone();
 
     let mut m = SimSession::for_function(&sched.func)
         .config(cfg.sim_config())
         .engine(cfg.engine)
         .build();
     apply_memory(w, m.memory_mut());
-    let outcome = m
-        .run()
-        .unwrap_or_else(|e| panic!("{} [{} w{}]: {e}", w.name, cfg.model.tag(), cfg.width));
-    assert_eq!(
-        outcome,
-        RunOutcome::Halted,
-        "{} [{} w{}]: unexpected trap {outcome:?}",
-        w.name,
-        cfg.model.tag(),
-        cfg.width
-    );
+    let outcome = m.run().map_err(|e| {
+        MeasureError::Sim(format!(
+            "{} [{} w{}]: {e}",
+            w.name,
+            cfg.model.tag(),
+            cfg.width
+        ))
+    })?;
+    if outcome != RunOutcome::Halted {
+        return Err(MeasureError::Sim(format!(
+            "{} [{} w{}]: unexpected trap {outcome:?}",
+            w.name,
+            cfg.model.tag(),
+            cfg.width
+        )));
+    }
 
     if cfg.verify {
         let mut r = Reference::new(&w.func);
         apply_memory(w, r.memory_mut());
-        let ro = r.run().expect("reference run");
-        assert_eq!(ro, RefOutcome::Halted);
+        let ro = r
+            .run()
+            .map_err(|e| MeasureError::Sim(format!("{}: reference run: {e}", w.name)))?;
+        if ro != RefOutcome::Halted {
+            return Err(MeasureError::Sim(format!(
+                "{}: reference trapped: {ro:?}",
+                w.name
+            )));
+        }
         let divs = compare_runs(
             &m,
             outcome,
@@ -175,23 +249,37 @@ pub fn measure(w: &Workload, cfg: &MeasureConfig) -> Measurement {
             ro,
             &CompareSpec::precise(w.live_out.clone()),
         );
-        assert!(
-            divs.is_empty(),
-            "{} [{} w{}]: diverges from reference: {divs:?}",
-            w.name,
-            cfg.model.tag(),
-            cfg.width
-        );
+        if !divs.is_empty() {
+            return Err(MeasureError::Divergence(format!(
+                "{} [{} w{}]: {divs:?}",
+                w.name,
+                cfg.model.tag(),
+                cfg.width
+            )));
+        }
     }
 
-    Measurement {
-        bench: w.name.clone(),
-        model: cfg.model,
-        width: cfg.width,
-        cycles: m.stats().cycles,
-        stats: *m.stats(),
-        sched: sched.stats,
-    }
+    Ok(Measured {
+        m: Measurement {
+            bench: w.name.clone(),
+            model: cfg.model,
+            width: cfg.width,
+            cycles: m.stats().cycles,
+            stats: *m.stats(),
+            sched: sched.stats,
+        },
+        passes,
+    })
+}
+
+/// Schedules and executes a workload, returning the measurement.
+///
+/// # Errors
+///
+/// See [`MeasureError`]. Use [`measure_full`] to also get the compiler's
+/// per-pass log.
+pub fn measure(w: &Workload, cfg: &MeasureConfig) -> Result<Measurement, MeasureError> {
+    measure_full(w, cfg).map(|r| r.m)
 }
 
 /// Cycles of the paper's *base machine*: issue 1, restricted percolation.
@@ -200,6 +288,7 @@ pub fn base_cycles(w: &Workload) -> u64 {
         w,
         &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 1),
     )
+    .unwrap_or_else(|e| panic!("{}: base machine: {e}", w.name))
     .cycles
 }
 
@@ -222,17 +311,50 @@ mod tests {
             // design; the others must match the oracle exactly.
             let mut cfg = MeasureConfig::paper(model, 4);
             cfg.verify = model != SchedulingModel::GeneralPercolation;
-            let m = measure(&w, &cfg);
+            let m = measure(&w, &cfg).unwrap();
             assert!(m.cycles > 0);
             assert!(m.stats.dyn_insns > 0);
         }
     }
 
     #[test]
+    fn measure_full_reports_pass_log() {
+        let w = small();
+        let mut cfg = MeasureConfig::paper(SchedulingModel::Sentinel, 4);
+        cfg.verify_passes = true;
+        let r = measure_full(&w, &cfg).unwrap();
+        assert!(r.m.cycles > 0);
+        assert!(r.passes.report("list-schedule").is_some());
+        assert_eq!(
+            r.passes.report("depgraph").unwrap().runs as usize,
+            r.m.sched.blocks
+        );
+    }
+
+    #[test]
+    fn schedule_failure_is_an_error_not_a_panic() {
+        // A workload whose function is already speculative is invalid
+        // scheduler input; measure must degrade, not panic.
+        let mut w = small();
+        let entry = w.func.entry();
+        w.func.block_mut(entry).insns[0].speculative = true;
+        let err = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 4)).unwrap_err();
+        assert!(matches!(
+            err,
+            MeasureError::Schedule(ScheduleError::NotSequentialInput(_))
+        ));
+        assert!(err.to_string().contains("schedule failed"), "{err}");
+    }
+
+    #[test]
     fn wider_machines_are_not_slower() {
         let w = small();
-        let c1 = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 1)).cycles;
-        let c8 = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8)).cycles;
+        let c1 = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 1))
+            .unwrap()
+            .cycles;
+        let c8 = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8))
+            .unwrap()
+            .cycles;
         assert!(c8 <= c1, "issue-8 {c8} vs issue-1 {c1}");
     }
 
@@ -243,8 +365,11 @@ mod tests {
             &w,
             &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 8),
         )
+        .unwrap()
         .cycles;
-        let s = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8)).cycles;
+        let s = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8))
+            .unwrap()
+            .cycles;
         assert!(s <= r, "sentinel {s} vs restricted {r}");
     }
 
@@ -256,6 +381,7 @@ mod tests {
             &w,
             &MeasureConfig::paper(SchedulingModel::RestrictedPercolation, 1),
         )
+        .unwrap()
         .cycles;
         assert_eq!(b, direct);
     }

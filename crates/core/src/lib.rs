@@ -16,6 +16,14 @@
 //! * [`schedule_function`] / [`schedule_program`] — the end-to-end
 //!   pipeline.
 //!
+//! The pipeline is an explicit pass manager: [`CompileSession`] runs the
+//! stages as named [`pass::Pass`]es, timing each run, computing its IR
+//! delta, collecting diagnostics, and checking the
+//! [`verify_ir`](verify_ir::verify_ir) inter-pass invariants between
+//! stages (always in debug builds, and under
+//! [`SchedOptions::verify_passes`] in release). [`schedule_function`]
+//! is the thin one-call wrapper over it.
+//!
 //! # Example
 //!
 //! ```
@@ -40,16 +48,21 @@
 pub mod depgraph;
 pub mod list;
 pub mod modulo;
+pub mod pass;
 pub mod recovery;
 pub mod reduction;
 pub mod regalloc;
 pub mod uninit;
+pub mod verify_ir;
 
 mod models;
 mod pipeline;
+mod session;
 
 pub use list::{BlockSchedStats, BlockSchedule};
 pub use models::{SchedOptions, SchedulingModel};
+pub use pass::{Pass, PassCtx, PassLog, PassReport, PASS_NAMES};
 pub use pipeline::{
     schedule_function, schedule_program, SchedStats, ScheduleError, ScheduledProgram,
 };
+pub use session::{CompileSession, CompileSessionBuilder, MutationHook};

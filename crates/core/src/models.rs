@@ -137,6 +137,10 @@ pub struct SchedOptions {
     /// (§3.7 "Register Allocator Support"), spilling with the
     /// tag-preserving instructions when needed.
     pub allocate: bool,
+    /// Run the inter-pass IR verifier between compiler passes even in
+    /// release builds (debug builds always verify). Surfaced as the
+    /// `--verify-passes` flag on the CLI and the reproduction driver.
+    pub verify_passes: bool,
 }
 
 impl SchedOptions {
@@ -148,6 +152,7 @@ impl SchedOptions {
             recovery: false,
             clear_uninitialized: false,
             allocate: false,
+            verify_passes: false,
         }
     }
 
@@ -166,6 +171,12 @@ impl SchedOptions {
     /// Enables §3.5 uninitialized-tag clearing.
     pub fn with_clear_uninitialized(mut self) -> Self {
         self.clear_uninitialized = true;
+        self
+    }
+
+    /// Enables release-build inter-pass IR verification.
+    pub fn with_verify_passes(mut self) -> Self {
+        self.verify_passes = true;
         self
     }
 }

@@ -1,18 +1,19 @@
-//! The end-to-end scheduling pipeline.
+//! The end-to-end scheduling pipeline: errors, statistics, results, and
+//! thin convenience wrappers.
+//!
+//! The pipeline itself lives in [`CompileSession`](crate::CompileSession)
+//! — an explicit pass manager that times, diffs, and verifies every
+//! stage. [`schedule_function`] and [`schedule_program`] are the
+//! one-call wrappers over it for callers that do not need the pass log.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use sentinel_isa::{BlockId, InsnId, MachineDesc};
-use sentinel_prog::cfg::Cfg;
-use sentinel_prog::liveness::Liveness;
-use sentinel_prog::{validate, Function, ValidateError};
+use sentinel_prog::{Function, ValidateError};
 
-use crate::depgraph::{Dep, DepGraph, DepKind};
-use crate::list::{schedule_block, BlockSchedStats, BlockSchedule};
+use crate::list::{BlockSchedStats, BlockSchedule};
 use crate::models::{SchedOptions, SchedulingModel};
-use crate::recovery::{apply_recovery_renaming, FreshRegs};
-use crate::reduction::reduce_with_pins;
-use crate::uninit::insert_clear_tags;
+use crate::session::CompileSession;
 
 /// Errors from [`schedule_function`].
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +27,14 @@ pub enum ScheduleError {
     /// confirm (paper §4.2). Internal to the pipeline's retry loop; only
     /// surfaces if pinning fails to converge.
     StoreSeparation(Vec<InsnId>),
+    /// The inter-pass IR verifier found violations after the named pass
+    /// (see [`verify_ir`](crate::verify_ir::verify_ir)).
+    Verify {
+        /// The pass after which the violations were detected.
+        after: &'static str,
+        /// The violations, in check order.
+        violations: Vec<String>,
+    },
     /// Scheduler invariant violation (a bug).
     Internal(String),
 }
@@ -34,13 +43,34 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::InvalidInput(errs) => {
-                write!(f, "invalid input function ({} errors)", errs.len())
+                write!(f, "invalid input function ({} error(s)", errs.len())?;
+                for e in errs.iter().take(3) {
+                    write!(f, "; {e}")?;
+                }
+                if errs.len() > 3 {
+                    write!(f, "; …")?;
+                }
+                write!(f, ")")
             }
             ScheduleError::NotSequentialInput(id) => {
                 write!(f, "input is not sequential code at {id}")
             }
             ScheduleError::StoreSeparation(ids) => {
                 write!(f, "store separation constraint unsatisfiable for {ids:?}")
+            }
+            ScheduleError::Verify { after, violations } => {
+                write!(
+                    f,
+                    "IR verification failed after pass '{after}' ({} violation(s)",
+                    violations.len()
+                )?;
+                for v in violations.iter().take(3) {
+                    write!(f, "; {v}")?;
+                }
+                if violations.len() > 3 {
+                    write!(f, "; …")?;
+                }
+                write!(f, ")")
             }
             ScheduleError::Internal(msg) => write!(f, "internal scheduler error: {msg}"),
         }
@@ -100,6 +130,10 @@ const _: () = {
 /// Schedules every layout block of `func` as a superblock under the given
 /// machine description and options.
 ///
+/// This is the one-call wrapper over
+/// [`CompileSession`](crate::CompileSession); build a session directly to
+/// observe per-pass timing, IR deltas, and diagnostics.
+///
 /// # Errors
 ///
 /// See [`ScheduleError`].
@@ -122,111 +156,14 @@ pub fn schedule_function(
     mdes: &MachineDesc,
     opts: &SchedOptions,
 ) -> Result<ScheduledProgram, ScheduleError> {
-    let errs = validate(func);
-    if !errs.is_empty() {
-        return Err(ScheduleError::InvalidInput(errs));
-    }
-    for b in func.blocks() {
-        for insn in &b.insns {
-            if insn.speculative
-                || matches!(
-                    insn.op,
-                    sentinel_isa::Opcode::CheckExcept | sentinel_isa::Opcode::ConfirmStore
-                )
-            {
-                return Err(ScheduleError::NotSequentialInput(insn.id));
-            }
-        }
-    }
-
-    let mut out = func.clone();
-    let mut stats = SchedStats::default();
-    let mut pinned_ids: HashSet<InsnId> = HashSet::new();
-    let mut unrenamable: HashSet<InsnId> = HashSet::new();
-
-    if opts.clear_uninitialized {
-        stats.clear_tags = insert_clear_tags(&mut out);
-    }
-    if opts.recovery {
-        let mut fresh = FreshRegs::for_function(&out, mdes.int_regs(), mdes.fp_regs());
-        let rn = apply_recovery_renaming(&mut out, &mut fresh);
-        stats.renames = rn.renamed;
-        pinned_ids.extend(rn.pinned_moves.iter().copied());
-        pinned_ids.extend(rn.unrenamable.iter().copied());
-        unrenamable = rn.unrenamable;
-    }
-
-    let cfg = Cfg::build(&out);
-    let lv = Liveness::compute(&out, &cfg);
-
-    let mut block_schedules = HashMap::new();
-    for bid in out.layout().to_vec() {
-        let mut attempts = 0usize;
-        let sched = loop {
-            attempts += 1;
-            let mut g = DepGraph::build_with_aliasing(
-                out.block(bid),
-                mdes,
-                opts.recovery,
-                out.noalias_bases(),
-            );
-            // Restriction 3 (conservative form): nothing moves across an
-            // unrenamable self-overwrite.
-            if opts.recovery {
-                for k in 0..g.original_len {
-                    if unrenamable.contains(&g.nodes[k].insn.id) {
-                        for j in k + 1..g.original_len {
-                            g.add_edge(Dep {
-                                from: k,
-                                to: j,
-                                latency: 0,
-                                kind: DepKind::Order,
-                            });
-                        }
-                    }
-                }
-            }
-            let red = reduce_with_pins(&mut g, &out, bid, &lv, opts, &pinned_ids);
-            let mut fresh = || out.fresh_insn_id();
-            match schedule_block(&mut g, &red, mdes, opts, &mut fresh) {
-                Ok(s) => break s,
-                Err(ScheduleError::StoreSeparation(ids)) => {
-                    if attempts > out.block(bid).insns.len() + 2 {
-                        return Err(ScheduleError::StoreSeparation(ids));
-                    }
-                    stats.pinned_stores += ids.len();
-                    pinned_ids.extend(ids);
-                }
-                Err(e) => return Err(e),
-            }
-        };
-        let _ = attempts;
-        out.block_mut(bid).insns = sched.insns.clone();
-        accumulate(&mut stats, &sched.stats);
-        block_schedules.insert(bid, sched);
-    }
-
-    if opts.allocate {
-        let aopts = crate::regalloc::AllocOptions::for_mdes(mdes, opts.recovery);
-        let ar = crate::regalloc::allocate_registers(&mut out, &aopts)
-            .map_err(|e| ScheduleError::Internal(format!("register allocation: {e}")))?;
-        stats.regs_assigned = ar.assigned;
-        stats.regs_spilled = ar.spilled;
-    }
-
-    debug_assert!(
-        validate(&out).is_empty(),
-        "scheduler produced invalid code: {:?}",
-        validate(&out)
-    );
-    Ok(ScheduledProgram {
-        func: out,
-        blocks: block_schedules,
-        stats,
-    })
+    CompileSession::for_function(func)
+        .mdes(mdes)
+        .options(opts.clone())
+        .build()
+        .run()
 }
 
-fn accumulate(total: &mut SchedStats, b: &BlockSchedStats) {
+pub(crate) fn accumulate(total: &mut SchedStats, b: &BlockSchedStats) {
     total.blocks += 1;
     total.speculated += b.speculated;
     total.checks_inserted += b.checks_inserted;
@@ -252,7 +189,8 @@ mod tests {
     use super::*;
     use sentinel_isa::{Insn, LatencyTable, Opcode, Reg};
     use sentinel_prog::examples::{figure1, figure3};
-    use sentinel_prog::ProgramBuilder;
+    use sentinel_prog::{validate, ProgramBuilder};
+    use std::collections::HashSet;
 
     fn unit(width: usize) -> MachineDesc {
         MachineDesc::builder()
@@ -357,6 +295,44 @@ mod tests {
             schedule_function(&f, &unit(2), &SchedOptions::new(SchedulingModel::Sentinel)),
             Err(ScheduleError::NotSequentialInput(_))
         ));
+    }
+
+    #[test]
+    fn rejects_input_with_sentinel_opcodes() {
+        // A sentinel opcode (not just a speculative modifier) also makes
+        // the input non-sequential — and the error names the instruction.
+        let mut b = ProgramBuilder::new("f");
+        b.block("e");
+        b.push(Insn::li(Reg::int(1), 1));
+        b.push(Insn::check_exception(Reg::int(1)));
+        b.push(Insn::halt());
+        let f = b.finish();
+        let check_id = f.block(f.entry()).insns[1].id;
+        match schedule_function(&f, &unit(2), &SchedOptions::new(SchedulingModel::Sentinel)) {
+            Err(ScheduleError::NotSequentialInput(id)) => assert_eq!(id, check_id),
+            other => panic!("expected NotSequentialInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_input_display_names_the_errors() {
+        let f = Function::new("empty");
+        let err = schedule_function(&f, &unit(2), &SchedOptions::new(SchedulingModel::Sentinel))
+            .unwrap_err();
+        let msg = err.to_string();
+        // Not just a count: the first validation errors are spelled out.
+        assert!(msg.contains("1 error(s)"), "{msg}");
+        assert!(msg.contains("no blocks"), "{msg}");
+    }
+
+    #[test]
+    fn invalid_input_display_truncates_long_error_lists() {
+        let errs = vec![ValidateError::Empty; 5];
+        let msg = ScheduleError::InvalidInput(errs).to_string();
+        assert!(msg.contains("5 error(s)"), "{msg}");
+        assert!(msg.contains("…"), "{msg}");
+        // Only the first three are spelled out.
+        assert_eq!(msg.matches("no blocks").count(), 3, "{msg}");
     }
 
     #[test]

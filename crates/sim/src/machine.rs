@@ -339,17 +339,7 @@ const _: () = {
 };
 
 impl<'a> Machine<'a> {
-    /// Creates a machine for `func`.
-    ///
-    /// Deprecated in favor of the session builder, which also selects
-    /// the execution engine:
-    /// `SimSession::for_function(f).engine(Engine::Interpreter).build()`.
-    #[deprecated(note = "use SimSession::for_function(..).engine(Engine::Interpreter).build()")]
-    pub fn new(func: &'a Function, config: SimConfig) -> Machine<'a> {
-        Machine::create(func, config)
-    }
-
-    /// Non-deprecated constructor for in-crate use ([`SimSession`]
+    /// Constructor for in-crate use ([`SimSession`]
     /// building an interpreter engine, differential tests). The register
     /// file is sized to the larger of the machine description and the
     /// registers the program actually names (so pre-allocation virtual

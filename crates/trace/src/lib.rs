@@ -25,6 +25,12 @@
 //! never run without an attached sink, so the disabled path is a single
 //! branch per instrumentation site.
 //!
+//! The [`compile`] module is the symmetric vocabulary for the
+//! *compiler* side: the pass manager in `sentinel-core` emits one
+//! [`PassEvent`] per pass run (name, wall time, IR delta, diagnostics)
+//! into a [`CompileSink`], so compile-phase observability rides the
+//! same crate as simulation-phase observability.
+//!
 //! [`Metrics`] adds a deterministic counter/histogram registry for
 //! aggregate observability (issue-slot utilization, store-buffer
 //! occupancy distribution, stall totals); [`SharedMetrics`] is its
@@ -36,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod compile;
 pub mod event;
 pub mod json;
 pub mod jsonl;
@@ -45,6 +52,7 @@ pub mod stall;
 pub mod timeline;
 
 pub use chrome::ChromeTraceSink;
+pub use compile::{CollectCompileSink, CompileSink, ExplainSink, IrDelta, PassEvent};
 pub use event::{Event, EventKind, StallReason};
 pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, Metrics, SharedMetrics};

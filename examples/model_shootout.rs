@@ -29,7 +29,7 @@ fn main() {
     for model in models {
         print!("{:<28}", format!("{model} ({})", model.tag()));
         for width in [1, 2, 4, 8] {
-            let m = measure(&w, &MeasureConfig::paper(model, width));
+            let m = measure(&w, &MeasureConfig::paper(model, width)).unwrap();
             print!("{:>10.2}", base as f64 / m.cycles as f64);
         }
         println!();
@@ -37,7 +37,7 @@ fn main() {
     println!("\n(speedup over the base machine; paper Figures 4 and 5 plot exactly these bars)");
 
     // Detail row: what sentinel scheduling actually did at issue 8.
-    let m = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8));
+    let m = measure(&w, &MeasureConfig::paper(SchedulingModel::Sentinel, 8)).unwrap();
     println!(
         "\nsentinel @ issue 8: {} cycles, ipc {:.2}, {} speculative ops, {} checks, {} tag propagations",
         m.cycles,
@@ -49,7 +49,8 @@ fn main() {
     let t = measure(
         &w,
         &MeasureConfig::paper(SchedulingModel::SentinelStores, 8),
-    );
+    )
+    .unwrap();
     println!(
         "model T @ issue 8: {} cycles, {} confirms, {} store-buffer cancels, {} forwards",
         t.cycles, t.stats.dyn_confirms, t.stats.sb_cancels, t.stats.sb_forwards

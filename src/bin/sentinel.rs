@@ -7,6 +7,7 @@
 //! sentinel disasm    prog.sobj
 //! sentinel info      prog.sasm
 //! sentinel schedule  prog.sasm --model S --issue 8 [--recovery] [--allocate] [-o out.sasm]
+//! sentinel compile   prog.sasm --model S --issue 8 [--explain] [--verify-passes] [-o out.sasm]
 //! sentinel run       prog.sasm [--issue N] [--semantics tags|silent|nan]
 //!                    [--map START:LEN]... [--word ADDR=VAL]... [--reg rN=VAL]...
 //!                    [--print rN]... [--base]
@@ -102,7 +103,15 @@ impl Args {
             if let Some(name) = a.strip_prefix("--") {
                 let takes_value = !matches!(
                     name,
-                    "recovery" | "allocate" | "base" | "clear-uninit" | "trace" | "stats" | "raw"
+                    "recovery"
+                        | "allocate"
+                        | "base"
+                        | "clear-uninit"
+                        | "trace"
+                        | "stats"
+                        | "raw"
+                        | "explain"
+                        | "verify-passes"
                 );
                 let value = if takes_value { it.next() } else { None };
                 flags.push((name.to_string(), value));
@@ -247,6 +256,59 @@ fn cmd_schedule(args: &Args) {
     let s = schedule_function(&f, &mdes, &opts).unwrap_or_else(|e| fail(&format!("schedule: {e}")));
     eprintln!(
         "scheduled for {model} at issue {issue}: {} speculated, {} checks, {} confirms{}",
+        s.stats.speculated,
+        s.stats.checks_inserted,
+        s.stats.confirms_inserted,
+        if opts.recovery {
+            format!(", {} renames", s.stats.renames)
+        } else {
+            String::new()
+        }
+    );
+    emit(&s.func, args.flag("output"));
+}
+
+/// `sentinel compile`: schedule through the instrumented
+/// [`CompileSession`](sentinel::sched::CompileSession) pass manager.
+/// `--explain` prints the per-pass log (name, wall time, IR delta,
+/// diagnostics) to stderr; `--verify-passes` runs the inter-pass IR
+/// verifier between stages even in release builds.
+fn cmd_compile(args: &Args) {
+    use sentinel::sched::CompileSession;
+    use sentinel::trace::ExplainSink;
+    let f = load_program(&args.positional[0]);
+    let model = parse_model(args.flag("model").unwrap_or("S"));
+    let mut opts = SchedOptions::new(model);
+    if args.has("recovery") {
+        opts = opts.with_recovery();
+    }
+    if args.has("allocate") {
+        opts = opts.with_allocation();
+    }
+    if args.has("clear-uninit") {
+        opts = opts.with_clear_uninitialized();
+    }
+    if args.has("verify-passes") {
+        opts = opts.with_verify_passes();
+    }
+    let mdes = machine_desc(args);
+    let issue = mdes.issue_width();
+    let mut builder = CompileSession::for_function(&f)
+        .mdes(&mdes)
+        .options(opts.clone());
+    if args.has("explain") {
+        builder = builder.observe(Box::new(ExplainSink::default()));
+    }
+    let mut session = builder.build();
+    let result = session.run();
+    if let Some(mut sink) = session.take_sink() {
+        eprint!("{}", sink.finish());
+    }
+    let s = result.unwrap_or_else(|e| fail(&format!("compile: {e}")));
+    eprintln!(
+        "compiled for {model} at issue {issue}: {} pass runs{}, {} speculated, {} checks, {} confirms{}",
+        session.log().total_runs(),
+        if session.verifies() { " (verified)" } else { "" },
         s.stats.speculated,
         s.stats.checks_inserted,
         s.stats.confirms_inserted,
@@ -453,6 +515,7 @@ fn usage() -> ! {
            asm       assemble text to a .sobj object (-o out.sobj)\n\
            disasm    print an object as text assembly\n\
            schedule  --model R|G|S|T|B<k> --issue N [--recovery] [--allocate] [--clear-uninit] [-o out]\n\
+           compile   schedule via the instrumented pass manager [schedule's flags] [--explain] [--verify-passes]\n\
            pipeline  software-pipeline counted/while loops [-o out]\n\
            mdes      print the effective machine description [--mdes file] [--issue N]\n\
            run       [--issue N] [--semantics tags|silent|nan] [--map S:L]… [--word A=V]… [--reg rN=V]… [--print rN]… [--stats] [--trace]\n\
@@ -501,6 +564,7 @@ fn main() {
             print!("{}", asm::print(&f));
         }
         "schedule" => cmd_schedule(&args),
+        "compile" => cmd_compile(&args),
         "pipeline" => cmd_pipeline(&args),
         "run" => cmd_run(&args),
         "trace" => cmd_trace(&args),

@@ -17,7 +17,7 @@
 //! * [`trace`] — cycle-accurate observability: pipeline event sinks
 //!   (JSONL, Chrome `trace_event`, ASCII timeline) and stall accounting.
 //! * [`workloads`] — the 17-program synthetic benchmark suite.
-//! * [`bench`] — the evaluation grid engine (cached, parallel,
+//! * [`mod@bench`] — the evaluation grid engine (cached, parallel,
 //!   fault-isolated measurement) and the figure/ablation generators it
 //!   feeds; `sentinel reproduce` is its CLI.
 //!

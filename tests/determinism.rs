@@ -50,8 +50,8 @@ fn simulation_is_deterministic() {
 fn measurements_are_deterministic() {
     let w = suite::by_name("cmp").unwrap();
     let cfg = MeasureConfig::paper(SchedulingModel::SentinelStores, 8);
-    let a = measure(&w, &cfg);
-    let b = measure(&w, &cfg);
+    let a = measure(&w, &cfg).unwrap();
+    let b = measure(&w, &cfg).unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.stats, b.stats);
 }

@@ -29,10 +29,10 @@ fn recovery_constraints_never_improve_schedules() {
     // lengthen (or preserve) schedules.
     use sentinel_bench::runner::{measure, MeasureConfig};
     for w in suite_with_iterations(40) {
-        let plain = measure(&w, &MeasureConfig::paper(S, 8)).cycles;
+        let plain = measure(&w, &MeasureConfig::paper(S, 8)).unwrap().cycles;
         let mut cfg = MeasureConfig::paper(S, 8);
         cfg.recovery = true;
-        let rec = measure(&w, &cfg).cycles;
+        let rec = measure(&w, &cfg).unwrap().cycles;
         assert!(
             rec >= plain,
             "{}: recovery {} < plain {}",

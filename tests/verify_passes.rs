@@ -1,0 +1,219 @@
+//! Inter-pass invariant checking, end to end.
+//!
+//! The positive direction: with `SchedOptions::verify_passes` on,
+//! `verify_ir` runs between every pass of every compilation — so
+//! scheduling the whole workload suite under all four models is a
+//! property test that no pass ever leaves the IR in a state that
+//! violates the structural, model-legality, sentinel-ownership, §4.2
+//! store-separation, or dataflow invariants (proptest-style: driven by
+//! the in-tree deterministic workload generator, no external
+//! framework, so the workspace builds offline).
+//!
+//! The negative direction: a deliberately broken pass (mutation hook)
+//! must be caught *at its own boundary* — named in
+//! `ScheduleError::Verify { after, .. }` — not at simulation time.
+
+use sentinel::sched::{schedule_function, PASS_NAMES};
+use sentinel::sched::{CompileSession, SchedOptions, ScheduleError, SchedulingModel};
+use sentinel_isa::{Insn, LatencyTable, MachineDesc, Opcode, Reg};
+use sentinel_prog::ProgramBuilder;
+use sentinel_workloads::{generate, suite, WorkloadSpec};
+
+const MODELS: [SchedulingModel; 4] = [
+    SchedulingModel::RestrictedPercolation,
+    SchedulingModel::GeneralPercolation,
+    SchedulingModel::Sentinel,
+    SchedulingModel::SentinelStores,
+];
+
+fn mdes() -> MachineDesc {
+    MachineDesc::paper_issue(8)
+}
+
+#[test]
+fn suite_times_models_passes_every_boundary() {
+    let mdes = mdes();
+    for spec in suite::specs() {
+        let w = generate(&spec);
+        for model in MODELS {
+            let opts = SchedOptions::new(model).with_verify_passes();
+            let mut session = CompileSession::for_function(&w.func)
+                .mdes(&mdes)
+                .options(opts)
+                .build();
+            assert!(session.verifies());
+            let s = session.run().unwrap_or_else(|e| {
+                panic!("{} under {model}: {e}", w.name);
+            });
+            assert!(s.stats.blocks > 0, "{} under {model}", w.name);
+        }
+    }
+}
+
+#[test]
+fn generated_programs_verify_with_all_transformations_on() {
+    // Recovery renaming and clear_tag insertion are the passes that
+    // rewrite the most IR; run them under the verifier across a seed
+    // sweep of generated programs.
+    let mdes = mdes();
+    for seed in 0..12u64 {
+        let w = generate(&WorkloadSpec::test_default("vp", seed));
+        for model in [SchedulingModel::Sentinel, SchedulingModel::SentinelStores] {
+            let opts = SchedOptions::new(model)
+                .with_recovery()
+                .with_clear_uninitialized()
+                .with_verify_passes();
+            let mut session = CompileSession::for_function(&w.func)
+                .mdes(&mdes)
+                .options(opts)
+                .build();
+            session
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed} under {model}: {e}"));
+            // Every canonical pass name the log reports is known.
+            for r in session.log().reports() {
+                assert!(PASS_NAMES.contains(&r.name), "unknown pass {}", r.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn store_separation_error_path_pins_and_retries() {
+    // Six stores above a branch with a 2-entry buffer: the list
+    // scheduler raises ScheduleError::StoreSeparation, the session pins
+    // the violating stores, logs a store-separation-retry run, and
+    // converges to a schedule whose confirms respect the N-1 bound.
+    let mut b = ProgramBuilder::new("f");
+    let e = b.block("e");
+    let t = b.block("t");
+    b.switch_to(e);
+    b.push(Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, t));
+    for k in 0..6 {
+        b.push(Insn::st_w(Reg::int(2), Reg::int(3), 8 * k));
+    }
+    b.push(Insn::halt());
+    b.switch_to(t);
+    b.push(Insn::halt());
+    let f = b.finish();
+    let mdes = MachineDesc::builder()
+        .issue_width(8)
+        .store_buffer_size(2)
+        .latencies(LatencyTable::unit())
+        .build();
+    let opts = SchedOptions::new(SchedulingModel::SentinelStores).with_verify_passes();
+    let mut session = CompileSession::for_function(&f)
+        .mdes(&mdes)
+        .options(opts)
+        .build();
+    let s = session.run().unwrap();
+    assert!(s.stats.pinned_stores > 0, "expected §4.2 pinning");
+    let retry = session
+        .log()
+        .report("store-separation-retry")
+        .expect("retry pseudo-pass logged");
+    assert!(retry.runs > 0);
+    for insn in &s.func.block(f.entry()).insns {
+        if insn.op == Opcode::ConfirmStore {
+            assert!(insn.imm <= 1, "confirm index {} exceeds N-1", insn.imm);
+        }
+    }
+}
+
+#[test]
+fn non_sequential_input_is_rejected_before_any_transformation() {
+    // A sentinel opcode in the *input* makes it non-sequential; the
+    // session rejects it in the validate pass, and the log shows no
+    // later pass ever ran.
+    let mut b = ProgramBuilder::new("f");
+    b.block("e");
+    b.push(Insn::li(Reg::int(1), 1));
+    b.push(Insn::check_exception(Reg::int(1)));
+    b.push(Insn::halt());
+    let f = b.finish();
+    let check_id = f.block(f.entry()).insns[1].id;
+    let mdes = mdes();
+    let mut session = CompileSession::for_function(&f)
+        .mdes(&mdes)
+        .options(SchedOptions::new(SchedulingModel::Sentinel))
+        .build();
+    match session.run() {
+        Err(ScheduleError::NotSequentialInput(id)) => assert_eq!(id, check_id),
+        other => panic!("expected NotSequentialInput, got {other:?}"),
+    }
+    assert_eq!(session.log().total_runs(), 1);
+    assert!(session.log().report("validate").is_some());
+    assert!(session.log().report("list-schedule").is_none());
+}
+
+#[test]
+fn mutation_is_caught_at_the_mutated_boundary_not_at_simulation() {
+    // Corrupt the IR right after recovery renaming: a speculative store
+    // under plain Sentinel (which forbids speculative stores). The
+    // verifier must attribute the damage to exactly that boundary.
+    let mut b = ProgramBuilder::new("mt");
+    b.block("e");
+    b.push(Insn::li(Reg::int(1), 0x1000));
+    b.push(Insn::li(Reg::int(2), 5));
+    b.push(Insn::st_w(Reg::int(2), Reg::int(1), 0));
+    b.push(Insn::halt());
+    let f = b.finish();
+    let mdes = mdes();
+    let opts = SchedOptions::new(SchedulingModel::Sentinel).with_recovery();
+    let mut session = CompileSession::for_function(&f)
+        .mdes(&mdes)
+        .options(opts)
+        .mutate_after(
+            "recovery-rename",
+            Box::new(|f| {
+                let entry = f.entry();
+                if let Some(st) = f
+                    .block_mut(entry)
+                    .insns
+                    .iter_mut()
+                    .find(|i| i.op.is_store())
+                {
+                    st.speculative = true;
+                }
+            }),
+        )
+        .build();
+    assert!(session.verifies(), "mutation hook forces verification on");
+    match session.run() {
+        Err(ScheduleError::Verify { after, violations }) => {
+            assert_eq!(after, "recovery-rename");
+            assert!(
+                violations.iter().any(|v| v.contains("forbids")),
+                "violations name the model-legality breach: {violations:?}"
+            );
+        }
+        Ok(_) => panic!("corrupted IR was not caught"),
+        Err(other) => panic!("caught, but not as a Verify error: {other}"),
+    }
+}
+
+#[test]
+fn verified_and_unverified_compilations_agree() {
+    // verify_ir is observation only: turning it on must not change the
+    // produced schedule.
+    let mdes = mdes();
+    for spec in suite::specs().into_iter().take(4) {
+        let w = generate(&spec);
+        for model in MODELS {
+            let plain = schedule_function(&w.func, &mdes, &SchedOptions::new(model)).unwrap();
+            let verified = schedule_function(
+                &w.func,
+                &mdes,
+                &SchedOptions::new(model).with_verify_passes(),
+            )
+            .unwrap();
+            assert_eq!(plain.stats, verified.stats, "{} under {model}", w.name);
+            assert_eq!(
+                sentinel::prog::asm::print(&plain.func),
+                sentinel::prog::asm::print(&verified.func),
+                "{} under {model}",
+                w.name
+            );
+        }
+    }
+}
