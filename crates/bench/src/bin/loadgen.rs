@@ -1,0 +1,10 @@
+//! Load generator for `sentinel serve`.
+//!
+//! Thin wrapper over [`sentinel_bench::loadgen`]: N client threads × M
+//! requests against a running service, latency percentiles and
+//! throughput as JSON on stdout. See the module docs for flags.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(sentinel_bench::loadgen::run(&args));
+}

@@ -368,6 +368,10 @@ fn print_overhead(session: &GridSession, width: usize) {
 /// and returns the process exit status. Unknown subcommands and
 /// malformed flags print usage to stderr and return [`USAGE_STATUS`].
 pub fn run(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--version") {
+        println!("reproduce {}", env!("CARGO_PKG_VERSION"));
+        return 0;
+    }
     let cli = match parse(args) {
         Ok(cli) => cli,
         Err(msg) => {

@@ -27,6 +27,7 @@ pub mod cache;
 pub mod cli;
 pub mod figures;
 pub mod grid;
+pub mod loadgen;
 pub mod report;
 pub mod runner;
 pub mod timing;

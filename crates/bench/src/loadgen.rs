@@ -1,0 +1,294 @@
+//! Load generator for the compile-and-simulate service.
+//!
+//! `N` client threads each issue `M` requests against a running
+//! `sentinel serve` instance and record per-request latency. The
+//! summary — request counts by outcome, p50/p95/p99 latency, and
+//! throughput — prints to stdout as one JSON object, so a CI step or
+//! an experiment script can parse it directly.
+//!
+//! The request mix is deterministic: each thread cycles through suite
+//! benchmarks × models by request index. `--spread` widens the cycle so
+//! repeated batches measure cache-miss behavior instead of pure hits;
+//! the default (spread 0) reuses a small set, measuring the service's
+//! `serve.cache.hit` fast path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sentinel_serve::client;
+use sentinel_trace::json::ObjWriter;
+
+/// Exit status for a usage error (unknown flag or bad value).
+pub const USAGE_STATUS: i32 = 2;
+
+const USAGE: &str = "usage: loadgen --addr HOST:PORT [--threads N] [--requests M] \
+                     [--endpoint simulate|compile|mixed] [--spread N] [--version]";
+
+const SUITE_NAMES: &[&str] = &["wc", "cmp", "grep", "compress", "lex"];
+const MODELS: &[&str] = &["S", "R", "G", "T"];
+
+const COMPILE_SOURCE: &str = "\
+func @ldgen {
+entry:
+    li r1, 0
+    li r2, 8
+loop:
+    add r1, r1, r2
+    addi r2, r2, -1
+    bne r2, r0, loop
+done:
+    halt
+}
+";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    addr: String,
+    threads: usize,
+    requests: usize,
+    endpoint: String,
+    spread: usize,
+    version: bool,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: String::new(),
+        threads: 8,
+        requests: 16,
+        endpoint: "mixed".to_string(),
+        spread: 0,
+        version: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--version" => cli.version = true,
+            "--addr" => cli.addr = next("--addr")?,
+            "--threads" => {
+                cli.threads = next("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads requires an unsigned integer".to_string())?;
+            }
+            "--requests" => {
+                cli.requests = next("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests requires an unsigned integer".to_string())?;
+            }
+            "--spread" => {
+                cli.spread = next("--spread")?
+                    .parse()
+                    .map_err(|_| "--spread requires an unsigned integer".to_string())?;
+            }
+            "--endpoint" => {
+                let e = next("--endpoint")?;
+                if !matches!(e.as_str(), "simulate" | "compile" | "mixed") {
+                    return Err(format!("unknown endpoint '{e}'"));
+                }
+                cli.endpoint = e;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if !cli.version && cli.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    Ok(cli)
+}
+
+/// The deterministic request for global index `i`: `(path, body)`.
+fn request_for(endpoint: &str, i: usize, spread: usize) -> (String, String) {
+    let compile = match endpoint {
+        "compile" => true,
+        "simulate" => false,
+        _ => i.is_multiple_of(2),
+    };
+    let model = MODELS[i % MODELS.len()];
+    // `spread` appends a varying width to defeat the response cache;
+    // width cycles within the valid range.
+    let width = if spread == 0 {
+        8
+    } else {
+        1 + (i / 2) % spread.min(16)
+    };
+    if compile {
+        let mut body = String::new();
+        let mut w = ObjWriter::new(&mut body);
+        w.str("source", COMPILE_SOURCE)
+            .str("model", model)
+            .u64("width", width as u64);
+        w.close();
+        ("/v1/compile".to_string(), body)
+    } else {
+        let suite = SUITE_NAMES[(i / 2) % SUITE_NAMES.len()];
+        let mut body = String::new();
+        let mut w = ObjWriter::new(&mut body);
+        w.str("suite", suite)
+            .str("model", model)
+            .u64("width", width as u64);
+        w.close();
+        ("/v1/simulate".to_string(), body)
+    }
+}
+
+/// The `p`-th percentile (0–100) of `sorted` (ascending), by
+/// nearest-rank.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    client_error: AtomicU64,
+    server_error: AtomicU64,
+    rejected: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+/// Runs the load generator (program name already stripped) and returns
+/// the process exit status.
+pub fn run(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            eprintln!("{USAGE}");
+            return USAGE_STATUS;
+        }
+    };
+    if cli.version {
+        println!("loadgen {}", env!("CARGO_PKG_VERSION"));
+        return 0;
+    }
+
+    let tally = Arc::new(Tally::default());
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(cli.threads * cli.requests);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cli.threads)
+            .map(|t| {
+                let tally = Arc::clone(&tally);
+                let (addr, endpoint) = (cli.addr.clone(), cli.endpoint.clone());
+                let (requests, spread) = (cli.requests, cli.spread);
+                scope.spawn(move || {
+                    let mut thread_latencies = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let (path, body) = request_for(&endpoint, t * requests + i, spread);
+                        let t0 = Instant::now();
+                        match client::post_json(&addr, &path, &body) {
+                            Ok(resp) => {
+                                thread_latencies.push(t0.elapsed().as_micros() as u64);
+                                let bucket = match resp.status {
+                                    200..=299 => &tally.ok,
+                                    429 => &tally.rejected,
+                                    400..=499 => &tally.client_error,
+                                    _ => &tally.server_error,
+                                };
+                                bucket.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                tally.io_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    thread_latencies
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().unwrap_or_default());
+        }
+    });
+    let wall = started.elapsed();
+
+    latencies.sort_unstable();
+    let total = (cli.threads * cli.requests) as u64;
+    let answered = latencies.len() as u64;
+    let throughput = if wall.as_secs_f64() > 0.0 {
+        answered as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    let mut out = String::new();
+    let mut w = ObjWriter::new(&mut out);
+    w.u64("threads", cli.threads as u64)
+        .u64("requests_per_thread", cli.requests as u64)
+        .u64("total", total)
+        .u64("ok", tally.ok.load(Ordering::Relaxed))
+        .u64("rejected", tally.rejected.load(Ordering::Relaxed))
+        .u64("client_error", tally.client_error.load(Ordering::Relaxed))
+        .u64("server_error", tally.server_error.load(Ordering::Relaxed))
+        .u64("io_errors", tally.io_errors.load(Ordering::Relaxed))
+        .u64("wall_micros", wall.as_micros() as u64)
+        .raw("throughput_rps", &format!("{throughput:.1}"))
+        .u64("p50_micros", percentile(&latencies, 50.0))
+        .u64("p95_micros", percentile(&latencies, 95.0))
+        .u64("p99_micros", percentile(&latencies, 99.0));
+    w.close();
+    println!("{out}");
+
+    // Transport failures are a load-generator failure; service-level
+    // errors (4xx/5xx/429) are data, reported in the JSON.
+    if tally.io_errors.load(Ordering::Relaxed) > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+    }
+
+    #[test]
+    fn parses_and_validates_flags() {
+        let cli = parse(&args(&["--addr", "127.0.0.1:1", "--threads", "2"])).unwrap();
+        assert_eq!(cli.threads, 2);
+        assert_eq!(cli.requests, 16);
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["--addr", "x", "--endpoint", "nope"])).is_err());
+        assert!(parse(&args(&["--version"])).is_ok());
+        assert_eq!(run(&args(&["--bogus"])), USAGE_STATUS);
+    }
+
+    #[test]
+    fn request_mix_is_deterministic_and_parseable() {
+        for i in 0..16 {
+            let (path, body) = request_for("mixed", i, 0);
+            assert!(path == "/v1/compile" || path == "/v1/simulate");
+            sentinel_trace::json::parse(&body).unwrap();
+            let (path2, body2) = request_for("mixed", i, 0);
+            assert_eq!((path, body), (path2, body2));
+        }
+        let (_, a) = request_for("simulate", 0, 0);
+        let (_, b) = request_for("simulate", 0, 8);
+        assert_ne!(a, b);
+    }
+}

@@ -298,4 +298,30 @@ mod tests {
                 .sum::<f64>();
         assert!((covered - 100.0).abs() < 1e-6, "covered {covered}");
     }
+
+    /// Guards the reproduce stdout determinism contract against the
+    /// serve subsystem: registering every `serve.*` metric (as a
+    /// co-resident server would) must not add rows to the pass-timing
+    /// table, which filters strictly on the `compile.pass.` prefix.
+    #[test]
+    fn serve_metrics_do_not_leak_into_pass_timing_table() {
+        let mut m = sentinel_trace::Metrics::new();
+        m.observe("compile.pass.schedule.micros", 42);
+        let baseline = pass_timing_table(&m);
+
+        use sentinel_trace::serve as sm;
+        for name in [
+            sm::CONNECTIONS,
+            sm::REQUESTS,
+            sm::RESPONSES_OK,
+            sm::REJECTED,
+        ] {
+            m.count(name, 7);
+        }
+        for name in [sm::REQUEST_MICROS, sm::QUEUE_WAIT_MICROS] {
+            m.observe(name, 1234);
+        }
+        assert_eq!(pass_timing_table(&m), baseline);
+        assert!(baseline.contains("schedule"));
+    }
 }

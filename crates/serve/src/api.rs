@@ -1,0 +1,632 @@
+//! Request/response vocabulary of the service: typed requests parsed
+//! from JSON bodies, and deterministic JSON response bodies.
+//!
+//! Response bodies are built with the deterministic `ObjWriter` (fixed
+//! key order, no wall-clock fields), so the same request always yields
+//! the same bytes — the property the content-hash cache and the
+//! byte-identical-to-in-process acceptance test both rely on.
+
+use sentinel_core::{CompileSession, SchedOptions, SchedStats, SchedulingModel};
+use sentinel_isa::MachineDesc;
+use sentinel_prog::{asm, Function};
+use sentinel_sim::{Engine, RunOutcome, SimConfig, SimSession, SpeculationSemantics};
+use sentinel_trace::json::{self, ObjWriter, Value};
+use sentinel_workloads::Workload;
+
+use crate::cache::fnv64;
+
+/// Largest issue width a request may ask for (guards allocation).
+pub const MAX_WIDTH: usize = 64;
+
+/// A request the service rejected, with the HTTP status to answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status (400 for everything a client got wrong).
+    pub status: u16,
+    /// Human-readable description (becomes `{"error":...}`).
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 with the given message.
+    pub fn bad(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses a scheduling-model spec (`R`, `G`, `S`, `T`, `B<k>`, or the
+/// long names the CLI accepts).
+pub fn parse_model(s: &str) -> Result<SchedulingModel, String> {
+    match s {
+        "R" | "restricted" => Ok(SchedulingModel::RestrictedPercolation),
+        "G" | "general" => Ok(SchedulingModel::GeneralPercolation),
+        "S" | "sentinel" => Ok(SchedulingModel::Sentinel),
+        "T" | "stores" => Ok(SchedulingModel::SentinelStores),
+        other => match other.strip_prefix('B').and_then(|k| k.parse::<u8>().ok()) {
+            Some(levels) => Ok(SchedulingModel::Boosting(levels)),
+            None => Err(format!("unknown model '{other}' (R, G, S, T, or B<k>)")),
+        },
+    }
+}
+
+/// The canonical spelling of a model in responses and cache keys.
+pub fn model_str(model: SchedulingModel) -> String {
+    match model {
+        SchedulingModel::Boosting(k) => format!("B{k}"),
+        m => m.tag().to_string(),
+    }
+}
+
+/// The speculative-fault semantics each scheduling model runs under
+/// (mirrors the evaluation harness).
+fn semantics_for(model: SchedulingModel) -> SpeculationSemantics {
+    match model {
+        SchedulingModel::GeneralPercolation => SpeculationSemantics::Silent,
+        _ => SpeculationSemantics::SentinelTags,
+    }
+}
+
+/// Shared model/width/recovery knobs of both endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Knobs {
+    /// Scheduling model (default S).
+    pub model: SchedulingModel,
+    /// Issue width (default 8, max [`MAX_WIDTH`]).
+    pub width: usize,
+    /// Enforce the §3.7 recovery constraints.
+    pub recovery: bool,
+}
+
+impl Default for Knobs {
+    fn default() -> Knobs {
+        Knobs {
+            model: SchedulingModel::Sentinel,
+            width: 8,
+            recovery: false,
+        }
+    }
+}
+
+/// `POST /v1/compile`: asm text in, schedule statistics out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileRequest {
+    /// Assembly source text.
+    pub source: String,
+    /// Model/width/recovery.
+    pub knobs: Knobs,
+    /// Run the inter-pass IR verifier between stages.
+    pub verify_passes: bool,
+    /// Include the scheduled program (`"asm"`) in the response.
+    pub emit: bool,
+}
+
+/// What a simulate request runs: a suite benchmark or inline source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Program {
+    /// A benchmark from the paper's 17-program suite, by name.
+    Suite(String),
+    /// Inline assembly source.
+    Source(String),
+}
+
+/// `POST /v1/simulate`: workload + machine knobs in, `Measured`-style
+/// statistics out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulateRequest {
+    /// What to run.
+    pub program: Program,
+    /// Model/width/recovery.
+    pub knobs: Knobs,
+    /// Execution engine (default fast).
+    pub engine: Engine,
+    /// Memory regions to map before running inline source:
+    /// `(start, len)`.
+    pub map: Vec<(u64, u64)>,
+    /// Initial memory words for inline source: `(addr, bits)`.
+    pub word: Vec<(u64, u64)>,
+}
+
+fn expect_object<'v>(v: &'v Value, known: &[&str]) -> Result<&'v [(String, Value)], ApiError> {
+    let Value::Object(members) = v else {
+        return Err(ApiError::bad("request body must be a JSON object"));
+    };
+    for (k, _) in members {
+        if !known.contains(&k.as_str()) {
+            return Err(ApiError::bad(format!("unknown field '{k}'")));
+        }
+    }
+    Ok(members)
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, ApiError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ApiError::bad(format!("'{key}' must be a string"))),
+    }
+}
+
+fn opt_bool(v: &Value, key: &str) -> Result<bool, ApiError> {
+    match v.get(key) {
+        None => Ok(false),
+        Some(f) => f
+            .as_bool()
+            .ok_or_else(|| ApiError::bad(format!("'{key}' must be a boolean"))),
+    }
+}
+
+fn knobs_from(v: &Value) -> Result<Knobs, ApiError> {
+    let mut knobs = Knobs::default();
+    if let Some(m) = opt_str(v, "model")? {
+        knobs.model = parse_model(&m).map_err(ApiError::bad)?;
+    }
+    if let Some(w) = v.get("width") {
+        let w = w
+            .as_u64()
+            .filter(|&w| (1..=MAX_WIDTH as u64).contains(&w))
+            .ok_or_else(|| {
+                ApiError::bad(format!("'width' must be an integer in 1..={MAX_WIDTH}"))
+            })?;
+        knobs.width = w as usize;
+    }
+    knobs.recovery = opt_bool(v, "recovery")?;
+    Ok(knobs)
+}
+
+fn pairs_from(v: &Value, key: &str) -> Result<Vec<(u64, u64)>, ApiError> {
+    let Some(field) = v.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = field
+        .as_array()
+        .ok_or_else(|| ApiError::bad(format!("'{key}' must be an array of [a, b] pairs")))?;
+    items
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|p| p.len() == 2);
+            let nums: Option<(u64, u64)> = pair.and_then(|p| {
+                Some((
+                    p[0].as_i64().map(|n| n as u64)?,
+                    p[1].as_i64().map(|n| n as u64)?,
+                ))
+            });
+            nums.ok_or_else(|| ApiError::bad(format!("'{key}' entries must be [int, int] pairs")))
+        })
+        .collect()
+}
+
+impl CompileRequest {
+    /// Parses a compile request from a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// 400 on malformed JSON, unknown fields, or bad knob values.
+    pub fn from_json(body: &str) -> Result<CompileRequest, ApiError> {
+        let v = json::parse(body).map_err(|e| ApiError::bad(e.to_string()))?;
+        expect_object(
+            &v,
+            &[
+                "source",
+                "model",
+                "width",
+                "recovery",
+                "verify_passes",
+                "emit",
+            ],
+        )?;
+        let source = opt_str(&v, "source")?
+            .ok_or_else(|| ApiError::bad("missing required field 'source'"))?;
+        Ok(CompileRequest {
+            source,
+            knobs: knobs_from(&v)?,
+            verify_passes: opt_bool(&v, "verify_passes")?,
+            emit: opt_bool(&v, "emit")?,
+        })
+    }
+
+    /// The content-hash cache key: source folded to FNV-1a + length,
+    /// every knob spelled out.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "compile|src={:016x}:{}|model={}|w={}|rec={}|vp={}|emit={}",
+            fnv64(self.source.as_bytes()),
+            self.source.len(),
+            model_str(self.knobs.model),
+            self.knobs.width,
+            self.knobs.recovery,
+            self.verify_passes,
+            self.emit,
+        )
+    }
+}
+
+impl SimulateRequest {
+    /// Parses a simulate request from a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// 400 on malformed JSON, unknown fields, bad knob values, or a
+    /// body naming both (or neither of) `suite` and `source`.
+    pub fn from_json(body: &str) -> Result<SimulateRequest, ApiError> {
+        let v = json::parse(body).map_err(|e| ApiError::bad(e.to_string()))?;
+        expect_object(
+            &v,
+            &[
+                "suite", "source", "model", "width", "recovery", "engine", "map", "word",
+            ],
+        )?;
+        let program = match (opt_str(&v, "suite")?, opt_str(&v, "source")?) {
+            (Some(name), None) => Program::Suite(name),
+            (None, Some(text)) => Program::Source(text),
+            _ => {
+                return Err(ApiError::bad(
+                    "exactly one of 'suite' or 'source' is required",
+                ))
+            }
+        };
+        let engine = match opt_str(&v, "engine")? {
+            None => Engine::default(),
+            Some(s) => s.parse::<Engine>().map_err(ApiError::bad)?,
+        };
+        let (map, word) = (pairs_from(&v, "map")?, pairs_from(&v, "word")?);
+        if matches!(program, Program::Suite(_)) && (!map.is_empty() || !word.is_empty()) {
+            return Err(ApiError::bad(
+                "'map'/'word' only apply to inline 'source' programs",
+            ));
+        }
+        Ok(SimulateRequest {
+            program,
+            knobs: knobs_from(&v)?,
+            engine,
+            map,
+            word,
+        })
+    }
+
+    /// The content-hash cache key.
+    pub fn cache_key(&self) -> String {
+        let program = match &self.program {
+            Program::Suite(name) => format!("suite={name}"),
+            Program::Source(text) => {
+                format!("src={:016x}:{}", fnv64(text.as_bytes()), text.len())
+            }
+        };
+        format!(
+            "simulate|{program}|model={}|w={}|rec={}|engine={}|map={:016x}|word={:016x}",
+            model_str(self.knobs.model),
+            self.knobs.width,
+            self.knobs.recovery,
+            self.engine,
+            fnv64(format!("{:?}", self.map).as_bytes()),
+            fnv64(format!("{:?}", self.word).as_bytes()),
+        )
+    }
+}
+
+/// The machine description a request schedules for and runs on: the
+/// paper's §5.1 parameters at the requested width.
+fn mdes_for(knobs: &Knobs) -> MachineDesc {
+    MachineDesc::builder().issue_width(knobs.width).build()
+}
+
+fn sched_options(knobs: &Knobs, verify_passes: bool) -> SchedOptions {
+    let mut opts = SchedOptions::new(knobs.model);
+    if knobs.recovery {
+        opts = opts.with_recovery();
+    }
+    if verify_passes {
+        opts = opts.with_verify_passes();
+    }
+    opts
+}
+
+fn write_sched_stats(w: &mut ObjWriter<'_>, s: &SchedStats) {
+    let mut sched = String::new();
+    {
+        let mut sw = ObjWriter::new(&mut sched);
+        sw.u64("blocks", s.blocks as u64)
+            .u64("speculated", s.speculated as u64)
+            .u64("checks", s.checks_inserted as u64)
+            .u64("confirms", s.confirms_inserted as u64)
+            .u64("pinned_stores", s.pinned_stores as u64)
+            .u64("renames", s.renames as u64)
+            .u64("clear_tags", s.clear_tags as u64);
+        sw.close();
+    }
+    w.raw("sched", &sched);
+}
+
+/// Compiles a request end to end and serializes the response body.
+///
+/// # Errors
+///
+/// 400 for parse or schedule failures — both mean the *program* was
+/// unschedulable, not that the service broke.
+pub fn compile_response(req: &CompileRequest) -> Result<String, ApiError> {
+    let func = asm::parse(&req.source).map_err(|e| ApiError::bad(format!("parse: {e}")))?;
+    let mdes = mdes_for(&req.knobs);
+    let mut session = CompileSession::for_function(&func)
+        .mdes(&mdes)
+        .options(sched_options(&req.knobs, req.verify_passes))
+        .build();
+    let scheduled = session
+        .run()
+        .map_err(|e| ApiError::bad(format!("schedule: {e}")))?;
+
+    let mut passes = String::from("[");
+    for (i, report) in session.log().reports().iter().enumerate() {
+        if i > 0 {
+            passes.push(',');
+        }
+        let mut one = ObjWriter::new(&mut passes);
+        one.str("name", report.name).u64("runs", report.runs as u64);
+        one.close();
+    }
+    passes.push(']');
+
+    let mut out = String::new();
+    let mut w = ObjWriter::new(&mut out);
+    w.str("model", &model_str(req.knobs.model))
+        .u64("width", req.knobs.width as u64)
+        .bool("verified", session.verifies())
+        .u64("pass_runs", session.log().total_runs());
+    write_sched_stats(&mut w, &scheduled.stats);
+    w.raw("passes", &passes);
+    if req.emit {
+        w.str("asm", &asm::print(&scheduled.func));
+    }
+    w.close();
+    Ok(out)
+}
+
+/// Simulates a request end to end (schedule, then run) and serializes
+/// the response body.
+///
+/// This is the "in-process" function the acceptance test compares HTTP
+/// responses against, byte for byte.
+///
+/// # Errors
+///
+/// 400 for unknown suite names, parse/schedule failures, and runs the
+/// simulator itself rejects.
+pub fn simulate_response(
+    req: &SimulateRequest,
+    workloads: &[Workload],
+) -> Result<String, ApiError> {
+    // Resolve the program. Inline source parses into `parsed` so the
+    // borrow below has an owner; a suite workload brings its own memory
+    // image and name.
+    let parsed: Option<Function> = match &req.program {
+        Program::Source(text) => {
+            Some(asm::parse(text).map_err(|e| ApiError::bad(format!("parse: {e}")))?)
+        }
+        Program::Suite(_) => None,
+    };
+    // (function, bench label, mapped regions, initial words)
+    type Resolved<'a> = (&'a Function, String, &'a [(u64, u64)], &'a [(u64, u64)]);
+    let (func, bench, map, word): Resolved = match &req.program {
+        Program::Suite(name) => {
+            let w = workloads
+                .iter()
+                .find(|w| &w.name == name)
+                .ok_or_else(|| ApiError::bad(format!("unknown suite benchmark '{name}'")))?;
+            (&w.func, w.name.clone(), &w.mem_regions, &w.mem_words)
+        }
+        Program::Source(_) => {
+            let func = parsed.as_ref().expect("parsed above");
+            (func, format!("@{}", func.name()), &req.map, &req.word)
+        }
+    };
+
+    let mdes = mdes_for(&req.knobs);
+    let scheduled = {
+        let mut session = CompileSession::for_function(func)
+            .mdes(&mdes)
+            .options(sched_options(&req.knobs, false))
+            .build();
+        session
+            .run()
+            .map_err(|e| ApiError::bad(format!("schedule: {e}")))?
+    };
+
+    let mut cfg = SimConfig::for_mdes(mdes);
+    cfg.semantics = semantics_for(req.knobs.model);
+    let mut m = SimSession::for_function(&scheduled.func)
+        .config(cfg)
+        .engine(req.engine)
+        .build();
+    for &(start, len) in map {
+        m.memory_mut().map_region(start, len);
+    }
+    for &(addr, bits) in word {
+        m.memory_mut()
+            .write_word(addr, bits)
+            .map_err(|e| ApiError::bad(format!("word {addr:#x}: {e}")))?;
+    }
+    let outcome = m
+        .run()
+        .map_err(|e| ApiError::bad(format!("simulation: {e}")))?;
+    let outcome_str = match outcome {
+        RunOutcome::Halted => "halted".to_string(),
+        RunOutcome::Trapped(t) => format!("trapped: {t}"),
+    };
+
+    let stats = *m.stats();
+    let mut stalls = String::new();
+    {
+        let mut sw = ObjWriter::new(&mut stalls);
+        for (reason, n) in stats.stalls.iter() {
+            if n > 0 {
+                sw.u64(reason.name(), n);
+            }
+        }
+        sw.close();
+    }
+
+    let mut out = String::new();
+    let mut w = ObjWriter::new(&mut out);
+    w.str("bench", &bench)
+        .str("model", &model_str(req.knobs.model))
+        .u64("width", req.knobs.width as u64)
+        .str("engine", &req.engine.to_string())
+        .str("outcome", &outcome_str)
+        .u64("cycles", stats.cycles)
+        .u64("issuing_cycles", stats.issuing_cycles)
+        .u64("dyn_insns", stats.dyn_insns)
+        .u64("dyn_speculative", stats.dyn_speculative)
+        .u64("dyn_checks", stats.dyn_checks)
+        .u64("dyn_confirms", stats.dyn_confirms)
+        .u64("tag_sets", stats.tag_sets)
+        .u64("tag_propagations", stats.tag_propagations)
+        .u64("branches", stats.branches)
+        .u64("branches_taken", stats.branches_taken)
+        .u64("loads", stats.loads)
+        .u64("stores", stats.stores)
+        .u64("sb_forwards", stats.sb_forwards)
+        .raw("ipc", &format!("{:.4}", stats.ipc()))
+        .raw("stalls", &stalls);
+    write_sched_stats(&mut w, &scheduled.stats);
+    w.close();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP: &str = "\
+func @t {
+entry:
+    li r1, 0
+    li r2, 4
+loop:
+    add r1, r1, r2
+    addi r2, r2, -1
+    bne r2, r0, loop
+done:
+    halt
+}
+";
+
+    #[test]
+    fn parses_compile_requests_with_defaults() {
+        let req =
+            CompileRequest::from_json(r#"{"source":"func @f\nblock b0:\n  halt\n"}"#).unwrap();
+        assert_eq!(req.knobs.model, SchedulingModel::Sentinel);
+        assert_eq!(req.knobs.width, 8);
+        assert!(!req.verify_passes && !req.emit && !req.knobs.recovery);
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_bad_knobs() {
+        for body in [
+            r#"{"source":"x","typo":1}"#,
+            r#"{"source":"x","width":0}"#,
+            r#"{"source":"x","width":65}"#,
+            r#"{"source":"x","model":"Q"}"#,
+            r#"{"source":"x","model":"Bx"}"#,
+            r#"[1,2]"#,
+            r#"{"model":"S"}"#,
+            r#"not json"#,
+        ] {
+            let err = CompileRequest::from_json(body).unwrap_err();
+            assert_eq!(err.status, 400, "{body}");
+        }
+    }
+
+    #[test]
+    fn simulate_requires_exactly_one_program() {
+        assert!(SimulateRequest::from_json(r#"{"model":"S"}"#).is_err());
+        assert!(SimulateRequest::from_json(r#"{"suite":"a","source":"b"}"#).is_err());
+        assert!(SimulateRequest::from_json(r#"{"suite":"a","map":[[0,8]]}"#).is_err());
+        let req = SimulateRequest::from_json(r#"{"suite":"wc","engine":"interp"}"#).unwrap();
+        assert_eq!(req.engine, Engine::Interpreter);
+        assert_eq!(req.program, Program::Suite("wc".into()));
+    }
+
+    #[test]
+    fn cache_keys_separate_distinct_requests() {
+        let a =
+            CompileRequest::from_json(&format!(r#"{{"source":{},"model":"S"}}"#, json_str(LOOP)))
+                .unwrap();
+        let b =
+            CompileRequest::from_json(&format!(r#"{{"source":{},"model":"G"}}"#, json_str(LOOP)))
+                .unwrap();
+        assert_ne!(a.cache_key(), b.cache_key());
+        let a2 =
+            CompileRequest::from_json(&format!(r#"{{"source":{},"model":"S"}}"#, json_str(LOOP)))
+                .unwrap();
+        assert_eq!(a.cache_key(), a2.cache_key());
+    }
+
+    #[test]
+    fn compile_response_is_deterministic_json() {
+        let req = CompileRequest::from_json(&format!(
+            r#"{{"source":{},"verify_passes":true,"emit":true}}"#,
+            json_str(LOOP)
+        ))
+        .unwrap();
+        let a = compile_response(&req).unwrap();
+        let b = compile_response(&req).unwrap();
+        assert_eq!(a, b);
+        let v = json::parse(&a).unwrap();
+        assert_eq!(v.get("model").and_then(Value::as_str), Some("S"));
+        assert_eq!(v.get("verified").and_then(Value::as_bool), Some(true));
+        assert!(v.get("sched").and_then(|s| s.get("blocks")).is_some());
+        assert!(v.get("passes").and_then(Value::as_array).is_some());
+        let asm_text = v.get("asm").and_then(Value::as_str).unwrap();
+        asm::parse(asm_text).unwrap();
+    }
+
+    #[test]
+    fn simulate_response_runs_inline_source() {
+        let req = SimulateRequest::from_json(&format!(
+            r#"{{"source":{},"model":"S","width":4}}"#,
+            json_str(LOOP)
+        ))
+        .unwrap();
+        let body = simulate_response(&req, &[]).unwrap();
+        let v = json::parse(&body).unwrap();
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("@t"));
+        assert_eq!(v.get("outcome").and_then(Value::as_str), Some("halted"));
+        assert!(v.get("cycles").and_then(Value::as_u64).unwrap() > 0);
+        assert!(v.get("ipc").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn simulate_response_engines_agree() {
+        let mk = |engine: &str| {
+            SimulateRequest::from_json(&format!(
+                r#"{{"source":{},"engine":"{engine}"}}"#,
+                json_str(LOOP)
+            ))
+            .unwrap()
+        };
+        let fast = simulate_response(&mk("fast"), &[]).unwrap();
+        let interp = simulate_response(&mk("interpreter"), &[]).unwrap();
+        // Same run, modulo the engine name itself.
+        assert_eq!(
+            fast.replace("\"engine\":\"fast\"", ""),
+            interp.replace("\"engine\":\"interpreter\"", "")
+        );
+    }
+
+    #[test]
+    fn unknown_suite_is_client_error() {
+        let req = SimulateRequest::from_json(r#"{"suite":"nope"}"#).unwrap();
+        let err = simulate_response(&req, &[]).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("nope"));
+    }
+
+    fn json_str(s: &str) -> String {
+        let mut out = String::new();
+        json::push_str_lit(&mut out, s);
+        out
+    }
+}

@@ -1,0 +1,133 @@
+//! Content-hash result cache for compile/simulate responses.
+//!
+//! The service's work is deterministic: the same (source, model, width,
+//! engine, knobs) always produces the same response body. The cache
+//! keys on exactly that tuple — the source text folded to an FNV-1a
+//! hash plus its length, the knobs spelled out — and stores the
+//! serialized body, giving repeat requests `serve.cache.hit` semantics
+//! like the grid engine's `grid.cells.*`.
+//!
+//! Only successful (200) bodies are cached; errors are cheap to
+//! recompute and must never pin a transient failure. Capacity is
+//! bounded: at the limit, fresh results are served but not retained
+//! (`serve.cache.full`), so a hostile request stream degrades hit rate,
+//! not memory.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use sentinel_trace::serve::{CACHE_FULL, CACHE_HIT, CACHE_MISS};
+use sentinel_trace::SharedMetrics;
+
+/// 64-bit FNV-1a over `bytes` (the content-hash half of a cache key).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bounded memo table from request cache-key to response body.
+#[derive(Debug)]
+pub struct ResponseCache {
+    map: Mutex<HashMap<String, String>>,
+    capacity: usize,
+    metrics: SharedMetrics,
+}
+
+impl ResponseCache {
+    /// An empty cache holding at most `capacity` responses, reporting
+    /// into `metrics`.
+    pub fn new(capacity: usize, metrics: SharedMetrics) -> ResponseCache {
+        ResponseCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            metrics,
+        }
+    }
+
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<String, String>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The cached body for `key`, bumping hit/miss counters.
+    pub fn lookup(&self, key: &str) -> Option<String> {
+        let found = self.map().get(key).cloned();
+        self.metrics.count(
+            if found.is_some() {
+                CACHE_HIT
+            } else {
+                CACHE_MISS
+            },
+            1,
+        );
+        found
+    }
+
+    /// Retains `body` for `key` if there is room (and counts
+    /// `serve.cache.full` if not). Two workers racing the same missing
+    /// key both compute and the second insert wins — same body either
+    /// way, since responses are deterministic.
+    pub fn insert(&self, key: String, body: String) {
+        let mut map = self.map();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            drop(map);
+            self.metrics.count(CACHE_FULL, 1);
+            return;
+        }
+        map.insert(key, body);
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.map().len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_content_sensitive() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64(b"ld r1, 0(r2)"), fnv64(b"ld r1, 8(r2)"));
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let metrics = SharedMetrics::new();
+        let c = ResponseCache::new(8, metrics.clone());
+        assert!(c.is_empty());
+        assert!(c.lookup("k1").is_none());
+        c.insert("k1".into(), "body".into());
+        assert_eq!(c.lookup("k1").as_deref(), Some("body"));
+        assert_eq!(metrics.counter(CACHE_HIT), 1);
+        assert_eq!(metrics.counter(CACHE_MISS), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_retention_not_service() {
+        let metrics = SharedMetrics::new();
+        let c = ResponseCache::new(2, metrics.clone());
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        c.insert("c".into(), "3".into());
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup("c").is_none());
+        assert_eq!(metrics.counter(CACHE_FULL), 1);
+        // Overwriting a resident key is not an eviction problem.
+        c.insert("a".into(), "1'".into());
+        assert_eq!(c.lookup("a").as_deref(), Some("1'"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The `serve` command-line interface.
+//!
+//! Shared between the standalone `sentinel-serve` binary entry point
+//! and the `sentinel serve` subcommand. Startup prints one readiness
+//! line to stderr (CI greps for it before issuing requests); SIGINT
+//! triggers a graceful drain, and the final metrics snapshot goes to
+//! stderr on the way out.
+
+use std::time::Duration;
+
+use crate::server::{self, ServerConfig};
+use crate::signal;
+
+/// Exit status for a usage error (unknown flag or bad value).
+pub const USAGE_STATUS: i32 = 2;
+
+const USAGE: &str = "usage: serve [--addr HOST] [--port N] [--workers N] [--queue N] \
+                     [--cache N] [--version]";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    addr: String,
+    port: u16,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    version: bool,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let defaults = ServerConfig::default();
+    let mut cli = Cli {
+        addr: "127.0.0.1".to_string(),
+        port: 7077,
+        workers: defaults.workers,
+        queue: defaults.queue_depth,
+        cache: defaults.cache_capacity,
+        version: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires a value"))?
+                .parse::<usize>()
+                .map_err(|_| format!("{flag} requires an unsigned integer"))
+        };
+        match a.as_str() {
+            "--version" => cli.version = true,
+            "--addr" => {
+                cli.addr = it
+                    .next()
+                    .ok_or_else(|| "--addr requires a value".to_string())?
+                    .clone();
+            }
+            "--port" => {
+                cli.port = num("--port")?
+                    .try_into()
+                    .map_err(|_| "--port must fit in 16 bits".to_string())?;
+            }
+            "--workers" => cli.workers = num("--workers")?.max(1),
+            "--queue" => cli.queue = num("--queue")?.max(1),
+            "--cache" => cli.cache = num("--cache")?,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Runs `serve` with the given arguments (excluding the program /
+/// subcommand name). Returns the process exit status.
+pub fn run(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            eprintln!("{USAGE}");
+            return USAGE_STATUS;
+        }
+    };
+    if cli.version {
+        println!("sentinel-serve {}", env!("CARGO_PKG_VERSION"));
+        return 0;
+    }
+
+    signal::install();
+    let cfg = ServerConfig {
+        addr: format!("{}:{}", cli.addr, cli.port),
+        workers: cli.workers,
+        queue_depth: cli.queue,
+        cache_capacity: cli.cache,
+        ..ServerConfig::default()
+    };
+    let handle = match server::start(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("serve: bind {}:{}: {e}", cli.addr, cli.port);
+            return 1;
+        }
+    };
+    eprintln!(
+        "sentinel-serve listening on {} (workers={}, queue={})",
+        handle.addr(),
+        cli.workers,
+        cli.queue
+    );
+
+    while !signal::received() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("sentinel-serve draining (SIGINT)");
+    let final_metrics = handle.shutdown();
+    eprint!("{}", final_metrics.render());
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_with_defaults() {
+        let cli = parse(&args(&["--port", "0", "--workers", "3"])).unwrap();
+        assert_eq!(cli.port, 0);
+        assert_eq!(cli.workers, 3);
+        assert_eq!(cli.addr, "127.0.0.1");
+        assert!(!cli.version);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_flags() {
+        assert!(parse(&args(&["--nope"])).is_err());
+        assert!(parse(&args(&["--port"])).is_err());
+        assert!(parse(&args(&["--port", "many"])).is_err());
+        assert!(parse(&args(&["--port", "70777"])).is_err());
+        assert_eq!(run(&args(&["--nope"])), USAGE_STATUS);
+    }
+
+    #[test]
+    fn version_flag_short_circuits() {
+        assert_eq!(run(&args(&["--version"])), 0);
+    }
+}

@@ -1,0 +1,417 @@
+//! The service itself: acceptor thread, request routing, and lifecycle.
+//!
+//! One accepted connection is one unit of work. The acceptor owns
+//! admission control (counting connections, bouncing to `429` when the
+//! worker pool's queue is full); workers own everything else (parse,
+//! route, compute or hit the cache, respond). Shutdown stops intake
+//! first, then drains the queue, so every admitted request gets an
+//! answer.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sentinel_trace::serve::{
+    CONNECTIONS, PANICS, REJECTED, REQUESTS, REQUEST_MICROS, RESPONSES_CLIENT_ERROR, RESPONSES_OK,
+    RESPONSES_SERVER_ERROR,
+};
+use sentinel_trace::{Metrics, SharedMetrics};
+use sentinel_workloads::Workload;
+
+use crate::api::{self, CompileRequest, SimulateRequest};
+use crate::cache::ResponseCache;
+use crate::http::{self, ReadError, Request, Response};
+use crate::pool::WorkerPool;
+use crate::prom;
+
+/// Test/diagnostic hook run on every parsed request, inside the same
+/// `catch_unwind` as the router — a hook that panics exercises the
+/// 500-on-this-request-only path.
+pub type JobHook = Arc<dyn Fn(&Request) + Send + Sync>;
+
+/// Service tuning knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads servicing connections.
+    pub workers: usize,
+    /// Bounded queue depth between acceptor and workers.
+    pub queue_depth: usize,
+    /// Response-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Per-request body limit in bytes.
+    pub max_body: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Optional per-request hook (tests inject panics through this).
+    pub job_hook: Option<JobHook>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 1024,
+            max_body: http::DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            job_hook: None,
+        }
+    }
+}
+
+/// Routes parsed requests to endpoint logic. Public so tests can
+/// compare an HTTP response byte-for-byte against the same route
+/// evaluated in-process.
+pub struct Handler {
+    metrics: SharedMetrics,
+    cache: ResponseCache,
+    workloads: Arc<Vec<Workload>>,
+}
+
+impl Handler {
+    /// A handler with its own cache, reporting into `metrics`, serving
+    /// suite lookups from `workloads`.
+    pub fn new(
+        metrics: SharedMetrics,
+        cache_capacity: usize,
+        workloads: Arc<Vec<Workload>>,
+    ) -> Handler {
+        Handler {
+            cache: ResponseCache::new(cache_capacity, metrics.clone()),
+            metrics,
+            workloads,
+        }
+    }
+
+    /// Dispatches one request to its endpoint.
+    pub fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+            ("GET", "/metrics") => Response::text(200, prom::render(&self.metrics.snapshot())),
+            ("POST", "/v1/compile") => self.compile(req),
+            ("POST", "/v1/simulate") => self.simulate(req),
+            (_, "/healthz") | (_, "/metrics") => Response::method_not_allowed("GET"),
+            (_, "/v1/compile") | (_, "/v1/simulate") => Response::method_not_allowed("POST"),
+            (_, path) => Response::not_found(path),
+        }
+    }
+
+    /// Runs `build` under the response cache: serves a prior body on a
+    /// key match, computes and retains on a miss (200 bodies only).
+    fn cached(
+        &self,
+        key: String,
+        build: impl FnOnce() -> Result<String, api::ApiError>,
+    ) -> Response {
+        if let Some(body) = self.cache.lookup(&key) {
+            return Response::json(200, body);
+        }
+        match build() {
+            Ok(body) => {
+                self.cache.insert(key, body.clone());
+                Response::json(200, body)
+            }
+            Err(e) => Response::json(e.status, http::error_body(&e.message)),
+        }
+    }
+
+    fn compile(&self, req: &Request) -> Response {
+        let Some(body) = req.body_str() else {
+            return Response::bad_request("body must be UTF-8");
+        };
+        match CompileRequest::from_json(body) {
+            Ok(cr) => self.cached(cr.cache_key(), || api::compile_response(&cr)),
+            Err(e) => Response::json(e.status, http::error_body(&e.message)),
+        }
+    }
+
+    fn simulate(&self, req: &Request) -> Response {
+        let Some(body) = req.body_str() else {
+            return Response::bad_request("body must be UTF-8");
+        };
+        match SimulateRequest::from_json(body) {
+            Ok(sr) => self.cached(sr.cache_key(), || {
+                api::simulate_response(&sr, &self.workloads)
+            }),
+            Err(e) => Response::json(e.status, http::error_body(&e.message)),
+        }
+    }
+}
+
+/// A running service: bound address, shared metrics, and the threads
+/// behind them.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: SharedMetrics,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+/// Starts the service per `cfg`, spawning the acceptor and worker
+/// threads.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let metrics = SharedMetrics::new();
+    let handler = Arc::new(Handler::new(
+        metrics.clone(),
+        cfg.cache_capacity,
+        sentinel_workloads::suite::shared(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let conn_metrics = metrics.clone();
+    let hook = cfg.job_hook.clone();
+    let max_body = cfg.max_body;
+    let pool = WorkerPool::new(
+        cfg.workers,
+        cfg.queue_depth,
+        metrics.clone(),
+        Arc::new(move |stream| {
+            serve_connection(stream, &handler, &conn_metrics, hook.as_ref(), max_body);
+        }),
+    );
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let metrics = metrics.clone();
+        let (read_timeout, write_timeout) = (cfg.read_timeout, cfg.write_timeout);
+        let pool_ref = PoolRef::new(&pool);
+        std::thread::Builder::new()
+            .name("serve-acceptor".to_string())
+            .spawn(move || {
+                accept_loop(
+                    &listener,
+                    &stop,
+                    &metrics,
+                    &pool_ref,
+                    read_timeout,
+                    write_timeout,
+                );
+            })
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        metrics,
+        stop,
+        acceptor: Some(acceptor),
+        pool: Some(pool),
+    })
+}
+
+/// A clonable submit-only view of the pool for the acceptor thread
+/// (the pool itself must stay with the handle so shutdown can join).
+struct PoolRef {
+    inner: Arc<dyn Fn(TcpStream) -> Result<(), TcpStream> + Send + Sync>,
+}
+
+impl PoolRef {
+    fn new(pool: &WorkerPool) -> PoolRef {
+        let submit = pool.submitter();
+        PoolRef { inner: submit }
+    }
+
+    fn try_submit(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        (self.inner)(stream)
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    metrics: &SharedMetrics,
+    pool: &PoolRef,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                metrics.count(CONNECTIONS, 1);
+                // Workers use blocking reads with deadlines; the
+                // nonblocking flag is only for the accept loop.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_write_timeout(Some(write_timeout));
+                if let Err(mut bounced) = pool.try_submit(stream) {
+                    metrics.count(REJECTED, 1);
+                    metrics.count(RESPONSES_CLIENT_ERROR, 1);
+                    let _ = http::write_response(&mut bounced, &Response::busy(1));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: &Handler,
+    metrics: &SharedMetrics,
+    hook: Option<&JobHook>,
+    max_body: usize,
+) {
+    let started = Instant::now();
+    let resp = match http::read_request(&mut stream, max_body) {
+        Ok(req) => {
+            metrics.count(REQUESTS, 1);
+            match catch_unwind(AssertUnwindSafe(|| {
+                if let Some(hook) = hook {
+                    hook(&req);
+                }
+                handler.route(&req)
+            })) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    metrics.count(PANICS, 1);
+                    Response::internal("request handler panicked")
+                }
+            }
+        }
+        Err(ReadError::Bad(resp)) => resp,
+        // The peer vanished or timed out mid-request: nothing to answer.
+        Err(ReadError::Io(_)) => return,
+    };
+    match resp.status {
+        200..=299 => metrics.count(RESPONSES_OK, 1),
+        400..=499 => metrics.count(RESPONSES_CLIENT_ERROR, 1),
+        _ => metrics.count(RESPONSES_SERVER_ERROR, 1),
+    }
+    let _ = http::write_response(&mut stream, &resp);
+    metrics.observe(REQUEST_MICROS, started.elapsed().as_micros() as u64);
+}
+
+impl ServerHandle {
+    /// The bound address (port resolved if `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service's shared metrics registry.
+    pub fn metrics(&self) -> SharedMetrics {
+        self.metrics.clone()
+    }
+
+    /// Stops accepting, drains every queued connection, joins all
+    /// threads, and returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> Metrics {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthz_and_metrics_round_trip() {
+        let handle = start(test_config()).unwrap();
+        let addr = handle.addr().to_string();
+        let health = client::get(&addr, "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body, "{\"status\":\"ok\"}");
+        let metrics = client::get(&addr, "/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        assert!(
+            metrics.body.contains("serve_http_connections"),
+            "{}",
+            metrics.body
+        );
+        let final_metrics = handle.shutdown();
+        assert!(final_metrics.counter(CONNECTIONS) >= 2);
+        assert_eq!(final_metrics.counter(RESPONSES_OK), 2);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_get_404_405() {
+        let handle = start(test_config()).unwrap();
+        let addr = handle.addr().to_string();
+        assert_eq!(client::get(&addr, "/nope").unwrap().status, 404);
+        let r = client::post_json(&addr, "/healthz", "{}").unwrap();
+        assert_eq!(r.status, 405);
+        assert!(r.headers.iter().any(|(n, v)| n == "allow" && v == "GET"));
+        let m = handle.shutdown();
+        assert_eq!(m.counter(RESPONSES_CLIENT_ERROR), 2);
+    }
+
+    #[test]
+    fn malformed_json_is_a_400_not_a_crash() {
+        let handle = start(test_config()).unwrap();
+        let addr = handle.addr().to_string();
+        let r = client::post_json(&addr, "/v1/compile", "{not json").unwrap();
+        assert_eq!(r.status, 400);
+        let r = client::post_json(&addr, "/v1/simulate", "[]").unwrap();
+        assert_eq!(r.status, 400);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn panicking_hook_degrades_to_500_on_that_request_only() {
+        let mut cfg = test_config();
+        cfg.job_hook = Some(Arc::new(|req: &Request| {
+            if req.header("x-test").is_some_and(|v| v == "panic") {
+                panic!("injected");
+            }
+        }));
+        let handle = start(cfg).unwrap();
+        let addr = handle.addr().to_string();
+        let boom = client::request(&addr, "GET", "/healthz", None, &[("x-test", "panic")]).unwrap();
+        assert_eq!(boom.status, 500);
+        // The pool and the service survive; the next request is fine.
+        let ok = client::get(&addr, "/healthz").unwrap();
+        assert_eq!(ok.status, 200);
+        let m = handle.shutdown();
+        assert_eq!(m.counter(PANICS), 1);
+        assert_eq!(m.counter(RESPONSES_SERVER_ERROR), 1);
+    }
+}

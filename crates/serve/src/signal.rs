@@ -1,0 +1,55 @@
+//! SIGINT notification without dependencies: the handler flips one
+//! `AtomicBool`; the serve loop polls it and starts a graceful drain.
+//!
+//! The handler body is a single atomic store — async-signal-safe — and
+//! this is the only module in the crate allowed to use `unsafe` (for
+//! the raw `signal(2)` registration).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT has been received since [`install`].
+pub fn received() -> bool {
+    SIGINT.load(Ordering::SeqCst)
+}
+
+/// Test support: simulate the signal having fired.
+pub fn trigger() {
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler (no-op on non-Unix targets).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::SIGINT;
+    use std::sync::atomic::Ordering;
+
+    // std links libc, so the classic signal(2) registration is
+    // available without any crate dependency.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT.store(true, Ordering::SeqCst);
+    }
+
+    const SIGINT_NUM: i32 = 2;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT_NUM, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}

@@ -1,9 +1,14 @@
-//! Hand-rolled JSON emission helpers (the workspace builds offline, so
-//! no serde). Only what the sinks need: string escaping and a small
-//! object writer with deterministic key order (keys appear in the order
-//! they are pushed).
+//! Hand-rolled JSON emission *and parsing* (the workspace builds
+//! offline, so no serde).
+//!
+//! The emission side is what the sinks need: string escaping and a
+//! small object writer with deterministic key order (keys appear in the
+//! order they are pushed). The parsing side ([`parse`] → [`Value`]) is
+//! what the compile-and-simulate service needs to read request bodies;
+//! it round-trips everything the writer emits (see the round-trip
+//! tests at the bottom of this module).
 
-use std::fmt::Write;
+use std::fmt::{self, Write};
 
 /// Appends `s` to `out` as a JSON string literal (with quotes).
 pub fn push_str_lit(out: &mut String, s: &str) {
@@ -89,6 +94,405 @@ impl<'a> ObjWriter<'a> {
     }
 }
 
+/// A parsed JSON value.
+///
+/// Objects keep key order as written, so `parse` → [`Value::write`]
+/// round-trips byte-identically on canonical (writer-produced) input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without fraction or exponent that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in written key order (later duplicates are kept but
+    /// [`Value::get`] returns the first).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object (first occurrence), if any.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as unsigned, if this is a non-negative
+    /// integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload (integers widen), if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value onto `out`, matching this module's writer:
+    /// same escaping, no whitespace, keys in stored order.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => {
+                let start = out.len();
+                let _ = write!(out, "{x}");
+                // `Display` prints integral floats without a point;
+                // keep the fraction so re-parsing yields `Float` again.
+                if !out[start..].contains(['.', 'e', 'E', 'n', 'i']) {
+                    out.push_str(".0");
+                }
+            }
+            Value::Str(s) => push_str_lit(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_str_lit(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Why a document failed to parse, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting deeper than this is rejected rather than risking a stack
+/// overflow on hostile input (the parser feeds a network service).
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// content not).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] naming the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        text,
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected '{}'", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest run without escapes or terminators in one
+            // slice append (keeps multi-byte UTF-8 intact by never
+            // splitting inside a character: both delimiters are ASCII).
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(&self.text[start..self.pos]);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut s)?;
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, s: &mut String) -> Result<(), JsonError> {
+        let Some(b) = self.peek() else {
+            return Err(self.err("unterminated escape"));
+        };
+        self.pos += 1;
+        match b {
+            b'"' => s.push('"'),
+            b'\\' => s.push('\\'),
+            b'/' => s.push('/'),
+            b'b' => s.push('\u{8}'),
+            b'f' => s.push('\u{c}'),
+            b'n' => s.push('\n'),
+            b'r' => s.push('\r'),
+            b't' => s.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require a paired \uXXXX low half.
+                    if !self.bytes[self.pos..].starts_with(b"\\u") {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    self.pos += 2;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("unpaired surrogate"))?
+                };
+                s.push(c);
+            }
+            other => return Err(self.err(format!("bad escape '\\{}'", other as char))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = &self.text[self.pos..end];
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| self.err(format!("bad \\u escape '{hex}'")))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let lit = &self.text[start..self.pos];
+        if !fractional {
+            if let Ok(n) = lit.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        match lit.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Float(x)),
+            _ => Err(JsonError {
+                offset: start,
+                message: format!("bad number '{lit}'"),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +514,141 @@ mod tests {
             .f64("x", 1.5);
         w.close();
         assert_eq!(s, r#"{"cycle":3,"kind":"issue","ok":true,"x":1.5}"#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(parse(r#""hi""#).unwrap(), Value::Str("hi".into()));
+        assert_eq!(parse(&i64::MAX.to_string()).unwrap(), Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,{"b":null},"x"],"c":{"d":false}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn accessor_types_are_strict() {
+        let v = parse(r#"{"n":3,"s":"x","f":1.5,"neg":-1}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("neg").unwrap().as_u64(), None);
+        assert_eq!(v.get("neg").unwrap().as_i64(), Some(-1));
+        assert_eq!(v.get("s").unwrap().as_u64(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("f").unwrap().as_i64(), None);
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"abc",
+            "1 2",
+            "{\"a\":1,}",
+            "[1]]",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "nan",
+            "1e999",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad:?}");
+        }
+        // Unescaped control characters are invalid JSON.
+        assert!(parse("\"a\u{1}b\"").is_err());
+        // The depth limit trips before the stack does.
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    /// Satellite contract: everything the writer emits, the parser reads
+    /// back — control characters, `\u` escapes, non-ASCII, nesting.
+    #[test]
+    fn writer_parser_string_round_trip() {
+        let cases = [
+            "plain",
+            "quote\" backslash\\ slash/",
+            "newline\n return\r tab\t",
+            "\u{0}\u{1}\u{8}\u{c}\u{1f}",
+            "héllo wörld — ünïcödé",
+            "日本語 русский ελληνικά",
+            "emoji \u{1F600} and astral \u{10348}",
+            "mixed\t\u{7}π\u{1F4A9}\"end",
+        ];
+        for original in cases {
+            let mut lit = String::new();
+            push_str_lit(&mut lit, original);
+            let parsed = parse(&lit).unwrap();
+            assert_eq!(parsed.as_str(), Some(original), "literal {lit}");
+        }
+    }
+
+    #[test]
+    fn parser_reads_escapes_the_writer_never_emits() {
+        // \b \f \/ and \uXXXX (incl. surrogate pairs) are legal input
+        // even though push_str_lit prefers raw or short escapes.
+        let v = parse(r#""\b\f\/\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{8}\u{c}/Aé\u{1F600}"));
+    }
+
+    #[test]
+    fn value_write_round_trips_documents() {
+        let docs = [
+            r#"{"counters":{"alpha":2,"zeta":2},"histograms":{"lat":{"count":1,"sum":4,"max":4}}}"#,
+            r#"[1,-2,3.5,true,false,null,"s\u0000t"]"#,
+            r#"{"nested":[{"a":[[]]},{}],"x":"\u0001ünïcödé\n"}"#,
+            "1.5",
+            r#""日本語\t""#,
+        ];
+        for doc in docs {
+            let v = parse(doc).unwrap();
+            let mut out = String::new();
+            v.write(&mut out);
+            assert_eq!(out, doc);
+            // And parse(write(v)) is the identity on the Value side.
+            assert_eq!(parse(&out).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn float_write_keeps_float_type() {
+        let mut out = String::new();
+        Value::Float(2000.0).write(&mut out);
+        assert_eq!(out, "2000.0");
+        assert_eq!(parse(&out).unwrap(), Value::Float(2000.0));
+    }
+
+    #[test]
+    fn objwriter_output_is_parseable() {
+        let mut s = String::new();
+        let mut w = ObjWriter::new(&mut s);
+        w.u64("n", 3).str("s", "a\"b\nc\u{1}").bool("ok", true);
+        w.close();
+        let v = parse(&s).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\nc\u{1}"));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
     }
 }

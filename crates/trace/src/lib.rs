@@ -47,6 +47,7 @@ pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod serve;
 pub mod sink;
 pub mod stall;
 pub mod timeline;

@@ -267,6 +267,36 @@ mod tests {
         assert!(r.contains("lat"));
     }
 
+    /// `/metrics`, the reproduce stderr tables, and tests all consume
+    /// snapshot/render output; it must be sorted by metric name no
+    /// matter what order instrumentation sites first touched their
+    /// counters and histograms.
+    #[test]
+    fn render_is_insertion_order_independent() {
+        let mut forward = Metrics::new();
+        forward.count("serve.http.requests", 3);
+        forward.count("grid.cells.hit", 1);
+        forward.observe("serve.request.micros", 7);
+        forward.observe("compile.pass.validate.micros", 2);
+
+        let mut backward = Metrics::new();
+        backward.observe("compile.pass.validate.micros", 2);
+        backward.observe("serve.request.micros", 7);
+        backward.count("grid.cells.hit", 1);
+        backward.count("serve.http.requests", 3);
+
+        assert_eq!(forward, backward);
+        assert_eq!(forward.render(), backward.render());
+        assert_eq!(forward.to_json(), backward.to_json());
+        let counter_names: Vec<&str> = forward.counters().map(|(k, _)| k).collect();
+        assert_eq!(counter_names, vec!["grid.cells.hit", "serve.http.requests"]);
+        let hist_names: Vec<&str> = forward.histograms().map(|(k, _)| k).collect();
+        assert_eq!(
+            hist_names,
+            vec!["compile.pass.validate.micros", "serve.request.micros"]
+        );
+    }
+
     #[test]
     fn shared_metrics_aggregates_across_threads() {
         let shared = SharedMetrics::new();

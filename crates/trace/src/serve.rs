@@ -1,0 +1,46 @@
+//! Metric-name vocabulary for the compile-and-simulate service.
+//!
+//! The `sentinel-serve` crate reports into a [`SharedMetrics`]
+//! registry using these names (counters require `&'static str`, so the
+//! vocabulary lives here, mirroring [`compile::PASS_RUNS`]). Keeping
+//! the names in one table also documents the service's observable
+//! surface: everything below renders on `GET /metrics`.
+//!
+//! None of these names carries the `compile.pass.` prefix, so the
+//! `reproduce` pass-timing table (stderr) and stdout figures are
+//! unaffected when a process registers both grid and serve metrics —
+//! the CI byte-comparison of `reproduce` stdout guards that.
+//!
+//! [`SharedMetrics`]: crate::SharedMetrics
+//! [`compile::PASS_RUNS`]: crate::compile::PASS_RUNS
+
+/// Counter: connections accepted by the listener.
+pub const CONNECTIONS: &str = "serve.http.connections";
+/// Counter: requests parsed far enough to be routed.
+pub const REQUESTS: &str = "serve.http.requests";
+/// Counter: responses with a 2xx status.
+pub const RESPONSES_OK: &str = "serve.http.ok";
+/// Counter: responses with a 4xx status (malformed input, unknown
+/// routes, oversized bodies — everything the *client* got wrong).
+pub const RESPONSES_CLIENT_ERROR: &str = "serve.http.client_error";
+/// Counter: responses with a 5xx status (a panicking job degrades to
+/// one of these on that request only).
+pub const RESPONSES_SERVER_ERROR: &str = "serve.http.server_error";
+/// Counter: connections turned away with 429 because the job queue was
+/// full (backpressure, never OOM).
+pub const REJECTED: &str = "serve.queue.rejected";
+/// Counter: jobs whose handler panicked (each one also counts a 5xx).
+pub const PANICS: &str = "serve.jobs.panicked";
+/// Counter: compile/simulate responses served from the result cache.
+pub const CACHE_HIT: &str = "serve.cache.hit";
+/// Counter: compile/simulate responses computed fresh.
+pub const CACHE_MISS: &str = "serve.cache.miss";
+/// Counter: fresh responses *not* retained because the cache was at
+/// capacity.
+pub const CACHE_FULL: &str = "serve.cache.full";
+/// Histogram: end-to-end request handling time, microseconds (parse →
+/// response written).
+pub const REQUEST_MICROS: &str = "serve.request.micros";
+/// Histogram: time a job spent queued before a worker picked it up,
+/// microseconds.
+pub const QUEUE_WAIT_MICROS: &str = "serve.queue.wait.micros";

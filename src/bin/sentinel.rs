@@ -14,6 +14,8 @@
 //! sentinel trace     prog.sasm --model S --issue 8 --format chrome|jsonl|timeline
 //!                    [--raw] [-o out] [run's machine flags]
 //! sentinel reproduce [fig4|fig5|summary|...|all] [--csv] [--jobs N]
+//! sentinel serve     [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N]
+//! sentinel --version
 //! ```
 //!
 //! Numeric arguments accept decimal or `0x` hexadecimal.
@@ -520,7 +522,9 @@ fn usage() -> ! {
            mdes      print the effective machine description [--mdes file] [--issue N]\n\
            run       [--issue N] [--semantics tags|silent|nan] [--map S:L]… [--word A=V]… [--reg rN=V]… [--print rN]… [--stats] [--trace]\n\
            trace     --model R|G|S|T|B<k> --issue N --format timeline|jsonl|chrome [--raw] [--recovery] [-o out] [run's machine flags]\n\
-           reproduce regenerate the paper's tables/figures [fig4|fig5|summary|…|all] [--csv] [--jobs N]"
+           reproduce regenerate the paper's tables/figures [fig4|fig5|summary|…|all] [--csv] [--jobs N]\n\
+           serve     networked compile-and-simulate service [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N]\n\
+           version   print the version (also --version)"
     );
     exit(2);
 }
@@ -531,6 +535,15 @@ fn main() {
         usage();
     }
     let cmd = raw[0].clone();
+    if cmd == "--version" || cmd == "version" {
+        println!("sentinel {}", env!("CARGO_PKG_VERSION"));
+        return;
+    }
+    if cmd == "serve" {
+        // Delegates to the serve crate's CLI, before the positional-args
+        // check: `sentinel serve` alone starts with defaults.
+        exit(sentinel::serve::cli::run(&raw[1..]));
+    }
     if cmd == "reproduce" {
         // Delegates to the bench crate's CLI (same interface as the
         // standalone `reproduce` binary), before the positional-args

@@ -20,6 +20,9 @@
 //! * [`mod@bench`] — the evaluation grid engine (cached, parallel,
 //!   fault-isolated measurement) and the figure/ablation generators it
 //!   feeds; `sentinel reproduce` is its CLI.
+//! * [`serve`] — the networked compile-and-simulate service (std-only
+//!   HTTP/1.1, worker pool with backpressure, content-hash result
+//!   cache, Prometheus `/metrics`); `sentinel serve` is its CLI.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use sentinel_bench as bench;
 pub use sentinel_core as sched;
 pub use sentinel_isa as isa;
 pub use sentinel_prog as prog;
+pub use sentinel_serve as serve;
 pub use sentinel_sim as sim;
 pub use sentinel_trace as trace;
 pub use sentinel_workloads as workloads;

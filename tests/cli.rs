@@ -376,3 +376,88 @@ fn boosting_model_from_cli() {
         "boost markers:\n{text}"
     );
 }
+
+#[test]
+fn version_flag_prints_package_version() {
+    for spelling in ["--version", "version"] {
+        let out = bin().arg(spelling).output().unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            text.trim(),
+            format!("sentinel {}", env!("CARGO_PKG_VERSION")),
+            "{spelling}"
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommands_exit_2_with_usage() {
+    let out = bin().arg("frobnicate").arg("x.sasm").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: sentinel"));
+    // The serve subcommand follows the same convention for its flags.
+    let out = bin().args(["serve", "--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: serve"));
+}
+
+#[test]
+fn serve_version_flag() {
+    let out = bin().args(["serve", "--version"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        text.trim(),
+        format!("sentinel-serve {}", env!("CARGO_PKG_VERSION"))
+    );
+}
+
+/// Full service lifecycle through the CLI: start on an ephemeral port,
+/// wait for the readiness line, exercise the endpoints, SIGINT, and
+/// assert a clean drained exit.
+#[cfg(unix)]
+#[test]
+fn serve_subcommand_drains_on_sigint() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    let mut child = bin()
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let ready = lines.next().unwrap().unwrap();
+    assert!(ready.starts_with("sentinel-serve listening on "), "{ready}");
+    let addr = ready
+        .strip_prefix("sentinel-serve listening on ")
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+
+    use sentinel::serve::client;
+    let health = client::get(&addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let sim = client::post_json(&addr, "/v1/simulate", r#"{"suite":"wc","width":2}"#).unwrap();
+    assert_eq!(sim.status, 200);
+    let metrics = client::get(&addr, "/metrics").unwrap();
+    assert!(metrics.body.contains("serve_http_requests"));
+
+    let kill = std::process::Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0));
+    // The drain message and final metrics snapshot land on stderr.
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    let rest = rest.join("\n");
+    assert!(rest.contains("sentinel-serve draining (SIGINT)"), "{rest}");
+    assert!(rest.contains("serve.http.requests"), "{rest}");
+}

@@ -1,0 +1,236 @@
+//! End-to-end tests of the compile-and-simulate service: concurrency
+//! without dropped responses, cache-hit behavior on repeated batches,
+//! queue-full backpressure, and HTTP-vs-in-process byte equality.
+
+use std::sync::Arc;
+
+use sentinel::serve::api::{self, SimulateRequest};
+use sentinel::serve::client;
+use sentinel::serve::server::{start, ServerConfig};
+use sentinel::trace::json;
+use sentinel::trace::serve::{CACHE_HIT, CACHE_MISS, REJECTED};
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_depth: 128,
+        ..ServerConfig::default()
+    }
+}
+
+/// The acceptance batch: 64 distinct requests mixing both endpoints,
+/// four models, and four widths. Distinct bodies ⇒ the first batch is
+/// all cache misses, an identical second batch is all hits.
+fn mixed_batch() -> Vec<(String, String)> {
+    let models = ["S", "R", "G", "T"];
+    let mut batch = Vec::new();
+    for (mi, model) in models.iter().enumerate() {
+        for width in 1..=4usize {
+            for (suite, endpoint) in [("wc", "/v1/simulate"), ("cmp", "/v1/simulate")] {
+                batch.push((
+                    endpoint.to_string(),
+                    format!(r#"{{"suite":"{suite}","model":"{model}","width":{width}}}"#),
+                ));
+            }
+            let source = format!(
+                "func @b{mi} {{\nentry:\n    li r1, {width}\n    li r2, 4\nloop:\n    add r1, r1, r2\n    addi r2, r2, -1\n    bne r2, r0, loop\ndone:\n    halt\n}}\n"
+            );
+            let mut body = String::new();
+            {
+                let mut w = sentinel::trace::json::ObjWriter::new(&mut body);
+                w.str("source", &source)
+                    .str("model", model)
+                    .u64("width", width as u64);
+                w.close();
+            }
+            batch.push(("/v1/compile".to_string(), body.clone()));
+            batch.push(("/v1/simulate".to_string(), body));
+        }
+    }
+    assert_eq!(batch.len(), 64);
+    batch
+}
+
+/// Fires `batch` from 8 client threads; returns the status codes in
+/// request order.
+fn fire(addr: &str, batch: &[(String, String)]) -> Vec<u16> {
+    let addr = addr.to_string();
+    let batch = Arc::new(batch.to_vec());
+    let chunk = batch.len().div_ceil(8);
+    let mut statuses = vec![0u16; batch.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let addr = addr.clone();
+                let batch = Arc::clone(&batch);
+                scope.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = (lo + chunk).min(batch.len());
+                    (lo..hi)
+                        .map(|i| {
+                            let (path, body) = &batch[i];
+                            client::post_json(&addr, path, body)
+                                .map(|r| r.status)
+                                .unwrap_or(0)
+                        })
+                        .collect::<Vec<u16>>()
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            let lo = t * chunk;
+            for (off, status) in h.join().unwrap().into_iter().enumerate() {
+                statuses[lo + off] = status;
+            }
+        }
+    });
+    statuses
+}
+
+#[test]
+fn concurrent_mixed_batch_zero_drops_then_cache_hits() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr().to_string();
+    let metrics = handle.metrics();
+    let batch = mixed_batch();
+
+    // First batch: 64 distinct requests from 8 threads, every one
+    // answered 200 — no drops, no 429 (queue depth exceeds the batch).
+    let statuses = fire(&addr, &batch);
+    assert!(statuses.iter().all(|&s| s == 200), "{statuses:?}");
+    let after_first = metrics.snapshot();
+    assert_eq!(after_first.counter(CACHE_MISS), 64);
+
+    // Identical second batch: ≥90% served from the response cache
+    // (in fact all of it — the cache holds every distinct key).
+    let statuses = fire(&addr, &batch);
+    assert!(statuses.iter().all(|&s| s == 200), "{statuses:?}");
+    let after_second = metrics.snapshot();
+    let hits = after_second.counter(CACHE_HIT) - after_first.counter(CACHE_HIT);
+    assert!(
+        hits as f64 >= 0.9 * batch.len() as f64,
+        "only {hits} cache hits across the second batch"
+    );
+    assert_eq!(after_second.counter(CACHE_MISS), 64);
+
+    let final_metrics = handle.shutdown();
+    assert_eq!(final_metrics.counter(REJECTED), 0);
+}
+
+#[test]
+fn full_queue_rejects_with_429_and_recovers() {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        job_hook: Some(Arc::new(|req: &sentinel::serve::http::Request| {
+            if req.header("x-slow").is_some() {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        })),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg).unwrap();
+    let addr = handle.addr().to_string();
+
+    // Eight concurrent slow requests against one worker and a
+    // one-deep queue: the overflow answers 429 + Retry-After
+    // immediately instead of queueing without bound.
+    let mut oks = 0;
+    let mut rejected = 0;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    client::request(&addr, "GET", "/healthz", None, &[("x-slow", "1")]).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().unwrap();
+            match resp.status {
+                200 => oks += 1,
+                429 => {
+                    rejected += 1;
+                    assert_eq!(resp.header("retry-after"), Some("1"));
+                }
+                other => panic!("unexpected status {other}"),
+            }
+        }
+    });
+    assert!(oks >= 1, "no request got through");
+    assert!(rejected >= 1, "queue never filled (oks={oks})");
+
+    // Backpressure is transient: an unloaded request succeeds.
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+    let m = handle.shutdown();
+    assert_eq!(m.counter(REJECTED), rejected);
+}
+
+#[test]
+fn http_simulate_response_is_byte_identical_to_in_process() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr().to_string();
+
+    let body = r#"{"suite":"wc","model":"S","width":4}"#;
+    let http = client::post_json(&addr, "/v1/simulate", body).unwrap();
+    assert_eq!(http.status, 200);
+
+    let req = SimulateRequest::from_json(body).unwrap();
+    let suite = sentinel::workloads::suite::shared();
+    let in_process = api::simulate_response(&req, &suite).unwrap();
+    assert_eq!(http.body, in_process);
+
+    // And a cached replay of the same request returns the same bytes.
+    let replay = client::post_json(&addr, "/v1/simulate", body).unwrap();
+    assert_eq!(replay.body, in_process);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_exposition_reflects_traffic_and_is_sorted() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr().to_string();
+    client::post_json(&addr, "/v1/simulate", r#"{"suite":"wc"}"#).unwrap();
+    let text = client::get(&addr, "/metrics").unwrap();
+    assert_eq!(text.status, 200);
+    assert!(text.header("content-type").unwrap().contains("0.0.4"));
+    let metric_lines: Vec<&str> = text.body.lines().filter(|l| !l.starts_with('#')).collect();
+    assert!(metric_lines
+        .iter()
+        .any(|l| l.starts_with("serve_http_requests ")));
+    assert!(metric_lines
+        .iter()
+        .any(|l| l.starts_with("serve_cache_miss ")));
+    // Families appear in sorted order.
+    let families: Vec<&str> = text
+        .body
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let mut sorted = families.clone();
+    sorted.sort_unstable();
+    assert_eq!(families, sorted);
+    handle.shutdown();
+}
+
+#[test]
+fn compile_endpoint_emits_schedulable_asm() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr().to_string();
+    let source = "func @t {\nentry:\n    li r1, 1\n    halt\n}\n";
+    let mut body = String::new();
+    {
+        let mut w = sentinel::trace::json::ObjWriter::new(&mut body);
+        w.str("source", source).str("model", "S").bool("emit", true);
+        w.close();
+    }
+    let resp = client::post_json(&addr, "/v1/compile", &body).unwrap();
+    assert_eq!(resp.status, 200);
+    let v = json::parse(&resp.body).unwrap();
+    let emitted = v.get("asm").and_then(json::Value::as_str).unwrap();
+    sentinel::prog::asm::parse(emitted).unwrap();
+    assert!(v.get("pass_runs").and_then(json::Value::as_u64).unwrap() > 0);
+    handle.shutdown();
+}
