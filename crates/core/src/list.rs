@@ -399,10 +399,7 @@ mod tests {
     }
 
     fn unit_mdes(width: usize) -> MachineDesc {
-        MachineDesc::builder()
-            .issue_width(width)
-            .latencies(sentinel_isa::LatencyTable::unit())
-            .build()
+        MachineDesc::unit_issue(width)
     }
 
     #[test]

@@ -152,6 +152,21 @@ impl MachineDesc {
         MachineDescBuilder::new().issue_width(issue_width).build()
     }
 
+    /// The paper's machine with every latency forced to one cycle — the
+    /// standard unit-latency test machine shared by scheduler and
+    /// simulator tests, where schedule lengths are easy to reason about
+    /// by hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width` is zero.
+    pub fn unit_issue(issue_width: usize) -> MachineDesc {
+        MachineDescBuilder::new()
+            .issue_width(issue_width)
+            .latencies(LatencyTable::unit())
+            .build()
+    }
+
     /// The paper's *base machine*: issue rate 1 (speedups in Figures 4 and
     /// 5 are computed relative to this machine running restricted
     /// percolation code).

@@ -7,15 +7,18 @@
 //! sink is attached and no trace is collected, the per-instruction loop
 //! constructs no events, renders no strings, and touches no journals.
 //!
-//! The engine is a deliberate structural port of
-//! [`Machine`](crate::Machine)'s semantics — Table 1, Table 2, boosting,
-//! recovery, and the exact per-reason stall-attribution timing model —
-//! and the differential suite in `tests/engine_differential.rs` holds the
-//! two to identical outcomes, statistics, final architectural state, and
-//! trace-event streams. The interpreter stays authoritative; this engine
-//! makes large evaluation grids affordable.
+//! The engine shares every architectural rule — Table 1, Table 2,
+//! boosting, recovery — with [`Machine`](crate::Machine) through
+//! [`crate::sem`]; only the fetch/issue machinery and the exact
+//! per-reason stall-attribution timing model are (deliberately
+//! identical) local code. The differential suite in
+//! `tests/engine_differential.rs` and the seeded fuzzer in
+//! `tests/fuzz_differential.rs` hold the two engines to identical
+//! outcomes, statistics, final architectural state, and trace-event
+//! streams. The interpreter stays authoritative; this engine makes
+//! large evaluation grids affordable.
 
-use sentinel_isa::{Insn, InsnId, Opcode, Reg, RegClass};
+use sentinel_isa::{InsnId, Opcode, Reg};
 use sentinel_prog::profile::Profile;
 use sentinel_prog::Function;
 use sentinel_trace::{Event, EventKind, StallReason, TraceSink};
@@ -24,14 +27,13 @@ use crate::decode::{DecodedProgram, ResEnd, NONE};
 use crate::except::{ExceptionKind, PcHistoryQueue, Trap};
 use crate::exec::branch_taken;
 use crate::hash::FastMap;
-use crate::machine::{computed, ShadowEntry, ShadowOp};
-use crate::memory::{Memory, Width};
+use crate::memory::Memory;
 use crate::regfile::{RegEvent, RegFile, TaggedValue};
+use crate::sem::boost::ShadowState;
+use crate::sem::storebuf::{SbEvent, StoreBuffer};
+use crate::sem::{self, ArchState};
 use crate::stats::Stats;
-use crate::storebuf::{ConfirmOutcome, Entry, EntryState, SbEvent, StoreBuffer};
-use crate::{
-    Recovery, RunOutcome, SimConfig, SimError, SpeculationSemantics, TraceEvent, GARBAGE, INT_NAN,
-};
+use crate::{Recovery, RunOutcome, SimConfig, SimError, TraceEvent};
 
 enum Step {
     Continue,
@@ -58,8 +60,7 @@ pub(crate) struct FastMachine<'a> {
     stats: Stats,
     profile: Profile,
     /// Shadow register file + shadow store buffers (boosting, §2.3).
-    shadow: Vec<ShadowEntry>,
-    shadow_seq: u64,
+    shadow: ShadowState,
     /// Per-instruction execution trace (when `collect_trace` is set).
     trace: Vec<TraceEvent>,
     /// Optional timing-only data cache.
@@ -105,8 +106,7 @@ impl<'a> FastMachine<'a> {
             kinds: FastMap::default(),
             stats: Stats::default(),
             profile: Profile::new(),
-            shadow: Vec::new(),
-            shadow_seq: 0,
+            shadow: ShadowState::default(),
             trace: Vec::new(),
             cache: config.cache.clone().map(crate::cache::DataCache::new),
             sink: None,
@@ -121,6 +121,20 @@ impl<'a> FastMachine<'a> {
             branches_per_cycle: config.mdes.branches_per_cycle(),
             prog,
             config,
+        }
+    }
+
+    /// The shared-semantics view over this engine's architectural state.
+    fn arch(&mut self) -> ArchState<'_> {
+        ArchState {
+            regs: &mut self.regs,
+            mem: &mut self.mem,
+            sb: &mut self.sb,
+            shadow: &mut self.shadow,
+            kinds: &mut self.kinds,
+            stats: &mut self.stats,
+            cache: &mut self.cache,
+            semantics: self.config.semantics,
         }
     }
 
@@ -148,127 +162,9 @@ impl<'a> FastMachine<'a> {
         self.cache.as_ref()
     }
 
-    fn cache_penalty(&mut self, addr: u64) -> u64 {
-        match &mut self.cache {
-            Some(c) => c.access(addr) as u64,
-            None => 0,
-        }
-    }
-
     /// The execution trace (empty unless [`SimConfig::collect_trace`]).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
-    }
-
-    /// Reads a register through the shadow overlay (newest shadow write
-    /// wins; shadow values are untagged).
-    fn read_reg(&self, r: Reg) -> TaggedValue {
-        if !self.shadow.is_empty() && !r.is_zero() {
-            if let Some(e) = self
-                .shadow
-                .iter()
-                .rev()
-                .find(|e| matches!(&e.op, ShadowOp::Reg { dest, .. } if *dest == r))
-            {
-                if let ShadowOp::Reg { data, .. } = e.op {
-                    return TaggedValue::clean(data);
-                }
-            }
-        }
-        self.regs.read(r)
-    }
-
-    fn shadow_push(&mut self, level: u8, op: ShadowOp) {
-        self.shadow_seq += 1;
-        self.shadow.push(ShadowEntry {
-            level,
-            seq: self.shadow_seq,
-            op,
-        });
-    }
-
-    fn shadow_store_lookup(&self, addr: u64, width: Width) -> Option<u64> {
-        self.shadow.iter().rev().find_map(|e| match &e.op {
-            ShadowOp::Store {
-                addr: a,
-                data,
-                width: w,
-                except: None,
-            } if *a == addr && *w == width => Some(*data),
-            _ => None,
-        })
-    }
-
-    fn shadow_commit(&mut self, branch: InsnId, issue: u64) -> Result<Option<Trap>, SimError> {
-        if self.shadow.is_empty() {
-            return Ok(None);
-        }
-        let mut entries = std::mem::take(&mut self.shadow);
-        entries.sort_by_key(|e| e.seq);
-        let mut trap = None;
-        for e in entries {
-            if e.level > 1 {
-                self.shadow.push(ShadowEntry {
-                    level: e.level - 1,
-                    ..e
-                });
-                continue;
-            }
-            if trap.is_some() {
-                continue;
-            }
-            self.stats.shadow_commits += 1;
-            match e.op {
-                ShadowOp::Reg { dest, data, except } => match except {
-                    None => self.regs.write_clean(dest, data),
-                    Some((pc, kind)) => {
-                        trap = Some(Trap {
-                            excepting_pc: pc,
-                            reported_by: branch,
-                            kind: Some(kind),
-                        });
-                    }
-                },
-                ShadowOp::Store {
-                    addr,
-                    data,
-                    width,
-                    except,
-                } => match except {
-                    None => {
-                        let eff = self.sb.insert(
-                            Entry {
-                                addr,
-                                data,
-                                width,
-                                state: EntryState::Confirmed { ready: issue },
-                                except_pc: None,
-                                except_kind: None,
-                                inserted_at: issue,
-                            },
-                            issue,
-                            &mut self.mem,
-                        )?;
-                        self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
-                    }
-                    Some((pc, kind)) => {
-                        trap = Some(Trap {
-                            excepting_pc: pc,
-                            reported_by: branch,
-                            kind: Some(kind),
-                        });
-                    }
-                },
-            }
-        }
-        Ok(trap)
-    }
-
-    fn shadow_squash(&mut self) {
-        if !self.shadow.is_empty() {
-            self.stats.shadow_squashes += self.shadow.len() as u64;
-            self.shadow.clear();
-        }
     }
 
     /// Sets an integer or fp register to raw bits (untagged).
@@ -372,12 +268,10 @@ impl<'a> FastMachine<'a> {
                     pc = self.enter(res)?;
                 }
                 Step::Halt => {
-                    let stuck = self.sb.flush(&mut self.mem);
+                    let flushed = sem::mem::flush_at_halt(&mut self.sb, &mut self.mem);
                     self.drain_journals();
                     self.sync_sb_stats();
-                    if stuck > 0 {
-                        return Err(SimError::UnconfirmedAtHalt(stuck));
-                    }
+                    flushed?;
                     self.finalize_cycles();
                     return Ok(RunOutcome::Halted);
                 }
@@ -587,26 +481,43 @@ impl<'a> FastMachine<'a> {
         }
     }
 
-    fn first_tagged(&self, insn: &Insn) -> Option<TaggedValue> {
-        insn.raw_srcs().map(|r| self.read_reg(r)).find(|v| v.tag)
-    }
-
-    fn trap_from_tag(&self, tv: TaggedValue, reporter: InsnId) -> Trap {
-        let pc = tv.as_pc();
-        Trap {
-            excepting_pc: pc,
-            reported_by: reporter,
-            kind: self.kinds.get(&pc).copied(),
+    /// Applies a [`sem::mem::LoadStep`] to the dense scoreboard: a real
+    /// datum marks the raw destination slot, a tag-only write marks the
+    /// def-visible slot.
+    #[inline]
+    fn apply_load(&mut self, dest_slot: u32, raw_dest_slot: u32, step: sem::mem::LoadStep) -> Step {
+        match step {
+            sem::mem::LoadStep::Done { ready_at, raw } => {
+                self.mark_ready(if raw { raw_dest_slot } else { dest_slot }, ready_at);
+                Step::Continue
+            }
+            sem::mem::LoadStep::Trap(trap) => Step::Trap(trap),
         }
     }
 
-    /// Executes the instruction at flat index `pc`: the interpreter's
-    /// `exec_insn` (Tables 1 and 2 plus timing) over the decoded form.
+    /// Applies a [`sem::mem::StoreStep`]: a full-buffer stall blocks the
+    /// in-order pipeline until the insertion cycle.
+    #[inline]
+    fn apply_store(&mut self, step: sem::mem::StoreStep) -> Step {
+        match step {
+            sem::mem::StoreStep::Done { stall_to } => {
+                if let Some(eff) = stall_to {
+                    self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
+                }
+                Step::Continue
+            }
+            sem::mem::StoreStep::Trap(trap) => Step::Trap(trap),
+        }
+    }
+
+    /// Executes the instruction at flat index `pc`: timing here,
+    /// architectural semantics in [`crate::sem`] (Tables 1 and 2) over
+    /// the decoded form.
     fn exec_insn(&mut self, pc: u32) -> Result<Step, SimError> {
         use Opcode::*;
         let d = &self.prog.insns[pc as usize];
         let insn = d.raw;
-        let (lat, dest_slot, target_res) = (d.lat, d.dest, d.target);
+        let (lat, dest_slot, raw_dest_slot, target_res) = (d.lat, d.dest, d.raw_dest, d.target);
         let (is_branch, wait) = (d.is_branch, d.wait);
         let ready = self.src_ready_cycle(d.src1, d.src2);
 
@@ -659,59 +570,65 @@ impl<'a> FastMachine<'a> {
                 return Ok(Step::Goto(target_res));
             }
             ClearTag => {
-                if let Some(dr) = insn.dest {
-                    self.regs.clear_tag(dr);
-                }
+                sem::tag::exec_clear_tag(&mut self.arch(), insn);
                 self.mark_ready(dest_slot, issue + lat);
                 return Ok(Step::Continue);
             }
             ConfirmStore => {
-                self.stats.dyn_confirms += 1;
-                self.sb.drain_to(issue, &mut self.mem);
-                match self.sb.confirm(insn.imm as usize, issue)? {
-                    ConfirmOutcome::Confirmed => return Ok(Step::Continue),
-                    ConfirmOutcome::Exception { pc, kind } => {
-                        return Ok(Step::Trap(Trap {
-                            excepting_pc: pc,
-                            reported_by: insn.id,
-                            kind,
-                        }));
-                    }
-                }
+                return match sem::mem::exec_confirm(&mut self.arch(), insn, issue)? {
+                    None => Ok(Step::Continue),
+                    Some(trap) => Ok(Step::Trap(trap)),
+                };
             }
             Jsr | Io => {
                 return Ok(Step::Continue);
             }
             Beq | Bne | Blt | Bge => {
                 self.stats.branches += 1;
-                let a = self.read_reg(insn.src1.expect("branch src1"));
-                let b = self.read_reg(insn.src2.expect("branch src2"));
-                if let Some(tv) = [a, b].into_iter().find(|v| v.tag) {
-                    return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
-                }
-                let taken = branch_taken(op, a.data, b.data);
+                let (va, vb) = match sem::tag::branch_sources(&self.arch(), insn) {
+                    Ok(v) => v,
+                    Err(trap) => return Ok(Step::Trap(trap)),
+                };
+                let taken = branch_taken(op, va, vb);
                 self.profile.record_branch(insn.id, taken);
                 if taken {
                     self.stats.branches_taken += 1;
-                    self.sb.cancel_probationary(issue);
-                    self.shadow_squash();
+                    sem::on_taken_branch(&mut self.arch(), issue);
                     self.redirect(issue);
                     debug_assert_ne!(target_res, NONE, "branch target");
                     return Ok(Step::Goto(target_res));
                 }
-                if let Some(trap) = self.shadow_commit(insn.id, issue)? {
-                    return Ok(Step::Trap(trap));
+                let (trap, stall_to) = sem::boost::commit(&mut self.arch(), insn.id, issue)?;
+                if let Some(eff) = stall_to {
+                    self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
                 }
-                return Ok(Step::Continue);
+                return match trap {
+                    Some(t) => Ok(Step::Trap(t)),
+                    None => Ok(Step::Continue),
+                };
             }
-            LdW | LdB | FLd => return self.exec_load(pc, issue),
-            StW | StB | FSt => return self.exec_store(pc, issue),
-            LdTag => return self.exec_ld_tag(pc, issue),
-            StTag => return self.exec_st_tag(pc, issue),
+            LdW | LdB | FLd => {
+                let step = sem::mem::exec_load(&mut self.arch(), insn, issue, lat)?;
+                return Ok(self.apply_load(dest_slot, raw_dest_slot, step));
+            }
+            StW | StB | FSt => {
+                let step = sem::mem::exec_store(&mut self.arch(), insn, issue)?;
+                return Ok(self.apply_store(step));
+            }
+            LdTag => {
+                let step = sem::mem::exec_ld_tag(&mut self.arch(), insn, issue, lat);
+                return Ok(self.apply_load(dest_slot, raw_dest_slot, step));
+            }
+            StTag => {
+                return Ok(match sem::mem::exec_st_tag(&mut self.arch(), insn) {
+                    Some(trap) => Step::Trap(trap),
+                    None => Step::Continue,
+                });
+            }
             CheckExcept => {
                 self.stats.dyn_checks += 1;
                 if self.sink_active {
-                    let excepted = self.first_tagged(insn).is_some();
+                    let excepted = self.arch().first_tagged(insn).is_some();
                     let reg = insn.src1.unwrap_or(Reg::ZERO);
                     self.emit(Event::at(issue, EventKind::TagCheck { reg, excepted }));
                 }
@@ -721,535 +638,16 @@ impl<'a> FastMachine<'a> {
         }
 
         // General Table 1 path for computational instructions.
-        let a = insn.src1.map_or(0, |r| self.read_reg(r).data);
-        let b = insn.src2.map_or(0, |r| self.read_reg(r).data);
-        if insn.boost > 0 {
-            let op_entry = match computed(insn.op, a, b, insn.imm)? {
-                Ok(v) => insn.def().map(|dr| ShadowOp::Reg {
-                    dest: dr,
-                    data: v,
-                    except: None,
-                }),
-                Err(kind) => insn.def().map(|dr| ShadowOp::Reg {
-                    dest: dr,
-                    data: 0,
-                    except: Some((insn.id, kind)),
-                }),
-            };
-            if let Some(e) = op_entry {
-                self.shadow_push(insn.boost, e);
-            }
-            self.mark_ready(dest_slot, issue + lat);
-            return Ok(Step::Continue);
-        }
-        if insn.speculative {
-            match self.config.semantics {
-                SpeculationSemantics::SentinelTags => {
-                    if let Some(tv) = self.first_tagged(insn) {
-                        self.stats.tag_propagations += 1;
-                        if let Some(dr) = insn.dest {
-                            self.regs.write(
-                                dr,
-                                TaggedValue {
-                                    data: tv.data,
-                                    tag: true,
-                                },
-                            );
-                        }
-                    } else {
-                        match computed(insn.op, a, b, insn.imm)? {
-                            Ok(v) => {
-                                if let Some(dr) = insn.dest {
-                                    self.regs.write_clean(dr, v);
-                                }
-                            }
-                            Err(kind) => {
-                                self.stats.tag_sets += 1;
-                                self.kinds.insert(insn.id, kind);
-                                if let Some(dr) = insn.dest {
-                                    self.regs.write(dr, TaggedValue::excepting(insn.id));
-                                }
-                            }
-                        }
-                    }
-                }
-                SpeculationSemantics::Silent => match computed(insn.op, a, b, insn.imm)? {
-                    Ok(v) => {
-                        if let Some(dr) = insn.dest {
-                            self.regs.write_clean(dr, v);
-                        }
-                    }
-                    Err(_) => {
-                        self.stats.silent_garbage_writes += 1;
-                        if let Some(dr) = insn.dest {
-                            self.regs.write_clean(dr, GARBAGE);
-                        }
-                    }
-                },
-                SpeculationSemantics::NanWrite => {
-                    let nan_in = insn.op.can_trap() && self.nan_source(insn);
-                    let fault = if nan_in {
-                        true
-                    } else {
-                        match computed(insn.op, a, b, insn.imm)? {
-                            Ok(v) => {
-                                if let Some(dr) = insn.dest {
-                                    self.regs.write_clean(dr, v);
-                                }
-                                false
-                            }
-                            Err(_) => true,
-                        }
-                    };
-                    if fault {
-                        self.stats.silent_garbage_writes += 1;
-                        if let Some(dr) = insn.dest {
-                            self.regs.write_clean(dr, Self::nan_bits_for(dr));
-                        }
-                    }
-                }
-            }
-        } else {
-            if let Some(tv) = self.first_tagged(insn) {
-                return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
-            }
-            if self.config.semantics == SpeculationSemantics::NanWrite
-                && insn.op.can_trap()
-                && self.nan_source(insn)
-            {
-                return Ok(Step::Trap(Trap {
-                    excepting_pc: insn.id,
-                    reported_by: insn.id,
-                    kind: Some(ExceptionKind::NanOperand),
-                }));
-            }
-            match computed(insn.op, a, b, insn.imm)? {
-                Ok(v) => {
-                    if let Some(dr) = insn.dest {
-                        self.regs.write_clean(dr, v);
-                    }
-                }
-                Err(kind) => {
-                    return Ok(Step::Trap(Trap {
-                        excepting_pc: insn.id,
-                        reported_by: insn.id,
-                        kind: Some(kind),
-                    }));
-                }
+        match sem::tag::exec_compute(&mut self.arch(), insn)? {
+            Some(trap) => Ok(Step::Trap(trap)),
+            None => {
+                self.mark_ready(dest_slot, issue + lat);
+                Ok(Step::Continue)
             }
         }
-        self.mark_ready(dest_slot, issue + lat);
-        Ok(Step::Continue)
     }
 
     fn redirect(&mut self, branch_issue: u64) {
         self.advance_cycle(branch_issue + 1, StallReason::BranchRedirect);
-    }
-
-    fn nan_source(&self, insn: &Insn) -> bool {
-        insn.raw_srcs().any(|r| {
-            let v = self.read_reg(r);
-            match r.class() {
-                RegClass::Int => v.data == INT_NAN,
-                RegClass::Fp => f64::from_bits(v.data).is_nan(),
-            }
-        })
-    }
-
-    fn nan_bits_for(d: Reg) -> u64 {
-        match d.class() {
-            RegClass::Int => INT_NAN,
-            RegClass::Fp => f64::NAN.to_bits(),
-        }
-    }
-
-    fn width_of(op: Opcode) -> Width {
-        match op {
-            Opcode::LdB | Opcode::StB => Width::Byte,
-            _ => Width::Word,
-        }
-    }
-
-    fn exec_load(&mut self, pc: u32, issue: u64) -> Result<Step, SimError> {
-        let d = &self.prog.insns[pc as usize];
-        let insn = d.raw;
-        let (lat, dest_slot, raw_dest_slot) = (d.lat, d.dest, d.raw_dest);
-        self.stats.loads += 1;
-        let base = self.read_reg(insn.src2.expect("load base"));
-        let dest = insn.dest.expect("load dest");
-        let width = Self::width_of(insn.op);
-        if insn.boost > 0 {
-            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-            let entry = if let Some(fwd) = self.shadow_store_lookup(addr, width) {
-                self.mark_ready(raw_dest_slot, issue + lat);
-                ShadowOp::Reg {
-                    dest,
-                    data: fwd,
-                    except: None,
-                }
-            } else {
-                match self.mem.check_access(addr, width) {
-                    Ok(()) => {
-                        let (fwd, eff) = self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
-                        let penalty = if fwd.is_none() {
-                            self.cache_penalty(addr)
-                        } else {
-                            0
-                        };
-                        let data = fwd.unwrap_or_else(|| self.mem.read_raw(addr, width));
-                        self.mark_ready(raw_dest_slot, eff + lat + penalty);
-                        ShadowOp::Reg {
-                            dest,
-                            data,
-                            except: None,
-                        }
-                    }
-                    Err(kind) => {
-                        self.mark_ready(raw_dest_slot, issue + lat);
-                        ShadowOp::Reg {
-                            dest,
-                            data: 0,
-                            except: Some((insn.id, kind)),
-                        }
-                    }
-                }
-            };
-            self.shadow_push(insn.boost, entry);
-            return Ok(Step::Continue);
-        }
-        if insn.speculative {
-            match self.config.semantics {
-                SpeculationSemantics::SentinelTags if base.tag => {
-                    self.stats.tag_propagations += 1;
-                    self.regs.write(
-                        dest,
-                        TaggedValue {
-                            data: base.data,
-                            tag: true,
-                        },
-                    );
-                    self.mark_ready(dest_slot, issue + lat);
-                    return Ok(Step::Continue);
-                }
-                _ => {}
-            }
-        } else if base.tag {
-            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
-        } else if self.config.semantics == SpeculationSemantics::NanWrite && base.data == INT_NAN {
-            return Ok(Step::Trap(Trap {
-                excepting_pc: insn.id,
-                reported_by: insn.id,
-                kind: Some(ExceptionKind::NanOperand),
-            }));
-        }
-        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-        match self.mem.check_access(addr, width) {
-            Ok(()) => {
-                let data = if let Some(fwd) = self.shadow_store_lookup(addr, width) {
-                    self.mark_ready(raw_dest_slot, issue + lat);
-                    fwd
-                } else {
-                    let (fwd, eff) = self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
-                    let penalty = if fwd.is_none() {
-                        self.cache_penalty(addr)
-                    } else {
-                        0
-                    };
-                    self.mark_ready(raw_dest_slot, eff + lat + penalty);
-                    fwd.unwrap_or_else(|| self.mem.read_raw(addr, width))
-                };
-                self.regs.write_clean(dest, data);
-                Ok(Step::Continue)
-            }
-            Err(kind) => {
-                if insn.speculative {
-                    match self.config.semantics {
-                        SpeculationSemantics::SentinelTags => {
-                            self.stats.tag_sets += 1;
-                            self.kinds.insert(insn.id, kind);
-                            self.regs.write(dest, TaggedValue::excepting(insn.id));
-                        }
-                        SpeculationSemantics::Silent => {
-                            self.stats.silent_garbage_writes += 1;
-                            self.regs.write_clean(dest, GARBAGE);
-                        }
-                        SpeculationSemantics::NanWrite => {
-                            self.stats.silent_garbage_writes += 1;
-                            self.regs.write_clean(dest, Self::nan_bits_for(dest));
-                        }
-                    }
-                    self.mark_ready(dest_slot, issue + lat);
-                    Ok(Step::Continue)
-                } else {
-                    Ok(Step::Trap(Trap {
-                        excepting_pc: insn.id,
-                        reported_by: insn.id,
-                        kind: Some(kind),
-                    }))
-                }
-            }
-        }
-    }
-
-    fn exec_store(&mut self, pc: u32, issue: u64) -> Result<Step, SimError> {
-        let insn = self.prog.insns[pc as usize].raw;
-        self.stats.stores += 1;
-        let value = self.read_reg(insn.src1.expect("store value"));
-        let base = self.read_reg(insn.src2.expect("store base"));
-        let width = Self::width_of(insn.op);
-        let first_tagged = [value, base].into_iter().find(|v| v.tag);
-
-        if insn.boost > 0 {
-            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-            let except = self
-                .mem
-                .check_access(addr, width)
-                .err()
-                .map(|kind| (insn.id, kind));
-            self.shadow_push(
-                insn.boost,
-                ShadowOp::Store {
-                    addr,
-                    data: value.data,
-                    width,
-                    except,
-                },
-            );
-            return Ok(Step::Continue);
-        }
-
-        if !insn.speculative {
-            if let Some(tv) = first_tagged {
-                return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
-            }
-            if self.config.semantics == SpeculationSemantics::NanWrite && self.nan_source(insn) {
-                return Ok(Step::Trap(Trap {
-                    excepting_pc: insn.id,
-                    reported_by: insn.id,
-                    kind: Some(ExceptionKind::NanOperand),
-                }));
-            }
-            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-            match self.mem.check_access(addr, width) {
-                Ok(()) => {
-                    let eff = self.sb.insert(
-                        Entry {
-                            addr,
-                            data: value.data,
-                            width,
-                            state: EntryState::Confirmed { ready: issue },
-                            except_pc: None,
-                            except_kind: None,
-                            inserted_at: issue,
-                        },
-                        issue,
-                        &mut self.mem,
-                    )?;
-                    self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
-                    Ok(Step::Continue)
-                }
-                Err(kind) => {
-                    self.sb.flush(&mut self.mem);
-                    Ok(Step::Trap(Trap {
-                        excepting_pc: insn.id,
-                        reported_by: insn.id,
-                        kind: Some(kind),
-                    }))
-                }
-            }
-        } else {
-            if self.config.semantics != SpeculationSemantics::SentinelTags {
-                return Err(SimError::SpeculativeStoreUnsupported(insn.id));
-            }
-            let entry = if let Some(tv) = first_tagged {
-                self.stats.tag_propagations += 1;
-                let pc = tv.as_pc();
-                Entry {
-                    addr: 0,
-                    data: 0,
-                    width,
-                    state: EntryState::Probationary,
-                    except_pc: Some(pc),
-                    except_kind: self.kinds.get(&pc).copied(),
-                    inserted_at: issue,
-                }
-            } else {
-                let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-                match self.mem.check_access(addr, width) {
-                    Ok(()) => Entry {
-                        addr,
-                        data: value.data,
-                        width,
-                        state: EntryState::Probationary,
-                        except_pc: None,
-                        except_kind: None,
-                        inserted_at: issue,
-                    },
-                    Err(kind) => {
-                        self.stats.tag_sets += 1;
-                        self.kinds.insert(insn.id, kind);
-                        Entry {
-                            addr: 0,
-                            data: 0,
-                            width,
-                            state: EntryState::Probationary,
-                            except_pc: Some(insn.id),
-                            except_kind: Some(kind),
-                            inserted_at: issue,
-                        }
-                    }
-                }
-            };
-            let eff = self.sb.insert(entry, issue, &mut self.mem)?;
-            self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
-            Ok(Step::Continue)
-        }
-    }
-
-    fn exec_ld_tag(&mut self, pc: u32, issue: u64) -> Result<Step, SimError> {
-        let d = &self.prog.insns[pc as usize];
-        let insn = d.raw;
-        let (lat, dest_slot) = (d.lat, d.dest);
-        self.stats.loads += 1;
-        let base = self.read_reg(insn.src2.expect("ld.tag base"));
-        if base.tag {
-            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
-        }
-        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-        let data = self.mem.read_raw(addr, Width::Word);
-        let tag = self.mem.read_shadow_tag(addr);
-        self.regs
-            .write(insn.dest.expect("ld.tag dest"), TaggedValue { data, tag });
-        self.mark_ready(dest_slot, issue + lat);
-        Ok(Step::Continue)
-    }
-
-    fn exec_st_tag(&mut self, pc: u32, issue: u64) -> Result<Step, SimError> {
-        let insn = self.prog.insns[pc as usize].raw;
-        self.stats.stores += 1;
-        let value = self.read_reg(insn.src1.expect("st.tag value"));
-        let base = self.read_reg(insn.src2.expect("st.tag base"));
-        if base.tag {
-            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
-        }
-        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-        self.mem.write_raw(addr, Width::Word, value.data);
-        self.mem.write_shadow_tag(addr, value.tag);
-        let _ = issue;
-        Ok(Step::Continue)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::Machine;
-    use sentinel_isa::{LatencyTable, MachineDesc};
-    use sentinel_prog::ProgramBuilder;
-
-    fn paper_mdes(width: usize) -> MachineDesc {
-        MachineDesc::builder()
-            .issue_width(width)
-            .latencies(LatencyTable::paper())
-            .build()
-    }
-
-    /// A small program exercising speculation, branches, and stores.
-    fn spec_loop() -> Function {
-        let mut b = ProgramBuilder::new("spec_loop");
-        b.block("entry");
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::li(Reg::int(2), 0));
-        b.push(Insn::li(Reg::int(3), 4));
-        let loop_b = b.block("loop");
-        b.switch_to(loop_b);
-        b.push(Insn::ld_w(Reg::int(4), Reg::int(1), 0).speculated());
-        b.push(Insn::check_exception(Reg::int(4)));
-        b.push(Insn::alu(
-            Opcode::Add,
-            Reg::int(2),
-            Reg::int(2),
-            Reg::int(4),
-        ));
-        b.push(Insn::addi(Reg::int(1), Reg::int(1), 8));
-        b.push(Insn::addi(Reg::int(3), Reg::int(3), -1));
-        b.push(Insn::branch(Opcode::Bne, Reg::int(3), Reg::ZERO, loop_b));
-        let exit = b.block("exit");
-        b.switch_to(exit);
-        b.push(Insn::li(Reg::int(5), 0x2000));
-        b.push(Insn::st_w(Reg::int(2), Reg::int(5), 0));
-        b.push(Insn::halt());
-        b.finish()
-    }
-
-    #[test]
-    fn matches_interpreter_on_spec_loop() {
-        for width in [1usize, 2, 4, 8] {
-            let f = spec_loop();
-            let cfg = SimConfig::for_mdes(paper_mdes(width));
-
-            let mut interp = Machine::create(&f, cfg.clone());
-            interp.memory_mut().map_region(0x1000, 0x100);
-            interp.memory_mut().map_region(0x2000, 8);
-            for i in 0..4 {
-                interp
-                    .memory_mut()
-                    .write_word(0x1000 + 8 * i, 10 + i)
-                    .unwrap();
-            }
-            let io = interp.run().unwrap();
-
-            let mut fast = FastMachine::new(&f, cfg);
-            fast.memory_mut().map_region(0x1000, 0x100);
-            fast.memory_mut().map_region(0x2000, 8);
-            for i in 0..4 {
-                fast.memory_mut()
-                    .write_word(0x1000 + 8 * i, 10 + i)
-                    .unwrap();
-            }
-            let fo = fast.run().unwrap();
-
-            assert_eq!(io, fo, "outcome diverged at width {width}");
-            assert_eq!(
-                interp.stats(),
-                fast.stats(),
-                "stats diverged at width {width}"
-            );
-            assert_eq!(
-                interp.memory().read_word(0x2000).unwrap(),
-                fast.memory().read_word(0x2000).unwrap()
-            );
-        }
-    }
-
-    #[test]
-    fn deferred_exception_matches() {
-        let mut b = ProgramBuilder::new("defer");
-        b.block("entry");
-        b.push(Insn::li(Reg::int(1), 0xdead0));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::check_exception(Reg::int(2)));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let cfg = SimConfig::default();
-        let mut interp = Machine::create(&f, cfg.clone());
-        let mut fast = FastMachine::new(&f, cfg);
-        let io = interp.run().unwrap();
-        let fo = fast.run().unwrap();
-        assert_eq!(io, fo);
-        assert!(matches!(fo, RunOutcome::Trapped(_)));
-        assert_eq!(interp.stats(), fast.stats());
-    }
-
-    #[test]
-    fn fell_off_end_matches() {
-        let mut b = ProgramBuilder::new("off");
-        b.block("entry");
-        b.push(Insn::li(Reg::int(1), 1));
-        let f = b.finish();
-        let cfg = SimConfig::default();
-        let ie = Machine::create(&f, cfg.clone()).run().unwrap_err();
-        let fe = FastMachine::new(&f, cfg).run().unwrap_err();
-        assert_eq!(ie, fe);
     }
 }

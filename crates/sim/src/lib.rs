@@ -7,12 +7,14 @@
 //! * [`exec`] — functional instruction semantics with the paper's trap
 //!   model (loads, stores, integer divide, all fp instructions),
 //! * [`SimSession`] — the session API: pick an [`Engine`], configure,
-//!   run. [`Engine::Interpreter`] is the block-walking [`Machine`]
-//!   implementing **Table 1** (exception detection with sentinel
-//!   scheduling) and **Table 2** (store-buffer insertion with
-//!   probationary entries); [`Engine::Fast`] executes the same semantics
-//!   from a pre-decoded dense form,
-//! * [`storebuf`] — the store buffer itself (§4.1),
+//!   run. [`Engine::Interpreter`] is the block-walking [`Machine`];
+//!   [`Engine::Fast`] executes from a pre-decoded dense form. Both route
+//!   every architectural rule through [`sem`],
+//! * [`sem`] — the single-source-of-truth semantics layer: **Table 1**
+//!   (exception detection with sentinel scheduling), **Table 2**
+//!   (store-buffer insertion with probationary entries), boosting
+//!   commit/squash, and the store buffer itself
+//!   ([`sem::storebuf`], §4.1),
 //! * [`mod@reference`] — an independent sequential interpreter used as the
 //!   correctness oracle, and
 //! * [`verify`] — run-outcome comparison helpers.
@@ -53,8 +55,8 @@ pub mod hash;
 pub mod memory;
 pub mod reference;
 pub mod regfile;
+pub mod sem;
 pub mod stats;
-pub mod storebuf;
 pub mod verify;
 
 mod decode;
@@ -62,13 +64,19 @@ mod fastpath;
 mod machine;
 mod session;
 
+#[cfg(test)]
+mod engine_tests;
+#[cfg(test)]
+mod testutil;
+
+/// The store buffer module, re-exported at its historical path.
+pub use sem::storebuf;
+
 pub use except::{ExceptionKind, PcHistoryQueue, Trap};
-pub use machine::{
-    Machine, Recovery, RunOutcome, SimConfig, SimError, SpeculationSemantics, TraceEvent, GARBAGE,
-    INT_NAN,
-};
+pub use machine::{Machine, Recovery, RunOutcome, SimConfig, SimError, TraceEvent};
 pub use memory::{Memory, Width};
 pub use regfile::{RegEvent, RegFile, TaggedValue};
+pub use sem::storebuf::{ConfirmOutcome, Entry, EntryState, SbError, SbEvent, StoreBuffer};
+pub use sem::{SpeculationSemantics, GARBAGE, INT_NAN};
 pub use session::{Engine, SimSession, SimSessionBuilder};
 pub use stats::Stats;
-pub use storebuf::{ConfirmOutcome, Entry, EntryState, SbError, SbEvent, StoreBuffer};

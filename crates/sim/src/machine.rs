@@ -1,4 +1,4 @@
-//! The execution-driven timing simulator.
+//! The execution-driven timing simulator (reference interpreter).
 //!
 //! The machine is the paper's evaluation vehicle (§5.1): an in-order
 //! VLIW/superscalar with CRAY-1-style interlocking, deterministic
@@ -6,7 +6,10 @@
 //! exception-tagged registers (Table 1), the probationary store buffer
 //! (Table 2), `check_exception`, and `confirm_store`.
 //!
-//! Timing model:
+//! The *architectural* semantics — what each instruction does to
+//! registers, tags, memory, the store buffer, and shadow (boosted)
+//! state — live in [`crate::sem`] and are shared verbatim with the fast
+//! engine. This module owns only the interpreter's timing model:
 //!
 //! * up to `issue_width` instructions issue per cycle, in order, with at
 //!   most one branch per cycle;
@@ -26,39 +29,14 @@ use sentinel_prog::Function;
 use sentinel_trace::{Event, EventKind, StallReason, TraceSink};
 
 use crate::except::{ExceptionKind, PcHistoryQueue, Trap};
-use crate::exec::{branch_taken, compute, ComputeError};
-use crate::memory::{Memory, Width};
+use crate::exec::branch_taken;
+use crate::hash::FastMap;
+use crate::memory::Memory;
 use crate::regfile::{RegEvent, RegFile, TaggedValue};
+use crate::sem::boost::ShadowState;
+use crate::sem::storebuf::{SbError, SbEvent, StoreBuffer};
+use crate::sem::{self, ArchState, SpeculationSemantics};
 use crate::stats::Stats;
-use crate::storebuf::{ConfirmOutcome, Entry, EntryState, SbError, SbEvent, StoreBuffer};
-
-/// The value a faulting *silent* instruction writes (general percolation,
-/// paper §2.4: "writes a garbage value into the destination register").
-/// A fixed recognizable constant keeps runs deterministic.
-pub const GARBAGE: u64 = 0x5EAD_BEEF_DEAD_BEEF;
-
-/// The "equivalent integer NaN" required by the Colwell NaN-write scheme
-/// (paper §2.4) under [`SpeculationSemantics::NanWrite`].
-pub const INT_NAN: u64 = 0x7FF8_DEAD_0000_0001;
-
-/// How speculative faults are handled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SpeculationSemantics {
-    /// Sentinel architecture: defer via register exception tags (Table 1).
-    #[default]
-    SentinelTags,
-    /// General percolation: silent opcodes write [`GARBAGE`] and the fault
-    /// is lost (§2.4). Speculative stores are not supported in this model.
-    Silent,
-    /// The Colwell et al. NaN-write scheme the paper discusses in §2.4:
-    /// a faulting silent instruction writes NaN (fp) or the "equivalent
-    /// integer NaN" [`INT_NAN`] (int); any *trapping* instruction that
-    /// consumes a NaN operand signals — reporting **itself**, not the
-    /// original excepting instruction, and missing the exception entirely
-    /// if the value only flows through non-trapping instructions. Both
-    /// weaknesses are exactly the paper's critique.
-    NanWrite,
-}
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -154,7 +132,13 @@ pub enum SimError {
     StoreBuffer(SbError),
     /// Probationary entries remained in the store buffer at `halt`,
     /// meaning some speculative store was never confirmed or cancelled.
-    UnconfirmedAtHalt(usize),
+    UnconfirmedAtHalt {
+        /// Tail-relative index of the oldest stuck entry — the index a
+        /// `confirm_store` would have had to name (0 = most recent).
+        index: usize,
+        /// Total number of unconfirmed probationary entries.
+        count: usize,
+    },
     /// A speculative store was executed under [`SpeculationSemantics::Silent`],
     /// which has no probationary support.
     SpeculativeStoreUnsupported(InsnId),
@@ -178,8 +162,12 @@ impl std::fmt::Display for SimError {
             SimError::FellOffEnd(b) => write!(f, "control fell off the end of {b}"),
             SimError::OutOfFuel => write!(f, "out of fuel"),
             SimError::StoreBuffer(e) => write!(f, "store buffer: {e}"),
-            SimError::UnconfirmedAtHalt(n) => {
-                write!(f, "{n} probationary store(s) unconfirmed at halt")
+            SimError::UnconfirmedAtHalt { index, count } => {
+                write!(
+                    f,
+                    "{count} probationary store(s) unconfirmed at halt \
+                     (oldest stuck at confirm index {index})"
+                )
             }
             SimError::SpeculativeStoreUnsupported(id) => {
                 write!(f, "speculative store {id} under silent semantics")
@@ -192,27 +180,18 @@ impl std::fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::StoreBuffer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SbError> for SimError {
     fn from(e: SbError) -> Self {
         SimError::StoreBuffer(e)
-    }
-}
-
-/// Adapts [`compute`] to the simulator's error split: an architectural
-/// exception stays an inner `Err` for the Table 1 paths, while a
-/// non-computable opcode (a dispatch bug) becomes a [`SimError`].
-pub(crate) fn computed(
-    op: Opcode,
-    a: u64,
-    b: u64,
-    imm: i64,
-) -> Result<Result<u64, ExceptionKind>, SimError> {
-    match compute(op, a, b, imm) {
-        Ok(v) => Ok(Ok(v)),
-        Err(ComputeError::Exception(k)) => Ok(Err(k)),
-        Err(ComputeError::NotComputable(o)) => Err(SimError::NotComputable(o)),
     }
 }
 
@@ -226,41 +205,12 @@ pub enum Recovery {
     Abort,
 }
 
+/// Where control goes after one instruction.
 enum Step {
     Continue,
     Goto(BlockId),
     Halt,
     Trap(Trap),
-}
-
-/// A buffered effect of a boosted instruction (paper §2.3): held in the
-/// shadow register file / shadow store buffer until its branches resolve.
-/// Shared with the fast engine, whose boosting semantics are identical.
-#[derive(Debug, Clone)]
-pub(crate) enum ShadowOp {
-    /// Shadow register write: destination, data, deferred fault.
-    Reg {
-        dest: Reg,
-        data: u64,
-        except: Option<(InsnId, ExceptionKind)>,
-    },
-    /// Shadow store: address, data, width, deferred fault.
-    Store {
-        addr: u64,
-        data: u64,
-        width: Width,
-        except: Option<(InsnId, ExceptionKind)>,
-    },
-}
-
-/// One shadow-buffer entry: the effect, how many more branches must
-/// resolve before it commits, and a global sequence number preserving
-/// program order across levels.
-#[derive(Debug, Clone)]
-pub(crate) struct ShadowEntry {
-    pub(crate) level: u8,
-    pub(crate) seq: u64,
-    pub(crate) op: ShadowOp,
 }
 
 /// The interpretive machine simulator — [`Engine::Interpreter`] behind
@@ -298,12 +248,11 @@ pub struct Machine<'a> {
     sb: StoreBuffer,
     pcq: PcHistoryQueue,
     /// Debug side-table: excepting PC → concrete cause.
-    kinds: HashMap<InsnId, ExceptionKind>,
+    kinds: FastMap<InsnId, ExceptionKind>,
     stats: Stats,
     profile: Profile,
     /// Shadow register file + shadow store buffers (boosting, §2.3).
-    shadow: Vec<ShadowEntry>,
-    shadow_seq: u64,
+    shadow: ShadowState,
     /// Per-instruction execution trace (when `collect_trace` is set).
     trace: Vec<TraceEvent>,
     /// Optional timing-only data cache.
@@ -356,14 +305,13 @@ impl<'a> Machine<'a> {
             mem: Memory::new(),
             sb: StoreBuffer::new(config.mdes.store_buffer_size()),
             pcq: PcHistoryQueue::new(config.pc_history_depth),
-            kinds: HashMap::new(),
+            kinds: FastMap::default(),
             stats: Stats::default(),
             profile: Profile::new(),
             cycle: 0,
             slots_used: 0,
             branches_used: 0,
-            shadow: Vec::new(),
-            shadow_seq: 0,
+            shadow: ShadowState::default(),
             trace: Vec::new(),
             cache: config.cache.clone().map(crate::cache::DataCache::new),
             sink: None,
@@ -372,6 +320,20 @@ impl<'a> Machine<'a> {
             last_insn: InsnId(0),
             ready: HashMap::new(),
             config,
+        }
+    }
+
+    /// The shared-semantics view over this machine's architectural state.
+    fn arch(&mut self) -> ArchState<'_> {
+        ArchState {
+            regs: &mut self.regs,
+            mem: &mut self.mem,
+            sb: &mut self.sb,
+            shadow: &mut self.shadow,
+            kinds: &mut self.kinds,
+            stats: &mut self.stats,
+            cache: &mut self.cache,
+            semantics: self.config.semantics,
         }
     }
 
@@ -400,137 +362,9 @@ impl<'a> Machine<'a> {
         self.cache.as_ref()
     }
 
-    /// Extra load latency from the (optional) cache for an access.
-    fn cache_penalty(&mut self, addr: u64) -> u64 {
-        match &mut self.cache {
-            Some(c) => c.access(addr) as u64,
-            None => 0,
-        }
-    }
-
     /// The execution trace (empty unless [`SimConfig::collect_trace`]).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
-    }
-
-    /// Reads a register through the shadow overlay: the newest shadow
-    /// write (in program order, across levels) wins over the architectural
-    /// value. Shadow values are untagged.
-    fn read_reg(&self, r: Reg) -> TaggedValue {
-        if !self.shadow.is_empty() && !r.is_zero() {
-            if let Some(e) = self
-                .shadow
-                .iter()
-                .rev()
-                .find(|e| matches!(&e.op, ShadowOp::Reg { dest, .. } if *dest == r))
-            {
-                if let ShadowOp::Reg { data, .. } = e.op {
-                    return TaggedValue::clean(data);
-                }
-            }
-        }
-        self.regs.read(r)
-    }
-
-    /// Appends a shadow entry for a boosted instruction.
-    fn shadow_push(&mut self, level: u8, op: ShadowOp) {
-        self.shadow_seq += 1;
-        self.shadow.push(ShadowEntry {
-            level,
-            seq: self.shadow_seq,
-            op,
-        });
-    }
-
-    /// Shadow store-buffer forwarding (exact-match, newest first).
-    fn shadow_store_lookup(&self, addr: u64, width: Width) -> Option<u64> {
-        self.shadow.iter().rev().find_map(|e| match &e.op {
-            ShadowOp::Store {
-                addr: a,
-                data,
-                width: w,
-                except: None,
-            } if *a == addr && *w == width => Some(*data),
-            _ => None,
-        })
-    }
-
-    /// A branch resolved as correctly predicted (untaken): commit all
-    /// level-1 shadow entries in program order, decrement the rest.
-    /// Returns the first deferred exception encountered, if any.
-    fn shadow_commit(&mut self, branch: InsnId, issue: u64) -> Result<Option<Trap>, SimError> {
-        if self.shadow.is_empty() {
-            return Ok(None);
-        }
-        let mut entries = std::mem::take(&mut self.shadow);
-        entries.sort_by_key(|e| e.seq);
-        let mut trap = None;
-        for e in entries {
-            if e.level > 1 {
-                self.shadow.push(ShadowEntry {
-                    level: e.level - 1,
-                    ..e
-                });
-                continue;
-            }
-            if trap.is_some() {
-                // Abort the remainder of the commit after a signaled
-                // exception (machine state up to the fault is committed).
-                continue;
-            }
-            self.stats.shadow_commits += 1;
-            match e.op {
-                ShadowOp::Reg { dest, data, except } => match except {
-                    None => self.regs.write_clean(dest, data),
-                    Some((pc, kind)) => {
-                        trap = Some(Trap {
-                            excepting_pc: pc,
-                            reported_by: branch,
-                            kind: Some(kind),
-                        });
-                    }
-                },
-                ShadowOp::Store {
-                    addr,
-                    data,
-                    width,
-                    except,
-                } => match except {
-                    None => {
-                        let eff = self.sb.insert(
-                            Entry {
-                                addr,
-                                data,
-                                width,
-                                state: EntryState::Confirmed { ready: issue },
-                                except_pc: None,
-                                except_kind: None,
-                                inserted_at: issue,
-                            },
-                            issue,
-                            &mut self.mem,
-                        )?;
-                        self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
-                    }
-                    Some((pc, kind)) => {
-                        trap = Some(Trap {
-                            excepting_pc: pc,
-                            reported_by: branch,
-                            kind: Some(kind),
-                        });
-                    }
-                },
-            }
-        }
-        Ok(trap)
-    }
-
-    /// A branch was "mispredicted" (taken): discard all shadow state.
-    fn shadow_squash(&mut self) {
-        if !self.shadow.is_empty() {
-            self.stats.shadow_squashes += self.shadow.len() as u64;
-            self.shadow.clear();
-        }
     }
 
     /// Sets an integer or fp register to raw bits (untagged).
@@ -635,12 +469,10 @@ impl<'a> Machine<'a> {
                     self.profile.enter_block(block);
                 }
                 Step::Halt => {
-                    let stuck = self.sb.flush(&mut self.mem);
+                    let flushed = sem::mem::flush_at_halt(&mut self.sb, &mut self.mem);
                     self.drain_journals();
                     self.sync_sb_stats();
-                    if stuck > 0 {
-                        return Err(SimError::UnconfirmedAtHalt(stuck));
-                    }
+                    flushed?;
                     self.finalize_cycles();
                     return Ok(RunOutcome::Halted);
                 }
@@ -861,23 +693,38 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// The first set source-operand tag, in operand order (Table 1's
-    /// "first source operand whose exception tag is set").
-    fn first_tagged(&self, insn: &Insn) -> Option<TaggedValue> {
-        insn.raw_srcs().map(|r| self.read_reg(r)).find(|v| v.tag)
-    }
-
-    fn trap_from_tag(&self, tv: TaggedValue, reporter: InsnId) -> Trap {
-        let pc = tv.as_pc();
-        Trap {
-            excepting_pc: pc,
-            reported_by: reporter,
-            kind: self.kinds.get(&pc).copied(),
+    /// Applies a [`sem::mem::LoadStep`] to the scoreboard: a real datum
+    /// marks the raw destination register ready, a tag-only write marks
+    /// the def-visible destination.
+    fn apply_load(&mut self, insn: &Insn, step: sem::mem::LoadStep) -> Step {
+        match step {
+            sem::mem::LoadStep::Done { ready_at, raw } => {
+                let dest = if raw { insn.dest } else { insn.def() };
+                if let Some(d) = dest {
+                    self.ready.insert(d, ready_at);
+                }
+                Step::Continue
+            }
+            sem::mem::LoadStep::Trap(trap) => Step::Trap(trap),
         }
     }
 
-    /// Executes one instruction: functional semantics (Tables 1 and 2)
-    /// plus timing.
+    /// Applies a [`sem::mem::StoreStep`]: a full-buffer stall blocks the
+    /// in-order pipeline until the insertion cycle.
+    fn apply_store(&mut self, step: sem::mem::StoreStep) -> Step {
+        match step {
+            sem::mem::StoreStep::Done { stall_to } => {
+                if let Some(eff) = stall_to {
+                    self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
+                }
+                Step::Continue
+            }
+            sem::mem::StoreStep::Trap(trap) => Step::Trap(trap),
+        }
+    }
+
+    /// Executes one instruction: timing here, architectural semantics in
+    /// [`crate::sem`] (Tables 1 and 2).
     fn exec_insn(&mut self, insn: &Insn) -> Result<Step, SimError> {
         use Opcode::*;
         self.stats.dyn_insns += 1;
@@ -936,25 +783,15 @@ impl<'a> Machine<'a> {
                 return Ok(Step::Goto(insn.target.expect("jump target")));
             }
             ClearTag => {
-                if let Some(d) = insn.dest {
-                    self.regs.clear_tag(d);
-                }
+                sem::tag::exec_clear_tag(&mut self.arch(), insn);
                 self.mark_dest_ready(insn, issue);
                 return Ok(Step::Continue);
             }
             ConfirmStore => {
-                self.stats.dyn_confirms += 1;
-                self.sb.drain_to(issue, &mut self.mem);
-                match self.sb.confirm(insn.imm as usize, issue)? {
-                    ConfirmOutcome::Confirmed => return Ok(Step::Continue),
-                    ConfirmOutcome::Exception { pc, kind } => {
-                        return Ok(Step::Trap(Trap {
-                            excepting_pc: pc,
-                            reported_by: insn.id,
-                            kind,
-                        }));
-                    }
-                }
+                return match sem::mem::exec_confirm(&mut self.arch(), insn, issue)? {
+                    None => Ok(Step::Continue),
+                    Some(trap) => Ok(Step::Trap(trap)),
+                };
             }
             Jsr | Io => {
                 // Opaque irreversible side effect; no register/memory
@@ -963,38 +800,54 @@ impl<'a> Machine<'a> {
             }
             Beq | Bne | Blt | Bge => {
                 self.stats.branches += 1;
-                let a = self.read_reg(insn.src1.expect("branch src1"));
-                let b = self.read_reg(insn.src2.expect("branch src2"));
-                if let Some(tv) = [a, b].into_iter().find(|v| v.tag) {
-                    // A branch is a non-speculative use: it acts as a
-                    // sentinel for its tagged source.
-                    return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
-                }
-                let taken = branch_taken(op, a.data, b.data);
+                let (va, vb) = match sem::tag::branch_sources(&self.arch(), insn) {
+                    Ok(v) => v,
+                    Err(trap) => return Ok(Step::Trap(trap)),
+                };
+                let taken = branch_taken(op, va, vb);
                 self.profile.record_branch(insn.id, taken);
                 if taken {
                     self.stats.branches_taken += 1;
                     // Compile-time misprediction: cancel probationary
                     // stores and squash all boosted shadow state (§2.3).
-                    self.sb.cancel_probationary(issue);
-                    self.shadow_squash();
+                    sem::on_taken_branch(&mut self.arch(), issue);
                     self.redirect(issue);
                     return Ok(Step::Goto(insn.target.expect("branch target")));
                 }
                 // Correctly predicted: commit one level of shadow state.
-                if let Some(trap) = self.shadow_commit(insn.id, issue)? {
-                    return Ok(Step::Trap(trap));
+                let (trap, stall_to) = sem::boost::commit(&mut self.arch(), insn.id, issue)?;
+                if let Some(eff) = stall_to {
+                    self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
                 }
-                return Ok(Step::Continue);
+                return match trap {
+                    Some(t) => Ok(Step::Trap(t)),
+                    None => Ok(Step::Continue),
+                };
             }
-            LdW | LdB | FLd => return self.exec_load(insn, issue),
-            StW | StB | FSt => return self.exec_store(insn, issue),
-            LdTag => return self.exec_ld_tag(insn, issue),
-            StTag => return self.exec_st_tag(insn, issue),
+            LdW | LdB | FLd => {
+                let lat = self.config.mdes.latency(op) as u64;
+                let step = sem::mem::exec_load(&mut self.arch(), insn, issue, lat)?;
+                return Ok(self.apply_load(insn, step));
+            }
+            StW | StB | FSt => {
+                let step = sem::mem::exec_store(&mut self.arch(), insn, issue)?;
+                return Ok(self.apply_store(step));
+            }
+            LdTag => {
+                let lat = self.config.mdes.latency(op) as u64;
+                let step = sem::mem::exec_ld_tag(&mut self.arch(), insn, issue, lat);
+                return Ok(self.apply_load(insn, step));
+            }
+            StTag => {
+                return Ok(match sem::mem::exec_st_tag(&mut self.arch(), insn) {
+                    Some(trap) => Step::Trap(trap),
+                    None => Step::Continue,
+                });
+            }
             CheckExcept => {
                 self.stats.dyn_checks += 1;
                 if self.sink_active {
-                    let excepted = self.first_tagged(insn).is_some();
+                    let excepted = self.arch().first_tagged(insn).is_some();
                     let reg = insn.src1.unwrap_or(Reg::ZERO);
                     self.emit(Event::at(issue, EventKind::TagCheck { reg, excepted }));
                 }
@@ -1004,1203 +857,17 @@ impl<'a> Machine<'a> {
         }
 
         // General Table 1 path for computational instructions.
-        let a = insn.src1.map_or(0, |r| self.read_reg(r).data);
-        let b = insn.src2.map_or(0, |r| self.read_reg(r).data);
-        if insn.boost > 0 {
-            // Boosted (§2.3): the result goes to the shadow register file;
-            // a fault is recorded there and signaled only at commit.
-            let op_entry = match computed(insn.op, a, b, insn.imm)? {
-                Ok(v) => insn.def().map(|d| ShadowOp::Reg {
-                    dest: d,
-                    data: v,
-                    except: None,
-                }),
-                Err(kind) => insn.def().map(|d| ShadowOp::Reg {
-                    dest: d,
-                    data: 0,
-                    except: Some((insn.id, kind)),
-                }),
-            };
-            if let Some(e) = op_entry {
-                self.shadow_push(insn.boost, e);
-            }
-            self.mark_dest_ready(insn, issue);
-            return Ok(Step::Continue);
-        }
-        if insn.speculative {
-            match self.config.semantics {
-                SpeculationSemantics::SentinelTags => {
-                    if let Some(tv) = self.first_tagged(insn) {
-                        // Rows 1,1,x of Table 1: propagate.
-                        self.stats.tag_propagations += 1;
-                        if let Some(d) = insn.dest {
-                            self.regs.write(
-                                d,
-                                TaggedValue {
-                                    data: tv.data,
-                                    tag: true,
-                                },
-                            );
-                        }
-                    } else {
-                        match computed(insn.op, a, b, insn.imm)? {
-                            Ok(v) => {
-                                if let Some(d) = insn.dest {
-                                    self.regs.write_clean(d, v);
-                                }
-                            }
-                            Err(kind) => {
-                                // Row 1,0,1: defer — tag the destination and
-                                // record the PC in its data field.
-                                self.stats.tag_sets += 1;
-                                self.kinds.insert(insn.id, kind);
-                                if let Some(d) = insn.dest {
-                                    self.regs.write(d, TaggedValue::excepting(insn.id));
-                                }
-                            }
-                        }
-                    }
-                }
-                SpeculationSemantics::Silent => match computed(insn.op, a, b, insn.imm)? {
-                    Ok(v) => {
-                        if let Some(d) = insn.dest {
-                            self.regs.write_clean(d, v);
-                        }
-                    }
-                    Err(_) => {
-                        self.stats.silent_garbage_writes += 1;
-                        if let Some(d) = insn.dest {
-                            self.regs.write_clean(d, GARBAGE);
-                        }
-                    }
-                },
-                SpeculationSemantics::NanWrite => {
-                    // A speculative trapping op propagates NaN silently,
-                    // whether from a NaN source or its own fault.
-                    let nan_in = insn.op.can_trap() && self.nan_source(insn);
-                    let fault = if nan_in {
-                        true
-                    } else {
-                        match computed(insn.op, a, b, insn.imm)? {
-                            Ok(v) => {
-                                if let Some(d) = insn.dest {
-                                    self.regs.write_clean(d, v);
-                                }
-                                false
-                            }
-                            Err(_) => true,
-                        }
-                    };
-                    if fault {
-                        self.stats.silent_garbage_writes += 1;
-                        if let Some(d) = insn.dest {
-                            self.regs.write_clean(d, Self::nan_bits_for(d));
-                        }
-                    }
-                }
-            }
-        } else {
-            if let Some(tv) = self.first_tagged(insn) {
-                // Rows 0,1,x of Table 1: this instruction is the sentinel.
-                return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
-            }
-            if self.config.semantics == SpeculationSemantics::NanWrite
-                && insn.op.can_trap()
-                && self.nan_source(insn)
-            {
-                // Colwell scheme: the trapping consumer signals — and is
-                // (mis)reported as the excepting instruction.
-                return Ok(Step::Trap(Trap {
-                    excepting_pc: insn.id,
-                    reported_by: insn.id,
-                    kind: Some(ExceptionKind::NanOperand),
-                }));
-            }
-            match computed(insn.op, a, b, insn.imm)? {
-                Ok(v) => {
-                    if let Some(d) = insn.dest {
-                        self.regs.write_clean(d, v);
-                    }
-                }
-                Err(kind) => {
-                    // Row 0,0,1: signal immediately.
-                    return Ok(Step::Trap(Trap {
-                        excepting_pc: insn.id,
-                        reported_by: insn.id,
-                        kind: Some(kind),
-                    }));
-                }
+        match sem::tag::exec_compute(&mut self.arch(), insn)? {
+            Some(trap) => Ok(Step::Trap(trap)),
+            None => {
+                self.mark_dest_ready(insn, issue);
+                Ok(Step::Continue)
             }
         }
-        self.mark_dest_ready(insn, issue);
-        Ok(Step::Continue)
     }
 
     fn redirect(&mut self, branch_issue: u64) {
         // Taken-branch redirect: fetch resumes next cycle.
         self.advance_cycle(branch_issue + 1, StallReason::BranchRedirect);
-    }
-
-    /// NaN detection for [`SpeculationSemantics::NanWrite`]: fp sources
-    /// are NaN bit patterns, integer sources equal [`INT_NAN`].
-    fn nan_source(&self, insn: &Insn) -> bool {
-        insn.raw_srcs().any(|r| {
-            let v = self.read_reg(r);
-            match r.class() {
-                sentinel_isa::RegClass::Int => v.data == INT_NAN,
-                sentinel_isa::RegClass::Fp => f64::from_bits(v.data).is_nan(),
-            }
-        })
-    }
-
-    /// The NaN bit pattern for a destination register's class.
-    fn nan_bits_for(d: Reg) -> u64 {
-        match d.class() {
-            sentinel_isa::RegClass::Int => INT_NAN,
-            sentinel_isa::RegClass::Fp => f64::NAN.to_bits(),
-        }
-    }
-
-    fn width_of(op: Opcode) -> Width {
-        match op {
-            Opcode::LdB | Opcode::StB => Width::Byte,
-            _ => Width::Word,
-        }
-    }
-
-    fn exec_load(&mut self, insn: &Insn, issue: u64) -> Result<Step, SimError> {
-        self.stats.loads += 1;
-        let base = self.read_reg(insn.src2.expect("load base"));
-        let dest = insn.dest.expect("load dest");
-        let width = Self::width_of(insn.op);
-        if insn.boost > 0 {
-            // Boosted load (§2.3): forwarded from the shadow store buffer
-            // if a boosted store matches, otherwise from memory; a fault
-            // is parked in the shadow register file.
-            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-            let lat = self.config.mdes.latency(insn.op) as u64;
-            let entry = if let Some(d) = self.shadow_store_lookup(addr, width) {
-                self.ready.insert(dest, issue + lat);
-                ShadowOp::Reg {
-                    dest,
-                    data: d,
-                    except: None,
-                }
-            } else {
-                match self.mem.check_access(addr, width) {
-                    Ok(()) => {
-                        let (fwd, eff) = self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
-                        let penalty = if fwd.is_none() {
-                            self.cache_penalty(addr)
-                        } else {
-                            0
-                        };
-                        let data = fwd.unwrap_or_else(|| self.mem.read_raw(addr, width));
-                        self.ready.insert(dest, eff + lat + penalty);
-                        ShadowOp::Reg {
-                            dest,
-                            data,
-                            except: None,
-                        }
-                    }
-                    Err(kind) => {
-                        self.ready.insert(dest, issue + lat);
-                        ShadowOp::Reg {
-                            dest,
-                            data: 0,
-                            except: Some((insn.id, kind)),
-                        }
-                    }
-                }
-            };
-            self.shadow_push(insn.boost, entry);
-            return Ok(Step::Continue);
-        }
-        if insn.speculative {
-            match self.config.semantics {
-                SpeculationSemantics::SentinelTags if base.tag => {
-                    self.stats.tag_propagations += 1;
-                    self.regs.write(
-                        dest,
-                        TaggedValue {
-                            data: base.data,
-                            tag: true,
-                        },
-                    );
-                    self.mark_dest_ready(insn, issue);
-                    return Ok(Step::Continue);
-                }
-                _ => {}
-            }
-        } else if base.tag {
-            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
-        } else if self.config.semantics == SpeculationSemantics::NanWrite && base.data == INT_NAN {
-            return Ok(Step::Trap(Trap {
-                excepting_pc: insn.id,
-                reported_by: insn.id,
-                kind: Some(ExceptionKind::NanOperand),
-            }));
-        }
-        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-        match self.mem.check_access(addr, width) {
-            Ok(()) => {
-                let lat = self.config.mdes.latency(insn.op) as u64;
-                // Shadow store buffers forward to any later load on the
-                // predicted path (boosting, §2.3).
-                let data = if let Some(d) = self.shadow_store_lookup(addr, width) {
-                    self.ready.insert(dest, issue + lat);
-                    d
-                } else {
-                    let (fwd, eff) = self.sb.resolve_load(addr, width, issue, &mut self.mem)?;
-                    let penalty = if fwd.is_none() {
-                        self.cache_penalty(addr)
-                    } else {
-                        0
-                    };
-                    self.ready.insert(dest, eff + lat + penalty);
-                    fwd.unwrap_or_else(|| self.mem.read_raw(addr, width))
-                };
-                self.regs.write_clean(dest, data);
-                Ok(Step::Continue)
-            }
-            Err(kind) => {
-                if insn.speculative {
-                    match self.config.semantics {
-                        SpeculationSemantics::SentinelTags => {
-                            self.stats.tag_sets += 1;
-                            self.kinds.insert(insn.id, kind);
-                            self.regs.write(dest, TaggedValue::excepting(insn.id));
-                        }
-                        SpeculationSemantics::Silent => {
-                            self.stats.silent_garbage_writes += 1;
-                            self.regs.write_clean(dest, GARBAGE);
-                        }
-                        SpeculationSemantics::NanWrite => {
-                            self.stats.silent_garbage_writes += 1;
-                            self.regs.write_clean(dest, Self::nan_bits_for(dest));
-                        }
-                    }
-                    self.mark_dest_ready(insn, issue);
-                    Ok(Step::Continue)
-                } else {
-                    Ok(Step::Trap(Trap {
-                        excepting_pc: insn.id,
-                        reported_by: insn.id,
-                        kind: Some(kind),
-                    }))
-                }
-            }
-        }
-    }
-
-    /// Store execution per paper Table 2.
-    fn exec_store(&mut self, insn: &Insn, issue: u64) -> Result<Step, SimError> {
-        self.stats.stores += 1;
-        let value = self.read_reg(insn.src1.expect("store value"));
-        let base = self.read_reg(insn.src2.expect("store base"));
-        let width = Self::width_of(insn.op);
-        let first_tagged = [value, base].into_iter().find(|v| v.tag);
-
-        if insn.boost > 0 {
-            // Boosted store (§2.3): buffered in the shadow store buffer;
-            // address translation happens now, the fault (if any) is
-            // signaled at commit.
-            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-            let except = self
-                .mem
-                .check_access(addr, width)
-                .err()
-                .map(|kind| (insn.id, kind));
-            self.shadow_push(
-                insn.boost,
-                ShadowOp::Store {
-                    addr,
-                    data: value.data,
-                    width,
-                    except,
-                },
-            );
-            return Ok(Step::Continue);
-        }
-
-        if !insn.speculative {
-            if let Some(tv) = first_tagged {
-                // Table 2 rows spec=0, tag=1: the store is a sentinel.
-                return Ok(Step::Trap(self.trap_from_tag(tv, insn.id)));
-            }
-            if self.config.semantics == SpeculationSemantics::NanWrite && self.nan_source(insn) {
-                return Ok(Step::Trap(Trap {
-                    excepting_pc: insn.id,
-                    reported_by: insn.id,
-                    kind: Some(ExceptionKind::NanOperand),
-                }));
-            }
-            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-            match self.mem.check_access(addr, width) {
-                Ok(()) => {
-                    let eff = self.sb.insert(
-                        Entry {
-                            addr,
-                            data: value.data,
-                            width,
-                            state: EntryState::Confirmed { ready: issue },
-                            except_pc: None,
-                            except_kind: None,
-                            inserted_at: issue,
-                        },
-                        issue,
-                        &mut self.mem,
-                    )?;
-                    // A full-buffer stall blocks the in-order pipeline.
-                    self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
-                    Ok(Step::Continue)
-                }
-                Err(kind) => {
-                    // Row 0,0,1: release confirmed entries, then signal.
-                    self.sb.flush(&mut self.mem);
-                    Ok(Step::Trap(Trap {
-                        excepting_pc: insn.id,
-                        reported_by: insn.id,
-                        kind: Some(kind),
-                    }))
-                }
-            }
-        } else {
-            if self.config.semantics != SpeculationSemantics::SentinelTags {
-                return Err(SimError::SpeculativeStoreUnsupported(insn.id));
-            }
-            let entry = if let Some(tv) = first_tagged {
-                // Rows 1,1,x: pending entry propagating the exception.
-                self.stats.tag_propagations += 1;
-                let pc = tv.as_pc();
-                Entry {
-                    addr: 0,
-                    data: 0,
-                    width,
-                    state: EntryState::Probationary,
-                    except_pc: Some(pc),
-                    except_kind: self.kinds.get(&pc).copied(),
-                    inserted_at: issue,
-                }
-            } else {
-                let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-                match self.mem.check_access(addr, width) {
-                    // Row 1,0,0: clean pending entry.
-                    Ok(()) => Entry {
-                        addr,
-                        data: value.data,
-                        width,
-                        state: EntryState::Probationary,
-                        except_pc: None,
-                        except_kind: None,
-                        inserted_at: issue,
-                    },
-                    // Row 1,0,1: pending entry with the deferred fault.
-                    Err(kind) => {
-                        self.stats.tag_sets += 1;
-                        self.kinds.insert(insn.id, kind);
-                        Entry {
-                            addr: 0,
-                            data: 0,
-                            width,
-                            state: EntryState::Probationary,
-                            except_pc: Some(insn.id),
-                            except_kind: Some(kind),
-                            inserted_at: issue,
-                        }
-                    }
-                }
-            };
-            let eff = self.sb.insert(entry, issue, &mut self.mem)?;
-            self.advance_cycle(eff.max(self.cycle), StallReason::StoreBufferFull);
-            Ok(Step::Continue)
-        }
-    }
-
-    /// Tag-preserving restore (paper §3.2): loads data *and* tag without
-    /// signaling on the restored tag.
-    fn exec_ld_tag(&mut self, insn: &Insn, issue: u64) -> Result<Step, SimError> {
-        self.stats.loads += 1;
-        let base = self.read_reg(insn.src2.expect("ld.tag base"));
-        if base.tag {
-            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
-        }
-        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-        // Spill-area accesses are modeled as non-faulting.
-        let data = self.mem.read_raw(addr, Width::Word);
-        let tag = self.mem.read_shadow_tag(addr);
-        self.regs
-            .write(insn.dest.expect("ld.tag dest"), TaggedValue { data, tag });
-        self.mark_dest_ready(insn, issue);
-        Ok(Step::Continue)
-    }
-
-    /// Tag-preserving save (paper §3.2): stores data *and* tag without
-    /// signaling on the saved tag.
-    fn exec_st_tag(&mut self, insn: &Insn, issue: u64) -> Result<Step, SimError> {
-        self.stats.stores += 1;
-        let value = self.read_reg(insn.src1.expect("st.tag value"));
-        let base = self.read_reg(insn.src2.expect("st.tag base"));
-        if base.tag {
-            return Ok(Step::Trap(self.trap_from_tag(base, insn.id)));
-        }
-        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
-        // Bypasses the store buffer: spill traffic is not speculative.
-        self.mem.write_raw(addr, Width::Word, value.data);
-        self.mem.write_shadow_tag(addr, value.tag);
-        let _ = issue;
-        Ok(Step::Continue)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use sentinel_isa::LatencyTable;
-    use sentinel_prog::ProgramBuilder;
-
-    fn unit_mdes(width: usize) -> MachineDesc {
-        MachineDesc::builder()
-            .issue_width(width)
-            .latencies(LatencyTable::unit())
-            .build()
-    }
-
-    fn run_func(f: &Function, width: usize) -> (RunOutcome, Stats) {
-        let mut m = Machine::create(f, SimConfig::for_mdes(unit_mdes(width)));
-        m.memory_mut().map_region(0x1000, 0x1000);
-        let o = m.run().unwrap();
-        (o, *m.stats())
-    }
-
-    #[test]
-    fn straight_line_halts() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 5));
-        b.push(Insn::addi(Reg::int(2), Reg::int(1), 1));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.reg(Reg::int(2)).as_i64(), 6);
-    }
-
-    #[test]
-    fn issue_width_bounds_cycles() {
-        // Eight independent li instructions + halt.
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        for i in 1..=8 {
-            b.push(Insn::li(Reg::int(i), i as i64));
-        }
-        b.push(Insn::halt());
-        let f = b.finish();
-        let (_, s1) = run_func(&f, 1);
-        let (_, s8) = run_func(&f, 8);
-        assert!(s1.cycles > s8.cycles);
-        assert!(
-            s8.cycles <= 3,
-            "8 lis + halt should fit ~2 cycles, got {}",
-            s8.cycles
-        );
-    }
-
-    #[test]
-    fn dependent_chain_respects_latency() {
-        // ld (2 cycles) feeding an add: add can't issue the next cycle.
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0));
-        b.push(Insn::addi(Reg::int(3), Reg::int(2), 1));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(MachineDesc::paper_issue(8)));
-        m.memory_mut().map_region(0x1000, 64);
-        m.run().unwrap();
-        // li@0, ld@1 (ready 3), add@3, halt -> at least 4 cycles.
-        assert!(m.stats().cycles >= 4, "cycles = {}", m.stats().cycles);
-    }
-
-    #[test]
-    fn taken_branch_redirects() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(1), 1));
-        b.push(Insn::branch(Opcode::Bne, Reg::int(1), Reg::ZERO, t));
-        b.push(Insn::li(Reg::int(2), 99)); // skipped
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.reg(Reg::int(2)).as_i64(), 0, "post-branch insn skipped");
-        assert_eq!(m.stats().branches_taken, 1);
-    }
-
-    #[test]
-    fn non_speculative_fault_traps_immediately() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x9998)); // aligned but unmapped
-        let ld = Insn::ld_w(Reg::int(2), Reg::int(1), 0);
-        b.push(ld);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let ld_id = f.block(f.entry()).insns[1].id;
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
-        match m.run().unwrap() {
-            RunOutcome::Trapped(t) => {
-                assert_eq!(t.excepting_pc, ld_id);
-                assert_eq!(t.reported_by, ld_id);
-                assert_eq!(t.kind, Some(ExceptionKind::UnmappedAddress(0x9998)));
-            }
-            other => panic!("expected trap, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn speculative_fault_defers_to_sentinel() {
-        // ld.s faults; check r2 signals, reporting the load's pc.
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x9999));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::addi(Reg::int(3), Reg::int(2), 1).speculated()); // propagates
-        b.push(Insn::check_exception(Reg::int(3)));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let ld_id = f.block(f.entry()).insns[1].id;
-        let check_id = f.block(f.entry()).insns[3].id;
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        match m.run().unwrap() {
-            RunOutcome::Trapped(t) => {
-                assert_eq!(t.excepting_pc, ld_id, "sentinel reports the load");
-                assert_eq!(t.reported_by, check_id);
-            }
-            other => panic!("expected trap, got {other:?}"),
-        }
-        assert_eq!(m.stats().tag_sets, 1);
-        assert_eq!(m.stats().tag_propagations, 1);
-    }
-
-    #[test]
-    fn silent_semantics_loses_exception() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x9999));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut cfg = SimConfig::for_mdes(unit_mdes(8));
-        cfg.semantics = SpeculationSemantics::Silent;
-        let mut m = Machine::create(&f, cfg);
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.reg(Reg::int(2)).data, GARBAGE);
-        assert_eq!(m.stats().silent_garbage_writes, 1);
-    }
-
-    #[test]
-    fn recovery_resumes_at_excepting_pc() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x2000)); // initially unmapped
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::addi(Reg::int(3), Reg::int(2), 1).speculated());
-        b.push(Insn::check_exception(Reg::int(3)));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        let out = m
-            .run_with_recovery(|trap, mem| {
-                // "Page in" the faulting address and retry.
-                assert!(trap.kind.is_some());
-                mem.map_region(0x2000, 64);
-                mem.write_raw(0x2000, Width::Word, 41);
-                Recovery::Resume
-            })
-            .unwrap();
-        assert_eq!(out, RunOutcome::Halted);
-        assert_eq!(m.stats().recoveries, 1);
-        assert_eq!(m.reg(Reg::int(3)).as_i64(), 42);
-        assert!(!m.reg(Reg::int(3)).tag);
-    }
-
-    #[test]
-    fn recovery_penalty_charged_per_resume() {
-        let build = || {
-            let mut b = ProgramBuilder::new("f");
-            b.block("e");
-            b.push(Insn::li(Reg::int(1), 0x2000));
-            b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-            b.push(Insn::check_exception(Reg::int(2)));
-            b.push(Insn::halt());
-            b.finish()
-        };
-        let run_with_penalty = |penalty: u64| {
-            let f = build();
-            let mut cfg = SimConfig::for_mdes(unit_mdes(4));
-            cfg.recovery_penalty = penalty;
-            let mut m = Machine::create(&f, cfg);
-            m.run_with_recovery(|_, mem| {
-                if !mem.is_mapped(0x2000, 8) {
-                    mem.map_region(0x2000, 8);
-                }
-                Recovery::Resume
-            })
-            .unwrap();
-            m.stats().cycles
-        };
-        let cheap = run_with_penalty(0);
-        let dear = run_with_penalty(100);
-        assert!(dear >= cheap + 100, "{dear} vs {cheap}");
-    }
-
-    #[test]
-    fn pc_history_covers_recent_faults() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x9998));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::halt());
-        let f = b.finish();
-        let ld_id = f.block(f.entry()).insns[1].id;
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(4)));
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        // The fidelity check of paper §3.2: a hardware PC history queue of
-        // the configured depth would have recovered the faulting pc.
-        assert!(m.pc_history().recover(ld_id));
-    }
-
-    #[test]
-    fn out_of_fuel_detected() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        b.push(Insn::jump(e));
-        let f = b.finish();
-        let mut cfg = SimConfig::for_mdes(unit_mdes(1));
-        cfg.fuel = 100;
-        let mut m = Machine::create(&f, cfg);
-        assert_eq!(m.run(), Err(SimError::OutOfFuel));
-    }
-
-    #[test]
-    fn fell_off_end_detected() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::nop());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
-        assert!(matches!(m.run(), Err(SimError::FellOffEnd(_))));
-    }
-
-    #[test]
-    fn store_then_load_forwards_through_buffer() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::li(Reg::int(2), 77));
-        b.push(Insn::st_w(Reg::int(2), Reg::int(1), 0));
-        b.push(Insn::ld_w(Reg::int(3), Reg::int(1), 0));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.memory_mut().map_region(0x1000, 64);
-        m.run().unwrap();
-        assert_eq!(m.reg(Reg::int(3)).as_i64(), 77);
-        assert_eq!(m.memory().read_word(0x1000).unwrap(), 77);
-    }
-
-    #[test]
-    fn speculative_store_confirm_commits() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::li(Reg::int(2), 55));
-        b.push(Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::confirm_store(0));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.memory_mut().map_region(0x1000, 64);
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.memory().read_word(0x1000).unwrap(), 55);
-    }
-
-    #[test]
-    fn taken_branch_cancels_speculative_store() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::li(Reg::int(2), 55));
-        b.push(Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::ZERO, t)); // taken
-        b.push(Insn::confirm_store(0)); // skipped
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.memory_mut().map_region(0x1000, 64);
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.memory().read_word(0x1000).unwrap(), 0, "cancelled store");
-        assert_eq!(m.stats().sb_cancels, 1);
-    }
-
-    #[test]
-    fn unconfirmed_at_halt_is_an_error() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::st_w(Reg::int(1), Reg::int(1), 0).speculated());
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.memory_mut().map_region(0x1000, 0x2000);
-        assert_eq!(m.run(), Err(SimError::UnconfirmedAtHalt(1)));
-    }
-
-    #[test]
-    fn tag_spill_roundtrip_preserves_exception_state() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x9999));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated()); // tags r2
-        b.push(Insn::li(Reg::int(3), 0x1000));
-        b.push(Insn::st_tag(Reg::int(2), Reg::int(3), 0)); // spill: must NOT signal
-        b.push(Insn::li(Reg::int(2), 0)); // clobber
-        b.push(Insn::ld_tag(Reg::int(2), Reg::int(3), 0)); // restore
-        b.push(Insn::check_exception(Reg::int(2))); // now signal
-        b.push(Insn::halt());
-        let f = b.finish();
-        let ld_id = f.block(f.entry()).insns[1].id;
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.memory_mut().map_region(0x1000, 64);
-        match m.run().unwrap() {
-            RunOutcome::Trapped(t) => assert_eq!(t.excepting_pc, ld_id),
-            other => panic!("expected trap, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn stale_tag_on_uninitialized_register_causes_spurious_trap_without_clear() {
-        // Demonstrates §3.5: a stale tag trips the first use...
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::addi(Reg::int(2), Reg::int(1), 0)); // uses r1
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
-        m.set_stale_tag(Reg::int(1), InsnId(12345));
-        assert!(matches!(m.run().unwrap(), RunOutcome::Trapped(_)));
-
-        // ...and clear_tag prevents it.
-        let mut b = ProgramBuilder::new("g");
-        b.block("e");
-        b.push(Insn::clear_tag(Reg::int(1)));
-        b.push(Insn::addi(Reg::int(2), Reg::int(1), 0));
-        b.push(Insn::halt());
-        let g = b.finish();
-        let mut m = Machine::create(&g, SimConfig::for_mdes(unit_mdes(1)));
-        m.set_stale_tag(Reg::int(1), InsnId(12345));
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-    }
-
-    #[test]
-    fn cache_misses_add_load_latency() {
-        // Two dependent loads from different lines: with a cache, cold
-        // misses lengthen the run; a second pass over the same line hits.
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0));
-        b.push(Insn::addi(Reg::int(3), Reg::int(2), 1));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let run = |cache| {
-            let mut cfg = SimConfig::for_mdes(MachineDesc::paper_issue(1));
-            cfg.cache = cache;
-            let mut m = Machine::create(&f, cfg);
-            m.memory_mut().map_region(0x1000, 64);
-            m.run().unwrap();
-            (m.stats().cycles, m.cache().map(|c| c.stats()))
-        };
-        let (no_cache, none) = run(None);
-        assert_eq!(none, None);
-        let (with_cache, stats) = run(Some(crate::cache::CacheConfig::small_l1(20)));
-        assert_eq!(stats, Some((0, 1)), "one cold miss");
-        assert!(
-            with_cache >= no_cache + 20,
-            "{with_cache} vs {no_cache}: miss penalty charged"
-        );
-    }
-
-    #[test]
-    fn store_buffer_forwarding_bypasses_cache() {
-        // A probationary store cannot drain, so the load *must* forward
-        // from the buffer — and therefore never touches the cache.
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::li(Reg::int(2), 9));
-        b.push(Insn::st_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::ld_w(Reg::int(3), Reg::int(1), 0)); // forwarded
-        b.push(Insn::confirm_store(0));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut cfg = SimConfig::for_mdes(MachineDesc::paper_issue(1));
-        cfg.cache = Some(crate::cache::CacheConfig::small_l1(20));
-        let mut m = Machine::create(&f, cfg);
-        m.memory_mut().map_region(0x1000, 64);
-        m.run().unwrap();
-        let (hits, misses) = m.cache().unwrap().stats();
-        assert_eq!(
-            (hits, misses),
-            (0, 0),
-            "forwarded load never touches the cache"
-        );
-        assert_eq!(m.reg(Reg::int(3)).as_i64(), 9);
-        assert_eq!(m.stats().sb_forwards, 1);
-    }
-
-    #[test]
-    fn trace_records_every_dynamic_instruction() {
-        let mut b = ProgramBuilder::new("g");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(1), 5));
-        b.push(Insn::branch(Opcode::Beq, Reg::int(1), Reg::ZERO, t)); // untaken
-        b.push(Insn::jump(t)); // taken
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let g = b.finish();
-        let mut cfg = SimConfig::for_mdes(unit_mdes(2));
-        cfg.collect_trace = true;
-        let mut m = Machine::create(&g, cfg);
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        let trace = m.trace();
-        assert_eq!(trace.len() as u64, m.stats().dyn_insns);
-        // Cycles are monotone nondecreasing.
-        for w in trace.windows(2) {
-            assert!(w[1].cycle >= w[0].cycle);
-        }
-        // Exactly the jump is marked taken; the untaken beq is not.
-        let taken: Vec<&str> = trace
-            .iter()
-            .filter(|e| e.taken)
-            .map(|e| e.text.as_str())
-            .collect();
-        assert_eq!(taken, vec!["jump B1"]);
-        assert!(trace[0].to_string().contains("li r1, 5"));
-    }
-
-    #[test]
-    fn trace_disabled_by_default() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(1)));
-        m.run().unwrap();
-        assert!(m.trace().is_empty());
-    }
-
-    #[test]
-    fn boosted_result_commits_on_untaken_branch() {
-        // ld.b1 r1 above a branch; branch untaken -> value commits.
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(2), 0x1000));
-        b.push(Insn::ld_w(Reg::int(1), Reg::int(2), 0).boosted(1));
-        b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::int(9), t)); // r9=0 -> wait
-        b.push(Insn::addi(Reg::int(3), Reg::int(1), 1)); // reads committed r1
-        b.push(Insn::halt());
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.set_reg(Reg::int(9), 1); // branch untaken (0 != 1)
-        m.memory_mut().map_region(0x1000, 64);
-        m.memory_mut().write_word(0x1000, 41).unwrap();
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.reg(Reg::int(1)).as_i64(), 41);
-        assert_eq!(m.reg(Reg::int(3)).as_i64(), 42);
-        assert_eq!(m.stats().shadow_commits, 1);
-        assert_eq!(m.stats().dyn_boosted, 1);
-    }
-
-    #[test]
-    fn boosted_result_squashed_on_taken_branch() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(1), 7)); // architectural r1
-        b.push(Insn::li(Reg::int(2), 0x1000));
-        b.push(Insn::ld_w(Reg::int(1), Reg::int(2), 0).boosted(1)); // shadow r1
-        b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::ZERO, t)); // taken
-        b.push(Insn::halt());
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.memory_mut().map_region(0x1000, 64);
-        m.memory_mut().write_word(0x1000, 41).unwrap();
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        // The taken branch discarded the shadow write: r1 keeps 7.
-        assert_eq!(m.reg(Reg::int(1)).as_i64(), 7);
-        assert_eq!(m.stats().shadow_squashes, 1);
-    }
-
-    #[test]
-    fn boosted_fault_signals_at_commit_with_original_pc() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(2), 0x9998)); // unmapped
-        b.push(Insn::ld_w(Reg::int(1), Reg::int(2), 0).boosted(1));
-        b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::int(9), t));
-        b.push(Insn::halt());
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let ld_id = f.block(e).insns[1].id;
-        let br_id = f.block(e).insns[2].id;
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.set_reg(Reg::int(9), 1); // untaken -> commit signals
-        match m.run().unwrap() {
-            RunOutcome::Trapped(tr) => {
-                assert_eq!(tr.excepting_pc, ld_id, "boosting is exception-precise");
-                assert_eq!(tr.reported_by, br_id);
-            }
-            o => panic!("expected trap, got {o:?}"),
-        }
-    }
-
-    #[test]
-    fn boosted_fault_ignored_on_taken_branch() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(2), 0x9998));
-        b.push(Insn::ld_w(Reg::int(1), Reg::int(2), 0).boosted(1));
-        b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::ZERO, t)); // taken
-        b.push(Insn::halt());
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-    }
-
-    #[test]
-    fn two_level_boosting_commits_level_by_level() {
-        // add.b2 crosses two branches; commits only after both resolve.
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(1), 5));
-        b.push(Insn::addi(Reg::int(3), Reg::int(1), 1).boosted(2));
-        b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::int(9), t)); // untaken
-        b.push(Insn::addi(Reg::int(4), Reg::int(3), 0).boosted(1)); // shadow read
-        b.push(Insn::branch(Opcode::Bne, Reg::ZERO, Reg::int(9), t)); // untaken? 0!=1 -> taken!
-        b.push(Insn::halt());
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        // Case A: second branch taken -> both shadow writes squashed? No:
-        // the .b2 entry survived branch 1 (level 2->1) and is squashed by
-        // the taken branch 2, as is the .b1 entry.
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.set_reg(Reg::int(9), 1);
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.reg(Reg::int(3)).as_i64(), 0, "squashed before commit");
-        assert_eq!(m.reg(Reg::int(4)).as_i64(), 0);
-        // Case B: make both branches untaken (beq 0,9 untaken; bne 0,0 untaken).
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.set_reg(Reg::int(9), 0); // beq 0,0 -> TAKEN. Need different data…
-                                   // beq r0, r9: taken iff r9 == 0. Use r9 = 1 for untaken; then
-                                   // bne r0, r9: taken iff r9 != 0 -> taken with 1. So with this
-                                   // program one of the two is always taken; case B uses a third
-                                   // register setup instead: skip — covered by case A plus
-                                   // boosted_result_commits_on_untaken_branch.
-        let _ = m;
-    }
-
-    #[test]
-    fn boosted_store_commits_and_forwards() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(2), 0x1000));
-        b.push(Insn::li(Reg::int(3), 77));
-        b.push(Insn::st_w(Reg::int(3), Reg::int(2), 0).boosted(1)); // shadow store
-        b.push(Insn::ld_w(Reg::int(4), Reg::int(2), 0).boosted(1)); // forwarded
-        b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::int(9), t)); // untaken
-        b.push(Insn::halt());
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.set_reg(Reg::int(9), 1);
-        m.memory_mut().map_region(0x1000, 64);
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.memory().read_word(0x1000).unwrap(), 77, "store committed");
-        assert_eq!(m.reg(Reg::int(4)).as_i64(), 77, "shadow forwarding");
-    }
-
-    #[test]
-    fn boosted_store_discarded_on_taken_branch() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        let t = b.block("t");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(2), 0x1000));
-        b.push(Insn::li(Reg::int(3), 77));
-        b.push(Insn::st_w(Reg::int(3), Reg::int(2), 0).boosted(1));
-        b.push(Insn::branch(Opcode::Beq, Reg::ZERO, Reg::ZERO, t)); // taken
-        b.push(Insn::halt());
-        b.switch_to(t);
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        m.memory_mut().map_region(0x1000, 64);
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted);
-        assert_eq!(m.memory().read_word(0x1000).unwrap(), 0, "never committed");
-    }
-
-    #[test]
-    fn shadow_state_at_halt_is_an_error() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 1).boosted(1));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        assert_eq!(m.run(), Err(SimError::ShadowAtHalt(1)));
-    }
-
-    #[test]
-    fn nan_write_defers_fault_and_misattributes() {
-        // Colwell scheme (§2.4): a speculative faulting load writes the
-        // integer NaN; a later trapping consumer (div) signals — but the
-        // report names the *consumer*, not the load.
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x9998)); // unmapped
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::alu(
-            Opcode::Div,
-            Reg::int(3),
-            Reg::int(4),
-            Reg::int(2),
-        ));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let div_id = f.block(f.entry()).insns[2].id;
-        let mut cfg = SimConfig::for_mdes(unit_mdes(8));
-        cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::create(&f, cfg);
-        match m.run().unwrap() {
-            RunOutcome::Trapped(t) => {
-                assert_eq!(t.excepting_pc, div_id, "misattributed to the consumer");
-                assert_eq!(t.kind, Some(ExceptionKind::NanOperand));
-            }
-            o => panic!("expected trap, got {o:?}"),
-        }
-        assert_eq!(m.reg(Reg::int(2)).data, INT_NAN);
-    }
-
-    #[test]
-    fn nan_write_loses_exception_through_nontrapping_use() {
-        // The paper: "is not guaranteed to signal an exception if the
-        // result of a speculative exception-causing instruction is
-        // conditionally used" — non-trapping consumers launder the NaN.
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x9998));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::addi(Reg::int(3), Reg::int(2), 1)); // add cannot trap
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut cfg = SimConfig::for_mdes(unit_mdes(8));
-        cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::create(&f, cfg);
-        assert_eq!(m.run().unwrap(), RunOutcome::Halted, "exception lost");
-        assert_eq!(m.reg(Reg::int(3)).data, INT_NAN.wrapping_add(1));
-    }
-
-    #[test]
-    fn nan_write_fp_chain_signals_at_first_trapping_use() {
-        // Fp NaNs are detected naturally by fp arithmetic.
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x9998));
-        b.push(Insn::fld(Reg::fp(2), Reg::int(1), 0).speculated()); // NaN
-        b.push(Insn::fli(Reg::fp(3), 1.0));
-        b.push(Insn::alu(Opcode::FAdd, Reg::fp(4), Reg::fp(2), Reg::fp(3)).speculated());
-        b.push(Insn::alu(Opcode::FMul, Reg::fp(5), Reg::fp(4), Reg::fp(3))); // non-spec: signals
-        b.push(Insn::halt());
-        let f = b.finish();
-        let fmul_id = f.block(f.entry()).insns[4].id;
-        let mut cfg = SimConfig::for_mdes(unit_mdes(8));
-        cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::create(&f, cfg);
-        match m.run().unwrap() {
-            RunOutcome::Trapped(t) => {
-                assert_eq!(t.excepting_pc, fmul_id);
-                assert_eq!(t.kind, Some(ExceptionKind::NanOperand));
-            }
-            o => panic!("expected trap, got {o:?}"),
-        }
-        // The intermediate speculative fadd propagated NaN silently.
-        assert!(m.reg(Reg::fp(4)).as_f64().is_nan());
-    }
-
-    #[test]
-    fn nan_write_rejects_speculative_stores() {
-        let mut b = ProgramBuilder::new("f");
-        b.block("e");
-        b.push(Insn::li(Reg::int(1), 0x1000));
-        b.push(Insn::st_w(Reg::int(1), Reg::int(1), 0).speculated());
-        b.push(Insn::halt());
-        let f = b.finish();
-        let mut cfg = SimConfig::for_mdes(unit_mdes(8));
-        cfg.semantics = SpeculationSemantics::NanWrite;
-        let mut m = Machine::create(&f, cfg);
-        m.memory_mut().map_region(0x1000, 64);
-        assert!(matches!(
-            m.run(),
-            Err(SimError::SpeculativeStoreUnsupported(_))
-        ));
-    }
-
-    #[test]
-    fn branch_acts_as_sentinel_for_tagged_source() {
-        let mut b = ProgramBuilder::new("f");
-        let e = b.block("e");
-        b.switch_to(e);
-        b.push(Insn::li(Reg::int(1), 0x9999));
-        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
-        b.push(Insn::branch(Opcode::Beq, Reg::int(2), Reg::ZERO, e));
-        b.push(Insn::halt());
-        let f = b.finish();
-        let ld_id = f.block(e).insns[1].id;
-        let mut m = Machine::create(&f, SimConfig::for_mdes(unit_mdes(8)));
-        match m.run().unwrap() {
-            RunOutcome::Trapped(t) => assert_eq!(t.excepting_pc, ld_id),
-            other => panic!("expected trap, got {other:?}"),
-        }
     }
 }

@@ -1,0 +1,189 @@
+//! Instruction boosting (paper §2.3): shadow register file and shadow
+//! store buffer, with commit-on-untaken / squash-on-taken semantics.
+//!
+//! A boosted instruction's effects are buffered here until the branches
+//! it was boosted above resolve. Both engines hold a [`ShadowState`] and
+//! route every commit/squash decision through [`commit`] and [`squash`],
+//! so the level-decrement, program-order-commit, and first-fault-wins
+//! rules are written once.
+
+use sentinel_isa::{InsnId, Reg};
+
+use crate::except::{ExceptionKind, Trap};
+use crate::machine::SimError;
+use crate::memory::Width;
+
+use super::storebuf::{Entry, EntryState};
+use super::ArchState;
+
+/// A buffered effect of a boosted instruction (paper §2.3): held in the
+/// shadow register file / shadow store buffer until its branches resolve.
+#[derive(Debug, Clone)]
+pub(crate) enum ShadowOp {
+    /// Shadow register write: destination, data, deferred fault.
+    Reg {
+        dest: Reg,
+        data: u64,
+        except: Option<(InsnId, ExceptionKind)>,
+    },
+    /// Shadow store: address, data, width, deferred fault.
+    Store {
+        addr: u64,
+        data: u64,
+        width: Width,
+        except: Option<(InsnId, ExceptionKind)>,
+    },
+}
+
+/// One shadow-buffer entry: the effect, how many more branches must
+/// resolve before it commits, and a global sequence number preserving
+/// program order across levels.
+#[derive(Debug, Clone)]
+pub(crate) struct ShadowEntry {
+    pub(crate) level: u8,
+    pub(crate) seq: u64,
+    pub(crate) op: ShadowOp,
+}
+
+/// The shadow register file and shadow store buffer of one engine.
+#[derive(Debug, Default)]
+pub(crate) struct ShadowState {
+    entries: Vec<ShadowEntry>,
+    seq: u64,
+}
+
+impl ShadowState {
+    /// No buffered boosted effects?
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of buffered boosted effects.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends a shadow entry for a boosted instruction.
+    pub(crate) fn push(&mut self, level: u8, op: ShadowOp) {
+        self.seq += 1;
+        self.entries.push(ShadowEntry {
+            level,
+            seq: self.seq,
+            op,
+        });
+    }
+
+    /// Shadow register overlay: the newest shadow write to `r` (in
+    /// program order, across levels), if any. `r0`/`f0` never overlay.
+    pub(crate) fn reg_overlay(&self, r: Reg) -> Option<u64> {
+        if self.entries.is_empty() || r.is_zero() {
+            return None;
+        }
+        self.entries.iter().rev().find_map(|e| match e.op {
+            ShadowOp::Reg { dest, data, .. } if dest == r => Some(data),
+            _ => None,
+        })
+    }
+
+    /// Shadow store-buffer forwarding (exact-match, newest first).
+    pub(crate) fn store_lookup(&self, addr: u64, width: Width) -> Option<u64> {
+        self.entries.iter().rev().find_map(|e| match &e.op {
+            ShadowOp::Store {
+                addr: a,
+                data,
+                width: w,
+                except: None,
+            } if *a == addr && *w == width => Some(*data),
+            _ => None,
+        })
+    }
+}
+
+/// A branch resolved as correctly predicted (untaken): commit all
+/// level-1 shadow entries in program order, decrement the rest.
+///
+/// Returns the first deferred exception encountered (commit stops at the
+/// fault; state up to it is committed) and, if any shadow stores entered
+/// the store buffer, the latest effective insertion cycle — the caller
+/// charges one stall to that point, which is cycle-exact because
+/// insertion itself timestamps entries with `issue`, not the machine
+/// cycle, and sequential stalls telescope.
+pub(crate) fn commit(
+    a: &mut ArchState,
+    branch: InsnId,
+    issue: u64,
+) -> Result<(Option<Trap>, Option<u64>), SimError> {
+    if a.shadow.entries.is_empty() {
+        return Ok((None, None));
+    }
+    let mut entries = std::mem::take(&mut a.shadow.entries);
+    entries.sort_by_key(|e| e.seq);
+    let mut trap = None;
+    let mut stall_to = None;
+    for e in entries {
+        if e.level > 1 {
+            a.shadow.entries.push(ShadowEntry {
+                level: e.level - 1,
+                ..e
+            });
+            continue;
+        }
+        if trap.is_some() {
+            // Abort the remainder of the commit after a signaled
+            // exception (machine state up to the fault is committed).
+            continue;
+        }
+        a.stats.shadow_commits += 1;
+        match e.op {
+            ShadowOp::Reg { dest, data, except } => match except {
+                None => a.regs.write_clean(dest, data),
+                Some((pc, kind)) => {
+                    trap = Some(Trap {
+                        excepting_pc: pc,
+                        reported_by: branch,
+                        kind: Some(kind),
+                    });
+                }
+            },
+            ShadowOp::Store {
+                addr,
+                data,
+                width,
+                except,
+            } => match except {
+                None => {
+                    let eff = a.sb.insert(
+                        Entry {
+                            addr,
+                            data,
+                            width,
+                            state: EntryState::Confirmed { ready: issue },
+                            except_pc: None,
+                            except_kind: None,
+                            inserted_at: issue,
+                        },
+                        issue,
+                        a.mem,
+                    )?;
+                    stall_to = Some(stall_to.map_or(eff, |s: u64| s.max(eff)));
+                }
+                Some((pc, kind)) => {
+                    trap = Some(Trap {
+                        excepting_pc: pc,
+                        reported_by: branch,
+                        kind: Some(kind),
+                    });
+                }
+            },
+        }
+    }
+    Ok((trap, stall_to))
+}
+
+/// A branch was "mispredicted" (taken): discard all shadow state.
+pub(crate) fn squash(a: &mut ArchState) {
+    if !a.shadow.entries.is_empty() {
+        a.stats.shadow_squashes += a.shadow.entries.len() as u64;
+        a.shadow.entries.clear();
+    }
+}

@@ -1,0 +1,390 @@
+//! Memory-instruction effect functions: Table 1's load rows, Table 2's
+//! store-insertion rules, the §3.2 tag spill/restore pair, and the
+//! `confirm_store` / halt-time flush protocol.
+//!
+//! Every function mutates architectural state through [`ArchState`] and
+//! reports *timing facts* (when a result becomes ready, how far a
+//! full-buffer stall reaches) back to the engine, which owns the
+//! scoreboard and stall attribution.
+
+use sentinel_isa::Insn;
+
+use crate::except::{ExceptionKind, Trap};
+use crate::machine::SimError;
+use crate::memory::{Memory, Width};
+use crate::regfile::TaggedValue;
+
+use super::boost::ShadowOp;
+use super::storebuf::{ConfirmOutcome, Entry, EntryState, StoreBuffer};
+use super::{nan_bits_for, width_of, ArchState, SpeculationSemantics, INT_NAN};
+
+/// Outcome of a load-class instruction.
+pub(crate) enum LoadStep {
+    /// The load retired; its destination becomes ready at `ready_at`.
+    /// `raw` selects which scoreboard slot the engine marks: `true` for
+    /// the raw destination register (a real datum arrived — even into a
+    /// pre-allocation virtual register), `false` for the def-visible
+    /// destination only (tag propagation / deferred-fault writes).
+    Done { ready_at: u64, raw: bool },
+    /// The load signals (it acted as a sentinel, or faulted
+    /// non-speculatively).
+    Trap(Trap),
+}
+
+/// Outcome of a store-class instruction.
+pub(crate) enum StoreStep {
+    /// The store retired; if `stall_to` is set, insertion found the
+    /// buffer full and the engine charges a [`StoreBufferFull`] stall up
+    /// to that cycle.
+    ///
+    /// [`StoreBufferFull`]: sentinel_trace::StallReason::StoreBufferFull
+    Done { stall_to: Option<u64> },
+    /// The store signals.
+    Trap(Trap),
+}
+
+/// Load execution: Table 1's memory rows plus boosted-load forwarding
+/// (§2.3). `lat` is the engine-supplied operation latency.
+pub(crate) fn exec_load(
+    arch: &mut ArchState,
+    insn: &Insn,
+    issue: u64,
+    lat: u64,
+) -> Result<LoadStep, SimError> {
+    arch.stats.loads += 1;
+    let base = arch.read_reg(insn.src2.expect("load base"));
+    let dest = insn.dest.expect("load dest");
+    let width = width_of(insn.op);
+    if insn.boost > 0 {
+        // Boosted load (§2.3): forwarded from the shadow store buffer
+        // if a boosted store matches, otherwise from memory; a fault
+        // is parked in the shadow register file.
+        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+        let (entry, ready_at) = if let Some(d) = arch.shadow.store_lookup(addr, width) {
+            (
+                ShadowOp::Reg {
+                    dest,
+                    data: d,
+                    except: None,
+                },
+                issue + lat,
+            )
+        } else {
+            match arch.mem.check_access(addr, width) {
+                Ok(()) => {
+                    let (fwd, eff) = arch.sb.resolve_load(addr, width, issue, arch.mem)?;
+                    let penalty = if fwd.is_none() {
+                        arch.cache_penalty(addr)
+                    } else {
+                        0
+                    };
+                    let data = fwd.unwrap_or_else(|| arch.mem.read_raw(addr, width));
+                    (
+                        ShadowOp::Reg {
+                            dest,
+                            data,
+                            except: None,
+                        },
+                        eff + lat + penalty,
+                    )
+                }
+                Err(kind) => (
+                    ShadowOp::Reg {
+                        dest,
+                        data: 0,
+                        except: Some((insn.id, kind)),
+                    },
+                    issue + lat,
+                ),
+            }
+        };
+        arch.shadow.push(insn.boost, entry);
+        return Ok(LoadStep::Done {
+            ready_at,
+            raw: true,
+        });
+    }
+    if insn.speculative {
+        if arch.semantics == SpeculationSemantics::SentinelTags && base.tag {
+            // Rows 1,1,x: propagate the base register's tag.
+            arch.stats.tag_propagations += 1;
+            arch.regs.write(
+                dest,
+                TaggedValue {
+                    data: base.data,
+                    tag: true,
+                },
+            );
+            return Ok(LoadStep::Done {
+                ready_at: issue + lat,
+                raw: false,
+            });
+        }
+    } else if base.tag {
+        return Ok(LoadStep::Trap(arch.trap_from_tag(base, insn.id)));
+    } else if arch.semantics == SpeculationSemantics::NanWrite && base.data == INT_NAN {
+        return Ok(LoadStep::Trap(Trap {
+            excepting_pc: insn.id,
+            reported_by: insn.id,
+            kind: Some(ExceptionKind::NanOperand),
+        }));
+    }
+    let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+    match arch.mem.check_access(addr, width) {
+        Ok(()) => {
+            // Shadow store buffers forward to any later load on the
+            // predicted path (boosting, §2.3).
+            let (data, ready_at) = if let Some(d) = arch.shadow.store_lookup(addr, width) {
+                (d, issue + lat)
+            } else {
+                let (fwd, eff) = arch.sb.resolve_load(addr, width, issue, arch.mem)?;
+                let penalty = if fwd.is_none() {
+                    arch.cache_penalty(addr)
+                } else {
+                    0
+                };
+                (
+                    fwd.unwrap_or_else(|| arch.mem.read_raw(addr, width)),
+                    eff + lat + penalty,
+                )
+            };
+            arch.regs.write_clean(dest, data);
+            Ok(LoadStep::Done {
+                ready_at,
+                raw: true,
+            })
+        }
+        Err(kind) => {
+            if insn.speculative {
+                match arch.semantics {
+                    SpeculationSemantics::SentinelTags => {
+                        // Row 1,0,1: defer via the destination tag.
+                        arch.stats.tag_sets += 1;
+                        arch.kinds.insert(insn.id, kind);
+                        arch.regs.write(dest, TaggedValue::excepting(insn.id));
+                    }
+                    SpeculationSemantics::Silent => {
+                        arch.stats.silent_garbage_writes += 1;
+                        arch.regs.write_clean(dest, super::GARBAGE);
+                    }
+                    SpeculationSemantics::NanWrite => {
+                        arch.stats.silent_garbage_writes += 1;
+                        arch.regs.write_clean(dest, nan_bits_for(dest));
+                    }
+                }
+                Ok(LoadStep::Done {
+                    ready_at: issue + lat,
+                    raw: false,
+                })
+            } else {
+                Ok(LoadStep::Trap(Trap {
+                    excepting_pc: insn.id,
+                    reported_by: insn.id,
+                    kind: Some(kind),
+                }))
+            }
+        }
+    }
+}
+
+/// Store execution per paper Table 2 (plus boosted stores, §2.3).
+pub(crate) fn exec_store(
+    arch: &mut ArchState,
+    insn: &Insn,
+    issue: u64,
+) -> Result<StoreStep, SimError> {
+    arch.stats.stores += 1;
+    let value = arch.read_reg(insn.src1.expect("store value"));
+    let base = arch.read_reg(insn.src2.expect("store base"));
+    let width = width_of(insn.op);
+    let first_tagged = [value, base].into_iter().find(|v| v.tag);
+
+    if insn.boost > 0 {
+        // Boosted store (§2.3): buffered in the shadow store buffer;
+        // address translation happens now, the fault (if any) is
+        // signaled at commit.
+        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+        let except = arch
+            .mem
+            .check_access(addr, width)
+            .err()
+            .map(|kind| (insn.id, kind));
+        arch.shadow.push(
+            insn.boost,
+            ShadowOp::Store {
+                addr,
+                data: value.data,
+                width,
+                except,
+            },
+        );
+        return Ok(StoreStep::Done { stall_to: None });
+    }
+
+    if !insn.speculative {
+        if let Some(tv) = first_tagged {
+            // Table 2 rows spec=0, tag=1: the store is a sentinel.
+            return Ok(StoreStep::Trap(arch.trap_from_tag(tv, insn.id)));
+        }
+        if arch.semantics == SpeculationSemantics::NanWrite && arch.nan_source(insn) {
+            return Ok(StoreStep::Trap(Trap {
+                excepting_pc: insn.id,
+                reported_by: insn.id,
+                kind: Some(ExceptionKind::NanOperand),
+            }));
+        }
+        let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+        match arch.mem.check_access(addr, width) {
+            Ok(()) => {
+                let eff = arch.sb.insert(
+                    Entry {
+                        addr,
+                        data: value.data,
+                        width,
+                        state: EntryState::Confirmed { ready: issue },
+                        except_pc: None,
+                        except_kind: None,
+                        inserted_at: issue,
+                    },
+                    issue,
+                    arch.mem,
+                )?;
+                // A full-buffer stall blocks the in-order pipeline.
+                Ok(StoreStep::Done {
+                    stall_to: Some(eff),
+                })
+            }
+            Err(kind) => {
+                // Row 0,0,1: release confirmed entries, then signal.
+                arch.sb.flush(arch.mem);
+                Ok(StoreStep::Trap(Trap {
+                    excepting_pc: insn.id,
+                    reported_by: insn.id,
+                    kind: Some(kind),
+                }))
+            }
+        }
+    } else {
+        if arch.semantics != SpeculationSemantics::SentinelTags {
+            return Err(SimError::SpeculativeStoreUnsupported(insn.id));
+        }
+        let entry = if let Some(tv) = first_tagged {
+            // Rows 1,1,x: pending entry propagating the exception.
+            arch.stats.tag_propagations += 1;
+            let pc = tv.as_pc();
+            Entry {
+                addr: 0,
+                data: 0,
+                width,
+                state: EntryState::Probationary,
+                except_pc: Some(pc),
+                except_kind: arch.kinds.get(&pc).copied(),
+                inserted_at: issue,
+            }
+        } else {
+            let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+            match arch.mem.check_access(addr, width) {
+                // Row 1,0,0: clean pending entry.
+                Ok(()) => Entry {
+                    addr,
+                    data: value.data,
+                    width,
+                    state: EntryState::Probationary,
+                    except_pc: None,
+                    except_kind: None,
+                    inserted_at: issue,
+                },
+                // Row 1,0,1: pending entry with the deferred fault.
+                Err(kind) => {
+                    arch.stats.tag_sets += 1;
+                    arch.kinds.insert(insn.id, kind);
+                    Entry {
+                        addr: 0,
+                        data: 0,
+                        width,
+                        state: EntryState::Probationary,
+                        except_pc: Some(insn.id),
+                        except_kind: Some(kind),
+                        inserted_at: issue,
+                    }
+                }
+            }
+        };
+        let eff = arch.sb.insert(entry, issue, arch.mem)?;
+        Ok(StoreStep::Done {
+            stall_to: Some(eff),
+        })
+    }
+}
+
+/// Tag-preserving restore (paper §3.2): loads data *and* tag without
+/// signaling on the restored tag.
+pub(crate) fn exec_ld_tag(arch: &mut ArchState, insn: &Insn, issue: u64, lat: u64) -> LoadStep {
+    arch.stats.loads += 1;
+    let base = arch.read_reg(insn.src2.expect("ld.tag base"));
+    if base.tag {
+        return LoadStep::Trap(arch.trap_from_tag(base, insn.id));
+    }
+    let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+    // Spill-area accesses are modeled as non-faulting.
+    let data = arch.mem.read_raw(addr, Width::Word);
+    let tag = arch.mem.read_shadow_tag(addr);
+    arch.regs
+        .write(insn.dest.expect("ld.tag dest"), TaggedValue { data, tag });
+    LoadStep::Done {
+        ready_at: issue + lat,
+        raw: false,
+    }
+}
+
+/// Tag-preserving save (paper §3.2): stores data *and* tag without
+/// signaling on the saved tag. Bypasses the store buffer: spill traffic
+/// is not speculative.
+pub(crate) fn exec_st_tag(arch: &mut ArchState, insn: &Insn) -> Option<Trap> {
+    arch.stats.stores += 1;
+    let value = arch.read_reg(insn.src1.expect("st.tag value"));
+    let base = arch.read_reg(insn.src2.expect("st.tag base"));
+    if base.tag {
+        return Some(arch.trap_from_tag(base, insn.id));
+    }
+    let addr = (base.data as i64).wrapping_add(insn.imm) as u64;
+    arch.mem.write_raw(addr, Width::Word, value.data);
+    arch.mem.write_shadow_tag(addr, value.tag);
+    None
+}
+
+/// `confirm_store` (Table 2): drain what the clock allows, then confirm
+/// the `imm`-th most recent probationary entry. A deferred store fault
+/// signals here, with this instruction as the reporter.
+pub(crate) fn exec_confirm(
+    arch: &mut ArchState,
+    insn: &Insn,
+    issue: u64,
+) -> Result<Option<Trap>, SimError> {
+    arch.stats.dyn_confirms += 1;
+    arch.sb.drain_to(issue, arch.mem);
+    match arch.sb.confirm(insn.imm as usize, issue)? {
+        ConfirmOutcome::Confirmed => Ok(None),
+        ConfirmOutcome::Exception { pc, kind } => Ok(Some(Trap {
+            excepting_pc: pc,
+            reported_by: insn.id,
+            kind,
+        })),
+    }
+}
+
+/// Halt-time store-buffer flush: every confirmed entry must reach
+/// memory; a probationary entry still present is a compiler protocol
+/// violation — the error names the oldest stuck entry by the
+/// tail-relative index a `confirm_store` would have used, plus the total
+/// count.
+pub(crate) fn flush_at_halt(sb: &mut StoreBuffer, mem: &mut Memory) -> Result<(), SimError> {
+    let count = sb.flush(mem);
+    if count > 0 {
+        let index = sb
+            .first_stuck_index()
+            .expect("flush reported stuck probationary entries");
+        return Err(SimError::UnconfirmedAtHalt { index, count });
+    }
+    Ok(())
+}

@@ -237,6 +237,18 @@ impl StoreBuffer {
             .count()
     }
 
+    /// Tail-relative index of the *oldest* probationary entry — the
+    /// index a `confirm_store` would have to name to release it (0 = most
+    /// recently inserted). `None` when nothing is probationary. Used to
+    /// identify the stuck entry when a program halts with unconfirmed
+    /// speculative stores.
+    pub fn first_stuck_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.state == EntryState::Probationary)
+            .map(|slot| self.entries.len() - 1 - slot)
+    }
+
     /// Statistics: `(releases, cancels, load_forwards, full_stall_cycles)`.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (

@@ -1,0 +1,176 @@
+//! Table 1: register exception-tag semantics for computational
+//! instructions, the branch-as-sentinel rule, and the alternative §2.4
+//! speculation models.
+//!
+//! Row notation below follows the paper's Table 1 columns
+//! (speculative, source tag, exception): e.g. "row 1,0,1" is a
+//! speculative instruction with clean sources whose own execution
+//! faults.
+
+use sentinel_isa::Insn;
+
+use crate::except::{ExceptionKind, Trap};
+use crate::machine::SimError;
+use crate::regfile::TaggedValue;
+
+use super::boost::ShadowOp;
+use super::{computed, nan_bits_for, ArchState, SpeculationSemantics, GARBAGE};
+
+/// Executes a computational instruction's architectural effect under the
+/// active speculation model — the general Table 1 path both engines
+/// share for every opcode that is not a memory, branch, or control op.
+///
+/// Returns `Ok(None)` when the instruction retires normally (the engine
+/// then marks the scoreboard for `insn.def()`), or `Ok(Some(trap))` when
+/// this instruction signals (tagged-source sentinel, NaN consumer, or an
+/// immediate non-speculative fault).
+pub(crate) fn exec_compute(arch: &mut ArchState, insn: &Insn) -> Result<Option<Trap>, SimError> {
+    let a = insn.src1.map_or(0, |r| arch.read_reg(r).data);
+    let b = insn.src2.map_or(0, |r| arch.read_reg(r).data);
+    if insn.boost > 0 {
+        // Boosted (§2.3): the result goes to the shadow register file;
+        // a fault is recorded there and signaled only at commit.
+        let op_entry = match computed(insn.op, a, b, insn.imm)? {
+            Ok(v) => insn.def().map(|d| ShadowOp::Reg {
+                dest: d,
+                data: v,
+                except: None,
+            }),
+            Err(kind) => insn.def().map(|d| ShadowOp::Reg {
+                dest: d,
+                data: 0,
+                except: Some((insn.id, kind)),
+            }),
+        };
+        if let Some(e) = op_entry {
+            arch.shadow.push(insn.boost, e);
+        }
+        return Ok(None);
+    }
+    if insn.speculative {
+        match arch.semantics {
+            SpeculationSemantics::SentinelTags => {
+                if let Some(tv) = arch.first_tagged(insn) {
+                    // Rows 1,1,x of Table 1: propagate.
+                    arch.stats.tag_propagations += 1;
+                    if let Some(d) = insn.dest {
+                        arch.regs.write(
+                            d,
+                            TaggedValue {
+                                data: tv.data,
+                                tag: true,
+                            },
+                        );
+                    }
+                } else {
+                    match computed(insn.op, a, b, insn.imm)? {
+                        Ok(v) => {
+                            if let Some(d) = insn.dest {
+                                arch.regs.write_clean(d, v);
+                            }
+                        }
+                        Err(kind) => {
+                            // Row 1,0,1: defer — tag the destination and
+                            // record the PC in its data field.
+                            arch.stats.tag_sets += 1;
+                            arch.kinds.insert(insn.id, kind);
+                            if let Some(d) = insn.dest {
+                                arch.regs.write(d, TaggedValue::excepting(insn.id));
+                            }
+                        }
+                    }
+                }
+            }
+            SpeculationSemantics::Silent => match computed(insn.op, a, b, insn.imm)? {
+                Ok(v) => {
+                    if let Some(d) = insn.dest {
+                        arch.regs.write_clean(d, v);
+                    }
+                }
+                Err(_) => {
+                    arch.stats.silent_garbage_writes += 1;
+                    if let Some(d) = insn.dest {
+                        arch.regs.write_clean(d, GARBAGE);
+                    }
+                }
+            },
+            SpeculationSemantics::NanWrite => {
+                // A speculative trapping op propagates NaN silently,
+                // whether from a NaN source or its own fault.
+                let nan_in = insn.op.can_trap() && arch.nan_source(insn);
+                let fault = if nan_in {
+                    true
+                } else {
+                    match computed(insn.op, a, b, insn.imm)? {
+                        Ok(v) => {
+                            if let Some(d) = insn.dest {
+                                arch.regs.write_clean(d, v);
+                            }
+                            false
+                        }
+                        Err(_) => true,
+                    }
+                };
+                if fault {
+                    arch.stats.silent_garbage_writes += 1;
+                    if let Some(d) = insn.dest {
+                        arch.regs.write_clean(d, nan_bits_for(d));
+                    }
+                }
+            }
+        }
+    } else {
+        if let Some(tv) = arch.first_tagged(insn) {
+            // Rows 0,1,x of Table 1: this instruction is the sentinel.
+            return Ok(Some(arch.trap_from_tag(tv, insn.id)));
+        }
+        if arch.semantics == SpeculationSemantics::NanWrite
+            && insn.op.can_trap()
+            && arch.nan_source(insn)
+        {
+            // Colwell scheme: the trapping consumer signals — and is
+            // (mis)reported as the excepting instruction.
+            return Ok(Some(Trap {
+                excepting_pc: insn.id,
+                reported_by: insn.id,
+                kind: Some(ExceptionKind::NanOperand),
+            }));
+        }
+        match computed(insn.op, a, b, insn.imm)? {
+            Ok(v) => {
+                if let Some(d) = insn.dest {
+                    arch.regs.write_clean(d, v);
+                }
+            }
+            Err(kind) => {
+                // Row 0,0,1: signal immediately.
+                return Ok(Some(Trap {
+                    excepting_pc: insn.id,
+                    reported_by: insn.id,
+                    kind: Some(kind),
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// `clear_tag`: explicitly clears the destination's exception tag
+/// (recovery-block prologue, §3.7).
+pub(crate) fn exec_clear_tag(arch: &mut ArchState, insn: &Insn) {
+    if let Some(d) = insn.dest {
+        arch.regs.clear_tag(d);
+    }
+}
+
+/// Reads a conditional branch's two sources through the shadow overlay.
+/// A branch is a non-speculative use, so a tagged source makes it the
+/// sentinel: the deferred exception signals here (`Err`).
+pub(crate) fn branch_sources(arch: &ArchState, insn: &Insn) -> Result<(u64, u64), Trap> {
+    let a = arch.read_reg(insn.src1.expect("branch src1"));
+    let b = arch.read_reg(insn.src2.expect("branch src2"));
+    if let Some(tv) = [a, b].into_iter().find(|v| v.tag) {
+        return Err(arch.trap_from_tag(tv, insn.id));
+    }
+    Ok((a.data, b.data))
+}

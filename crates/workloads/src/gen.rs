@@ -25,6 +25,8 @@ const RESULT: Reg = Reg::int(15);
 const FP_PTR: Reg = Reg::int(16);
 /// Pointer the "compiler" cannot disambiguate (never declared noalias).
 const ALIAS_PTR: Reg = Reg::int(17);
+/// Pointer into the partially mapped trap array (see `trap_frac`).
+const TRAP_PTR: Reg = Reg::int(18);
 const FACC: Reg = Reg::fp(8); // fp accumulator
 const FCONST: Reg = Reg::fp(12);
 
@@ -43,6 +45,10 @@ fn fp_base(l: usize) -> i64 {
 }
 fn alias_base(l: usize) -> i64 {
     in_base(l) + 0xC000
+}
+/// Trap arrays live in their own space, clear of every per-loop window.
+fn trap_base(l: usize) -> i64 {
+    0x100_0000 + 0x1_0000 * l as i64
 }
 const RESULT_BASE: i64 = 0x8000;
 
@@ -219,6 +225,17 @@ impl<'a> Gen<'a> {
             self.b.push(Insn::alu(Opcode::Mul, d, a, c));
             self.recent_int.push(d);
             self.unused_int.push(d);
+        } else if roll
+            < spec.load_frac + spec.store_frac + spec.div_frac + spec.mul_frac + spec.trap_frac
+        {
+            // Load through the partially mapped trap array: faults once
+            // TRAP_PTR has advanced past the mapped prefix.
+            let d = self.fresh_int();
+            let off = 8 * self.rng.gen_range_i64(0, OFFSET_WORDS);
+            self.b.push(Insn::ld_w(d, TRAP_PTR, off));
+            self.recent_int.push(d);
+            self.unused_int.push(d);
+            self.last_load = Some(d);
         } else if fp {
             // Bounded fp compute: fresh sources only, occasional
             // accumulation into FACC.
@@ -273,7 +290,12 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     let mut rng = Rng::seed_from_u64(spec.seed);
     let uses_fp = spec.fp_frac > 0.0;
     let uses_alias = spec.alias_frac > 0.0 && spec.load_frac > 0.0;
+    let uses_trap = spec.trap_frac > 0.0;
     let array_words = spec.iterations + OFFSET_WORDS as u64 + 8;
+    // Map only a prefix of the trap array: early iterations succeed, late
+    // ones fault (the offsets make the exact faulting iteration
+    // seed-dependent).
+    let trap_mapped_words = (array_words / 2).max(OFFSET_WORDS as u64 + 1);
 
     let mut g = Gen {
         spec,
@@ -330,6 +352,9 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         if uses_alias {
             g.b.push(Insn::li(ALIAS_PTR, alias_base(l)));
         }
+        if uses_trap {
+            g.b.push(Insn::li(TRAP_PTR, trap_base(l)));
+        }
         g.b.push(Insn::jump(bodies[l]));
 
         // ---- body (one superblock) ---------------------------------------
@@ -377,6 +402,9 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
                 if uses_alias {
                     g.b.push(Insn::addi(ALIAS_PTR, ALIAS_PTR, 8));
                 }
+                if uses_trap {
+                    g.b.push(Insn::addi(TRAP_PTR, TRAP_PTR, 8));
+                }
                 g.b.push(Insn::addi(COUNTER, COUNTER, -1));
                 g.b.push(Insn::branch(Opcode::Bne, COUNTER, Reg::ZERO, bodies[l]));
                 g.b.push(Insn::jump(exits[l]));
@@ -394,6 +422,9 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             }
             if uses_alias {
                 g.b.push(Insn::addi(ALIAS_PTR, ALIAS_PTR, 8));
+            }
+            if uses_trap {
+                g.b.push(Insn::addi(TRAP_PTR, TRAP_PTR, 8));
             }
             g.b.push(Insn::addi(COUNTER, COUNTER, -1));
             g.b.push(Insn::branch(Opcode::Bne, COUNTER, Reg::ZERO, bodies[l]));
@@ -421,6 +452,12 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     }
     if uses_fp {
         func.declare_noalias(FP_PTR);
+    }
+    if uses_trap {
+        // Nothing stores through TRAP_PTR, so the disambiguator may hoist
+        // these loads — under sentinel models they become ld.s and their
+        // faults defer to the home-block check.
+        func.declare_noalias(TRAP_PTR);
     }
     debug_assert!(
         sentinel_prog::validate(&func).is_empty(),
@@ -451,6 +488,13 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             for w in 0..array_words {
                 let v = rng.gen_range_i64(1, DATA_RANGE) as u64;
                 mem_words.push((alias_base(l) as u64 + 8 * w, v));
+            }
+        }
+        if uses_trap {
+            mem_regions.push((trap_base(l) as u64, trap_mapped_words * 8));
+            for w in 0..trap_mapped_words {
+                let v = rng.gen_range_i64(1, DATA_RANGE) as u64;
+                mem_words.push((trap_base(l) as u64 + 8 * w, v));
             }
         }
     }

@@ -22,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod gen;
 pub mod kernels;
 pub mod rng;
 pub mod spec;
 pub mod suite;
 
+pub use fuzz::fuzz_spec;
 pub use gen::{generate, Workload};
 pub use rng::Rng;
 pub use spec::{BenchClass, WorkloadSpec};

@@ -66,6 +66,13 @@ pub struct WorkloadSpec {
     /// exactly the accesses that make speculative stores (model T)
     /// profitable, since hoisting the store above a branch unpins them.
     pub alias_frac: f64,
+    /// Fraction of generated instructions that are loads through a
+    /// pointer into a *partially mapped* trap array: once the pointer
+    /// advances past the mapped prefix these loads fault, exercising the
+    /// deferred-exception machinery mid-run. The suite keeps this at 0
+    /// (the paper's benchmarks are trap-free); the differential fuzzer
+    /// dials it up.
+    pub trap_frac: f64,
 }
 
 impl WorkloadSpec {
@@ -88,6 +95,7 @@ impl WorkloadSpec {
             branch_on_load: 0.8,
             chain_frac: 0.7,
             alias_frac: 0.2,
+            trap_frac: 0.0,
         }
     }
 
@@ -108,11 +116,13 @@ impl WorkloadSpec {
             ("branch_on_load", self.branch_on_load),
             ("chain_frac", self.chain_frac),
             ("alias_frac", self.alias_frac),
+            ("trap_frac", self.trap_frac),
         ] {
             assert!((0.0..=1.0).contains(&v), "{label} out of range: {v}");
         }
         assert!(
-            self.load_frac + self.store_frac + self.mul_frac + self.div_frac <= 1.0,
+            self.load_frac + self.store_frac + self.mul_frac + self.div_frac + self.trap_frac
+                <= 1.0,
             "instruction mix exceeds 1.0"
         );
         assert!(self.loops >= 1 && self.regions_per_loop >= 1 && self.insns_per_region >= 1);

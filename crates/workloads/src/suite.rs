@@ -79,6 +79,7 @@ fn nn(
         branch_on_load: on_load,
         chain_frac: chain,
         alias_frac: alias,
+        trap_frac: 0.0,
     }
 }
 
@@ -114,6 +115,7 @@ fn num(
         branch_on_load: on_load,
         chain_frac: chain,
         alias_frac: alias,
+        trap_frac: 0.0,
     }
 }
 

@@ -15,6 +15,8 @@
 //!                    [--raw] [-o out] [run's machine flags]
 //! sentinel reproduce [fig4|fig5|summary|...|all] [--csv] [--jobs N]
 //! sentinel serve     [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N]
+//! sentinel fuzz      [--seed N] [--count M] [--model R|G|S|T] [--width W]
+//!                    [--alias F] [--traps F]
 //! sentinel --version
 //! ```
 //!
@@ -508,6 +510,46 @@ fn cmd_trace(args: &Args) {
     }
 }
 
+/// `sentinel fuzz`: run the seeded differential fuzzer — each case is a
+/// generated program executed on both engines, every observable compared
+/// byte-for-byte. Unpinned, seeds cycle through all four models at
+/// widths 1/2/4/8; `--model`/`--width` pin one axis for reproduction.
+fn cmd_fuzz(args: &Args) {
+    let parse_frac = |name: &str| -> f64 {
+        match args.flag(name) {
+            Some(s) => {
+                let v: f64 = s
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --{name} '{s}'")));
+                if !(0.0..=1.0).contains(&v) {
+                    fail(&format!("--{name} must lie in [0, 1], got {v}"));
+                }
+                v
+            }
+            None => 0.0,
+        }
+    };
+    let seed = args.flag("seed").map_or(0, |s| parse_num(s) as u64);
+    let count = args.flag("count").map_or(16, |s| parse_num(s) as u64);
+    let model = args.flag("model").map(|s| {
+        sentinel::fuzz::parse_model(s)
+            .unwrap_or_else(|| fail(&format!("unknown model '{s}' (R, G, S, or T)")))
+    });
+    let width = args.flag("width").map(|s| parse_num(s) as usize);
+    let alias = parse_frac("alias");
+    let traps = parse_frac("traps");
+    match sentinel::fuzz::run_batch(seed, count, alias, traps, model, width) {
+        Ok(n) => println!(
+            "fuzz: {n} case(s) passed (seeds {seed}..{}, alias {alias}, traps {traps})",
+            seed + n
+        ),
+        Err(report) => {
+            eprintln!("fuzz FAILED:\n{report}");
+            exit(1);
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: sentinel <command> <file> [options]\n\
@@ -524,6 +566,7 @@ fn usage() -> ! {
            trace     --model R|G|S|T|B<k> --issue N --format timeline|jsonl|chrome [--raw] [--recovery] [-o out] [run's machine flags]\n\
            reproduce regenerate the paper's tables/figures [fig4|fig5|summary|…|all] [--csv] [--jobs N]\n\
            serve     networked compile-and-simulate service [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N]\n\
+           fuzz      differential fuzzer: both engines, byte-identical observables [--seed N] [--count M] [--model R|G|S|T] [--width W] [--alias F] [--traps F]\n\
            version   print the version (also --version)"
     );
     exit(2);
@@ -551,6 +594,12 @@ fn main() {
         exit(sentinel::bench::cli::run(&raw[1..]));
     }
     let args = Args::parse(raw[1..].to_vec());
+    if cmd == "fuzz" {
+        // Before the positional-args check: `sentinel fuzz` alone runs a
+        // 16-case smoke sweep covering the whole (model, width) grid.
+        cmd_fuzz(&args);
+        return;
+    }
     if cmd == "mdes" {
         // Print the effective machine description (paper defaults, a
         // --mdes file, and/or an --issue override), re-parseable.

@@ -1,0 +1,322 @@
+//! The seeded differential fuzzer: generated programs, both engines,
+//! byte-identical observations.
+//!
+//! A fuzz case is `(seed, model, width, alias_frac, trap_frac)`. The seed
+//! fully determines the generated program and its memory image
+//! ([`sentinel_workloads::fuzz_spec`]); the case is scheduled under the
+//! given model, run on the interpreter and the fast engine, and every
+//! observable — run outcome, statistics, final registers *with exception
+//! tags*, full memory, the `TraceEvent` log, and the pipeline event
+//! stream from an attached sink — must match exactly. Any divergence is
+//! reported with a one-command repro line.
+//!
+//! Entry points: [`run_case`] for a single case, [`run_batch`] for a
+//! seed sweep (the CLI `sentinel fuzz` and `tests/fuzz_differential.rs`
+//! are thin wrappers over these).
+
+use std::sync::{Arc, Mutex};
+
+use sentinel_core::{schedule_function, SchedOptions, SchedulingModel};
+use sentinel_isa::{MachineDesc, Reg};
+use sentinel_prog::Function;
+use sentinel_sim::{
+    Engine, RunOutcome, SimConfig, SimError, SimSession, SpeculationSemantics, Stats, TraceEvent,
+};
+use sentinel_trace::{Event, TraceSink};
+use sentinel_workloads::{fuzz_spec, generate, Workload};
+
+/// One differential fuzz case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzCase {
+    /// Program seed (structure, instruction stream, and data).
+    pub seed: u64,
+    /// Scheduling model the program is compiled under.
+    pub model: SchedulingModel,
+    /// Issue width of the simulated machine.
+    pub width: usize,
+    /// Fraction of loads through the may-alias pointer.
+    pub alias_frac: f64,
+    /// Fraction of loads through the partially mapped trap array.
+    pub trap_frac: f64,
+}
+
+impl FuzzCase {
+    /// The one-command reproduction line printed on any failure.
+    pub fn repro_command(&self) -> String {
+        format!(
+            "sentinel fuzz --seed {} --count 1 --model {} --width {} --alias {} --traps {}",
+            self.seed,
+            self.model.tag(),
+            self.width,
+            self.alias_frac,
+            self.trap_frac
+        )
+    }
+}
+
+/// Parses a paper model tag (`R`, `G`, `S`, `T`, case-insensitive).
+pub fn parse_model(tag: &str) -> Option<SchedulingModel> {
+    match tag.to_ascii_uppercase().as_str() {
+        "R" => Some(SchedulingModel::RestrictedPercolation),
+        "G" => Some(SchedulingModel::GeneralPercolation),
+        "S" => Some(SchedulingModel::Sentinel),
+        "T" => Some(SchedulingModel::SentinelStores),
+        _ => None,
+    }
+}
+
+/// The speculation semantics each model is simulated under (general
+/// percolation loses exceptions by design; every other model defers via
+/// sentinel tags).
+pub fn semantics_for(model: SchedulingModel) -> SpeculationSemantics {
+    match model {
+        SchedulingModel::GeneralPercolation => SpeculationSemantics::Silent,
+        _ => SpeculationSemantics::SentinelTags,
+    }
+}
+
+/// A sink that shares its buffer with the caller, surviving the engine
+/// taking ownership of the boxed sink.
+#[derive(Default)]
+struct SharedSink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+
+    fn finish(&mut self) -> String {
+        String::new()
+    }
+}
+
+/// Everything one run exposes.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    outcome: Result<RunOutcome, SimError>,
+    stats: Stats,
+    regs: Vec<(u64, bool)>,
+    memory: Vec<(u64, u8)>,
+    trace: Vec<TraceEvent>,
+    events: Vec<Event>,
+}
+
+fn observe(
+    func: &Function,
+    cfg: &SimConfig,
+    mdes: &MachineDesc,
+    w: &Workload,
+    engine: Engine,
+) -> Observation {
+    let buffer: Arc<Mutex<Vec<Event>>> = Arc::default();
+    let sink = SharedSink {
+        events: buffer.clone(),
+    };
+    let mut m = SimSession::for_function(func)
+        .config(cfg.clone())
+        .engine(engine)
+        .sink(Box::new(sink))
+        .build();
+    for &(s, l) in &w.mem_regions {
+        m.memory_mut().map_region(s, l);
+    }
+    for &(a, v) in &w.mem_words {
+        m.memory_mut().write_word(a, v).unwrap();
+    }
+    let outcome = m.run();
+    let mut regs = Vec::new();
+    for i in 0..mdes.int_regs() {
+        let v = m.reg(Reg::int(i as u16));
+        regs.push((v.data, v.tag));
+    }
+    for i in 0..mdes.fp_regs() {
+        let v = m.reg(Reg::fp(i as u16));
+        regs.push((v.data, v.tag));
+    }
+    let trace = m.trace().to_vec();
+    drop(m.take_sink());
+    let events = std::mem::take(&mut *buffer.lock().unwrap());
+    Observation {
+        outcome,
+        stats: *m.stats(),
+        regs,
+        memory: m.memory().snapshot(),
+        trace,
+        events,
+    }
+}
+
+/// Names the first observable the two engines disagree on.
+fn describe_divergence(interp: &Observation, fast: &Observation) -> String {
+    if interp.outcome != fast.outcome {
+        return format!(
+            "run outcome: interpreter {:?} vs fast {:?}",
+            interp.outcome, fast.outcome
+        );
+    }
+    if interp.stats != fast.stats {
+        return format!(
+            "statistics: interpreter {:?} vs fast {:?}",
+            interp.stats, fast.stats
+        );
+    }
+    if let Some(i) = (0..interp.regs.len()).find(|&i| interp.regs[i] != fast.regs[i]) {
+        return format!(
+            "register slot {i}: interpreter {:?} vs fast {:?}",
+            interp.regs[i], fast.regs[i]
+        );
+    }
+    if interp.memory != fast.memory {
+        let diff = interp.memory.iter().zip(&fast.memory).find(|(a, b)| a != b);
+        return format!("memory image: first differing byte {diff:?}");
+    }
+    if interp.trace != fast.trace {
+        return format!(
+            "TraceEvent log: {} vs {} events (or contents differ)",
+            interp.trace.len(),
+            fast.trace.len()
+        );
+    }
+    if interp.events != fast.events {
+        return format!(
+            "pipeline event stream: {} vs {} events (or contents differ)",
+            interp.events.len(),
+            fast.events.len()
+        );
+    }
+    "no divergence".to_string()
+}
+
+/// Runs one differential case.
+///
+/// # Errors
+///
+/// Returns a human-readable report — including the repro command — if
+/// scheduling fails or the engines diverge on any observable.
+pub fn run_case(case: &FuzzCase) -> Result<(), String> {
+    let spec = fuzz_spec(case.seed, case.alias_frac, case.trap_frac);
+    let w = generate(&spec);
+    let mdes = MachineDesc::paper_issue(case.width);
+    let sched = schedule_function(&w.func, &mdes, &SchedOptions::new(case.model))
+        .map_err(|e| format!("schedule failed: {e}\nrepro: {}", case.repro_command()))?;
+    let mut cfg = SimConfig::for_mdes(mdes.clone());
+    cfg.semantics = semantics_for(case.model);
+    cfg.collect_trace = true;
+    let interp = observe(&sched.func, &cfg, &mdes, &w, Engine::Interpreter);
+    let fast = observe(&sched.func, &cfg, &mdes, &w, Engine::Fast);
+    if interp != fast {
+        return Err(format!(
+            "engines diverged (seed {}, model {}, width {})\n  first divergence: {}\n  repro: {}",
+            case.seed,
+            case.model.tag(),
+            case.width,
+            describe_divergence(&interp, &fast),
+            case.repro_command()
+        ));
+    }
+    Ok(())
+}
+
+/// The (model, width) grid a sweep cycles through when neither is pinned.
+pub fn grid(model: Option<SchedulingModel>, width: Option<usize>) -> Vec<(SchedulingModel, usize)> {
+    let models: Vec<SchedulingModel> = match model {
+        Some(m) => vec![m],
+        None => SchedulingModel::all().to_vec(),
+    };
+    let widths: Vec<usize> = match width {
+        Some(w) => vec![w],
+        None => vec![1, 2, 4, 8],
+    };
+    let mut combos = Vec::new();
+    for &w in &widths {
+        for &m in &models {
+            combos.push((m, w));
+        }
+    }
+    combos
+}
+
+/// Runs `count` cases starting at `start_seed`, cycling each seed through
+/// the (model, width) grid. Stops at the first failure.
+///
+/// # Errors
+///
+/// Propagates the first failing case's report (see [`run_case`]).
+pub fn run_batch(
+    start_seed: u64,
+    count: u64,
+    alias_frac: f64,
+    trap_frac: f64,
+    model: Option<SchedulingModel>,
+    width: Option<usize>,
+) -> Result<u64, String> {
+    let combos = grid(model, width);
+    for i in 0..count {
+        let seed = start_seed + i;
+        let (m, w) = combos[(i as usize) % combos.len()];
+        run_case(&FuzzCase {
+            seed,
+            model: m,
+            width: w,
+            alias_frac,
+            trap_frac,
+        })?;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tags_roundtrip() {
+        for m in SchedulingModel::all() {
+            assert_eq!(parse_model(m.tag()), Some(m));
+        }
+        assert_eq!(parse_model("x"), None);
+    }
+
+    #[test]
+    fn grid_covers_all_models_and_widths() {
+        assert_eq!(grid(None, None).len(), 16);
+        assert_eq!(grid(Some(SchedulingModel::Sentinel), None).len(), 4);
+        assert_eq!(grid(None, Some(4)).len(), 4);
+        assert_eq!(grid(Some(SchedulingModel::Sentinel), Some(4)).len(), 1);
+    }
+
+    #[test]
+    fn repro_command_names_every_knob() {
+        let c = FuzzCase {
+            seed: 9,
+            model: SchedulingModel::SentinelStores,
+            width: 2,
+            alias_frac: 0.25,
+            trap_frac: 0.1,
+        };
+        let r = c.repro_command();
+        for needle in [
+            "--seed 9",
+            "--model T",
+            "--width 2",
+            "--alias 0.25",
+            "--traps 0.1",
+        ] {
+            assert!(r.contains(needle), "{r} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn smoke_case_passes() {
+        run_case(&FuzzCase {
+            seed: 1,
+            model: SchedulingModel::Sentinel,
+            width: 4,
+            alias_frac: 0.2,
+            trap_frac: 0.1,
+        })
+        .unwrap();
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`trace`] — cycle-accurate observability: pipeline event sinks
 //!   (JSONL, Chrome `trace_event`, ASCII timeline) and stall accounting.
 //! * [`workloads`] — the 17-program synthetic benchmark suite.
+//! * [`fuzz`] — the seeded differential fuzzer: generated programs run on
+//!   both engines, asserting byte-identical observations;
+//!   `sentinel fuzz` is its CLI.
 //! * [`mod@bench`] — the evaluation grid engine (cached, parallel,
 //!   fault-isolated measurement) and the figure/ablation generators it
 //!   feeds; `sentinel reproduce` is its CLI.
@@ -42,6 +45,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod fuzz;
 
 pub use sentinel_bench as bench;
 pub use sentinel_core as sched;

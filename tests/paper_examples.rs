@@ -12,24 +12,17 @@
 use sentinel::prelude::*;
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::RunOutcome;
-use sentinel_isa::LatencyTable;
 use sentinel_prog::examples::figure1;
 
 fn wide_unit_mdes() -> MachineDesc {
-    MachineDesc::builder()
-        .issue_width(8)
-        .latencies(LatencyTable::unit())
-        .build()
+    MachineDesc::unit_issue(8)
 }
 
 /// An issue-2 machine: tight enough that the scheduler reproduces the
 /// paper's Figure 1(b) structure (all of B, C, D, E above A, explicit
 /// sentinel for E).
 fn narrow_unit_mdes() -> MachineDesc {
-    MachineDesc::builder()
-        .issue_width(2)
-        .latencies(LatencyTable::unit())
-        .build()
+    MachineDesc::unit_issue(2)
 }
 
 fn scheduled_figure1() -> (Function, Function) {

@@ -28,6 +28,7 @@ fn spec_for(seed: u64, regions: usize, len: usize, fp: bool) -> WorkloadSpec {
         branch_on_load: 0.7,
         chain_frac: 0.6,
         alias_frac: 0.3,
+        trap_frac: 0.0,
     }
 }
 

@@ -29,6 +29,7 @@ fn spec_for(seed: u64, fp: bool) -> WorkloadSpec {
         branch_on_load: 0.7,
         chain_frac: 0.6,
         alias_frac: 0.2,
+        trap_frac: 0.0,
     }
 }
 

@@ -45,6 +45,7 @@ fn arb_spec(r: &mut Rng) -> WorkloadSpec {
         branch_on_load: r.gen_range_f64(0.0, 1.0),
         chain_frac: r.gen_range_f64(0.0, 1.0),
         alias_frac: r.gen_range_f64(0.0, 0.6),
+        trap_frac: 0.0,
     }
 }
 

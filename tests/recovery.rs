@@ -6,13 +6,8 @@
 use sentinel::prelude::*;
 use sentinel::sched::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel::sim::{Recovery, RunOutcome, Width};
-use sentinel_isa::LatencyTable;
-
 fn unit_mdes(width: usize) -> MachineDesc {
-    MachineDesc::builder()
-        .issue_width(width)
-        .latencies(LatencyTable::unit())
-        .build()
+    MachineDesc::unit_issue(width)
 }
 
 /// Builds a loop whose load target is unmapped on a *late* iteration, so
