@@ -6,6 +6,14 @@
 //! throughput — prints to stdout as one JSON object, so a CI step or
 //! an experiment script can parse it directly.
 //!
+//! Two flags change the transport shape rather than the mix:
+//! `--keep-alive` gives each thread one persistent connection (the
+//! summary reports the achieved connection-reuse rate), and
+//! `--batch K` packs every `K` jobs into one `POST /v1/batch` request
+//! (per-job latency percentiles are reported alongside the per-request
+//! ones). The default — one `Connection: close` socket per request —
+//! is the baseline those flags are measured against.
+//!
 //! The request mix is deterministic: each thread cycles through suite
 //! benchmarks × models by request index. `--spread` widens the cycle so
 //! repeated batches measure cache-miss behavior instead of pure hits;
@@ -16,14 +24,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use sentinel_serve::client;
-use sentinel_trace::json::ObjWriter;
+use sentinel_serve::client::Client;
+use sentinel_trace::json::{self, ObjWriter};
 
 /// Exit status for a usage error (unknown flag or bad value).
 pub const USAGE_STATUS: i32 = 2;
 
 const USAGE: &str = "usage: loadgen --addr HOST:PORT [--threads N] [--requests M] \
-                     [--endpoint simulate|compile|mixed] [--spread N] [--version]";
+                     [--endpoint simulate|compile|mixed] [--spread N] \
+                     [--keep-alive] [--batch K] [--version]";
 
 const SUITE_NAMES: &[&str] = &["wc", "cmp", "grep", "compress", "lex"];
 const MODELS: &[&str] = &["S", "R", "G", "T"];
@@ -49,6 +58,8 @@ struct Cli {
     requests: usize,
     endpoint: String,
     spread: usize,
+    keep_alive: bool,
+    batch: usize,
     version: bool,
 }
 
@@ -59,6 +70,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         requests: 16,
         endpoint: "mixed".to_string(),
         spread: 0,
+        keep_alive: false,
+        batch: 0,
         version: false,
     };
     let mut it = args.iter();
@@ -70,6 +83,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         };
         match a.as_str() {
             "--version" => cli.version = true,
+            "--keep-alive" => cli.keep_alive = true,
             "--addr" => cli.addr = next("--addr")?,
             "--threads" => {
                 cli.threads = next("--threads")?
@@ -85,6 +99,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.spread = next("--spread")?
                     .parse()
                     .map_err(|_| "--spread requires an unsigned integer".to_string())?;
+            }
+            "--batch" => {
+                cli.batch = next("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch requires an unsigned integer".to_string())?;
             }
             "--endpoint" => {
                 let e = next("--endpoint")?;
@@ -102,7 +121,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-/// The deterministic request for global index `i`: `(path, body)`.
+/// The deterministic request for global index `i`: `(path, body)`. The
+/// body carries its own `"kind"` field, so the same serialization is
+/// valid as an endpoint body or as a `/v1/batch` job entry.
 fn request_for(endpoint: &str, i: usize, spread: usize) -> (String, String) {
     let compile = match endpoint {
         "compile" => true,
@@ -120,7 +141,8 @@ fn request_for(endpoint: &str, i: usize, spread: usize) -> (String, String) {
     if compile {
         let mut body = String::new();
         let mut w = ObjWriter::new(&mut body);
-        w.str("source", COMPILE_SOURCE)
+        w.str("kind", "compile")
+            .str("source", COMPILE_SOURCE)
             .str("model", model)
             .u64("width", width as u64);
         w.close();
@@ -129,12 +151,26 @@ fn request_for(endpoint: &str, i: usize, spread: usize) -> (String, String) {
         let suite = SUITE_NAMES[(i / 2) % SUITE_NAMES.len()];
         let mut body = String::new();
         let mut w = ObjWriter::new(&mut body);
-        w.str("suite", suite)
+        w.str("kind", "simulate")
+            .str("suite", suite)
             .str("model", model)
             .u64("width", width as u64);
         w.close();
         ("/v1/simulate".to_string(), body)
     }
+}
+
+/// The batch request covering global job indices `base..base + k`.
+fn batch_for(endpoint: &str, base: usize, k: usize, spread: usize) -> String {
+    let mut body = String::from("{\"v\":1,\"jobs\":[");
+    for j in 0..k {
+        if j > 0 {
+            body.push(',');
+        }
+        body.push_str(&request_for(endpoint, base + j, spread).1);
+    }
+    body.push_str("]}");
+    body
 }
 
 /// The `p`-th percentile (0–100) of `sorted` (ascending), by
@@ -154,6 +190,94 @@ struct Tally {
     server_error: AtomicU64,
     rejected: AtomicU64,
     io_errors: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    connections: AtomicU64,
+    requests_sent: AtomicU64,
+}
+
+impl Tally {
+    fn count_status(&self, status: u16) {
+        let bucket = match status {
+            200..=299 => &self.ok,
+            429 => &self.rejected,
+            400..=499 => &self.client_error,
+            _ => &self.server_error,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Credits a batch response's per-job outcomes by parsing its
+    /// `results` envelope (an unparseable body counts every job
+    /// failed).
+    fn count_batch_jobs(&self, body: &str, jobs: usize) {
+        let failed = match json::parse(body) {
+            Ok(v) => match v.get("results").and_then(|r| r.as_array()) {
+                Some(results) => results
+                    .iter()
+                    .filter(|entry| entry.get("error").is_some())
+                    .count(),
+                None => jobs,
+            },
+            Err(_) => jobs,
+        };
+        self.jobs_failed.fetch_add(failed as u64, Ordering::Relaxed);
+        self.jobs_ok
+            .fetch_add(jobs.saturating_sub(failed) as u64, Ordering::Relaxed);
+    }
+}
+
+/// One thread's share of the run: `requests` requests (each carrying
+/// `batch` jobs when batching) on its own client. Returns
+/// `(request_latencies, per_job_latencies)` in microseconds.
+fn drive(cli: &Cli, thread: usize, tally: &Tally) -> (Vec<u64>, Vec<u64>) {
+    let mut client = Client::builder(&cli.addr)
+        .keep_alive(cli.keep_alive)
+        .build();
+    let jobs_per_request = cli.batch.max(1);
+    let mut request_latencies = Vec::with_capacity(cli.requests);
+    let mut job_latencies = Vec::with_capacity(cli.requests * jobs_per_request);
+    for i in 0..cli.requests {
+        let base = (thread * cli.requests + i) * jobs_per_request;
+        let (path, body) = if cli.batch > 0 {
+            (
+                "/v1/batch".to_string(),
+                batch_for(&cli.endpoint, base, cli.batch, cli.spread),
+            )
+        } else {
+            request_for(&cli.endpoint, base, cli.spread)
+        };
+        let t0 = Instant::now();
+        match client.post_json(&path, &body) {
+            Ok(resp) => {
+                let micros = t0.elapsed().as_micros() as u64;
+                request_latencies.push(micros);
+                // Jobs in one batch ran concurrently; attribute the
+                // request's wall time to each of its jobs.
+                job_latencies.extend(std::iter::repeat_n(micros, jobs_per_request));
+                tally.count_status(resp.status);
+                if cli.batch > 0 && resp.status == 200 {
+                    tally.count_batch_jobs(&resp.body, jobs_per_request);
+                } else if resp.status < 300 {
+                    tally.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    tally
+                        .jobs_failed
+                        .fetch_add(jobs_per_request as u64, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                tally.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    tally
+        .connections
+        .fetch_add(client.connections_opened(), Ordering::Relaxed);
+    tally
+        .requests_sent
+        .fetch_add(client.requests_sent(), Ordering::Relaxed);
+    (request_latencies, job_latencies)
 }
 
 /// Runs the load generator (program name already stripped) and returns
@@ -175,48 +299,38 @@ pub fn run(args: &[String]) -> i32 {
     let tally = Arc::new(Tally::default());
     let started = Instant::now();
     let mut latencies: Vec<u64> = Vec::with_capacity(cli.threads * cli.requests);
+    let mut job_latencies: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cli.threads)
             .map(|t| {
                 let tally = Arc::clone(&tally);
-                let (addr, endpoint) = (cli.addr.clone(), cli.endpoint.clone());
-                let (requests, spread) = (cli.requests, cli.spread);
-                scope.spawn(move || {
-                    let mut thread_latencies = Vec::with_capacity(requests);
-                    for i in 0..requests {
-                        let (path, body) = request_for(&endpoint, t * requests + i, spread);
-                        let t0 = Instant::now();
-                        match client::post_json(&addr, &path, &body) {
-                            Ok(resp) => {
-                                thread_latencies.push(t0.elapsed().as_micros() as u64);
-                                let bucket = match resp.status {
-                                    200..=299 => &tally.ok,
-                                    429 => &tally.rejected,
-                                    400..=499 => &tally.client_error,
-                                    _ => &tally.server_error,
-                                };
-                                bucket.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(_) => {
-                                tally.io_errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    thread_latencies
-                })
+                let cli = cli.clone();
+                scope.spawn(move || drive(&cli, t, &tally))
             })
             .collect();
         for h in handles {
-            latencies.extend(h.join().unwrap_or_default());
+            let (reqs, jobs) = h.join().unwrap_or_default();
+            latencies.extend(reqs);
+            job_latencies.extend(jobs);
         }
     });
     let wall = started.elapsed();
 
     latencies.sort_unstable();
+    job_latencies.sort_unstable();
     let total = (cli.threads * cli.requests) as u64;
     let answered = latencies.len() as u64;
     let throughput = if wall.as_secs_f64() > 0.0 {
         answered as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    let connections = tally.connections.load(Ordering::Relaxed);
+    let requests_sent = tally.requests_sent.load(Ordering::Relaxed);
+    // One connection per request is a reuse rate of 0; one connection
+    // for a thread's whole run approaches 1.
+    let reuse_rate = if requests_sent > 0 {
+        1.0 - (connections.min(requests_sent) as f64 / requests_sent as f64)
     } else {
         0.0
     };
@@ -225,17 +339,26 @@ pub fn run(args: &[String]) -> i32 {
     let mut w = ObjWriter::new(&mut out);
     w.u64("threads", cli.threads as u64)
         .u64("requests_per_thread", cli.requests as u64)
+        .u64("batch", cli.batch as u64)
+        .bool("keep_alive", cli.keep_alive)
         .u64("total", total)
         .u64("ok", tally.ok.load(Ordering::Relaxed))
         .u64("rejected", tally.rejected.load(Ordering::Relaxed))
         .u64("client_error", tally.client_error.load(Ordering::Relaxed))
         .u64("server_error", tally.server_error.load(Ordering::Relaxed))
         .u64("io_errors", tally.io_errors.load(Ordering::Relaxed))
+        .u64("jobs_ok", tally.jobs_ok.load(Ordering::Relaxed))
+        .u64("jobs_failed", tally.jobs_failed.load(Ordering::Relaxed))
+        .u64("connections", connections)
+        .raw("reuse_rate", &format!("{reuse_rate:.3}"))
         .u64("wall_micros", wall.as_micros() as u64)
         .raw("throughput_rps", &format!("{throughput:.1}"))
         .u64("p50_micros", percentile(&latencies, 50.0))
         .u64("p95_micros", percentile(&latencies, 95.0))
-        .u64("p99_micros", percentile(&latencies, 99.0));
+        .u64("p99_micros", percentile(&latencies, 99.0))
+        .u64("job_p50_micros", percentile(&job_latencies, 50.0))
+        .u64("job_p95_micros", percentile(&job_latencies, 95.0))
+        .u64("job_p99_micros", percentile(&job_latencies, 99.0));
     w.close();
     println!("{out}");
 
@@ -272,8 +395,14 @@ mod tests {
         let cli = parse(&args(&["--addr", "127.0.0.1:1", "--threads", "2"])).unwrap();
         assert_eq!(cli.threads, 2);
         assert_eq!(cli.requests, 16);
+        assert!(!cli.keep_alive);
+        assert_eq!(cli.batch, 0);
+        let cli = parse(&args(&["--addr", "x", "--keep-alive", "--batch", "16"])).unwrap();
+        assert!(cli.keep_alive);
+        assert_eq!(cli.batch, 16);
         assert!(parse(&args(&[])).is_err());
         assert!(parse(&args(&["--addr", "x", "--endpoint", "nope"])).is_err());
+        assert!(parse(&args(&["--addr", "x", "--batch", "some"])).is_err());
         assert!(parse(&args(&["--version"])).is_ok());
         assert_eq!(run(&args(&["--bogus"])), USAGE_STATUS);
     }
@@ -290,5 +419,25 @@ mod tests {
         let (_, a) = request_for("simulate", 0, 0);
         let (_, b) = request_for("simulate", 0, 8);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_bodies_parse_as_the_server_expects() {
+        let body = batch_for("mixed", 0, 4, 0);
+        let batch = sentinel_serve::api::BatchRequest::from_json(&body, 64).unwrap();
+        assert_eq!(batch.jobs.len(), 4);
+        // Deterministic: the same indices produce the same body.
+        assert_eq!(body, batch_for("mixed", 0, 4, 0));
+    }
+
+    #[test]
+    fn batch_job_outcomes_are_read_from_the_envelope() {
+        let tally = Tally::default();
+        let body = r#"{"v":1,"results":[{"x":1},{"status":400,"error":"nope"},{"y":2}]}"#;
+        tally.count_batch_jobs(body, 3);
+        assert_eq!(tally.jobs_ok.load(Ordering::Relaxed), 2);
+        assert_eq!(tally.jobs_failed.load(Ordering::Relaxed), 1);
+        tally.count_batch_jobs("not json", 2);
+        assert_eq!(tally.jobs_failed.load(Ordering::Relaxed), 3);
     }
 }

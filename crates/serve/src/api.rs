@@ -1,5 +1,15 @@
-//! Request/response vocabulary of the service: typed requests parsed
-//! from JSON bodies, and deterministic JSON response bodies.
+//! Request/response vocabulary of the service: one **versioned typed
+//! surface** — [`ApiRequest`] in, [`ApiResponse`] out — shared
+//! verbatim by server dispatch and the [`Client`](crate::client).
+//!
+//! Every request body may carry an explicit `"v": 1` field (the
+//! [`Client`](crate::client) always sends it; a missing `v` is read as
+//! v1 for compatibility); an unknown version or unknown field answers
+//! 400 with a JSON error body naming the offender. A request is a
+//! `compile` or `simulate` job — `POST /v1/batch` accepts
+//! `{"v":1,"jobs":[...]}` where each job is the same object shape plus
+//! a `"kind"` discriminator, and answers per-job results-or-errors in
+//! order.
 //!
 //! Response bodies are built with the deterministic `ObjWriter` (fixed
 //! key order, no wall-clock fields), so the same request always yields
@@ -17,6 +27,13 @@ use crate::cache::fnv64;
 
 /// Largest issue width a request may ask for (guards allocation).
 pub const MAX_WIDTH: usize = 64;
+
+/// The wire-format version this server speaks. Requests may state it
+/// explicitly as `"v": 1`; any other value is a 400.
+pub const API_VERSION: u64 = 1;
+
+/// Default upper bound on jobs per `POST /v1/batch` request.
+pub const DEFAULT_MAX_BATCH_JOBS: usize = 64;
 
 /// A request the service rejected, with the HTTP status to answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +146,79 @@ pub struct SimulateRequest {
     pub word: Vec<(u64, u64)>,
 }
 
+/// The two job kinds of the API, the discriminator batch jobs carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Schedule assembly text, report schedule statistics.
+    Compile,
+    /// Schedule then run a workload, report execution statistics.
+    Simulate,
+}
+
+impl JobKind {
+    /// The `"kind"` discriminator string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::Compile => "compile",
+            JobKind::Simulate => "simulate",
+        }
+    }
+
+    /// The endpoint path this kind is served on.
+    pub fn path(self) -> &'static str {
+        match self {
+            JobKind::Compile => "/v1/compile",
+            JobKind::Simulate => "/v1/simulate",
+        }
+    }
+}
+
+impl std::str::FromStr for JobKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<JobKind, String> {
+        match s {
+            "compile" => Ok(JobKind::Compile),
+            "simulate" => Ok(JobKind::Simulate),
+            other => Err(format!("unknown kind '{other}' (compile or simulate)")),
+        }
+    }
+}
+
+/// Validates the optional `"v"` field: absent reads as v1, anything
+/// other than [`API_VERSION`] is a 400 naming the offending version.
+fn check_version(v: &Value) -> Result<(), ApiError> {
+    match v.get("v") {
+        None => Ok(()),
+        Some(f) => match f.as_u64() {
+            Some(API_VERSION) => Ok(()),
+            Some(other) => Err(ApiError::bad(format!(
+                "unsupported api version {other} (this server speaks v{API_VERSION})"
+            ))),
+            None => Err(ApiError::bad("'v' must be an integer")),
+        },
+    }
+}
+
+/// Validates the optional `"kind"` field against how the request was
+/// routed (its endpoint, or the batch job discriminator).
+fn check_kind(v: &Value, expected: JobKind) -> Result<(), ApiError> {
+    match opt_str(v, "kind")? {
+        None => Ok(()),
+        Some(k) => {
+            let kind: JobKind = k.parse().map_err(ApiError::bad)?;
+            if kind == expected {
+                Ok(())
+            } else {
+                Err(ApiError::bad(format!(
+                    "'kind' is '{}' but the request was routed as '{}'",
+                    kind.as_str(),
+                    expected.as_str()
+                )))
+            }
+        }
+    }
+}
+
 fn expect_object<'v>(v: &'v Value, known: &[&str]) -> Result<&'v [(String, Value)], ApiError> {
     let Value::Object(members) = v else {
         return Err(ApiError::bad("request body must be a JSON object"));
@@ -201,16 +291,14 @@ fn pairs_from(v: &Value, key: &str) -> Result<Vec<(u64, u64)>, ApiError> {
 }
 
 impl CompileRequest {
-    /// Parses a compile request from a JSON body.
-    ///
-    /// # Errors
-    ///
-    /// 400 on malformed JSON, unknown fields, or bad knob values.
-    pub fn from_json(body: &str) -> Result<CompileRequest, ApiError> {
-        let v = json::parse(body).map_err(|e| ApiError::bad(e.to_string()))?;
+    /// Parses a compile request from an already-parsed JSON object
+    /// (version and kind fields validated by the caller).
+    fn from_value(v: &Value) -> Result<CompileRequest, ApiError> {
         expect_object(
-            &v,
+            v,
             &[
+                "v",
+                "kind",
                 "source",
                 "model",
                 "width",
@@ -219,13 +307,13 @@ impl CompileRequest {
                 "emit",
             ],
         )?;
-        let source = opt_str(&v, "source")?
+        let source = opt_str(v, "source")?
             .ok_or_else(|| ApiError::bad("missing required field 'source'"))?;
         Ok(CompileRequest {
             source,
-            knobs: knobs_from(&v)?,
-            verify_passes: opt_bool(&v, "verify_passes")?,
-            emit: opt_bool(&v, "emit")?,
+            knobs: knobs_from(v)?,
+            verify_passes: opt_bool(v, "verify_passes")?,
+            emit: opt_bool(v, "emit")?,
         })
     }
 
@@ -246,21 +334,17 @@ impl CompileRequest {
 }
 
 impl SimulateRequest {
-    /// Parses a simulate request from a JSON body.
-    ///
-    /// # Errors
-    ///
-    /// 400 on malformed JSON, unknown fields, bad knob values, or a
-    /// body naming both (or neither of) `suite` and `source`.
-    pub fn from_json(body: &str) -> Result<SimulateRequest, ApiError> {
-        let v = json::parse(body).map_err(|e| ApiError::bad(e.to_string()))?;
+    /// Parses a simulate request from an already-parsed JSON object
+    /// (version and kind fields validated by the caller).
+    fn from_value(v: &Value) -> Result<SimulateRequest, ApiError> {
         expect_object(
-            &v,
+            v,
             &[
-                "suite", "source", "model", "width", "recovery", "engine", "map", "word",
+                "v", "kind", "suite", "source", "model", "width", "recovery", "engine", "map",
+                "word",
             ],
         )?;
-        let program = match (opt_str(&v, "suite")?, opt_str(&v, "source")?) {
+        let program = match (opt_str(v, "suite")?, opt_str(v, "source")?) {
             (Some(name), None) => Program::Suite(name),
             (None, Some(text)) => Program::Source(text),
             _ => {
@@ -269,11 +353,11 @@ impl SimulateRequest {
                 ))
             }
         };
-        let engine = match opt_str(&v, "engine")? {
+        let engine = match opt_str(v, "engine")? {
             None => Engine::default(),
             Some(s) => s.parse::<Engine>().map_err(ApiError::bad)?,
         };
-        let (map, word) = (pairs_from(&v, "map")?, pairs_from(&v, "word")?);
+        let (map, word) = (pairs_from(v, "map")?, pairs_from(v, "word")?);
         if matches!(program, Program::Suite(_)) && (!map.is_empty() || !word.is_empty()) {
             return Err(ApiError::bad(
                 "'map'/'word' only apply to inline 'source' programs",
@@ -281,7 +365,7 @@ impl SimulateRequest {
         }
         Ok(SimulateRequest {
             program,
-            knobs: knobs_from(&v)?,
+            knobs: knobs_from(v)?,
             engine,
             map,
             word,
@@ -305,6 +389,300 @@ impl SimulateRequest {
             fnv64(format!("{:?}", self.map).as_bytes()),
             fnv64(format!("{:?}", self.word).as_bytes()),
         )
+    }
+}
+
+/// One request of the versioned API surface: a compile or simulate
+/// job. The same object shape parses from a single endpoint body
+/// (kind implied by the path) and from a `/v1/batch` job entry (kind
+/// explicit); [`ApiRequest::to_json`] always spells out both `v` and
+/// `kind`, so a serialized request is valid either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiRequest {
+    /// `kind: "compile"` — schedule assembly, report statistics.
+    Compile(CompileRequest),
+    /// `kind: "simulate"` — schedule and run, report statistics.
+    Simulate(SimulateRequest),
+}
+
+impl ApiRequest {
+    /// Parses a request body routed to `kind`'s endpoint.
+    ///
+    /// # Errors
+    ///
+    /// 400 on malformed JSON, an unknown `v` or field (named in the
+    /// error), a `kind` contradicting the endpoint, or bad knob
+    /// values.
+    pub fn from_json(kind: JobKind, body: &str) -> Result<ApiRequest, ApiError> {
+        let v = json::parse(body).map_err(|e| ApiError::bad(e.to_string()))?;
+        ApiRequest::from_value(&v, kind)
+    }
+
+    /// Parses one batch job entry: the job's own `"kind"` field picks
+    /// the variant.
+    fn job_from_value(v: &Value) -> Result<ApiRequest, ApiError> {
+        let kind: JobKind = opt_str(v, "kind")?
+            .ok_or_else(|| ApiError::bad("batch job missing required field 'kind'"))?
+            .parse()
+            .map_err(ApiError::bad)?;
+        ApiRequest::from_value(v, kind)
+    }
+
+    fn from_value(v: &Value, kind: JobKind) -> Result<ApiRequest, ApiError> {
+        check_version(v)?;
+        check_kind(v, kind)?;
+        match kind {
+            JobKind::Compile => Ok(ApiRequest::Compile(CompileRequest::from_value(v)?)),
+            JobKind::Simulate => Ok(ApiRequest::Simulate(SimulateRequest::from_value(v)?)),
+        }
+    }
+
+    /// Which endpoint / batch discriminator this request belongs to.
+    pub fn kind(&self) -> JobKind {
+        match self {
+            ApiRequest::Compile(_) => JobKind::Compile,
+            ApiRequest::Simulate(_) => JobKind::Simulate,
+        }
+    }
+
+    /// The content-hash cache key (kind included via the per-request
+    /// prefix).
+    pub fn cache_key(&self) -> String {
+        match self {
+            ApiRequest::Compile(r) => r.cache_key(),
+            ApiRequest::Simulate(r) => r.cache_key(),
+        }
+    }
+
+    /// Evaluates the request end to end and serializes the response
+    /// body — the in-process ground truth HTTP responses are compared
+    /// against byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// 400 for everything the *request* got wrong: parse or schedule
+    /// failures, unknown suite names, runs the simulator rejects.
+    pub fn run(&self, workloads: &[Workload]) -> Result<String, ApiError> {
+        match self {
+            ApiRequest::Compile(r) => compile_response(r),
+            ApiRequest::Simulate(r) => simulate_response(r, workloads),
+        }
+    }
+
+    /// Serializes the request with explicit `v` and `kind` fields —
+    /// valid as a single-endpoint body and as a batch job entry.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let mut w = ObjWriter::new(&mut out);
+        w.u64("v", API_VERSION).str("kind", self.kind().as_str());
+        match self {
+            ApiRequest::Compile(r) => {
+                w.str("source", &r.source);
+                write_knobs(&mut w, &r.knobs);
+                w.bool("verify_passes", r.verify_passes)
+                    .bool("emit", r.emit);
+            }
+            ApiRequest::Simulate(r) => {
+                match &r.program {
+                    Program::Suite(name) => w.str("suite", name),
+                    Program::Source(text) => w.str("source", text),
+                };
+                write_knobs(&mut w, &r.knobs);
+                w.str("engine", &r.engine.to_string());
+                if !r.map.is_empty() {
+                    w.raw("map", &pairs_json(&r.map));
+                }
+                if !r.word.is_empty() {
+                    w.raw("word", &pairs_json(&r.word));
+                }
+            }
+        }
+        w.close();
+        out
+    }
+}
+
+fn write_knobs(w: &mut ObjWriter<'_>, knobs: &Knobs) {
+    w.str("model", &model_str(knobs.model))
+        .u64("width", knobs.width as u64)
+        .bool("recovery", knobs.recovery);
+}
+
+fn pairs_json(pairs: &[(u64, u64)]) -> String {
+    let mut out = String::from("[");
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{a},{b}]"));
+    }
+    out.push(']');
+    out
+}
+
+/// `POST /v1/batch`: an ordered list of jobs, answered by per-job
+/// results-or-errors in the same order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// The jobs, in request order.
+    pub jobs: Vec<ApiRequest>,
+}
+
+impl BatchRequest {
+    /// Parses a batch body, enforcing the per-batch job cap.
+    ///
+    /// # Errors
+    ///
+    /// 400 on malformed JSON, a bad envelope (`v`/`jobs`), more than
+    /// `max_jobs` jobs, or any unparseable job — a malformed *job* is
+    /// a malformed *request*; only jobs that fail while running
+    /// degrade to per-job error entries.
+    pub fn from_json(body: &str, max_jobs: usize) -> Result<BatchRequest, ApiError> {
+        let v = json::parse(body).map_err(|e| ApiError::bad(e.to_string()))?;
+        expect_object(&v, &["v", "jobs"])?;
+        check_version(&v)?;
+        let jobs = v
+            .get("jobs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ApiError::bad("missing required field 'jobs' (an array)"))?;
+        if jobs.is_empty() {
+            return Err(ApiError::bad("'jobs' must not be empty"));
+        }
+        if jobs.len() > max_jobs {
+            return Err(ApiError::bad(format!(
+                "batch of {} jobs exceeds the per-batch cap of {max_jobs}",
+                jobs.len()
+            )));
+        }
+        let jobs = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                ApiRequest::job_from_value(job)
+                    .map_err(|e| ApiError::bad(format!("job {i}: {}", e.message)))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchRequest { jobs })
+    }
+
+    /// Serializes the batch envelope (`{"v":1,"jobs":[...]}`).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"v\":{API_VERSION},\"jobs\":[");
+        for (i, job) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&job.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One response of the versioned API surface — what server dispatch
+/// produces and what [`Client`](crate::client::Client) hands back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiResponse {
+    /// A successful result: the deterministic serialized response
+    /// object, byte-identical to [`ApiRequest::run`]'s output.
+    Result(String),
+    /// A failed request or batch job.
+    Error(ApiError),
+    /// Per-job results-or-errors, in request order (entries are only
+    /// ever `Result` or `Error`).
+    Batch(Vec<ApiResponse>),
+}
+
+impl ApiResponse {
+    /// The HTTP status this response answers with. A batch is 200
+    /// regardless of its entries — per-job failures are data, not a
+    /// failed request.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiResponse::Result(_) | ApiResponse::Batch(_) => 200,
+            ApiResponse::Error(e) => e.status,
+        }
+    }
+
+    /// Whether this is a successful result (a batch counts as ok).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, ApiResponse::Error(_))
+    }
+
+    /// Serializes into the HTTP response the server sends: result
+    /// bodies verbatim, errors as `{"error":...}`, batches as
+    /// `{"v":1,"results":[...]}` with error entries spelled
+    /// `{"status":N,"error":...}`.
+    pub fn into_http(self) -> crate::http::Response {
+        use crate::http::{error_body, Response};
+        match self {
+            ApiResponse::Result(body) => Response::json(200, body),
+            ApiResponse::Error(e) => Response::json(e.status, error_body(&e.message)),
+            ApiResponse::Batch(entries) => {
+                let mut body = format!("{{\"v\":{API_VERSION},\"results\":[");
+                for (i, entry) in entries.into_iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    match entry {
+                        ApiResponse::Result(b) => body.push_str(&b),
+                        ApiResponse::Error(e) => {
+                            let mut w = ObjWriter::new(&mut body);
+                            w.u64("status", e.status as u64).str("error", &e.message);
+                            w.close();
+                        }
+                        ApiResponse::Batch(_) => unreachable!("batches do not nest"),
+                    }
+                }
+                body.push_str("]}");
+                Response::json(200, body)
+            }
+        }
+    }
+
+    /// Parses a received HTTP response back into the typed surface.
+    /// Single-job result bodies are kept verbatim (byte-identical to
+    /// the wire); batch entries are re-serialized from the parsed
+    /// JSON.
+    pub fn from_http(status: u16, body: &str) -> ApiResponse {
+        if let Ok(v) = json::parse(body) {
+            if let Some(results) = v.get("results").and_then(Value::as_array) {
+                let entries = results
+                    .iter()
+                    .map(|e| match e.get("error").and_then(Value::as_str) {
+                        Some(message) => ApiResponse::Error(ApiError {
+                            status: e
+                                .get("status")
+                                .and_then(Value::as_u64)
+                                .map_or(500, |s| s as u16),
+                            message: message.to_string(),
+                        }),
+                        None => {
+                            let mut s = String::new();
+                            e.write(&mut s);
+                            ApiResponse::Result(s)
+                        }
+                    })
+                    .collect();
+                return ApiResponse::Batch(entries);
+            }
+            if status != 200 {
+                if let Some(message) = v.get("error").and_then(Value::as_str) {
+                    return ApiResponse::Error(ApiError {
+                        status,
+                        message: message.to_string(),
+                    });
+                }
+            }
+        }
+        if status == 200 {
+            ApiResponse::Result(body.to_string())
+        } else {
+            ApiResponse::Error(ApiError {
+                status,
+                message: body.to_string(),
+            })
+        }
     }
 }
 
@@ -347,7 +725,7 @@ fn write_sched_stats(w: &mut ObjWriter<'_>, s: &SchedStats) {
 ///
 /// 400 for parse or schedule failures — both mean the *program* was
 /// unschedulable, not that the service broke.
-pub fn compile_response(req: &CompileRequest) -> Result<String, ApiError> {
+fn compile_response(req: &CompileRequest) -> Result<String, ApiError> {
     let func = asm::parse(&req.source).map_err(|e| ApiError::bad(format!("parse: {e}")))?;
     let mdes = mdes_for(&req.knobs);
     let mut session = CompileSession::for_function(&func)
@@ -394,10 +772,7 @@ pub fn compile_response(req: &CompileRequest) -> Result<String, ApiError> {
 ///
 /// 400 for unknown suite names, parse/schedule failures, and runs the
 /// simulator itself rejects.
-pub fn simulate_response(
-    req: &SimulateRequest,
-    workloads: &[Workload],
-) -> Result<String, ApiError> {
+fn simulate_response(req: &SimulateRequest, workloads: &[Workload]) -> Result<String, ApiError> {
     // Resolve the program. Inline source parses into `parsed` so the
     // borrow below has an owner; a suite workload brings its own memory
     // image and name.
@@ -513,10 +888,21 @@ done:
 }
 ";
 
+    fn compile_req(body: &str) -> Result<ApiRequest, ApiError> {
+        ApiRequest::from_json(JobKind::Compile, body)
+    }
+
+    fn simulate_req(body: &str) -> Result<ApiRequest, ApiError> {
+        ApiRequest::from_json(JobKind::Simulate, body)
+    }
+
     #[test]
     fn parses_compile_requests_with_defaults() {
-        let req =
-            CompileRequest::from_json(r#"{"source":"func @f\nblock b0:\n  halt\n"}"#).unwrap();
+        let ApiRequest::Compile(req) =
+            compile_req(r#"{"source":"func @f\nblock b0:\n  halt\n"}"#).unwrap()
+        else {
+            panic!("wrong variant");
+        };
         assert_eq!(req.knobs.model, SchedulingModel::Sentinel);
         assert_eq!(req.knobs.width, 8);
         assert!(!req.verify_passes && !req.emit && !req.knobs.recovery);
@@ -534,45 +920,141 @@ done:
             r#"{"model":"S"}"#,
             r#"not json"#,
         ] {
-            let err = CompileRequest::from_json(body).unwrap_err();
+            let err = compile_req(body).unwrap_err();
             assert_eq!(err.status, 400, "{body}");
         }
     }
 
     #[test]
+    fn versioned_requests_accept_v1_and_name_the_offender_otherwise() {
+        assert!(compile_req(r#"{"v":1,"source":"x"}"#).is_ok());
+        // Missing v reads as v1 (pre-versioning bodies keep working).
+        assert!(compile_req(r#"{"source":"x"}"#).is_ok());
+        let err = compile_req(r#"{"v":2,"source":"x"}"#).unwrap_err();
+        assert!(err.message.contains("version 2"), "{}", err.message);
+        let err = compile_req(r#"{"v":"x","source":"x"}"#).unwrap_err();
+        assert!(err.message.contains("'v'"), "{}", err.message);
+        // An explicit kind must match the endpoint it was routed to.
+        assert!(compile_req(r#"{"kind":"compile","source":"x"}"#).is_ok());
+        let err = compile_req(r#"{"kind":"simulate","suite":"wc"}"#).unwrap_err();
+        assert!(
+            err.message.contains("routed as 'compile'"),
+            "{}",
+            err.message
+        );
+        let err = compile_req(r#"{"kind":"nope","source":"x"}"#).unwrap_err();
+        assert!(err.message.contains("unknown kind"), "{}", err.message);
+    }
+
+    #[test]
     fn simulate_requires_exactly_one_program() {
-        assert!(SimulateRequest::from_json(r#"{"model":"S"}"#).is_err());
-        assert!(SimulateRequest::from_json(r#"{"suite":"a","source":"b"}"#).is_err());
-        assert!(SimulateRequest::from_json(r#"{"suite":"a","map":[[0,8]]}"#).is_err());
-        let req = SimulateRequest::from_json(r#"{"suite":"wc","engine":"interp"}"#).unwrap();
+        assert!(simulate_req(r#"{"model":"S"}"#).is_err());
+        assert!(simulate_req(r#"{"suite":"a","source":"b"}"#).is_err());
+        assert!(simulate_req(r#"{"suite":"a","map":[[0,8]]}"#).is_err());
+        let ApiRequest::Simulate(req) =
+            simulate_req(r#"{"suite":"wc","engine":"interp"}"#).unwrap()
+        else {
+            panic!("wrong variant");
+        };
         assert_eq!(req.engine, Engine::Interpreter);
         assert_eq!(req.program, Program::Suite("wc".into()));
     }
 
     #[test]
     fn cache_keys_separate_distinct_requests() {
-        let a =
-            CompileRequest::from_json(&format!(r#"{{"source":{},"model":"S"}}"#, json_str(LOOP)))
-                .unwrap();
-        let b =
-            CompileRequest::from_json(&format!(r#"{{"source":{},"model":"G"}}"#, json_str(LOOP)))
-                .unwrap();
+        let a = compile_req(&format!(r#"{{"source":{},"model":"S"}}"#, json_str(LOOP))).unwrap();
+        let b = compile_req(&format!(r#"{{"source":{},"model":"G"}}"#, json_str(LOOP))).unwrap();
         assert_ne!(a.cache_key(), b.cache_key());
-        let a2 =
-            CompileRequest::from_json(&format!(r#"{{"source":{},"model":"S"}}"#, json_str(LOOP)))
-                .unwrap();
+        let a2 = compile_req(&format!(r#"{{"source":{},"model":"S"}}"#, json_str(LOOP))).unwrap();
         assert_eq!(a.cache_key(), a2.cache_key());
     }
 
     #[test]
+    fn requests_round_trip_through_to_json() {
+        for req in [
+            compile_req(&format!(
+                r#"{{"source":{},"model":"B3","width":2,"emit":true}}"#,
+                json_str(LOOP)
+            ))
+            .unwrap(),
+            simulate_req(r#"{"suite":"wc","model":"T","recovery":true}"#).unwrap(),
+            simulate_req(&format!(
+                r#"{{"source":{},"engine":"interp","map":[[0,64]],"word":[[8,42]]}}"#,
+                json_str(LOOP)
+            ))
+            .unwrap(),
+        ] {
+            let wire = req.to_json();
+            let back = ApiRequest::from_json(req.kind(), &wire).unwrap();
+            assert_eq!(req, back, "{wire}");
+            // And the serialized form is a valid batch job entry.
+            let batch = format!("{{\"v\":1,\"jobs\":[{wire}]}}");
+            let parsed = BatchRequest::from_json(&batch, 8).unwrap();
+            assert_eq!(parsed.jobs, vec![req]);
+        }
+    }
+
+    #[test]
+    fn batch_parses_jobs_in_order_and_enforces_the_cap() {
+        let body = r#"{"v":1,"jobs":[
+            {"kind":"simulate","suite":"wc"},
+            {"kind":"compile","source":"func @f {\nentry:\n  halt\n}\n"}
+        ]}"#;
+        let batch = BatchRequest::from_json(body, 8).unwrap();
+        assert_eq!(batch.jobs.len(), 2);
+        assert_eq!(batch.jobs[0].kind(), JobKind::Simulate);
+        assert_eq!(batch.jobs[1].kind(), JobKind::Compile);
+        // Round trip of the whole envelope.
+        let again = BatchRequest::from_json(&batch.to_json(), 8).unwrap();
+        assert_eq!(again, batch);
+
+        let err = BatchRequest::from_json(body, 1).unwrap_err();
+        assert!(err.message.contains("cap of 1"), "{}", err.message);
+        for bad in [
+            r#"{"jobs":[]}"#,
+            r#"{"jobs":{}}"#,
+            r#"{"v":1}"#,
+            r#"{"v":2,"jobs":[{"kind":"simulate","suite":"wc"}]}"#,
+            r#"{"jobs":[{"suite":"wc"}]}"#,
+            r#"{"jobs":[{"kind":"simulate","suite":"wc","typo":1}]}"#,
+        ] {
+            assert_eq!(BatchRequest::from_json(bad, 8).unwrap_err().status, 400);
+        }
+        // A malformed job names its index.
+        let err = BatchRequest::from_json(r#"{"jobs":[{"kind":"simulate","suite":"wc"},{}]}"#, 8)
+            .unwrap_err();
+        assert!(err.message.starts_with("job 1:"), "{}", err.message);
+    }
+
+    #[test]
+    fn batch_response_envelope_round_trips() {
+        let resp = ApiResponse::Batch(vec![
+            ApiResponse::Result(r#"{"cycles":7}"#.to_string()),
+            ApiResponse::Error(ApiError::bad("schedule: no")),
+        ]);
+        let http = resp.clone().into_http();
+        assert_eq!(http.status, 200);
+        let body = String::from_utf8(http.body).unwrap();
+        assert!(body.starts_with(r#"{"v":1,"results":["#), "{body}");
+        let back = ApiResponse::from_http(200, &body);
+        assert_eq!(back, resp);
+        // Single-result and error responses survive too (verbatim
+        // bodies for results).
+        let ok = ApiResponse::from_http(200, r#"{"cycles":7}"#);
+        assert_eq!(ok, ApiResponse::Result(r#"{"cycles":7}"#.to_string()));
+        let err = ApiResponse::from_http(400, r#"{"error":"nope"}"#);
+        assert_eq!(err, ApiResponse::Error(ApiError::bad("nope")));
+    }
+
+    #[test]
     fn compile_response_is_deterministic_json() {
-        let req = CompileRequest::from_json(&format!(
+        let req = compile_req(&format!(
             r#"{{"source":{},"verify_passes":true,"emit":true}}"#,
             json_str(LOOP)
         ))
         .unwrap();
-        let a = compile_response(&req).unwrap();
-        let b = compile_response(&req).unwrap();
+        let a = req.run(&[]).unwrap();
+        let b = req.run(&[]).unwrap();
         assert_eq!(a, b);
         let v = json::parse(&a).unwrap();
         assert_eq!(v.get("model").and_then(Value::as_str), Some("S"));
@@ -585,12 +1067,12 @@ done:
 
     #[test]
     fn simulate_response_runs_inline_source() {
-        let req = SimulateRequest::from_json(&format!(
+        let req = simulate_req(&format!(
             r#"{{"source":{},"model":"S","width":4}}"#,
             json_str(LOOP)
         ))
         .unwrap();
-        let body = simulate_response(&req, &[]).unwrap();
+        let body = req.run(&[]).unwrap();
         let v = json::parse(&body).unwrap();
         assert_eq!(v.get("bench").and_then(Value::as_str), Some("@t"));
         assert_eq!(v.get("outcome").and_then(Value::as_str), Some("halted"));
@@ -601,14 +1083,14 @@ done:
     #[test]
     fn simulate_response_engines_agree() {
         let mk = |engine: &str| {
-            SimulateRequest::from_json(&format!(
+            simulate_req(&format!(
                 r#"{{"source":{},"engine":"{engine}"}}"#,
                 json_str(LOOP)
             ))
             .unwrap()
         };
-        let fast = simulate_response(&mk("fast"), &[]).unwrap();
-        let interp = simulate_response(&mk("interpreter"), &[]).unwrap();
+        let fast = mk("fast").run(&[]).unwrap();
+        let interp = mk("interpreter").run(&[]).unwrap();
         // Same run, modulo the engine name itself.
         assert_eq!(
             fast.replace("\"engine\":\"fast\"", ""),
@@ -618,8 +1100,8 @@ done:
 
     #[test]
     fn unknown_suite_is_client_error() {
-        let req = SimulateRequest::from_json(r#"{"suite":"nope"}"#).unwrap();
-        let err = simulate_response(&req, &[]).unwrap_err();
+        let req = simulate_req(r#"{"suite":"nope"}"#).unwrap();
+        let err = req.run(&[]).unwrap_err();
         assert_eq!(err.status, 400);
         assert!(err.message.contains("nope"));
     }

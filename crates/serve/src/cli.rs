@@ -6,6 +6,7 @@
 //! triggers a graceful drain, and the final metrics snapshot goes to
 //! stderr on the way out.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::server::{self, ServerConfig};
@@ -15,7 +16,7 @@ use crate::signal;
 pub const USAGE_STATUS: i32 = 2;
 
 const USAGE: &str = "usage: serve [--addr HOST] [--port N] [--workers N] [--queue N] \
-                     [--cache N] [--version]";
+                     [--cache N] [--cache-dir PATH] [--version]";
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Cli {
@@ -24,6 +25,7 @@ struct Cli {
     workers: usize,
     queue: usize,
     cache: usize,
+    cache_dir: Option<PathBuf>,
     version: bool,
 }
 
@@ -35,6 +37,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         workers: defaults.workers,
         queue: defaults.queue_depth,
         cache: defaults.cache_capacity,
+        cache_dir: None,
         version: false,
     };
     let mut it = args.iter();
@@ -61,6 +64,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--workers" => cli.workers = num("--workers")?.max(1),
             "--queue" => cli.queue = num("--queue")?.max(1),
             "--cache" => cli.cache = num("--cache")?,
+            "--cache-dir" => {
+                cli.cache_dir = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--cache-dir requires a value".to_string())?,
+                ));
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -89,12 +98,13 @@ pub fn run(args: &[String]) -> i32 {
         workers: cli.workers,
         queue_depth: cli.queue,
         cache_capacity: cli.cache,
+        cache_dir: cli.cache_dir.clone(),
         ..ServerConfig::default()
     };
     let handle = match server::start(cfg) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("serve: bind {}:{}: {e}", cli.addr, cli.port);
+            eprintln!("serve: start on {}:{}: {e}", cli.addr, cli.port);
             return 1;
         }
     };
@@ -128,7 +138,15 @@ mod tests {
         assert_eq!(cli.port, 0);
         assert_eq!(cli.workers, 3);
         assert_eq!(cli.addr, "127.0.0.1");
+        assert_eq!(cli.cache_dir, None);
         assert!(!cli.version);
+    }
+
+    #[test]
+    fn cache_dir_takes_a_path() {
+        let cli = parse(&args(&["--cache-dir", "/tmp/spill"])).unwrap();
+        assert_eq!(cli.cache_dir, Some(PathBuf::from("/tmp/spill")));
+        assert!(parse(&args(&["--cache-dir"])).is_err());
     }
 
     #[test]

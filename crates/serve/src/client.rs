@@ -1,10 +1,25 @@
 //! A small blocking HTTP client for the service — enough for the CLI,
 //! the load generator, CI smoke tests, and the integration suite, with
 //! the same std-only constraint as the server.
+//!
+//! [`Client`] is built once (address, timeouts, keep-alive policy) and
+//! then issues many requests, mirroring the `SimSession` /
+//! `CompileSession` builder idiom used elsewhere in the tree. With
+//! keep-alive on (the default) it holds one socket open across
+//! requests and reconnects — retrying the request once — when the
+//! server has meanwhile closed it (idle timeout, per-connection
+//! request bound). The service's endpoints are pure compute over the
+//! request body, so the single retry is safe.
+//!
+//! The free functions [`request`], [`get`] and [`post_json`] are the
+//! pre-`Client` surface; they survive as thin deprecated shims that
+//! open a fresh `Connection: close` socket per call.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+use crate::api::{ApiRequest, ApiResponse, BatchRequest};
 
 /// A fully-read response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,12 +42,239 @@ impl ClientResponse {
     }
 }
 
-/// Issues one request (`Connection: close`) and reads the full
-/// response.
+/// Configures a [`Client`]; start from [`Client::builder`].
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: String,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    keep_alive: bool,
+}
+
+impl ClientBuilder {
+    /// Per-read socket timeout (default 30 s).
+    #[must_use]
+    pub fn read_timeout(mut self, d: Duration) -> ClientBuilder {
+        self.read_timeout = d;
+        self
+    }
+
+    /// Per-write socket timeout (default 30 s).
+    #[must_use]
+    pub fn write_timeout(mut self, d: Duration) -> ClientBuilder {
+        self.write_timeout = d;
+        self
+    }
+
+    /// Whether to reuse one socket across requests (default `true`).
+    /// Off, every request opens a fresh `Connection: close` socket —
+    /// the baseline the load generator compares against.
+    #[must_use]
+    pub fn keep_alive(mut self, on: bool) -> ClientBuilder {
+        self.keep_alive = on;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> Client {
+        Client {
+            addr: self.addr,
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
+            keep_alive: self.keep_alive,
+            socket: None,
+            connections_opened: 0,
+            requests_sent: 0,
+        }
+    }
+}
+
+/// A blocking HTTP client bound to one server address.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    keep_alive: bool,
+    /// The kept-alive socket, buffered so pipelined response bytes
+    /// survive between requests.
+    socket: Option<BufReader<TcpStream>>,
+    connections_opened: u64,
+    requests_sent: u64,
+}
+
+impl Client {
+    /// A builder targeting `addr` (`host:port`).
+    pub fn builder(addr: &str) -> ClientBuilder {
+        ClientBuilder {
+            addr: addr.to_string(),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            keep_alive: true,
+        }
+    }
+
+    /// A keep-alive client with default timeouts.
+    #[must_use]
+    pub fn new(addr: &str) -> Client {
+        Client::builder(addr).build()
+    }
+
+    /// Connections this client has opened so far. With keep-alive this
+    /// stays near 1; the ratio against [`Client::requests_sent`] is
+    /// the connection-reuse rate.
+    #[must_use]
+    pub fn connections_opened(&self) -> u64 {
+        self.connections_opened
+    }
+
+    /// Requests issued through this client.
+    #[must_use]
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// Issues one request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and responses the client cannot parse. A
+    /// failure on a *reused* socket is retried once on a fresh one
+    /// before surfacing.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<ClientResponse> {
+        self.requests_sent += 1;
+        let reused = self.keep_alive && self.socket.is_some();
+        match self.attempt(method, path, body, extra_headers) {
+            Ok(resp) => Ok(resp),
+            Err(_) if reused => {
+                // The kept socket went stale (server-side idle timeout
+                // or request bound); one fresh-socket retry.
+                self.socket = None;
+                self.attempt(method, path, body, extra_headers)
+            }
+            Err(e) => {
+                self.socket = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None, &[])
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body), &[])
+    }
+
+    /// Runs one typed job on its endpoint and parses the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; HTTP-level errors come back as
+    /// [`ApiResponse::Error`].
+    pub fn call(&mut self, job: &ApiRequest) -> io::Result<ApiResponse> {
+        let resp = self.post_json(job.kind().path(), &job.to_json())?;
+        Ok(ApiResponse::from_http(resp.status, &resp.body))
+    }
+
+    /// Runs a batch on `POST /v1/batch` and parses the envelope.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn call_batch(&mut self, batch: &BatchRequest) -> io::Result<ApiResponse> {
+        let resp = self.post_json("/v1/batch", &batch.to_json())?;
+        Ok(ApiResponse::from_http(resp.status, &resp.body))
+    }
+
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<ClientResponse> {
+        if self.socket.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            // Nagle off — the request head and body are separate small
+            // writes, and on a reused socket the coalescing delay
+            // stacks with the server's delayed ACK.
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_write_timeout(Some(self.write_timeout))?;
+            self.connections_opened += 1;
+            self.socket = Some(BufReader::new(stream));
+        }
+        let connection = if self.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: {connection}\r\n",
+            addr = self.addr
+        );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+
+        let sock = self.socket.as_mut().expect("socket just ensured");
+        let stream = sock.get_mut();
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body.as_bytes())?;
+        }
+        stream.flush()?;
+
+        let resp = read_response(sock)?;
+        // Only a delimited response on a mutually kept-alive exchange
+        // leaves the socket reusable.
+        let reusable = self.keep_alive
+            && resp.header("content-length").is_some()
+            && !resp
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if !reusable {
+            self.socket = None;
+        }
+        Ok(resp)
+    }
+}
+
+/// Issues one request on a fresh `Connection: close` socket.
 ///
 /// # Errors
 ///
 /// Transport failures and responses the client cannot parse.
+#[deprecated(
+    since = "0.8.0",
+    note = "build a `Client` and call its `request` method"
+)]
 pub fn request(
     addr: &str,
     method: &str,
@@ -40,57 +282,50 @@ pub fn request(
     body: Option<&str>,
     extra_headers: &[(&str, &str)],
 ) -> io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-
-    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
-    for (name, value) in extra_headers {
-        head.push_str(&format!("{name}: {value}\r\n"));
-    }
-    if let Some(body) = body {
-        head.push_str(&format!(
-            "Content-Type: application/json\r\nContent-Length: {}\r\n",
-            body.len()
-        ));
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    if let Some(body) = body {
-        stream.write_all(body.as_bytes())?;
-    }
-    stream.flush()?;
-
-    read_response(&mut stream)
+    Client::builder(addr)
+        .keep_alive(false)
+        .build()
+        .request(method, path, body, extra_headers)
 }
 
-/// `GET path`.
+/// `GET path` on a fresh socket.
 ///
 /// # Errors
 ///
-/// See [`request`].
+/// Transport failures and responses the client cannot parse.
+#[deprecated(since = "0.8.0", note = "build a `Client` and call its `get` method")]
 pub fn get(addr: &str, path: &str) -> io::Result<ClientResponse> {
-    request(addr, "GET", path, None, &[])
+    Client::builder(addr).keep_alive(false).build().get(path)
 }
 
-/// `POST path` with a JSON body.
+/// `POST path` with a JSON body on a fresh socket.
 ///
 /// # Errors
 ///
-/// See [`request`].
+/// Transport failures and responses the client cannot parse.
+#[deprecated(
+    since = "0.8.0",
+    note = "build a `Client` and call its `post_json` method"
+)]
 pub fn post_json(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
-    request(addr, "POST", path, Some(body), &[])
+    Client::builder(addr)
+        .keep_alive(false)
+        .build()
+        .post_json(path, body)
 }
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
-    let mut reader = BufReader::new(stream);
-
+fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a status line",
+        ));
+    }
     let status = status_line
         .split_whitespace()
         .nth(1)
@@ -121,7 +356,8 @@ fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
             body.resize(n, 0);
             reader.read_exact(&mut body)?;
         }
-        // Connection: close delimits the body.
+        // No length: the connection close delimits the body (and the
+        // caller drops the socket).
         None => {
             reader.read_to_end(&mut body)?;
         }
@@ -132,4 +368,139 @@ fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
         headers,
         body,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    /// Reads one request head (through the blank line) off `stream`;
+    /// `false` when the peer closed instead.
+    fn read_head(stream: &mut TcpStream) -> bool {
+        let mut seen = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) | Err(_) => return false,
+                Ok(_) => seen.push(byte[0]),
+            }
+            if seen.ends_with(b"\r\n\r\n") {
+                return true;
+            }
+        }
+    }
+
+    fn canned(stream: &mut TcpStream, body: &str) {
+        let resp = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(resp.as_bytes()).unwrap();
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_socket_across_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut served = 0;
+            while read_head(&mut stream) {
+                canned(&mut stream, "ok");
+                served += 1;
+            }
+            served
+        });
+        let mut client = Client::new(&addr);
+        for _ in 0..3 {
+            assert_eq!(client.get("/healthz").unwrap().status, 200);
+        }
+        drop(client);
+        assert_eq!(server.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn counters_expose_the_reuse_rate() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            while read_head(&mut stream) {
+                canned(&mut stream, "ok");
+            }
+        });
+        let mut client = Client::new(&addr);
+        for _ in 0..4 {
+            client.get("/").unwrap();
+        }
+        assert_eq!(client.connections_opened(), 1);
+        assert_eq!(client.requests_sent(), 4);
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn stale_kept_socket_is_retried_on_a_fresh_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: one response, then hang up.
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_head(&mut stream));
+            canned(&mut stream, "one");
+            drop(stream);
+            // The client's retry arrives on a second connection.
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_head(&mut stream));
+            canned(&mut stream, "two");
+        });
+        let mut client = Client::new(&addr);
+        assert_eq!(client.get("/").unwrap().body, "one");
+        assert_eq!(client.get("/").unwrap().body, "two");
+        assert_eq!(client.connections_opened(), 2);
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connection_close_response_drops_the_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for body in ["one", "two"] {
+                let (mut stream, _) = listener.accept().unwrap();
+                assert!(read_head(&mut stream));
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                stream.write_all(resp.as_bytes()).unwrap();
+            }
+        });
+        let mut client = Client::new(&addr);
+        assert_eq!(client.get("/").unwrap().body, "one");
+        assert_eq!(client.get("/").unwrap().body, "two");
+        // The server said close both times, so each request opened a
+        // fresh connection even though keep-alive was requested.
+        assert_eq!(client.connections_opened(), 2);
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_head(&mut stream));
+            canned(&mut stream, "shim");
+        });
+        let resp = get(&addr, "/").unwrap();
+        assert_eq!(resp.body, "shim");
+        server.join().unwrap();
+    }
 }

@@ -1,10 +1,15 @@
 //! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for
 //! the compile-and-simulate service: request line + headers +
-//! `Content-Length` bodies, explicit size limits, and `Connection:
-//! close` semantics (one request per connection, which keeps the worker
-//! pool's unit of work identical to the listener's unit of accept).
+//! `Content-Length` bodies, explicit size limits, and HTTP/1.1
+//! **keep-alive** semantics. A connection serves a sequence of
+//! requests through one caller-owned [`BufRead`] (so pipelined bytes
+//! buffered past one request survive into the next read), and the
+//! `Connection:` header plus protocol version decide whether the
+//! socket persists: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
+//! close, and an explicit `Connection: close` / `keep-alive` token
+//! overrides either way.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, Write};
 
 /// Upper bound on the request line plus all header bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -19,6 +24,9 @@ pub struct Request {
     pub method: String,
     /// Absolute path, query string included if any.
     pub path: String,
+    /// `true` for `HTTP/1.1` (and later 1.x), `false` for `HTTP/1.0`
+    /// — decides the default connection semantics.
+    pub http11: bool,
     /// Headers in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// Body bytes (empty when no `Content-Length`).
@@ -37,6 +45,17 @@ impl Request {
     /// The body as UTF-8, or `None` if it is not valid UTF-8.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Whether the connection should stay open after this request:
+    /// an explicit `Connection:` token wins, otherwise HTTP/1.1
+    /// defaults to keep-alive and HTTP/1.0 to close.
+    pub fn persistent(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
     }
 }
 
@@ -144,6 +163,9 @@ pub enum ReadError {
     Bad(Response),
     /// Transport-level problem (peer went away, timeout); just close.
     Io(io::Error),
+    /// The peer closed (or idled past the read deadline) cleanly
+    /// *between* requests — end of a keep-alive session, not an error.
+    Closed,
 }
 
 impl From<io::Error> for ReadError {
@@ -152,18 +174,37 @@ impl From<io::Error> for ReadError {
     }
 }
 
-/// Reads one request from `stream`, enforcing [`MAX_HEAD_BYTES`] and
+/// Reads one request from `reader`, enforcing [`MAX_HEAD_BYTES`] and
 /// `max_body`.
+///
+/// The reader is caller-owned so a keep-alive connection can feed a
+/// sequence of requests through one buffer — bytes a pipelining client
+/// sent ahead stay buffered for the next call instead of being
+/// dropped with a throwaway `BufReader`.
 ///
 /// # Errors
 ///
-/// [`ReadError::Bad`] carries the 4xx response to send; [`ReadError::Io`]
-/// means the connection is not worth answering.
-pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, ReadError> {
-    let mut reader = BufReader::new(stream);
+/// [`ReadError::Bad`] carries the 4xx response to send;
+/// [`ReadError::Io`] means the connection is not worth answering;
+/// [`ReadError::Closed`] is the clean end of a keep-alive session (EOF
+/// or idle timeout before the first byte of a next request).
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
     let mut head_bytes = 0usize;
 
-    let request_line = read_line(&mut reader, &mut head_bytes)?;
+    let request_line = match read_line(reader, &mut head_bytes) {
+        Ok(line) => line,
+        // Nothing of a request arrived: a clean close, not a truncation.
+        Err(ReadError::Io(e)) if head_bytes == 0 => {
+            return Err(match e.kind() {
+                io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::WouldBlock
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::ConnectionReset => ReadError::Closed,
+                _ => ReadError::Io(e),
+            });
+        }
+        Err(e) => return Err(e),
+    };
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
@@ -176,10 +217,11 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
             "unsupported protocol version",
         )));
     }
+    let http11 = version != "HTTP/1.0";
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(&mut reader, &mut head_bytes)?;
+        let line = read_line(reader, &mut head_bytes)?;
         if line.is_empty() {
             break;
         }
@@ -192,6 +234,7 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
     let req = Request {
         method: method.to_string(),
         path: path.to_string(),
+        http11,
         headers,
         body: Vec::new(),
     };
@@ -208,7 +251,7 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         return Err(ReadError::Bad(Response::too_large(max_body)));
     }
     let mut body = vec![0u8; body_len];
-    reader.read_exact(&mut body)?;
+    io::Read::read_exact(reader, &mut body)?;
     Ok(Request { body, ..req })
 }
 
@@ -216,10 +259,8 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
 /// against the head budget.
 fn read_line(reader: &mut impl BufRead, head_bytes: &mut usize) -> Result<String, ReadError> {
     let mut line = Vec::new();
-    let n = reader
-        .by_ref()
-        .take((MAX_HEAD_BYTES - *head_bytes) as u64 + 1)
-        .read_until(b'\n', &mut line)?;
+    let budget = (MAX_HEAD_BYTES - *head_bytes) as u64 + 1;
+    let n = io::Read::take(reader, budget).read_until(b'\n', &mut line)?;
     *head_bytes += n;
     if *head_bytes > MAX_HEAD_BYTES {
         return Err(ReadError::Bad(Response::bad_request(
@@ -239,15 +280,18 @@ fn read_line(reader: &mut impl BufRead, head_bytes: &mut usize) -> Result<String
         .map_err(|_| ReadError::Bad(Response::bad_request("non-UTF-8 request head")))
 }
 
-/// Serializes `resp` onto `stream` (always `Connection: close`).
+/// Serializes `resp` onto `stream`, advertising whether the server
+/// will keep the connection open (`Connection: keep-alive`) or drop it
+/// (`Connection: close`) afterwards.
 ///
 /// # Errors
 ///
-/// Propagates transport errors; the caller drops the connection either
-/// way.
-pub fn write_response(stream: &mut impl Write, resp: &Response) -> io::Result<()> {
+/// Propagates transport errors; on error the caller drops the
+/// connection regardless of `close`.
+pub fn write_response(stream: &mut impl Write, resp: &Response, close: bool) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
@@ -293,6 +337,38 @@ mod tests {
     fn accepts_bare_lf_lines() {
         let req = read("GET / HTTP/1.1\nX-A: b\n\n").unwrap();
         assert_eq!(req.header("x-a"), Some("b"));
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        // HTTP/1.1 defaults to keep-alive, 1.0 to close; an explicit
+        // token overrides either default.
+        assert!(read("GET / HTTP/1.1\r\n\r\n").unwrap().persistent());
+        assert!(!read("GET / HTTP/1.0\r\n\r\n").unwrap().persistent());
+        assert!(!read("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .persistent());
+        assert!(read("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .persistent());
+    }
+
+    #[test]
+    fn pipelined_requests_survive_in_one_reader() {
+        // Two requests sent back to back: the shared reader must hand
+        // over the second intact after parsing the first.
+        let raw = "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                   GET /b HTTP/1.1\r\n\r\n";
+        let mut reader = raw.as_bytes();
+        let first = read_request(&mut reader, DEFAULT_MAX_BODY_BYTES).unwrap();
+        assert_eq!((first.path.as_str(), first.body_str()), ("/a", Some("hi")));
+        let second = read_request(&mut reader, DEFAULT_MAX_BODY_BYTES).unwrap();
+        assert_eq!(second.path, "/b");
+        // Then a clean EOF between requests reads as Closed.
+        assert!(matches!(
+            read_request(&mut reader, DEFAULT_MAX_BODY_BYTES),
+            Err(ReadError::Closed)
+        ));
     }
 
     #[test]
@@ -346,7 +422,7 @@ mod tests {
     #[test]
     fn writes_responses_with_extra_headers() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::busy(1)).unwrap();
+        write_response(&mut out, &Response::busy(1), true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(
             text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
@@ -358,6 +434,10 @@ mod tests {
             text.ends_with("{\"error\":\"job queue full, retry later\"}"),
             "{text}"
         );
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 
     #[test]

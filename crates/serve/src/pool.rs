@@ -1,11 +1,20 @@
 //! Fixed worker pool with a bounded job queue.
 //!
-//! The unit of work is one accepted connection. The acceptor calls
-//! [`WorkerPool::try_submit`]; a full queue hands the connection back
-//! so the acceptor can answer `429 Retry-After` — backpressure, never
-//! unbounded memory. Workers run the service closure under
-//! `catch_unwind`, so a panicking job (already degraded to a 500 by the
-//! handler's own catch) can never take a worker thread down with it.
+//! The primary unit of work is one accepted **connection** (which, with
+//! keep-alive, a worker owns for its whole lifetime — many requests).
+//! The acceptor calls [`WorkerPool::try_submit`]; a full queue hands
+//! the connection back so the acceptor can answer `429 Retry-After` —
+//! backpressure, never unbounded memory.
+//!
+//! Workers additionally drain best-effort **tasks** ([`Task`]): the
+//! `/v1/batch` endpoint fans a batch's jobs out as tasks so idle
+//! workers help, while the submitting worker keeps executing jobs
+//! itself — a task that never gets picked up costs nothing, and the
+//! batch can never deadlock on a busy pool (see `server::run_batch`).
+//!
+//! Every job runs under `catch_unwind`, so a panicking connection
+//! closure (already degraded to a 500 by the handler's own catch) or
+//! batch task can never take a worker thread down with it.
 //!
 //! Shutdown is a drain: [`WorkerPool::shutdown`] stops intake, lets
 //! workers finish everything already queued, then joins them.
@@ -24,13 +33,19 @@ use sentinel_trace::SharedMetrics;
 /// The service closure: handles one connection end-to-end.
 pub type ConnFn = Arc<dyn Fn(TcpStream) + Send + Sync>;
 
-struct Queued {
-    stream: TcpStream,
-    enqueued: Instant,
+/// A one-shot helper job (batch fan-out).
+pub type Task = Box<dyn FnOnce() + Send>;
+
+enum Work {
+    Conn {
+        stream: TcpStream,
+        enqueued: Instant,
+    },
+    Task(Task),
 }
 
 struct Inner {
-    queue: Mutex<VecDeque<Queued>>,
+    queue: Mutex<VecDeque<Work>>,
     capacity: usize,
     available: Condvar,
     stop: AtomicBool,
@@ -43,7 +58,7 @@ impl Inner {
         if self.stop.load(Ordering::SeqCst) || queue.len() >= self.capacity {
             return Err(stream);
         }
-        queue.push_back(Queued {
+        queue.push_back(Work::Conn {
             stream,
             enqueued: Instant::now(),
         });
@@ -51,17 +66,51 @@ impl Inner {
         self.available.notify_one();
         Ok(())
     }
+
+    fn try_spawn(&self, task: Task) -> bool {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if self.stop.load(Ordering::SeqCst) || queue.len() >= self.capacity {
+            return false;
+        }
+        queue.push_back(Work::Task(task));
+        drop(queue);
+        self.available.notify_one();
+        true
+    }
 }
 
-/// A fixed pool of worker threads draining a bounded connection queue.
+/// A fixed pool of worker threads draining a bounded job queue.
 pub struct WorkerPool {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
 }
 
+/// A detachable submit-only view of the pool: connections from the
+/// acceptor, best-effort tasks from the batch endpoint. The pool
+/// itself stays with its owner so shutdown can join the workers.
+#[derive(Clone)]
+pub struct Submitter {
+    inner: Arc<Inner>,
+}
+
+impl Submitter {
+    /// Enqueues a connection, or hands it back if the queue is full
+    /// (or the pool is shutting down) so the caller can answer 429.
+    pub fn try_submit(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        self.inner.try_submit(stream)
+    }
+
+    /// Enqueues a helper task if there is room; `false` (task dropped)
+    /// on a full or stopping queue. Callers must not rely on the task
+    /// running — it is opportunistic parallelism only.
+    pub fn try_spawn(&self, task: Task) -> bool {
+        self.inner.try_spawn(task)
+    }
+}
+
 impl WorkerPool {
     /// Spawns `workers` threads servicing queued connections with
-    /// `run`. At most `capacity` connections wait at once.
+    /// `run`. At most `capacity` jobs wait at once.
     pub fn new(workers: usize, capacity: usize, metrics: SharedMetrics, run: ConnFn) -> WorkerPool {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
@@ -89,15 +138,15 @@ impl WorkerPool {
         self.inner.try_submit(stream)
     }
 
-    /// A detachable submit-only handle: the acceptor thread submits
-    /// through this while the pool itself stays with the owner so
-    /// shutdown can join the workers.
-    pub fn submitter(&self) -> Arc<dyn Fn(TcpStream) -> Result<(), TcpStream> + Send + Sync> {
-        let inner = Arc::clone(&self.inner);
-        Arc::new(move |stream| inner.try_submit(stream))
+    /// A detachable submit-only handle for the acceptor thread and the
+    /// batch fan-out.
+    pub fn submitter(&self) -> Submitter {
+        Submitter {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
-    /// Connections currently waiting for a worker.
+    /// Jobs currently waiting for a worker.
     pub fn queued(&self) -> usize {
         self.inner
             .queue
@@ -106,8 +155,7 @@ impl WorkerPool {
             .len()
     }
 
-    /// Stops intake, drains every queued connection, and joins the
-    /// workers.
+    /// Stops intake, drains every queued job, and joins the workers.
     pub fn shutdown(self) {
         self.inner.stop.store(true, Ordering::SeqCst);
         self.inner.available.notify_all();
@@ -134,13 +182,20 @@ fn worker_loop(inner: &Inner, run: &ConnFn) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
-        inner
-            .metrics
-            .observe(QUEUE_WAIT_MICROS, job.enqueued.elapsed().as_micros() as u64);
         // The service closure has its own panic handling that degrades a
         // panicking request to a 500; this outer catch only protects the
         // pool from panics in the response-writing path itself.
-        let _ = catch_unwind(AssertUnwindSafe(|| run(job.stream)));
+        match job {
+            Work::Conn { stream, enqueued } => {
+                inner
+                    .metrics
+                    .observe(QUEUE_WAIT_MICROS, enqueued.elapsed().as_micros() as u64);
+                let _ = catch_unwind(AssertUnwindSafe(|| run(stream)));
+            }
+            Work::Task(task) => {
+                let _ = catch_unwind(AssertUnwindSafe(task));
+            }
+        }
     }
 }
 
@@ -180,6 +235,23 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(handled.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn spawned_tasks_run_alongside_connections() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(2, 16, SharedMetrics::new(), Arc::new(|_s| {}));
+        let submitter = pool.submitter();
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            assert!(submitter.try_spawn(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+        // After shutdown the submitter politely declines.
+        assert!(!submitter.try_spawn(Box::new(|| {})));
     }
 
     #[test]

@@ -1,37 +1,53 @@
 //! The service itself: acceptor thread, request routing, and lifecycle.
 //!
-//! One accepted connection is one unit of work. The acceptor owns
-//! admission control (counting connections, bouncing to `429` when the
-//! worker pool's queue is full); workers own everything else (parse,
-//! route, compute or hit the cache, respond). Shutdown stops intake
-//! first, then drains the queue, so every admitted request gets an
-//! answer.
+//! One accepted connection is one unit of work, and with HTTP/1.1
+//! keep-alive a worker **owns the connection** for its whole lifetime:
+//! it loops read → dispatch → write until the client asks to close,
+//! the idle timeout expires between requests, or the per-connection
+//! request bound is reached. The acceptor owns admission control
+//! (counting connections, bouncing to `429` when the worker pool's
+//! queue is full); workers own everything else (parse, route, compute
+//! or hit the cache, respond). Shutdown stops intake first, then
+//! drains the queue, so every admitted connection finishes its
+//! in-flight request.
+//!
+//! `POST /v1/batch` fans its jobs out across the same pool: idle
+//! workers pick jobs up as best-effort tasks while the worker that
+//! owns the batch's connection keeps executing jobs itself — on a
+//! saturated pool a batch degrades to sequential execution on its own
+//! worker, never to a deadlock.
 
-use std::io;
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sentinel_trace::serve::{
-    CONNECTIONS, PANICS, REJECTED, REQUESTS, REQUEST_MICROS, RESPONSES_CLIENT_ERROR, RESPONSES_OK,
-    RESPONSES_SERVER_ERROR,
+    BATCH_JOBS, BATCH_JOB_ERRORS, CONNECTIONS, KEEPALIVE_REUSED, PANICS, REJECTED, REQUESTS,
+    REQUEST_MICROS, RESPONSES_CLIENT_ERROR, RESPONSES_OK, RESPONSES_SERVER_ERROR,
 };
 use sentinel_trace::{Metrics, SharedMetrics};
 use sentinel_workloads::Workload;
 
-use crate::api::{self, CompileRequest, SimulateRequest};
+use crate::api::{ApiError, ApiRequest, ApiResponse, BatchRequest, JobKind};
 use crate::cache::ResponseCache;
 use crate::http::{self, ReadError, Request, Response};
-use crate::pool::WorkerPool;
+use crate::pool::{Submitter, WorkerPool};
 use crate::prom;
 
 /// Test/diagnostic hook run on every parsed request, inside the same
 /// `catch_unwind` as the router — a hook that panics exercises the
 /// 500-on-this-request-only path.
 pub type JobHook = Arc<dyn Fn(&Request) + Send + Sync>;
+
+/// Test/diagnostic hook run on every API job (single-endpoint and
+/// batch alike), inside the per-job `catch_unwind` — a panicking hook
+/// exercises the error-entry-not-whole-batch path.
+pub type ApiHook = Arc<dyn Fn(&ApiRequest) + Send + Sync>;
 
 /// Service tuning knobs.
 #[derive(Clone)]
@@ -42,16 +58,27 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue depth between acceptor and workers.
     pub queue_depth: usize,
-    /// Response-cache capacity (entries).
+    /// Response-cache capacity (entries, LRU-bounded).
     pub cache_capacity: usize,
+    /// Spill directory for the persistent response cache; `None`
+    /// keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
     /// Per-request body limit in bytes.
     pub max_body: usize,
-    /// Per-connection read timeout.
-    pub read_timeout: Duration,
+    /// How long a kept-alive connection may sit idle between requests
+    /// (also bounds reads mid-request).
+    pub idle_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (bounds how long one client can monopolize a worker).
+    pub max_requests_per_conn: usize,
+    /// Upper bound on jobs in one `POST /v1/batch` request.
+    pub batch_max_jobs: usize,
     /// Optional per-request hook (tests inject panics through this).
     pub job_hook: Option<JobHook>,
+    /// Optional per-API-job hook (tests inject per-job panics).
+    pub api_hook: Option<ApiHook>,
 }
 
 impl Default for ServerConfig {
@@ -61,10 +88,14 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 1024,
+            cache_dir: None,
             max_body: http::DEFAULT_MAX_BODY_BYTES,
-            read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 1000,
+            batch_max_jobs: crate::api::DEFAULT_MAX_BATCH_JOBS,
             job_hook: None,
+            api_hook: None,
         }
     }
 }
@@ -74,23 +105,39 @@ impl Default for ServerConfig {
 /// evaluated in-process.
 pub struct Handler {
     metrics: SharedMetrics,
-    cache: ResponseCache,
+    cache: Arc<ResponseCache>,
     workloads: Arc<Vec<Workload>>,
+    batch_max_jobs: usize,
+    api_hook: Option<ApiHook>,
+    /// Set once the worker pool exists; absent (e.g. in-process
+    /// tests), batches run sequentially on the calling thread.
+    submitter: OnceLock<Submitter>,
 }
 
 impl Handler {
-    /// A handler with its own cache, reporting into `metrics`, serving
-    /// suite lookups from `workloads`.
+    /// A handler over `cache`, reporting into `metrics`, serving suite
+    /// lookups from `workloads`.
     pub fn new(
         metrics: SharedMetrics,
-        cache_capacity: usize,
+        cache: Arc<ResponseCache>,
         workloads: Arc<Vec<Workload>>,
+        batch_max_jobs: usize,
+        api_hook: Option<ApiHook>,
     ) -> Handler {
         Handler {
-            cache: ResponseCache::new(cache_capacity, metrics.clone()),
             metrics,
+            cache,
             workloads,
+            batch_max_jobs,
+            api_hook,
+            submitter: OnceLock::new(),
         }
+    }
+
+    /// Wires the worker pool in so batches can fan out. Later calls
+    /// are ignored (the pool is created once).
+    pub fn set_submitter(&self, submitter: Submitter) {
+        let _ = self.submitter.set(submitter);
     }
 
     /// Dispatches one request to its endpoint.
@@ -98,53 +145,170 @@ impl Handler {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
             ("GET", "/metrics") => Response::text(200, prom::render(&self.metrics.snapshot())),
-            ("POST", "/v1/compile") => self.compile(req),
-            ("POST", "/v1/simulate") => self.simulate(req),
+            ("POST", "/v1/compile") => self.single(req, JobKind::Compile),
+            ("POST", "/v1/simulate") => self.single(req, JobKind::Simulate),
+            ("POST", "/v1/batch") => self.batch(req),
             (_, "/healthz") | (_, "/metrics") => Response::method_not_allowed("GET"),
-            (_, "/v1/compile") | (_, "/v1/simulate") => Response::method_not_allowed("POST"),
+            (_, "/v1/compile") | (_, "/v1/simulate") | (_, "/v1/batch") => {
+                Response::method_not_allowed("POST")
+            }
             (_, path) => Response::not_found(path),
         }
     }
 
-    /// Runs `build` under the response cache: serves a prior body on a
-    /// key match, computes and retains on a miss (200 bodies only).
-    fn cached(
-        &self,
-        key: String,
-        build: impl FnOnce() -> Result<String, api::ApiError>,
-    ) -> Response {
-        if let Some(body) = self.cache.lookup(&key) {
-            return Response::json(200, body);
+    /// Evaluates one typed request exactly as the HTTP endpoints do
+    /// (cache included) — the in-process half of the byte-identity
+    /// guarantee.
+    pub fn execute(&self, job: &ApiRequest) -> ApiResponse {
+        execute_job(
+            job,
+            &self.cache,
+            &self.workloads,
+            &self.metrics,
+            self.api_hook.as_ref(),
+        )
+    }
+
+    fn single(&self, req: &Request, kind: JobKind) -> Response {
+        let Some(body) = req.body_str() else {
+            return Response::bad_request("body must be UTF-8");
+        };
+        match ApiRequest::from_json(kind, body) {
+            Ok(job) => self.execute(&job).into_http(),
+            Err(e) => ApiResponse::Error(e).into_http(),
         }
-        match build() {
-            Ok(body) => {
-                self.cache.insert(key, body.clone());
-                Response::json(200, body)
+    }
+
+    fn batch(&self, req: &Request) -> Response {
+        let Some(body) = req.body_str() else {
+            return Response::bad_request("body must be UTF-8");
+        };
+        match BatchRequest::from_json(body, self.batch_max_jobs) {
+            Ok(batch) => self.run_batch(batch.jobs).into_http(),
+            Err(e) => ApiResponse::Error(e).into_http(),
+        }
+    }
+
+    /// Runs a batch's jobs, fanning out across the pool when one is
+    /// wired in. The calling thread always participates, so the batch
+    /// completes even if no helper task ever gets picked up.
+    pub fn run_batch(&self, jobs: Vec<ApiRequest>) -> ApiResponse {
+        let n = jobs.len();
+        let run = Arc::new(BatchRun::new(jobs));
+        let exec: Arc<dyn Fn(&ApiRequest) -> ApiResponse + Send + Sync> = {
+            let cache = Arc::clone(&self.cache);
+            let workloads = Arc::clone(&self.workloads);
+            let metrics = self.metrics.clone();
+            let hook = self.api_hook.clone();
+            Arc::new(move |job| execute_job(job, &cache, &workloads, &metrics, hook.as_ref()))
+        };
+        if let Some(submitter) = self.submitter.get() {
+            // Best-effort helpers: each drains jobs until none are
+            // left. A full queue just means less parallelism.
+            for _ in 0..n.saturating_sub(1) {
+                let run = Arc::clone(&run);
+                let exec = Arc::clone(&exec);
+                let helper = move || while run.run_one(exec.as_ref()) {};
+                if !submitter.try_spawn(Box::new(helper)) {
+                    break;
+                }
             }
-            Err(e) => Response::json(e.status, http::error_body(&e.message)),
+        }
+        while run.run_one(exec.as_ref()) {}
+        let results = run.wait();
+        self.metrics.count(BATCH_JOBS, n as u64);
+        let errors = results.iter().filter(|r| !r.is_ok()).count();
+        if errors > 0 {
+            self.metrics.count(BATCH_JOB_ERRORS, errors as u64);
+        }
+        ApiResponse::Batch(results)
+    }
+}
+
+/// Runs one API job under the response cache and a per-job
+/// `catch_unwind`: a panicking job degrades to a 500-status error
+/// entry, never further.
+fn execute_job(
+    job: &ApiRequest,
+    cache: &ResponseCache,
+    workloads: &[Workload],
+    metrics: &SharedMetrics,
+    hook: Option<&ApiHook>,
+) -> ApiResponse {
+    let computed = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(hook) = hook {
+            hook(job);
+        }
+        let key = job.cache_key();
+        if let Some(body) = cache.lookup(&key) {
+            return ApiResponse::Result(body);
+        }
+        match job.run(workloads) {
+            Ok(body) => {
+                cache.insert(key, body.clone());
+                ApiResponse::Result(body)
+            }
+            Err(e) => ApiResponse::Error(e),
+        }
+    }));
+    computed.unwrap_or_else(|_| {
+        metrics.count(PANICS, 1);
+        ApiResponse::Error(ApiError {
+            status: 500,
+            message: "job panicked".to_string(),
+        })
+    })
+}
+
+/// Shared state of one in-flight batch: a claim counter hands each
+/// job to exactly one executor (helper task or the owning worker),
+/// and a condvar reports completion of the last job.
+struct BatchRun {
+    jobs: Vec<ApiRequest>,
+    next: AtomicUsize,
+    done: Mutex<(usize, Vec<Option<ApiResponse>>)>,
+    finished: Condvar,
+}
+
+impl BatchRun {
+    fn new(jobs: Vec<ApiRequest>) -> BatchRun {
+        let n = jobs.len();
+        BatchRun {
+            jobs,
+            next: AtomicUsize::new(0),
+            done: Mutex::new((0, (0..n).map(|_| None).collect())),
+            finished: Condvar::new(),
         }
     }
 
-    fn compile(&self, req: &Request) -> Response {
-        let Some(body) = req.body_str() else {
-            return Response::bad_request("body must be UTF-8");
+    /// Claims and runs the next unclaimed job; `false` when none are
+    /// left to claim.
+    fn run_one(&self, exec: &(dyn Fn(&ApiRequest) -> ApiResponse + Send + Sync)) -> bool {
+        let i = self.next.fetch_add(1, Ordering::SeqCst);
+        let Some(job) = self.jobs.get(i) else {
+            return false;
         };
-        match CompileRequest::from_json(body) {
-            Ok(cr) => self.cached(cr.cache_key(), || api::compile_response(&cr)),
-            Err(e) => Response::json(e.status, http::error_body(&e.message)),
+        let result = exec(job);
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        done.1[i] = Some(result);
+        done.0 += 1;
+        if done.0 == self.jobs.len() {
+            self.finished.notify_all();
         }
+        true
     }
 
-    fn simulate(&self, req: &Request) -> Response {
-        let Some(body) = req.body_str() else {
-            return Response::bad_request("body must be UTF-8");
-        };
-        match SimulateRequest::from_json(body) {
-            Ok(sr) => self.cached(sr.cache_key(), || {
-                api::simulate_response(&sr, &self.workloads)
-            }),
-            Err(e) => Response::json(e.status, http::error_body(&e.message)),
+    /// Blocks until every job has a result, then returns them in job
+    /// order.
+    fn wait(&self) -> Vec<ApiResponse> {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while done.0 < self.jobs.len() {
+            done = self.finished.wait(done).unwrap_or_else(|e| e.into_inner());
         }
+        done.1
+            .iter_mut()
+            .map(|slot| slot.take().expect("all jobs completed"))
+            .collect()
     }
 }
 
@@ -163,37 +327,52 @@ pub struct ServerHandle {
 ///
 /// # Errors
 ///
-/// Propagates bind failures.
+/// Propagates bind failures and an uncreatable `cache_dir`.
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
     let metrics = SharedMetrics::new();
+    let cache = match &cfg.cache_dir {
+        Some(dir) => ResponseCache::with_dir(cfg.cache_capacity, metrics.clone(), dir)?,
+        None => ResponseCache::new(cfg.cache_capacity, metrics.clone()),
+    };
     let handler = Arc::new(Handler::new(
         metrics.clone(),
-        cfg.cache_capacity,
+        Arc::new(cache),
         sentinel_workloads::suite::shared(),
+        cfg.batch_max_jobs,
+        cfg.api_hook.clone(),
     ));
     let stop = Arc::new(AtomicBool::new(false));
 
     let conn_metrics = metrics.clone();
     let hook = cfg.job_hook.clone();
-    let max_body = cfg.max_body;
+    let (max_body, max_requests) = (cfg.max_body, cfg.max_requests_per_conn.max(1));
+    let conn_handler = Arc::clone(&handler);
     let pool = WorkerPool::new(
         cfg.workers,
         cfg.queue_depth,
         metrics.clone(),
         Arc::new(move |stream| {
-            serve_connection(stream, &handler, &conn_metrics, hook.as_ref(), max_body);
+            serve_connection(
+                stream,
+                &conn_handler,
+                &conn_metrics,
+                hook.as_ref(),
+                max_body,
+                max_requests,
+            );
         }),
     );
+    handler.set_submitter(pool.submitter());
 
     let acceptor = {
         let stop = Arc::clone(&stop);
         let metrics = metrics.clone();
-        let (read_timeout, write_timeout) = (cfg.read_timeout, cfg.write_timeout);
-        let pool_ref = PoolRef::new(&pool);
+        let (idle_timeout, write_timeout) = (cfg.idle_timeout, cfg.write_timeout);
+        let submitter = pool.submitter();
         std::thread::Builder::new()
             .name("serve-acceptor".to_string())
             .spawn(move || {
@@ -201,8 +380,8 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
                     &listener,
                     &stop,
                     &metrics,
-                    &pool_ref,
-                    read_timeout,
+                    &submitter,
+                    idle_timeout,
                     write_timeout,
                 );
             })
@@ -218,29 +397,12 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     })
 }
 
-/// A clonable submit-only view of the pool for the acceptor thread
-/// (the pool itself must stay with the handle so shutdown can join).
-struct PoolRef {
-    inner: Arc<dyn Fn(TcpStream) -> Result<(), TcpStream> + Send + Sync>,
-}
-
-impl PoolRef {
-    fn new(pool: &WorkerPool) -> PoolRef {
-        let submit = pool.submitter();
-        PoolRef { inner: submit }
-    }
-
-    fn try_submit(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        (self.inner)(stream)
-    }
-}
-
 fn accept_loop(
     listener: &TcpListener,
     stop: &AtomicBool,
     metrics: &SharedMetrics,
-    pool: &PoolRef,
-    read_timeout: Duration,
+    pool: &Submitter,
+    idle_timeout: Duration,
     write_timeout: Duration,
 ) {
     while !stop.load(Ordering::SeqCst) {
@@ -248,14 +410,20 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 metrics.count(CONNECTIONS, 1);
                 // Workers use blocking reads with deadlines; the
-                // nonblocking flag is only for the accept loop.
+                // nonblocking flag is only for the accept loop. The
+                // read deadline doubles as the keep-alive idle bound.
+                // Nagle off: head and body go out as separate writes,
+                // and on a kept-alive socket the coalescing delay
+                // would stack with the peer's delayed ACK (~40 ms per
+                // exchange).
                 let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(idle_timeout));
                 let _ = stream.set_write_timeout(Some(write_timeout));
                 if let Err(mut bounced) = pool.try_submit(stream) {
                     metrics.count(REJECTED, 1);
                     metrics.count(RESPONSES_CLIENT_ERROR, 1);
-                    let _ = http::write_response(&mut bounced, &Response::busy(1));
+                    let _ = http::write_response(&mut bounced, &Response::busy(1), true);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -266,41 +434,64 @@ fn accept_loop(
     }
 }
 
+/// One worker's whole tenure on one connection: loop read → dispatch
+/// → write until the client closes (or asks to), the idle deadline
+/// passes, or the request bound is hit.
 fn serve_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     handler: &Handler,
     metrics: &SharedMetrics,
     hook: Option<&JobHook>,
     max_body: usize,
+    max_requests: usize,
 ) {
-    let started = Instant::now();
-    let resp = match http::read_request(&mut stream, max_body) {
-        Ok(req) => {
-            metrics.count(REQUESTS, 1);
-            match catch_unwind(AssertUnwindSafe(|| {
-                if let Some(hook) = hook {
-                    hook(&req);
-                }
-                handler.route(&req)
-            })) {
-                Ok(resp) => resp,
-                Err(_) => {
-                    metrics.count(PANICS, 1);
-                    Response::internal("request handler panicked")
-                }
-            }
-        }
-        Err(ReadError::Bad(resp)) => resp,
-        // The peer vanished or timed out mid-request: nothing to answer.
-        Err(ReadError::Io(_)) => return,
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
     };
-    match resp.status {
-        200..=299 => metrics.count(RESPONSES_OK, 1),
-        400..=499 => metrics.count(RESPONSES_CLIENT_ERROR, 1),
-        _ => metrics.count(RESPONSES_SERVER_ERROR, 1),
+    let mut reader = BufReader::new(stream);
+    for served in 0..max_requests {
+        let req = match http::read_request(&mut reader, max_body) {
+            Ok(req) => req,
+            Err(ReadError::Bad(resp)) => {
+                // Protocol errors poison the stream (unread body
+                // bytes); answer and close.
+                metrics.count(RESPONSES_CLIENT_ERROR, 1);
+                let _ = http::write_response(&mut writer, &resp, true);
+                return;
+            }
+            // Clean end of session, peer vanished, or idle timeout:
+            // nothing to answer.
+            Err(ReadError::Closed | ReadError::Io(_)) => return,
+        };
+        let started = Instant::now();
+        metrics.count(REQUESTS, 1);
+        if served > 0 {
+            metrics.count(KEEPALIVE_REUSED, 1);
+        }
+        let resp = match catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = hook {
+                hook(&req);
+            }
+            handler.route(&req)
+        })) {
+            Ok(resp) => resp,
+            Err(_) => {
+                metrics.count(PANICS, 1);
+                Response::internal("request handler panicked")
+            }
+        };
+        match resp.status {
+            200..=299 => metrics.count(RESPONSES_OK, 1),
+            400..=499 => metrics.count(RESPONSES_CLIENT_ERROR, 1),
+            _ => metrics.count(RESPONSES_SERVER_ERROR, 1),
+        }
+        let close = !req.persistent() || served + 1 >= max_requests;
+        let write_ok = http::write_response(&mut writer, &resp, close).is_ok();
+        metrics.observe(REQUEST_MICROS, started.elapsed().as_micros() as u64);
+        if !write_ok || close {
+            return;
+        }
     }
-    let _ = http::write_response(&mut stream, &resp);
-    metrics.observe(REQUEST_MICROS, started.elapsed().as_micros() as u64);
 }
 
 impl ServerHandle {
@@ -343,30 +534,37 @@ impl Drop for ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client;
+    use crate::client::Client;
 
     fn test_config() -> ServerConfig {
         ServerConfig {
             workers: 2,
             queue_depth: 8,
+            idle_timeout: Duration::from_millis(500),
             ..ServerConfig::default()
         }
+    }
+
+    fn one_shot(addr: &str) -> Client {
+        Client::builder(addr).keep_alive(false).build()
     }
 
     #[test]
     fn healthz_and_metrics_round_trip() {
         let handle = start(test_config()).unwrap();
         let addr = handle.addr().to_string();
-        let health = client::get(&addr, "/healthz").unwrap();
+        let mut client = one_shot(&addr);
+        let health = client.get("/healthz").unwrap();
         assert_eq!(health.status, 200);
         assert_eq!(health.body, "{\"status\":\"ok\"}");
-        let metrics = client::get(&addr, "/metrics").unwrap();
+        let metrics = client.get("/metrics").unwrap();
         assert_eq!(metrics.status, 200);
         assert!(
             metrics.body.contains("serve_http_connections"),
             "{}",
             metrics.body
         );
+        drop(client);
         let final_metrics = handle.shutdown();
         assert!(final_metrics.counter(CONNECTIONS) >= 2);
         assert_eq!(final_metrics.counter(RESPONSES_OK), 2);
@@ -376,22 +574,31 @@ mod tests {
     fn unknown_paths_and_methods_get_404_405() {
         let handle = start(test_config()).unwrap();
         let addr = handle.addr().to_string();
-        assert_eq!(client::get(&addr, "/nope").unwrap().status, 404);
-        let r = client::post_json(&addr, "/healthz", "{}").unwrap();
+        let mut client = one_shot(&addr);
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        let r = client.post_json("/healthz", "{}").unwrap();
         assert_eq!(r.status, 405);
         assert!(r.headers.iter().any(|(n, v)| n == "allow" && v == "GET"));
+        let r = client.get("/v1/batch").unwrap();
+        assert_eq!(r.status, 405);
+        assert!(r.headers.iter().any(|(n, v)| n == "allow" && v == "POST"));
+        drop(client);
         let m = handle.shutdown();
-        assert_eq!(m.counter(RESPONSES_CLIENT_ERROR), 2);
+        assert_eq!(m.counter(RESPONSES_CLIENT_ERROR), 3);
     }
 
     #[test]
     fn malformed_json_is_a_400_not_a_crash() {
         let handle = start(test_config()).unwrap();
         let addr = handle.addr().to_string();
-        let r = client::post_json(&addr, "/v1/compile", "{not json").unwrap();
+        let mut client = one_shot(&addr);
+        let r = client.post_json("/v1/compile", "{not json").unwrap();
         assert_eq!(r.status, 400);
-        let r = client::post_json(&addr, "/v1/simulate", "[]").unwrap();
+        let r = client.post_json("/v1/simulate", "[]").unwrap();
         assert_eq!(r.status, 400);
+        let r = client.post_json("/v1/batch", r#"{"jobs":[]}"#).unwrap();
+        assert_eq!(r.status, 400);
+        drop(client);
         handle.shutdown();
     }
 
@@ -405,11 +612,15 @@ mod tests {
         }));
         let handle = start(cfg).unwrap();
         let addr = handle.addr().to_string();
-        let boom = client::request(&addr, "GET", "/healthz", None, &[("x-test", "panic")]).unwrap();
+        let mut client = one_shot(&addr);
+        let boom = client
+            .request("GET", "/healthz", None, &[("x-test", "panic")])
+            .unwrap();
         assert_eq!(boom.status, 500);
         // The pool and the service survive; the next request is fine.
-        let ok = client::get(&addr, "/healthz").unwrap();
+        let ok = client.get("/healthz").unwrap();
         assert_eq!(ok.status, 200);
+        drop(client);
         let m = handle.shutdown();
         assert_eq!(m.counter(PANICS), 1);
         assert_eq!(m.counter(RESPONSES_SERVER_ERROR), 1);

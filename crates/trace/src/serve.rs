@@ -26,18 +26,40 @@ pub const RESPONSES_CLIENT_ERROR: &str = "serve.http.client_error";
 /// Counter: responses with a 5xx status (a panicking job degrades to
 /// one of these on that request only).
 pub const RESPONSES_SERVER_ERROR: &str = "serve.http.server_error";
+/// Counter: requests served on an already-established connection —
+/// every request after the first on a kept-alive socket.
+pub const KEEPALIVE_REUSED: &str = "serve.http.reused";
 /// Counter: connections turned away with 429 because the job queue was
 /// full (backpressure, never OOM).
 pub const REJECTED: &str = "serve.queue.rejected";
+/// Counter: individual jobs executed on behalf of `POST /v1/batch`
+/// requests (each batch fans its jobs out across the worker pool).
+pub const BATCH_JOBS: &str = "serve.batch.jobs";
+/// Counter: batch jobs that degraded to an in-order error entry
+/// (parse/schedule failures and panicking jobs alike).
+pub const BATCH_JOB_ERRORS: &str = "serve.batch.job_errors";
 /// Counter: jobs whose handler panicked (each one also counts a 5xx).
 pub const PANICS: &str = "serve.jobs.panicked";
 /// Counter: compile/simulate responses served from the result cache.
 pub const CACHE_HIT: &str = "serve.cache.hit";
 /// Counter: compile/simulate responses computed fresh.
 pub const CACHE_MISS: &str = "serve.cache.miss";
-/// Counter: fresh responses *not* retained because the cache was at
-/// capacity.
+/// Counter: fresh responses *not* fully retained. Since the cache
+/// became an evicting LRU this only fires for a zero-capacity cache
+/// (nothing retained) or a failed spill write (entry retained in
+/// memory only); kept for dashboard continuity.
 pub const CACHE_FULL: &str = "serve.cache.full";
+/// Counter: cache hits served by an entry that was warm-loaded from
+/// the on-disk spill (counted once per entry, on its first hit after
+/// a restart).
+pub const CACHE_DISK_HIT: &str = "serve.cache.disk_hit";
+/// Counter: entries evicted (memory and disk file both) to keep the
+/// cache within its LRU size bound.
+pub const CACHE_EVICT: &str = "serve.cache.evict";
+/// Counter: on-disk cache files rejected at warm-load — truncated,
+/// bit-flipped, or otherwise unparseable. Each one is a logged miss,
+/// never a panic.
+pub const CACHE_CORRUPT: &str = "serve.cache.corrupt";
 /// Histogram: end-to-end request handling time, microseconds (parse →
 /// response written).
 pub const REQUEST_MICROS: &str = "serve.request.micros";

@@ -14,7 +14,7 @@
 //! sentinel trace     prog.sasm --model S --issue 8 --format chrome|jsonl|timeline
 //!                    [--raw] [-o out] [run's machine flags]
 //! sentinel reproduce [fig4|fig5|summary|...|all] [--csv] [--jobs N]
-//! sentinel serve     [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N]
+//! sentinel serve     [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N] [--cache-dir PATH]
 //! sentinel fuzz      [--seed N] [--count M] [--model R|G|S|T] [--width W]
 //!                    [--alias F] [--traps F]
 //! sentinel --version
@@ -565,7 +565,7 @@ fn usage() -> ! {
            run       [--issue N] [--semantics tags|silent|nan] [--map S:L]… [--word A=V]… [--reg rN=V]… [--print rN]… [--stats] [--trace]\n\
            trace     --model R|G|S|T|B<k> --issue N --format timeline|jsonl|chrome [--raw] [--recovery] [-o out] [run's machine flags]\n\
            reproduce regenerate the paper's tables/figures [fig4|fig5|summary|…|all] [--csv] [--jobs N]\n\
-           serve     networked compile-and-simulate service [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N]\n\
+           serve     networked compile-and-simulate service [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N] [--cache-dir PATH]\n\
            fuzz      differential fuzzer: both engines, byte-identical observables [--seed N] [--count M] [--model R|G|S|T] [--width W] [--alias F] [--traps F]\n\
            version   print the version (also --version)"
     );

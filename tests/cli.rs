@@ -440,13 +440,16 @@ fn serve_subcommand_drains_on_sigint() {
         .unwrap()
         .to_string();
 
-    use sentinel::serve::client;
-    let health = client::get(&addr, "/healthz").unwrap();
+    let mut client = sentinel::serve::client::Client::new(&addr);
+    let health = client.get("/healthz").unwrap();
     assert_eq!(health.status, 200);
-    let sim = client::post_json(&addr, "/v1/simulate", r#"{"suite":"wc","width":2}"#).unwrap();
+    let sim = client
+        .post_json("/v1/simulate", r#"{"suite":"wc","width":2}"#)
+        .unwrap();
     assert_eq!(sim.status, 200);
-    let metrics = client::get(&addr, "/metrics").unwrap();
+    let metrics = client.get("/metrics").unwrap();
     assert!(metrics.body.contains("serve_http_requests"));
+    drop(client);
 
     let kill = std::process::Command::new("kill")
         .args(["-INT", &child.id().to_string()])

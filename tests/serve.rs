@@ -1,21 +1,48 @@
 //! End-to-end tests of the compile-and-simulate service: concurrency
 //! without dropped responses, cache-hit behavior on repeated batches,
-//! queue-full backpressure, and HTTP-vs-in-process byte equality.
+//! keep-alive connection reuse, `/v1/batch` fan-out, queue-full
+//! backpressure, cache persistence across restarts, and
+//! HTTP-vs-in-process byte equality.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use sentinel::serve::api::{self, SimulateRequest};
-use sentinel::serve::client;
+use sentinel::serve::api::{ApiRequest, ApiResponse, BatchRequest, JobKind};
+use sentinel::serve::client::Client;
 use sentinel::serve::server::{start, ServerConfig};
 use sentinel::trace::json;
-use sentinel::trace::serve::{CACHE_HIT, CACHE_MISS, REJECTED};
+use sentinel::trace::serve::{
+    BATCH_JOBS, BATCH_JOB_ERRORS, CACHE_DISK_HIT, CACHE_HIT, CACHE_MISS, KEEPALIVE_REUSED, PANICS,
+    REJECTED,
+};
 
 fn test_config() -> ServerConfig {
     ServerConfig {
         workers: 4,
         queue_depth: 128,
+        idle_timeout: Duration::from_millis(500),
         ..ServerConfig::default()
     }
+}
+
+/// A one-socket-per-request client, the pre-keep-alive behavior.
+fn one_shot(addr: &str) -> Client {
+    Client::builder(addr).keep_alive(false).build()
+}
+
+/// A fresh scratch directory (no `Date::now` — process id plus a
+/// counter keeps parallel tests apart).
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "sentinel-serve-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 /// The acceptance batch: 64 distinct requests mixing both endpoints,
@@ -51,8 +78,8 @@ fn mixed_batch() -> Vec<(String, String)> {
     batch
 }
 
-/// Fires `batch` from 8 client threads; returns the status codes in
-/// request order.
+/// Fires `batch` from 8 client threads (each on its own kept-alive
+/// connection); returns the status codes in request order.
 fn fire(addr: &str, batch: &[(String, String)]) -> Vec<u16> {
     let addr = addr.to_string();
     let batch = Arc::new(batch.to_vec());
@@ -64,14 +91,13 @@ fn fire(addr: &str, batch: &[(String, String)]) -> Vec<u16> {
                 let addr = addr.clone();
                 let batch = Arc::clone(&batch);
                 scope.spawn(move || {
+                    let mut client = Client::new(&addr);
                     let lo = t * chunk;
                     let hi = (lo + chunk).min(batch.len());
                     (lo..hi)
                         .map(|i| {
                             let (path, body) = &batch[i];
-                            client::post_json(&addr, path, body)
-                                .map(|r| r.status)
-                                .unwrap_or(0)
+                            client.post_json(path, body).map(|r| r.status).unwrap_or(0)
                         })
                         .collect::<Vec<u16>>()
                 })
@@ -118,10 +144,228 @@ fn concurrent_mixed_batch_zero_drops_then_cache_hits() {
 }
 
 #[test]
+fn keep_alive_session_reuses_one_connection() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = Client::new(&addr);
+
+    let body = r#"{"suite":"wc","model":"S","width":2}"#;
+    let first = client.post_json("/v1/simulate", body).unwrap();
+    assert_eq!(first.status, 200);
+    for _ in 0..9 {
+        let replay = client.post_json("/v1/simulate", body).unwrap();
+        assert_eq!(replay.body, first.body);
+    }
+    assert_eq!(client.connections_opened(), 1);
+    assert_eq!(client.requests_sent(), 10);
+    drop(client);
+
+    let m = handle.shutdown();
+    // 10 requests rode one accepted connection; 9 were reuses.
+    assert_eq!(m.counter(KEEPALIVE_REUSED), 9);
+}
+
+#[test]
+fn server_honors_connection_close_and_the_request_bound() {
+    let cfg = ServerConfig {
+        max_requests_per_conn: 3,
+        ..test_config()
+    };
+    let handle = start(cfg).unwrap();
+    let addr = handle.addr().to_string();
+
+    // `Connection: close` is honored: every request opens fresh.
+    let mut closing = one_shot(&addr);
+    for _ in 0..3 {
+        assert_eq!(closing.get("/healthz").unwrap().status, 200);
+    }
+    assert_eq!(closing.connections_opened(), 3);
+    drop(closing);
+
+    // A keep-alive client outliving the per-connection bound carries
+    // on transparently on a fresh connection.
+    let mut keep = Client::new(&addr);
+    for _ in 0..7 {
+        assert_eq!(keep.get("/healthz").unwrap().status, 200);
+    }
+    assert!(
+        keep.connections_opened() >= 3,
+        "3-request bound should have forced reconnects (opened {})",
+        keep.connections_opened()
+    );
+    drop(keep);
+    handle.shutdown();
+}
+
+#[test]
+fn batch_returns_per_job_results_in_order() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = Client::new(&addr);
+
+    // Jobs with distinct answers, plus one bad job in the middle: the
+    // batch stays 200 and the bad job degrades to an error entry at
+    // its own index.
+    let jobs: Vec<ApiRequest> = [
+        r#"{"kind":"simulate","suite":"wc","model":"S"}"#,
+        r#"{"kind":"simulate","suite":"nope-such-suite"}"#,
+        r#"{"kind":"simulate","suite":"cmp","model":"G"}"#,
+        r#"{"kind":"compile","source":"func @t {\nentry:\n    li r1, 1\n    halt\n}\n"}"#,
+    ]
+    .iter()
+    .map(|body| {
+        let v = json::parse(body).unwrap();
+        let kind: JobKind = v
+            .get("kind")
+            .and_then(json::Value::as_str)
+            .unwrap()
+            .parse()
+            .unwrap();
+        ApiRequest::from_json(kind, body).unwrap()
+    })
+    .collect();
+    let expected: Vec<ApiResponse> = jobs
+        .iter()
+        .map(|job| match job.run(&sentinel::workloads::suite::shared()) {
+            Ok(body) => ApiResponse::Result(body),
+            Err(e) => ApiResponse::Error(e),
+        })
+        .collect();
+    assert!(!expected[1].is_ok(), "the bad suite job should fail");
+
+    let got = client.call_batch(&BatchRequest { jobs }).unwrap();
+    let ApiResponse::Batch(entries) = got else {
+        panic!("expected a batch envelope, got {got:?}");
+    };
+    assert_eq!(entries.len(), 4);
+    for (i, (got, want)) in entries.iter().zip(&expected).enumerate() {
+        assert_eq!(got.is_ok(), want.is_ok(), "job {i} outcome");
+        if let (ApiResponse::Result(g), ApiResponse::Result(w)) = (got, want) {
+            assert_eq!(g, w, "job {i} body");
+        }
+    }
+    drop(client);
+
+    let m = handle.shutdown();
+    assert_eq!(m.counter(BATCH_JOBS), 4);
+    assert_eq!(m.counter(BATCH_JOB_ERRORS), 1);
+}
+
+#[test]
+fn batch_isolates_a_panicking_job_and_enforces_the_cap() {
+    let cfg = ServerConfig {
+        batch_max_jobs: 8,
+        api_hook: Some(Arc::new(|job: &ApiRequest| {
+            if let ApiRequest::Compile(c) = job {
+                if c.source.contains("@boom") {
+                    panic!("injected job panic");
+                }
+            }
+        })),
+        ..test_config()
+    };
+    let handle = start(cfg).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = Client::new(&addr);
+
+    // A panicking job becomes a 500-status entry; its neighbors are
+    // unaffected and the batch itself is a 200.
+    let body = concat!(
+        r#"{"v":1,"jobs":["#,
+        r#"{"kind":"simulate","suite":"wc"},"#,
+        r#"{"kind":"compile","source":"func @boom {\nentry:\n    halt\n}\n"},"#,
+        r#"{"kind":"simulate","suite":"cmp"}"#,
+        r#"]}"#
+    );
+    let resp = client.post_json("/v1/batch", body).unwrap();
+    assert_eq!(resp.status, 200);
+    let v = json::parse(&resp.body).unwrap();
+    let results = v.get("results").and_then(json::Value::as_array).unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].get("error").is_none());
+    assert_eq!(
+        results[1].get("status").and_then(json::Value::as_u64),
+        Some(500)
+    );
+    assert!(results[1].get("error").is_some());
+    assert!(results[2].get("error").is_none());
+
+    // Over the per-batch cap: the whole request is a 400 naming the
+    // bound, and no job runs.
+    let mut big = String::from(r#"{"jobs":["#);
+    for i in 0..9 {
+        if i > 0 {
+            big.push(',');
+        }
+        big.push_str(r#"{"kind":"simulate","suite":"wc"}"#);
+    }
+    big.push_str("]}");
+    let resp = client.post_json("/v1/batch", &big).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("per-batch cap"), "{}", resp.body);
+
+    // The service survived the panic.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    drop(client);
+
+    let m = handle.shutdown();
+    assert_eq!(m.counter(PANICS), 1);
+    assert_eq!(m.counter(BATCH_JOBS), 3);
+    assert_eq!(m.counter(BATCH_JOB_ERRORS), 1);
+}
+
+#[test]
+fn cache_dir_persists_responses_across_restarts() {
+    let dir = temp_dir("restart");
+    let cfg = ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..test_config()
+    };
+    let bodies: Vec<String> = (1..=6)
+        .map(|w| format!(r#"{{"suite":"wc","model":"S","width":{w}}}"#))
+        .collect();
+
+    // First life: six distinct requests, all misses, all spilled.
+    let handle = start(cfg.clone()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = Client::new(&addr);
+    let first: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let r = client.post_json("/v1/simulate", b).unwrap();
+            assert_eq!(r.status, 200);
+            r.body
+        })
+        .collect();
+    drop(client);
+    let m = handle.shutdown();
+    assert_eq!(m.counter(CACHE_MISS), 6);
+
+    // Second life, same directory: the replay is served warm — same
+    // bytes, ≥90% cache hits, and disk hits prove the entries came
+    // from the spill, not recomputation.
+    let handle = start(cfg).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = Client::new(&addr);
+    for (body, expected) in bodies.iter().zip(&first) {
+        let r = client.post_json("/v1/simulate", body).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(&r.body, expected);
+    }
+    drop(client);
+    let m = handle.shutdown();
+    assert_eq!(m.counter(CACHE_DISK_HIT), 6);
+    assert_eq!(m.counter(CACHE_HIT), 6);
+    assert_eq!(m.counter(CACHE_MISS), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn full_queue_rejects_with_429_and_recovers() {
     let cfg = ServerConfig {
         workers: 1,
         queue_depth: 1,
+        idle_timeout: Duration::from_millis(500),
         job_hook: Some(Arc::new(|req: &sentinel::serve::http::Request| {
             if req.header("x-slow").is_some() {
                 std::thread::sleep(std::time::Duration::from_millis(200));
@@ -142,7 +386,9 @@ fn full_queue_rejects_with_429_and_recovers() {
             .map(|_| {
                 let addr = addr.clone();
                 scope.spawn(move || {
-                    client::request(&addr, "GET", "/healthz", None, &[("x-slow", "1")]).unwrap()
+                    one_shot(&addr)
+                        .request("GET", "/healthz", None, &[("x-slow", "1")])
+                        .unwrap()
                 })
             })
             .collect();
@@ -162,7 +408,7 @@ fn full_queue_rejects_with_429_and_recovers() {
     assert!(rejected >= 1, "queue never filled (oks={oks})");
 
     // Backpressure is transient: an unloaded request succeeds.
-    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+    assert_eq!(one_shot(&addr).get("/healthz").unwrap().status, 200);
     let m = handle.shutdown();
     assert_eq!(m.counter(REJECTED), rejected);
 }
@@ -171,19 +417,24 @@ fn full_queue_rejects_with_429_and_recovers() {
 fn http_simulate_response_is_byte_identical_to_in_process() {
     let handle = start(test_config()).unwrap();
     let addr = handle.addr().to_string();
+    let mut client = one_shot(&addr);
 
     let body = r#"{"suite":"wc","model":"S","width":4}"#;
-    let http = client::post_json(&addr, "/v1/simulate", body).unwrap();
+    let http = client.post_json("/v1/simulate", body).unwrap();
     assert_eq!(http.status, 200);
 
-    let req = SimulateRequest::from_json(body).unwrap();
-    let suite = sentinel::workloads::suite::shared();
-    let in_process = api::simulate_response(&req, &suite).unwrap();
+    let req = ApiRequest::from_json(JobKind::Simulate, body).unwrap();
+    let in_process = req.run(&sentinel::workloads::suite::shared()).unwrap();
     assert_eq!(http.body, in_process);
 
-    // And a cached replay of the same request returns the same bytes.
-    let replay = client::post_json(&addr, "/v1/simulate", body).unwrap();
-    assert_eq!(replay.body, in_process);
+    // And a cached replay of the same request returns the same bytes —
+    // including through the typed client.
+    let replay = client.call(&req).unwrap();
+    let ApiResponse::Result(replay_body) = replay else {
+        panic!("expected a result, got {replay:?}");
+    };
+    assert_eq!(replay_body, in_process);
+    drop(client);
     handle.shutdown();
 }
 
@@ -191,8 +442,11 @@ fn http_simulate_response_is_byte_identical_to_in_process() {
 fn metrics_exposition_reflects_traffic_and_is_sorted() {
     let handle = start(test_config()).unwrap();
     let addr = handle.addr().to_string();
-    client::post_json(&addr, "/v1/simulate", r#"{"suite":"wc"}"#).unwrap();
-    let text = client::get(&addr, "/metrics").unwrap();
+    let mut client = Client::new(&addr);
+    client
+        .post_json("/v1/simulate", r#"{"suite":"wc"}"#)
+        .unwrap();
+    let text = client.get("/metrics").unwrap();
     assert_eq!(text.status, 200);
     assert!(text.header("content-type").unwrap().contains("0.0.4"));
     let metric_lines: Vec<&str> = text.body.lines().filter(|l| !l.starts_with('#')).collect();
@@ -212,6 +466,7 @@ fn metrics_exposition_reflects_traffic_and_is_sorted() {
     let mut sorted = families.clone();
     sorted.sort_unstable();
     assert_eq!(families, sorted);
+    drop(client);
     handle.shutdown();
 }
 
@@ -226,11 +481,13 @@ fn compile_endpoint_emits_schedulable_asm() {
         w.str("source", source).str("model", "S").bool("emit", true);
         w.close();
     }
-    let resp = client::post_json(&addr, "/v1/compile", &body).unwrap();
+    let mut client = one_shot(&addr);
+    let resp = client.post_json("/v1/compile", &body).unwrap();
     assert_eq!(resp.status, 200);
     let v = json::parse(&resp.body).unwrap();
     let emitted = v.get("asm").and_then(json::Value::as_str).unwrap();
     sentinel::prog::asm::parse(emitted).unwrap();
     assert!(v.get("pass_runs").and_then(json::Value::as_u64).unwrap() > 0);
+    drop(client);
     handle.shutdown();
 }
