@@ -17,11 +17,12 @@
 //! reproduce all                 # everything
 //! reproduce fig4 --csv          # CSV instead of aligned text
 //! reproduce all --jobs 4        # evaluate the grid on 4 worker threads
+//! reproduce all --cache-dir D   # persist measurements; warm-start next run
 //! ```
 //!
 //! Output determinism contract: stdout is byte-identical for any
-//! `--jobs` value (and across repeated runs); the grid/timing summary
-//! goes to stderr.
+//! `--jobs` value, across repeated runs, and between a cold and a warm
+//! `--cache-dir` run; the grid/timing/store summary goes to stderr.
 
 use sentinel_core::SchedulingModel;
 use sentinel_sim::Engine;
@@ -44,7 +45,7 @@ pub const USAGE_STATUS: i32 = 2;
 const USAGE: &str = "usage: reproduce [fig4|fig5|summary|sweep|overhead [width]|ablation-sb|\
                      ablation-recovery|ablation-formation|ablation-boosting|ablation-unroll|\
                      ablation-cache|ablation-pipeline|ablation-pressure|all] [--csv] [--jobs N] \
-                     [--engine interpreter|fast] [--verify-passes]";
+                     [--engine interpreter|fast] [--verify-passes] [--cache-dir DIR]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +57,7 @@ struct Cli {
     jobs: usize,
     engine: Engine,
     verify_passes: bool,
+    cache_dir: Option<String>,
 }
 
 /// Parses arguments (the part after the program name / subcommand).
@@ -68,6 +70,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         jobs: default_jobs(),
         engine: Engine::default(),
         verify_passes: false,
+        cache_dir: None,
     };
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
@@ -86,6 +89,10 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--engine" => {
                 let v = it.next().ok_or("--engine requires a value")?;
                 cli.engine = v.parse::<Engine>()?;
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir requires a directory")?;
+                cli.cache_dir = Some(v.clone());
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             pos => positional.push(pos),
@@ -384,6 +391,12 @@ pub fn run(args: &[String]) -> i32 {
     let mut session = GridSession::suite(cli.jobs);
     session.set_engine(cli.engine);
     session.set_verify_passes(cli.verify_passes);
+    if let Some(dir) = &cli.cache_dir {
+        if let Err(e) = session.set_cache_dir(std::path::Path::new(dir)) {
+            eprintln!("error: cache dir '{dir}': {e}");
+            return 1;
+        }
+    }
     let t0 = std::time::Instant::now();
     match cli.cmd.as_str() {
         "fig4" => print_fig4(&session, cli.csv),
@@ -441,6 +454,17 @@ pub fn run(args: &[String]) -> i32 {
         session.jobs(),
         t0.elapsed()
     );
+    if session.cache_dir().is_some() {
+        use sentinel_trace::store as st;
+        eprintln!(
+            "store: hit={} miss={} disk_hit={} evict={} corrupt={}",
+            m.counter(st::STORE_HIT),
+            m.counter(st::STORE_MISS),
+            m.counter(st::STORE_DISK_HIT),
+            m.counter(st::STORE_EVICT),
+            m.counter(st::STORE_CORRUPT)
+        );
+    }
     let timing = pass_timing_table(&m);
     if !timing.is_empty() {
         eprint!("{timing}");
@@ -482,8 +506,16 @@ mod tests {
     }
 
     #[test]
+    fn parse_reads_cache_dir() {
+        let cli = parse(&args(&["all", "--cache-dir", "/tmp/grid"])).unwrap();
+        assert_eq!(cli.cache_dir.as_deref(), Some("/tmp/grid"));
+        assert!(parse(&args(&["all"])).unwrap().cache_dir.is_none());
+    }
+
+    #[test]
     fn parse_rejects_bad_input() {
         assert!(parse(&args(&["--jobs"])).is_err());
+        assert!(parse(&args(&["--cache-dir"])).is_err());
         assert!(parse(&args(&["--jobs", "0"])).is_err());
         assert!(parse(&args(&["--jobs", "x"])).is_err());
         assert!(parse(&args(&["--frobnicate"])).is_err());

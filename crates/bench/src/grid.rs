@@ -19,6 +19,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -26,11 +27,24 @@ use std::time::Instant;
 use sentinel_core::SchedulingModel;
 use sentinel_sim::cache::CacheConfig;
 use sentinel_sim::Engine;
+use sentinel_spec::{fnv64, JobSpec, ProgramRef, Store};
 use sentinel_trace::{Metrics, SharedMetrics};
 use sentinel_workloads::{suite, Workload};
 
 use crate::cache::{ResultCache, CELL_MICROS};
 use crate::runner::{measure_full, MeasureConfig, Measurement};
+
+/// Marker file a persistent cache directory carries: the fingerprint of
+/// the workload suite whose measurements it holds. A directory built
+/// from a different suite (regenerated workloads, different seed
+/// corpus) must not serve its rows — same cell names, different
+/// programs.
+const SUITE_FP_FILE: &str = "suite.fp";
+
+/// In-memory entry budget for the grid's persistent store — comfortably
+/// above the full paper grid (17 benchmarks × models × widths plus
+/// ablations is a few hundred cells).
+const GRID_STORE_CAPACITY: usize = 4096;
 
 /// Histogram names for per-pass compile timing, one per canonical pass
 /// (trace metrics require `&'static str` names, so the fixed pass
@@ -101,6 +115,25 @@ impl Cell {
     /// this cell, so it is the most shared point in the grid.
     pub fn base(bench: &str) -> Cell {
         Cell::paper(bench, SchedulingModel::RestrictedPercolation, 1)
+    }
+
+    /// The canonical [`JobSpec`] this cell denotes under `engine`.
+    ///
+    /// This is the same spec a serve `/v1/simulate` request for the
+    /// suite benchmark derives, so one spec hash addresses the cell in
+    /// the grid's persistent store, in serve's response cache, and on
+    /// the `sentinel simulate --spec` command line.
+    pub fn spec(&self, engine: Engine) -> JobSpec {
+        let mut spec = JobSpec::simulate(
+            ProgramRef::Suite(self.bench.clone()),
+            self.model,
+            self.width,
+        );
+        spec.engine = engine;
+        spec.recovery = self.recovery;
+        spec.store_buffer = self.store_buffer;
+        spec.cache = self.cache.clone();
+        spec
     }
 
     /// The measurement configuration this cell denotes.
@@ -231,6 +264,71 @@ impl GridSession {
         self.engine = engine;
     }
 
+    /// Attaches a persistent store under `dir`: measurements evaluated
+    /// by this session spill to disk, and cells already spilled by an
+    /// earlier run are served without re-measuring. Pick the directory
+    /// **before** evaluating anything, like [`GridSession::set_engine`].
+    ///
+    /// The directory is fingerprinted against the session's workload
+    /// suite ([`GridSession::suite_fingerprint`]); a directory built
+    /// from a different suite has its spilled measurements dropped
+    /// (recorded `.spec` files are kept — they are suite-independent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating, fingerprinting, or
+    /// warm-loading the directory.
+    pub fn set_cache_dir(&mut self, dir: &Path) -> std::io::Result<()> {
+        assert_eq!(
+            self.cells_cached(),
+            0,
+            "set_cache_dir after cells were measured"
+        );
+        std::fs::create_dir_all(dir)?;
+        let fp = format!("{:016x}", self.suite_fingerprint());
+        let marker = dir.join(SUITE_FP_FILE);
+        match std::fs::read_to_string(&marker) {
+            Ok(prev) if prev.trim() == fp => {}
+            Ok(prev) => {
+                eprintln!(
+                    "grid: cache dir {} holds measurements for a different workload \
+                     suite ({} != {fp}); dropping them",
+                    dir.display(),
+                    prev.trim()
+                );
+                for entry in std::fs::read_dir(dir)? {
+                    let path = entry?.path();
+                    if path.extension().and_then(|e| e.to_str()) == Some("sc") {
+                        std::fs::remove_file(&path)?;
+                    }
+                }
+                std::fs::write(&marker, format!("{fp}\n"))?;
+            }
+            Err(_) => std::fs::write(&marker, format!("{fp}\n"))?,
+        }
+        let metrics = self.cache.metrics().clone();
+        let store = Store::new(GRID_STORE_CAPACITY, metrics.clone()).attach_dir(dir)?;
+        self.cache = ResultCache::with_store(metrics, store);
+        Ok(())
+    }
+
+    /// The persistent store's directory, if one is attached.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache.store_dir()
+    }
+
+    /// FNV-1a fingerprint of the session's workload set — every
+    /// program, memory image, and live-out contract, in suite order
+    /// ([`Workload::identity_bytes`]). Two sessions share spilled
+    /// measurements only when this matches.
+    pub fn suite_fingerprint(&self) -> u64 {
+        let mut bytes = Vec::new();
+        for w in self.workloads.iter() {
+            bytes.extend_from_slice(&w.identity_bytes());
+        }
+        fnv64(&bytes)
+    }
+
     /// Whether cells compile with the inter-pass IR verifier on.
     pub fn verify_passes(&self) -> bool {
         self.verify_passes
@@ -290,8 +388,11 @@ impl GridSession {
         let mut seen: HashSet<&Cell> = HashSet::new();
         let mut missing: Vec<Cell> = Vec::new();
         for cell in cells {
-            if seen.insert(cell) && self.cache.lookup(cell).is_none() {
-                missing.push(cell.clone());
+            if seen.insert(cell) {
+                let key = self.cell_key(cell);
+                if self.cache.lookup(cell, key.as_deref()).is_none() {
+                    missing.push(cell.clone());
+                }
             }
         }
 
@@ -346,8 +447,18 @@ impl GridSession {
         }
         for (cell, slot) in missing.iter().zip(slots) {
             let outcome = slot.into_inner().expect("worker filled every slot");
-            self.cache.insert(cell.clone(), outcome);
+            let key = self.cell_key(cell);
+            self.cache.insert(cell.clone(), key.as_deref(), outcome);
         }
+    }
+
+    /// The store key for a cell — its canonical spec encoding under the
+    /// session engine — when a persistent store is attached (keys are
+    /// pointless work otherwise).
+    fn cell_key(&self, cell: &Cell) -> Option<String> {
+        self.cache
+            .has_store()
+            .then(|| cell.spec(self.engine).canonical())
     }
 
     /// Schedules + simulates one cell with panic isolation.
@@ -593,6 +704,70 @@ mod tests {
         assert_eq!(doubled, (0..50).map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(parallel_map(1, &items, |&x| x * 2), doubled);
         assert!(parallel_map(4, &[] as &[u64], |&x| x).is_empty());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sentinel-grid-dir-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cache_dir_warm_starts_a_second_session() {
+        let dir = temp_dir("warm");
+        let cells = grid_cells();
+        let cold = {
+            let mut s = tiny_session(2);
+            s.set_cache_dir(&dir).unwrap();
+            assert_eq!(s.cache_dir(), Some(dir.as_path()));
+            s.eval(&cells)
+        };
+        let mut warm = tiny_session(2);
+        warm.set_cache_dir(&dir).unwrap();
+        let again = warm.eval(&cells);
+        assert_eq!(cold, again, "disk-served rows match measured rows");
+        let m = warm.metrics();
+        assert_eq!(m.counter(EVAL_COUNTER), 0, "nothing re-measured");
+        assert!(m.counter("store.disk_hit") > 0);
+    }
+
+    #[test]
+    fn cache_dir_for_a_different_suite_is_dropped() {
+        let dir = temp_dir("stale");
+        {
+            let mut s = tiny_session(1);
+            s.set_cache_dir(&dir).unwrap();
+            s.eval(&[Cell::base("tiny")]);
+        }
+        // A session over a different workload set (here: a regenerated
+        // "tiny" with more blocks) fingerprints differently, so the
+        // stale spills must be dropped and the cell re-measured.
+        let mut spec = WorkloadSpec::test_default("tiny", 4);
+        spec.iterations = 10;
+        let mut other = GridSession::new(Arc::new(vec![generate(&spec)]), 1);
+        other.set_cache_dir(&dir).unwrap();
+        other.eval(&[Cell::base("tiny")]);
+        let m = other.metrics();
+        assert_eq!(m.counter(EVAL_COUNTER), 1, "stale row not served");
+        assert_eq!(m.counter("store.disk_hit"), 0);
+    }
+
+    #[test]
+    fn cell_spec_round_trips_and_varies_with_knobs() {
+        let mut c = Cell::paper("wc", SchedulingModel::Sentinel, 4);
+        let spec = c.spec(Engine::Fast);
+        let parsed = sentinel_spec::JobSpec::parse(&spec.canonical()).unwrap();
+        assert_eq!(parsed, spec);
+        let base = spec.content_hash();
+        c.recovery = true;
+        assert_ne!(c.spec(Engine::Fast).content_hash(), base);
+        c.recovery = false;
+        assert_ne!(c.spec(Engine::Interpreter).content_hash(), base);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cli;
 pub mod figures;
 pub mod grid;
 pub mod loadgen;
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod timing;

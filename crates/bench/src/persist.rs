@@ -1,0 +1,252 @@
+//! Deterministic text serialization of grid [`Measurement`]s for the
+//! persistent store.
+//!
+//! The bench grid spills completed cells into the shared
+//! content-addressed store (`sentinel-spec`), whose bodies are UTF-8
+//! text. A measurement is all integers, so it serializes exactly: a
+//! versioned header line, then one `key=value` line per field in a
+//! fixed order — [`encode`] and [`decode`] round-trip bit-for-bit,
+//! which is what lets a warm `reproduce --cache-dir` run print stdout
+//! byte-identical to a cold one.
+//!
+//! [`decode`] is strict: a missing line, an extra line, an unknown
+//! stall reason, or a version header from a future format all return
+//! `Err`, and the grid treats any decode error as a cache miss (the
+//! cell is re-measured and the entry overwritten). Stale or foreign
+//! bodies — e.g. a serve response JSON sharing a directory — degrade
+//! to recomputation, never to a wrong row.
+
+use std::fmt::Write as _;
+
+use sentinel_core::SchedStats;
+use sentinel_sim::Stats;
+use sentinel_spec::{model_str, parse_model};
+use sentinel_trace::event::StallReason;
+
+use crate::runner::Measurement;
+
+/// First line of every encoded measurement.
+pub const FORMAT_HEADER: &str = "measurement/v1";
+
+macro_rules! with_stat_fields {
+    ($mac:ident) => {
+        $mac!(
+            cycles,
+            issuing_cycles,
+            dyn_insns,
+            dyn_speculative,
+            dyn_checks,
+            dyn_confirms,
+            tag_sets,
+            tag_propagations,
+            silent_garbage_writes,
+            branches,
+            branches_taken,
+            loads,
+            stores,
+            sb_releases,
+            sb_cancels,
+            sb_forwards,
+            sb_stall_cycles,
+            recoveries,
+            dyn_boosted,
+            shadow_commits,
+            shadow_squashes
+        )
+    };
+}
+
+macro_rules! with_sched_fields {
+    ($mac:ident) => {
+        $mac!(
+            blocks,
+            speculated,
+            checks_inserted,
+            confirms_inserted,
+            pinned_stores,
+            renames,
+            clear_tags,
+            regs_assigned,
+            regs_spilled
+        )
+    };
+}
+
+/// Serialize `m` to the versioned text form.
+pub fn encode(m: &Measurement) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "{FORMAT_HEADER}");
+    let _ = writeln!(out, "bench={}", m.bench);
+    let _ = writeln!(out, "model={}", model_str(m.model));
+    let _ = writeln!(out, "width={}", m.width);
+    let _ = writeln!(out, "cycles={}", m.cycles);
+    macro_rules! emit_stats {
+        ($($f:ident),*) => {
+            $( let _ = writeln!(out, concat!("stat.", stringify!($f), "={}"), m.stats.$f); )*
+        };
+    }
+    with_stat_fields!(emit_stats);
+    for reason in StallReason::ALL {
+        let _ = writeln!(
+            out,
+            "stall.{}={}",
+            reason.name(),
+            m.stats.stalls.get(reason)
+        );
+    }
+    macro_rules! emit_sched {
+        ($($f:ident),*) => {
+            $( let _ = writeln!(out, concat!("sched.", stringify!($f), "={}"), m.sched.$f); )*
+        };
+    }
+    with_sched_fields!(emit_sched);
+    out
+}
+
+/// Parse the text form back into a [`Measurement`].
+///
+/// # Errors
+///
+/// A message naming the first malformed, missing, or trailing line;
+/// callers treat every error as "not a cached measurement".
+pub fn decode(body: &str) -> Result<Measurement, String> {
+    let mut lines = body.lines();
+    match lines.next() {
+        Some(FORMAT_HEADER) => {}
+        Some(other) => return Err(format!("not a measurement body (header '{other}')")),
+        None => return Err("empty body".to_string()),
+    }
+    let mut next = |key: &str| -> Result<String, String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("body ends before field '{key}'"))?;
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected line '{key}=...', got '{line}'"))
+    };
+    let bench = next("bench")?;
+    let model = parse_model(&next("model")?).map_err(|e| e.to_string())?;
+    let width = next("width")?
+        .parse::<usize>()
+        .map_err(|_| "bad width".to_string())?;
+    let cycles = next("cycles")?
+        .parse::<u64>()
+        .map_err(|_| "bad cycles".to_string())?;
+    let mut stats = Stats::default();
+    macro_rules! read_stats {
+        ($($f:ident),*) => {
+            $(
+                stats.$f = next(concat!("stat.", stringify!($f)))?
+                    .parse::<u64>()
+                    .map_err(|_| concat!("bad stat.", stringify!($f)).to_string())?;
+            )*
+        };
+    }
+    with_stat_fields!(read_stats);
+    for reason in StallReason::ALL {
+        let n = next(&format!("stall.{}", reason.name()))?
+            .parse::<u64>()
+            .map_err(|_| format!("bad stall.{}", reason.name()))?;
+        stats.stalls.add(reason, n);
+    }
+    let mut sched = SchedStats::default();
+    macro_rules! read_sched {
+        ($($f:ident),*) => {
+            $(
+                sched.$f = next(concat!("sched.", stringify!($f)))?
+                    .parse::<usize>()
+                    .map_err(|_| concat!("bad sched.", stringify!($f)).to_string())?;
+            )*
+        };
+    }
+    with_sched_fields!(read_sched);
+    if let Some(extra) = lines.next() {
+        return Err(format!(
+            "trailing line '{extra}' after a complete measurement"
+        ));
+    }
+    Ok(Measurement {
+        bench,
+        model,
+        width,
+        cycles,
+        stats,
+        sched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_core::SchedulingModel;
+
+    fn sample() -> Measurement {
+        let mut stats = Stats {
+            cycles: 1234,
+            issuing_cycles: 1000,
+            dyn_insns: 5000,
+            dyn_speculative: 700,
+            dyn_checks: 40,
+            dyn_confirms: 12,
+            tag_sets: 3,
+            tag_propagations: 9,
+            branches: 400,
+            branches_taken: 390,
+            loads: 800,
+            stores: 300,
+            sb_forwards: 5,
+            ..Default::default()
+        };
+        stats.stalls.add(StallReason::RawInterlock, 100);
+        stats.stalls.add(StallReason::StoreBufferFull, 34);
+        let sched = SchedStats {
+            blocks: 7,
+            speculated: 21,
+            checks_inserted: 4,
+            renames: 2,
+            ..Default::default()
+        };
+        Measurement {
+            bench: "wc".to_string(),
+            model: SchedulingModel::Boosting(3),
+            width: 4,
+            cycles: 1234,
+            stats,
+            sched,
+        }
+    }
+
+    #[test]
+    fn measurements_round_trip_exactly() {
+        let m = sample();
+        let body = encode(&m);
+        assert!(body.starts_with(FORMAT_HEADER));
+        let back = decode(&body).unwrap();
+        assert_eq!(back, m);
+        // And the encoding itself is stable under a round trip.
+        assert_eq!(encode(&back), body);
+    }
+
+    #[test]
+    fn foreign_and_damaged_bodies_are_errors_not_rows() {
+        assert!(decode("").is_err());
+        assert!(decode("{\"cycles\":42}").is_err(), "serve JSON is rejected");
+        assert!(
+            decode("measurement/v2\nbench=wc\n").is_err(),
+            "future format"
+        );
+        let body = encode(&sample());
+        // Truncate mid-body.
+        let cut = &body[..body.len() / 2];
+        assert!(decode(cut).is_err());
+        // Append junk.
+        let mut extra = body.clone();
+        extra.push_str("junk=1\n");
+        assert!(decode(&extra).is_err());
+        // Swap two lines: strict ordering catches it.
+        let mut lines: Vec<&str> = body.lines().collect();
+        lines.swap(1, 2);
+        assert!(decode(&lines.join("\n")).is_err());
+    }
+}

@@ -321,6 +321,17 @@ mod tests {
         for name in [sm::REQUEST_MICROS, sm::QUEUE_WAIT_MICROS] {
             m.observe(name, 1234);
         }
+        use sentinel_trace::store as st;
+        for name in [
+            st::STORE_HIT,
+            st::STORE_MISS,
+            st::STORE_DISK_HIT,
+            st::STORE_EVICT,
+            st::STORE_CORRUPT,
+            st::STORE_FULL,
+        ] {
+            m.count(name, 3);
+        }
         assert_eq!(pass_timing_table(&m), baseline);
         assert!(baseline.contains("schedule"));
     }

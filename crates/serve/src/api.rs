@@ -20,10 +20,9 @@ use sentinel_core::{CompileSession, SchedOptions, SchedStats, SchedulingModel};
 use sentinel_isa::MachineDesc;
 use sentinel_prog::{asm, Function};
 use sentinel_sim::{Engine, RunOutcome, SimConfig, SimSession, SpeculationSemantics};
+use sentinel_spec::{JobSpec, ProgramRef, SpecKind};
 use sentinel_trace::json::{self, ObjWriter, Value};
 use sentinel_workloads::Workload;
-
-use crate::cache::fnv64;
 
 /// Largest issue width a request may ask for (guards allocation).
 pub const MAX_WIDTH: usize = 64;
@@ -69,12 +68,10 @@ pub fn parse_model(s: &str) -> Result<SchedulingModel, String> {
     }
 }
 
-/// The canonical spelling of a model in responses and cache keys.
+/// The canonical spelling of a model in responses and cache keys
+/// (delegates to the shared encoding in `sentinel-spec`).
 pub fn model_str(model: SchedulingModel) -> String {
-    match model {
-        SchedulingModel::Boosting(k) => format!("B{k}"),
-        m => m.tag().to_string(),
-    }
+    sentinel_spec::model_str(model)
 }
 
 /// The speculative-fault semantics each scheduling model runs under
@@ -317,19 +314,19 @@ impl CompileRequest {
         })
     }
 
-    /// The content-hash cache key: source folded to FNV-1a + length,
-    /// every knob spelled out.
+    /// The canonical [`JobSpec`] this request describes (the identity
+    /// every cache and repro line agrees on).
+    pub fn to_spec(&self) -> JobSpec {
+        let mut spec = JobSpec::compile(self.source.clone(), self.knobs.model, self.knobs.width);
+        spec.recovery = self.knobs.recovery;
+        spec.verify_passes = self.verify_passes;
+        spec.emit = self.emit;
+        spec
+    }
+
+    /// The content-hash cache key: the spec's canonical encoding.
     pub fn cache_key(&self) -> String {
-        format!(
-            "compile|src={:016x}:{}|model={}|w={}|rec={}|vp={}|emit={}",
-            fnv64(self.source.as_bytes()),
-            self.source.len(),
-            model_str(self.knobs.model),
-            self.knobs.width,
-            self.knobs.recovery,
-            self.verify_passes,
-            self.emit,
-        )
+        self.to_spec().canonical()
     }
 }
 
@@ -372,23 +369,29 @@ impl SimulateRequest {
         })
     }
 
-    /// The content-hash cache key.
-    pub fn cache_key(&self) -> String {
+    /// The canonical [`JobSpec`] this request describes. The
+    /// store-buffer depth is resolved from the same machine
+    /// description [`run`](ApiRequest::run) will simulate with, so a
+    /// serve-derived spec and a bench-grid-derived spec for the same
+    /// job are identical — the cross-layer key contract pinned by
+    /// `tests/spec_keys.rs`.
+    pub fn to_spec(&self) -> JobSpec {
         let program = match &self.program {
-            Program::Suite(name) => format!("suite={name}"),
-            Program::Source(text) => {
-                format!("src={:016x}:{}", fnv64(text.as_bytes()), text.len())
-            }
+            Program::Suite(name) => ProgramRef::Suite(name.clone()),
+            Program::Source(text) => ProgramRef::Source(text.clone()),
         };
-        format!(
-            "simulate|{program}|model={}|w={}|rec={}|engine={}|map={:016x}|word={:016x}",
-            model_str(self.knobs.model),
-            self.knobs.width,
-            self.knobs.recovery,
-            self.engine,
-            fnv64(format!("{:?}", self.map).as_bytes()),
-            fnv64(format!("{:?}", self.word).as_bytes()),
-        )
+        let mut spec = JobSpec::simulate(program, self.knobs.model, self.knobs.width);
+        spec.engine = self.engine;
+        spec.recovery = self.knobs.recovery;
+        spec.store_buffer = mdes_for(&self.knobs).store_buffer_size();
+        spec.map = self.map.clone();
+        spec.word = self.word.clone();
+        spec
+    }
+
+    /// The content-hash cache key: the spec's canonical encoding.
+    pub fn cache_key(&self) -> String {
+        self.to_spec().canonical()
     }
 }
 
@@ -445,8 +448,73 @@ impl ApiRequest {
         }
     }
 
-    /// The content-hash cache key (kind included via the per-request
-    /// prefix).
+    /// The canonical [`JobSpec`] this request describes.
+    pub fn to_spec(&self) -> JobSpec {
+        match self {
+            ApiRequest::Compile(r) => r.to_spec(),
+            ApiRequest::Simulate(r) => r.to_spec(),
+        }
+    }
+
+    /// Rebuild a request from a canonical [`JobSpec`] — the inverse of
+    /// [`to_spec`](ApiRequest::to_spec), used by `--spec` reproduction
+    /// in the CLI.
+    ///
+    /// # Errors
+    ///
+    /// 400 for fuzz specs (those reproduce via `sentinel fuzz`) and
+    /// for widths outside `1..=`[`MAX_WIDTH`].
+    pub fn from_spec(spec: &JobSpec) -> Result<ApiRequest, ApiError> {
+        if !(1..=MAX_WIDTH).contains(&spec.width) {
+            return Err(ApiError::bad(format!(
+                "spec width {} outside 1..={MAX_WIDTH}",
+                spec.width
+            )));
+        }
+        let knobs = Knobs {
+            model: spec.model,
+            width: spec.width,
+            recovery: spec.recovery,
+        };
+        match spec.kind {
+            SpecKind::Compile => {
+                let ProgramRef::Source(source) = &spec.program else {
+                    return Err(ApiError::bad("compile specs must carry inline source"));
+                };
+                Ok(ApiRequest::Compile(CompileRequest {
+                    source: source.clone(),
+                    knobs,
+                    verify_passes: spec.verify_passes,
+                    emit: spec.emit,
+                }))
+            }
+            SpecKind::Simulate => {
+                let program = match &spec.program {
+                    ProgramRef::Suite(name) => Program::Suite(name.clone()),
+                    ProgramRef::Source(text) => Program::Source(text.clone()),
+                    ProgramRef::Seeded { .. } => {
+                        return Err(ApiError::bad(
+                            "seeded programs reproduce via `sentinel fuzz --spec`",
+                        ))
+                    }
+                };
+                Ok(ApiRequest::Simulate(SimulateRequest {
+                    program,
+                    knobs,
+                    engine: spec.engine,
+                    map: spec.map.clone(),
+                    word: spec.word.clone(),
+                }))
+            }
+            SpecKind::Fuzz => Err(ApiError::bad(
+                "fuzz specs reproduce via `sentinel fuzz --spec`",
+            )),
+        }
+    }
+
+    /// The content-hash cache key: the canonical encoding of
+    /// [`to_spec`](ApiRequest::to_spec) (kind included as a spec
+    /// field).
     pub fn cache_key(&self) -> String {
         match self {
             ApiRequest::Compile(r) => r.cache_key(),

@@ -1,104 +1,60 @@
-//! Content-addressed result cache for compile/simulate responses, with
-//! an optional persistent on-disk spill.
+//! Content-addressed result cache for compile/simulate responses —
+//! the serve-flavored instance of the shared [`sentinel_spec::Store`].
 //!
-//! The service's work is deterministic: the same (source, model, width,
-//! engine, knobs) always produces the same response body. The cache
-//! keys on exactly that tuple — the source text folded to an FNV-1a
-//! hash plus its length, the knobs spelled out — and stores the
-//! serialized body, giving repeat requests `serve.cache.hit` semantics
-//! like the grid engine's `grid.cells.*`.
+//! The service's work is deterministic: the same job spec always
+//! produces the same response body. Cache keys are
+//! [`JobSpec`](sentinel_spec::JobSpec) canonical strings (built by
+//! `api::ApiRequest::cache_key` via `to_spec`), so serve, the bench
+//! grid, and the CLI all address identical work identically — a
+//! response cached here is a `--spec <hash>` reproduction target for
+//! free, because the store spills record the full key.
 //!
 //! Only successful (200) bodies are cached; errors are cheap to
-//! recompute and must never pin a transient failure. Capacity is an
-//! **LRU bound**: at the limit the least-recently-used entry is
-//! evicted (`serve.cache.evict`), so a hostile request stream degrades
-//! hit rate, not memory.
-//!
-//! With a spill directory ([`ResponseCache::with_dir`]) every entry is
-//! also written to disk as a length-prefixed, checksummed file named
-//! by the FNV-1a hash of its key, and the directory is warm-loaded at
-//! startup — a restarted server answers yesterday's requests from
-//! cache (`serve.cache.disk_hit`). A truncated or bit-flipped file is
-//! a logged miss (`serve.cache.corrupt`), never a panic.
-//!
-//! ## On-disk entry format (`<fnv64(key):016x>.sc`)
-//!
-//! ```text
-//! offset  size  field
-//! 0       8     magic "SRVCACH1"
-//! 8       4     key length   (u32 LE)
-//! 12      4     body length  (u32 LE)
-//! 16      k     key bytes   (UTF-8)
-//! 16+k    b     body bytes  (UTF-8)
-//! 16+k+b  8     FNV-1a of key ++ body (u64 LE)
-//! ```
-//!
-//! The full key is stored, so a warm load indexes by key, not by the
-//! (collidable) hash in the filename; two keys that collide in the
-//! filename simply overwrite each other's spill — a lost disk entry,
-//! never a wrong answer.
+//! recompute and must never pin a transient failure. Everything else —
+//! the LRU bound, the checksummed spill files, warm loading, corrupt
+//! files degrading to logged misses — is the generic [`Store`]
+//! behavior; see [`sentinel_spec::store`] for the on-disk format. The
+//! one serve-specific twist is metric naming: this instance reports
+//! under the historical `serve.cache.*` aliases (wired via
+//! [`StoreMetricNames`]) so `/metrics` output stays byte-compatible
+//! with pre-extraction dashboards.
 
-use std::collections::HashMap;
-use std::io::{self, Write};
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::io;
+use std::path::Path;
 
+use sentinel_spec::{Store, StoreMetricNames};
 use sentinel_trace::serve::{
     CACHE_CORRUPT, CACHE_DISK_HIT, CACHE_EVICT, CACHE_FULL, CACHE_HIT, CACHE_MISS,
 };
 use sentinel_trace::SharedMetrics;
 
-/// Magic bytes opening every spill file.
-const MAGIC: &[u8; 8] = b"SRVCACH1";
+pub use sentinel_spec::fnv64;
 
-/// Spill-file extension.
-const EXT: &str = "sc";
-
-/// 64-bit FNV-1a over `bytes` (the content-hash half of a cache key).
-pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-struct Entry {
-    body: String,
-    /// Recency stamp: larger = more recently used.
-    seq: u64,
-    /// Warm-loaded from disk and not yet hit since (first hit counts
-    /// `serve.cache.disk_hit`).
-    from_disk: bool,
-}
-
-struct State {
-    map: HashMap<String, Entry>,
-    seq: u64,
-}
+/// The `serve.cache.*` alias vocabulary this instance reports under
+/// (back-compat for dashboards; canonically these events are
+/// `store.*` — see [`sentinel_trace::store`]).
+const SERVE_NAMES: StoreMetricNames = StoreMetricNames {
+    hit: CACHE_HIT,
+    miss: CACHE_MISS,
+    disk_hit: CACHE_DISK_HIT,
+    evict: CACHE_EVICT,
+    corrupt: CACHE_CORRUPT,
+    full: CACHE_FULL,
+};
 
 /// Bounded LRU memo table from request cache-key to response body,
 /// optionally mirrored to a spill directory.
+#[derive(Debug)]
 pub struct ResponseCache {
-    state: Mutex<State>,
-    capacity: usize,
-    dir: Option<PathBuf>,
-    metrics: SharedMetrics,
+    store: Store,
 }
 
 impl ResponseCache {
     /// An empty in-memory cache holding at most `capacity` responses,
-    /// reporting into `metrics`.
+    /// reporting into `metrics` under the `serve.cache.*` names.
     pub fn new(capacity: usize, metrics: SharedMetrics) -> ResponseCache {
         ResponseCache {
-            state: Mutex::new(State {
-                map: HashMap::new(),
-                seq: 0,
-            }),
-            capacity,
-            dir: None,
-            metrics,
+            store: Store::new(capacity, metrics).metric_names(SERVE_NAMES),
         }
     }
 
@@ -114,233 +70,43 @@ impl ResponseCache {
         metrics: SharedMetrics,
         dir: &Path,
     ) -> io::Result<ResponseCache> {
-        std::fs::create_dir_all(dir)?;
-        let cache = ResponseCache {
-            dir: Some(dir.to_path_buf()),
-            ..ResponseCache::new(capacity, metrics)
-        };
-        cache.warm_load(dir);
-        Ok(cache)
-    }
-
-    fn state(&self) -> std::sync::MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        Ok(ResponseCache {
+            store: Store::new(capacity, metrics)
+                .metric_names(SERVE_NAMES)
+                .attach_dir(dir)?,
+        })
     }
 
     /// The cached body for `key`, bumping hit/miss counters (and
     /// `serve.cache.disk_hit` the first time a warm-loaded entry is
     /// served after a restart).
     pub fn lookup(&self, key: &str) -> Option<String> {
-        let mut state = self.state();
-        state.seq += 1;
-        let seq = state.seq;
-        let found = match state.map.get_mut(key) {
-            Some(entry) => {
-                entry.seq = seq;
-                if std::mem::take(&mut entry.from_disk) {
-                    self.metrics.count(CACHE_DISK_HIT, 1);
-                }
-                Some(entry.body.clone())
-            }
-            None => None,
-        };
-        drop(state);
-        self.metrics.count(
-            if found.is_some() {
-                CACHE_HIT
-            } else {
-                CACHE_MISS
-            },
-            1,
-        );
-        found
+        self.store.lookup(key)
     }
 
     /// Retains `body` for `key`, evicting the least-recently-used
     /// entry (memory and spill file both) if the cache is at capacity.
-    /// Two workers racing the same missing key both compute and the
-    /// second insert wins — same body either way, since responses are
-    /// deterministic.
     pub fn insert(&self, key: String, body: String) {
-        if self.capacity == 0 {
-            self.metrics.count(CACHE_FULL, 1);
-            return;
-        }
-        let spill = self.spill_path(&key);
-        let mut state = self.state();
-        state.seq += 1;
-        let seq = state.seq;
-        if state.map.len() >= self.capacity && !state.map.contains_key(&key) {
-            // O(n) LRU scan: capacity is ~10^3 and insert already paid
-            // for a schedule+simulate, so simplicity wins over an
-            // intrusive list.
-            if let Some(lru) = state
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.seq)
-                .map(|(k, _)| k.clone())
-            {
-                state.map.remove(&lru);
-                self.metrics.count(CACHE_EVICT, 1);
-                if let Some(path) = self.spill_path(&lru) {
-                    let _ = std::fs::remove_file(path);
-                }
-            }
-        }
-        state.map.insert(
-            key.clone(),
-            Entry {
-                body: body.clone(),
-                seq,
-                from_disk: false,
-            },
-        );
-        drop(state);
-        if let Some(path) = spill {
-            if let Err(e) = write_spill(&path, &key, &body) {
-                // Entry stays served from memory; the spill is lost.
-                self.metrics.count(CACHE_FULL, 1);
-                eprintln!("serve: cache spill {}: {e}", path.display());
-            }
-        }
+        self.store.insert(key, body)
     }
 
     /// Number of cached responses.
     pub fn len(&self) -> usize {
-        self.state().map.len()
+        self.store.len()
     }
 
     /// Whether nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.state().map.is_empty()
+        self.store.is_empty()
     }
-
-    fn spill_path(&self, key: &str) -> Option<PathBuf> {
-        self.dir
-            .as_ref()
-            .map(|d| d.join(format!("{:016x}.{EXT}", fnv64(key.as_bytes()))))
-    }
-
-    /// Loads every valid spill file in `dir` (sorted by filename for a
-    /// deterministic initial recency order), evicting past capacity.
-    fn warm_load(&self, dir: &Path) {
-        let Ok(entries) = std::fs::read_dir(dir) else {
-            return;
-        };
-        let mut paths: Vec<PathBuf> = entries
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|x| x == EXT))
-            .collect();
-        paths.sort();
-        for path in paths {
-            match read_spill(&path) {
-                Ok((key, body)) => {
-                    let mut state = self.state();
-                    state.seq += 1;
-                    let seq = state.seq;
-                    if state.map.len() >= self.capacity {
-                        // More files than capacity: ignore the excess
-                        // (their files stay for a larger future cache).
-                        break;
-                    }
-                    state.map.insert(
-                        key,
-                        Entry {
-                            body,
-                            seq,
-                            from_disk: true,
-                        },
-                    );
-                }
-                Err(e) => {
-                    self.metrics.count(CACHE_CORRUPT, 1);
-                    eprintln!("serve: cache entry {}: {e} (skipped)", path.display());
-                }
-            }
-        }
-    }
-}
-
-impl std::fmt::Debug for ResponseCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ResponseCache")
-            .field("len", &self.len())
-            .field("capacity", &self.capacity)
-            .field("dir", &self.dir)
-            .finish()
-    }
-}
-
-/// Serializes one entry to `path` via a temp file + rename, so readers
-/// never observe a half-written entry.
-fn write_spill(path: &Path, key: &str, body: &str) -> io::Result<()> {
-    let mut bytes = Vec::with_capacity(24 + key.len() + body.len());
-    bytes.extend_from_slice(MAGIC);
-    bytes.extend_from_slice(&(key.len() as u32).to_le_bytes());
-    bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    bytes.extend_from_slice(key.as_bytes());
-    bytes.extend_from_slice(body.as_bytes());
-    let mut sum = Vec::with_capacity(key.len() + body.len());
-    sum.extend_from_slice(key.as_bytes());
-    sum.extend_from_slice(body.as_bytes());
-    bytes.extend_from_slice(&fnv64(&sum).to_le_bytes());
-
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-    }
-    std::fs::rename(&tmp, path)
-}
-
-fn corrupt(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
-}
-
-/// Parses one spill file back into `(key, body)`, validating magic,
-/// lengths, checksum, and UTF-8.
-///
-/// # Errors
-///
-/// `InvalidData` for any structural problem — the caller treats every
-/// error as "this file is not a cache entry".
-fn read_spill(path: &Path) -> io::Result<(String, String)> {
-    let bytes = std::fs::read(path)?;
-    if bytes.len() < 24 {
-        return Err(corrupt("truncated header"));
-    }
-    if &bytes[0..8] != MAGIC {
-        return Err(corrupt("bad magic"));
-    }
-    let key_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    let body_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-    let expected = 24usize
-        .checked_add(key_len)
-        .and_then(|n| n.checked_add(body_len));
-    if expected != Some(bytes.len()) {
-        return Err(corrupt("length mismatch"));
-    }
-    let key = &bytes[16..16 + key_len];
-    let body = &bytes[16 + key_len..16 + key_len + body_len];
-    let mut sum = Vec::with_capacity(key_len + body_len);
-    sum.extend_from_slice(key);
-    sum.extend_from_slice(body);
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
-    if fnv64(&sum) != stored {
-        return Err(corrupt("checksum mismatch"));
-    }
-    let key = std::str::from_utf8(key).map_err(|_| corrupt("non-UTF-8 key"))?;
-    let body = std::str::from_utf8(body).map_err(|_| corrupt("non-UTF-8 body"))?;
-    Ok((key.to_string(), body.to_string()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    /// A fresh per-test spill directory (no `Drop` cleanup: the path is
-    /// unique per process × call, and tempdirs are CI-ephemeral).
     fn temp_dir(tag: &str) -> PathBuf {
         static N: AtomicU64 = AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
@@ -353,15 +119,16 @@ mod tests {
     }
 
     #[test]
-    fn fnv_is_stable_and_content_sensitive() {
-        // Reference vectors for 64-bit FNV-1a.
+    fn fnv_is_the_shared_implementation() {
+        // Reference vectors for 64-bit FNV-1a; the symbol itself is a
+        // re-export of `sentinel_spec::fnv64`.
         assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_ne!(fnv64(b"ld r1, 0(r2)"), fnv64(b"ld r1, 8(r2)"));
+        assert_eq!(fnv64(b"x"), sentinel_spec::fnv64(b"x"));
     }
 
     #[test]
-    fn lookup_counts_hits_and_misses() {
+    fn hits_and_misses_count_under_the_serve_aliases() {
         let metrics = SharedMetrics::new();
         let c = ResponseCache::new(8, metrics.clone());
         assert!(c.is_empty());
@@ -370,111 +137,21 @@ mod tests {
         assert_eq!(c.lookup("k1").as_deref(), Some("body"));
         assert_eq!(metrics.counter(CACHE_HIT), 1);
         assert_eq!(metrics.counter(CACHE_MISS), 1);
+        assert_eq!(metrics.counter("store.hit"), 0, "aliases, not both names");
         assert_eq!(c.len(), 1);
     }
 
     #[test]
-    fn eviction_follows_lru_order() {
-        let metrics = SharedMetrics::new();
-        let c = ResponseCache::new(2, metrics.clone());
-        c.insert("a".into(), "1".into());
-        c.insert("b".into(), "2".into());
-        // Touch "a": now "b" is least recently used.
-        assert!(c.lookup("a").is_some());
-        c.insert("c".into(), "3".into());
-        assert_eq!(c.len(), 2);
-        assert_eq!(metrics.counter(CACHE_EVICT), 1);
-        assert!(c.lookup("b").is_none(), "LRU entry should have gone");
-        assert!(c.lookup("a").is_some());
-        assert!(c.lookup("c").is_some());
-        // Overwriting a resident key is not an eviction.
-        c.insert("a".into(), "1'".into());
-        assert_eq!(metrics.counter(CACHE_EVICT), 1);
-        assert_eq!(c.lookup("a").as_deref(), Some("1'"));
-    }
-
-    #[test]
-    fn warm_start_serves_spilled_entries_as_disk_hits() {
+    fn warm_start_counts_disk_hits_under_the_serve_alias() {
         let dir = temp_dir("warm");
         {
             let c = ResponseCache::with_dir(8, SharedMetrics::new(), &dir).unwrap();
             c.insert("k1".into(), "body-1".into());
-            c.insert("k2".into(), "body-2".into());
         }
-        // "Restart": a fresh cache over the same directory.
         let metrics = SharedMetrics::new();
         let c = ResponseCache::with_dir(8, metrics.clone(), &dir).unwrap();
-        assert_eq!(c.len(), 2);
         assert_eq!(c.lookup("k1").as_deref(), Some("body-1"));
-        assert_eq!(c.lookup("k1").as_deref(), Some("body-1"));
-        assert_eq!(c.lookup("k2").as_deref(), Some("body-2"));
-        assert_eq!(metrics.counter(CACHE_HIT), 3);
-        // disk_hit counts once per warm entry, on its first hit.
-        assert_eq!(metrics.counter(CACHE_DISK_HIT), 2);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn eviction_removes_the_spill_file_too() {
-        let dir = temp_dir("evict");
-        let metrics = SharedMetrics::new();
-        {
-            let c = ResponseCache::with_dir(1, metrics.clone(), &dir).unwrap();
-            c.insert("a".into(), "1".into());
-            c.insert("b".into(), "2".into());
-            assert_eq!(metrics.counter(CACHE_EVICT), 1);
-        }
-        let survivors: Vec<_> = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .collect();
-        assert_eq!(survivors.len(), 1, "evicted entry's file should be gone");
-        let c2 = ResponseCache::with_dir(8, SharedMetrics::new(), &dir).unwrap();
-        assert!(c2.lookup("a").is_none());
-        assert_eq!(c2.lookup("b").as_deref(), Some("2"));
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn corrupt_and_truncated_files_are_logged_misses_not_panics() {
-        let dir = temp_dir("corrupt");
-        {
-            let c = ResponseCache::with_dir(8, SharedMetrics::new(), &dir).unwrap();
-            c.insert("good".into(), "kept".into());
-            c.insert("flip".into(), "bits".into());
-            c.insert("cut".into(), "short".into());
-        }
-        // Bit-flip one file's checksum region and truncate another.
-        let flip = dir.join(format!("{:016x}.{EXT}", fnv64(b"flip")));
-        let mut bytes = std::fs::read(&flip).unwrap();
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0xff;
-        std::fs::write(&flip, &bytes).unwrap();
-        let cut = dir.join(format!("{:016x}.{EXT}", fnv64(b"cut")));
-        let bytes = std::fs::read(&cut).unwrap();
-        std::fs::write(&cut, &bytes[..10]).unwrap();
-        // Plus a file that was never a cache entry at all.
-        std::fs::write(dir.join(format!("junk.{EXT}")), b"not a cache entry").unwrap();
-
-        let metrics = SharedMetrics::new();
-        let c = ResponseCache::with_dir(8, metrics.clone(), &dir).unwrap();
-        assert_eq!(metrics.counter(CACHE_CORRUPT), 3);
-        assert_eq!(c.lookup("good").as_deref(), Some("kept"));
-        assert!(c.lookup("flip").is_none());
-        assert!(c.lookup("cut").is_none());
-        assert_eq!(metrics.counter(CACHE_MISS), 2);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn spill_roundtrip_preserves_key_and_body() {
-        let dir = temp_dir("roundtrip");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("x.{EXT}"));
-        write_spill(&path, "key|with|bars", "{\"cycles\":42}").unwrap();
-        let (key, body) = read_spill(&path).unwrap();
-        assert_eq!(key, "key|with|bars");
-        assert_eq!(body, "{\"cycles\":42}");
+        assert_eq!(metrics.counter(CACHE_DISK_HIT), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

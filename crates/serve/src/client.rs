@@ -11,9 +11,10 @@
 //! request bound). The service's endpoints are pure compute over the
 //! request body, so the single retry is safe.
 //!
-//! The free functions [`request`], [`get`] and [`post_json`] are the
-//! pre-`Client` surface; they survive as thin deprecated shims that
-//! open a fresh `Connection: close` socket per call.
+//! [`Client`] is the whole surface: the pre-0.8 free functions
+//! (`request`/`get`/`post_json`) went through a deprecation cycle and
+//! are gone — one-shot `Connection: close` behavior is
+//! `Client::builder(addr).keep_alive(false)`.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -266,54 +267,6 @@ impl Client {
     }
 }
 
-/// Issues one request on a fresh `Connection: close` socket.
-///
-/// # Errors
-///
-/// Transport failures and responses the client cannot parse.
-#[deprecated(
-    since = "0.8.0",
-    note = "build a `Client` and call its `request` method"
-)]
-pub fn request(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-    extra_headers: &[(&str, &str)],
-) -> io::Result<ClientResponse> {
-    Client::builder(addr)
-        .keep_alive(false)
-        .build()
-        .request(method, path, body, extra_headers)
-}
-
-/// `GET path` on a fresh socket.
-///
-/// # Errors
-///
-/// Transport failures and responses the client cannot parse.
-#[deprecated(since = "0.8.0", note = "build a `Client` and call its `get` method")]
-pub fn get(addr: &str, path: &str) -> io::Result<ClientResponse> {
-    Client::builder(addr).keep_alive(false).build().get(path)
-}
-
-/// `POST path` with a JSON body on a fresh socket.
-///
-/// # Errors
-///
-/// Transport failures and responses the client cannot parse.
-#[deprecated(
-    since = "0.8.0",
-    note = "build a `Client` and call its `post_json` method"
-)]
-pub fn post_json(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
-    Client::builder(addr)
-        .keep_alive(false)
-        .build()
-        .post_json(path, body)
-}
-
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
@@ -486,21 +439,6 @@ mod tests {
         // fresh connection even though keep-alive was requested.
         assert_eq!(client.connections_opened(), 2);
         drop(client);
-        server.join().unwrap();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap().to_string();
-        let server = std::thread::spawn(move || {
-            let (mut stream, _) = listener.accept().unwrap();
-            assert!(read_head(&mut stream));
-            canned(&mut stream, "shim");
-        });
-        let resp = get(&addr, "/").unwrap();
-        assert_eq!(resp.body, "shim");
         server.join().unwrap();
     }
 }

@@ -11,6 +11,15 @@
 //! multiply by a large odd constant, then finish with an xor-shift so low
 //! bits (which `HashMap` uses for bucket selection) depend on high bits
 //! of the key.
+//!
+//! This is deliberately **not** unified with `sentinel_spec::fnv64`,
+//! the workspace's one content hash. The two serve opposite contracts:
+//! `fnv64` values are *persisted* — cache keys on disk, spec hashes
+//! quoted in failure reports — so its byte-at-a-time definition is
+//! pinned by reference vectors and can never change; `FastHasher`
+//! values never leave a process (they only pick `HashMap` buckets), so
+//! it is free to trade that stability for word-at-a-time speed on the
+//! simulator's hot path.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};

@@ -1,0 +1,243 @@
+//! Sidecar spec registry: resolve a bare content hash back to its job.
+//!
+//! A content hash is one-way, so "reproduce from one identifier" needs
+//! a place to look the spec back up. Two sources, tried in order:
+//!
+//! 1. `<hash:016x>.spec` — a registry file written by [`record`]: the
+//!    canonical spec string on the first line, followed (for
+//!    inline-source jobs) by the program source text. Written by the
+//!    fuzz harness for failing cases and by the CLI for compiled
+//!    sources — jobs whose *result* may not be in the store.
+//! 2. `<hash:016x>.sc` — an ordinary [`Store`](crate::Store) spill
+//!    file. Spills record the full key, and keys *are* canonical spec
+//!    strings, so any job whose result was ever stored resolves with
+//!    no extra bookkeeping (this is how serve and bench entries become
+//!    addressable).
+//!
+//! Both paths validate that the recovered canonical string actually
+//! hashes to the requested value, so a filename collision or stale
+//! file yields "not found"-style errors, never a wrong job.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::job::JobSpec;
+use crate::{fnv64, store, ProgramRef};
+
+/// Registry-file extension (`<hash:016x>.spec`).
+pub const SPEC_EXT: &str = "spec";
+
+/// A canonical spec recovered from a registry directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedSpec {
+    /// The canonical encoding ([`JobSpec::canonical`]).
+    pub canonical: String,
+    /// Inline program source, when the registry file embedded it.
+    pub source: Option<String>,
+}
+
+impl ResolvedSpec {
+    /// Reconstruct the [`JobSpec`], supplying the embedded source (if
+    /// any) for `src:` program digests.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`JobSpec::parse_with_source`] rejects.
+    pub fn into_spec(self) -> Result<JobSpec, crate::SpecError> {
+        JobSpec::parse_with_source(&self.canonical, self.source.as_deref())
+    }
+}
+
+/// Record `spec` under `dir` as `<hash:016x>.spec` (directory created
+/// if absent), embedding the source text for inline-source jobs so
+/// they reconstruct from the hash alone. Returns the file path.
+/// Idempotent: re-recording the same spec rewrites the same bytes.
+///
+/// # Errors
+///
+/// Filesystem errors creating the directory or writing the file.
+pub fn record(dir: &Path, spec: &JobSpec) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let canonical = spec.canonical();
+    let path = dir.join(format!("{:016x}.{SPEC_EXT}", spec.content_hash()));
+    let mut bytes = canonical.into_bytes();
+    if let ProgramRef::Source(src) = &spec.program {
+        bytes.push(b'\n');
+        bytes.extend_from_slice(src.as_bytes());
+    }
+    // Temp file + rename, same as store spills: readers never observe
+    // a half-written registry entry.
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Look `hash` up in `dir`: registry file first, then store spill.
+/// Returns `Ok(None)` when neither file exists.
+///
+/// # Errors
+///
+/// `InvalidData` when a candidate file exists but its contents do not
+/// hash to `hash` (stale or colliding file); other I/O errors pass
+/// through.
+pub fn resolve(dir: &Path, hash: u64) -> io::Result<Option<ResolvedSpec>> {
+    let bad = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+
+    let spec_path = dir.join(format!("{hash:016x}.{SPEC_EXT}"));
+    match std::fs::read_to_string(&spec_path) {
+        Ok(contents) => {
+            let (canonical, source) = match contents.split_once('\n') {
+                Some((line, rest)) => (line.to_string(), Some(rest.to_string())),
+                None => (contents, None),
+            };
+            if fnv64(canonical.as_bytes()) != hash {
+                return Err(bad(format!(
+                    "registry file {} does not hash to its name",
+                    spec_path.display()
+                )));
+            }
+            return Ok(Some(ResolvedSpec { canonical, source }));
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+
+    let spill_path = dir.join(format!("{hash:016x}.{}", store::EXT));
+    match store::read_spill(&spill_path) {
+        Ok((key, _body)) => {
+            if fnv64(key.as_bytes()) != hash {
+                return Err(bad(format!(
+                    "store entry {} does not hash to its name",
+                    spill_path.display()
+                )));
+            }
+            Ok(Some(ResolvedSpec {
+                canonical: key,
+                source: None,
+            }))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// [`resolve`] for a hash spelled the way repro lines print it
+/// (16 hex digits). Returns `Ok(None)` for syntactically valid hashes
+/// with no entry; rejects non-hash strings.
+///
+/// # Errors
+///
+/// `InvalidInput` when `hash_hex` is not 16 hex digits; otherwise as
+/// [`resolve`].
+pub fn resolve_hex(dir: &Path, hash_hex: &str) -> io::Result<Option<ResolvedSpec>> {
+    let hash = parse_hash(hash_hex).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("'{hash_hex}' is not a 16-hex-digit spec hash"),
+        )
+    })?;
+    resolve(dir, hash)
+}
+
+/// Parse a 16-hex-digit spec hash as printed by repro lines and
+/// `hash_hex`; `None` for anything else (callers use this to tell a
+/// hash from a canonical spec string).
+pub fn parse_hash(s: &str) -> Option<u64> {
+    if s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        u64::from_str_radix(s, 16).ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpecKind, Store};
+    use sentinel_core::SchedulingModel;
+    use sentinel_trace::SharedMetrics;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sentinel-registry-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fuzz_specs_round_trip_through_the_registry() {
+        let dir = temp_dir("fuzz");
+        let spec = JobSpec::fuzz(7, SchedulingModel::Sentinel, 4, 0.25, 0.125);
+        record(&dir, &spec).unwrap();
+        let resolved = resolve(&dir, spec.content_hash()).unwrap().unwrap();
+        assert_eq!(resolved.canonical, spec.canonical());
+        assert_eq!(resolved.source, None);
+        assert_eq!(resolved.into_spec().unwrap(), spec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn source_specs_embed_and_recover_the_text() {
+        let dir = temp_dir("src");
+        let src = "loop:\n  ld r1, 0(r2)\n  add r3, r1, r1\n";
+        let spec = JobSpec::compile(src, SchedulingModel::SentinelStores, 8);
+        record(&dir, &spec).unwrap();
+        let resolved = resolve(&dir, spec.content_hash()).unwrap().unwrap();
+        assert_eq!(resolved.source.as_deref(), Some(src));
+        let rebuilt = resolved.into_spec().unwrap();
+        assert_eq!(rebuilt, spec);
+        assert_eq!(rebuilt.kind, SpecKind::Compile);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_spills_resolve_without_a_registry_file() {
+        let dir = temp_dir("spill");
+        let spec = JobSpec::simulate(
+            ProgramRef::Suite("wc".to_string()),
+            SchedulingModel::Sentinel,
+            4,
+        );
+        let store = Store::new(8, SharedMetrics::new())
+            .attach_dir(&dir)
+            .unwrap();
+        store.insert(spec.canonical(), "{\"cycles\":42}".to_string());
+        let resolved = resolve(&dir, spec.content_hash()).unwrap().unwrap();
+        assert_eq!(resolved.canonical, spec.canonical());
+        assert_eq!(resolved.into_spec().unwrap(), spec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_hashes_resolve_to_none_and_bad_hex_is_rejected() {
+        let dir = temp_dir("none");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(resolve(&dir, 0xdead_beef).unwrap(), None);
+        assert!(resolve_hex(&dir, "not-a-hash").is_err());
+        assert_eq!(parse_hash("00000000deadbeef"), Some(0xdead_beef));
+        assert_eq!(parse_hash("xyz"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_registry_files_are_invalid_not_wrong() {
+        let dir = temp_dir("tamper");
+        let spec = JobSpec::fuzz(9, SchedulingModel::GeneralPercolation, 2, 0.0, 0.0);
+        let path = record(&dir, &spec).unwrap();
+        // Rewrite the file with a different spec: name no longer
+        // matches contents.
+        let other = JobSpec::fuzz(10, SchedulingModel::GeneralPercolation, 2, 0.0, 0.0);
+        std::fs::write(&path, other.canonical()).unwrap();
+        assert!(resolve(&dir, spec.content_hash()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod serve;
 pub mod sink;
 pub mod stall;
+pub mod store;
 pub mod timeline;
 
 pub use chrome::ChromeTraceSink;

@@ -40,6 +40,13 @@ pub const BATCH_JOBS: &str = "serve.batch.jobs";
 pub const BATCH_JOB_ERRORS: &str = "serve.batch.job_errors";
 /// Counter: jobs whose handler panicked (each one also counts a 5xx).
 pub const PANICS: &str = "serve.jobs.panicked";
+
+// The `serve.cache.*` names below are back-compat aliases for the
+// canonical `store.*` family ([`crate::store`]): the serve response
+// cache is an instance of the shared content-addressed store, but it
+// keeps reporting under these historical names so that the `/metrics`
+// wire format (and every dashboard scraping it) stays byte-compatible.
+
 /// Counter: compile/simulate responses served from the result cache.
 pub const CACHE_HIT: &str = "serve.cache.hit";
 /// Counter: compile/simulate responses computed fresh.

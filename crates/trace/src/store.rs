@@ -1,0 +1,28 @@
+//! Canonical metric names for the shared content-addressed store.
+//!
+//! The generic [`Store`](../../sentinel_spec/store/index.html) in
+//! `sentinel-spec` counts its traffic under this `store.*` family.
+//! The serve layer predates the shared store and keeps publishing the
+//! same events under its historical `serve.cache.*` names (see
+//! [`crate::serve`]) so that `/metrics` output stays byte-compatible;
+//! those names are back-compat aliases for this family, wired up by
+//! constructing the serve store with
+//! `StoreMetricNames`-overridden constants.
+//!
+//! Like the `serve.*` family, none of these carry the `compile.pass.`
+//! prefix, so they can never leak into the per-pass timing table that
+//! `reproduce` prints to stderr.
+
+/// In-memory lookup served from the store.
+pub const STORE_HIT: &str = "store.hit";
+/// Lookup that found nothing.
+pub const STORE_MISS: &str = "store.miss";
+/// Hit whose entry was warm-loaded from a disk spill file (counted on
+/// top of [`STORE_HIT`], first in-process hit only).
+pub const STORE_DISK_HIT: &str = "store.disk_hit";
+/// Entry evicted to make room (least-recently-used order).
+pub const STORE_EVICT: &str = "store.evict";
+/// Spill file that failed validation during warm load and was skipped.
+pub const STORE_CORRUPT: &str = "store.corrupt";
+/// Insert dropped (capacity zero) or spill write failed.
+pub const STORE_FULL: &str = "store.full";

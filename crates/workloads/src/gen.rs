@@ -75,6 +75,35 @@ pub struct Workload {
     pub live_out: Vec<Reg>,
 }
 
+impl Workload {
+    /// A deterministic byte image of everything that can affect a
+    /// measurement of this workload: name, class, the printed program,
+    /// the memory image, and the live-out register set.
+    ///
+    /// Persistent caches hash this (the bench grid fingerprints its
+    /// `--cache-dir` with it) so that measurements spilled by an older
+    /// generator are detected as stale instead of silently served —
+    /// the generator is seeded and stable within a build, but its
+    /// output is part of a cached cell's identity across builds.
+    pub fn identity_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(self.name.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(self.class.to_string().as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(sentinel_prog::asm::print(&self.func).as_bytes());
+        for &(a, b) in self.mem_regions.iter().chain(&self.mem_words) {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&b.to_le_bytes());
+        }
+        for reg in &self.live_out {
+            bytes.extend_from_slice(format!("{reg:?}").as_bytes());
+            bytes.push(0);
+        }
+        bytes
+    }
+}
+
 struct Gen<'a> {
     spec: &'a WorkloadSpec,
     rng: Rng,

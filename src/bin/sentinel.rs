@@ -8,19 +8,30 @@
 //! sentinel info      prog.sasm
 //! sentinel schedule  prog.sasm --model S --issue 8 [--recovery] [--allocate] [-o out.sasm]
 //! sentinel compile   prog.sasm --model S --issue 8 [--explain] [--verify-passes] [-o out.sasm]
+//!                    (or: --spec HASH|CANONICAL [--cache-dir DIR])
+//! sentinel simulate  --suite NAME | prog.sasm | --spec HASH|CANONICAL
+//!                    [--model M] [--issue N] [--engine fast|interpreter]
+//!                    [--recovery] [--cache-dir DIR]
 //! sentinel run       prog.sasm [--issue N] [--semantics tags|silent|nan]
 //!                    [--map START:LEN]... [--word ADDR=VAL]... [--reg rN=VAL]...
 //!                    [--print rN]... [--base]
 //! sentinel trace     prog.sasm --model S --issue 8 --format chrome|jsonl|timeline
 //!                    [--raw] [-o out] [run's machine flags]
-//! sentinel reproduce [fig4|fig5|summary|...|all] [--csv] [--jobs N]
+//! sentinel reproduce [fig4|fig5|summary|...|all] [--csv] [--jobs N] [--cache-dir DIR]
 //! sentinel serve     [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N] [--cache-dir PATH]
 //! sentinel fuzz      [--seed N] [--count M] [--model R|G|S|T] [--width W]
-//!                    [--alias F] [--traps F]
+//!                    [--alias F] [--traps F] [--spec HASH|CANONICAL] [--cache-dir DIR]
 //! sentinel --version
 //! ```
 //!
 //! Numeric arguments accept decimal or `0x` hexadecimal.
+//!
+//! Every compile, simulate, and fuzz job has one canonical description
+//! (a [`sentinel::spec::JobSpec`]) and one stable 64-bit content hash,
+//! printed as `spec: <hash>` on stderr. `--spec` accepts either the
+//! full canonical string or — when `--cache-dir` points at a directory
+//! whose registry recorded the job — the bare hash, so any failure
+//! reported anywhere in the stack reproduces from one identifier.
 
 use std::process::exit;
 
@@ -145,6 +156,41 @@ impl Args {
             .filter(|(n, _)| n == name)
             .filter_map(|(_, v)| v.as_deref())
             .collect()
+    }
+}
+
+/// Resolves a `--spec` argument: a bare 16-hex-digit hash is looked up
+/// in the `--cache-dir` registry (which restores any embedded source
+/// payload); anything else must be a full canonical spec string.
+fn resolve_spec_arg(args: &Args, arg: &str) -> sentinel::spec::JobSpec {
+    use sentinel::spec::registry;
+    if let Some(hash) = registry::parse_hash(arg) {
+        let dir = args.flag("cache-dir").unwrap_or_else(|| {
+            fail(&format!(
+                "--spec {arg} is a bare hash; pass --cache-dir DIR to resolve it \
+                 (or pass the full canonical spec string)"
+            ))
+        });
+        match registry::resolve(std::path::Path::new(dir), hash) {
+            Ok(Some(resolved)) => resolved
+                .into_spec()
+                .unwrap_or_else(|e| fail(&format!("spec {arg}: {e}"))),
+            Ok(None) => fail(&format!("spec {arg} not found under {dir}")),
+            Err(e) => fail(&format!("resolve spec {arg}: {e}")),
+        }
+    } else {
+        sentinel::spec::JobSpec::parse(arg).unwrap_or_else(|e| fail(&format!("--spec: {e}")))
+    }
+}
+
+/// Records `spec` in the `--cache-dir` registry (if one is given), so
+/// its bare hash resolves in later invocations. Registry failures are
+/// warnings: the job itself already ran.
+fn record_spec(args: &Args, spec: &sentinel::spec::JobSpec) {
+    if let Some(dir) = args.flag("cache-dir") {
+        if let Err(e) = sentinel::spec::registry::record(std::path::Path::new(dir), spec) {
+            eprintln!("warning: could not record spec in {dir}: {e}");
+        }
     }
 }
 
@@ -280,10 +326,44 @@ fn cmd_schedule(args: &Args) {
 fn cmd_compile(args: &Args) {
     use sentinel::sched::CompileSession;
     use sentinel::trace::ExplainSink;
-    let f = load_program(&args.positional[0]);
-    let model = parse_model(args.flag("model").unwrap_or("S"));
+    // `--spec` reproduces a recorded compile job: the spec carries the
+    // source (via the registry), model, width, and knobs, so every
+    // other flag is ignored.
+    let (f, source_text, model, mdes, spec_knobs) = if let Some(arg) = args.flag("spec") {
+        let spec = resolve_spec_arg(args, arg);
+        if spec.kind != sentinel::spec::SpecKind::Compile {
+            fail(&format!(
+                "--spec {} is a {} spec, not a compile spec",
+                spec.hash_hex(),
+                spec.kind.as_str()
+            ));
+        }
+        let src = match &spec.program {
+            sentinel::spec::ProgramRef::Source(s) => s.clone(),
+            _ => fail("compile spec carries no inline source"),
+        };
+        let f = asm::parse(&src).unwrap_or_else(|e| fail(&format!("spec source: {e}")));
+        let mdes = MachineDesc::paper_issue(spec.width);
+        let knobs = Some((spec.recovery, spec.verify_passes));
+        (f, src, spec.model, mdes, knobs)
+    } else {
+        let path = &args.positional[0];
+        let f = load_program(path);
+        // Text inputs hash as written (matching what a serve client
+        // submitting the same file would hash); objects hash their
+        // printed assembly.
+        let bytes = std::fs::read(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        let source_text = match String::from_utf8(bytes) {
+            Ok(text) if !text.starts_with("SNTL") => text,
+            _ => asm::print(&f),
+        };
+        let model = parse_model(args.flag("model").unwrap_or("S"));
+        (f, source_text, model, machine_desc(args), None)
+    };
     let mut opts = SchedOptions::new(model);
-    if args.has("recovery") {
+    let (recovery, verify) =
+        spec_knobs.unwrap_or_else(|| (args.has("recovery"), args.has("verify-passes")));
+    if recovery {
         opts = opts.with_recovery();
     }
     if args.has("allocate") {
@@ -292,11 +372,15 @@ fn cmd_compile(args: &Args) {
     if args.has("clear-uninit") {
         opts = opts.with_clear_uninitialized();
     }
-    if args.has("verify-passes") {
+    if verify {
         opts = opts.with_verify_passes();
     }
-    let mdes = machine_desc(args);
     let issue = mdes.issue_width();
+    let mut spec = sentinel::spec::JobSpec::compile(source_text, model, issue);
+    spec.recovery = recovery;
+    spec.verify_passes = verify;
+    eprintln!("spec: {}", spec.hash_hex());
+    record_spec(args, &spec);
     let mut builder = CompileSession::for_function(&f)
         .mdes(&mdes)
         .options(opts.clone());
@@ -323,6 +407,78 @@ fn cmd_compile(args: &Args) {
         }
     );
     emit(&s.func, args.flag("output"));
+}
+
+/// `sentinel simulate`: evaluate one simulate job exactly as the serve
+/// API would — same canonical spec, same cache key, same JSON response
+/// body — so a measurement quoted from serve, the bench grid, or a CI
+/// log reproduces locally from its spec. With `--cache-dir`, responses
+/// are served from (and written to) the shared content-addressed
+/// store, and the job's spec is recorded so its bare hash resolves.
+fn cmd_simulate(args: &Args) {
+    use sentinel::serve::api::ApiRequest;
+    use sentinel::spec::{JobSpec, ProgramRef, Store};
+    let spec = if let Some(arg) = args.flag("spec") {
+        resolve_spec_arg(args, arg)
+    } else {
+        let model = parse_model(args.flag("model").unwrap_or("S"));
+        let width = args.flag("issue").map_or(8, |s| parse_num(s) as usize);
+        let program = if let Some(name) = args.flag("suite") {
+            ProgramRef::Suite(name.to_string())
+        } else if let Some(path) = args.positional.first() {
+            let f = load_program(path);
+            ProgramRef::Source(asm::print(&f))
+        } else {
+            fail("simulate needs a program: --suite NAME, a source file, or --spec");
+        };
+        let mut spec = JobSpec::simulate(program, model, width);
+        if args.has("recovery") {
+            spec.recovery = true;
+        }
+        if let Some(e) = args.flag("engine") {
+            spec.engine = e
+                .parse::<sentinel::sim::Engine>()
+                .unwrap_or_else(|e| fail(&e));
+        }
+        spec
+    };
+    let req =
+        ApiRequest::from_spec(&spec).unwrap_or_else(|e| fail(&format!("simulate: {}", e.message)));
+    let spec = req.to_spec();
+    eprintln!("spec: {}", spec.hash_hex());
+    record_spec(args, &spec);
+    let workloads = sentinel::workloads::suite::shared();
+    let evaluate = || {
+        req.run(&workloads)
+            .unwrap_or_else(|e| fail(&format!("simulate: {}", e.message)))
+    };
+    let body = match args.flag("cache-dir") {
+        Some(dir) => {
+            let metrics = sentinel::trace::SharedMetrics::new();
+            let store = Store::new(1024, metrics)
+                .attach_dir(std::path::Path::new(dir))
+                .unwrap_or_else(|e| fail(&format!("cache dir '{dir}': {e}")));
+            let key = spec.canonical();
+            match store.lookup(&key) {
+                // Only serve bodies this command wrote (serve-style
+                // JSON). A bench grid measurement stored under the
+                // same spec stays untouched — re-evaluate, don't
+                // clobber another layer's rendering.
+                Some(body) if body.starts_with('{') => {
+                    eprintln!("spec: {} served from {dir}", spec.hash_hex());
+                    body
+                }
+                Some(_) => evaluate(),
+                None => {
+                    let body = evaluate();
+                    store.insert(key, body.clone());
+                    body
+                }
+            }
+        }
+        None => evaluate(),
+    };
+    println!("{body}");
 }
 
 fn cmd_pipeline(args: &Args) {
@@ -529,6 +685,20 @@ fn cmd_fuzz(args: &Args) {
             None => 0.0,
         }
     };
+    // `--spec` replays exactly one recorded (or quoted) case.
+    if let Some(arg) = args.flag("spec") {
+        let spec = resolve_spec_arg(args, arg);
+        let case = sentinel::fuzz::FuzzCase::from_spec(&spec)
+            .unwrap_or_else(|e| fail(&format!("--spec: {e}")));
+        match sentinel::fuzz::run_case(&case) {
+            Ok(()) => println!("fuzz: case passed (spec {})", spec.hash_hex()),
+            Err(report) => {
+                eprintln!("fuzz FAILED:\n{report}");
+                exit(1);
+            }
+        }
+        return;
+    }
     let seed = args.flag("seed").map_or(0, |s| parse_num(s) as u64);
     let count = args.flag("count").map_or(16, |s| parse_num(s) as u64);
     let model = args.flag("model").map(|s| {
@@ -538,12 +708,15 @@ fn cmd_fuzz(args: &Args) {
     let width = args.flag("width").map(|s| parse_num(s) as usize);
     let alias = parse_frac("alias");
     let traps = parse_frac("traps");
-    match sentinel::fuzz::run_batch(seed, count, alias, traps, model, width) {
+    match sentinel::fuzz::run_batch_detail(seed, count, alias, traps, model, width) {
         Ok(n) => println!(
             "fuzz: {n} case(s) passed (seeds {seed}..{}, alias {alias}, traps {traps})",
             seed + n
         ),
-        Err(report) => {
+        Err((case, report)) => {
+            // Record the failing case's spec so its bare hash resolves
+            // in later invocations (`sentinel fuzz --spec <hash>`).
+            record_spec(args, &case.spec());
             eprintln!("fuzz FAILED:\n{report}");
             exit(1);
         }
@@ -559,14 +732,15 @@ fn usage() -> ! {
            asm       assemble text to a .sobj object (-o out.sobj)\n\
            disasm    print an object as text assembly\n\
            schedule  --model R|G|S|T|B<k> --issue N [--recovery] [--allocate] [--clear-uninit] [-o out]\n\
-           compile   schedule via the instrumented pass manager [schedule's flags] [--explain] [--verify-passes]\n\
+           compile   schedule via the instrumented pass manager [schedule's flags] [--explain] [--verify-passes] [--spec H] [--cache-dir DIR]\n\
+           simulate  one job, serve-identical JSON response: --suite NAME | FILE | --spec H [--model M] [--issue N] [--engine E] [--recovery] [--cache-dir DIR]\n\
            pipeline  software-pipeline counted/while loops [-o out]\n\
            mdes      print the effective machine description [--mdes file] [--issue N]\n\
            run       [--issue N] [--semantics tags|silent|nan] [--map S:L]… [--word A=V]… [--reg rN=V]… [--print rN]… [--stats] [--trace]\n\
            trace     --model R|G|S|T|B<k> --issue N --format timeline|jsonl|chrome [--raw] [--recovery] [-o out] [run's machine flags]\n\
-           reproduce regenerate the paper's tables/figures [fig4|fig5|summary|…|all] [--csv] [--jobs N]\n\
+           reproduce regenerate the paper's tables/figures [fig4|fig5|summary|…|all] [--csv] [--jobs N] [--cache-dir DIR]\n\
            serve     networked compile-and-simulate service [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N] [--cache-dir PATH]\n\
-           fuzz      differential fuzzer: both engines, byte-identical observables [--seed N] [--count M] [--model R|G|S|T] [--width W] [--alias F] [--traps F]\n\
+           fuzz      differential fuzzer: both engines, byte-identical observables [--seed N] [--count M] [--model R|G|S|T] [--width W] [--alias F] [--traps F] [--spec H] [--cache-dir DIR]\n\
            version   print the version (also --version)"
     );
     exit(2);
@@ -609,7 +783,13 @@ fn main() {
         );
         return;
     }
-    if args.positional.is_empty() {
+    if cmd == "simulate" {
+        // Before the positional-args check: the program may come from
+        // --suite or --spec instead of a file.
+        cmd_simulate(&args);
+        return;
+    }
+    if args.positional.is_empty() && !(cmd == "compile" && args.has("spec")) {
         usage();
     }
     match cmd.as_str() {

@@ -22,6 +22,7 @@ use sentinel_prog::Function;
 use sentinel_sim::{
     Engine, RunOutcome, SimConfig, SimError, SimSession, SpeculationSemantics, Stats, TraceEvent,
 };
+use sentinel_spec::{JobSpec, ProgramRef, SpecKind};
 use sentinel_trace::{Event, TraceSink};
 use sentinel_workloads::{fuzz_spec, generate, Workload};
 
@@ -51,6 +52,48 @@ impl FuzzCase {
             self.alias_frac,
             self.trap_frac
         )
+    }
+
+    /// The canonical [`JobSpec`] this case denotes. Seeded specs are
+    /// self-describing (the generator seed determines the program), so
+    /// the canonical string alone reproduces the case anywhere:
+    /// `sentinel fuzz --spec '<canonical>'`.
+    pub fn spec(&self) -> JobSpec {
+        JobSpec::fuzz(
+            self.seed,
+            self.model,
+            self.width,
+            self.alias_frac,
+            self.trap_frac,
+        )
+    }
+
+    /// Reconstructs the case a fuzz [`JobSpec`] denotes.
+    ///
+    /// # Errors
+    ///
+    /// The spec is not a fuzz spec, or its program is not seeded.
+    pub fn from_spec(spec: &JobSpec) -> Result<FuzzCase, String> {
+        if spec.kind != SpecKind::Fuzz {
+            return Err(format!("not a fuzz spec (kind '{}')", spec.kind.as_str()));
+        }
+        match &spec.program {
+            ProgramRef::Seeded { seed, alias, traps } => Ok(FuzzCase {
+                seed: *seed,
+                model: spec.model,
+                width: spec.width,
+                alias_frac: *alias,
+                trap_frac: *traps,
+            }),
+            _ => Err("fuzz spec has no seeded program".to_string()),
+        }
+    }
+
+    /// The failure-report lines identifying this case by spec hash and
+    /// canonical string (one identifier, reproducible anywhere).
+    fn spec_lines(&self) -> String {
+        let spec = self.spec();
+        format!("  spec: {}\n        {}", spec.hash_hex(), spec.canonical())
     }
 }
 
@@ -199,8 +242,13 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     let spec = fuzz_spec(case.seed, case.alias_frac, case.trap_frac);
     let w = generate(&spec);
     let mdes = MachineDesc::paper_issue(case.width);
-    let sched = schedule_function(&w.func, &mdes, &SchedOptions::new(case.model))
-        .map_err(|e| format!("schedule failed: {e}\nrepro: {}", case.repro_command()))?;
+    let sched = schedule_function(&w.func, &mdes, &SchedOptions::new(case.model)).map_err(|e| {
+        format!(
+            "schedule failed: {e}\n{}\n  repro: {}",
+            case.spec_lines(),
+            case.repro_command()
+        )
+    })?;
     let mut cfg = SimConfig::for_mdes(mdes.clone());
     cfg.semantics = semantics_for(case.model);
     cfg.collect_trace = true;
@@ -208,11 +256,12 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     let fast = observe(&sched.func, &cfg, &mdes, &w, Engine::Fast);
     if interp != fast {
         return Err(format!(
-            "engines diverged (seed {}, model {}, width {})\n  first divergence: {}\n  repro: {}",
+            "engines diverged (seed {}, model {}, width {})\n  first divergence: {}\n{}\n  repro: {}",
             case.seed,
             case.model.tag(),
             case.width,
             describe_divergence(&interp, &fast),
+            case.spec_lines(),
             case.repro_command()
         ));
     }
@@ -252,17 +301,37 @@ pub fn run_batch(
     model: Option<SchedulingModel>,
     width: Option<usize>,
 ) -> Result<u64, String> {
+    run_batch_detail(start_seed, count, alias_frac, trap_frac, model, width)
+        .map_err(|(_, report)| report)
+}
+
+/// [`run_batch`], returning the failing [`FuzzCase`] alongside its
+/// report — the CLI records the case's spec to a registry so the
+/// failure reproduces from its hash.
+///
+/// # Errors
+///
+/// The first failing case and its report.
+pub fn run_batch_detail(
+    start_seed: u64,
+    count: u64,
+    alias_frac: f64,
+    trap_frac: f64,
+    model: Option<SchedulingModel>,
+    width: Option<usize>,
+) -> Result<u64, (FuzzCase, String)> {
     let combos = grid(model, width);
     for i in 0..count {
         let seed = start_seed + i;
         let (m, w) = combos[(i as usize) % combos.len()];
-        run_case(&FuzzCase {
+        let case = FuzzCase {
             seed,
             model: m,
             width: w,
             alias_frac,
             trap_frac,
-        })?;
+        };
+        run_case(&case).map_err(|report| (case, report))?;
     }
     Ok(count)
 }
@@ -306,6 +375,24 @@ mod tests {
         ] {
             assert!(r.contains(needle), "{r} missing {needle}");
         }
+    }
+
+    #[test]
+    fn case_spec_round_trips() {
+        let c = FuzzCase {
+            seed: 9,
+            model: SchedulingModel::SentinelStores,
+            width: 2,
+            alias_frac: 0.25,
+            trap_frac: 0.1,
+        };
+        let spec = c.spec();
+        // Seeded specs are self-describing: the canonical string alone
+        // rebuilds the exact case.
+        let parsed = JobSpec::parse(&spec.canonical()).unwrap();
+        assert_eq!(FuzzCase::from_spec(&parsed).unwrap(), c);
+        let sim = JobSpec::simulate(ProgramRef::Suite("wc".into()), c.model, 2);
+        assert!(FuzzCase::from_spec(&sim).is_err());
     }
 
     #[test]

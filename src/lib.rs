@@ -26,6 +26,9 @@
 //! * [`serve`] — the networked compile-and-simulate service (std-only
 //!   HTTP/1.1, worker pool with backpressure, content-hash result
 //!   cache, Prometheus `/metrics`); `sentinel serve` is its CLI.
+//! * [`spec`] — the canonical [`JobSpec`](spec::JobSpec) job
+//!   description, its stable content hash, and the shared
+//!   content-addressed [`Store`](spec::Store) every layer caches in.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub use sentinel_isa as isa;
 pub use sentinel_prog as prog;
 pub use sentinel_serve as serve;
 pub use sentinel_sim as sim;
+pub use sentinel_spec as spec;
 pub use sentinel_trace as trace;
 pub use sentinel_workloads as workloads;
 
