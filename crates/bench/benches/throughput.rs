@@ -1,18 +1,28 @@
-//! Component throughput: scheduler, both execution engines, reference
-//! interpreter, and assembler, measured on suite programs.
+//! Component throughput: scheduler, all three execution engines,
+//! reference interpreter, and assembler, measured on suite programs.
 //!
 //! The engine section is the headline: it runs every workload on the
-//! interpretive oracle and the pre-decoded fast engine, **fails on any
-//! disagreement** (outcome, statistics, live-out registers, memory),
-//! and reports simulated instructions per second for each.
+//! interpretive oracle, the pre-decoded fast engine, and the
+//! trace-chaining turbo engine, **fails on any disagreement** (outcome,
+//! statistics, live-out registers, memory), and reports simulated
+//! instructions per second for each. Turbo runs reuse one decoded
+//! program per workload (built outside the timed loop), matching the
+//! decode-once contract the `ProgramCache` gives the grid and serve
+//! workers in production.
 //!
 //! ```text
 //! cargo bench --bench throughput                      # full run
 //! cargo bench --bench throughput -- --quick           # CI smoke: verify + small IPS sample
-//! cargo bench --bench throughput -- --json BENCH_3.json
+//! cargo bench --bench throughput -- --quick --engine turbo
+//! cargo bench --bench throughput -- --json BENCH_4.json
 //! ```
+//!
+//! `--engine E` restricts the *timing* pass to one engine (the
+//! verification pass always covers all three); the JSON report carries
+//! a column per timed engine.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use sentinel_bench::figures::{
     ablation_boosting, ablation_cache, ablation_formation, ablation_recovery,
@@ -21,29 +31,39 @@ use sentinel_bench::figures::{
 };
 use sentinel_bench::grid::GridSession;
 use sentinel_bench::runner::{apply_memory, MeasureConfig};
-use sentinel_bench::timing::{bench, group, time_fn, time_once};
+use sentinel_bench::timing::{bench, group, time_interleaved, time_once};
 use sentinel_core::{schedule_function, SchedOptions, SchedulingModel};
 use sentinel_isa::MachineDesc;
 use sentinel_prog::{asm, Function};
 use sentinel_sim::reference::Reference;
-use sentinel_sim::{Engine, SimSession};
+use sentinel_sim::{Engine, SimSession, TurboProgram};
+
 use sentinel_workloads::{suite, Workload};
+
+const ALL_ENGINES: [Engine; 3] = [Engine::Interpreter, Engine::Fast, Engine::Turbo];
 
 struct Cli {
     quick: bool,
     json: Option<String>,
+    /// Restrict the timing pass to one engine (`--engine E`).
+    engine: Option<Engine>,
 }
 
 fn parse_args() -> Cli {
     let mut cli = Cli {
         quick: false,
         json: None,
+        engine: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => cli.quick = true,
             "--json" => cli.json = it.next(),
+            "--engine" => {
+                let v = it.next().expect("--engine requires a value");
+                cli.engine = Some(v.parse::<Engine>().expect("bad --engine"));
+            }
             // `cargo bench` forwards its own flags (e.g. --bench); ignore.
             _ => {}
         }
@@ -78,21 +98,33 @@ fn sched_for(w: &Workload) -> (MeasureConfig, Function) {
 }
 
 /// One full run of `func` on `engine`; returns dynamic instructions.
-fn run_once(w: &Workload, cfg: &MeasureConfig, func: &Function, engine: Engine) -> u64 {
-    let mut m = SimSession::for_function(func)
-        .config(cfg.sim_config())
-        .engine(engine)
-        .build();
+/// Turbo runs share `prog`, decoded once per workload — the steady
+/// state every production path (grid, serve) reaches via the
+/// `ProgramCache`.
+fn run_once(
+    w: &Workload,
+    cfg: &MeasureConfig,
+    func: &Function,
+    engine: Engine,
+    prog: &Arc<TurboProgram>,
+) -> u64 {
+    let builder = SimSession::for_function(func).config(cfg.sim_config());
+    let mut m = if engine == Engine::Turbo {
+        builder.program(Arc::clone(prog)).build()
+    } else {
+        builder.engine(engine).build()
+    };
     apply_memory(w, m.memory_mut());
     m.run().unwrap();
     m.stats().dyn_insns
 }
 
-/// Runs `w` on both engines and panics on any observable difference:
-/// outcome, statistics, live-out registers, or final memory.
+/// Runs `w` on all three engines and panics on any observable
+/// difference: outcome, statistics, live-out registers, or final
+/// memory.
 fn assert_engines_agree(w: &Workload, cfg: &MeasureConfig, func: &Function) {
     let mut states = Vec::new();
-    for engine in [Engine::Interpreter, Engine::Fast] {
+    for engine in ALL_ENGINES {
         let mut m = SimSession::for_function(func)
             .config(cfg.sim_config())
             .engine(engine)
@@ -107,27 +139,40 @@ fn assert_engines_agree(w: &Workload, cfg: &MeasureConfig, func: &Function) {
         "{}: fast engine disagrees with the interpreter",
         w.name
     );
+    assert_eq!(
+        states[0], states[2],
+        "{}: turbo engine disagrees with the interpreter",
+        w.name
+    );
 }
 
-/// Per-workload engine comparison row.
+/// Per-workload engine comparison row; an engine filtered out of the
+/// timing pass has no entry.
 struct EngineRow {
     name: String,
     dyn_insns: u64,
-    interp_ips: f64,
-    fast_ips: f64,
+    /// (engine, simulated instructions per second), in `ALL_ENGINES`
+    /// order, timed engines only.
+    ips: Vec<(Engine, f64)>,
 }
 
-fn bench_engines(quick: bool) -> Vec<EngineRow> {
+impl EngineRow {
+    fn ips_of(&self, engine: Engine) -> Option<f64> {
+        self.ips.iter().find(|(e, _)| *e == engine).map(|(_, v)| *v)
+    }
+}
+
+fn bench_engines(quick: bool, only: Option<Engine>) -> Vec<EngineRow> {
     group("engines (sentinel model, issue 8)");
 
-    // Verification pass: the whole suite, both engines, every run.
+    // Verification pass: the whole suite, all three engines, every run.
     let workloads = suite::shared();
     for w in workloads.iter() {
         let (cfg, func) = sched_for(w);
         assert_engines_agree(w, &cfg, &func);
     }
     println!(
-        "   (engines agree on all {} suite workloads)",
+        "   (all three engines agree on all {} suite workloads)",
         workloads.len()
     );
 
@@ -137,29 +182,53 @@ fn bench_engines(quick: bool) -> Vec<EngineRow> {
     } else {
         &["compress", "grep", "yacc", "fpppp"]
     };
-    let iters = if quick { 5 } else { 30 };
+    let engines: Vec<Engine> = ALL_ENGINES
+        .into_iter()
+        .filter(|e| only.is_none_or(|o| o == *e))
+        .collect();
+    // Each timed sample runs `reps` back-to-back executions so one
+    // sample spans several scheduler quanta — the min of single runs
+    // otherwise just selects the luckiest interrupt-free window, which
+    // is not the same luck for engines with different run lengths.
+    let (rounds, reps) = if quick { (5, 2) } else { (150, 10) };
     let mut rows = Vec::new();
     for name in timed {
         let w = suite::by_name(name).unwrap();
         let (cfg, func) = sched_for(&w);
-        let dyn_insns = run_once(&w, &cfg, &func, Engine::Fast);
-        let mut ips = [0.0f64; 2];
-        for (i, engine) in [Engine::Interpreter, Engine::Fast].into_iter().enumerate() {
-            let t = time_fn(iters, || run_once(&w, &cfg, &func, engine));
-            ips[i] = dyn_insns as f64 / t.min.as_secs_f64();
+        let prog = Arc::new(TurboProgram::new(&func, &cfg.mdes()));
+        let dyn_insns = run_once(&w, &cfg, &func, Engine::Fast, &prog);
+        // Engines alternate within each timing round so host contention
+        // cannot bias one engine's whole sample block; the min is the
+        // uncontended-time estimate for each.
+        let mut fns: Vec<Box<dyn FnMut() + '_>> = engines
+            .iter()
+            .map(|&engine| {
+                let (w, cfg, func, prog) = (&w, &cfg, &func, &prog);
+                Box::new(move || {
+                    for _ in 0..reps {
+                        std::hint::black_box(run_once(w, cfg, func, engine, prog));
+                    }
+                }) as Box<dyn FnMut() + '_>
+            })
+            .collect();
+        let times = time_interleaved(rounds, &mut fns);
+        let mut ips = Vec::new();
+        let mut line = format!("{name:<14} {dyn_insns:>9} insns");
+        for (&engine, t) in engines.iter().zip(&times) {
+            let v = (dyn_insns * reps) as f64 / t.min.as_secs_f64();
+            ips.push((engine, v));
+            let _ = write!(line, "   {engine} {v:>12.0} ips");
         }
-        println!(
-            "{name:<14} {dyn_insns:>9} insns   interp {:>12.0} ips   fast {:>12.0} ips   x{:.2}",
-            ips[0],
-            ips[1],
-            ips[1] / ips[0]
-        );
-        rows.push(EngineRow {
+        let row = EngineRow {
             name: name.to_string(),
             dyn_insns,
-            interp_ips: ips[0],
-            fast_ips: ips[1],
-        });
+            ips,
+        };
+        if let (Some(fast), Some(turbo)) = (row.ips_of(Engine::Fast), row.ips_of(Engine::Turbo)) {
+            let _ = write!(line, "   turbo/fast x{:.2}", turbo / fast);
+        }
+        println!("{line}");
+        rows.push(row);
     }
     rows
 }
@@ -210,29 +279,49 @@ fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
     (sum / n.max(1) as f64).exp()
 }
 
-fn write_json(path: &str, rows: &[EngineRow], grid: Option<(f64, f64)>) {
+/// Geomean ratio of `num` over `den` across rows where both were timed.
+fn geomean_ratio(rows: &[EngineRow], num: Engine, den: Engine) -> Option<f64> {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| Some(r.ips_of(num)? / r.ips_of(den)?))
+        .collect();
+    (!ratios.is_empty()).then(|| geomean(ratios.iter().copied()))
+}
+
+fn write_json(path: &str, rows: &[EngineRow], grid: Option<[f64; 3]>) {
     let mut j = String::from("{\n  \"bench\": \"throughput\",\n  \"engines\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let mut fields = format!(
+            "\"workload\": \"{}\", \"dyn_insns\": {}",
+            r.name, r.dyn_insns
+        );
+        for &(engine, ips) in &r.ips {
+            let _ = write!(fields, ", \"{engine}_ips\": {ips:.0}");
+        }
         let _ = writeln!(
             j,
-            "    {{\"workload\": \"{}\", \"dyn_insns\": {}, \"interp_ips\": {:.0}, \
-             \"fast_ips\": {:.0}, \"speedup\": {:.2}}}{}",
-            r.name,
-            r.dyn_insns,
-            r.interp_ips,
-            r.fast_ips,
-            r.fast_ips / r.interp_ips,
+            "    {{{fields}}}{}",
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
-    let gm = geomean(rows.iter().map(|r| r.fast_ips / r.interp_ips));
-    let _ = write!(j, "  ],\n  \"geomean_speedup\": {gm:.2}");
-    if let Some((interp_s, fast_s)) = grid {
+    j.push_str("  ]");
+    if let Some(gm) = geomean_ratio(rows, Engine::Fast, Engine::Interpreter) {
+        let _ = write!(j, ",\n  \"geomean_fast_over_interpreter\": {gm:.2}");
+    }
+    if let Some(gm) = geomean_ratio(rows, Engine::Turbo, Engine::Fast) {
+        let _ = write!(j, ",\n  \"geomean_turbo_over_fast\": {gm:.2}");
+    }
+    if let Some(gm) = geomean_ratio(rows, Engine::Turbo, Engine::Interpreter) {
+        let _ = write!(j, ",\n  \"geomean_turbo_over_interpreter\": {gm:.2}");
+    }
+    if let Some([interp_s, fast_s, turbo_s]) = grid {
         let _ = write!(
             j,
             ",\n  \"reproduce_grid\": {{\"interpreter_wall_s\": {interp_s:.2}, \
-             \"fast_wall_s\": {fast_s:.2}, \"speedup\": {:.2}}}",
-            interp_s / fast_s
+             \"fast_wall_s\": {fast_s:.2}, \"turbo_wall_s\": {turbo_s:.2}, \
+             \"fast_speedup\": {:.2}, \"turbo_speedup\": {:.2}}}",
+            interp_s / fast_s,
+            interp_s / turbo_s
         );
     }
     j.push_str("\n}\n");
@@ -242,7 +331,7 @@ fn write_json(path: &str, rows: &[EngineRow], grid: Option<(f64, f64)>) {
 
 fn main() {
     let cli = parse_args();
-    let rows = bench_engines(cli.quick);
+    let rows = bench_engines(cli.quick, cli.engine);
     let mut grid = None;
     if !cli.quick {
         bench_scheduler();
@@ -253,7 +342,9 @@ fn main() {
         println!("{:<36} {interp_s:>8.2}s", "grid/interpreter");
         let fast_s = reproduce_grid(Engine::Fast);
         println!("{:<36} {fast_s:>8.2}s", "grid/fast");
-        grid = Some((interp_s, fast_s));
+        let turbo_s = reproduce_grid(Engine::Turbo);
+        println!("{:<36} {turbo_s:>8.2}s", "grid/turbo");
+        grid = Some([interp_s, fast_s, turbo_s]);
     }
     if let Some(path) = &cli.json {
         write_json(path, &rows, grid);

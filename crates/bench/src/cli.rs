@@ -45,7 +45,7 @@ pub const USAGE_STATUS: i32 = 2;
 const USAGE: &str = "usage: reproduce [fig4|fig5|summary|sweep|overhead [width]|ablation-sb|\
                      ablation-recovery|ablation-formation|ablation-boosting|ablation-unroll|\
                      ablation-cache|ablation-pipeline|ablation-pressure|all] [--csv] [--jobs N] \
-                     [--engine interpreter|fast] [--verify-passes] [--cache-dir DIR]";
+                     [--engine interpreter|fast|turbo] [--verify-passes] [--cache-dir DIR]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]

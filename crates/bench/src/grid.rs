@@ -26,13 +26,15 @@ use std::time::Instant;
 
 use sentinel_core::SchedulingModel;
 use sentinel_sim::cache::CacheConfig;
-use sentinel_sim::Engine;
+use sentinel_sim::{Engine, ProgramCache};
 use sentinel_spec::{fnv64, JobSpec, ProgramRef, Store};
 use sentinel_trace::{Metrics, SharedMetrics};
 use sentinel_workloads::{suite, Workload};
 
 use crate::cache::{ResultCache, CELL_MICROS};
-use crate::runner::{measure_full, MeasureConfig, Measurement};
+use crate::runner::{
+    prepare, simulate_prepared, MeasureConfig, MeasureError, Measurement, Prepared,
+};
 
 /// Marker file a persistent cache directory carries: the fingerprint of
 /// the workload suite whose measurements it holds. A directory built
@@ -209,6 +211,13 @@ pub struct GridSession {
     workloads: Arc<Vec<Workload>>,
     by_name: HashMap<String, usize>,
     cache: ResultCache,
+    /// Compiled programs, shared by every worker thread and keyed by the
+    /// cell's schedule hash ([`JobSpec::schedule_hash`]): one compile —
+    /// and, under [`Engine::Turbo`], one decode — per distinct
+    /// (bench, model, width, recovery, store-buffer) point per session,
+    /// no matter how many cells, ablation knobs, or `--jobs` workers
+    /// touch it.
+    programs: ProgramCache<Result<Prepared, MeasureError>>,
     jobs: usize,
     engine: Engine,
     verify_passes: bool,
@@ -223,10 +232,12 @@ impl GridSession {
             .enumerate()
             .map(|(i, w)| (w.name.clone(), i))
             .collect();
+        let metrics = SharedMetrics::new();
         GridSession {
             workloads,
             by_name,
-            cache: ResultCache::new(SharedMetrics::new()),
+            cache: ResultCache::new(metrics.clone()),
+            programs: ProgramCache::with_metrics(GRID_STORE_CAPACITY, metrics),
             jobs: jobs.max(1),
             engine: Engine::default(),
             verify_passes: false,
@@ -462,6 +473,13 @@ impl GridSession {
     }
 
     /// Schedules + simulates one cell with panic isolation.
+    ///
+    /// The compile half goes through the session's shared
+    /// [`ProgramCache`]: cells that denote the same schedule point (same
+    /// bench/model/width/recovery/store-buffer — the engine and the
+    /// timing-only data cache do not affect scheduling) share one
+    /// [`Prepared`], and compile-pass metrics are recorded inside the
+    /// fill, once per compile rather than once per cell.
     fn run_cell(&self, cell: &Cell) -> CellOutcome {
         let Some(w) = self.workload(&cell.bench) else {
             return Err(CellError::new(format!(
@@ -480,7 +498,22 @@ impl GridSession {
             let mut cfg = cell.config();
             cfg.engine = self.engine;
             cfg.verify_passes = self.verify_passes;
-            measure_full(w, &cfg)
+            let key = cell.spec(self.engine).schedule_hash();
+            let metrics = self.cache.metrics().clone();
+            let prepared = self.programs.get_or_fill(key, || {
+                let p = prepare(w, &cfg)?;
+                metrics.count(sentinel_trace::compile::PASS_RUNS, p.passes.total_runs());
+                for r in p.passes.reports() {
+                    if let Some(name) = pass_metric(r.name) {
+                        metrics.observe(name, r.wall.as_micros() as u64);
+                    }
+                }
+                Ok(p)
+            });
+            match prepared.as_ref() {
+                Ok(p) => simulate_prepared(w, &cfg, p),
+                Err(e) => Err(e.clone()),
+            }
         }));
         self.cache
             .metrics()
@@ -488,19 +521,7 @@ impl GridSession {
         match result {
             // Measurement failures (schedule rejection included) degrade
             // to an error row naming the cell — no panic involved.
-            Ok(Ok(measured)) => {
-                let metrics = self.cache.metrics();
-                metrics.count(
-                    sentinel_trace::compile::PASS_RUNS,
-                    measured.passes.total_runs(),
-                );
-                for r in measured.passes.reports() {
-                    if let Some(name) = pass_metric(r.name) {
-                        metrics.observe(name, r.wall.as_micros() as u64);
-                    }
-                }
-                Ok(measured.m)
-            }
+            Ok(Ok(m)) => Ok(m),
             Ok(Err(e)) => Err(CellError::new(format!("{cell}: {e}"))),
             Err(payload) => Err(CellError::new(panic_message(payload))),
         }
@@ -755,6 +776,54 @@ mod tests {
         let m = other.metrics();
         assert_eq!(m.counter(EVAL_COUNTER), 1, "stale row not served");
         assert_eq!(m.counter("store.disk_hit"), 0);
+    }
+
+    /// The decode-once contract: across a full grid eval — duplicated
+    /// cells, parallel workers, turbo engine — each distinct schedule
+    /// point (bench, model, width, recovery, store buffer) is compiled
+    /// and decoded exactly once, and cells differing only in the
+    /// timing-only data cache share that one compile.
+    #[test]
+    fn shared_program_cache_compiles_each_schedule_point_once() {
+        let mut session = tiny_session(4);
+        session.set_engine(Engine::Turbo);
+        let mut cells = grid_cells();
+        // Differs from an existing cell only by the timing-only data
+        // cache, which does not affect scheduling: must be a program hit.
+        let mut ablated = Cell::paper("tiny", SchedulingModel::Sentinel, 4);
+        ablated.cache = Some(CacheConfig::small_l1(10));
+        cells.push(ablated);
+        let doubled: Vec<Cell> = cells.iter().chain(cells.iter()).cloned().collect();
+        let outcomes = session.eval(&doubled);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        let distinct: HashSet<u64> = cells
+            .iter()
+            .map(|c| c.spec(Engine::Turbo).schedule_hash())
+            .collect();
+        assert_eq!(distinct.len(), cells.len() - 1, "ablated cell shares a key");
+        let m = session.metrics();
+        assert_eq!(
+            m.counter(sentinel_trace::sim::SIM_PROGRAM_CACHE_MISS),
+            distinct.len() as u64,
+            "one compile per distinct schedule point"
+        );
+        assert_eq!(
+            m.counter(sentinel_trace::sim::SIM_PROGRAM_CACHE_HIT),
+            1,
+            "the cache-ablated cell reuses its sibling's compile"
+        );
+        // Re-eval: the result cache serves every duplicate before the
+        // program cache is ever consulted again.
+        session.eval(&cells);
+        let m = session.metrics();
+        assert_eq!(
+            m.counter(sentinel_trace::sim::SIM_PROGRAM_CACHE_MISS),
+            distinct.len() as u64
+        );
+        assert!(
+            m.counter(sentinel_trace::compile::PASS_RUNS) > 0,
+            "pass metrics recorded once per compile"
+        );
     }
 
     #[test]

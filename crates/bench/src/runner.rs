@@ -5,14 +5,17 @@
 //! [`grid`](crate::grid) engine plans, dedups, parallelizes, and
 //! memoizes cells, calling [`measure`] exactly once per distinct cell.
 
+use std::sync::{Arc, OnceLock};
+
 use sentinel_core::{
     CompileSession, PassLog, SchedOptions, SchedStats, ScheduleError, SchedulingModel,
 };
 use sentinel_isa::MachineDesc;
+use sentinel_prog::Function;
 use sentinel_sim::reference::{RefOutcome, Reference};
 use sentinel_sim::verify::{compare_runs, CompareSpec};
 use sentinel_sim::{
-    Engine, Memory, RunOutcome, SimConfig, SimSession, SpeculationSemantics, Stats,
+    Engine, Memory, RunOutcome, SimConfig, SimSession, SpeculationSemantics, Stats, TurboProgram,
 };
 use sentinel_workloads::Workload;
 
@@ -186,13 +189,53 @@ pub struct Measured {
     pub passes: PassLog,
 }
 
-/// Schedules and executes a workload, returning the measurement plus
-/// the compiler's pass log.
+/// A workload compiled for one schedule point, ready to simulate.
+///
+/// Everything in here depends only on the *schedule* knobs — program,
+/// model, width, recovery, store buffer (see
+/// [`JobSpec::schedule_hash`](sentinel_spec::JobSpec::schedule_hash)) —
+/// never on the execution engine or the timing-only data cache. One
+/// `Prepared` therefore serves every engine and every cache ablation of
+/// the same schedule point, and the grid keys its shared
+/// [`ProgramCache`](sentinel_sim::ProgramCache) by exactly that hash.
+///
+/// The turbo decode is lazy: non-turbo runs never pay for it, and turbo
+/// runs decode once per `Prepared` no matter how many sessions execute
+/// it ([`OnceLock`] makes that true even across worker threads).
+#[derive(Debug)]
+pub struct Prepared {
+    /// The scheduled function.
+    pub func: Function,
+    /// Scheduler statistics.
+    pub sched: SchedStats,
+    /// Per-pass timing, IR deltas, and diagnostics from the compile.
+    pub passes: PassLog,
+    /// The machine the function was scheduled for (and decodes under).
+    mdes: MachineDesc,
+    /// Lazily decoded turbo program, shared by every turbo session.
+    turbo: OnceLock<Arc<TurboProgram>>,
+}
+
+impl Prepared {
+    /// The decoded turbo program, decoding on first use.
+    pub fn turbo_program(&self) -> Arc<TurboProgram> {
+        self.turbo
+            .get_or_init(|| Arc::new(TurboProgram::new(&self.func, &self.mdes)))
+            .clone()
+    }
+
+    /// Whether the turbo decode has happened yet.
+    pub fn turbo_decoded(&self) -> bool {
+        self.turbo.get().is_some()
+    }
+}
+
+/// Schedules a workload for one measurement configuration.
 ///
 /// # Errors
 ///
-/// See [`MeasureError`].
-pub fn measure_full(w: &Workload, cfg: &MeasureConfig) -> Result<Measured, MeasureError> {
+/// [`MeasureError::Schedule`] if the scheduler rejects the workload.
+pub fn prepare(w: &Workload, cfg: &MeasureConfig) -> Result<Prepared, MeasureError> {
     let mut opts = SchedOptions::new(cfg.model);
     if cfg.recovery {
         opts = opts.with_recovery();
@@ -207,11 +250,34 @@ pub fn measure_full(w: &Workload, cfg: &MeasureConfig) -> Result<Measured, Measu
         .build();
     let sched = session.run().map_err(MeasureError::Schedule)?;
     let passes = session.log().clone();
+    Ok(Prepared {
+        func: sched.func,
+        sched: sched.stats,
+        passes,
+        mdes,
+        turbo: OnceLock::new(),
+    })
+}
 
-    let mut m = SimSession::for_function(&sched.func)
-        .config(cfg.sim_config())
-        .engine(cfg.engine)
-        .build();
+/// Executes an already-compiled workload, returning the measurement.
+///
+/// On [`Engine::Turbo`] the prepared program's decode is reused (and
+/// performed at most once, however many sessions run it).
+///
+/// # Errors
+///
+/// See [`MeasureError`].
+pub fn simulate_prepared(
+    w: &Workload,
+    cfg: &MeasureConfig,
+    prepared: &Prepared,
+) -> Result<Measurement, MeasureError> {
+    let builder = SimSession::for_function(&prepared.func).config(cfg.sim_config());
+    let mut m = if cfg.engine == Engine::Turbo {
+        builder.program(prepared.turbo_program()).build()
+    } else {
+        builder.engine(cfg.engine).build()
+    };
     apply_memory(w, m.memory_mut());
     let outcome = m.run().map_err(|e| {
         MeasureError::Sim(format!(
@@ -259,16 +325,32 @@ pub fn measure_full(w: &Workload, cfg: &MeasureConfig) -> Result<Measured, Measu
         }
     }
 
+    Ok(Measurement {
+        bench: w.name.clone(),
+        model: cfg.model,
+        width: cfg.width,
+        cycles: m.stats().cycles,
+        stats: *m.stats(),
+        sched: prepared.sched,
+    })
+}
+
+/// Schedules and executes a workload, returning the measurement plus
+/// the compiler's pass log.
+///
+/// Composes [`prepare`] and [`simulate_prepared`]; callers that run the
+/// same schedule point more than once (the grid, the serve workers)
+/// cache the [`Prepared`] half instead of calling this in a loop.
+///
+/// # Errors
+///
+/// See [`MeasureError`].
+pub fn measure_full(w: &Workload, cfg: &MeasureConfig) -> Result<Measured, MeasureError> {
+    let prepared = prepare(w, cfg)?;
+    let m = simulate_prepared(w, cfg, &prepared)?;
     Ok(Measured {
-        m: Measurement {
-            bench: w.name.clone(),
-            model: cfg.model,
-            width: cfg.width,
-            cycles: m.stats().cycles,
-            stats: *m.stats(),
-            sched: sched.stats,
-        },
-        passes,
+        m,
+        passes: prepared.passes,
     })
 }
 

@@ -42,6 +42,40 @@ pub fn time_fn<T>(iters: usize, mut f: impl FnMut() -> T) -> Timing {
     }
 }
 
+/// Times several functions in alternating rounds (fn 0, fn 1, …, then
+/// round two in the same order), so a transient contention spike on a
+/// busy host hits every candidate alike instead of biasing whichever
+/// one happened to own that window. The per-function `min` is then a
+/// comparable estimate of uncontended time. Returns one summary per
+/// function, in order.
+pub fn time_interleaved(rounds: usize, fns: &mut [Box<dyn FnMut() + '_>]) -> Vec<Timing> {
+    assert!(rounds > 0 && !fns.is_empty());
+    for f in fns.iter_mut() {
+        f(); // warmup
+    }
+    let mut samples = vec![Vec::with_capacity(rounds); fns.len()];
+    for _ in 0..rounds {
+        for (k, f) in fns.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            f();
+            samples[k].push(t0.elapsed());
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut s| {
+            s.sort();
+            let total: Duration = s.iter().sum();
+            Timing {
+                min: s[0],
+                median: s[s.len() / 2],
+                mean: total / rounds as u32,
+                iters: rounds,
+            }
+        })
+        .collect()
+}
+
 /// Times one call of `f`, returning its result and the wall time.
 ///
 /// For expensive once-per-run work — a full figure grid under the
@@ -82,6 +116,17 @@ mod tests {
         });
         assert_eq!((out, n), (42, 1));
         assert!(d <= Duration::from_secs(5));
+    }
+
+    #[test]
+    fn time_interleaved_rounds_every_fn() {
+        let (mut a, mut b) = (0u64, 0u64);
+        let mut fns: Vec<Box<dyn FnMut() + '_>> = vec![Box::new(|| a += 1), Box::new(|| b += 1)];
+        let ts = time_interleaved(4, &mut fns);
+        drop(fns);
+        assert_eq!(ts.len(), 2);
+        assert_eq!((a, b), (5, 5)); // warmup + 4 rounds each
+        assert_eq!(ts[0].iters, 4);
     }
 
     #[test]

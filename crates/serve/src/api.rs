@@ -16,10 +16,14 @@
 //! the same bytes — the property the content-hash cache and the
 //! byte-identical-to-in-process acceptance test both rely on.
 
+use std::sync::{Arc, OnceLock};
+
 use sentinel_core::{CompileSession, SchedOptions, SchedStats, SchedulingModel};
 use sentinel_isa::MachineDesc;
 use sentinel_prog::{asm, Function};
-use sentinel_sim::{Engine, RunOutcome, SimConfig, SimSession, SpeculationSemantics};
+use sentinel_sim::{
+    Engine, ProgramCache, RunOutcome, SimConfig, SimSession, SpeculationSemantics, TurboProgram,
+};
 use sentinel_spec::{JobSpec, ProgramRef, SpecKind};
 use sentinel_trace::json::{self, ObjWriter, Value};
 use sentinel_workloads::Workload;
@@ -531,9 +535,28 @@ impl ApiRequest {
     /// 400 for everything the *request* got wrong: parse or schedule
     /// failures, unknown suite names, runs the simulator rejects.
     pub fn run(&self, workloads: &[Workload]) -> Result<String, ApiError> {
+        self.run_with_cache(workloads, None)
+    }
+
+    /// [`run`](ApiRequest::run), but compiling simulate jobs through a
+    /// shared [`SimProgramCache`]: jobs with the same schedule point
+    /// (program, model, width, recovery, store buffer — the engine does
+    /// *not* split the key) share one compile, and one turbo decode,
+    /// per process. The response bytes are identical with or without
+    /// the cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](ApiRequest::run); cached compile failures replay the
+    /// same error.
+    pub fn run_with_cache(
+        &self,
+        workloads: &[Workload],
+        programs: Option<&SimProgramCache>,
+    ) -> Result<String, ApiError> {
         match self {
             ApiRequest::Compile(r) => compile_response(r),
-            ApiRequest::Simulate(r) => simulate_response(r, workloads),
+            ApiRequest::Simulate(r) => simulate_response(r, workloads, programs),
         }
     }
 
@@ -830,6 +853,35 @@ fn compile_response(req: &CompileRequest) -> Result<String, ApiError> {
     Ok(out)
 }
 
+/// A simulate job compiled once and shared across requests: the
+/// scheduled function, its statistics, and a lazily decoded turbo
+/// program. Everything here depends only on the schedule point
+/// ([`JobSpec::schedule_hash`]) — never on the engine or the memory
+/// image — so one entry serves fast, turbo, and interpreter requests
+/// for the same job alike.
+#[derive(Debug)]
+pub struct PreparedJob {
+    func: Function,
+    sched: SchedStats,
+    mdes: MachineDesc,
+    turbo: OnceLock<Arc<TurboProgram>>,
+}
+
+impl PreparedJob {
+    /// The decoded turbo program, decoding at most once per entry.
+    fn turbo_program(&self) -> Arc<TurboProgram> {
+        self.turbo
+            .get_or_init(|| Arc::new(TurboProgram::new(&self.func, &self.mdes)))
+            .clone()
+    }
+}
+
+/// The decoded-program cache the service's workers share, keyed by
+/// [`JobSpec::schedule_hash`]. Compile failures are cached too — a
+/// replayed unschedulable job answers the same 400 without
+/// re-scheduling.
+pub type SimProgramCache = ProgramCache<Result<PreparedJob, ApiError>>;
+
 /// Simulates a request end to end (schedule, then run) and serializes
 /// the response body.
 ///
@@ -840,7 +892,11 @@ fn compile_response(req: &CompileRequest) -> Result<String, ApiError> {
 ///
 /// 400 for unknown suite names, parse/schedule failures, and runs the
 /// simulator itself rejects.
-fn simulate_response(req: &SimulateRequest, workloads: &[Workload]) -> Result<String, ApiError> {
+fn simulate_response(
+    req: &SimulateRequest,
+    workloads: &[Workload],
+    programs: Option<&SimProgramCache>,
+) -> Result<String, ApiError> {
     // Resolve the program. Inline source parses into `parsed` so the
     // borrow below has an owner; a suite workload brings its own memory
     // image and name.
@@ -866,23 +922,36 @@ fn simulate_response(req: &SimulateRequest, workloads: &[Workload]) -> Result<St
         }
     };
 
-    let mdes = mdes_for(&req.knobs);
-    let scheduled = {
+    let compile = || -> Result<PreparedJob, ApiError> {
+        let mdes = mdes_for(&req.knobs);
         let mut session = CompileSession::for_function(func)
             .mdes(&mdes)
             .options(sched_options(&req.knobs, false))
             .build();
-        session
+        let scheduled = session
             .run()
-            .map_err(|e| ApiError::bad(format!("schedule: {e}")))?
+            .map_err(|e| ApiError::bad(format!("schedule: {e}")))?;
+        Ok(PreparedJob {
+            func: scheduled.func,
+            sched: scheduled.stats,
+            mdes,
+            turbo: OnceLock::new(),
+        })
     };
+    let prepared = match programs {
+        Some(cache) => cache.get_or_fill(req.to_spec().schedule_hash(), compile),
+        None => Arc::new(compile()),
+    };
+    let prepared = prepared.as_ref().as_ref().map_err(ApiError::clone)?;
 
-    let mut cfg = SimConfig::for_mdes(mdes);
+    let mut cfg = SimConfig::for_mdes(prepared.mdes.clone());
     cfg.semantics = semantics_for(req.knobs.model);
-    let mut m = SimSession::for_function(&scheduled.func)
-        .config(cfg)
-        .engine(req.engine)
-        .build();
+    let builder = SimSession::for_function(&prepared.func).config(cfg);
+    let mut m = if req.engine == Engine::Turbo {
+        builder.program(prepared.turbo_program()).build()
+    } else {
+        builder.engine(req.engine).build()
+    };
     for &(start, len) in map {
         m.memory_mut().map_region(start, len);
     }
@@ -933,7 +1002,7 @@ fn simulate_response(req: &SimulateRequest, workloads: &[Workload]) -> Result<St
         .u64("sb_forwards", stats.sb_forwards)
         .raw("ipc", &format!("{:.4}", stats.ipc()))
         .raw("stalls", &stalls);
-    write_sched_stats(&mut w, &scheduled.stats);
+    write_sched_stats(&mut w, &prepared.sched);
     w.close();
     Ok(out)
 }

@@ -33,7 +33,9 @@ use sentinel_trace::serve::{
 use sentinel_trace::{Metrics, SharedMetrics};
 use sentinel_workloads::Workload;
 
-use crate::api::{ApiError, ApiRequest, ApiResponse, BatchRequest, JobKind};
+use sentinel_sim::ProgramCache;
+
+use crate::api::{ApiError, ApiRequest, ApiResponse, BatchRequest, JobKind, SimProgramCache};
 use crate::cache::ResponseCache;
 use crate::http::{self, ReadError, Request, Response};
 use crate::pool::{Submitter, WorkerPool};
@@ -106,6 +108,12 @@ impl Default for ServerConfig {
 pub struct Handler {
     metrics: SharedMetrics,
     cache: Arc<ResponseCache>,
+    /// Decoded-program cache shared by every worker, keyed by schedule
+    /// hash: each distinct (program, model, width, recovery,
+    /// store-buffer) point is compiled — and, for turbo requests,
+    /// decoded — exactly once per process, across engines and replays.
+    /// Counts `sim.program_cache.{hit,miss,evict}` into `/metrics`.
+    programs: SimProgramCache,
     workloads: Arc<Vec<Workload>>,
     batch_max_jobs: usize,
     api_hook: Option<ApiHook>,
@@ -113,6 +121,12 @@ pub struct Handler {
     /// tests), batches run sequentially on the calling thread.
     submitter: OnceLock<Submitter>,
 }
+
+/// Entry bound for the handler's decoded-program cache. Prepared
+/// programs are heavier than response bodies (a scheduled function
+/// plus, lazily, its decode), so the bound is its own knob rather than
+/// the response cache's.
+const PROGRAM_CACHE_CAPACITY: usize = 512;
 
 impl Handler {
     /// A handler over `cache`, reporting into `metrics`, serving suite
@@ -124,9 +138,11 @@ impl Handler {
         batch_max_jobs: usize,
         api_hook: Option<ApiHook>,
     ) -> Handler {
+        let programs = ProgramCache::with_metrics(PROGRAM_CACHE_CAPACITY, metrics.clone());
         Handler {
             metrics,
             cache,
+            programs,
             workloads,
             batch_max_jobs,
             api_hook,
@@ -163,6 +179,7 @@ impl Handler {
         execute_job(
             job,
             &self.cache,
+            &self.programs,
             &self.workloads,
             &self.metrics,
             self.api_hook.as_ref(),
@@ -197,10 +214,13 @@ impl Handler {
         let run = Arc::new(BatchRun::new(jobs));
         let exec: Arc<dyn Fn(&ApiRequest) -> ApiResponse + Send + Sync> = {
             let cache = Arc::clone(&self.cache);
+            let programs = self.programs.clone();
             let workloads = Arc::clone(&self.workloads);
             let metrics = self.metrics.clone();
             let hook = self.api_hook.clone();
-            Arc::new(move |job| execute_job(job, &cache, &workloads, &metrics, hook.as_ref()))
+            Arc::new(move |job| {
+                execute_job(job, &cache, &programs, &workloads, &metrics, hook.as_ref())
+            })
         };
         if let Some(submitter) = self.submitter.get() {
             // Best-effort helpers: each drains jobs until none are
@@ -231,6 +251,7 @@ impl Handler {
 fn execute_job(
     job: &ApiRequest,
     cache: &ResponseCache,
+    programs: &SimProgramCache,
     workloads: &[Workload],
     metrics: &SharedMetrics,
     hook: Option<&ApiHook>,
@@ -243,7 +264,7 @@ fn execute_job(
         if let Some(body) = cache.lookup(&key) {
             return ApiResponse::Result(body);
         }
-        match job.run(workloads) {
+        match job.run_with_cache(workloads, Some(programs)) {
             Ok(body) => {
                 cache.insert(key, body.clone());
                 ApiResponse::Result(body)

@@ -840,6 +840,99 @@ mod fast {
     }
 }
 
+/// Turbo engine vs interpreter spot checks (the broad net is the
+/// three-engine differential fuzzer in `tests/fuzz_differential.rs`).
+mod turbo {
+    use std::sync::Arc;
+
+    use sentinel_isa::{Insn, Reg};
+    use sentinel_prog::ProgramBuilder;
+
+    use crate::machine::Machine;
+    use crate::testutil::{paper_mdes, spec_loop};
+    use crate::turbo::{TurboMachine, TurboProgram};
+    use crate::{RunOutcome, SimConfig};
+
+    fn turbo_for(f: &sentinel_prog::Function, cfg: SimConfig) -> TurboMachine {
+        TurboMachine::new(Arc::new(TurboProgram::new(f, &cfg.mdes)), cfg)
+    }
+
+    #[test]
+    fn matches_interpreter_on_spec_loop() {
+        for width in [1usize, 2, 4, 8] {
+            let f = spec_loop();
+            let cfg = SimConfig::for_mdes(paper_mdes(width));
+
+            let mut interp = Machine::create(&f, cfg.clone());
+            interp.memory_mut().map_region(0x1000, 0x100);
+            interp.memory_mut().map_region(0x2000, 8);
+            for i in 0..4 {
+                interp
+                    .memory_mut()
+                    .write_word(0x1000 + 8 * i, 10 + i)
+                    .unwrap();
+            }
+            let io = interp.run().unwrap();
+
+            let mut turbo = turbo_for(&f, cfg);
+            turbo.memory_mut().map_region(0x1000, 0x100);
+            turbo.memory_mut().map_region(0x2000, 8);
+            for i in 0..4 {
+                turbo
+                    .memory_mut()
+                    .write_word(0x1000 + 8 * i, 10 + i)
+                    .unwrap();
+            }
+            let to = turbo.run().unwrap();
+
+            assert_eq!(io, to, "outcome diverged at width {width}");
+            assert_eq!(
+                interp.stats(),
+                turbo.stats(),
+                "stats diverged at width {width}"
+            );
+            assert_eq!(
+                interp.memory().read_word(0x2000).unwrap(),
+                turbo.memory().read_word(0x2000).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn deferred_exception_matches_and_lds_check_fuses() {
+        let mut b = ProgramBuilder::new("defer");
+        b.block("entry");
+        b.push(Insn::li(Reg::int(1), 0xdead0));
+        b.push(Insn::ld_w(Reg::int(2), Reg::int(1), 0).speculated());
+        b.push(Insn::check_exception(Reg::int(2)));
+        b.push(Insn::halt());
+        let f = b.finish();
+        let cfg = SimConfig::default();
+        let prog = TurboProgram::new(&f, &cfg.mdes);
+        // The ld.s + check idiom dispatches as one fused step.
+        assert!(prog.fused_pairs() >= 1, "expected an LdsCheck fusion");
+        let mut interp = Machine::create(&f, cfg.clone());
+        let mut turbo = TurboMachine::new(Arc::new(prog), cfg);
+        let io = interp.run().unwrap();
+        let to = turbo.run().unwrap();
+        assert_eq!(io, to);
+        assert!(matches!(to, RunOutcome::Trapped(_)));
+        assert_eq!(interp.stats(), turbo.stats());
+    }
+
+    #[test]
+    fn fell_off_end_matches() {
+        let mut b = ProgramBuilder::new("off");
+        b.block("entry");
+        b.push(Insn::li(Reg::int(1), 1));
+        let f = b.finish();
+        let cfg = SimConfig::default();
+        let ie = Machine::create(&f, cfg.clone()).run().unwrap_err();
+        let te = turbo_for(&f, cfg).run().unwrap_err();
+        assert_eq!(ie, te);
+    }
+}
+
 /// Store-buffer and boost edge cases exercised directly at the sem
 /// layer, where both engines' behaviour is actually defined.
 mod sem_edges {

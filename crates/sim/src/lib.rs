@@ -8,8 +8,11 @@
 //!   model (loads, stores, integer divide, all fp instructions),
 //! * [`SimSession`] — the session API: pick an [`Engine`], configure,
 //!   run. [`Engine::Interpreter`] is the block-walking [`Machine`];
-//!   [`Engine::Fast`] executes from a pre-decoded dense form. Both route
-//!   every architectural rule through [`sem`],
+//!   [`Engine::Fast`] executes from a pre-decoded dense form;
+//!   [`Engine::Turbo`] executes an owned, shareable decode
+//!   ([`TurboProgram`]) with chained traces and fused micro-op pairs,
+//!   reusable across sessions through a [`ProgramCache`]. All three
+//!   route every architectural rule through [`sem`],
 //! * [`sem`] — the single-source-of-truth semantics layer: **Table 1**
 //!   (exception detection with sentinel scheduling), **Table 2**
 //!   (store-buffer insertion with probationary entries), boosting
@@ -62,7 +65,9 @@ pub mod verify;
 mod decode;
 mod fastpath;
 mod machine;
+mod progcache;
 mod session;
+mod turbo;
 
 #[cfg(test)]
 mod engine_tests;
@@ -75,8 +80,10 @@ pub use sem::storebuf;
 pub use except::{ExceptionKind, PcHistoryQueue, Trap};
 pub use machine::{Machine, Recovery, RunOutcome, SimConfig, SimError, TraceEvent};
 pub use memory::{Memory, Width};
+pub use progcache::ProgramCache;
 pub use regfile::{RegEvent, RegFile, TaggedValue};
 pub use sem::storebuf::{ConfirmOutcome, Entry, EntryState, SbError, SbEvent, StoreBuffer};
 pub use sem::{SpeculationSemantics, GARBAGE, INT_NAN};
 pub use session::{Engine, SimSession, SimSessionBuilder};
 pub use stats::Stats;
+pub use turbo::TurboProgram;

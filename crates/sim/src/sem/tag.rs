@@ -25,8 +25,19 @@ use super::{computed, nan_bits_for, ArchState, SpeculationSemantics, GARBAGE};
 /// this instruction signals (tagged-source sentinel, NaN consumer, or an
 /// immediate non-speculative fault).
 pub(crate) fn exec_compute(arch: &mut ArchState, insn: &Insn) -> Result<Option<Trap>, SimError> {
-    let a = insn.src1.map_or(0, |r| arch.read_reg(r).data);
-    let b = insn.src2.map_or(0, |r| arch.read_reg(r).data);
+    let s1 = insn.src1.map(|r| arch.read_reg(r));
+    let s2 = insn.src2.map(|r| arch.read_reg(r));
+    let a = s1.map_or(0, |v| v.data);
+    let b = s2.map_or(0, |v| v.data);
+    // The first set source-operand tag in operand order (Table 1's "first
+    // source operand whose exception tag is set"), from the single read
+    // above — equivalent to `arch.first_tagged(insn)` since no state
+    // changes between the reads.
+    let tagged = match (s1, s2) {
+        (Some(v), _) if v.tag => Some(v),
+        (_, Some(v)) if v.tag => Some(v),
+        _ => None,
+    };
     if insn.boost > 0 {
         // Boosted (§2.3): the result goes to the shadow register file;
         // a fault is recorded there and signaled only at commit.
@@ -50,7 +61,7 @@ pub(crate) fn exec_compute(arch: &mut ArchState, insn: &Insn) -> Result<Option<T
     if insn.speculative {
         match arch.semantics {
             SpeculationSemantics::SentinelTags => {
-                if let Some(tv) = arch.first_tagged(insn) {
+                if let Some(tv) = tagged {
                     // Rows 1,1,x of Table 1: propagate.
                     arch.stats.tag_propagations += 1;
                     if let Some(d) = insn.dest {
@@ -120,7 +131,7 @@ pub(crate) fn exec_compute(arch: &mut ArchState, insn: &Insn) -> Result<Option<T
             }
         }
     } else {
-        if let Some(tv) = arch.first_tagged(insn) {
+        if let Some(tv) = tagged {
             // Rows 0,1,x of Table 1: this instruction is the sentinel.
             return Ok(Some(arch.trap_from_tag(tv, insn.id)));
         }

@@ -31,6 +31,8 @@
 //! identical outcomes, statistics, architectural state, and trace-event
 //! streams.
 
+use std::sync::Arc;
+
 use sentinel_isa::{InsnId, Reg};
 use sentinel_prog::profile::Profile;
 use sentinel_prog::Function;
@@ -42,6 +44,7 @@ use crate::machine::{Machine, Recovery, RunOutcome, SimConfig, SimError, TraceEv
 use crate::memory::Memory;
 use crate::regfile::TaggedValue;
 use crate::stats::Stats;
+use crate::turbo::{TurboMachine, TurboProgram};
 
 /// Which execution engine a [`SimSession`] runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +57,13 @@ pub enum Engine {
     /// interpreter and the default for measurement workloads.
     #[default]
     Fast,
+    /// The trace-chaining engine: an *owned*, shareable decode
+    /// ([`TurboProgram`](crate::TurboProgram)) executed with fused
+    /// micro-op pairs and a ready-mask scoreboard. Semantically
+    /// identical to the other two; the throughput choice for large
+    /// grids, and the only engine whose decode can be reused through a
+    /// [`ProgramCache`](crate::ProgramCache).
+    Turbo,
 }
 
 impl std::fmt::Display for Engine {
@@ -61,6 +71,7 @@ impl std::fmt::Display for Engine {
         match self {
             Engine::Interpreter => write!(f, "interpreter"),
             Engine::Fast => write!(f, "fast"),
+            Engine::Turbo => write!(f, "turbo"),
         }
     }
 }
@@ -72,7 +83,10 @@ impl std::str::FromStr for Engine {
         match s {
             "interpreter" | "interp" => Ok(Engine::Interpreter),
             "fast" => Ok(Engine::Fast),
-            other => Err(format!("unknown engine '{other}' (want interpreter|fast)")),
+            "turbo" => Ok(Engine::Turbo),
+            other => Err(format!(
+                "unknown engine '{other}' (want interpreter|fast|turbo)"
+            )),
         }
     }
 }
@@ -82,6 +96,7 @@ pub struct SimSessionBuilder<'a> {
     func: &'a Function,
     config: SimConfig,
     engine: Engine,
+    program: Option<Arc<TurboProgram>>,
     sink: Option<Box<dyn TraceSink>>,
 }
 
@@ -107,14 +122,33 @@ impl<'a> SimSessionBuilder<'a> {
         self
     }
 
-    /// Constructs the session. For [`Engine::Fast`] this performs the
-    /// one-time decode of the function.
+    /// Supplies a pre-decoded program (selects [`Engine::Turbo`]). The
+    /// program must have been decoded from this builder's function with
+    /// the machine description the config will carry — callers reusing
+    /// decodes through a [`ProgramCache`](crate::ProgramCache) key on
+    /// exactly that pair.
+    #[must_use]
+    pub fn program(mut self, prog: Arc<TurboProgram>) -> Self {
+        self.engine = Engine::Turbo;
+        self.program = Some(prog);
+        self
+    }
+
+    /// Constructs the session. For [`Engine::Fast`] and
+    /// [`Engine::Turbo`] (without a shared [`TurboProgram`]) this
+    /// performs the one-time decode of the function.
     pub fn build(self) -> SimSession<'a> {
         let mut session = SimSession {
             engine: self.engine,
             inner: match self.engine {
                 Engine::Interpreter => Inner::Interp(Machine::create(self.func, self.config)),
                 Engine::Fast => Inner::Fast(FastMachine::new(self.func, self.config)),
+                Engine::Turbo => {
+                    let prog = self.program.unwrap_or_else(|| {
+                        Arc::new(TurboProgram::new(self.func, &self.config.mdes))
+                    });
+                    Inner::Turbo(TurboMachine::new(prog, self.config))
+                }
             },
         };
         if let Some(sink) = self.sink {
@@ -127,6 +161,7 @@ impl<'a> SimSessionBuilder<'a> {
 enum Inner<'a> {
     Interp(Machine<'a>),
     Fast(FastMachine<'a>),
+    Turbo(TurboMachine),
 }
 
 /// A configured simulation over one function on one engine.
@@ -144,12 +179,14 @@ macro_rules! delegate {
         match &$self.inner {
             Inner::Interp(m) => m.$m($($arg),*),
             Inner::Fast(m) => m.$m($($arg),*),
+            Inner::Turbo(m) => m.$m($($arg),*),
         }
     };
     (mut $self:ident, $m:ident $(, $arg:expr)*) => {
         match &mut $self.inner {
             Inner::Interp(m) => m.$m($($arg),*),
             Inner::Fast(m) => m.$m($($arg),*),
+            Inner::Turbo(m) => m.$m($($arg),*),
         }
     };
 }
@@ -161,6 +198,7 @@ impl<'a> SimSession<'a> {
             func,
             config: SimConfig::default(),
             engine: Engine::default(),
+            program: None,
             sink: None,
         }
     }
@@ -287,10 +325,10 @@ mod tests {
     }
 
     #[test]
-    fn both_engines_run_and_agree() {
+    fn all_engines_run_and_agree() {
         let f = demo();
         let mut outcomes = Vec::new();
-        for engine in [Engine::Interpreter, Engine::Fast] {
+        for engine in [Engine::Interpreter, Engine::Fast, Engine::Turbo] {
             let mut s = SimSession::for_function(&f).engine(engine).build();
             s.memory_mut().map_region(0x1000, 8);
             s.memory_mut().write_word(0x1000, 99).unwrap();
@@ -298,7 +336,27 @@ mod tests {
             outcomes.push((o, *s.stats(), s.reg(Reg::int(2)).data));
         }
         assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
         assert_eq!(outcomes[0].2, 99);
+    }
+
+    #[test]
+    fn shared_program_reuses_one_decode() {
+        let f = demo();
+        let config = SimConfig::default();
+        let prog = Arc::new(crate::TurboProgram::new(&f, &config.mdes));
+        for _ in 0..2 {
+            let mut s = SimSession::for_function(&f)
+                .config(config.clone())
+                .program(Arc::clone(&prog))
+                .build();
+            assert_eq!(s.engine(), Engine::Turbo);
+            s.memory_mut().map_region(0x1000, 8);
+            s.run().unwrap();
+        }
+        // The builder took shared references; both sessions ran the
+        // same decode.
+        assert_eq!(Arc::strong_count(&prog), 1);
     }
 
     #[test]

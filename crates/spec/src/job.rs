@@ -375,6 +375,29 @@ impl JobSpec {
         fnv64(self.canonical().as_bytes())
     }
 
+    /// The engine-independent *schedule* key: [`fnv64`] over only the
+    /// fields the compiler consumes — program, model, width, the §5.1
+    /// recovery constraint, and the store-buffer depth (store-separation
+    /// retry consults it). Two jobs that differ only in engine, data
+    /// cache, memory image, or output knobs produce the identical
+    /// scheduled function, so the decoded-program cache keys on this
+    /// instead of [`content_hash`](JobSpec::content_hash) — a replayed
+    /// batch decodes once per schedule, not once per request.
+    pub fn schedule_hash(&self) -> u64 {
+        let mut s = String::with_capacity(96);
+        s.push_str("sentinel-spec/sched1|prog=");
+        self.program.encode(&mut s);
+        let _ = write!(
+            s,
+            "|model={}|width={}|recovery={}|sb={}",
+            model_str(self.model),
+            self.width,
+            u8::from(self.recovery),
+            self.store_buffer
+        );
+        fnv64(s.as_bytes())
+    }
+
     /// [`content_hash`](JobSpec::content_hash) rendered the way repro
     /// lines, spill filenames, and `--spec` spell it: 16 lowercase hex
     /// digits.
@@ -579,6 +602,39 @@ mod tests {
             for b in &hashes[i + 1..] {
                 assert_ne!(a, b);
             }
+        }
+    }
+
+    #[test]
+    fn schedule_hash_ignores_engine_but_splits_schedule_knobs() {
+        let base = JobSpec::simulate(
+            ProgramRef::Suite("wc".to_string()),
+            SchedulingModel::Sentinel,
+            4,
+        );
+        // Engine, memory image, and data cache don't change the
+        // scheduled function: one decode serves them all.
+        let mut other = base.clone();
+        other.engine = Engine::Turbo;
+        other.map.push((0x1000, 64));
+        other.cache = Some(CacheConfig {
+            lines: 64,
+            line_bytes: 32,
+            miss_penalty: 10,
+        });
+        assert_eq!(base.schedule_hash(), other.schedule_hash());
+        assert_ne!(base.content_hash(), other.content_hash());
+        // Anything the compiler consumes splits the key.
+        for tweak in [
+            |s: &mut JobSpec| s.width = 8,
+            |s: &mut JobSpec| s.model = SchedulingModel::GeneralPercolation,
+            |s: &mut JobSpec| s.recovery = true,
+            |s: &mut JobSpec| s.store_buffer = 16,
+            |s: &mut JobSpec| s.program = ProgramRef::Suite("cmp".to_string()),
+        ] {
+            let mut t = base.clone();
+            tweak(&mut t);
+            assert_ne!(base.schedule_hash(), t.schedule_hash());
         }
     }
 

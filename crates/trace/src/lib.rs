@@ -48,6 +48,7 @@ pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod serve;
+pub mod sim;
 pub mod sink;
 pub mod stall;
 pub mod store;

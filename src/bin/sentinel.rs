@@ -10,7 +10,7 @@
 //! sentinel compile   prog.sasm --model S --issue 8 [--explain] [--verify-passes] [-o out.sasm]
 //!                    (or: --spec HASH|CANONICAL [--cache-dir DIR])
 //! sentinel simulate  --suite NAME | prog.sasm | --spec HASH|CANONICAL
-//!                    [--model M] [--issue N] [--engine fast|interpreter]
+//!                    [--model M] [--issue N] [--engine fast|interpreter|turbo]
 //!                    [--recovery] [--cache-dir DIR]
 //! sentinel run       prog.sasm [--issue N] [--semantics tags|silent|nan]
 //!                    [--map START:LEN]... [--word ADDR=VAL]... [--reg rN=VAL]...
@@ -667,7 +667,7 @@ fn cmd_trace(args: &Args) {
 }
 
 /// `sentinel fuzz`: run the seeded differential fuzzer — each case is a
-/// generated program executed on both engines, every observable compared
+/// generated program executed on all three engines, every observable compared
 /// byte-for-byte. Unpinned, seeds cycle through all four models at
 /// widths 1/2/4/8; `--model`/`--width` pin one axis for reproduction.
 fn cmd_fuzz(args: &Args) {
@@ -740,7 +740,7 @@ fn usage() -> ! {
            trace     --model R|G|S|T|B<k> --issue N --format timeline|jsonl|chrome [--raw] [--recovery] [-o out] [run's machine flags]\n\
            reproduce regenerate the paper's tables/figures [fig4|fig5|summary|…|all] [--csv] [--jobs N] [--cache-dir DIR]\n\
            serve     networked compile-and-simulate service [--addr HOST] [--port N] [--workers N] [--queue N] [--cache N] [--cache-dir PATH]\n\
-           fuzz      differential fuzzer: both engines, byte-identical observables [--seed N] [--count M] [--model R|G|S|T] [--width W] [--alias F] [--traps F] [--spec H] [--cache-dir DIR]\n\
+           fuzz      differential fuzzer: all three engines, byte-identical observables [--seed N] [--count M] [--model R|G|S|T] [--width W] [--alias F] [--traps F] [--spec H] [--cache-dir DIR]\n\
            version   print the version (also --version)"
     );
     exit(2);

@@ -1,14 +1,16 @@
-//! The seeded differential fuzzer: generated programs, both engines,
-//! byte-identical observations.
+//! The seeded differential fuzzer: generated programs, all three
+//! engines, byte-identical observations.
 //!
 //! A fuzz case is `(seed, model, width, alias_frac, trap_frac)`. The seed
 //! fully determines the generated program and its memory image
 //! ([`sentinel_workloads::fuzz_spec`]); the case is scheduled under the
-//! given model, run on the interpreter and the fast engine, and every
-//! observable — run outcome, statistics, final registers *with exception
-//! tags*, full memory, the `TraceEvent` log, and the pipeline event
-//! stream from an attached sink — must match exactly. Any divergence is
-//! reported with a one-command repro line.
+//! given model, run on the interpreter, the fast engine, and the turbo
+//! engine, and every observable — run outcome, statistics, final
+//! registers *with exception tags*, full memory, the `TraceEvent` log,
+//! and the pipeline event stream from an attached sink — must match
+//! exactly pairwise (the interpreter is the oracle both optimized
+//! engines are compared against). Any divergence is reported with a
+//! one-command repro line naming the engine pair.
 //!
 //! Entry points: [`run_case`] for a single case, [`run_batch`] for a
 //! seed sweep (the CLI `sentinel fuzz` and `tests/fuzz_differential.rs`
@@ -191,42 +193,40 @@ fn observe(
     }
 }
 
-/// Names the first observable the two engines disagree on.
-fn describe_divergence(interp: &Observation, fast: &Observation) -> String {
-    if interp.outcome != fast.outcome {
+/// Names the first observable two engines disagree on. `a`/`b` are the
+/// engine names for the report (e.g. `"interpreter"` vs `"turbo"`).
+fn describe_divergence(a: &str, lhs: &Observation, b: &str, rhs: &Observation) -> String {
+    if lhs.outcome != rhs.outcome {
         return format!(
-            "run outcome: interpreter {:?} vs fast {:?}",
-            interp.outcome, fast.outcome
+            "run outcome: {a} {:?} vs {b} {:?}",
+            lhs.outcome, rhs.outcome
         );
     }
-    if interp.stats != fast.stats {
+    if lhs.stats != rhs.stats {
+        return format!("statistics: {a} {:?} vs {b} {:?}", lhs.stats, rhs.stats);
+    }
+    if let Some(i) = (0..lhs.regs.len()).find(|&i| lhs.regs[i] != rhs.regs[i]) {
         return format!(
-            "statistics: interpreter {:?} vs fast {:?}",
-            interp.stats, fast.stats
+            "register slot {i}: {a} {:?} vs {b} {:?}",
+            lhs.regs[i], rhs.regs[i]
         );
     }
-    if let Some(i) = (0..interp.regs.len()).find(|&i| interp.regs[i] != fast.regs[i]) {
-        return format!(
-            "register slot {i}: interpreter {:?} vs fast {:?}",
-            interp.regs[i], fast.regs[i]
-        );
-    }
-    if interp.memory != fast.memory {
-        let diff = interp.memory.iter().zip(&fast.memory).find(|(a, b)| a != b);
+    if lhs.memory != rhs.memory {
+        let diff = lhs.memory.iter().zip(&rhs.memory).find(|(x, y)| x != y);
         return format!("memory image: first differing byte {diff:?}");
     }
-    if interp.trace != fast.trace {
+    if lhs.trace != rhs.trace {
         return format!(
             "TraceEvent log: {} vs {} events (or contents differ)",
-            interp.trace.len(),
-            fast.trace.len()
+            lhs.trace.len(),
+            rhs.trace.len()
         );
     }
-    if interp.events != fast.events {
+    if lhs.events != rhs.events {
         return format!(
             "pipeline event stream: {} vs {} events (or contents differ)",
-            interp.events.len(),
-            fast.events.len()
+            lhs.events.len(),
+            rhs.events.len()
         );
     }
     "no divergence".to_string()
@@ -253,17 +253,19 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     cfg.semantics = semantics_for(case.model);
     cfg.collect_trace = true;
     let interp = observe(&sched.func, &cfg, &mdes, &w, Engine::Interpreter);
-    let fast = observe(&sched.func, &cfg, &mdes, &w, Engine::Fast);
-    if interp != fast {
-        return Err(format!(
-            "engines diverged (seed {}, model {}, width {})\n  first divergence: {}\n{}\n  repro: {}",
-            case.seed,
-            case.model.tag(),
-            case.width,
-            describe_divergence(&interp, &fast),
-            case.spec_lines(),
-            case.repro_command()
-        ));
+    for engine in [Engine::Fast, Engine::Turbo] {
+        let other = observe(&sched.func, &cfg, &mdes, &w, engine);
+        if interp != other {
+            return Err(format!(
+                "engines diverged (interpreter vs {engine}; seed {}, model {}, width {})\n  first divergence: {}\n{}\n  repro: {}",
+                case.seed,
+                case.model.tag(),
+                case.width,
+                describe_divergence("interpreter", &interp, &engine.to_string(), &other),
+                case.spec_lines(),
+                case.repro_command()
+            ));
+        }
     }
     Ok(())
 }

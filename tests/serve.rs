@@ -17,6 +17,7 @@ use sentinel::trace::serve::{
     BATCH_JOBS, BATCH_JOB_ERRORS, CACHE_DISK_HIT, CACHE_HIT, CACHE_MISS, KEEPALIVE_REUSED, PANICS,
     REJECTED,
 };
+use sentinel::trace::sim::{SIM_PROGRAM_CACHE_HIT, SIM_PROGRAM_CACHE_MISS};
 
 fn test_config() -> ServerConfig {
     ServerConfig {
@@ -434,6 +435,66 @@ fn http_simulate_response_is_byte_identical_to_in_process() {
         panic!("expected a result, got {replay:?}");
     };
     assert_eq!(replay_body, in_process);
+    drop(client);
+    handle.shutdown();
+}
+
+/// The decode-once contract over HTTP: a batch mixing engines over the
+/// same jobs compiles each schedule point once (the engine does not
+/// split the program-cache key), a byte-identical replay short-circuits
+/// at the response cache without disturbing those counters, and
+/// `/metrics` exposes the `sim_program_cache_*` family.
+#[test]
+fn replayed_batch_reports_program_cache_hits() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr().to_string();
+    let metrics = handle.metrics();
+    let mut client = Client::new(&addr);
+
+    let mut jobs = String::from(r#"{"v":1,"jobs":["#);
+    for (i, engine) in ["fast", "turbo", "interpreter"].iter().enumerate() {
+        for (j, suite) in ["wc", "cmp"].iter().enumerate() {
+            if i + j > 0 {
+                jobs.push(',');
+            }
+            jobs.push_str(&format!(
+                r#"{{"kind":"simulate","suite":"{suite}","model":"S","width":4,"engine":"{engine}"}}"#
+            ));
+        }
+    }
+    jobs.push_str("]}");
+
+    // First batch: 6 jobs over 2 schedule points — 2 compiles, 4
+    // program-cache hits (the three engines share each compile).
+    let resp = client.post_json("/v1/batch", &jobs).unwrap();
+    assert_eq!(resp.status, 200);
+    let first = metrics.snapshot();
+    assert_eq!(first.counter(SIM_PROGRAM_CACHE_MISS), 2);
+    assert_eq!(first.counter(SIM_PROGRAM_CACHE_HIT), 4);
+
+    // Byte-identical replay: served by the response cache, so the
+    // program cache is not consulted again — and still reports > 0.
+    let replay = client.post_json("/v1/batch", &jobs).unwrap();
+    assert_eq!(replay.body, resp.body);
+    let second = metrics.snapshot();
+    assert!(
+        second.counter(CACHE_HIT) >= 6,
+        "replay missed the response cache"
+    );
+    assert_eq!(second.counter(SIM_PROGRAM_CACHE_MISS), 2);
+    assert!(second.counter(SIM_PROGRAM_CACHE_HIT) > 0);
+
+    let text = client.get("/metrics").unwrap();
+    assert!(
+        text.body.contains("sim_program_cache_hit 4"),
+        "{}",
+        text.body
+    );
+    assert!(
+        text.body.contains("sim_program_cache_miss 2"),
+        "{}",
+        text.body
+    );
     drop(client);
     handle.shutdown();
 }
